@@ -1,0 +1,82 @@
+//! The no-pipelining reference: plain resource-constrained list
+//! scheduling of the zero-delay DAG.
+//!
+//! This is what a synthesis system without loop pipelining produces —
+//! the starting point every rotation sequence improves on, and the
+//! yardstick the `CP` column of Table 1 corresponds to (its length under
+//! unlimited resources is exactly the critical path).
+
+use rotsched_dfg::Dfg;
+use rotsched_sched::{ListScheduler, PriorityPolicy, ResourceSet, SchedError, Schedule};
+
+/// Result of the DAG-only baseline.
+#[derive(Clone, Debug)]
+pub struct DagOnlyResult {
+    /// The schedule produced.
+    pub schedule: Schedule,
+    /// Its length in control steps (the loop's initiation interval —
+    /// iterations do not overlap in this baseline).
+    pub length: u32,
+}
+
+/// Schedules the loop body without any pipelining.
+///
+/// # Errors
+///
+/// Propagates list-scheduling failures (invalid graph, unbound
+/// operations).
+pub fn dag_only(
+    dfg: &Dfg,
+    resources: &ResourceSet,
+    policy: PriorityPolicy,
+) -> Result<DagOnlyResult, SchedError> {
+    let schedule = ListScheduler::new(policy).schedule(dfg, None, resources)?;
+    let length = schedule.length(dfg);
+    Ok(DagOnlyResult { schedule, length })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rotsched_benchmarks::{diffeq, TimingModel};
+    use rotsched_dfg::analysis::critical_path_length;
+
+    #[test]
+    fn unlimited_resources_reach_the_critical_path() {
+        let g = diffeq(&TimingModel::paper());
+        let res = ResourceSet::adders_multipliers(64, 64, false);
+        let out = dag_only(&g, &res, PriorityPolicy::DescendantCount).unwrap();
+        assert_eq!(
+            u64::from(out.length),
+            critical_path_length(&g, None).unwrap()
+        );
+    }
+
+    #[test]
+    fn unit_time_diffeq_matches_the_paper_figure() {
+        // Figure 2-(a): the optimal DAG schedule for 1 multiplier and
+        // 1 adder with unit-time operations has length 8.
+        let g = diffeq(&TimingModel::unit());
+        let res = ResourceSet::adders_multipliers(1, 1, false);
+        let out = dag_only(&g, &res, PriorityPolicy::DescendantCount).unwrap();
+        assert_eq!(out.length, 8);
+    }
+
+    #[test]
+    fn fewer_resources_never_shorten_the_schedule() {
+        let g = diffeq(&TimingModel::paper());
+        let tight = dag_only(
+            &g,
+            &ResourceSet::adders_multipliers(1, 1, false),
+            PriorityPolicy::DescendantCount,
+        )
+        .unwrap();
+        let ample = dag_only(
+            &g,
+            &ResourceSet::adders_multipliers(4, 4, false),
+            PriorityPolicy::DescendantCount,
+        )
+        .unwrap();
+        assert!(tight.length >= ample.length);
+    }
+}

@@ -1,0 +1,108 @@
+//! The unfold-then-schedule baseline (loop-winding style).
+//!
+//! Unrolls the loop `f` times, list-schedules the unfolded body as one
+//! DAG, and reports the per-iteration length `⌈len / f⌉`. This captures
+//! what unfolding-based systems achieve without true software
+//! pipelining: intra-body overlap improves with `f`, but the recurrence
+//! still serializes consecutive unfolded bodies, so the result cannot
+//! beat the iteration bound and typically converges to it slowly while
+//! the body size (and controller cost) grows linearly.
+
+use rotsched_dfg::unfold::unfold;
+use rotsched_dfg::Dfg;
+use rotsched_sched::{ListScheduler, PriorityPolicy, ResourceSet, SchedError};
+
+/// Result of the unfold-and-schedule baseline at one factor.
+#[derive(Clone, Debug, PartialEq)]
+pub struct UnfoldResult {
+    /// The unfolding factor used.
+    pub factor: u32,
+    /// Schedule length of the unfolded body.
+    pub body_length: u32,
+    /// Average control steps per original iteration
+    /// (`body_length / factor`).
+    pub per_iteration: f64,
+}
+
+/// Unfolds by `factor` and schedules the unfolded DAG.
+///
+/// # Errors
+///
+/// Propagates graph and scheduling failures.
+pub fn unfold_and_schedule(
+    dfg: &Dfg,
+    resources: &ResourceSet,
+    policy: PriorityPolicy,
+    factor: u32,
+) -> Result<UnfoldResult, SchedError> {
+    let unfolded = unfold(dfg, factor).map_err(SchedError::from)?;
+    let schedule = ListScheduler::new(policy).schedule(&unfolded.graph, None, resources)?;
+    let body_length = schedule.length(&unfolded.graph);
+    Ok(UnfoldResult {
+        factor,
+        body_length,
+        per_iteration: f64::from(body_length) / f64::from(factor),
+    })
+}
+
+/// Sweeps factors `1..=max_factor` and returns every result (callers
+/// pick the best or plot the convergence curve).
+///
+/// # Errors
+///
+/// Propagates failures from any factor.
+pub fn unfold_sweep(
+    dfg: &Dfg,
+    resources: &ResourceSet,
+    policy: PriorityPolicy,
+    max_factor: u32,
+) -> Result<Vec<UnfoldResult>, SchedError> {
+    (1..=max_factor.max(1))
+        .map(|f| unfold_and_schedule(dfg, resources, policy, f))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rotsched_benchmarks::{biquad, diffeq, TimingModel};
+    use rotsched_dfg::analysis::iteration_bound;
+
+    #[test]
+    fn factor_one_is_the_dag_baseline() {
+        let g = diffeq(&TimingModel::paper());
+        let res = ResourceSet::adders_multipliers(1, 1, false);
+        let r = unfold_and_schedule(&g, &res, PriorityPolicy::DescendantCount, 1).unwrap();
+        assert_eq!(r.factor, 1);
+        assert!((r.per_iteration - f64::from(r.body_length)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn unfolding_improves_per_iteration_length() {
+        let g = biquad(&TimingModel::paper());
+        let res = ResourceSet::adders_multipliers(2, 4, false);
+        let sweep = unfold_sweep(&g, &res, PriorityPolicy::DescendantCount, 4).unwrap();
+        let first = sweep.first().unwrap().per_iteration;
+        let best = sweep
+            .iter()
+            .map(|r| r.per_iteration)
+            .fold(f64::INFINITY, f64::min);
+        assert!(best <= first);
+    }
+
+    #[test]
+    fn unfolding_never_beats_the_iteration_bound() {
+        let g = biquad(&TimingModel::paper());
+        let ib = iteration_bound(&g).unwrap().unwrap() as f64;
+        let res = ResourceSet::adders_multipliers(8, 8, false);
+        for r in unfold_sweep(&g, &res, PriorityPolicy::DescendantCount, 6).unwrap() {
+            assert!(
+                r.per_iteration >= ib - 1e-9,
+                "factor {}: {} < IB {}",
+                r.factor,
+                r.per_iteration,
+                ib
+            );
+        }
+    }
+}

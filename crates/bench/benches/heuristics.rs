@@ -1,0 +1,37 @@
+//! Wall-clock cost of the full heuristics on the paper's benchmarks —
+//! the Section 6 claim that "every experiment is finished within
+//! seconds" (on a 1993 DEC 5000; modern hardware does it in
+//! milliseconds).
+
+use core::time::Duration;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rotsched_benchmarks::{all_benchmarks, TimingModel};
+use rotsched_core::{heuristic1, heuristic2, HeuristicConfig};
+use rotsched_sched::{ListScheduler, ResourceSet};
+
+fn bench_heuristics(c: &mut Criterion) {
+    let config = HeuristicConfig {
+        rotations_per_phase: 32,
+        max_size: None,
+        keep_best: 16,
+        rounds: 1,
+    };
+    let mut group = c.benchmark_group("heuristics");
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(2));
+    group.sample_size(20);
+    for (name, g) in all_benchmarks(&TimingModel::paper()) {
+        let res = ResourceSet::adders_multipliers(2, 2, false);
+        let sched = ListScheduler::default();
+        group.bench_with_input(BenchmarkId::new("heuristic2", name), &g, |b, g| {
+            b.iter(|| heuristic2(g, &sched, &res, &config).expect("schedulable"));
+        });
+        group.bench_with_input(BenchmarkId::new("heuristic1", name), &g, |b, g| {
+            b.iter(|| heuristic1(g, &sched, &res, &config).expect("schedulable"));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_heuristics);
+criterion_main!(benches);

@@ -1,0 +1,60 @@
+//! Cost of one rotation step, and the ablation DESIGN.md calls out:
+//! incremental rescheduling of only the rotated set (the paper's
+//! approach) vs. rescheduling the whole graph after each rotation.
+
+use core::time::Duration;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rotsched_benchmarks::{all_benchmarks, random_dfg, RandomDfgConfig, TimingModel};
+use rotsched_core::{down_rotate, initial_state};
+use rotsched_dfg::Dfg;
+use rotsched_sched::{ListScheduler, ResourceSet};
+
+fn one_rotation_partial(g: &Dfg, res: &ResourceSet) {
+    let sched = ListScheduler::default();
+    let mut state = initial_state(g, &sched, res).expect("schedulable");
+    down_rotate(g, &sched, res, &mut state, 1).expect("legal");
+}
+
+/// The ablation arm: rotate, then throw the incremental result away and
+/// reschedule everything from scratch on the retimed graph.
+fn one_rotation_full_reschedule(g: &Dfg, res: &ResourceSet) {
+    let sched = ListScheduler::default();
+    let mut state = initial_state(g, &sched, res).expect("schedulable");
+    down_rotate(g, &sched, res, &mut state, 1).expect("legal");
+    state.schedule = sched
+        .schedule(g, Some(&state.retiming), res)
+        .expect("schedulable");
+}
+
+fn bench_rotation_step(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rotation_step");
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(2));
+    group.sample_size(20);
+    let res = ResourceSet::adders_multipliers(2, 2, false);
+    for (name, g) in all_benchmarks(&TimingModel::paper()) {
+        group.bench_with_input(BenchmarkId::new("partial", name), &g, |b, g| {
+            b.iter(|| one_rotation_partial(g, &res));
+        });
+        group.bench_with_input(BenchmarkId::new("full-reschedule", name), &g, |b, g| {
+            b.iter(|| one_rotation_full_reschedule(g, &res));
+        });
+    }
+    // Scaling on random graphs.
+    for nodes in [50, 100, 200] {
+        let g = random_dfg(
+            &RandomDfgConfig {
+                nodes,
+                ..RandomDfgConfig::default()
+            },
+            7,
+        );
+        group.bench_with_input(BenchmarkId::new("partial-random", nodes), &g, |b, g| {
+            b.iter(|| one_rotation_partial(g, &res));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_rotation_step);
+criterion_main!(benches);

@@ -1,0 +1,66 @@
+//! The Section 5 convergence study: effect of rotation size and
+//! resource availability on how fast phases reach the optimum.
+//!
+//! ```text
+//! cargo run --release -p rotsched-bench --bin convergence
+//! ```
+//!
+//! For every benchmark and a few resource configurations, runs one
+//! independent rotation phase per size (Heuristic 1's structure) and
+//! reports, per size, how many rotations it took to first reach the
+//! phase's best length — the paper's observations to check:
+//!
+//! * convergence is generally faster for larger sizes, with
+//!   irregularities;
+//! * too-small sizes may never converge to the optimal length;
+//! * more resources converge faster.
+
+use rotsched_baselines::lower_bound;
+use rotsched_benchmarks::{all_benchmarks, TimingModel};
+use rotsched_core::{initial_state, rotation_phase, BestSet};
+use rotsched_sched::{ListScheduler, ResourceSet};
+
+fn main() {
+    let alpha = 64;
+    for (name, g) in all_benchmarks(&TimingModel::paper()) {
+        println!("\n== {name} ==");
+        for (adders, mults, pipelined) in [(2, 2, false), (3, 3, false), (2, 1, true)] {
+            let res = ResourceSet::adders_multipliers(adders, mults, pipelined);
+            let lb = lower_bound(&g, &res).expect("valid benchmark");
+            let sched = ListScheduler::default();
+            let init = initial_state(&g, &sched, &res).expect("schedulable");
+            let init_len = init.length(&g);
+            print!(
+                "{:<7} (initial {init_len}, LB {lb:>2}): ",
+                res.label()
+            );
+            let mut cells = Vec::new();
+            for size in 1..init_len.max(2) {
+                let mut state = init.clone();
+                let mut best = BestSet::new(1);
+                best.offer(
+                    state.wrapped_length(&g, &res).expect("wraps"),
+                    &state,
+                );
+                let stats = rotation_phase(&g, &sched, &res, &mut state, &mut best, size, alpha)
+                    .expect("phases run");
+                let reached = best.length;
+                let when = stats
+                    .lengths
+                    .iter()
+                    .position(|&l| u64::from(l) == u64::from(reached))
+                    .map(|i| i + 1);
+                cells.push(match when {
+                    Some(k) if u64::from(reached) == lb => format!("s{size}:{k}r"),
+                    _ if u64::from(reached) == lb => format!("s{size}:-"),
+                    _ => format!("s{size}:x{reached}"),
+                });
+            }
+            println!("{}", cells.join(" "));
+        }
+    }
+    println!(
+        "\nlegend: sK:Nr = phase of size K first reached the lower bound after N rotations;"
+    );
+    println!("        sK:xL = phase of size K plateaued at length L above the bound.");
+}

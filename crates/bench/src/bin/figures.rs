@@ -1,0 +1,117 @@
+//! Regenerates the paper's worked figures as text.
+//!
+//! ```text
+//! cargo run --release -p rotsched-bench --bin figures
+//! ```
+//!
+//! * **Figure 2** — two (plus one) down-rotations of size 1 on the
+//!   unit-time diffeq with 1 multiplier and 1 adder: 8 → 7 → … → 6.
+//! * **Figure 3** — the corresponding rotation functions.
+//! * **Figure 4** — the expanded loop: prologue / kernel / epilogue.
+//! * **Figure 5** — depth of the accumulated rotation function after 7
+//!   size-2 rotations vs. the minimized realizing retiming.
+//! * **Figures 6–8** — multi-cycle multipliers: rotations lengthen the
+//!   unwrapped schedule, wrapping recovers it.
+
+use rotsched_benchmarks::{diffeq, TimingModel};
+use rotsched_core::depth::{accumulated_depth, minimize_depth};
+use rotsched_core::RotationScheduler;
+use rotsched_sched::{minimal_wrap, ResourceSet};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    figure_2_3_4()?;
+    figure_5()?;
+    figures_6_to_8()?;
+    Ok(())
+}
+
+fn figure_2_3_4() -> Result<(), Box<dyn std::error::Error>> {
+    println!("=== Figures 2-4: size-1 rotations, unit-time diffeq, 1M + 1A ===\n");
+    let g = diffeq(&TimingModel::unit());
+    let rs = RotationScheduler::new(&g, ResourceSet::adders_multipliers(1, 1, false));
+    let table = |state: &rotsched_core::RotationState| {
+        state.schedule.format_table(&g, &["Mult", "Adder"], |v| {
+            usize::from(!g.node(v).op().is_multiplicative())
+        })
+    };
+    let mut state = rs.initial()?;
+    println!(
+        "(a) optimal DAG schedule, length {}:\n{}",
+        state.length(&g),
+        table(&state)
+    );
+    for step in 1..=3 {
+        rs.down_rotate(&mut state, 1)?;
+        println!(
+            "after rotation {step}: length {}, rotation function {} (Figure 3)\n{}",
+            state.length(&g),
+            state.retiming,
+            table(&state)
+        );
+        if state.length(&g) == 6 {
+            break;
+        }
+    }
+    println!("Figure 4: the expanded loop over 4 iterations:");
+    let ls = rs.loop_schedule(&state)?;
+    println!("{}", ls.format_expansion(&g, 4));
+    Ok(())
+}
+
+fn figure_5() -> Result<(), Box<dyn std::error::Error>> {
+    println!("=== Figure 5: depth reduction after 7 rotations of size 2 ===\n");
+    let g = diffeq(&TimingModel::unit());
+    let rs = RotationScheduler::new(&g, ResourceSet::adders_multipliers(1, 1, false));
+    let mut state = rs.initial()?;
+    for _ in 0..7 {
+        rs.down_rotate(&mut state, 2)?;
+    }
+    let min = minimize_depth(&g, &state.schedule)?;
+    println!(
+        "schedule length {}; accumulated R = {} (depth {})",
+        state.length(&g),
+        state.retiming,
+        accumulated_depth(&state)
+    );
+    println!("minimized r = {} (depth {})\n", min, min.depth());
+    Ok(())
+}
+
+fn figures_6_to_8() -> Result<(), Box<dyn std::error::Error>> {
+    println!("=== Figures 6-8: multi-cycle multipliers and wrapping (1M + 1A) ===\n");
+    let g = diffeq(&TimingModel::paper());
+    let res = ResourceSet::adders_multipliers(1, 1, false);
+    let rs = RotationScheduler::new(&g, res.clone());
+    let mut state = rs.initial()?;
+    println!("initial: unwrapped length {}", state.length(&g));
+    for step in 1..=8 {
+        rs.down_rotate(&mut state, 1)?;
+        let w = minimal_wrap(&g, Some(&state.retiming), &state.schedule, &res)?;
+        println!(
+            "rotation {step}: unwrapped {:>2}, wrapped {:>2}{}",
+            state.length(&g),
+            w.kernel_length,
+            if w.has_wraps() {
+                format!(
+                    " (wrapped tails: {})",
+                    w.wrapped_nodes
+                        .iter()
+                        .map(|&v| g.node(v).name())
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                )
+            } else {
+                String::new()
+            }
+        );
+    }
+    let w = minimal_wrap(&g, Some(&state.retiming), &state.schedule, &res)?;
+    println!(
+        "\nfinal wrapped kernel of length {} (tails marked '):\n{}",
+        w.kernel_length,
+        w.schedule.format_table(&g, &["Mult", "Adder"], |v| {
+            usize::from(!g.node(v).op().is_multiplicative())
+        })
+    );
+    Ok(())
+}

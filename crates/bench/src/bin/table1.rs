@@ -1,0 +1,35 @@
+//! Regenerates **Table 1**: characteristics of the benchmarks.
+//!
+//! ```text
+//! cargo run -p rotsched-bench --bin table1
+//! ```
+
+use rotsched_benchmarks::{all_benchmarks, TimingModel};
+use rotsched_dfg::analysis::{critical_path_length, iteration_bound};
+use rotsched_dfg::OpKind;
+
+fn main() {
+    println!("Table 1: Characteristics of the benchmarks");
+    println!("(add = 1 CS, mult = 2 CS — the paper's 50 ns control-step model)\n");
+    println!(
+        "{:<28} {:>6} {:>6} {:>4} {:>4}",
+        "Benchmark", "#Mults", "#Adds", "CP", "IB"
+    );
+    for (name, g) in all_benchmarks(&TimingModel::paper()) {
+        let mults = g
+            .nodes()
+            .filter(|(_, n)| n.op().is_multiplicative())
+            .count();
+        let adds = g.nodes().filter(|(_, n)| n.op().is_additive()).count();
+        let cp = critical_path_length(&g, None).expect("valid benchmark");
+        let ib = iteration_bound(&g).expect("valid benchmark").unwrap_or(0);
+        println!("{name:<28} {mults:>6} {adds:>6} {cp:>4} {ib:>4}");
+        let _ = OpKind::Add;
+    }
+    println!("\nPaper values:            Mults  Adds   CP   IB");
+    println!("Elliptic                     8    26   17   16");
+    println!("Differential Equation        6     5    7    6");
+    println!("4-stage Lattice             15    11   10    2");
+    println!("All-pole Lattice             4    11   16    8");
+    println!("2-cascaded Biquad            8     8    7    4");
+}

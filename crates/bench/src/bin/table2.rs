@@ -1,0 +1,39 @@
+//! Regenerates **Table 2**: results for the elliptic filters.
+//!
+//! ```text
+//! cargo run --release -p rotsched-bench --bin table2
+//! ```
+
+use rotsched_baselines::{resource_label, TABLE_2};
+use rotsched_bench::{format_row, measure_rs};
+use rotsched_benchmarks::{elliptic, TimingModel};
+
+fn main() {
+    let g = elliptic(&TimingModel::paper());
+    println!("Table 2: Results for the elliptic filters");
+    println!("(measured with this implementation vs. the paper's published numbers)\n");
+    for row in TABLE_2 {
+        let measured = measure_rs(&g, row.adders, row.multipliers, row.pipelined);
+        println!(
+            "{}",
+            format_row(&measured, row.lb, row.rs, row.rs_depth)
+        );
+        let mut competitors = Vec::new();
+        if let Some(p) = row.pbs {
+            competitors.push(format!("PBS {p}"));
+        }
+        if let Some(m) = row.mars {
+            competitors.push(format!("MARS {m}"));
+        }
+        if let Some(l) = row.lee {
+            competitors.push(format!("Lee {l}"));
+        }
+        if !competitors.is_empty() {
+            println!(
+                "         | published competitors ({}): {}",
+                resource_label(row),
+                competitors.join(", ")
+            );
+        }
+    }
+}

@@ -1,0 +1,37 @@
+//! Regenerates **Table 3**: results for the other four benchmarks.
+//!
+//! ```text
+//! cargo run --release -p rotsched-bench --bin table3
+//! ```
+
+use rotsched_baselines::TABLE_3;
+use rotsched_bench::{format_row, measure_rs};
+use rotsched_benchmarks::{allpole, biquad, diffeq, lattice4, TimingModel};
+use rotsched_dfg::Dfg;
+
+fn main() {
+    let t = TimingModel::paper();
+    let graphs: Vec<(&str, Dfg)> = vec![
+        ("Differential Equation", diffeq(&t)),
+        ("4-stage Lattice Filter", lattice4(&t)),
+        ("All-pole Lattice Filter", allpole(&t)),
+        ("2-cascaded Biquad Filter", biquad(&t)),
+    ];
+
+    println!("Table 3: Results for the other four benchmarks");
+    println!("(measured with this implementation vs. the paper's published numbers)\n");
+    let mut current = "";
+    for row in TABLE_3 {
+        if row.benchmark != current {
+            current = row.benchmark;
+            println!("\n== {current} ==");
+        }
+        let g = &graphs
+            .iter()
+            .find(|(name, _)| *name == row.benchmark)
+            .expect("benchmark exists")
+            .1;
+        let measured = measure_rs(g, row.adders, row.multipliers, row.pipelined);
+        println!("{}", format_row(&measured, row.lb, row.rs, row.rs_depth));
+    }
+}

@@ -1,0 +1,42 @@
+//! Smoke tests for the experiment harness itself.
+
+use rotsched_bench::{format_row, measure_rs};
+use rotsched_benchmarks::{biquad, diffeq, TimingModel};
+
+#[test]
+fn measure_rs_reports_consistent_rows() {
+    let g = diffeq(&TimingModel::paper());
+    let row = measure_rs(&g, 1, 2, false);
+    assert_eq!(row.resources, "1A 2M");
+    assert_eq!(row.lb, 6);
+    assert_eq!(row.rs, 6);
+    assert!(row.verified);
+    assert!(row.optima >= 1);
+    assert!(row.registers >= 1, "loop-carried state needs registers");
+}
+
+#[test]
+fn format_row_contains_all_fields() {
+    let g = biquad(&TimingModel::paper());
+    let row = measure_rs(&g, 2, 2, true);
+    let text = format_row(&row, 4, 4, 2);
+    assert!(text.contains("2A 2Mp"));
+    assert!(text.contains("LB"));
+    assert!(text.contains("regs"));
+    assert!(text.contains("verified"));
+}
+
+#[test]
+fn register_pressure_scales_with_pipelining_depth() {
+    // The deeper 4-stage lattice pipeline holds more concurrent state
+    // than the shallow biquad pipeline relative to its size.
+    let g = rotsched_benchmarks::lattice4(&TimingModel::paper());
+    let tight = measure_rs(&g, 2, 4, false); // kernel 8
+    let fast = measure_rs(&g, 6, 15, false); // kernel 2, deep pipeline
+    assert!(
+        fast.registers >= tight.registers,
+        "shorter kernels overlap more iterations: {} vs {}",
+        fast.registers,
+        tight.registers
+    );
+}

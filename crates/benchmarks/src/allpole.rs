@@ -1,0 +1,82 @@
+//! The all-pole lattice filter benchmark (reconstruction).
+//!
+//! An all-pole lattice is adder-heavy: a long chain of section adders
+//! with only a handful of coefficient multiplications, and one deep
+//! recurrence. Pinned to Table 1:
+//!
+//! * 4 multiplications, 11 adder-class operations;
+//! * critical path **16** (add = 1 CS, mult = 2 CS);
+//! * iteration bound **8** — the main recurrence carries one register
+//!   around a 6-adder + 1-multiplier loop (6 + 2 = 8).
+
+use rotsched_dfg::{Dfg, DfgBuilder, OpKind};
+
+use crate::timing::TimingModel;
+
+/// Builds the all-pole lattice filter DFG under `timing`.
+#[must_use]
+pub fn allpole(timing: &TimingModel) -> Dfg {
+    let a = timing.steps(OpKind::Add);
+    let m = timing.steps(OpKind::Mul);
+    DfgBuilder::new("all-pole-lattice")
+        // Input conditioning.
+        .node("a1", OpKind::Add, a)
+        .node("a2", OpKind::Add, a)
+        .node("mpre", OpKind::Mul, m)
+        // The recurrence: six section adders and the reflection
+        // multiplier, closed through one register.
+        .nodes("b", 6, OpKind::Add, a)
+        .node("mc", OpKind::Mul, m)
+        // Output scaling and combination.
+        .node("mpost", OpKind::Mul, m)
+        .node("ao1", OpKind::Add, a)
+        .node("ao2", OpKind::Add, a)
+        // Side tap (registered, off the critical path).
+        .node("mside", OpKind::Mul, m)
+        .node("aside", OpKind::Add, a)
+        // Forward path.
+        .chain(&["a1", "a2", "mpre", "b0", "b1", "b2", "b3", "b4", "b5", "mc"])
+        .edge("mc", "b0", 1) // the IB-binding recurrence
+        .chain(&["mc", "mpost", "ao1", "ao2"])
+        // Side tap.
+        .edge("b2", "mside", 1)
+        .wire("mside", "aside")
+        .build()
+        .expect("the all-pole lattice DFG is valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rotsched_dfg::analysis::{critical_path_length, iteration_bound, simple_cycles};
+
+    #[test]
+    fn table_1_characteristics() {
+        // Table 1: all-pole lattice — 4 mults, 11 adds, CP 16, IB 8.
+        let g = allpole(&TimingModel::paper());
+        let mults = g
+            .nodes()
+            .filter(|(_, n)| n.op().is_multiplicative())
+            .count();
+        let adds = g.nodes().filter(|(_, n)| n.op().is_additive()).count();
+        assert_eq!(mults, 4);
+        assert_eq!(adds, 11);
+        assert_eq!(critical_path_length(&g, None).unwrap(), 16);
+        assert_eq!(iteration_bound(&g).unwrap(), Some(8));
+    }
+
+    #[test]
+    fn there_is_exactly_one_cycle() {
+        let g = allpole(&TimingModel::paper());
+        let en = simple_cycles(&g, 100);
+        assert_eq!(en.cycles.len(), 1);
+        assert_eq!(en.cycles[0].total_time(&g), 8);
+        assert_eq!(en.cycles[0].min_total_delays(&g), 1);
+    }
+
+    #[test]
+    fn graph_is_valid() {
+        allpole(&TimingModel::paper()).validate().unwrap();
+        allpole(&TimingModel::unit()).validate().unwrap();
+    }
+}

@@ -1,0 +1,117 @@
+//! The 4-stage (pipelined) lattice filter benchmark (reconstruction).
+//!
+//! Four cascaded lattice stages — each a pair of coefficient
+//! multiplications updating a register state — plus an output section.
+//! As with the elliptic filter, the paper's exact edge list is not
+//! published, so the structure below is pinned to Table 1:
+//!
+//! * 15 multiplications, 11 adder-class operations;
+//! * critical path **10** (add = 1 CS, mult = 2 CS) — the forward
+//!   cascade `s1 → k3 → s1 → …` through the four stages;
+//! * iteration bound **2** — the heavily registered stage recurrences
+//!   keep every cycle at ratio ≤ 2 (the output recurrence binds at
+//!   exactly 4/2).
+
+use rotsched_dfg::{Dfg, DfgBuilder, OpKind};
+
+use crate::timing::TimingModel;
+
+/// Builds the 4-stage lattice filter DFG under `timing`.
+#[must_use]
+pub fn lattice4(timing: &TimingModel) -> Dfg {
+    let a = timing.steps(OpKind::Add);
+    let m = timing.steps(OpKind::Mul);
+    let mut b = DfgBuilder::new("4-stage-lattice");
+
+    // Per-stage nodes: forward adder s1, state adder s2, coefficient
+    // multipliers k1 (reflection, registered) and k2 (state update).
+    for i in 0..4 {
+        b = b
+            .node(format!("s1_{i}"), OpKind::Add, a)
+            .node(format!("s2_{i}"), OpKind::Add, a)
+            .node(format!("k1_{i}"), OpKind::Mul, m)
+            .node(format!("k2_{i}"), OpKind::Mul, m);
+    }
+    // Forward multipliers between stages (3 of them).
+    for i in 0..3 {
+        b = b.node(format!("k3_{i}"), OpKind::Mul, m);
+    }
+    // Output section: scaling multipliers and combiners.
+    b = b
+        .node("mo1", OpKind::Mul, m)
+        .node("mo2", OpKind::Mul, m)
+        .node("mo3", OpKind::Mul, m)
+        .node("mo4", OpKind::Mul, m)
+        .node("ao1", OpKind::Add, a)
+        .node("ao2", OpKind::Add, a)
+        .node("ao3", OpKind::Add, a);
+
+    for i in 0..4 {
+        let (s1, s2, k1, k2) = (
+            format!("s1_{i}"),
+            format!("s2_{i}"),
+            format!("k1_{i}"),
+            format!("k2_{i}"),
+        );
+        // Reflection product from last iteration's state feeds the
+        // forward adder through a register.
+        b = b.edge(&s2, &k1, 1).edge(&k1, &s1, 1);
+        // State update: s2 = k2 * (state two iterations back) + forward
+        // value one iteration back.
+        b = b.edge(&s2, &k2, 2).wire(&k2, &s2).edge(&s1, &s2, 1);
+    }
+    // Forward cascade through the k3 multipliers (the critical path).
+    for i in 0..3 {
+        b = b
+            .wire(&format!("s1_{i}"), &format!("k3_{i}"))
+            .wire(&format!("k3_{i}"), &format!("s1_{}", i + 1));
+    }
+    // Output section: taps through registers, plus the binding
+    // recurrence ao1 -> ao2 -> mo1 -> (2 registers) -> ao1 of ratio 2.
+    b = b
+        .edge("s2_0", "mo2", 1)
+        .edge("s2_1", "mo3", 1)
+        .edge("s2_2", "mo4", 1)
+        .wire("mo2", "ao3")
+        .wire("mo3", "ao3")
+        .wire("mo4", "ao3")
+        .edge("s2_3", "ao1", 1)
+        .wire("ao1", "ao2")
+        .wire("ao2", "mo1")
+        .edge("mo1", "ao1", 2);
+
+    b.build().expect("the lattice DFG is valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rotsched_dfg::analysis::{critical_path_length, iteration_bound, max_cycle_ratio, Ratio};
+
+    #[test]
+    fn table_1_characteristics() {
+        // Table 1: 4-stage lattice — 15 mults, 11 adds, CP 10, IB 2.
+        let g = lattice4(&TimingModel::paper());
+        let mults = g
+            .nodes()
+            .filter(|(_, n)| n.op().is_multiplicative())
+            .count();
+        let adds = g.nodes().filter(|(_, n)| n.op().is_additive()).count();
+        assert_eq!(mults, 15);
+        assert_eq!(adds, 11);
+        assert_eq!(critical_path_length(&g, None).unwrap(), 10);
+        assert_eq!(iteration_bound(&g).unwrap(), Some(2));
+    }
+
+    #[test]
+    fn binding_cycle_is_the_output_recurrence() {
+        let g = lattice4(&TimingModel::paper());
+        assert_eq!(max_cycle_ratio(&g).unwrap(), Some(Ratio::new(4, 2)));
+    }
+
+    #[test]
+    fn graph_is_valid() {
+        lattice4(&TimingModel::paper()).validate().unwrap();
+        lattice4(&TimingModel::unit()).validate().unwrap();
+    }
+}

@@ -1,0 +1,86 @@
+//! Timing models for the benchmark graphs.
+//!
+//! The paper's experiments assume an adder takes 40 ns, a multiplier
+//! 80 ns, and a control step is 50 ns (40 ns compute + 10 ns latch):
+//! an addition fits in **1** control step and a multiplication needs
+//! **2**. The worked examples of Figures 1–5 instead use *unit-time*
+//! operations. Both models are provided; benchmark constructors take one
+//! as a parameter.
+
+use rotsched_dfg::OpKind;
+
+/// Maps operation kinds to computation times in control steps.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct TimingModel {
+    /// Control steps for adder-class operations (add/sub/cmp/shift).
+    pub add_steps: u32,
+    /// Control steps for multiplier-class operations (mul/div).
+    pub mult_steps: u32,
+}
+
+impl TimingModel {
+    /// Unit-time operations, as in the paper's worked examples
+    /// (Figures 1–5): every operation takes one control step.
+    #[must_use]
+    pub const fn unit() -> Self {
+        TimingModel {
+            add_steps: 1,
+            mult_steps: 1,
+        }
+    }
+
+    /// The paper's experimental model (Section 6): 40 ns adds and 80 ns
+    /// multiplies in 50 ns control steps — 1 and 2 steps respectively.
+    #[must_use]
+    pub const fn paper() -> Self {
+        TimingModel {
+            add_steps: 1,
+            mult_steps: 2,
+        }
+    }
+
+    /// The computation time of one operation kind under this model.
+    #[must_use]
+    pub const fn steps(&self, op: OpKind) -> u32 {
+        if op.is_multiplicative() {
+            self.mult_steps
+        } else {
+            self.add_steps
+        }
+    }
+}
+
+impl Default for TimingModel {
+    /// Defaults to [`TimingModel::paper`], the model behind Tables 1–3.
+    fn default() -> Self {
+        TimingModel::paper()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_model_matches_section_6() {
+        let t = TimingModel::paper();
+        assert_eq!(t.steps(OpKind::Add), 1);
+        assert_eq!(t.steps(OpKind::Sub), 1);
+        assert_eq!(t.steps(OpKind::Cmp), 1);
+        assert_eq!(t.steps(OpKind::Mul), 2);
+        assert_eq!(t.steps(OpKind::Div), 2);
+    }
+
+    #[test]
+    fn unit_model_is_uniform() {
+        let t = TimingModel::unit();
+        for op in OpKind::ALL {
+            assert_eq!(t.steps(op), 1);
+        }
+    }
+
+    #[test]
+    fn default_is_paper() {
+        assert_eq!(TimingModel::default(), TimingModel::paper());
+    }
+}

@@ -1,0 +1,37 @@
+//! Golden-fixture regression tests: the benchmark graphs serialized in
+//! the text format are checked in under `fixtures/`; any structural
+//! change to a benchmark (which would silently invalidate the
+//! paper-vs-measured record in EXPERIMENTS.md) fails here.
+
+use rotsched_benchmarks::{all_benchmarks, TimingModel};
+use rotsched_dfg::text;
+
+fn fixture_path(name: &str) -> String {
+    let slug = name.to_lowercase().replace(' ', "-");
+    format!("{}/fixtures/{slug}.dfg", env!("CARGO_MANIFEST_DIR"))
+}
+
+#[test]
+fn benchmarks_match_their_golden_fixtures() {
+    for (name, g) in all_benchmarks(&TimingModel::paper()) {
+        let expected = std::fs::read_to_string(fixture_path(name))
+            .unwrap_or_else(|e| panic!("missing fixture for {name}: {e}"));
+        let actual = text::to_text(&g);
+        assert_eq!(
+            actual, expected,
+            "{name}: benchmark structure changed; regenerate the fixture \
+             and re-validate EXPERIMENTS.md if this is intentional"
+        );
+    }
+}
+
+#[test]
+fn fixtures_parse_back_to_valid_graphs() {
+    for (name, g) in all_benchmarks(&TimingModel::paper()) {
+        let content = std::fs::read_to_string(fixture_path(name)).unwrap();
+        let parsed = text::parse(&content).unwrap_or_else(|e| panic!("{name}: {e}"));
+        assert_eq!(parsed.node_count(), g.node_count(), "{name}");
+        assert_eq!(parsed.edge_count(), g.edge_count(), "{name}");
+        parsed.validate().unwrap();
+    }
+}

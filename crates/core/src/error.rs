@@ -1,0 +1,120 @@
+//! Error type for rotation scheduling.
+
+use core::fmt;
+
+use rotsched_dfg::{DfgError, NodeId};
+use rotsched_sched::{SchedError, SimulationError};
+
+/// Errors produced by rotation scheduling.
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum RotationError {
+    /// The input graph is invalid (zero-delay cycle, zero-time node).
+    Graph(DfgError),
+    /// The underlying scheduler failed.
+    Sched(SchedError),
+    /// End-to-end simulation of a pipeline found a violation.
+    Simulation(SimulationError),
+    /// A requested rotation set is not down-rotatable (Property 1): some
+    /// path from outside the set into it carries no delay.
+    NotRotatable {
+        /// A witness node inside the set with a delay-free incoming path.
+        node: NodeId,
+    },
+    /// A rotation of size zero (or at least the schedule length when the
+    /// schedule is a single step) was requested.
+    InvalidSize {
+        /// The requested size.
+        size: u32,
+        /// The current schedule length.
+        schedule_length: u32,
+    },
+    /// No retiming realizes the final schedule — internal invariant
+    /// violation; rotation always maintains realizability.
+    Unrealizable,
+}
+
+impl fmt::Display for RotationError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RotationError::Graph(e) => write!(f, "invalid graph: {e}"),
+            RotationError::Sched(e) => write!(f, "scheduling failed: {e}"),
+            RotationError::Simulation(e) => write!(f, "simulation failed: {e}"),
+            RotationError::NotRotatable { node } => write!(
+                f,
+                "set is not down-rotatable: node {node} is reached without a delay from outside the set"
+            ),
+            RotationError::InvalidSize {
+                size,
+                schedule_length,
+            } => write!(
+                f,
+                "rotation size {size} is invalid for a schedule of length {schedule_length}"
+            ),
+            RotationError::Unrealizable => {
+                write!(f, "no retiming realizes the schedule (internal invariant violated)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RotationError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            RotationError::Graph(e) => Some(e),
+            RotationError::Sched(e) => Some(e),
+            RotationError::Simulation(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<DfgError> for RotationError {
+    fn from(e: DfgError) -> Self {
+        RotationError::Graph(e)
+    }
+}
+
+impl From<SchedError> for RotationError {
+    fn from(e: SchedError) -> Self {
+        RotationError::Sched(e)
+    }
+}
+
+impl From<SimulationError> for RotationError {
+    fn from(e: SimulationError) -> Self {
+        RotationError::Simulation(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_informative() {
+        let e = RotationError::InvalidSize {
+            size: 9,
+            schedule_length: 4,
+        };
+        assert!(e.to_string().contains("size 9"));
+        let e = RotationError::NotRotatable {
+            node: NodeId::from_index(3),
+        };
+        assert!(e.to_string().contains("n3"));
+    }
+
+    #[test]
+    fn conversions_wrap_sources() {
+        let g: RotationError = DfgError::ZeroTimeNode {
+            node: NodeId::from_index(0),
+        }
+        .into();
+        assert!(matches!(g, RotationError::Graph(_)));
+        let s: RotationError = SchedError::Unscheduled {
+            node: NodeId::from_index(0),
+        }
+        .into();
+        assert!(matches!(s, RotationError::Sched(_)));
+    }
+}

@@ -1,0 +1,259 @@
+//! The two rotation-scheduling heuristics of Section 5.
+//!
+//! * **Heuristic 1** runs independent rotation phases of sizes `1..=β`,
+//!   each restarting from the initial list schedule of the original DFG.
+//!   Its behavior is predictable and lets one study the effect of
+//!   rotation size on convergence.
+//! * **Heuristic 2** chains phases in *decreasing* size order, feeding
+//!   each phase's final rotation function into a fresh `FullSchedule` of
+//!   the retimed graph — "these rotation functions give us more faces of
+//!   the input DFG". It found strictly better schedules than Heuristic 1
+//!   in one of the paper's experiments (elliptic filter, 2A 1Mp) and is
+//!   the heuristic behind the reported tables.
+
+use rotsched_dfg::Dfg;
+use rotsched_sched::{ListScheduler, ResourceSet};
+
+use crate::error::RotationError;
+use crate::phase::{rotation_phase, BestSet, PhaseStats};
+use crate::rotate::{initial_state, RotationState};
+
+/// Tuning knobs shared by both heuristics.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct HeuristicConfig {
+    /// `α`: down-rotations per phase.
+    pub rotations_per_phase: usize,
+    /// `β`: the range of phase sizes (`1..=β` for Heuristic 1, `β..=1`
+    /// descending for Heuristic 2). `None` uses the initial schedule
+    /// length, the paper's default.
+    pub max_size: Option<u32>,
+    /// How many distinct best schedules to retain in `Q`.
+    pub keep_best: usize,
+    /// How many times Heuristic 2 repeats its full descending size
+    /// sweep, each round continuing from the previous round's
+    /// accumulated rotation function. The paper's description is one
+    /// round; extra rounds explore more "faces of the input DFG" for
+    /// hard instances (Heuristic 1 ignores this knob).
+    pub rounds: usize,
+}
+
+impl Default for HeuristicConfig {
+    fn default() -> Self {
+        HeuristicConfig {
+            rotations_per_phase: 32,
+            max_size: None,
+            keep_best: 16,
+            rounds: 4,
+        }
+    }
+}
+
+/// The result of a heuristic run.
+#[derive(Clone, Debug)]
+pub struct HeuristicOutcome {
+    /// Best (wrapped) schedule length found.
+    pub best_length: u32,
+    /// The distinct best schedules (`Q`), each with its rotation
+    /// function.
+    pub best: Vec<RotationState>,
+    /// Per-phase statistics in execution order, for convergence studies.
+    pub phases: Vec<PhaseStats>,
+    /// Total rotations performed across all phases.
+    pub total_rotations: usize,
+}
+
+impl HeuristicOutcome {
+    fn from_parts(best: BestSet, phases: Vec<PhaseStats>) -> Self {
+        HeuristicOutcome {
+            best_length: best.length,
+            best: best.schedules,
+            total_rotations: phases.iter().map(|p| p.rotations).sum(),
+            phases,
+        }
+    }
+}
+
+/// Heuristic 1: independent phases of sizes `1..=β`, each restarting
+/// from the initial schedule and the zero rotation function.
+///
+/// # Errors
+///
+/// Propagates graph and scheduling failures.
+pub fn heuristic1(
+    dfg: &Dfg,
+    scheduler: &ListScheduler,
+    resources: &ResourceSet,
+    config: &HeuristicConfig,
+) -> Result<HeuristicOutcome, RotationError> {
+    let init = initial_state(dfg, scheduler, resources)?;
+    let mut best = BestSet::new(config.keep_best);
+    best.offer(init.wrapped_length(dfg, resources)?, &init);
+
+    let beta = config.max_size.unwrap_or_else(|| init.length(dfg)).max(1);
+    let mut phases = Vec::new();
+    for size in 1..=beta {
+        let mut state = init.clone();
+        let stats = rotation_phase(
+            dfg,
+            scheduler,
+            resources,
+            &mut state,
+            &mut best,
+            size,
+            config.rotations_per_phase,
+        )?;
+        phases.push(stats);
+    }
+    Ok(HeuristicOutcome::from_parts(best, phases))
+}
+
+/// Heuristic 2: iterative compaction with phases of decreasing size
+/// `β, β−1, …, 1`; each phase continues from the previous phase's final
+/// rotation function via a fresh `FullSchedule` of the retimed graph.
+///
+/// # Errors
+///
+/// Propagates graph and scheduling failures.
+pub fn heuristic2(
+    dfg: &Dfg,
+    scheduler: &ListScheduler,
+    resources: &ResourceSet,
+    config: &HeuristicConfig,
+) -> Result<HeuristicOutcome, RotationError> {
+    let init = initial_state(dfg, scheduler, resources)?;
+    let mut best = BestSet::new(config.keep_best);
+    best.offer(init.wrapped_length(dfg, resources)?, &init);
+
+    let beta = config.max_size.unwrap_or_else(|| init.length(dfg)).max(1);
+    let mut phases = Vec::new();
+    let mut state = init;
+    for _round in 0..config.rounds.max(1) {
+        for size in (1..=beta).rev() {
+            let stats = rotation_phase(
+                dfg,
+                scheduler,
+                resources,
+                &mut state,
+                &mut best,
+                size,
+                config.rotations_per_phase,
+            )?;
+            phases.push(stats);
+
+            // Find a new initial schedule for the next phase from the
+            // accumulated rotation function: FullSchedule(G_R).
+            let schedule = scheduler.schedule(dfg, Some(&state.retiming), resources)?;
+            state = RotationState {
+                retiming: state.retiming.clone(),
+                schedule,
+            };
+            let wrapped = state.wrapped_length(dfg, resources)?;
+            best.offer(wrapped, &state);
+        }
+    }
+    Ok(HeuristicOutcome::from_parts(best, phases))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rotsched_dfg::analysis::iteration_bound;
+    use rotsched_dfg::{DfgBuilder, OpKind};
+    use rotsched_sched::validate::realizing_retiming;
+
+    fn ring(n: usize, delays: u32) -> Dfg {
+        let names: Vec<String> = (0..n).map(|i| format!("v{i}")).collect();
+        let refs: Vec<&str> = names.iter().map(String::as_str).collect();
+        DfgBuilder::new("ring")
+            .nodes("v", n, OpKind::Add, 1)
+            .chain(&refs)
+            .edge(&format!("v{}", n - 1), "v0", delays)
+            .build()
+            .unwrap()
+    }
+
+    fn config() -> HeuristicConfig {
+        HeuristicConfig {
+            rotations_per_phase: 16,
+            max_size: None,
+            keep_best: 8,
+            rounds: 1,
+        }
+    }
+
+    #[test]
+    fn heuristic1_reaches_the_combined_lower_bound_on_a_ring() {
+        // 6 unit ops, 3 delays: IB = 2, but 2 adders bound the length at
+        // ceil(6/2) = 3 — the binding constraint here.
+        let g = ring(6, 3);
+        let res = ResourceSet::adders_multipliers(2, 0, false);
+        let out = heuristic1(&g, &ListScheduler::default(), &res, &config()).unwrap();
+        let ib = iteration_bound(&g).unwrap().unwrap();
+        assert_eq!(ib, 2);
+        assert_eq!(out.best_length, 3);
+        assert!(!out.best.is_empty());
+    }
+
+    #[test]
+    fn heuristic1_reaches_the_iteration_bound_with_ample_resources() {
+        let g = ring(6, 3);
+        let res = ResourceSet::adders_multipliers(3, 0, false);
+        let out = heuristic1(&g, &ListScheduler::default(), &res, &config()).unwrap();
+        assert_eq!(out.best_length, 2, "IB = 6/3 = 2 with 3 adders");
+    }
+
+    #[test]
+    fn heuristic2_reaches_the_combined_lower_bound_on_a_ring() {
+        let g = ring(6, 3);
+        let res = ResourceSet::adders_multipliers(2, 0, false);
+        let out = heuristic2(&g, &ListScheduler::default(), &res, &config()).unwrap();
+        assert_eq!(out.best_length, 3);
+    }
+
+    #[test]
+    fn resource_bound_limits_the_result() {
+        // 6 adds, 1 adder: no schedule can beat 6 steps regardless of
+        // delays.
+        let g = ring(6, 6);
+        let res = ResourceSet::adders_multipliers(1, 0, false);
+        let out = heuristic2(&g, &ListScheduler::default(), &res, &config()).unwrap();
+        assert_eq!(out.best_length, 6);
+    }
+
+    #[test]
+    fn every_best_schedule_is_statically_legal() {
+        let g = ring(5, 2);
+        let res = ResourceSet::adders_multipliers(2, 0, false);
+        let out = heuristic2(&g, &ListScheduler::default(), &res, &config()).unwrap();
+        for st in &out.best {
+            let r = realizing_retiming(&g, &st.schedule)
+                .expect("best schedules are static schedules of G");
+            assert!(r.is_legal(&g));
+        }
+    }
+
+    #[test]
+    fn phases_and_rotation_counts_are_reported() {
+        let g = ring(4, 2);
+        let res = ResourceSet::adders_multipliers(2, 0, false);
+        let out = heuristic1(&g, &ListScheduler::default(), &res, &config()).unwrap();
+        assert_eq!(out.phases.len(), 4, "one phase per size 1..=initial length");
+        assert_eq!(
+            out.total_rotations,
+            out.phases.iter().map(|p| p.rotations).sum::<usize>()
+        );
+    }
+
+    #[test]
+    fn heuristics_never_worsen_the_initial_schedule() {
+        for delays in 1..=4 {
+            let g = ring(5, delays);
+            let res = ResourceSet::adders_multipliers(2, 0, false);
+            let init_len = initial_state(&g, &ListScheduler::default(), &res)
+                .unwrap()
+                .length(&g);
+            let out = heuristic2(&g, &ListScheduler::default(), &res, &config()).unwrap();
+            assert!(out.best_length <= init_len);
+        }
+    }
+}

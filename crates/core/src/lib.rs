@@ -1,0 +1,73 @@
+//! # rotsched-core — rotation scheduling
+//!
+//! A from-scratch implementation of **Rotation Scheduling: A Loop
+//! Pipelining Algorithm** (Chao, LaPaugh, Sha — DAC 1993):
+//! resource-constrained scheduling of loops with inter-iteration
+//! dependencies, modeled as cyclic data-flow graphs.
+//!
+//! The central idea: a legal schedule's first `i` control steps always
+//! form a *down-rotatable* set (Property 1). Rotating them down — an
+//! implicit retiming recorded in a single node-labeling function — and
+//! *incrementally rescheduling only those nodes* on the implicitly
+//! retimed DAG compacts the schedule step by step, naturally producing a
+//! loop pipeline. No retimed graph is ever constructed; precedence is
+//! read through the rotation function.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use rotsched_core::RotationScheduler;
+//! use rotsched_dfg::{DfgBuilder, OpKind};
+//! use rotsched_sched::ResourceSet;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let g = DfgBuilder::new("recurrence")
+//!     .nodes("v", 4, OpKind::Add, 1)
+//!     .chain(&["v0", "v1", "v2", "v3"])
+//!     .edge("v3", "v0", 2)
+//!     .build()?;
+//!
+//! let rs = RotationScheduler::new(&g, ResourceSet::adders_multipliers(2, 0, false));
+//! let solved = rs.solve()?;
+//! assert_eq!(solved.length, 2);           // = the iteration bound
+//! let report = rs.verify(&solved.state, 100)?; // end-to-end simulation
+//! assert!(report.speedup() > 1.5);
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! ## Module map
+//!
+//! * [`rotate`] — down-/up-rotation operators, rotatability checks
+//!   (Property 1), and the `DownRotate` procedure (Section 3.1).
+//! * [`phase`] — rotation phases with best-set tracking (Section 5).
+//! * [`heuristics`] — Heuristic 1 (independent phases) and Heuristic 2
+//!   (chained, decreasing sizes) behind the paper's tables.
+//! * [`depth`] — pipeline-depth minimization via the shortest-path dual
+//!   (Section 3.2, Theorem 2, Lemma 3) and loop-schedule expansion.
+//! * [`RotationScheduler`] — the high-level facade.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod depth;
+mod error;
+pub mod heuristics;
+pub mod nested;
+pub mod phase;
+pub mod rate;
+pub mod rotate;
+pub mod rotate_chained;
+mod scheduler;
+
+pub use error::RotationError;
+pub use heuristics::{heuristic1, heuristic2, HeuristicConfig, HeuristicOutcome};
+pub use phase::{rotation_phase, BestSet, PhaseStats};
+pub use rotate::{
+    down_rotate, initial_state, is_down_rotatable, up_rotate, DownRotateOutcome, RotationState,
+};
+pub use rotate_chained::{
+    down_rotate_chained, initial_chained_state, ChainedRotationState,
+};
+pub use rate::{rate_optimal, unfold_and_rotate, RateResult};
+pub use scheduler::{RotationScheduler, SolvedPipeline};

@@ -1,0 +1,230 @@
+//! Rotation phases (Section 5): a bounded sequence of same-size
+//! down-rotations with best-schedule tracking.
+//!
+//! A *rotation phase of size `i`* performs `α` down-rotations of size
+//! `i`, halving the size whenever it reaches the current schedule length
+//! (a rotation of the full schedule is illegal). The phase maintains the
+//! shortest length seen (`L_opt`) and the set `Q` of distinct schedules
+//! achieving it.
+
+use rotsched_dfg::Dfg;
+use rotsched_sched::{ListScheduler, ResourceSet};
+
+use crate::error::RotationError;
+use crate::rotate::{down_rotate, RotationState};
+
+/// A schedule achieving the best known length, with its rotation
+/// function.
+pub type BestSchedule = RotationState;
+
+/// The set of best schedules found so far (`Q` in the paper), with the
+/// shortest length (`L_opt`).
+#[derive(Clone, Debug)]
+pub struct BestSet {
+    /// Shortest (wrapped) schedule length seen.
+    pub length: u32,
+    /// Distinct states achieving it, capped at a configurable size.
+    pub schedules: Vec<BestSchedule>,
+    /// Maximum number of schedules retained.
+    pub capacity: usize,
+}
+
+impl BestSet {
+    /// An empty set with the given retention capacity.
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        BestSet {
+            length: u32::MAX,
+            schedules: Vec::new(),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Offers a state with the given (wrapped) length; keeps it when it
+    /// ties or improves the best, dropping longer ones. Returns `true`
+    /// when the offer strictly improved the best length.
+    pub fn offer(&mut self, length: u32, state: &RotationState) -> bool {
+        if length < self.length {
+            self.length = length;
+            self.schedules.clear();
+            self.schedules.push(state.clone());
+            true
+        } else {
+            if length == self.length
+                && self.schedules.len() < self.capacity
+                && !self.schedules.iter().any(|s| s.schedule == state.schedule)
+            {
+                self.schedules.push(state.clone());
+            }
+            false
+        }
+    }
+
+    /// The number of distinct best schedules retained.
+    #[must_use]
+    pub fn count(&self) -> usize {
+        self.schedules.len()
+    }
+}
+
+/// Statistics from one rotation phase, for convergence studies
+/// (Section 5 discusses convergence speed vs. rotation size).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct PhaseStats {
+    /// The size the phase was asked to run at.
+    pub requested_size: u32,
+    /// Down-rotations actually performed.
+    pub rotations: usize,
+    /// Wrapped schedule length after each rotation.
+    pub lengths: Vec<u32>,
+    /// The first rotation index (1-based) at which the phase achieved its
+    /// own minimum length, if any rotation was performed.
+    pub first_optimum_at: Option<usize>,
+}
+
+/// Runs `RotationPhase(S_init, L_opt, Q, G, i, α)`: `alpha` rotations of
+/// size `i` starting from `state`, halving the effective size whenever it
+/// reaches the schedule length.
+///
+/// `state` is advanced in place; improvements are recorded into `best`.
+/// Lengths are measured as *wrapped* lengths (Section 4's definition).
+///
+/// # Errors
+///
+/// Propagates scheduling failures. Invalid sizes cannot occur: the size
+/// is halved below the schedule length first, and a schedule of length 1
+/// terminates the phase early.
+pub fn rotation_phase(
+    dfg: &Dfg,
+    scheduler: &ListScheduler,
+    resources: &ResourceSet,
+    state: &mut RotationState,
+    best: &mut BestSet,
+    size: u32,
+    alpha: usize,
+) -> Result<PhaseStats, RotationError> {
+    let mut stats = PhaseStats {
+        requested_size: size,
+        ..PhaseStats::default()
+    };
+    let mut min_seen = u32::MAX;
+    for j in 0..alpha {
+        let length = state.schedule.length(dfg);
+        if length <= 1 {
+            break; // nothing left to rotate
+        }
+        let mut effective = size;
+        while effective >= length {
+            effective = effective.div_ceil(2);
+        }
+        if effective == 0 {
+            break;
+        }
+        down_rotate(dfg, scheduler, resources, state, effective)?;
+        let wrapped = state.wrapped_length(dfg, resources)?;
+        stats.rotations += 1;
+        stats.lengths.push(wrapped);
+        if wrapped < min_seen {
+            min_seen = wrapped;
+            stats.first_optimum_at = Some(j + 1);
+        }
+        best.offer(wrapped, state);
+    }
+    Ok(stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rotate::initial_state;
+    use rotsched_dfg::{DfgBuilder, OpKind};
+
+    fn ring(delays: u32) -> Dfg {
+        DfgBuilder::new("ring")
+            .nodes("v", 4, OpKind::Add, 1)
+            .chain(&["v0", "v1", "v2", "v3"])
+            .edge("v3", "v0", delays)
+            .build()
+            .unwrap()
+    }
+
+    fn setup() -> (Dfg, ListScheduler, ResourceSet) {
+        (
+            ring(2),
+            ListScheduler::default(),
+            ResourceSet::adders_multipliers(2, 0, false),
+        )
+    }
+
+    #[test]
+    fn size_one_phase_improves_but_can_plateau() {
+        // Section 5: "If the rotation size is too small, the corresponding
+        // rotation phase may never converge to an optimal schedule
+        // length." Size-1 rotations on this ring cycle at length 3.
+        let (g, sched, res) = setup();
+        let mut st = initial_state(&g, &sched, &res).unwrap();
+        let mut best = BestSet::new(8);
+        best.offer(st.wrapped_length(&g, &res).unwrap(), &st);
+        assert_eq!(best.length, 4);
+        let stats = rotation_phase(&g, &sched, &res, &mut st, &mut best, 1, 8).unwrap();
+        assert_eq!(stats.rotations, 8);
+        assert!(best.length <= 3, "size-1 rotation improves 4 -> 3");
+    }
+
+    #[test]
+    fn size_two_phase_reaches_the_iteration_bound() {
+        // A single size-2 rotation moves {v0, v1} together, producing the
+        // spread retiming r = [1,1,0,0] and the optimal 2-step kernel.
+        let (g, sched, res) = setup();
+        let mut st = initial_state(&g, &sched, &res).unwrap();
+        let mut best = BestSet::new(8);
+        best.offer(st.wrapped_length(&g, &res).unwrap(), &st);
+        rotation_phase(&g, &sched, &res, &mut st, &mut best, 2, 8).unwrap();
+        assert_eq!(best.length, 2, "iteration bound 4/2 = 2");
+    }
+
+    #[test]
+    fn oversized_phase_halves_down() {
+        let (g, sched, res) = setup();
+        let mut st = initial_state(&g, &sched, &res).unwrap();
+        let mut best = BestSet::new(8);
+        // Size 100 >> length 4: must halve to below the length and still
+        // perform rotations.
+        let stats = rotation_phase(&g, &sched, &res, &mut st, &mut best, 100, 4).unwrap();
+        assert_eq!(stats.rotations, 4);
+        assert!(best.length <= 4);
+    }
+
+    #[test]
+    fn best_set_dedupes_and_caps() {
+        let (g, sched, res) = setup();
+        let st = initial_state(&g, &sched, &res).unwrap();
+        let mut best = BestSet::new(2);
+        assert!(best.offer(4, &st));
+        assert!(!best.offer(4, &st), "same schedule is not re-added");
+        assert_eq!(best.count(), 1);
+        let mut st2 = st.clone();
+        st2.schedule.shift(1); // a (trivially) different schedule object
+        assert!(!best.offer(4, &st2));
+        assert_eq!(best.count(), 2);
+        let mut st3 = st.clone();
+        st3.schedule.shift(2);
+        best.offer(4, &st3);
+        assert_eq!(best.count(), 2, "capacity caps the set");
+        // An improvement clears the set.
+        assert!(best.offer(3, &st));
+        assert_eq!(best.count(), 1);
+        assert_eq!(best.length, 3);
+    }
+
+    #[test]
+    fn stats_track_lengths_per_rotation() {
+        let (g, sched, res) = setup();
+        let mut st = initial_state(&g, &sched, &res).unwrap();
+        let mut best = BestSet::new(4);
+        let stats = rotation_phase(&g, &sched, &res, &mut st, &mut best, 1, 5).unwrap();
+        assert_eq!(stats.lengths.len(), stats.rotations);
+        assert!(stats.first_optimum_at.is_some());
+        assert!(stats.lengths.iter().min().copied().unwrap() == best.length);
+    }
+}

@@ -1,0 +1,264 @@
+//! The high-level rotation-scheduling API.
+//!
+//! [`RotationScheduler`] bundles a graph reference, a resource set, a
+//! DAG scheduler and a [`HeuristicConfig`], and exposes the whole
+//! pipeline — initial schedule, individual rotations, both heuristics,
+//! depth minimization, loop expansion, and end-to-end simulation — as
+//! methods. It is the type downstream users interact with; the
+//! lower-level functions remain available for research code that wants
+//! to compose its own heuristics.
+
+use rotsched_dfg::Dfg;
+use rotsched_sched::{
+    simulate, ListScheduler, LoopSchedule, PriorityPolicy, ResourceSet, SimulationReport,
+};
+
+use crate::depth::{into_loop_schedule, minimized_depth};
+use crate::error::RotationError;
+use crate::heuristics::{heuristic1, heuristic2, HeuristicConfig, HeuristicOutcome};
+use crate::rotate::{down_rotate, initial_state, up_rotate, DownRotateOutcome, RotationState};
+
+/// A solved instance: the best pipeline found plus its key metrics.
+#[derive(Clone, Debug)]
+pub struct SolvedPipeline {
+    /// The wrapped schedule length (initiation interval).
+    pub length: u32,
+    /// The minimized pipeline depth (the parenthesized numbers in the
+    /// paper's tables).
+    pub depth: u32,
+    /// The winning state (schedule + rotation function).
+    pub state: RotationState,
+    /// The full heuristic outcome (all best schedules, per-phase stats).
+    pub outcome: HeuristicOutcome,
+}
+
+/// Rotation scheduling, end to end.
+///
+/// # Examples
+///
+/// ```
+/// use rotsched_core::RotationScheduler;
+/// use rotsched_dfg::{DfgBuilder, OpKind};
+/// use rotsched_sched::ResourceSet;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// // A 4-op recurrence with 2 registers: iteration bound 2.
+/// let g = DfgBuilder::new("ring")
+///     .nodes("v", 4, OpKind::Add, 1)
+///     .chain(&["v0", "v1", "v2", "v3"])
+///     .edge("v3", "v0", 2)
+///     .build()?;
+/// let rs = RotationScheduler::new(&g, ResourceSet::adders_multipliers(2, 0, false));
+/// let solved = rs.solve()?;
+/// assert_eq!(solved.length, 2); // pipelined down from the 4-step DAG
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, Debug)]
+pub struct RotationScheduler<'a> {
+    dfg: &'a Dfg,
+    resources: ResourceSet,
+    scheduler: ListScheduler,
+    config: HeuristicConfig,
+}
+
+impl<'a> RotationScheduler<'a> {
+    /// Creates a scheduler for `dfg` under `resources` with the paper's
+    /// defaults (descendant-count list scheduling, Heuristic 2 with
+    /// phase sizes down from the initial schedule length).
+    #[must_use]
+    pub fn new(dfg: &'a Dfg, resources: ResourceSet) -> Self {
+        RotationScheduler {
+            dfg,
+            resources,
+            scheduler: ListScheduler::default(),
+            config: HeuristicConfig::default(),
+        }
+    }
+
+    /// Replaces the list-scheduling priority policy.
+    #[must_use]
+    pub fn with_policy(mut self, policy: PriorityPolicy) -> Self {
+        self.scheduler = ListScheduler::new(policy);
+        self
+    }
+
+    /// Replaces the heuristic configuration.
+    #[must_use]
+    pub fn with_config(mut self, config: HeuristicConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// The resource set in use.
+    #[must_use]
+    pub fn resources(&self) -> &ResourceSet {
+        &self.resources
+    }
+
+    /// The initial (unpipelined) list schedule of the DAG — the paper's
+    /// `FullSchedule(G)` starting point.
+    ///
+    /// # Errors
+    ///
+    /// Propagates graph and scheduling failures.
+    pub fn initial(&self) -> Result<RotationState, RotationError> {
+        initial_state(self.dfg, &self.scheduler, &self.resources)
+    }
+
+    /// Performs one down-rotation of `size` steps on `state`.
+    ///
+    /// # Errors
+    ///
+    /// See [`down_rotate`].
+    pub fn down_rotate(
+        &self,
+        state: &mut RotationState,
+        size: u32,
+    ) -> Result<DownRotateOutcome, RotationError> {
+        down_rotate(self.dfg, &self.scheduler, &self.resources, state, size)
+    }
+
+    /// Performs one up-rotation of `size` steps on `state`.
+    ///
+    /// # Errors
+    ///
+    /// See [`up_rotate`].
+    pub fn up_rotate(
+        &self,
+        state: &mut RotationState,
+        size: u32,
+    ) -> Result<DownRotateOutcome, RotationError> {
+        up_rotate(self.dfg, &self.scheduler, &self.resources, state, size)
+    }
+
+    /// Runs Heuristic 1 (independent phases).
+    ///
+    /// # Errors
+    ///
+    /// Propagates graph and scheduling failures.
+    pub fn heuristic1(&self) -> Result<HeuristicOutcome, RotationError> {
+        heuristic1(self.dfg, &self.scheduler, &self.resources, &self.config)
+    }
+
+    /// Runs Heuristic 2 (chained phases of decreasing size) — the
+    /// heuristic behind the paper's reported results.
+    ///
+    /// # Errors
+    ///
+    /// Propagates graph and scheduling failures.
+    pub fn heuristic2(&self) -> Result<HeuristicOutcome, RotationError> {
+        heuristic2(self.dfg, &self.scheduler, &self.resources, &self.config)
+    }
+
+    /// Runs Heuristic 2 and packages the best schedule with its
+    /// minimized pipeline depth.
+    ///
+    /// # Errors
+    ///
+    /// Propagates graph and scheduling failures;
+    /// [`RotationError::Unrealizable`] cannot occur for states produced
+    /// by rotation.
+    pub fn solve(&self) -> Result<SolvedPipeline, RotationError> {
+        let outcome = self.heuristic2()?;
+        let state = outcome
+            .best
+            .first()
+            .cloned()
+            .expect("heuristics always retain at least the initial schedule");
+        let depth = minimized_depth(self.dfg, &state)?;
+        Ok(SolvedPipeline {
+            length: outcome.best_length,
+            depth,
+            state,
+            outcome,
+        })
+    }
+
+    /// Expands a state into an executable [`LoopSchedule`] (wrapped
+    /// kernel + shallow retiming).
+    ///
+    /// # Errors
+    ///
+    /// See [`into_loop_schedule`].
+    pub fn loop_schedule(&self, state: &RotationState) -> Result<LoopSchedule, RotationError> {
+        into_loop_schedule(self.dfg, &self.resources, state)
+    }
+
+    /// Simulates a state end-to-end for `iterations` iterations,
+    /// verifying operand availability, resource limits, and functional
+    /// equivalence with sequential execution.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first simulation violation; a passing run certifies
+    /// the pipeline.
+    pub fn verify(
+        &self,
+        state: &RotationState,
+        iterations: u32,
+    ) -> Result<SimulationReport, RotationError> {
+        let ls = self.loop_schedule(state)?;
+        Ok(simulate(self.dfg, &ls, &self.resources, iterations)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rotsched_dfg::{DfgBuilder, OpKind};
+
+    fn ring() -> Dfg {
+        DfgBuilder::new("ring")
+            .nodes("v", 4, OpKind::Add, 1)
+            .chain(&["v0", "v1", "v2", "v3"])
+            .edge("v3", "v0", 2)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn solve_finds_the_iteration_bound() {
+        let g = ring();
+        let rs = RotationScheduler::new(&g, ResourceSet::adders_multipliers(2, 0, false));
+        let solved = rs.solve().unwrap();
+        assert_eq!(solved.length, 2);
+        assert!(solved.depth <= 2);
+    }
+
+    #[test]
+    fn verify_passes_on_the_solved_pipeline() {
+        let g = ring();
+        let rs = RotationScheduler::new(&g, ResourceSet::adders_multipliers(2, 0, false));
+        let solved = rs.solve().unwrap();
+        let report = rs.verify(&solved.state, 10).unwrap();
+        assert_eq!(report.iterations, 10);
+        assert!(report.speedup() >= 1.0);
+    }
+
+    #[test]
+    fn builder_style_configuration() {
+        let g = ring();
+        let rs = RotationScheduler::new(&g, ResourceSet::adders_multipliers(1, 0, false))
+            .with_policy(PriorityPolicy::PathHeight)
+            .with_config(HeuristicConfig {
+                rotations_per_phase: 4,
+                max_size: Some(2),
+                keep_best: 2,
+                rounds: 1,
+            });
+        let out = rs.heuristic1().unwrap();
+        assert_eq!(out.phases.len(), 2);
+        assert!(out.best.len() <= 2);
+    }
+
+    #[test]
+    fn manual_rotation_through_the_facade() {
+        let g = ring();
+        let rs = RotationScheduler::new(&g, ResourceSet::adders_multipliers(2, 0, false));
+        let mut st = rs.initial().unwrap();
+        let before = st.length(&g);
+        rs.down_rotate(&mut st, 1).unwrap();
+        assert!(st.length(&g) <= before);
+    }
+}

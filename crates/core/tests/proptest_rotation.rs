@@ -1,0 +1,139 @@
+//! Property-based tests for the rotation invariants.
+
+use proptest::prelude::*;
+use rotsched_benchmarks::{random_dfg, RandomDfgConfig};
+use rotsched_core::{down_rotate, initial_state, HeuristicConfig};
+use rotsched_dfg::Dfg;
+use rotsched_sched::validate::{check_dag_schedule, realizing_retiming};
+use rotsched_sched::{ListScheduler, ResourceSet};
+
+fn random_graph() -> impl Strategy<Value = Dfg> {
+    (0_u64..500, 4_usize..14).prop_map(|(seed, nodes)| {
+        random_dfg(
+            &RandomDfgConfig {
+                nodes,
+                forward_density: 0.2,
+                feedback_density: 0.08,
+                max_delays: 2,
+                mult_fraction: 0.35,
+                mult_steps: 2,
+            },
+            seed,
+        )
+    })
+}
+
+fn resource_config() -> impl Strategy<Value = (u32, u32, bool)> {
+    (1_u32..3, 1_u32..3, any::<bool>())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// The paper's core invariant: after ANY sequence of legal rotations,
+    /// the schedule is a legal DAG schedule of G_R — and therefore a
+    /// legal static schedule of the original G, certified by Lemma 1.
+    #[test]
+    fn rotation_preserves_legality_and_realizability(
+        g in random_graph(),
+        (adders, mults, pipelined) in resource_config(),
+        sizes in proptest::collection::vec(1_u32..4, 1..10),
+    ) {
+        let res = ResourceSet::adders_multipliers(adders, mults, pipelined);
+        let sched = ListScheduler::default();
+        let mut state = initial_state(&g, &sched, &res).expect("schedulable");
+        for &size in &sizes {
+            let len = state.length(&g);
+            if len <= 1 {
+                break;
+            }
+            let size = size.min(len - 1);
+            down_rotate(&g, &sched, &res, &mut state, size).expect("prefix rotations are legal");
+            // (a) the rotation function is a legal retiming;
+            prop_assert!(state.retiming.is_legal(&g));
+            // (b) the schedule is DAG-legal on the implicitly retimed graph;
+            prop_assert!(
+                check_dag_schedule(&g, Some(&state.retiming), &state.schedule, &res).is_ok()
+            );
+            // (c) some retiming (not necessarily R) realizes it on G.
+            let r = realizing_retiming(&g, &state.schedule);
+            prop_assert!(r.is_some());
+            prop_assert!(r.expect("checked").is_legal(&g));
+        }
+    }
+
+    /// The wrapped schedule length never beats the combined lower bound.
+    #[test]
+    fn rotation_never_beats_the_lower_bound(
+        g in random_graph(),
+        (adders, mults, pipelined) in resource_config(),
+        rotations in 1_usize..8,
+    ) {
+        let res = ResourceSet::adders_multipliers(adders, mults, pipelined);
+        let lb = rotsched_baselines::lower_bound(&g, &res).expect("valid graph");
+        let sched = ListScheduler::default();
+        let mut state = initial_state(&g, &sched, &res).expect("schedulable");
+        for _ in 0..rotations {
+            if state.length(&g) <= 1 {
+                break;
+            }
+            down_rotate(&g, &sched, &res, &mut state, 1).expect("legal rotation");
+            let wrapped = state.wrapped_length(&g, &res).expect("wraps");
+            prop_assert!(u64::from(wrapped) >= lb, "wrapped {} < LB {}", wrapped, lb);
+        }
+    }
+
+    /// Depth minimization returns a retiming realizing the same schedule
+    /// with depth no larger than the accumulated rotation function's.
+    #[test]
+    fn depth_minimization_is_sound(
+        g in random_graph(),
+        rotations in 1_usize..8,
+    ) {
+        let res = ResourceSet::adders_multipliers(2, 2, false);
+        let sched = ListScheduler::default();
+        let mut state = initial_state(&g, &sched, &res).expect("schedulable");
+        for _ in 0..rotations {
+            if state.length(&g) <= 1 {
+                break;
+            }
+            down_rotate(&g, &sched, &res, &mut state, 1).expect("legal rotation");
+        }
+        let minimized = rotsched_core::depth::minimize_depth(&g, &state.schedule)
+            .expect("rotation states are realizable");
+        prop_assert!(minimized.depth() <= state.retiming.to_normalized().depth());
+        prop_assert!(
+            check_dag_schedule(&g, Some(&minimized), &state.schedule, &res).is_ok()
+        );
+    }
+
+    /// Solved pipelines simulate correctly end-to-end on random graphs.
+    #[test]
+    fn solved_pipelines_simulate_correctly(
+        seed in 0_u64..200,
+        (adders, mults, pipelined) in resource_config(),
+    ) {
+        let g = random_dfg(
+            &RandomDfgConfig {
+                nodes: 10,
+                forward_density: 0.2,
+                feedback_density: 0.1,
+                max_delays: 2,
+                mult_fraction: 0.3,
+                mult_steps: 2,
+            },
+            seed,
+        );
+        let res = ResourceSet::adders_multipliers(adders, mults, pipelined);
+        let scheduler = rotsched_core::RotationScheduler::new(&g, res)
+            .with_config(HeuristicConfig {
+                rotations_per_phase: 8,
+                max_size: None,
+                keep_best: 2,
+                rounds: 1,
+            });
+        let solved = scheduler.solve().expect("schedulable");
+        let report = scheduler.verify(&solved.state, 6).expect("pipeline is correct");
+        prop_assert_eq!(report.executions, g.node_count() * 6);
+    }
+}

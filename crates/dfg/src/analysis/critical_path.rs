@@ -1,0 +1,170 @@
+//! Critical path of the zero-delay DAG — the iteration period of a DFG.
+//!
+//! The path with the maximum total computation time in the DAG of
+//! zero-delay edges is the *critical path*; its length is the minimum
+//! length of a static schedule without resource constraints (Section 2).
+
+use crate::error::DfgError;
+use crate::graph::Dfg;
+use crate::ids::NodeId;
+use crate::retiming::Retiming;
+
+use super::topo::{is_zero_delay_under, zero_delay_topological_order};
+
+/// Per-node arrival information for the zero-delay DAG of `G_r`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ArrivalTimes {
+    /// `finish[v]` = latest completion time of any zero-delay path ending
+    /// at `v`, including `t(v)` itself (so a source node has
+    /// `finish = t(v)`).
+    finish: Vec<u64>,
+    /// Predecessor on a longest path, for path extraction.
+    pred: Vec<Option<NodeId>>,
+}
+
+impl ArrivalTimes {
+    /// The completion time of `v` on its longest incoming zero-delay path.
+    #[must_use]
+    pub fn finish(&self, v: NodeId) -> u64 {
+        self.finish[v.index()]
+    }
+
+    /// The critical-path length: maximum finish time over all nodes
+    /// (0 for an empty graph).
+    #[must_use]
+    pub fn critical_path_length(&self) -> u64 {
+        self.finish.iter().copied().max().unwrap_or(0)
+    }
+
+    /// One critical path, from a DAG source to a DAG sink, in order.
+    #[must_use]
+    pub fn critical_path(&self) -> Vec<NodeId> {
+        let Some(end) = (0..self.finish.len()).max_by_key(|&i| self.finish[i]) else {
+            return Vec::new();
+        };
+        let mut path = vec![NodeId::from_index(end)];
+        while let Some(p) = self.pred[path.last().expect("path is nonempty").index()] {
+            path.push(p);
+        }
+        path.reverse();
+        path
+    }
+}
+
+/// Computes arrival times over the zero-delay DAG of `G_r` (of `G` when
+/// `retiming` is `None`).
+///
+/// # Errors
+///
+/// Returns [`DfgError::ZeroDelayCycle`] if the zero-delay subgraph is not
+/// a DAG.
+pub fn arrival_times(dfg: &Dfg, retiming: Option<&Retiming>) -> Result<ArrivalTimes, DfgError> {
+    let order = zero_delay_topological_order(dfg, retiming)?;
+    let mut finish = vec![0_u64; dfg.node_count()];
+    let mut pred = vec![None; dfg.node_count()];
+    for v in order {
+        let mut best: u64 = 0;
+        let mut best_pred = None;
+        for &e in dfg.in_edges(v) {
+            if is_zero_delay_under(dfg, retiming, e) {
+                let u = dfg.edge(e).from();
+                if finish[u.index()] > best {
+                    best = finish[u.index()];
+                    best_pred = Some(u);
+                }
+            }
+        }
+        finish[v.index()] = best + u64::from(dfg.node(v).time());
+        pred[v.index()] = best_pred;
+    }
+    Ok(ArrivalTimes { finish, pred })
+}
+
+/// The critical-path length of `G_r` — the iteration period without
+/// resource constraints.
+///
+/// # Errors
+///
+/// Returns [`DfgError::ZeroDelayCycle`] if the zero-delay subgraph is not
+/// a DAG.
+///
+/// # Examples
+///
+/// ```
+/// use rotsched_dfg::{analysis, Dfg, OpKind};
+///
+/// # fn main() -> Result<(), rotsched_dfg::DfgError> {
+/// let mut g = Dfg::new("chain");
+/// let a = g.add_node("a", OpKind::Mul, 2);
+/// let b = g.add_node("b", OpKind::Add, 1);
+/// g.add_edge(a, b, 0)?;
+/// assert_eq!(analysis::critical_path_length(&g, None)?, 3);
+/// # Ok(())
+/// # }
+/// ```
+pub fn critical_path_length(dfg: &Dfg, retiming: Option<&Retiming>) -> Result<u64, DfgError> {
+    Ok(arrival_times(dfg, retiming)?.critical_path_length())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::op::OpKind;
+
+    fn vee() -> (Dfg, Vec<NodeId>) {
+        // Two chains of different weight joining at a sink; feedback delays
+        // close the loop.
+        let mut g = Dfg::new("vee");
+        let m1 = g.add_node("m1", OpKind::Mul, 2);
+        let m2 = g.add_node("m2", OpKind::Mul, 2);
+        let a1 = g.add_node("a1", OpKind::Add, 1);
+        let s = g.add_node("s", OpKind::Add, 1);
+        g.add_edge(m1, m2, 0).unwrap();
+        g.add_edge(m2, s, 0).unwrap();
+        g.add_edge(a1, s, 0).unwrap();
+        g.add_edge(s, m1, 1).unwrap();
+        g.add_edge(s, a1, 1).unwrap();
+        (g, vec![m1, m2, a1, s])
+    }
+
+    #[test]
+    fn critical_path_takes_heavier_chain() {
+        let (g, ids) = vee();
+        let at = arrival_times(&g, None).unwrap();
+        assert_eq!(at.critical_path_length(), 5); // m1(2) + m2(2) + s(1)
+        assert_eq!(at.critical_path(), vec![ids[0], ids[1], ids[3]]);
+    }
+
+    #[test]
+    fn finish_times_are_per_node() {
+        let (g, ids) = vee();
+        let at = arrival_times(&g, None).unwrap();
+        assert_eq!(at.finish(ids[0]), 2);
+        assert_eq!(at.finish(ids[1]), 4);
+        assert_eq!(at.finish(ids[2]), 1);
+        assert_eq!(at.finish(ids[3]), 5);
+    }
+
+    #[test]
+    fn retiming_changes_the_critical_path() {
+        let (g, ids) = vee();
+        // Rotate {m1} down: m1 -> m2 gains a delay and s -> m1 loses its
+        // delay, so m1 becomes a leaf below s and the chain m2 -> s -> m1
+        // of length 2 + 1 + 2 = 5 now binds.
+        let r = Retiming::from_set(&g, [ids[0]]);
+        assert_eq!(critical_path_length(&g, Some(&r)).unwrap(), 5);
+    }
+
+    #[test]
+    fn empty_graph_has_zero_critical_path() {
+        let g = Dfg::new("empty");
+        assert_eq!(critical_path_length(&g, None).unwrap(), 0);
+    }
+
+    #[test]
+    fn single_node_critical_path_is_its_time() {
+        let mut g = Dfg::new("one");
+        g.add_node("x", OpKind::Mul, 3);
+        assert_eq!(critical_path_length(&g, None).unwrap(), 3);
+    }
+}

@@ -1,0 +1,313 @@
+//! Enumeration of simple cycles (Johnson's algorithm).
+//!
+//! The MARS system "first finds all cycles in the DFG and computes the loop
+//! bound" (Section 7); we provide the same capability both as a building
+//! block for MARS-style analyses and as an exact cross-check for the
+//! parametric iteration-bound algorithm on small graphs. Enumeration is
+//! exponential in the worst case, so [`simple_cycles`] takes a hard cap and
+//! reports truncation honestly.
+
+use std::collections::HashSet;
+
+use crate::graph::Dfg;
+use crate::ids::NodeId;
+
+use super::scc::strongly_connected_components;
+
+/// A simple cycle: node sequence (no repeats) where each consecutive pair
+/// and the wrap-around pair is connected by an edge.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Cycle {
+    /// The nodes in cycle order, starting from the smallest id on the
+    /// cycle.
+    pub nodes: Vec<NodeId>,
+}
+
+impl Cycle {
+    /// Total computation time of the cycle's nodes.
+    #[must_use]
+    pub fn total_time(&self, dfg: &Dfg) -> u64 {
+        self.nodes.iter().map(|&v| u64::from(dfg.node(v).time())).sum()
+    }
+
+    /// Minimum total delay along the cycle: for each consecutive node pair
+    /// the parallel edge with the fewest delays is chosen (that is the
+    /// binding constraint for the iteration bound).
+    #[must_use]
+    pub fn min_total_delays(&self, dfg: &Dfg) -> u64 {
+        let mut total = 0_u64;
+        for i in 0..self.nodes.len() {
+            let u = self.nodes[i];
+            let v = self.nodes[(i + 1) % self.nodes.len()];
+            let min_d = dfg
+                .out_edges(u)
+                .iter()
+                .map(|&e| dfg.edge(e))
+                .filter(|e| e.to() == v)
+                .map(|e| u64::from(e.delays()))
+                .min()
+                .expect("consecutive cycle nodes are connected");
+            total += min_d;
+        }
+        total
+    }
+}
+
+/// Result of cycle enumeration.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CycleEnumeration {
+    /// The cycles found (up to the cap).
+    pub cycles: Vec<Cycle>,
+    /// `true` if enumeration stopped at the cap before exhausting the
+    /// graph's cycles.
+    pub truncated: bool,
+}
+
+/// Enumerates the simple cycles of `dfg`, up to `max_cycles` of them.
+///
+/// Uses Johnson's algorithm restricted to each strongly connected
+/// component. Self loops are reported as one-node cycles.
+#[must_use]
+pub fn simple_cycles(dfg: &Dfg, max_cycles: usize) -> CycleEnumeration {
+    let scc = strongly_connected_components(dfg);
+    let mut out = CycleEnumeration {
+        cycles: Vec::new(),
+        truncated: false,
+    };
+
+    for comp in scc.components() {
+        if out.cycles.len() >= max_cycles {
+            out.truncated = true;
+            break;
+        }
+        if comp.len() == 1 {
+            let v = comp[0];
+            let has_self_loop = dfg.out_edges(v).iter().any(|&e| dfg.edge(e).to() == v);
+            if has_self_loop {
+                out.cycles.push(Cycle { nodes: vec![v] });
+            }
+            continue;
+        }
+        enumerate_component(dfg, comp, max_cycles, &mut out);
+    }
+    out
+}
+
+/// Johnson's algorithm on one SCC. Vertices are processed in ascending id
+/// order as successive roots; each reported cycle starts at its smallest
+/// id, so cycles are produced exactly once.
+fn enumerate_component(
+    dfg: &Dfg,
+    comp: &[NodeId],
+    max_cycles: usize,
+    out: &mut CycleEnumeration,
+) {
+    let members: HashSet<NodeId> = comp.iter().copied().collect();
+
+    for (root_pos, &root) in comp.iter().enumerate() {
+        if out.cycles.len() >= max_cycles {
+            out.truncated = true;
+            return;
+        }
+        // Only vertices >= root (by the component's sorted order) are
+        // allowed in cycles rooted at `root`.
+        let allowed: HashSet<NodeId> = comp[root_pos..].iter().copied().collect();
+        let mut blocked: HashSet<NodeId> = HashSet::new();
+        let mut block_map: std::collections::HashMap<NodeId, HashSet<NodeId>> =
+            std::collections::HashMap::new();
+        let mut path: Vec<NodeId> = Vec::new();
+
+        // Iterative DFS with Johnson's blocking discipline.
+        struct Frame {
+            v: NodeId,
+            succ_pos: usize,
+            found_cycle: bool,
+        }
+        let mut frames = vec![Frame {
+            v: root,
+            succ_pos: 0,
+            found_cycle: false,
+        }];
+        path.push(root);
+        blocked.insert(root);
+
+        while let Some(frame) = frames.last_mut() {
+            let v = frame.v;
+            // Parallel edges do not create distinct simple cycles (a cycle
+            // is a node sequence), so successors are deduplicated.
+            let mut succs: Vec<NodeId> = dfg
+                .out_edges(v)
+                .iter()
+                .map(|&e| dfg.edge(e).to())
+                .filter(|w| allowed.contains(w) && members.contains(w))
+                .collect();
+            succs.sort_unstable();
+            succs.dedup();
+
+            if frame.succ_pos < succs.len() {
+                let w = succs[frame.succ_pos];
+                frame.succ_pos += 1;
+                if w == root {
+                    if out.cycles.len() < max_cycles {
+                        out.cycles.push(Cycle {
+                            nodes: path.clone(),
+                        });
+                    } else {
+                        out.truncated = true;
+                        return;
+                    }
+                    frame.found_cycle = true;
+                } else if !blocked.contains(&w) {
+                    path.push(w);
+                    blocked.insert(w);
+                    frames.push(Frame {
+                        v: w,
+                        succ_pos: 0,
+                        found_cycle: false,
+                    });
+                }
+            } else {
+                let found = frame.found_cycle;
+                frames.pop();
+                path.pop();
+                if found {
+                    unblock(v, &mut blocked, &mut block_map);
+                } else {
+                    for w in succs {
+                        block_map.entry(w).or_default().insert(v);
+                    }
+                }
+                if let Some(parent) = frames.last_mut() {
+                    parent.found_cycle |= found;
+                }
+            }
+        }
+    }
+}
+
+fn unblock(
+    v: NodeId,
+    blocked: &mut HashSet<NodeId>,
+    block_map: &mut std::collections::HashMap<NodeId, HashSet<NodeId>>,
+) {
+    let mut stack = vec![v];
+    while let Some(u) = stack.pop() {
+        if blocked.remove(&u) {
+            if let Some(dependents) = block_map.remove(&u) {
+                stack.extend(dependents);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::op::OpKind;
+
+    fn add_nodes(g: &mut Dfg, n: usize) -> Vec<NodeId> {
+        (0..n)
+            .map(|i| g.add_node(format!("v{i}"), OpKind::Add, 1))
+            .collect()
+    }
+
+    #[test]
+    fn triangle_has_one_cycle() {
+        let mut g = Dfg::new("tri");
+        let v = add_nodes(&mut g, 3);
+        g.add_edge(v[0], v[1], 0).unwrap();
+        g.add_edge(v[1], v[2], 0).unwrap();
+        g.add_edge(v[2], v[0], 1).unwrap();
+        let en = simple_cycles(&g, 100);
+        assert!(!en.truncated);
+        assert_eq!(en.cycles.len(), 1);
+        assert_eq!(en.cycles[0].nodes, v);
+        assert_eq!(en.cycles[0].total_time(&g), 3);
+        assert_eq!(en.cycles[0].min_total_delays(&g), 1);
+    }
+
+    #[test]
+    fn two_triangles_sharing_a_vertex() {
+        let mut g = Dfg::new("bowtie");
+        let v = add_nodes(&mut g, 5);
+        g.add_edge(v[0], v[1], 0).unwrap();
+        g.add_edge(v[1], v[2], 0).unwrap();
+        g.add_edge(v[2], v[0], 1).unwrap();
+        g.add_edge(v[0], v[3], 0).unwrap();
+        g.add_edge(v[3], v[4], 0).unwrap();
+        g.add_edge(v[4], v[0], 1).unwrap();
+        let en = simple_cycles(&g, 100);
+        assert_eq!(en.cycles.len(), 2);
+        // The composite figure-eight walk is not simple and must not appear.
+        for c in &en.cycles {
+            assert_eq!(c.nodes.len(), 3);
+        }
+    }
+
+    #[test]
+    fn self_loop_is_a_cycle() {
+        let mut g = Dfg::new("self");
+        let v = add_nodes(&mut g, 1);
+        g.add_edge(v[0], v[0], 2).unwrap();
+        let en = simple_cycles(&g, 10);
+        assert_eq!(en.cycles.len(), 1);
+        assert_eq!(en.cycles[0].nodes, vec![v[0]]);
+        assert_eq!(en.cycles[0].min_total_delays(&g), 2);
+    }
+
+    #[test]
+    fn parallel_edges_use_minimum_delay() {
+        let mut g = Dfg::new("par");
+        let v = add_nodes(&mut g, 2);
+        g.add_edge(v[0], v[1], 3).unwrap();
+        g.add_edge(v[0], v[1], 1).unwrap();
+        g.add_edge(v[1], v[0], 0).unwrap();
+        let en = simple_cycles(&g, 10);
+        assert_eq!(en.cycles.len(), 1);
+        assert_eq!(en.cycles[0].min_total_delays(&g), 1);
+    }
+
+    #[test]
+    fn complete_graph_truncates_at_cap() {
+        let mut g = Dfg::new("k5");
+        let v = add_nodes(&mut g, 5);
+        for &a in &v {
+            for &b in &v {
+                if a != b {
+                    g.add_edge(a, b, 1).unwrap();
+                }
+            }
+        }
+        let en = simple_cycles(&g, 10);
+        assert!(en.truncated);
+        assert_eq!(en.cycles.len(), 10);
+    }
+
+    #[test]
+    fn complete_graph_k4_has_twenty_cycles() {
+        // K4 has 4*3/2 = 6 two-cycles, 8 three-cycles, 6 four-cycles = 20.
+        let mut g = Dfg::new("k4");
+        let v = add_nodes(&mut g, 4);
+        for &a in &v {
+            for &b in &v {
+                if a != b {
+                    g.add_edge(a, b, 1).unwrap();
+                }
+            }
+        }
+        let en = simple_cycles(&g, 1000);
+        assert!(!en.truncated);
+        assert_eq!(en.cycles.len(), 20);
+    }
+
+    #[test]
+    fn acyclic_graph_has_no_cycles() {
+        let mut g = Dfg::new("dag");
+        let v = add_nodes(&mut g, 3);
+        g.add_edge(v[0], v[1], 0).unwrap();
+        g.add_edge(v[1], v[2], 1).unwrap();
+        let en = simple_cycles(&g, 10);
+        assert!(en.cycles.is_empty());
+        assert!(!en.truncated);
+    }
+}

@@ -1,0 +1,458 @@
+//! The iteration bound: the theoretical lower bound on the schedule length
+//! of a loop pipeline (Renfors & Neuvo).
+//!
+//! The iteration bound of a cyclic DFG is
+//!
+//! ```text
+//! IB = ⌈ max over cycles C of  T(C) / D(C) ⌉
+//! ```
+//!
+//! where `T(C)` is the total computation time on the cycle and `D(C)` its
+//! total delay count. No pipelined static schedule can be shorter: the
+//! computation of a cycle must fit into `D(C)` iterations' worth of
+//! schedule.
+//!
+//! The maximum cycle ratio is computed **exactly** (as a rational number)
+//! by iterated negative-cycle detection: starting from the ratio of an
+//! arbitrary cycle, a Bellman–Ford test on edge weights `λ·d(e) − t(u)`
+//! either certifies that no cycle has a larger ratio or produces one, whose
+//! exact ratio becomes the new candidate. Each step strictly increases `λ`
+//! over a finite set of cycle ratios, so the loop terminates. On the
+//! paper's benchmarks (≤ 40 nodes) this takes a handful of iterations.
+
+use crate::error::DfgError;
+use crate::graph::Dfg;
+use crate::ids::NodeId;
+
+use super::scc::strongly_connected_components;
+
+/// An exact non-negative rational `num / den`, kept in lowest terms.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct Ratio {
+    num: u64,
+    den: u64,
+}
+
+impl Ratio {
+    /// Creates `num / den` reduced to lowest terms.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `den == 0`.
+    #[must_use]
+    pub fn new(num: u64, den: u64) -> Self {
+        assert!(den != 0, "ratio denominator must be nonzero");
+        let g = gcd(num, den).max(1);
+        Ratio {
+            num: num / g,
+            den: den / g,
+        }
+    }
+
+    /// Numerator (lowest terms).
+    #[must_use]
+    pub fn num(self) -> u64 {
+        self.num
+    }
+
+    /// Denominator (lowest terms).
+    #[must_use]
+    pub fn den(self) -> u64 {
+        self.den
+    }
+
+    /// The ceiling `⌈num / den⌉`.
+    #[must_use]
+    pub fn ceil(self) -> u64 {
+        self.num.div_ceil(self.den)
+    }
+
+    /// The value as an `f64` (for reporting only; comparisons use exact
+    /// arithmetic).
+    #[must_use]
+    pub fn to_f64(self) -> f64 {
+        self.num as f64 / self.den as f64
+    }
+}
+
+impl PartialOrd for Ratio {
+    fn partial_cmp(&self, other: &Self) -> Option<core::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Ratio {
+    fn cmp(&self, other: &Self) -> core::cmp::Ordering {
+        let lhs = u128::from(self.num) * u128::from(other.den);
+        let rhs = u128::from(other.num) * u128::from(self.den);
+        lhs.cmp(&rhs)
+    }
+}
+
+impl core::fmt::Display for Ratio {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        if self.den == 1 {
+            write!(f, "{}", self.num)
+        } else {
+            write!(f, "{}/{}", self.num, self.den)
+        }
+    }
+}
+
+fn gcd(mut a: u64, mut b: u64) -> u64 {
+    while b != 0 {
+        (a, b) = (b, a % b);
+    }
+    a
+}
+
+/// Computes the exact maximum cycle ratio `max_C T(C)/D(C)`.
+///
+/// Returns `Ok(None)` for an acyclic graph (no cycles constrain the
+/// pipeline; the bound is then set by resources alone).
+///
+/// # Errors
+///
+/// Returns [`DfgError::ZeroDelayCycle`] if some cycle carries no delays at
+/// all — such a graph has no static schedule.
+pub fn max_cycle_ratio(dfg: &Dfg) -> Result<Option<Ratio>, DfgError> {
+    // Zero-delay cycles make the ratio infinite; detect them first (this
+    // also covers the validate() contract).
+    super::topo::zero_delay_topological_order(dfg, None)?;
+
+    let scc = strongly_connected_components(dfg);
+    let mut best: Option<Ratio> = None;
+
+    for comp in scc.cyclic_components(dfg) {
+        let ratio = component_max_ratio(dfg, comp)?;
+        best = match best {
+            None => Some(ratio),
+            Some(b) => Some(b.max(ratio)),
+        };
+    }
+    Ok(best)
+}
+
+/// The iteration bound `⌈max cycle ratio⌉`, or `None` for an acyclic DFG.
+///
+/// # Errors
+///
+/// Returns [`DfgError::ZeroDelayCycle`] if some cycle carries no delays.
+///
+/// # Examples
+///
+/// ```
+/// use rotsched_dfg::{analysis, Dfg, OpKind};
+///
+/// # fn main() -> Result<(), rotsched_dfg::DfgError> {
+/// // A recurrence of total time 3 through one delay: IB = 3.
+/// let mut g = Dfg::new("iir");
+/// let m = g.add_node("m", OpKind::Mul, 2);
+/// let a = g.add_node("a", OpKind::Add, 1);
+/// g.add_edge(m, a, 0)?;
+/// g.add_edge(a, m, 1)?;
+/// assert_eq!(analysis::iteration_bound(&g)?, Some(3));
+/// # Ok(())
+/// # }
+/// ```
+pub fn iteration_bound(dfg: &Dfg) -> Result<Option<u64>, DfgError> {
+    Ok(max_cycle_ratio(dfg)?.map(Ratio::ceil))
+}
+
+/// Exact max cycle ratio within one cyclic SCC, by iterated parametric
+/// negative-cycle detection.
+fn component_max_ratio(dfg: &Dfg, comp: &[NodeId]) -> Result<Ratio, DfgError> {
+    // Dense re-indexing of the component.
+    let mut local = vec![usize::MAX; dfg.node_count()];
+    for (i, &v) in comp.iter().enumerate() {
+        local[v.index()] = i;
+    }
+    // Component-internal edges as (from, to, t(from), d).
+    let mut edges: Vec<(usize, usize, u64, u64)> = Vec::new();
+    for &v in comp {
+        for &e in dfg.out_edges(v) {
+            let edge = dfg.edge(e);
+            if local[edge.to().index()] != usize::MAX {
+                edges.push((
+                    local[v.index()],
+                    local[edge.to().index()],
+                    u64::from(dfg.node(v).time()),
+                    u64::from(edge.delays()),
+                ));
+            }
+        }
+    }
+
+    let mut lambda = initial_cycle_ratio(comp.len(), &edges)?;
+    loop {
+        match find_improving_cycle(comp.len(), &edges, lambda)? {
+            None => return Ok(lambda),
+            Some(better) => {
+                debug_assert!(better > lambda, "improving cycle must raise the ratio");
+                if better <= lambda {
+                    // Cycles in the predecessor graph are strictly negative,
+                    // so this cannot happen; guard against looping anyway.
+                    return Ok(lambda);
+                }
+                lambda = better;
+            }
+        }
+    }
+}
+
+/// Finds any cycle in the component (one must exist) and returns its exact
+/// ratio as the starting candidate.
+fn initial_cycle_ratio(n: usize, edges: &[(usize, usize, u64, u64)]) -> Result<Ratio, DfgError> {
+    // DFS from vertex 0 within the SCC; the first back edge closes a cycle.
+    let mut adj: Vec<Vec<(usize, u64, u64)>> = vec![Vec::new(); n];
+    for &(u, v, t, d) in edges {
+        adj[u].push((v, t, d));
+    }
+    let mut state = vec![0_u8; n]; // 0 = white, 1 = on stack, 2 = done
+    let mut stack: Vec<(usize, usize)> = Vec::new();
+    let mut path: Vec<(usize, u64, u64)> = Vec::new(); // (vertex, t-in, d-in)
+
+    for root in 0..n {
+        if state[root] != 0 {
+            continue;
+        }
+        stack.push((root, 0));
+        state[root] = 1;
+        path.push((root, 0, 0));
+        while let Some(&mut (v, ref mut pos)) = stack.last_mut() {
+            if *pos < adj[v].len() {
+                let (w, _t, d) = adj[v][*pos];
+                let t_v = adj[v][*pos].1;
+                *pos += 1;
+                if state[w] == 0 {
+                    state[w] = 1;
+                    stack.push((w, 0));
+                    path.push((w, t_v, d));
+                } else if state[w] == 1 {
+                    // Cycle found: from w's position in the path to the end,
+                    // plus the closing edge v -> w.
+                    let start = path
+                        .iter()
+                        .position(|&(x, _, _)| x == w)
+                        .expect("on-stack vertex is on the path");
+                    let mut total_t = t_v;
+                    let mut total_d = d;
+                    for &(_, ti, di) in &path[start + 1..] {
+                        total_t += ti;
+                        total_d += di;
+                    }
+                    if total_d == 0 {
+                        return Err(zero_delay_cycle_error());
+                    }
+                    return Ok(Ratio::new(total_t, total_d));
+                }
+            } else {
+                state[v] = 2;
+                stack.pop();
+                path.pop();
+            }
+        }
+    }
+    unreachable!("a cyclic SCC contains a cycle")
+}
+
+fn zero_delay_cycle_error() -> DfgError {
+    // The public topological check reports zero-delay cycles with concrete
+    // node ids before we ever get here; this arm guards against delay-free
+    // cycles that slip through within component-local arithmetic.
+    DfgError::ZeroDelayCycle { cycle: Vec::new() }
+}
+
+/// Bellman–Ford on weights `λ·d − λden·t`: a negative cycle is exactly a
+/// cycle with ratio above `λ`; returns its exact ratio.
+fn find_improving_cycle(
+    n: usize,
+    edges: &[(usize, usize, u64, u64)],
+    lambda: Ratio,
+) -> Result<Option<Ratio>, DfgError> {
+    // Integer weights: w(e) = num·d(e) − den·t(e); Σw < 0 ⟺ T/D > λ.
+    let num = i128::from(lambda.num());
+    let den = i128::from(lambda.den());
+    let weight =
+        |t: u64, d: u64| -> i128 { num * i128::from(d) - den * i128::from(t) };
+
+    let mut dist = vec![0_i128; n]; // virtual source connects to all at 0
+    let mut pred = vec![usize::MAX; n];
+    let mut pred_edge = vec![usize::MAX; n];
+    let mut witness = None;
+    for _round in 0..n {
+        witness = None;
+        for (idx, &(u, v, t, d)) in edges.iter().enumerate() {
+            let cand = dist[u] + weight(t, d);
+            if cand < dist[v] {
+                dist[v] = cand;
+                pred[v] = u;
+                pred_edge[v] = idx;
+                witness = Some(v);
+            }
+        }
+        if witness.is_none() {
+            break;
+        }
+    }
+    let Some(witness) = witness else {
+        return Ok(None);
+    };
+
+    // Walk predecessors until a vertex repeats; that segment is the cycle.
+    let mut seen = vec![usize::MAX; n];
+    let mut walk = Vec::new();
+    let mut v = witness;
+    let start = loop {
+        if seen[v] != usize::MAX {
+            break v;
+        }
+        seen[v] = walk.len();
+        walk.push(v);
+        debug_assert_ne!(pred[v], usize::MAX, "witness chain reaches the cycle");
+        v = pred[v];
+    };
+    let mut total_t = 0_u64;
+    let mut total_d = 0_u64;
+    let mut cur = start;
+    loop {
+        let e = pred_edge[cur];
+        let (u, _, t, d) = edges[e];
+        total_t += t;
+        total_d += d;
+        cur = u;
+        if cur == start {
+            break;
+        }
+    }
+    if total_d == 0 {
+        return Err(zero_delay_cycle_error());
+    }
+    Ok(Some(Ratio::new(total_t, total_d)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::cycles::simple_cycles;
+    use crate::op::OpKind;
+
+    fn add_nodes(g: &mut Dfg, times: &[u32]) -> Vec<NodeId> {
+        times
+            .iter()
+            .enumerate()
+            .map(|(i, &t)| g.add_node(format!("v{i}"), OpKind::Add, t))
+            .collect()
+    }
+
+    /// Brute-force max cycle ratio via cycle enumeration, for cross-checks.
+    fn brute_force_ratio(dfg: &Dfg) -> Option<Ratio> {
+        let en = simple_cycles(dfg, 1_000_000);
+        assert!(!en.truncated);
+        en.cycles
+            .iter()
+            .map(|c| Ratio::new(c.total_time(dfg), c.min_total_delays(dfg)))
+            .max()
+    }
+
+    #[test]
+    fn ratio_arithmetic() {
+        let r = Ratio::new(6, 4);
+        assert_eq!((r.num(), r.den()), (3, 2));
+        assert_eq!(r.ceil(), 2);
+        assert_eq!(Ratio::new(4, 2).ceil(), 2);
+        assert!(Ratio::new(1, 3) < Ratio::new(1, 2));
+        assert_eq!(Ratio::new(3, 2).to_string(), "3/2");
+        assert_eq!(Ratio::new(4, 2).to_string(), "2");
+    }
+
+    #[test]
+    fn acyclic_graph_has_no_bound() {
+        let mut g = Dfg::new("dag");
+        let v = add_nodes(&mut g, &[1, 1]);
+        g.add_edge(v[0], v[1], 0).unwrap();
+        assert_eq!(iteration_bound(&g).unwrap(), None);
+    }
+
+    #[test]
+    fn single_cycle_ratio() {
+        let mut g = Dfg::new("one");
+        let v = add_nodes(&mut g, &[2, 1, 1]);
+        g.add_edge(v[0], v[1], 0).unwrap();
+        g.add_edge(v[1], v[2], 1).unwrap();
+        g.add_edge(v[2], v[0], 1).unwrap();
+        // T = 4, D = 2 -> ratio 2, IB = 2.
+        assert_eq!(max_cycle_ratio(&g).unwrap(), Some(Ratio::new(2, 1)));
+        assert_eq!(iteration_bound(&g).unwrap(), Some(2));
+    }
+
+    #[test]
+    fn takes_the_maximum_over_cycles() {
+        let mut g = Dfg::new("two");
+        let v = add_nodes(&mut g, &[1, 1, 3]);
+        // Cycle A: v0 <-> v1 with 2 delays: ratio 2/2 = 1.
+        g.add_edge(v[0], v[1], 1).unwrap();
+        g.add_edge(v[1], v[0], 1).unwrap();
+        // Cycle B: v2 self loop with 1 delay: ratio 3.
+        g.add_edge(v[2], v[2], 1).unwrap();
+        assert_eq!(max_cycle_ratio(&g).unwrap(), Some(Ratio::new(3, 1)));
+    }
+
+    #[test]
+    fn fractional_ratio_is_exact() {
+        let mut g = Dfg::new("frac");
+        let v = add_nodes(&mut g, &[1, 1, 1]);
+        g.add_edge(v[0], v[1], 0).unwrap();
+        g.add_edge(v[1], v[2], 1).unwrap();
+        g.add_edge(v[2], v[0], 1).unwrap();
+        // T = 3, D = 2 -> 3/2, IB = 2.
+        assert_eq!(max_cycle_ratio(&g).unwrap(), Some(Ratio::new(3, 2)));
+        assert_eq!(iteration_bound(&g).unwrap(), Some(2));
+    }
+
+    #[test]
+    fn zero_delay_cycle_is_an_error() {
+        let mut g = Dfg::new("bad");
+        let v = add_nodes(&mut g, &[1, 1]);
+        g.add_edge(v[0], v[1], 0).unwrap();
+        g.add_edge(v[1], v[0], 0).unwrap();
+        assert!(matches!(
+            iteration_bound(&g),
+            Err(DfgError::ZeroDelayCycle { .. })
+        ));
+    }
+
+    #[test]
+    fn matches_brute_force_on_dense_graph() {
+        // Deterministic pseudo-random dense graph, cross-checked against
+        // full cycle enumeration.
+        let mut g = Dfg::new("dense");
+        let v = add_nodes(&mut g, &[3, 1, 4, 1, 5, 2]);
+        let mut seed = 0x9E37_79B9_u64;
+        let mut next = || {
+            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            seed >> 33
+        };
+        for &a in &v {
+            for &b in &v {
+                if a != b && next() % 3 == 0 {
+                    g.add_edge(a, b, 1 + (next() % 3) as u32).unwrap();
+                }
+            }
+        }
+        let fast = max_cycle_ratio(&g).unwrap();
+        let brute = brute_force_ratio(&g);
+        assert_eq!(fast, brute);
+    }
+
+    #[test]
+    fn parallel_edges_take_min_delay_implicitly() {
+        let mut g = Dfg::new("par");
+        let v = add_nodes(&mut g, &[2, 2]);
+        g.add_edge(v[0], v[1], 4).unwrap();
+        g.add_edge(v[0], v[1], 1).unwrap();
+        g.add_edge(v[1], v[0], 1).unwrap();
+        // Binding cycle uses the 1-delay edge: T=4, D=2 -> ratio 2.
+        assert_eq!(max_cycle_ratio(&g).unwrap(), Some(Ratio::new(2, 1)));
+    }
+}

@@ -1,0 +1,187 @@
+//! Single-source shortest paths with negative-cycle detection
+//! (Bellman–Ford).
+//!
+//! Both the pipeline-depth minimization of Section 3.2 (the LP dual of a
+//! shortest-path problem, Lemma 3) and the iteration-bound computation
+//! (parametric negative-cycle tests) reduce to shortest paths on small
+//! constraint graphs, so this module works on a plain edge list over dense
+//! `usize` indices rather than on [`Dfg`](crate::Dfg) directly.
+
+/// One directed, weighted edge of a constraint graph.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct WeightedEdge {
+    /// Tail vertex index.
+    pub from: usize,
+    /// Head vertex index.
+    pub to: usize,
+    /// Edge length (may be negative).
+    pub weight: i64,
+}
+
+impl WeightedEdge {
+    /// Convenience constructor.
+    #[must_use]
+    pub const fn new(from: usize, to: usize, weight: i64) -> Self {
+        WeightedEdge { from, to, weight }
+    }
+}
+
+/// Result of a successful Bellman–Ford run.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ShortestPaths {
+    /// `dist[v]` = length of the shortest path from the source to `v`, or
+    /// `None` when `v` is unreachable.
+    pub dist: Vec<Option<i64>>,
+}
+
+/// A negative cycle found by Bellman–Ford, as a vertex sequence (each
+/// consecutive pair, and the wrap-around pair, is connected by an edge of
+/// the input).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct NegativeCycle {
+    /// The vertices on the cycle, in order.
+    pub vertices: Vec<usize>,
+}
+
+/// Runs Bellman–Ford from `source` over `vertex_count` vertices.
+///
+/// # Errors
+///
+/// Returns a [`NegativeCycle`] (reachable from the source) if one exists.
+///
+/// # Panics
+///
+/// Panics if an edge endpoint is `>= vertex_count`.
+pub fn bellman_ford(
+    vertex_count: usize,
+    edges: &[WeightedEdge],
+    source: usize,
+) -> Result<ShortestPaths, NegativeCycle> {
+    let mut dist: Vec<Option<i64>> = vec![None; vertex_count];
+    let mut pred: Vec<Option<usize>> = vec![None; vertex_count];
+    dist[source] = Some(0);
+
+    let mut updated_vertex = None;
+    for round in 0..vertex_count {
+        updated_vertex = None;
+        for e in edges {
+            let Some(du) = dist[e.from] else { continue };
+            let candidate = du.saturating_add(e.weight);
+            if dist[e.to].is_none_or(|dv| candidate < dv) {
+                dist[e.to] = Some(candidate);
+                pred[e.to] = Some(e.from);
+                updated_vertex = Some(e.to);
+            }
+        }
+        if updated_vertex.is_none() {
+            break;
+        }
+        // After vertex_count - 1 full relaxation rounds every shortest path
+        // is settled; a relaxation in round vertex_count - 1 (0-based) or
+        // later witnesses a negative cycle, handled below.
+        let _ = round;
+    }
+
+    match updated_vertex {
+        None => Ok(ShortestPaths { dist }),
+        Some(witness) => Err(extract_cycle(&pred, witness, vertex_count)),
+    }
+}
+
+/// Walks predecessors from a vertex relaxed in the final round until a
+/// vertex repeats; the repeated segment is the negative cycle.
+fn extract_cycle(pred: &[Option<usize>], witness: usize, vertex_count: usize) -> NegativeCycle {
+    let mut seen = vec![usize::MAX; vertex_count];
+    let mut walk = Vec::new();
+    let mut v = witness;
+    loop {
+        if seen[v] != usize::MAX {
+            // walk[seen[v]..] lists the cycle in reverse edge order.
+            let mut vertices: Vec<usize> = walk[seen[v]..].to_vec();
+            vertices.reverse();
+            return NegativeCycle { vertices };
+        }
+        seen[v] = walk.len();
+        walk.push(v);
+        v = pred[v].expect("predecessor chain from a negative-cycle witness reaches the cycle");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shortest_paths_on_a_dag() {
+        let edges = vec![
+            WeightedEdge::new(0, 1, 4),
+            WeightedEdge::new(0, 2, 1),
+            WeightedEdge::new(2, 1, 2),
+            WeightedEdge::new(1, 3, 1),
+        ];
+        let sp = bellman_ford(4, &edges, 0).unwrap();
+        assert_eq!(sp.dist, vec![Some(0), Some(3), Some(1), Some(4)]);
+    }
+
+    #[test]
+    fn negative_weights_without_cycle_are_fine() {
+        let edges = vec![
+            WeightedEdge::new(0, 1, 5),
+            WeightedEdge::new(1, 2, -3),
+            WeightedEdge::new(0, 2, 4),
+        ];
+        let sp = bellman_ford(3, &edges, 0).unwrap();
+        assert_eq!(sp.dist[2], Some(2));
+    }
+
+    #[test]
+    fn unreachable_vertices_have_no_distance() {
+        let edges = vec![WeightedEdge::new(0, 1, 1)];
+        let sp = bellman_ford(3, &edges, 0).unwrap();
+        assert_eq!(sp.dist[2], None);
+    }
+
+    #[test]
+    fn negative_cycle_is_detected_and_extracted() {
+        let edges = vec![
+            WeightedEdge::new(0, 1, 1),
+            WeightedEdge::new(1, 2, -2),
+            WeightedEdge::new(2, 1, 1),
+        ];
+        let err = bellman_ford(3, &edges, 0).unwrap_err();
+        let mut cycle = err.vertices;
+        cycle.sort_unstable();
+        assert_eq!(cycle, vec![1, 2]);
+    }
+
+    #[test]
+    fn negative_cycle_far_from_source() {
+        let mut edges = vec![];
+        // chain 0 -> 1 -> 2 -> 3
+        for i in 0..3 {
+            edges.push(WeightedEdge::new(i, i + 1, 1));
+        }
+        // negative 2-cycle at the end
+        edges.push(WeightedEdge::new(3, 4, -5));
+        edges.push(WeightedEdge::new(4, 3, 1));
+        let err = bellman_ford(5, &edges, 0).unwrap_err();
+        let mut cycle = err.vertices;
+        cycle.sort_unstable();
+        assert_eq!(cycle, vec![3, 4]);
+    }
+
+    #[test]
+    fn zero_weight_cycle_is_not_negative() {
+        let edges = vec![
+            WeightedEdge::new(0, 1, 2),
+            WeightedEdge::new(1, 0, -2),
+        ];
+        assert!(bellman_ford(2, &edges, 0).is_ok());
+    }
+
+    #[test]
+    fn single_vertex_no_edges() {
+        let sp = bellman_ford(1, &[], 0).unwrap();
+        assert_eq!(sp.dist, vec![Some(0)]);
+    }
+}

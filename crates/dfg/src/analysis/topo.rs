@@ -1,0 +1,181 @@
+//! Topological order of the zero-delay subgraph, optionally under a
+//! retiming.
+//!
+//! A static schedule must obey the precedence relations of the subgraph of
+//! edges without delays; this module extracts that DAG's order (and proves
+//! it *is* a DAG) without ever materializing the retimed graph — edge
+//! delays are read through the retiming via
+//! [`Retiming::retimed_delay`](crate::Retiming::retimed_delay).
+
+use crate::error::DfgError;
+use crate::graph::Dfg;
+use crate::ids::NodeId;
+use crate::retiming::Retiming;
+
+/// Returns whether edge `e` is a zero-delay edge of `G_r` (of `G` itself
+/// when `retiming` is `None`).
+#[must_use]
+pub fn is_zero_delay_under(dfg: &Dfg, retiming: Option<&Retiming>, e: crate::EdgeId) -> bool {
+    match retiming {
+        Some(r) => r.retimed_delay(dfg, e) == 0,
+        None => dfg.edge(e).is_zero_delay(),
+    }
+}
+
+/// Computes a topological order of the zero-delay subgraph of `G_r`
+/// (Kahn's algorithm).
+///
+/// With `retiming = None` the graph's own delays are used. Nodes with no
+/// zero-delay relations appear in the order too (every node is scheduled).
+///
+/// # Errors
+///
+/// Returns [`DfgError::ZeroDelayCycle`] with one offending cycle if the
+/// zero-delay subgraph is cyclic — i.e. the graph (or the retiming) does
+/// not admit a static schedule.
+pub fn zero_delay_topological_order(
+    dfg: &Dfg,
+    retiming: Option<&Retiming>,
+) -> Result<Vec<NodeId>, DfgError> {
+    let n = dfg.node_count();
+    let mut indegree = vec![0_usize; n];
+    for (id, edge) in dfg.edges() {
+        if is_zero_delay_under(dfg, retiming, id) {
+            indegree[edge.to().index()] += 1;
+        }
+    }
+
+    let mut queue: Vec<NodeId> = dfg
+        .node_ids()
+        .filter(|v| indegree[v.index()] == 0)
+        .collect();
+    let mut order = Vec::with_capacity(n);
+    let mut head = 0;
+    while head < queue.len() {
+        let v = queue[head];
+        head += 1;
+        order.push(v);
+        for &e in dfg.out_edges(v) {
+            if is_zero_delay_under(dfg, retiming, e) {
+                let w = dfg.edge(e).to();
+                indegree[w.index()] -= 1;
+                if indegree[w.index()] == 0 {
+                    queue.push(w);
+                }
+            }
+        }
+    }
+
+    if order.len() == n {
+        Ok(order)
+    } else {
+        Err(DfgError::ZeroDelayCycle {
+            cycle: extract_zero_delay_cycle(dfg, retiming, &indegree),
+        })
+    }
+}
+
+/// Walks backwards through still-constrained nodes to recover one concrete
+/// zero-delay cycle for error reporting.
+fn extract_zero_delay_cycle(
+    dfg: &Dfg,
+    retiming: Option<&Retiming>,
+    indegree: &[usize],
+) -> Vec<NodeId> {
+    // Any node with remaining in-degree sits on or downstream of a cycle in
+    // the zero-delay subgraph restricted to such nodes; walking predecessors
+    // |V| times necessarily enters a cycle.
+    let start = dfg
+        .node_ids()
+        .find(|v| indegree[v.index()] > 0)
+        .expect("a cycle exists when the topological order is incomplete");
+    let mut current = start;
+    let mut seen = vec![usize::MAX; dfg.node_count()];
+    let mut walk = Vec::new();
+    loop {
+        if seen[current.index()] != usize::MAX {
+            let first = seen[current.index()];
+            return walk[first..].to_vec();
+        }
+        seen[current.index()] = walk.len();
+        walk.push(current);
+        current = dfg
+            .in_edges(current)
+            .iter()
+            .copied()
+            .filter(|&e| is_zero_delay_under(dfg, retiming, e))
+            .map(|e| dfg.edge(e).from())
+            .find(|u| indegree[u.index()] > 0)
+            .expect("constrained node has a constrained zero-delay predecessor");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::op::OpKind;
+
+    fn chain_with_feedback() -> (Dfg, Vec<NodeId>) {
+        let mut g = Dfg::new("chain");
+        let ids: Vec<NodeId> = (0..4)
+            .map(|i| g.add_node(format!("v{i}"), OpKind::Add, 1))
+            .collect();
+        g.add_edge(ids[0], ids[1], 0).unwrap();
+        g.add_edge(ids[1], ids[2], 0).unwrap();
+        g.add_edge(ids[2], ids[3], 0).unwrap();
+        g.add_edge(ids[3], ids[0], 1).unwrap();
+        (g, ids)
+    }
+
+    #[test]
+    fn order_respects_zero_delay_edges() {
+        let (g, ids) = chain_with_feedback();
+        let order = zero_delay_topological_order(&g, None).unwrap();
+        assert_eq!(order, ids);
+    }
+
+    #[test]
+    fn retiming_changes_the_dag() {
+        let (g, ids) = chain_with_feedback();
+        // Rotate v0 down: edge v0->v1 gains a delay, v3->v0 loses its delay,
+        // so the DAG becomes v1 -> v2 -> v3 -> v0.
+        let r = Retiming::from_set(&g, [ids[0]]);
+        let order = zero_delay_topological_order(&g, Some(&r)).unwrap();
+        assert_eq!(order, vec![ids[1], ids[2], ids[3], ids[0]]);
+    }
+
+    #[test]
+    fn cycle_is_reported_with_its_nodes() {
+        let mut g = Dfg::new("bad");
+        let a = g.add_node("a", OpKind::Add, 1);
+        let b = g.add_node("b", OpKind::Add, 1);
+        let c = g.add_node("c", OpKind::Add, 1);
+        g.add_edge(a, b, 0).unwrap();
+        g.add_edge(b, c, 0).unwrap();
+        g.add_edge(c, b, 0).unwrap();
+        match zero_delay_topological_order(&g, None) {
+            Err(DfgError::ZeroDelayCycle { cycle }) => {
+                let mut sorted = cycle.clone();
+                sorted.sort();
+                assert_eq!(sorted, vec![b, c]);
+            }
+            other => panic!("expected cycle error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn isolated_nodes_are_included() {
+        let mut g = Dfg::new("iso");
+        let a = g.add_node("a", OpKind::Add, 1);
+        let b = g.add_node("b", OpKind::Add, 1);
+        let order = zero_delay_topological_order(&g, None).unwrap();
+        assert_eq!(order.len(), 2);
+        assert!(order.contains(&a) && order.contains(&b));
+    }
+
+    #[test]
+    fn empty_graph_has_empty_order() {
+        let g = Dfg::new("empty");
+        assert!(zero_delay_topological_order(&g, None).unwrap().is_empty());
+    }
+}

@@ -1,0 +1,216 @@
+//! Fluent construction of data-flow graphs by node name.
+//!
+//! [`DfgBuilder`] lets benchmark definitions and tests write graphs the
+//! way the paper draws them — named nodes, edges by name, delays where the
+//! figure puts registers — and validates the result on
+//! [`DfgBuilder::build`].
+
+use std::collections::HashMap;
+
+use crate::error::DfgError;
+use crate::graph::Dfg;
+use crate::ids::NodeId;
+use crate::op::OpKind;
+
+/// Builder for a [`Dfg`], addressing nodes by name.
+///
+/// # Examples
+///
+/// ```
+/// use rotsched_dfg::{DfgBuilder, OpKind};
+///
+/// # fn main() -> Result<(), rotsched_dfg::DfgError> {
+/// let g = DfgBuilder::new("iir")
+///     .node("m", OpKind::Mul, 2)
+///     .node("a", OpKind::Add, 1)
+///     .edge("m", "a", 0)
+///     .edge("a", "m", 1)
+///     .build()?;
+/// assert_eq!(g.node_count(), 2);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct DfgBuilder {
+    graph: Dfg,
+    by_name: HashMap<String, NodeId>,
+    pending_error: Option<DfgError>,
+    duplicate: Option<String>,
+    missing: Option<String>,
+}
+
+impl DfgBuilder {
+    /// Starts building a graph with the given name.
+    #[must_use]
+    pub fn new(name: impl Into<String>) -> Self {
+        DfgBuilder {
+            graph: Dfg::new(name),
+            by_name: HashMap::new(),
+            pending_error: None,
+            duplicate: None,
+            missing: None,
+        }
+    }
+
+    /// Adds a node with a unique name.
+    ///
+    /// Duplicate names are reported at [`DfgBuilder::build`] time so call
+    /// chains stay fluent.
+    #[must_use]
+    pub fn node(mut self, name: impl Into<String>, op: OpKind, time: u32) -> Self {
+        let name = name.into();
+        if self.by_name.contains_key(&name) {
+            self.duplicate.get_or_insert(name);
+            return self;
+        }
+        let id = self.graph.add_node(name.clone(), op, time);
+        self.by_name.insert(name, id);
+        self
+    }
+
+    /// Adds `count` nodes named `prefix0`, `prefix1`, … with identical
+    /// operation and time — convenient for regular filter structures.
+    #[must_use]
+    pub fn nodes(mut self, prefix: &str, count: usize, op: OpKind, time: u32) -> Self {
+        for i in 0..count {
+            self = self.node(format!("{prefix}{i}"), op, time);
+        }
+        self
+    }
+
+    /// Adds an edge between named nodes with the given delay count.
+    #[must_use]
+    pub fn edge(mut self, from: &str, to: &str, delays: u32) -> Self {
+        let (Some(&u), Some(&v)) = (self.by_name.get(from), self.by_name.get(to)) else {
+            let missing = if self.by_name.contains_key(from) {
+                to
+            } else {
+                from
+            };
+            self.missing.get_or_insert_with(|| missing.to_owned());
+            return self;
+        };
+        if let Err(e) = self.graph.add_edge(u, v, delays) {
+            self.pending_error.get_or_insert(e);
+        }
+        self
+    }
+
+    /// Adds a zero-delay edge (intra-iteration precedence).
+    #[must_use]
+    pub fn wire(self, from: &str, to: &str) -> Self {
+        self.edge(from, to, 0)
+    }
+
+    /// Adds a chain of zero-delay edges through the named nodes.
+    #[must_use]
+    pub fn chain(mut self, names: &[&str]) -> Self {
+        for pair in names.windows(2) {
+            self = self.wire(pair[0], pair[1]);
+        }
+        self
+    }
+
+    /// Looks up the id assigned to `name`, if any (useful mid-build in
+    /// tests).
+    #[must_use]
+    pub fn id(&self, name: &str) -> Option<NodeId> {
+        self.by_name.get(name).copied()
+    }
+
+    /// Finishes the build and validates the graph.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first construction error (unknown node name, duplicate
+    /// name, zero-delay self loop) or a validation error
+    /// ([`DfgError::ZeroDelayCycle`], [`DfgError::ZeroTimeNode`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a node name was duplicated or an edge referenced an
+    /// undeclared node — these are programming errors in the graph
+    /// description, reported with the offending name.
+    pub fn build(self) -> Result<Dfg, DfgError> {
+        if let Some(name) = self.duplicate {
+            panic!("duplicate node name `{name}` in DFG builder");
+        }
+        if let Some(name) = self.missing {
+            panic!("edge references undeclared node `{name}` in DFG builder");
+        }
+        if let Some(e) = self.pending_error {
+            return Err(e);
+        }
+        self.graph.validate()?;
+        Ok(self.graph)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fluent_build() {
+        let g = DfgBuilder::new("g")
+            .node("a", OpKind::Add, 1)
+            .node("b", OpKind::Mul, 2)
+            .wire("a", "b")
+            .edge("b", "a", 1)
+            .build()
+            .unwrap();
+        assert_eq!(g.node_count(), 2);
+        assert_eq!(g.edge_count(), 2);
+        assert_eq!(g.node(g.node_by_name("b").unwrap()).time(), 2);
+    }
+
+    #[test]
+    fn nodes_helper_numbers_names() {
+        let g = DfgBuilder::new("g")
+            .nodes("m", 3, OpKind::Mul, 2)
+            .chain(&["m0", "m1", "m2"])
+            .build()
+            .unwrap();
+        assert_eq!(g.node_count(), 3);
+        assert!(g.node_by_name("m2").is_some());
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate node name `a`")]
+    fn duplicate_name_panics_at_build() {
+        let _ = DfgBuilder::new("g")
+            .node("a", OpKind::Add, 1)
+            .node("a", OpKind::Add, 1)
+            .build();
+    }
+
+    #[test]
+    #[should_panic(expected = "undeclared node `zzz`")]
+    fn unknown_edge_endpoint_panics_at_build() {
+        let _ = DfgBuilder::new("g")
+            .node("a", OpKind::Add, 1)
+            .wire("a", "zzz")
+            .build();
+    }
+
+    #[test]
+    fn zero_delay_cycle_is_reported() {
+        let r = DfgBuilder::new("g")
+            .node("a", OpKind::Add, 1)
+            .node("b", OpKind::Add, 1)
+            .wire("a", "b")
+            .wire("b", "a")
+            .build();
+        assert!(matches!(r, Err(DfgError::ZeroDelayCycle { .. })));
+    }
+
+    #[test]
+    fn chain_builds_consecutive_wires() {
+        let g = DfgBuilder::new("g")
+            .nodes("v", 4, OpKind::Add, 1)
+            .chain(&["v0", "v1", "v2", "v3"])
+            .build()
+            .unwrap();
+        assert_eq!(g.edge_count(), 3);
+    }
+}

@@ -1,0 +1,136 @@
+//! Graphviz (DOT) export, optionally under a retiming.
+//!
+//! The figures of the paper draw retimed graphs to aid presentation even
+//! though the algorithm never materializes them; [`to_dot`] does the same:
+//! pass a retiming and the rendered delays are the retimed delays
+//! `d_r(e)`, with nodes annotated by their `r` values.
+
+use core::fmt::Write as _;
+
+use crate::graph::Dfg;
+use crate::op::OpKind;
+use crate::retiming::Retiming;
+
+/// Renders the graph in Graphviz DOT syntax.
+///
+/// Multipliers are drawn as boxes, adder-class nodes as circles (matching
+/// the paper's figure legend); each edge is labeled with its (retimed)
+/// delay count when nonzero. When `retiming` is given, nonzero `r(v)`
+/// values are appended to node labels.
+///
+/// # Examples
+///
+/// ```
+/// use rotsched_dfg::{dot, Dfg, OpKind};
+///
+/// # fn main() -> Result<(), rotsched_dfg::DfgError> {
+/// let mut g = Dfg::new("iir");
+/// let m = g.add_node("m", OpKind::Mul, 2);
+/// let a = g.add_node("a", OpKind::Add, 1);
+/// g.add_edge(m, a, 0)?;
+/// g.add_edge(a, m, 1)?;
+/// let text = dot::to_dot(&g, None);
+/// assert!(text.contains("digraph"));
+/// assert!(text.contains("label=\"1\""));
+/// # Ok(())
+/// # }
+/// ```
+#[must_use]
+pub fn to_dot(dfg: &Dfg, retiming: Option<&Retiming>) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph \"{}\" {{", escape(dfg.name()));
+    let _ = writeln!(out, "  rankdir=TB;");
+    for (id, node) in dfg.nodes() {
+        let shape = match node.op() {
+            OpKind::Mul | OpKind::Div => "box",
+            _ => "ellipse",
+        };
+        let mut label = node.name().to_owned();
+        if let Some(r) = retiming {
+            if r.of(id) != 0 {
+                let _ = write!(label, " [r={}]", r.of(id));
+            }
+        }
+        let _ = writeln!(
+            out,
+            "  {} [label=\"{}\", shape={}];",
+            id.index(),
+            escape(&label),
+            shape
+        );
+    }
+    for (id, edge) in dfg.edges() {
+        let delays = match retiming {
+            Some(r) => r.retimed_delay(dfg, id),
+            None => i64::from(edge.delays()),
+        };
+        if delays == 0 {
+            let _ = writeln!(
+                out,
+                "  {} -> {} [style=bold];",
+                edge.from().index(),
+                edge.to().index()
+            );
+        } else {
+            let _ = writeln!(
+                out,
+                "  {} -> {} [label=\"{}\"];",
+                edge.from().index(),
+                edge.to().index(),
+                delays
+            );
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Dfg {
+        let mut g = Dfg::new("sample \"quoted\"");
+        let m = g.add_node("mul", OpKind::Mul, 2);
+        let a = g.add_node("add", OpKind::Add, 1);
+        g.add_edge(m, a, 0).unwrap();
+        g.add_edge(a, m, 2).unwrap();
+        g
+    }
+
+    #[test]
+    fn multiplier_is_a_box() {
+        let text = to_dot(&sample(), None);
+        assert!(text.contains("shape=box"));
+        assert!(text.contains("shape=ellipse"));
+    }
+
+    #[test]
+    fn zero_delay_edges_are_bold_and_unlabeled() {
+        let text = to_dot(&sample(), None);
+        assert!(text.contains("0 -> 1 [style=bold];"));
+        assert!(text.contains("1 -> 0 [label=\"2\"];"));
+    }
+
+    #[test]
+    fn retiming_changes_rendered_delays() {
+        let g = sample();
+        let m = g.node_by_name("mul").unwrap();
+        let r = Retiming::from_set(&g, [m]);
+        let text = to_dot(&g, Some(&r));
+        // mul -> add gains a delay; add -> mul drops to 1.
+        assert!(text.contains("0 -> 1 [label=\"1\"];"));
+        assert!(text.contains("1 -> 0 [label=\"1\"];"));
+        assert!(text.contains("[r=1]"));
+    }
+
+    #[test]
+    fn name_is_escaped() {
+        let text = to_dot(&sample(), None);
+        assert!(text.contains("digraph \"sample \\\"quoted\\\"\""));
+    }
+}

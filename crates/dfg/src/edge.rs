@@ -1,0 +1,84 @@
+//! Precedence-edge data.
+
+use core::fmt;
+
+use crate::ids::NodeId;
+
+/// The data attached to one precedence edge of a [`Dfg`](crate::Dfg).
+///
+/// An edge `e` from `u` to `v` with `d(e)` delays means that the computation
+/// of `v` at iteration `j` depends on the computation of `u` at iteration
+/// `j - d(e)`. Edges with `d(e) = 0` are *intra-iteration* precedences and
+/// must form a DAG; edges with `d(e) > 0` are *inter-iteration* dependencies
+/// (registers in circuitry terms).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Edge {
+    from: NodeId,
+    to: NodeId,
+    delays: u32,
+}
+
+impl Edge {
+    /// Creates an edge from `from` to `to` carrying `delays` delays.
+    #[must_use]
+    pub const fn new(from: NodeId, to: NodeId, delays: u32) -> Self {
+        Edge { from, to, delays }
+    }
+
+    /// Tail of the edge (the producer).
+    #[must_use]
+    pub const fn from(&self) -> NodeId {
+        self.from
+    }
+
+    /// Head of the edge (the consumer).
+    #[must_use]
+    pub const fn to(&self) -> NodeId {
+        self.to
+    }
+
+    /// Number of delays `d(e)` on the edge.
+    #[must_use]
+    pub const fn delays(&self) -> u32 {
+        self.delays
+    }
+
+    /// Whether this is an intra-iteration (zero-delay) precedence.
+    #[must_use]
+    pub const fn is_zero_delay(&self) -> bool {
+        self.delays == 0
+    }
+}
+
+impl fmt::Display for Edge {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} -[{}]-> {}", self.from, self.delays, self.to)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors() {
+        let e = Edge::new(NodeId::from_index(0), NodeId::from_index(1), 2);
+        assert_eq!(e.from().index(), 0);
+        assert_eq!(e.to().index(), 1);
+        assert_eq!(e.delays(), 2);
+        assert!(!e.is_zero_delay());
+    }
+
+    #[test]
+    fn zero_delay_predicate() {
+        let e = Edge::new(NodeId::from_index(0), NodeId::from_index(1), 0);
+        assert!(e.is_zero_delay());
+    }
+
+    #[test]
+    fn display_shows_delay() {
+        let e = Edge::new(NodeId::from_index(3), NodeId::from_index(4), 1);
+        assert_eq!(e.to_string(), "n3 -[1]-> n4");
+    }
+}

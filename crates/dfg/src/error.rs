@@ -1,0 +1,114 @@
+//! Error types for DFG construction and analysis.
+
+use core::fmt;
+
+use crate::ids::NodeId;
+
+/// Errors produced when building or validating a [`Dfg`](crate::Dfg).
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum DfgError {
+    /// An edge endpoint refers to a node that does not exist in the graph.
+    UnknownNode {
+        /// The offending id.
+        node: NodeId,
+        /// Number of nodes in the graph at the time of the call.
+        node_count: usize,
+    },
+    /// A zero-delay self loop was requested; such an edge would make the
+    /// node depend on itself within one iteration.
+    ZeroDelaySelfLoop {
+        /// The node with the illegal self loop.
+        node: NodeId,
+    },
+    /// The subgraph of zero-delay edges contains a cycle, so no static
+    /// schedule exists (Section 2 of the paper requires it to be a DAG).
+    ZeroDelayCycle {
+        /// Nodes on one offending cycle, in order.
+        cycle: Vec<NodeId>,
+    },
+    /// The graph contains a cycle whose edges carry no delay at all after
+    /// applying a retiming, meaning the retiming is illegal.
+    IllegalRetiming {
+        /// An edge's endpoints where the retimed delay went negative.
+        from: NodeId,
+        /// Head of the offending edge.
+        to: NodeId,
+        /// The (negative) retimed delay.
+        retimed_delay: i64,
+    },
+    /// A computation node was declared with zero execution time.
+    ZeroTimeNode {
+        /// The offending node.
+        node: NodeId,
+    },
+}
+
+impl fmt::Display for DfgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DfgError::UnknownNode { node, node_count } => write!(
+                f,
+                "node {node} does not exist (graph has {node_count} nodes)"
+            ),
+            DfgError::ZeroDelaySelfLoop { node } => {
+                write!(f, "zero-delay self loop on node {node}")
+            }
+            DfgError::ZeroDelayCycle { cycle } => {
+                write!(f, "zero-delay cycle through nodes ")?;
+                for (i, n) in cycle.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " -> ")?;
+                    }
+                    write!(f, "{n}")?;
+                }
+                Ok(())
+            }
+            DfgError::IllegalRetiming {
+                from,
+                to,
+                retimed_delay,
+            } => write!(
+                f,
+                "retiming is illegal: edge {from} -> {to} would have {retimed_delay} delays"
+            ),
+            DfgError::ZeroTimeNode { node } => {
+                write!(f, "node {node} has zero computation time")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DfgError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_unknown_node() {
+        let e = DfgError::UnknownNode {
+            node: NodeId::from_index(9),
+            node_count: 4,
+        };
+        assert_eq!(e.to_string(), "node n9 does not exist (graph has 4 nodes)");
+    }
+
+    #[test]
+    fn display_zero_delay_cycle() {
+        let e = DfgError::ZeroDelayCycle {
+            cycle: vec![NodeId::from_index(0), NodeId::from_index(2)],
+        };
+        assert_eq!(e.to_string(), "zero-delay cycle through nodes n0 -> n2");
+    }
+
+    #[test]
+    fn display_illegal_retiming() {
+        let e = DfgError::IllegalRetiming {
+            from: NodeId::from_index(1),
+            to: NodeId::from_index(2),
+            retimed_delay: -1,
+        };
+        assert!(e.to_string().contains("-1 delays"));
+    }
+}

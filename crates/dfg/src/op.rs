@@ -1,0 +1,162 @@
+//! Operation kinds carried by computation nodes.
+//!
+//! The paper's model only needs a computation time `t(v)` per node, but real
+//! schedulers bind each node to a *class* of functional unit (the evaluation
+//! uses adders and multipliers). [`OpKind`] names the operation so that a
+//! resource model can group kinds into classes and a timing model can assign
+//! durations uniformly.
+
+use core::fmt;
+use core::str::FromStr;
+
+/// The kind of computation a node performs.
+///
+/// The set covers the operations appearing in the paper's benchmarks (DSP
+/// filters and the differential-equation solver). [`OpKind::Other`] is an
+/// escape hatch for applications with additional operations; schedulers
+/// treat it like any other kind as long as the resource model claims it.
+///
+/// # Examples
+///
+/// ```
+/// use rotsched_dfg::OpKind;
+///
+/// assert!(OpKind::Add.is_additive());
+/// assert!(OpKind::Mul.is_multiplicative());
+/// assert_eq!("mul".parse::<OpKind>().ok(), Some(OpKind::Mul));
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum OpKind {
+    /// Addition.
+    Add,
+    /// Subtraction. Executes on the same units as [`OpKind::Add`].
+    Sub,
+    /// Multiplication.
+    Mul,
+    /// Division.
+    Div,
+    /// Comparison (e.g. the loop test of Figure 1). Executes on adder-class
+    /// units in the paper's experiments.
+    Cmp,
+    /// A bit shift or scale by a power of two; adder-class in this crate.
+    Shift,
+    /// Any other operation; the resource model decides its class.
+    Other,
+}
+
+impl OpKind {
+    /// All kinds, in a fixed order (useful for building per-kind tables).
+    pub const ALL: [OpKind; 7] = [
+        OpKind::Add,
+        OpKind::Sub,
+        OpKind::Mul,
+        OpKind::Div,
+        OpKind::Cmp,
+        OpKind::Shift,
+        OpKind::Other,
+    ];
+
+    /// Whether this kind executes on adder-class hardware in the paper's
+    /// experimental setup (additions, subtractions, comparisons, shifts).
+    #[must_use]
+    pub const fn is_additive(self) -> bool {
+        matches!(
+            self,
+            OpKind::Add | OpKind::Sub | OpKind::Cmp | OpKind::Shift
+        )
+    }
+
+    /// Whether this kind executes on multiplier-class hardware in the
+    /// paper's experimental setup (multiplications and divisions).
+    #[must_use]
+    pub const fn is_multiplicative(self) -> bool {
+        matches!(self, OpKind::Mul | OpKind::Div)
+    }
+
+    /// A short lowercase mnemonic (`"add"`, `"mul"`, …), stable across
+    /// releases and used by the text format in [`crate::text`].
+    #[must_use]
+    pub const fn mnemonic(self) -> &'static str {
+        match self {
+            OpKind::Add => "add",
+            OpKind::Sub => "sub",
+            OpKind::Mul => "mul",
+            OpKind::Div => "div",
+            OpKind::Cmp => "cmp",
+            OpKind::Shift => "shl",
+            OpKind::Other => "other",
+        }
+    }
+}
+
+impl fmt::Display for OpKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.mnemonic())
+    }
+}
+
+/// Error returned when parsing an [`OpKind`] from an unknown mnemonic.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseOpKindError {
+    text: String,
+}
+
+impl fmt::Display for ParseOpKindError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "unknown operation mnemonic `{}`", self.text)
+    }
+}
+
+impl std::error::Error for ParseOpKindError {}
+
+impl FromStr for OpKind {
+    type Err = ParseOpKindError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        OpKind::ALL
+            .iter()
+            .copied()
+            .find(|k| k.mnemonic() == s)
+            .ok_or_else(|| ParseOpKindError {
+                text: s.to_owned(),
+            })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn class_predicates_partition_real_ops() {
+        for kind in OpKind::ALL {
+            if kind == OpKind::Other {
+                continue;
+            }
+            assert_ne!(
+                kind.is_additive(),
+                kind.is_multiplicative(),
+                "{kind} must be in exactly one hardware class"
+            );
+        }
+    }
+
+    #[test]
+    fn mnemonics_roundtrip() {
+        for kind in OpKind::ALL {
+            assert_eq!(kind.mnemonic().parse::<OpKind>().ok(), Some(kind));
+        }
+    }
+
+    #[test]
+    fn unknown_mnemonic_is_an_error() {
+        let err = "frobnicate".parse::<OpKind>().unwrap_err();
+        assert!(err.to_string().contains("frobnicate"));
+    }
+
+    #[test]
+    fn display_matches_mnemonic() {
+        assert_eq!(OpKind::Cmp.to_string(), "cmp");
+    }
+}

@@ -1,0 +1,240 @@
+//! A small line-oriented text format for data-flow graphs.
+//!
+//! The format is meant for fixtures, golden tests, and ad-hoc experiments:
+//!
+//! ```text
+//! # comment
+//! dfg <name>
+//! node <name> <op-mnemonic> <time>
+//! edge <from-name> <to-name> <delays>
+//! ```
+//!
+//! Nodes must be declared before edges reference them. Whitespace
+//! separates fields; node names therefore cannot contain whitespace.
+
+use core::fmt;
+
+use std::collections::HashMap;
+
+use crate::error::DfgError;
+use crate::graph::Dfg;
+use crate::ids::NodeId;
+use crate::op::OpKind;
+
+/// Error produced when parsing the text format.
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ParseDfgError {
+    /// A line had an unknown directive or the wrong number of fields.
+    Syntax {
+        /// 1-based line number.
+        line: usize,
+        /// Explanation.
+        message: String,
+    },
+    /// The graph described is structurally invalid.
+    Graph(DfgError),
+}
+
+impl fmt::Display for ParseDfgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseDfgError::Syntax { line, message } => {
+                write!(f, "line {line}: {message}")
+            }
+            ParseDfgError::Graph(e) => write!(f, "invalid graph: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ParseDfgError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ParseDfgError::Graph(e) => Some(e),
+            ParseDfgError::Syntax { .. } => None,
+        }
+    }
+}
+
+impl From<DfgError> for ParseDfgError {
+    fn from(e: DfgError) -> Self {
+        ParseDfgError::Graph(e)
+    }
+}
+
+/// Serializes a graph in the text format; [`parse`] inverts this.
+#[must_use]
+pub fn to_text(dfg: &Dfg) -> String {
+    use core::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(out, "dfg {}", sanitize(dfg.name()));
+    for (_, node) in dfg.nodes() {
+        let _ = writeln!(
+            out,
+            "node {} {} {}",
+            sanitize(node.name()),
+            node.op().mnemonic(),
+            node.time()
+        );
+    }
+    for (_, edge) in dfg.edges() {
+        let _ = writeln!(
+            out,
+            "edge {} {} {}",
+            sanitize(dfg.node(edge.from()).name()),
+            sanitize(dfg.node(edge.to()).name()),
+            edge.delays()
+        );
+    }
+    out
+}
+
+/// Names may not contain whitespace in the format; replace offenders.
+fn sanitize(name: &str) -> String {
+    name.split_whitespace().collect::<Vec<_>>().join("_")
+}
+
+/// Parses a graph from the text format and validates it.
+///
+/// # Errors
+///
+/// Returns [`ParseDfgError::Syntax`] for malformed lines (with the line
+/// number) and [`ParseDfgError::Graph`] when the described graph fails
+/// [`Dfg::validate`].
+pub fn parse(input: &str) -> Result<Dfg, ParseDfgError> {
+    let syntax = |line: usize, message: &str| ParseDfgError::Syntax {
+        line,
+        message: message.to_owned(),
+    };
+
+    let mut graph = Dfg::new("unnamed");
+    let mut by_name: HashMap<String, NodeId> = HashMap::new();
+
+    for (idx, raw) in input.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let fields: Vec<&str> = line.split_whitespace().collect();
+        match fields[0] {
+            "dfg" => {
+                if fields.len() != 2 {
+                    return Err(syntax(line_no, "expected `dfg <name>`"));
+                }
+                graph = Dfg::new(fields[1]);
+                by_name.clear();
+            }
+            "node" => {
+                if fields.len() != 4 {
+                    return Err(syntax(line_no, "expected `node <name> <op> <time>`"));
+                }
+                let op: OpKind = fields[2]
+                    .parse()
+                    .map_err(|e| syntax(line_no, &format!("{e}")))?;
+                let time: u32 = fields[3]
+                    .parse()
+                    .map_err(|_| syntax(line_no, "time must be a non-negative integer"))?;
+                if by_name.contains_key(fields[1]) {
+                    return Err(syntax(
+                        line_no,
+                        &format!("duplicate node name `{}`", fields[1]),
+                    ));
+                }
+                let id = graph.add_node(fields[1], op, time);
+                by_name.insert(fields[1].to_owned(), id);
+            }
+            "edge" => {
+                if fields.len() != 4 {
+                    return Err(syntax(line_no, "expected `edge <from> <to> <delays>`"));
+                }
+                let lookup = |name: &str| {
+                    by_name.get(name).copied().ok_or_else(|| {
+                        syntax(line_no, &format!("unknown node name `{name}`"))
+                    })
+                };
+                let from = lookup(fields[1])?;
+                let to = lookup(fields[2])?;
+                let delays: u32 = fields[3]
+                    .parse()
+                    .map_err(|_| syntax(line_no, "delays must be a non-negative integer"))?;
+                graph.add_edge(from, to, delays)?;
+            }
+            other => {
+                return Err(syntax(line_no, &format!("unknown directive `{other}`")));
+            }
+        }
+    }
+
+    graph.validate()?;
+    Ok(graph)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Dfg {
+        let mut g = Dfg::new("iir filter");
+        let m = g.add_node("m", OpKind::Mul, 2);
+        let a = g.add_node("a", OpKind::Add, 1);
+        g.add_edge(m, a, 0).unwrap();
+        g.add_edge(a, m, 1).unwrap();
+        g
+    }
+
+    #[test]
+    fn roundtrip_preserves_structure() {
+        let g = sample();
+        let text = to_text(&g);
+        let back = parse(&text).unwrap();
+        assert_eq!(back.node_count(), g.node_count());
+        assert_eq!(back.edge_count(), g.edge_count());
+        assert_eq!(back.name(), "iir_filter");
+        let m = back.node_by_name("m").unwrap();
+        assert_eq!(back.node(m).op(), OpKind::Mul);
+        assert_eq!(back.node(m).time(), 2);
+        let (_, e) = back.edges().find(|(_, e)| e.delays() == 1).unwrap();
+        assert_eq!(back.node(e.from()).name(), "a");
+    }
+
+    #[test]
+    fn comments_and_blank_lines_are_skipped() {
+        let g = parse("# header\n\ndfg g\nnode a add 1\n").unwrap();
+        assert_eq!(g.node_count(), 1);
+    }
+
+    #[test]
+    fn syntax_errors_carry_line_numbers() {
+        let err = parse("dfg g\nnode a add\n").unwrap_err();
+        match err {
+            ParseDfgError::Syntax { line, .. } => assert_eq!(line, 2),
+            other => panic!("expected syntax error, got {other}"),
+        }
+    }
+
+    #[test]
+    fn unknown_node_in_edge_is_rejected() {
+        let err = parse("dfg g\nnode a add 1\nedge a b 0\n").unwrap_err();
+        assert!(err.to_string().contains("unknown node name `b`"));
+    }
+
+    #[test]
+    fn duplicate_node_is_rejected() {
+        let err = parse("dfg g\nnode a add 1\nnode a add 1\n").unwrap_err();
+        assert!(err.to_string().contains("duplicate node name"));
+    }
+
+    #[test]
+    fn invalid_graph_is_rejected_at_validation() {
+        let err = parse("dfg g\nnode a add 1\nnode b add 1\nedge a b 0\nedge b a 0\n")
+            .unwrap_err();
+        assert!(matches!(err, ParseDfgError::Graph(_)));
+    }
+
+    #[test]
+    fn unknown_op_is_rejected() {
+        let err = parse("dfg g\nnode a frob 1\n").unwrap_err();
+        assert!(err.to_string().contains("unknown operation mnemonic"));
+    }
+}

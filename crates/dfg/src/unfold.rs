@@ -1,0 +1,170 @@
+//! Loop unfolding (unrolling) of a data-flow graph.
+//!
+//! Unfolding by a factor `f` replaces the loop body with `f` consecutive
+//! iterations. The paper's front end uses unfolding to generate DFGs with
+//! higher execution rates ([3, 2] in Section 7); the baseline crate uses
+//! it for the unfold-then-schedule comparator.
+//!
+//! Standard construction (Parhi): node `v` becomes copies `v#0 … v#f−1`;
+//! an edge `u → v` with `d` delays becomes, for each `i`, an edge
+//! `u#i → v#((i+d) mod f)` with `⌊(i+d)/f⌋` delays. The unfolded graph
+//! executes `f` iterations of the original loop per iteration of its own.
+
+use crate::error::DfgError;
+use crate::graph::Dfg;
+use crate::ids::NodeId;
+
+/// Result of unfolding: the new graph plus the copy mapping.
+#[derive(Clone, Debug)]
+pub struct Unfolded {
+    /// The unfolded graph.
+    pub graph: Dfg,
+    /// `copies[v.index()][i]` is the node of `graph` holding copy `i` of
+    /// original node `v`.
+    pub copies: Vec<Vec<NodeId>>,
+    /// The unfolding factor.
+    pub factor: u32,
+}
+
+impl Unfolded {
+    /// The copy `i` of original node `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is not a node of the original graph or `i >= factor`.
+    #[must_use]
+    pub fn copy(&self, v: NodeId, i: u32) -> NodeId {
+        self.copies[v.index()][i as usize]
+    }
+}
+
+/// Unfolds `dfg` by `factor`.
+///
+/// # Errors
+///
+/// Returns [`DfgError::ZeroDelayCycle`] if the input graph is invalid.
+/// (A valid graph always unfolds to a valid graph: a zero-delay cycle in
+/// the unfolded graph would project to a zero-delay cycle in the
+/// original.)
+///
+/// # Panics
+///
+/// Panics if `factor == 0`.
+pub fn unfold(dfg: &Dfg, factor: u32) -> Result<Unfolded, DfgError> {
+    assert!(factor >= 1, "unfolding factor must be at least 1");
+    dfg.validate()?;
+
+    let mut graph = Dfg::new(format!("{}(x{})", dfg.name(), factor));
+    let mut copies = vec![Vec::with_capacity(factor as usize); dfg.node_count()];
+    for i in 0..factor {
+        for (v, node) in dfg.nodes() {
+            let id = graph.add_node(format!("{}#{}", node.name(), i), node.op(), node.time());
+            copies[v.index()].push(id);
+        }
+    }
+    // Copies were pushed per iteration: copies[v][i] is the i-th copy.
+    // Fix ordering: above pushes iteration-major, so copies[v] already has
+    // one entry per iteration in order.
+    for (_, edge) in dfg.edges() {
+        for i in 0..factor {
+            let j = (i + edge.delays()) % factor;
+            let delay = (i + edge.delays()) / factor;
+            graph
+                .add_edge(
+                    copies[edge.from().index()][i as usize],
+                    copies[edge.to().index()][j as usize],
+                    delay,
+                )
+                .expect("copies exist and no zero-delay self loops arise");
+        }
+    }
+    debug_assert!(graph.validate().is_ok(), "unfolding preserves validity");
+    Ok(Unfolded {
+        graph,
+        copies,
+        factor,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::{critical_path_length, iteration_bound};
+    use crate::op::OpKind;
+
+    fn iir() -> Dfg {
+        let mut g = Dfg::new("iir");
+        let m = g.add_node("m", OpKind::Mul, 2);
+        let a = g.add_node("a", OpKind::Add, 1);
+        g.add_edge(m, a, 0).unwrap();
+        g.add_edge(a, m, 1).unwrap();
+        g
+    }
+
+    #[test]
+    fn factor_one_is_isomorphic() {
+        let g = iir();
+        let u = unfold(&g, 1).unwrap();
+        assert_eq!(u.graph.node_count(), 2);
+        assert_eq!(u.graph.edge_count(), 2);
+        assert_eq!(u.graph.total_delays(), g.total_delays());
+    }
+
+    #[test]
+    fn node_and_delay_counts_scale_correctly() {
+        let g = iir();
+        let u = unfold(&g, 3).unwrap();
+        assert_eq!(u.graph.node_count(), 6);
+        assert_eq!(u.graph.edge_count(), 6);
+        // Unfolding preserves the total number of delays.
+        assert_eq!(u.graph.total_delays(), g.total_delays());
+    }
+
+    #[test]
+    fn delayed_edge_routes_to_next_iteration_copy() {
+        let g = iir();
+        let a = g.node_by_name("a").unwrap();
+        let m = g.node_by_name("m").unwrap();
+        let u = unfold(&g, 2).unwrap();
+        // a#0 -> m#1 with 0 delays; a#1 -> m#0 with 1 delay.
+        let a0 = u.copy(a, 0);
+        let m1 = u.copy(m, 1);
+        let found = u
+            .graph
+            .edges()
+            .any(|(_, e)| e.from() == a0 && e.to() == m1 && e.delays() == 0);
+        assert!(found, "a#0 should feed m#1 within the unfolded body");
+        let a1 = u.copy(a, 1);
+        let m0 = u.copy(m, 0);
+        let found = u
+            .graph
+            .edges()
+            .any(|(_, e)| e.from() == a1 && e.to() == m0 && e.delays() == 1);
+        assert!(found, "a#1 should feed m#0 of the next unfolded iteration");
+    }
+
+    #[test]
+    fn iteration_bound_scales_by_factor() {
+        let g = iir();
+        // IB(G) = 3 (cycle time 3 over 1 delay); unfolding by f multiplies
+        // both cycle time and the per-copy rate, so IB(G_f) = f * IB(G).
+        assert_eq!(iteration_bound(&g).unwrap(), Some(3));
+        let u = unfold(&g, 3).unwrap();
+        assert_eq!(iteration_bound(&u.graph).unwrap(), Some(9));
+    }
+
+    #[test]
+    fn unfolded_critical_path_grows() {
+        let g = iir();
+        let cp1 = critical_path_length(&g, None).unwrap();
+        let u = unfold(&g, 4).unwrap();
+        let cp4 = critical_path_length(&u.graph, None).unwrap();
+        assert!(cp4 >= cp1);
+    }
+
+    #[test]
+    #[should_panic(expected = "unfolding factor must be at least 1")]
+    fn zero_factor_panics() {
+        let _ = unfold(&iir(), 0);
+    }
+}

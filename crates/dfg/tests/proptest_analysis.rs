@@ -1,0 +1,168 @@
+//! Property-based tests for the DFG analyses.
+
+use proptest::prelude::*;
+use rotsched_dfg::analysis::{
+    critical_path_length, iteration_bound, max_cycle_ratio, retime_to_period, simple_cycles,
+    zero_delay_topological_order, Ratio,
+};
+use rotsched_dfg::{Dfg, NodeId, OpKind, Retiming};
+
+/// A strategy producing small valid DFGs: forward zero-delay edges plus
+/// delayed edges in any direction.
+fn small_dfg() -> impl Strategy<Value = Dfg> {
+    (2_usize..8).prop_flat_map(|n| {
+        let pairs = n * n;
+        (
+            Just(n),
+            proptest::collection::vec(0_u8..4, pairs),
+            proptest::collection::vec(1_u32..4, n),
+        )
+            .prop_map(|(n, kinds, times)| {
+                let mut g = Dfg::new("prop");
+                let ids: Vec<NodeId> = (0..n)
+                    .map(|i| {
+                        let op = if times[i] > 1 { OpKind::Mul } else { OpKind::Add };
+                        g.add_node(format!("v{i}"), op, times[i])
+                    })
+                    .collect();
+                for i in 0..n {
+                    for j in 0..n {
+                        match kinds[i * n + j] {
+                            1 if i < j => {
+                                g.add_edge(ids[i], ids[j], 0).expect("forward edge");
+                            }
+                            2 if i != j => {
+                                g.add_edge(ids[i], ids[j], 1).expect("delayed edge");
+                            }
+                            3 => {
+                                g.add_edge(ids[i], ids[j], 2).expect("delayed edge");
+                            }
+                            _ => {}
+                        }
+                    }
+                }
+                g
+            })
+    })
+}
+
+/// Brute-force max cycle ratio from full cycle enumeration.
+fn brute_force_ratio(g: &Dfg) -> Option<Ratio> {
+    let en = simple_cycles(g, 1_000_000);
+    assert!(!en.truncated, "test graphs are small");
+    en.cycles
+        .iter()
+        .map(|c| Ratio::new(c.total_time(g), c.min_total_delays(g)))
+        .max()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn generated_graphs_validate(g in small_dfg()) {
+        prop_assert!(g.validate().is_ok());
+    }
+
+    #[test]
+    fn max_cycle_ratio_matches_brute_force(g in small_dfg()) {
+        let fast = max_cycle_ratio(&g).expect("valid graph");
+        let brute = brute_force_ratio(&g);
+        prop_assert_eq!(fast, brute);
+    }
+
+    #[test]
+    fn topological_order_respects_zero_delay_edges(g in small_dfg()) {
+        let order = zero_delay_topological_order(&g, None).expect("valid graph");
+        let mut pos = vec![0_usize; g.node_count()];
+        for (i, &v) in order.iter().enumerate() {
+            pos[v.index()] = i;
+        }
+        for (_, e) in g.edges() {
+            if e.is_zero_delay() {
+                prop_assert!(pos[e.from().index()] < pos[e.to().index()]);
+            }
+        }
+    }
+
+    #[test]
+    fn critical_path_is_at_least_the_max_node_time(g in small_dfg()) {
+        let cp = critical_path_length(&g, None).expect("valid graph");
+        prop_assert!(cp >= u64::from(g.max_node_time()));
+    }
+
+    #[test]
+    fn normalization_preserves_retimed_delays(g in small_dfg(), shift in -3_i64..3) {
+        let mut r = Retiming::zero(&g);
+        for v in g.node_ids() {
+            r.set(v, shift + (v.index() as i64 % 2));
+        }
+        let n = r.to_normalized();
+        prop_assert!(n.is_normalized());
+        for (id, _) in g.edges() {
+            prop_assert_eq!(n.retimed_delay(&g, id), r.retimed_delay(&g, id));
+        }
+    }
+
+    #[test]
+    fn feasible_retiming_meets_the_period(g in small_dfg()) {
+        // Any period at or above the critical path is trivially feasible;
+        // check the returned retiming actually achieves what it claims.
+        let cp = critical_path_length(&g, None).expect("valid graph");
+        if let Some(r) = retime_to_period(&g, cp).expect("valid graph") {
+            prop_assert!(r.is_legal(&g));
+            let cp_r = critical_path_length(&g, Some(&r)).expect("legal retiming");
+            prop_assert!(cp_r <= cp);
+        }
+    }
+
+    #[test]
+    fn retiming_below_cycle_ratio_is_infeasible(g in small_dfg()) {
+        if let Some(ratio) = max_cycle_ratio(&g).expect("valid graph") {
+            let below = ratio.ceil().saturating_sub(1);
+            if below >= 1 && (ratio.num() > below * ratio.den()) {
+                let r = retime_to_period(&g, below).expect("valid graph");
+                prop_assert!(r.is_none(), "period {} below ratio {}", below, ratio);
+            }
+        }
+    }
+
+    #[test]
+    fn iteration_bound_never_exceeds_critical_path(g in small_dfg()) {
+        // Every cycle's ratio is bounded by its own total time, which is
+        // bounded by... not by CP in general, but IB <= total time of the
+        // heaviest cycle <= total graph time; check the cheap invariant.
+        if let Some(ib) = iteration_bound(&g).expect("valid graph") {
+            prop_assert!(ib <= g.total_time());
+        }
+    }
+
+    #[test]
+    fn unfolding_scales_the_cycle_ratio(g in small_dfg(), f in 1_u32..4) {
+        let base = max_cycle_ratio(&g).expect("valid graph");
+        let unfolded = rotsched_dfg::unfold::unfold(&g, f).expect("valid graph");
+        let scaled = max_cycle_ratio(&unfolded.graph).expect("unfolded graph is valid");
+        match (base, scaled) {
+            (None, None) => {}
+            (Some(b), Some(s)) => {
+                // ratio(G_f) = f * ratio(G), exactly.
+                prop_assert_eq!(
+                    Ratio::new(b.num() * u64::from(f), b.den()),
+                    s
+                );
+            }
+            other => prop_assert!(false, "cyclicity changed under unfolding: {:?}", other),
+        }
+    }
+
+    #[test]
+    fn text_format_roundtrips(g in small_dfg()) {
+        let text = rotsched_dfg::text::to_text(&g);
+        let back = rotsched_dfg::text::parse(&text).expect("roundtrip parses");
+        prop_assert_eq!(back.node_count(), g.node_count());
+        prop_assert_eq!(back.edge_count(), g.edge_count());
+        let orig: Vec<_> = g.edges().map(|(_, e)| (e.from(), e.to(), e.delays())).collect();
+        let parsed: Vec<_> = back.edges().map(|(_, e)| (e.from(), e.to(), e.delays())).collect();
+        prop_assert_eq!(orig, parsed);
+    }
+}

@@ -1,0 +1,137 @@
+//! Error types for scheduling.
+
+use core::fmt;
+
+use rotsched_dfg::{DfgError, NodeId};
+
+/// Errors produced while constructing or validating schedules.
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SchedError {
+    /// The underlying graph (or the retimed graph) cannot be scheduled.
+    Graph(DfgError),
+    /// An operation kind has no resource class to execute on.
+    UnboundOp {
+        /// The node whose operation is unbound.
+        node: NodeId,
+    },
+    /// A node is missing from a schedule that must be complete.
+    Unscheduled {
+        /// The missing node.
+        node: NodeId,
+    },
+    /// A zero-delay precedence `u → v` is violated: `s(u) + t(u) > s(v)`.
+    PrecedenceViolated {
+        /// Producer.
+        from: NodeId,
+        /// Consumer.
+        to: NodeId,
+        /// Producer finish step (exclusive).
+        finish: u32,
+        /// Consumer start step.
+        start: u32,
+    },
+    /// More units of a class are needed in a control step than exist.
+    ResourceOverflow {
+        /// Name of the over-subscribed class.
+        class: String,
+        /// The control step.
+        cs: u32,
+        /// Units demanded.
+        used: u32,
+        /// Units available.
+        limit: u32,
+    },
+    /// No legal placement exists for a node (e.g. partial rescheduling
+    /// boxed in by fixed successors).
+    NoFeasibleSlot {
+        /// The node that could not be placed.
+        node: NodeId,
+    },
+}
+
+impl fmt::Display for SchedError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SchedError::Graph(e) => write!(f, "graph cannot be scheduled: {e}"),
+            SchedError::UnboundOp { node } => {
+                write!(f, "no resource class executes the operation of node {node}")
+            }
+            SchedError::Unscheduled { node } => {
+                write!(f, "node {node} is not scheduled")
+            }
+            SchedError::PrecedenceViolated {
+                from,
+                to,
+                finish,
+                start,
+            } => write!(
+                f,
+                "precedence violated: {from} finishes at step {finish} but {to} starts at step {start}"
+            ),
+            SchedError::ResourceOverflow {
+                class,
+                cs,
+                used,
+                limit,
+            } => write!(
+                f,
+                "resource overflow: {used} {class} units needed in control step {cs}, only {limit} available"
+            ),
+            SchedError::NoFeasibleSlot { node } => {
+                write!(f, "no feasible control step for node {node}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SchedError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SchedError::Graph(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<DfgError> for SchedError {
+    fn from(e: DfgError) -> Self {
+        SchedError::Graph(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_precedence() {
+        let e = SchedError::PrecedenceViolated {
+            from: NodeId::from_index(0),
+            to: NodeId::from_index(1),
+            finish: 5,
+            start: 3,
+        };
+        assert!(e.to_string().contains("finishes at step 5"));
+    }
+
+    #[test]
+    fn display_resource_overflow() {
+        let e = SchedError::ResourceOverflow {
+            class: "multiplier".into(),
+            cs: 4,
+            used: 2,
+            limit: 1,
+        };
+        assert!(e.to_string().contains("2 multiplier units"));
+    }
+
+    #[test]
+    fn graph_error_converts() {
+        let ge = DfgError::ZeroTimeNode {
+            node: NodeId::from_index(2),
+        };
+        let se: SchedError = ge.clone().into();
+        assert!(matches!(se, SchedError::Graph(inner) if inner == ge));
+    }
+}

@@ -1,0 +1,531 @@
+//! List scheduling — the paper's `FullSchedule` and `PartialSchedule`
+//! procedures.
+//!
+//! The scheduler places operations into 1-based control steps, earliest
+//! feasible step first, breaking ties among ready operations by a
+//! [`PriorityPolicy`] weight (the paper uses descendant count). It
+//! handles single-cycle, multi-cycle, and pipelined functional units
+//! through the occupancy model of [`ResourceClass`].
+//!
+//! `PartialSchedule(G, s, X)` is the incremental mode: nodes outside `X`
+//! keep their control steps and their resource reservations; only the
+//! nodes of `X` are (re)placed. Rotation scheduling calls this after each
+//! down-rotation so that "only a part of the DFG is rescheduled in each
+//! rotation".
+//!
+//! [`ResourceClass`]: crate::ResourceClass
+
+use rotsched_dfg::analysis::topo::is_zero_delay_under;
+use rotsched_dfg::{Dfg, NodeId, Retiming};
+
+use crate::error::SchedError;
+use crate::priority::PriorityPolicy;
+use crate::reservation::ReservationTable;
+use crate::resources::ResourceSet;
+use crate::schedule::Schedule;
+
+/// A list scheduler with a configurable priority policy.
+///
+/// # Examples
+///
+/// ```
+/// use rotsched_dfg::{DfgBuilder, OpKind};
+/// use rotsched_sched::{ListScheduler, ResourceSet};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let g = DfgBuilder::new("pair")
+///     .node("m1", OpKind::Mul, 1)
+///     .node("m2", OpKind::Mul, 1)
+///     .build()?;
+/// // One multiplier: the two independent multiplies serialize.
+/// let s = ListScheduler::default().schedule(
+///     &g,
+///     None,
+///     &ResourceSet::adders_multipliers(1, 1, false),
+/// )?;
+/// assert_eq!(s.length(&g), 2);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ListScheduler {
+    policy: PriorityPolicy,
+}
+
+impl ListScheduler {
+    /// A scheduler using the given priority policy.
+    #[must_use]
+    pub fn new(policy: PriorityPolicy) -> Self {
+        ListScheduler { policy }
+    }
+
+    /// The priority policy in use.
+    #[must_use]
+    pub fn policy(&self) -> PriorityPolicy {
+        self.policy
+    }
+
+    /// Schedules the whole zero-delay DAG of `G_r` from scratch
+    /// (`FullSchedule`). The result is normalized to start at control
+    /// step 1 and is a legal DAG schedule under `resources`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SchedError::Graph`] if the (retimed) zero-delay subgraph
+    /// is cyclic and [`SchedError::UnboundOp`] if some operation has no
+    /// resource class.
+    pub fn schedule(
+        &self,
+        dfg: &Dfg,
+        retiming: Option<&Retiming>,
+        resources: &ResourceSet,
+    ) -> Result<Schedule, SchedError> {
+        let mut schedule = Schedule::empty(dfg);
+        let free: Vec<NodeId> = dfg.node_ids().collect();
+        self.reschedule(dfg, retiming, resources, &mut schedule, &free)?;
+        schedule.normalize();
+        Ok(schedule)
+    }
+
+    /// Incrementally places the nodes of `free` into `schedule` without
+    /// moving any already-scheduled node (`PartialSchedule`). Nodes of
+    /// `free` that were scheduled are deallocated first.
+    ///
+    /// Fixed nodes keep their reservations; each free node is placed at
+    /// its earliest control step that satisfies (a) zero-delay precedence
+    /// from both fixed and free predecessors, (b) zero-delay precedence
+    /// *into* fixed successors, and (c) unit availability.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SchedError::Graph`] for a cyclic zero-delay subgraph,
+    /// [`SchedError::UnboundOp`] for an unbindable operation,
+    /// [`SchedError::ResourceOverflow`] when the fixed part of the
+    /// schedule already violates the resource limits, and
+    /// [`SchedError::NoFeasibleSlot`] when a free node is boxed in by
+    /// fixed successors.
+    pub fn reschedule(
+        &self,
+        dfg: &Dfg,
+        retiming: Option<&Retiming>,
+        resources: &ResourceSet,
+        schedule: &mut Schedule,
+        free: &[NodeId],
+    ) -> Result<(), SchedError> {
+        let weights = self.policy.weights(dfg, retiming).map_err(SchedError::from)?;
+
+        let mut is_free = dfg.node_map(false);
+        for &v in free {
+            is_free[v] = true;
+            schedule.clear(v);
+        }
+
+        // Bind operations to classes up front.
+        let mut class_of = dfg.node_map(None);
+        for (v, node) in dfg.nodes() {
+            class_of[v] = Some(
+                resources
+                    .class_for(node.op())
+                    .ok_or(SchedError::UnboundOp { node: v })?,
+            );
+        }
+
+        // Reserve the fixed nodes' units.
+        let mut table = ReservationTable::new(resources);
+        for (v, cs) in schedule.iter() {
+            let class_id = class_of[v].expect("all ops bound above");
+            let class = resources.class(class_id);
+            let steps: Vec<u32> = class
+                .occupancy(dfg.node(v).time())
+                .map(|off| cs + off)
+                .collect();
+            if !table.can_place(class_id, steps.iter().copied()) {
+                let bad = steps
+                    .iter()
+                    .copied()
+                    .find(|&s| table.used(class_id, s) >= class.count())
+                    .unwrap_or(cs);
+                return Err(SchedError::ResourceOverflow {
+                    class: class.name().to_owned(),
+                    cs: bad,
+                    used: table.used(class_id, bad) + 1,
+                    limit: class.count(),
+                });
+            }
+            table.place(class_id, steps);
+        }
+
+        // Dependency bookkeeping over the zero-delay DAG of G_r.
+        // blocking[v] = number of *unscheduled free* zero-delay preds.
+        let mut blocking = dfg.node_map(0_u32);
+        for v in free.iter().copied() {
+            for &e in dfg.in_edges(v) {
+                if is_zero_delay_under(dfg, retiming, e) {
+                    let u = dfg.edge(e).from();
+                    if is_free[u] {
+                        blocking[v] += 1;
+                    }
+                }
+            }
+        }
+        // Sanity: the zero-delay subgraph must be acyclic overall.
+        rotsched_dfg::analysis::zero_delay_topological_order(dfg, retiming)
+            .map_err(SchedError::from)?;
+
+        // Latest start allowed by *fixed* zero-delay successors: v must
+        // finish before any fixed successor w starts, i.e.
+        // s(v) <= s(w) - t(v). A bound of 0 marks an unsatisfiable box-in
+        // (control steps are 1-based). Fixed nodes never move, so this is
+        // computed once.
+        let mut latest: rotsched_dfg::NodeMap<Option<u32>> = dfg.node_map(None);
+        for &v in free {
+            let t = dfg.node(v).time().max(1);
+            for &e in dfg.out_edges(v) {
+                if is_zero_delay_under(dfg, retiming, e) {
+                    let w = dfg.edge(e).to();
+                    if !is_free[w] {
+                        if let Some(sw) = schedule.start(w) {
+                            let bound = sw.saturating_sub(t);
+                            latest[v] = Some(latest[v].map_or(bound, |a| a.min(bound)));
+                        }
+                    }
+                }
+            }
+        }
+
+        // Earliest start from already-scheduled zero-delay predecessors.
+        let earliest_start = |v: NodeId, schedule: &Schedule| -> u32 {
+            let mut earliest = 1;
+            for &e in dfg.in_edges(v) {
+                if is_zero_delay_under(dfg, retiming, e) {
+                    let u = dfg.edge(e).from();
+                    if let Some(su) = schedule.start(u) {
+                        earliest = earliest.max(su + dfg.node(u).time().max(1));
+                    }
+                }
+            }
+            earliest
+        };
+
+        let mut remaining: usize = free.len();
+        let mut ready: Vec<NodeId> = free
+            .iter()
+            .copied()
+            .filter(|&v| blocking[v] == 0)
+            .collect();
+
+        // A safe horizon: everything fits after the fixed part even fully
+        // serialized.
+        let horizon = table.horizon() + u32::try_from(dfg.total_time()).unwrap_or(u32::MAX) + 1;
+
+        let mut cs: u32 = 1;
+        while remaining > 0 {
+            if cs > horizon {
+                let stuck = free
+                    .iter()
+                    .copied()
+                    .find(|&v| schedule.start(v).is_none())
+                    .expect("remaining > 0 implies an unscheduled free node");
+                return Err(SchedError::NoFeasibleSlot { node: stuck });
+            }
+
+            // Ready nodes whose precedence admits this step: nodes boxed
+            // in by fixed successors (earliest deadline) first, then by
+            // weight. Unboxed nodes have no deadline, so plain full
+            // scheduling is unaffected.
+            ready.sort_by_key(|&v| {
+                (
+                    latest[v].unwrap_or(u32::MAX),
+                    core::cmp::Reverse(weights[v]),
+                    v,
+                )
+            });
+            let mut placed_any = true;
+            while placed_any {
+                placed_any = false;
+                let mut i = 0;
+                while i < ready.len() {
+                    let v = ready[i];
+                    let earliest = earliest_start(v, schedule);
+                    if earliest > cs {
+                        i += 1;
+                        continue;
+                    }
+                    if let Some(bound) = latest[v] {
+                        if cs > bound {
+                            return Err(SchedError::NoFeasibleSlot { node: v });
+                        }
+                    }
+                    let class_id = class_of[v].expect("all ops bound above");
+                    let class = resources.class(class_id);
+                    let steps: Vec<u32> = class
+                        .occupancy(dfg.node(v).time())
+                        .map(|off| cs + off)
+                        .collect();
+                    if table.can_place(class_id, steps.iter().copied()) {
+                        table.place(class_id, steps);
+                        schedule.set(v, cs);
+                        remaining -= 1;
+                        ready.swap_remove(i);
+                        placed_any = true;
+                        // Unblock free successors.
+                        for &e in dfg.out_edges(v) {
+                            if is_zero_delay_under(dfg, retiming, e) {
+                                let w = dfg.edge(e).to();
+                                if is_free[w] && schedule.start(w).is_none() {
+                                    blocking[w] -= 1;
+                                    if blocking[w] == 0 {
+                                        ready.push(w);
+                                    }
+                                }
+                            }
+                        }
+                    } else {
+                        i += 1;
+                    }
+                }
+                if placed_any {
+                    // Newly unblocked nodes may also fit in this step.
+                    ready.sort_by_key(|&v| {
+                        (
+                            latest[v].unwrap_or(u32::MAX),
+                            core::cmp::Reverse(weights[v]),
+                            v,
+                        )
+                    });
+                }
+            }
+            cs += 1;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::validate::check_dag_schedule;
+    use rotsched_dfg::{DfgBuilder, OpKind};
+
+    fn resources(adders: u32, mults: u32) -> ResourceSet {
+        ResourceSet::adders_multipliers(adders, mults, false)
+    }
+
+    #[test]
+    fn serializes_on_one_unit() {
+        let g = DfgBuilder::new("three-adds")
+            .nodes("a", 3, OpKind::Add, 1)
+            .build()
+            .unwrap();
+        let s = ListScheduler::default()
+            .schedule(&g, None, &resources(1, 0))
+            .unwrap();
+        assert_eq!(s.length(&g), 3);
+        check_dag_schedule(&g, None, &s, &resources(1, 0)).unwrap();
+    }
+
+    #[test]
+    fn parallelizes_on_two_units() {
+        let g = DfgBuilder::new("four-adds")
+            .nodes("a", 4, OpKind::Add, 1)
+            .build()
+            .unwrap();
+        let s = ListScheduler::default()
+            .schedule(&g, None, &resources(2, 0))
+            .unwrap();
+        assert_eq!(s.length(&g), 2);
+    }
+
+    #[test]
+    fn respects_zero_delay_chains() {
+        let g = DfgBuilder::new("chain")
+            .node("m", OpKind::Mul, 2)
+            .node("a", OpKind::Add, 1)
+            .wire("m", "a")
+            .build()
+            .unwrap();
+        let s = ListScheduler::default()
+            .schedule(&g, None, &resources(1, 1))
+            .unwrap();
+        let m = g.node_by_name("m").unwrap();
+        let a = g.node_by_name("a").unwrap();
+        assert_eq!(s.start(m), Some(1));
+        assert_eq!(s.start(a), Some(3), "add waits for the 2-cycle mult");
+    }
+
+    #[test]
+    fn delayed_edges_do_not_constrain_the_dag_schedule() {
+        let g = DfgBuilder::new("feedback")
+            .node("m", OpKind::Mul, 1)
+            .node("a", OpKind::Add, 1)
+            .edge("m", "a", 1)
+            .build()
+            .unwrap();
+        let s = ListScheduler::default()
+            .schedule(&g, None, &resources(1, 1))
+            .unwrap();
+        assert_eq!(s.length(&g), 1, "both ops share step 1 on distinct units");
+    }
+
+    #[test]
+    fn pipelined_multiplier_issues_every_step() {
+        let g = DfgBuilder::new("two-mults")
+            .nodes("m", 2, OpKind::Mul, 2)
+            .build()
+            .unwrap();
+        let pipelined = ResourceSet::adders_multipliers(1, 1, true);
+        let s = ListScheduler::default().schedule(&g, None, &pipelined).unwrap();
+        // Starts at steps 1 and 2; second finishes at step 3.
+        assert_eq!(s.length(&g), 3);
+
+        let nonpipelined = resources(1, 1);
+        let s2 = ListScheduler::default().schedule(&g, None, &nonpipelined).unwrap();
+        assert_eq!(s2.length(&g), 4, "non-pipelined unit is busy both steps");
+    }
+
+    #[test]
+    fn priority_prefers_heavier_subtrees() {
+        // r1 has 2 descendants, r2 has none; with one adder r1 must go
+        // first for the optimal length.
+        let g = DfgBuilder::new("weights")
+            .nodes("r", 2, OpKind::Add, 1)
+            .nodes("c", 2, OpKind::Add, 1)
+            .wire("r0", "c0")
+            .wire("c0", "c1")
+            .build()
+            .unwrap();
+        let s = ListScheduler::default()
+            .schedule(&g, None, &resources(1, 0))
+            .unwrap();
+        let r0 = g.node_by_name("r0").unwrap();
+        assert_eq!(s.start(r0), Some(1));
+        assert_eq!(s.length(&g), 4);
+    }
+
+    #[test]
+    fn partial_reschedule_keeps_fixed_nodes() {
+        let g = DfgBuilder::new("partial")
+            .nodes("a", 3, OpKind::Add, 1)
+            .build()
+            .unwrap();
+        let ids: Vec<_> = g.node_ids().collect();
+        let res = resources(1, 0);
+        let mut s = ListScheduler::default().schedule(&g, None, &res).unwrap();
+        let original_a1 = s.start(ids[1]);
+        // Free a0; it should slot back without moving a1/a2.
+        ListScheduler::default()
+            .reschedule(&g, None, &res, &mut s, &[ids[0]])
+            .unwrap();
+        assert_eq!(s.start(ids[1]), original_a1);
+        assert!(s.is_complete());
+        check_dag_schedule(&g, None, &s, &res).unwrap();
+    }
+
+    #[test]
+    fn partial_reschedule_fills_holes() {
+        let g = DfgBuilder::new("holes")
+            .nodes("a", 2, OpKind::Add, 1)
+            .build()
+            .unwrap();
+        let ids: Vec<_> = g.node_ids().collect();
+        let res = resources(1, 0);
+        let mut s = Schedule::empty(&g);
+        s.set(ids[1], 5);
+        ListScheduler::default()
+            .reschedule(&g, None, &res, &mut s, &[ids[0]])
+            .unwrap();
+        assert_eq!(s.start(ids[0]), Some(1), "free node takes the earliest hole");
+    }
+
+    #[test]
+    fn fixed_successor_bounds_free_node() {
+        let g = DfgBuilder::new("boxed")
+            .node("u", OpKind::Add, 1)
+            .node("w", OpKind::Add, 1)
+            .wire("u", "w")
+            .build()
+            .unwrap();
+        let u = g.node_by_name("u").unwrap();
+        let w = g.node_by_name("w").unwrap();
+        let res = resources(2, 0);
+        let mut s = Schedule::empty(&g);
+        s.set(w, 3);
+        ListScheduler::default()
+            .reschedule(&g, None, &res, &mut s, &[u])
+            .unwrap();
+        assert!(s.start(u).unwrap() < 3, "u finishes before w starts");
+    }
+
+    #[test]
+    fn boxed_in_free_node_reports_no_slot() {
+        let g = DfgBuilder::new("impossible")
+            .node("u", OpKind::Mul, 2)
+            .node("w", OpKind::Add, 1)
+            .wire("u", "w")
+            .build()
+            .unwrap();
+        let u = g.node_by_name("u").unwrap();
+        let w = g.node_by_name("w").unwrap();
+        let res = resources(1, 1);
+        let mut s = Schedule::empty(&g);
+        s.set(w, 2); // u needs 2 steps before w: impossible with w at 2.
+        let err = ListScheduler::default()
+            .reschedule(&g, None, &res, &mut s, &[u])
+            .unwrap_err();
+        assert!(matches!(err, SchedError::NoFeasibleSlot { node } if node == u));
+    }
+
+    #[test]
+    fn oversubscribed_fixed_part_is_reported() {
+        let g = DfgBuilder::new("overflow")
+            .nodes("a", 2, OpKind::Add, 1)
+            .build()
+            .unwrap();
+        let ids: Vec<_> = g.node_ids().collect();
+        let res = resources(1, 0);
+        let mut s = Schedule::empty(&g);
+        s.set(ids[0], 1);
+        s.set(ids[1], 1);
+        let err = ListScheduler::default()
+            .reschedule(&g, None, &res, &mut s, &[])
+            .unwrap_err();
+        assert!(matches!(err, SchedError::ResourceOverflow { .. }));
+    }
+
+    #[test]
+    fn unbound_op_is_reported() {
+        let g = DfgBuilder::new("unbound")
+            .node("m", OpKind::Mul, 1)
+            .build()
+            .unwrap();
+        let only_adders = ResourceSet::new(vec![crate::resources::ResourceClass::new(
+            "adder",
+            1,
+            vec![OpKind::Add],
+            false,
+        )]);
+        let err = ListScheduler::default()
+            .schedule(&g, None, &only_adders)
+            .unwrap_err();
+        assert!(matches!(err, SchedError::UnboundOp { .. }));
+    }
+
+    #[test]
+    fn schedule_under_retiming_uses_retimed_dag() {
+        let g = DfgBuilder::new("rot")
+            .node("a", OpKind::Add, 1)
+            .node("b", OpKind::Add, 1)
+            .wire("a", "b")
+            .edge("b", "a", 1)
+            .build()
+            .unwrap();
+        let a = g.node_by_name("a").unwrap();
+        let b = g.node_by_name("b").unwrap();
+        let r = rotsched_dfg::Retiming::from_set(&g, [a]);
+        let s = ListScheduler::default()
+            .schedule(&g, Some(&r), &resources(1, 0))
+            .unwrap();
+        // In G_r the zero-delay edge is b -> a.
+        assert!(s.start(b) < s.start(a));
+    }
+}

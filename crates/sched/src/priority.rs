@@ -1,0 +1,200 @@
+//! Priority (weight) functions for list scheduling.
+//!
+//! The paper's experiments use "a simple list scheduling … with the number
+//! of descendants as the weight function"; that is
+//! [`PriorityPolicy::DescendantCount`] and the default. Alternative
+//! policies are provided for the ablation benchmarks.
+
+use rotsched_dfg::analysis::topo::{is_zero_delay_under, zero_delay_topological_order};
+use rotsched_dfg::{Dfg, DfgError, NodeMap, Retiming};
+
+use crate::asap_alap::timing_bounds;
+
+/// How list scheduling ranks ready nodes (higher weight schedules first).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum PriorityPolicy {
+    /// Number of (transitive) descendants in the zero-delay DAG — the
+    /// paper's weight function.
+    #[default]
+    DescendantCount,
+    /// Height: the longest zero-delay path from the node to any sink
+    /// (critical-path list scheduling).
+    PathHeight,
+    /// Inverse mobility: nodes with less ALAP−ASAP slack first.
+    Mobility,
+    /// Node index order (a deliberately weak policy, for ablations).
+    InputOrder,
+}
+
+impl PriorityPolicy {
+    /// Computes the weight of every node for the zero-delay DAG of `G_r`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DfgError::ZeroDelayCycle`] if the zero-delay subgraph is
+    /// not a DAG.
+    pub fn weights(
+        self,
+        dfg: &Dfg,
+        retiming: Option<&Retiming>,
+    ) -> Result<NodeMap<u64>, DfgError> {
+        match self {
+            PriorityPolicy::DescendantCount => descendant_counts(dfg, retiming),
+            PriorityPolicy::PathHeight => path_heights(dfg, retiming),
+            PriorityPolicy::Mobility => {
+                let tb = timing_bounds(dfg, retiming, None)?;
+                let max_mob = dfg
+                    .node_ids()
+                    .map(|v| u64::from(tb.mobility(v)))
+                    .max()
+                    .unwrap_or(0);
+                let mut w = dfg.node_map(0_u64);
+                for v in dfg.node_ids() {
+                    w[v] = max_mob - u64::from(tb.mobility(v));
+                }
+                Ok(w)
+            }
+            PriorityPolicy::InputOrder => {
+                let n = dfg.node_count() as u64;
+                let mut w = dfg.node_map(0_u64);
+                for (i, v) in dfg.node_ids().enumerate() {
+                    w[v] = n - i as u64;
+                }
+                Ok(w)
+            }
+        }
+    }
+}
+
+/// Transitive descendant counts in the zero-delay DAG, via reverse
+/// topological accumulation of descendant bitsets.
+fn descendant_counts(dfg: &Dfg, retiming: Option<&Retiming>) -> Result<NodeMap<u64>, DfgError> {
+    let order = zero_delay_topological_order(dfg, retiming)?;
+    let n = dfg.node_count();
+    let words = n.div_ceil(64);
+    let mut sets = vec![0_u64; n * words];
+    let mut weights = dfg.node_map(0_u64);
+
+    for &v in order.iter().rev() {
+        // Union descendant sets of zero-delay successors, plus the
+        // successors themselves.
+        let vi = v.index();
+        for &e in dfg.out_edges(v) {
+            if is_zero_delay_under(dfg, retiming, e) {
+                let w = dfg.edge(e).to().index();
+                // set bit w
+                sets[vi * words + w / 64] |= 1 << (w % 64);
+                for k in 0..words {
+                    let bits = sets[w * words + k];
+                    sets[vi * words + k] |= bits;
+                }
+            }
+        }
+        weights[v] = sets[vi * words..(vi + 1) * words]
+            .iter()
+            .map(|w| u64::from(w.count_ones()))
+            .sum();
+    }
+    Ok(weights)
+}
+
+/// Longest zero-delay path (in computation time) from each node to a sink,
+/// including the node's own time.
+fn path_heights(dfg: &Dfg, retiming: Option<&Retiming>) -> Result<NodeMap<u64>, DfgError> {
+    let order = zero_delay_topological_order(dfg, retiming)?;
+    let mut heights = dfg.node_map(0_u64);
+    for &v in order.iter().rev() {
+        let mut below = 0_u64;
+        for &e in dfg.out_edges(v) {
+            if is_zero_delay_under(dfg, retiming, e) {
+                below = below.max(heights[dfg.edge(e).to()]);
+            }
+        }
+        heights[v] = below + u64::from(dfg.node(v).time().max(1));
+    }
+    Ok(heights)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rotsched_dfg::{NodeId, OpKind};
+
+    fn tree() -> (Dfg, Vec<NodeId>) {
+        // v0 -> v1 -> v3, v0 -> v2 (all zero delay); v3 -> v0 with delay.
+        let mut g = Dfg::new("tree");
+        let v: Vec<_> = (0..4)
+            .map(|i| g.add_node(format!("v{i}"), OpKind::Add, 1))
+            .collect();
+        g.add_edge(v[0], v[1], 0).unwrap();
+        g.add_edge(v[0], v[2], 0).unwrap();
+        g.add_edge(v[1], v[3], 0).unwrap();
+        g.add_edge(v[3], v[0], 1).unwrap();
+        (g, v)
+    }
+
+    #[test]
+    fn descendant_counts_are_transitive() {
+        let (g, v) = tree();
+        let w = PriorityPolicy::DescendantCount.weights(&g, None).unwrap();
+        assert_eq!(w[v[0]], 3);
+        assert_eq!(w[v[1]], 1);
+        assert_eq!(w[v[2]], 0);
+        assert_eq!(w[v[3]], 0);
+    }
+
+    #[test]
+    fn descendants_respect_retiming() {
+        let (g, v) = tree();
+        // Rotating v0 down removes its zero-delay out-edges from the DAG
+        // and turns the delayed edge v3 -> v0 into a zero-delay one.
+        let r = Retiming::from_set(&g, [v[0]]);
+        let w = PriorityPolicy::DescendantCount.weights(&g, Some(&r)).unwrap();
+        assert_eq!(w[v[0]], 0);
+        assert_eq!(w[v[3]], 1); // v3 now precedes v0
+        assert_eq!(w[v[1]], 2); // v1 -> v3 -> v0
+    }
+
+    #[test]
+    fn path_heights_count_time() {
+        let mut g = Dfg::new("chain");
+        let a = g.add_node("a", OpKind::Mul, 2);
+        let b = g.add_node("b", OpKind::Add, 1);
+        g.add_edge(a, b, 0).unwrap();
+        let w = PriorityPolicy::PathHeight.weights(&g, None).unwrap();
+        assert_eq!(w[a], 3);
+        assert_eq!(w[b], 1);
+    }
+
+    #[test]
+    fn mobility_prioritizes_critical_nodes() {
+        let (g, v) = tree();
+        let w = PriorityPolicy::Mobility.weights(&g, None).unwrap();
+        // v2 is off the critical chain; it must rank strictly below v0.
+        assert!(w[v[0]] > w[v[2]]);
+    }
+
+    #[test]
+    fn input_order_is_monotone() {
+        let (g, v) = tree();
+        let w = PriorityPolicy::InputOrder.weights(&g, None).unwrap();
+        assert!(w[v[0]] > w[v[1]]);
+        assert!(w[v[1]] > w[v[2]]);
+    }
+
+    #[test]
+    fn descendant_counts_with_shared_grandchild_do_not_double_count() {
+        let mut g = Dfg::new("dag");
+        let a = g.add_node("a", OpKind::Add, 1);
+        let b = g.add_node("b", OpKind::Add, 1);
+        let c = g.add_node("c", OpKind::Add, 1);
+        let d = g.add_node("d", OpKind::Add, 1);
+        g.add_edge(a, b, 0).unwrap();
+        g.add_edge(a, c, 0).unwrap();
+        g.add_edge(b, d, 0).unwrap();
+        g.add_edge(c, d, 0).unwrap();
+        let w = PriorityPolicy::DescendantCount.weights(&g, None).unwrap();
+        assert_eq!(w[a], 3, "d is shared, counted once");
+    }
+}

@@ -1,0 +1,197 @@
+//! Reservation tables: per-class, per-control-step unit usage.
+//!
+//! The table supports the two placement disciplines of Section 4: *linear*
+//! occupancy for a growing (unwrapped) schedule, and *cyclic* occupancy
+//! (modulo a kernel length) for wrapped schedules, where the tail of a
+//! multi-cycle operation re-enters the first control steps.
+
+use crate::resources::{ResourceClassId, ResourceSet};
+
+/// Tracks how many units of each class are busy in each control step.
+///
+/// Control steps are 1-based, matching the paper's tables.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ReservationTable {
+    /// `usage[class][cs - 1]` = busy units; grows on demand.
+    usage: Vec<Vec<u32>>,
+    limits: Vec<u32>,
+}
+
+impl ReservationTable {
+    /// An empty table for the given resource set.
+    #[must_use]
+    pub fn new(resources: &ResourceSet) -> Self {
+        ReservationTable {
+            usage: vec![Vec::new(); resources.classes().len()],
+            limits: resources.classes().iter().map(|c| c.count()).collect(),
+        }
+    }
+
+    /// Busy units of `class` in control step `cs` (1-based).
+    #[must_use]
+    pub fn used(&self, class: ResourceClassId, cs: u32) -> u32 {
+        assert!(cs >= 1, "control steps are 1-based");
+        self.usage[class.index()]
+            .get(cs as usize - 1)
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// Whether one unit of `class` is free in **all** the given control
+    /// steps.
+    #[must_use]
+    pub fn can_place(&self, class: ResourceClassId, steps: impl IntoIterator<Item = u32>) -> bool {
+        steps
+            .into_iter()
+            .all(|cs| self.used(class, cs) < self.limits[class.index()])
+    }
+
+    /// Occupies one unit of `class` in each given control step.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any step would exceed the class limit — call
+    /// [`ReservationTable::can_place`] first.
+    pub fn place(&mut self, class: ResourceClassId, steps: impl IntoIterator<Item = u32>) {
+        for cs in steps {
+            assert!(cs >= 1, "control steps are 1-based");
+            let row = &mut self.usage[class.index()];
+            let idx = cs as usize - 1;
+            if row.len() <= idx {
+                row.resize(idx + 1, 0);
+            }
+            row[idx] += 1;
+            assert!(
+                row[idx] <= self.limits[class.index()],
+                "resource class over-subscribed at control step {cs}"
+            );
+        }
+    }
+
+    /// Releases one unit of `class` in each given control step.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a step had no unit of the class occupied.
+    pub fn remove(&mut self, class: ResourceClassId, steps: impl IntoIterator<Item = u32>) {
+        for cs in steps {
+            let row = &mut self.usage[class.index()];
+            let idx = cs as usize - 1;
+            assert!(
+                idx < row.len() && row[idx] > 0,
+                "removing an unplaced reservation at control step {cs}"
+            );
+            row[idx] -= 1;
+        }
+    }
+
+    /// Folds the absolute control steps `steps` into a cyclic kernel of
+    /// `period` steps and checks the per-step limits there — the resource
+    /// condition for a *wrapped* schedule (Section 4). Returns `true` when
+    /// the folded usage fits.
+    #[must_use]
+    pub fn fits_cyclically(&self, period: u32) -> bool {
+        assert!(period >= 1, "kernel period must be positive");
+        for (class_idx, row) in self.usage.iter().enumerate() {
+            let mut folded = vec![0_u32; period as usize];
+            for (idx, &used) in row.iter().enumerate() {
+                folded[idx % period as usize] += used;
+            }
+            if folded.iter().any(|&u| u > self.limits[class_idx]) {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// The largest occupied control step, or 0 when empty.
+    #[must_use]
+    pub fn horizon(&self) -> u32 {
+        self.usage
+            .iter()
+            .map(|row| {
+                row.iter()
+                    .rposition(|&u| u > 0)
+                    .map_or(0, |idx| idx as u32 + 1)
+            })
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::resources::ResourceSet;
+    use rotsched_dfg::OpKind;
+
+    fn table() -> (ReservationTable, ResourceClassId, ResourceClassId) {
+        let rs = ResourceSet::adders_multipliers(2, 1, false);
+        let add = rs.class_for(OpKind::Add).unwrap();
+        let mul = rs.class_for(OpKind::Mul).unwrap();
+        (ReservationTable::new(&rs), add, mul)
+    }
+
+    #[test]
+    fn place_and_query() {
+        let (mut t, add, _) = table();
+        assert!(t.can_place(add, [1, 2]));
+        t.place(add, [1, 2]);
+        assert_eq!(t.used(add, 1), 1);
+        assert_eq!(t.used(add, 3), 0);
+    }
+
+    #[test]
+    fn limit_is_enforced() {
+        let (mut t, _, mul) = table();
+        t.place(mul, [1]);
+        assert!(!t.can_place(mul, [1]));
+        assert!(t.can_place(mul, [2]));
+    }
+
+    #[test]
+    fn remove_frees_the_step() {
+        let (mut t, _, mul) = table();
+        t.place(mul, [4, 5]);
+        t.remove(mul, [4, 5]);
+        assert!(t.can_place(mul, [4]));
+        assert_eq!(t.horizon(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "removing an unplaced reservation")]
+    fn removing_unplaced_panics() {
+        let (mut t, add, _) = table();
+        t.remove(add, [1]);
+    }
+
+    #[test]
+    fn horizon_tracks_last_used_step() {
+        let (mut t, add, _) = table();
+        t.place(add, [7]);
+        assert_eq!(t.horizon(), 7);
+        t.remove(add, [7]);
+        assert_eq!(t.horizon(), 0);
+    }
+
+    #[test]
+    fn cyclic_fit_folds_usage() {
+        let (mut t, _, mul) = table();
+        // Multiplier busy at steps 1 and 4; folded over period 3 they land
+        // on residues 1 and 1 -> two units needed, only one exists.
+        t.place(mul, [1]);
+        t.place(mul, [4]);
+        assert!(!t.fits_cyclically(3));
+        // Folded over period 2: residues 1 and 2 -> fits.
+        assert!(t.fits_cyclically(2));
+    }
+
+    #[test]
+    fn two_adders_allow_two_placements() {
+        let (mut t, add, _) = table();
+        t.place(add, [1]);
+        assert!(t.can_place(add, [1]));
+        t.place(add, [1]);
+        assert!(!t.can_place(add, [1]));
+    }
+}

@@ -1,0 +1,279 @@
+//! Resource (functional-unit) models.
+//!
+//! The paper's experiments allocate *adders* and *multipliers*; a
+//! multiplier is either **non-pipelined** (it is busy for every control
+//! step of a multi-cycle multiplication) or **pipelined** (`Mp` in the
+//! tables: a new operation can start every control step, so a unit is only
+//! contended for in the control step where an operation *starts*).
+//!
+//! [`ResourceSet`] generalizes this to any number of unit classes, each
+//! claiming a set of [`OpKind`]s.
+
+use core::fmt;
+
+use rotsched_dfg::OpKind;
+
+/// Identifier of a resource class within a [`ResourceSet`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ResourceClassId(pub(crate) usize);
+
+impl ResourceClassId {
+    /// The dense index of this class in its [`ResourceSet`].
+    #[must_use]
+    pub const fn index(self) -> usize {
+        self.0
+    }
+
+    /// Builds a class id from a dense index. The index must identify a
+    /// class of the [`ResourceSet`] it is used with.
+    #[must_use]
+    pub const fn from_index(index: usize) -> Self {
+        ResourceClassId(index)
+    }
+}
+
+/// One class of functional units (e.g. "3 pipelined multipliers").
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ResourceClass {
+    name: String,
+    count: u32,
+    ops: Vec<OpKind>,
+    pipelined: bool,
+}
+
+impl ResourceClass {
+    /// Creates a class named `name` with `count` units executing the given
+    /// operation kinds. `pipelined` units only occupy a unit in the
+    /// control step where an operation starts.
+    #[must_use]
+    pub fn new(
+        name: impl Into<String>,
+        count: u32,
+        ops: impl Into<Vec<OpKind>>,
+        pipelined: bool,
+    ) -> Self {
+        ResourceClass {
+            name: name.into(),
+            count,
+            ops: ops.into(),
+            pipelined,
+        }
+    }
+
+    /// The class name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of units in the class.
+    #[must_use]
+    pub fn count(&self) -> u32 {
+        self.count
+    }
+
+    /// Whether units of this class are pipelined.
+    #[must_use]
+    pub fn is_pipelined(&self) -> bool {
+        self.pipelined
+    }
+
+    /// Operation kinds executed by this class.
+    #[must_use]
+    pub fn ops(&self) -> &[OpKind] {
+        &self.ops
+    }
+
+    /// Whether this class executes `op`.
+    #[must_use]
+    pub fn executes(&self, op: OpKind) -> bool {
+        self.ops.contains(&op)
+    }
+
+    /// The control-step offsets (relative to the start step) during which
+    /// an operation of duration `time` occupies one unit of this class.
+    ///
+    /// Non-pipelined: `0..time`. Pipelined: just the start step.
+    pub fn occupancy(&self, time: u32) -> impl Iterator<Item = u32> {
+        let end = if self.pipelined { 1 } else { time.max(1) };
+        0..end
+    }
+}
+
+/// A complete resource allocation: a list of unit classes.
+///
+/// Every operation kind used by a graph must be claimed by exactly one
+/// class; [`ResourceSet::class_for`] resolves the binding.
+///
+/// # Examples
+///
+/// ```
+/// use rotsched_sched::ResourceSet;
+/// use rotsched_dfg::OpKind;
+///
+/// // "2A 1Mp" in the paper's tables: 2 adders, 1 pipelined multiplier.
+/// let rs = ResourceSet::adders_multipliers(2, 1, true);
+/// assert_eq!(rs.classes().len(), 2);
+/// assert!(rs.class_for(OpKind::Add).is_some());
+/// assert!(rs.class_for(OpKind::Mul).is_some());
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ResourceSet {
+    classes: Vec<ResourceClass>,
+}
+
+impl ResourceSet {
+    /// Creates a resource set from explicit classes.
+    #[must_use]
+    pub fn new(classes: Vec<ResourceClass>) -> Self {
+        ResourceSet { classes }
+    }
+
+    /// The paper's standard configuration: `adders` adder-class units
+    /// (executing add/sub/cmp/shift) and `multipliers` multiplier-class
+    /// units (mul/div), pipelined or not.
+    ///
+    /// In table notation, `adders_multipliers(3, 2, false)` is "3A 2M" and
+    /// `adders_multipliers(3, 2, true)` is "3A 2Mp".
+    #[must_use]
+    pub fn adders_multipliers(adders: u32, multipliers: u32, pipelined_mult: bool) -> Self {
+        ResourceSet::new(vec![
+            ResourceClass::new(
+                "adder",
+                adders,
+                vec![OpKind::Add, OpKind::Sub, OpKind::Cmp, OpKind::Shift, OpKind::Other],
+                false,
+            ),
+            ResourceClass::new(
+                "multiplier",
+                multipliers,
+                vec![OpKind::Mul, OpKind::Div],
+                pipelined_mult,
+            ),
+        ])
+    }
+
+    /// An effectively unconstrained resource set (useful for computing
+    /// resource-free schedules with the same machinery).
+    #[must_use]
+    pub fn unlimited() -> Self {
+        ResourceSet::new(vec![ResourceClass::new(
+            "any",
+            u32::MAX,
+            OpKind::ALL.to_vec(),
+            false,
+        )])
+    }
+
+    /// The classes, indexable by [`ResourceClassId::index`].
+    #[must_use]
+    pub fn classes(&self) -> &[ResourceClass] {
+        &self.classes
+    }
+
+    /// Borrows one class.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is not a class of this set.
+    #[must_use]
+    pub fn class(&self, id: ResourceClassId) -> &ResourceClass {
+        &self.classes[id.0]
+    }
+
+    /// The class that executes `op`, if any. When several classes claim
+    /// the same kind the first one wins.
+    #[must_use]
+    pub fn class_for(&self, op: OpKind) -> Option<ResourceClassId> {
+        self.classes
+            .iter()
+            .position(|c| c.executes(op))
+            .map(ResourceClassId)
+    }
+
+    /// Short table notation, e.g. `"3A 2Mp"`.
+    #[must_use]
+    pub fn label(&self) -> String {
+        self.classes
+            .iter()
+            .map(|c| {
+                let tag: String = c
+                    .name
+                    .chars()
+                    .next()
+                    .map(|ch| ch.to_ascii_uppercase().to_string())
+                    .unwrap_or_default();
+                format!(
+                    "{}{}{}",
+                    c.count,
+                    tag,
+                    if c.pipelined { "p" } else { "" }
+                )
+            })
+            .collect::<Vec<_>>()
+            .join(" ")
+    }
+}
+
+impl fmt::Display for ResourceSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_configuration_binds_ops() {
+        let rs = ResourceSet::adders_multipliers(3, 2, false);
+        let add = rs.class_for(OpKind::Add).unwrap();
+        let sub = rs.class_for(OpKind::Sub).unwrap();
+        let mul = rs.class_for(OpKind::Mul).unwrap();
+        assert_eq!(add, sub);
+        assert_ne!(add, mul);
+        assert_eq!(rs.class(add).count(), 3);
+        assert_eq!(rs.class(mul).count(), 2);
+    }
+
+    #[test]
+    fn occupancy_nonpipelined_spans_duration() {
+        let c = ResourceClass::new("m", 1, vec![OpKind::Mul], false);
+        let occ: Vec<u32> = c.occupancy(3).collect();
+        assert_eq!(occ, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn occupancy_pipelined_is_start_only() {
+        let c = ResourceClass::new("m", 1, vec![OpKind::Mul], true);
+        let occ: Vec<u32> = c.occupancy(3).collect();
+        assert_eq!(occ, vec![0]);
+    }
+
+    #[test]
+    fn occupancy_of_zero_time_still_takes_a_step() {
+        let c = ResourceClass::new("m", 1, vec![OpKind::Mul], false);
+        assert_eq!(c.occupancy(0).count(), 1);
+    }
+
+    #[test]
+    fn label_matches_table_notation() {
+        assert_eq!(
+            ResourceSet::adders_multipliers(3, 2, true).label(),
+            "3A 2Mp"
+        );
+        assert_eq!(
+            ResourceSet::adders_multipliers(2, 1, false).label(),
+            "2A 1M"
+        );
+    }
+
+    #[test]
+    fn unlimited_claims_everything() {
+        let rs = ResourceSet::unlimited();
+        for op in OpKind::ALL {
+            assert!(rs.class_for(op).is_some());
+        }
+    }
+}

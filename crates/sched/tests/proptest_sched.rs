@@ -1,0 +1,149 @@
+//! Property-based tests for the scheduling substrate.
+
+use proptest::prelude::*;
+use rotsched_dfg::{Dfg, NodeId, OpKind, Retiming};
+use rotsched_sched::validate::{check_dag_schedule, realizing_retiming};
+use rotsched_sched::{
+    minimal_wrap, simulate, ListScheduler, LoopSchedule, PriorityPolicy, ResourceSet,
+};
+
+/// Small valid DFGs (forward zero-delay edges, delayed edges anywhere).
+fn small_dfg() -> impl Strategy<Value = Dfg> {
+    (2_usize..8).prop_flat_map(|n| {
+        (
+            Just(n),
+            proptest::collection::vec(0_u8..4, n * n),
+            proptest::collection::vec(1_u32..3, n),
+        )
+            .prop_map(|(n, kinds, times)| {
+                let mut g = Dfg::new("prop");
+                let ids: Vec<NodeId> = (0..n)
+                    .map(|i| {
+                        let op = if times[i] > 1 { OpKind::Mul } else { OpKind::Add };
+                        g.add_node(format!("v{i}"), op, times[i])
+                    })
+                    .collect();
+                for i in 0..n {
+                    for j in 0..n {
+                        match kinds[i * n + j] {
+                            1 if i < j => {
+                                g.add_edge(ids[i], ids[j], 0).expect("forward edge");
+                            }
+                            2 if i != j => {
+                                g.add_edge(ids[i], ids[j], 1).expect("delayed edge");
+                            }
+                            3 => {
+                                g.add_edge(ids[i], ids[j], 2).expect("delayed edge");
+                            }
+                            _ => {}
+                        }
+                    }
+                }
+                g
+            })
+    })
+}
+
+fn resource_config() -> impl Strategy<Value = (u32, u32, bool)> {
+    (1_u32..4, 1_u32..4, any::<bool>())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    #[test]
+    fn full_schedules_are_always_legal(
+        g in small_dfg(),
+        (adders, mults, pipelined) in resource_config(),
+        policy_idx in 0_usize..4,
+    ) {
+        let policies = [
+            PriorityPolicy::DescendantCount,
+            PriorityPolicy::PathHeight,
+            PriorityPolicy::Mobility,
+            PriorityPolicy::InputOrder,
+        ];
+        let res = ResourceSet::adders_multipliers(adders, mults, pipelined);
+        let s = ListScheduler::new(policies[policy_idx])
+            .schedule(&g, None, &res)
+            .expect("valid graphs schedule");
+        prop_assert!(check_dag_schedule(&g, None, &s, &res).is_ok());
+        prop_assert!(s.is_complete());
+    }
+
+    #[test]
+    fn partial_reschedule_never_moves_fixed_nodes(
+        g in small_dfg(),
+        (adders, mults, pipelined) in resource_config(),
+        free_mask in proptest::collection::vec(any::<bool>(), 2..8),
+    ) {
+        let res = ResourceSet::adders_multipliers(adders, mults, pipelined);
+        let sched = ListScheduler::default();
+        let mut s = sched.schedule(&g, None, &res).expect("schedulable");
+        let free: Vec<NodeId> = g
+            .node_ids()
+            .filter(|v| *free_mask.get(v.index()).unwrap_or(&false))
+            .collect();
+        let fixed_before: Vec<_> = g
+            .node_ids()
+            .filter(|v| !free.contains(v))
+            .map(|v| (v, s.start(v)))
+            .collect();
+        // Greedy list scheduling may box a freed node in between fixed
+        // neighbors (another free node can take its only slot); that is
+        // reported as NoFeasibleSlot, never as a corrupted schedule.
+        match sched.reschedule(&g, None, &res, &mut s, &free) {
+            Ok(()) => {
+                for (v, before) in fixed_before {
+                    prop_assert_eq!(s.start(v), before, "fixed node {} moved", v);
+                }
+                prop_assert!(check_dag_schedule(&g, None, &s, &res).is_ok());
+            }
+            Err(rotsched_sched::SchedError::NoFeasibleSlot { .. }) => {
+                // Fixed nodes still must not have moved.
+                for (v, before) in fixed_before {
+                    prop_assert_eq!(s.start(v), before, "fixed node {} moved", v);
+                }
+            }
+            Err(other) => prop_assert!(false, "unexpected error: {}", other),
+        }
+    }
+
+    #[test]
+    fn wrapped_length_never_exceeds_unwrapped(
+        g in small_dfg(),
+        (adders, mults, pipelined) in resource_config(),
+    ) {
+        let res = ResourceSet::adders_multipliers(adders, mults, pipelined);
+        let s = ListScheduler::default().schedule(&g, None, &res).expect("schedulable");
+        let w = minimal_wrap(&g, None, &s, &res).expect("legal schedules wrap");
+        prop_assert!(w.kernel_length <= s.length(&g));
+        prop_assert!(w.kernel_length >= 1);
+    }
+
+    #[test]
+    fn realizing_retiming_certifies_list_schedules(g in small_dfg()) {
+        let res = ResourceSet::adders_multipliers(2, 2, false);
+        let s = ListScheduler::default().schedule(&g, None, &res).expect("schedulable");
+        // A DAG schedule of G is realized by the zero retiming; the
+        // solver must find one (possibly another) that is legal and
+        // realizes the schedule.
+        let r = realizing_retiming(&g, &s).expect("DAG schedules are static schedules");
+        prop_assert!(r.is_legal(&g));
+        prop_assert!(check_dag_schedule(&g, Some(&r), &s, &res).is_ok());
+    }
+
+    #[test]
+    fn unpipelined_simulation_always_passes(
+        g in small_dfg(),
+        (adders, mults, pipelined) in resource_config(),
+        iterations in 1_u32..6,
+    ) {
+        let res = ResourceSet::adders_multipliers(adders, mults, pipelined);
+        let s = ListScheduler::default().schedule(&g, None, &res).expect("schedulable");
+        let len = s.length(&g).max(1);
+        let ls = LoopSchedule::new(len, s, Retiming::zero(&g));
+        let report = simulate(&g, &ls, &res, iterations).expect("sequential pipeline is correct");
+        prop_assert_eq!(report.executions, g.node_count() * iterations as usize);
+    }
+}

@@ -1,0 +1,219 @@
+//! `rotsched` — command-line rotation scheduling.
+//!
+//! ```text
+//! rotsched analyze  <file.dfg>
+//! rotsched solve    <file.dfg> [--adders N] [--mults N] [--pipelined]
+//!                              [--verify ITERS] [--dot] [--expand ITERS]
+//! rotsched compare  <file.dfg> [--adders N] [--mults N] [--pipelined]
+//! ```
+//!
+//! Input files use the text format of `rotsched::dfg::text`:
+//!
+//! ```text
+//! dfg my-loop
+//! node m mul 2
+//! node a add 1
+//! edge m a 0
+//! edge a m 1
+//! ```
+
+use std::process::ExitCode;
+
+use rotsched::baselines::{
+    dag_only, lower_bound, modulo_schedule, retime_then_schedule, unfold_and_schedule,
+    ModuloConfig,
+};
+use rotsched::dfg::analysis;
+use rotsched::dfg::text;
+use rotsched::{Dfg, PriorityPolicy, ResourceSet, RotationScheduler};
+
+struct Options {
+    adders: u32,
+    mults: u32,
+    pipelined: bool,
+    verify: Option<u32>,
+    expand: Option<u32>,
+    dot: bool,
+}
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: rotsched <analyze|solve|compare> <file.dfg> \
+         [--adders N] [--mults N] [--pipelined] [--verify N] [--expand N] [--dot]"
+    );
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (Some(command), Some(path)) = (args.first(), args.get(1)) else {
+        return usage();
+    };
+
+    let mut opts = Options {
+        adders: 2,
+        mults: 2,
+        pipelined: false,
+        verify: None,
+        expand: None,
+        dot: false,
+    };
+    let mut it = args[2..].iter();
+    while let Some(flag) = it.next() {
+        let mut take_u32 = |name: &str| -> Option<u32> {
+            match it.next().and_then(|v| v.parse().ok()) {
+                Some(v) => Some(v),
+                None => {
+                    eprintln!("error: {name} needs a numeric argument");
+                    None
+                }
+            }
+        };
+        match flag.as_str() {
+            "--adders" => match take_u32("--adders") {
+                Some(v) => opts.adders = v,
+                None => return usage(),
+            },
+            "--mults" => match take_u32("--mults") {
+                Some(v) => opts.mults = v,
+                None => return usage(),
+            },
+            "--verify" => match take_u32("--verify") {
+                Some(v) => opts.verify = Some(v),
+                None => return usage(),
+            },
+            "--expand" => match take_u32("--expand") {
+                Some(v) => opts.expand = Some(v),
+                None => return usage(),
+            },
+            "--pipelined" => opts.pipelined = true,
+            "--dot" => opts.dot = true,
+            other => {
+                eprintln!("error: unknown flag {other}");
+                return usage();
+            }
+        }
+    }
+
+    let content = match std::fs::read_to_string(path) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("error: cannot read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let graph = match text::parse(&content) {
+        Ok(g) => g,
+        Err(e) => {
+            eprintln!("error: {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let result = match command.as_str() {
+        "analyze" => analyze(&graph),
+        "solve" => solve(&graph, &opts),
+        "compare" => compare(&graph, &opts),
+        _ => return usage(),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn analyze(graph: &Dfg) -> Result<(), Box<dyn std::error::Error>> {
+    println!("graph: {}", graph.name());
+    println!("  nodes: {}", graph.node_count());
+    println!("  edges: {}", graph.edge_count());
+    println!("  delays: {}", graph.total_delays());
+    println!(
+        "  critical path: {} control steps",
+        analysis::critical_path_length(graph, None)?
+    );
+    match analysis::max_cycle_ratio(graph)? {
+        Some(ratio) => println!(
+            "  iteration bound: {} (max cycle ratio {ratio})",
+            ratio.ceil()
+        ),
+        None => println!("  iteration bound: none (acyclic)"),
+    }
+    let scc = analysis::strongly_connected_components(graph);
+    println!(
+        "  strongly connected components: {} ({} cyclic)",
+        scc.components().len(),
+        scc.cyclic_components(graph).count()
+    );
+    Ok(())
+}
+
+fn solve(graph: &Dfg, opts: &Options) -> Result<(), Box<dyn std::error::Error>> {
+    let resources = ResourceSet::adders_multipliers(opts.adders, opts.mults, opts.pipelined);
+    println!(
+        "scheduling under {} (lower bound {})",
+        resources.label(),
+        lower_bound(graph, &resources)?
+    );
+    let scheduler = RotationScheduler::new(graph, resources);
+    let solved = scheduler.solve()?;
+    println!(
+        "kernel: {} control steps, pipeline depth {}, {} optimal schedules found",
+        solved.length,
+        solved.depth,
+        solved.outcome.best.len()
+    );
+    let kernel = scheduler.loop_schedule(&solved.state)?;
+    println!(
+        "\n{}",
+        kernel.schedule().format_table(graph, &["Mult", "Adder"], |v| {
+            usize::from(!graph.node(v).op().is_multiplicative())
+        })
+    );
+    if let Some(iters) = opts.expand {
+        println!("expansion over {iters} iterations:");
+        println!("{}", kernel.format_expansion(graph, iters));
+    }
+    if opts.dot {
+        println!("{}", rotsched::dfg::dot::to_dot(graph, Some(kernel.retiming())));
+    }
+    if let Some(iters) = opts.verify {
+        let report = scheduler.verify(&solved.state, iters)?;
+        println!(
+            "verified over {iters} iterations: makespan {} steps, speedup {:.2}x",
+            report.makespan,
+            report.speedup()
+        );
+    }
+    Ok(())
+}
+
+fn compare(graph: &Dfg, opts: &Options) -> Result<(), Box<dyn std::error::Error>> {
+    let resources = ResourceSet::adders_multipliers(opts.adders, opts.mults, opts.pipelined);
+    let policy = PriorityPolicy::DescendantCount;
+    println!("resources: {}", resources.label());
+    println!("  lower bound:        {}", lower_bound(graph, &resources)?);
+    println!(
+        "  DAG list schedule:  {}",
+        dag_only(graph, &resources, policy)?.length
+    );
+    println!(
+        "  retime-then-sched:  {}",
+        retime_then_schedule(graph, &resources, policy)?.length
+    );
+    println!(
+        "  unfold x4:          {:.2}",
+        unfold_and_schedule(graph, &resources, policy, 4)?.per_iteration
+    );
+    println!(
+        "  modulo scheduling:  {}",
+        modulo_schedule(graph, &resources, &ModuloConfig::default())?.ii
+    );
+    println!(
+        "  rotation scheduling: {}",
+        RotationScheduler::new(graph, resources.clone()).solve()?.length
+    );
+    Ok(())
+}

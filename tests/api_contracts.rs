@@ -1,0 +1,102 @@
+//! API-contract tests (per the Rust API guidelines): thread-safety
+//! markers, error-trait conformance, and Display behavior of the public
+//! types.
+
+use rotsched::baselines::ModuloConfig;
+use rotsched::{
+    Dfg, DfgBuilder, DfgError, HeuristicConfig, ListScheduler, OpKind, ResourceSet, Retiming,
+    RotationError, RotationState, SchedError, Schedule,
+};
+
+fn assert_send_sync<T: Send + Sync>() {}
+fn assert_error<T: std::error::Error + Send + Sync + 'static>() {}
+
+#[test]
+fn core_types_are_send_and_sync() {
+    assert_send_sync::<Dfg>();
+    assert_send_sync::<Retiming>();
+    assert_send_sync::<Schedule>();
+    assert_send_sync::<ResourceSet>();
+    assert_send_sync::<ListScheduler>();
+    assert_send_sync::<RotationState>();
+    assert_send_sync::<HeuristicConfig>();
+    assert_send_sync::<ModuloConfig>();
+}
+
+#[test]
+fn error_types_implement_error_send_sync() {
+    assert_error::<DfgError>();
+    assert_error::<SchedError>();
+    assert_error::<RotationError>();
+    assert_error::<rotsched::sched::SimulationError>();
+    assert_error::<rotsched::dfg::text::ParseDfgError>();
+}
+
+#[test]
+fn error_sources_chain() {
+    use std::error::Error as _;
+    let inner = DfgError::ZeroTimeNode {
+        node: rotsched::NodeId::from_index(0),
+    };
+    let outer: RotationError = inner.clone().into();
+    let source = outer.source().expect("graph errors chain");
+    assert_eq!(source.to_string(), inner.to_string());
+}
+
+#[test]
+fn error_messages_are_lowercase_without_trailing_punctuation() {
+    let samples: Vec<String> = vec![
+        DfgError::ZeroTimeNode {
+            node: rotsched::NodeId::from_index(1),
+        }
+        .to_string(),
+        SchedError::Unscheduled {
+            node: rotsched::NodeId::from_index(1),
+        }
+        .to_string(),
+        RotationError::InvalidSize {
+            size: 3,
+            schedule_length: 2,
+        }
+        .to_string(),
+    ];
+    for msg in samples {
+        let first = msg.chars().next().expect("nonempty message");
+        assert!(first.is_lowercase(), "message starts uppercase: {msg}");
+        assert!(!msg.ends_with('.'), "message ends with punctuation: {msg}");
+    }
+}
+
+#[test]
+fn graphs_can_be_shared_across_threads() {
+    let g = DfgBuilder::new("shared")
+        .nodes("v", 4, OpKind::Add, 1)
+        .chain(&["v0", "v1", "v2", "v3"])
+        .edge("v3", "v0", 2)
+        .build()
+        .unwrap();
+    let g = std::sync::Arc::new(g);
+    let handles: Vec<_> = (1..=2)
+        .map(|adders| {
+            let g = std::sync::Arc::clone(&g);
+            std::thread::spawn(move || {
+                let res = ResourceSet::adders_multipliers(adders, 0, false);
+                rotsched::RotationScheduler::new(&g, res)
+                    .solve()
+                    .expect("schedulable")
+                    .length
+            })
+        })
+        .collect();
+    let lengths: Vec<u32> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+    assert_eq!(lengths, vec![4, 2], "1 adder -> 4 steps; 2 adders -> IB 2");
+}
+
+#[test]
+fn default_and_new_agree() {
+    // C-COMMON-TRAITS: Default and the obvious constructor behave alike.
+    assert_eq!(
+        ListScheduler::default().policy(),
+        ListScheduler::new(rotsched::PriorityPolicy::DescendantCount).policy()
+    );
+}

@@ -1,0 +1,97 @@
+//! End-to-end tests of the `rotsched` command-line tool.
+
+use std::process::Command;
+
+fn fixture(name: &str) -> String {
+    format!(
+        "{}/crates/benchmarks/fixtures/{name}.dfg",
+        env!("CARGO_MANIFEST_DIR")
+    )
+}
+
+fn run(args: &[&str]) -> (String, String, bool) {
+    let out = Command::new(env!("CARGO_BIN_EXE_rotsched"))
+        .args(args)
+        .output()
+        .expect("binary runs");
+    (
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+        out.status.success(),
+    )
+}
+
+#[test]
+fn analyze_reports_characteristics() {
+    let (stdout, _, ok) = run(&["analyze", &fixture("differential-equation")]);
+    assert!(ok);
+    assert!(stdout.contains("critical path: 7"));
+    assert!(stdout.contains("iteration bound: 6"));
+}
+
+#[test]
+fn solve_prints_kernel_and_verifies() {
+    let (stdout, _, ok) = run(&[
+        "solve",
+        &fixture("differential-equation"),
+        "--adders",
+        "1",
+        "--mults",
+        "2",
+        "--verify",
+        "10",
+    ]);
+    assert!(ok);
+    assert!(stdout.contains("kernel: 6 control steps"));
+    assert!(stdout.contains("verified over 10 iterations"));
+}
+
+#[test]
+fn compare_lists_all_baselines() {
+    let (stdout, _, ok) = run(&["compare", &fixture("2-cascaded-biquad-filter")]);
+    assert!(ok);
+    for label in [
+        "lower bound",
+        "DAG list schedule",
+        "retime-then-sched",
+        "unfold x4",
+        "modulo scheduling",
+        "rotation scheduling",
+    ] {
+        assert!(stdout.contains(label), "missing {label}: {stdout}");
+    }
+}
+
+#[test]
+fn pipelined_flag_changes_the_result() {
+    let base = &fixture("differential-equation");
+    let (plain, _, _) = run(&["solve", base, "--adders", "1", "--mults", "1"]);
+    let (pipelined, _, _) = run(&["solve", base, "--adders", "1", "--mults", "1", "--pipelined"]);
+    assert!(plain.contains("kernel: 12"));
+    assert!(pipelined.contains("kernel: 6"));
+}
+
+#[test]
+fn missing_file_fails_cleanly() {
+    let (_, stderr, ok) = run(&["analyze", "/nonexistent.dfg"]);
+    assert!(!ok);
+    assert!(stderr.contains("cannot read"));
+}
+
+#[test]
+fn unknown_flag_shows_usage() {
+    let (_, stderr, ok) = run(&["solve", &fixture("differential-equation"), "--frobnicate"]);
+    assert!(!ok);
+    assert!(stderr.contains("usage:"));
+}
+
+#[test]
+fn malformed_input_reports_the_line() {
+    let dir = std::env::temp_dir().join("rotsched-cli-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("bad.dfg");
+    std::fs::write(&path, "dfg g\nnode a add\n").unwrap();
+    let (_, stderr, ok) = run(&["analyze", path.to_str().unwrap()]);
+    assert!(!ok);
+    assert!(stderr.contains("line 2"));
+}

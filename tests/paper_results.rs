@@ -1,0 +1,161 @@
+//! Integration tests pinning the paper's headline results.
+//!
+//! These run the full evaluation pipeline — benchmarks → rotation
+//! scheduling → lower bounds → end-to-end simulation — and assert the
+//! *shape* of Tables 1–3: rotation scheduling matches or beats every
+//! published number and never beats the lower bound.
+
+use rotsched::baselines::{lower_bound, TABLE_2, TABLE_3};
+use rotsched::dfg::analysis::{critical_path_length, iteration_bound};
+use rotsched::{
+    all_benchmarks, allpole, biquad, diffeq, elliptic, lattice4, ResourceSet, RotationScheduler,
+    TimingModel,
+};
+
+#[test]
+fn table_1_characteristics_match_exactly() {
+    let expected: [(&str, usize, usize, u64, u64); 5] = [
+        ("5th-Order Elliptic Filter", 8, 26, 17, 16),
+        ("Differential Equation", 6, 5, 7, 6),
+        ("4-stage Lattice Filter", 15, 11, 10, 2),
+        ("All-pole Lattice Filter", 4, 11, 16, 8),
+        ("2-cascaded Biquad Filter", 8, 8, 7, 4),
+    ];
+    for ((name, g), (ename, mults, adds, cp, ib)) in
+        all_benchmarks(&TimingModel::paper()).into_iter().zip(expected)
+    {
+        assert_eq!(name, ename);
+        assert_eq!(
+            g.nodes().filter(|(_, n)| n.op().is_multiplicative()).count(),
+            mults
+        );
+        assert_eq!(g.nodes().filter(|(_, n)| n.op().is_additive()).count(), adds);
+        assert_eq!(critical_path_length(&g, None).unwrap(), cp);
+        assert_eq!(iteration_bound(&g).unwrap(), Some(ib));
+    }
+}
+
+/// Runs rotation scheduling for one published row and returns
+/// (achieved length, our lower bound).
+fn run_row(
+    graph: &rotsched::Dfg,
+    adders: u32,
+    multipliers: u32,
+    pipelined: bool,
+) -> (u32, u64) {
+    let resources = ResourceSet::adders_multipliers(adders, multipliers, pipelined);
+    let lb = lower_bound(graph, &resources).unwrap();
+    let scheduler = RotationScheduler::new(graph, resources);
+    let solved = scheduler.solve().unwrap();
+    // Every winning pipeline must execute correctly.
+    scheduler
+        .verify(&solved.state, 20)
+        .unwrap_or_else(|e| panic!("verification failed: {e}"));
+    (solved.length, lb)
+}
+
+#[test]
+fn table_2_rotation_matches_or_beats_the_paper() {
+    let g = elliptic(&TimingModel::paper());
+    for row in TABLE_2 {
+        let (rs, lb) = run_row(&g, row.adders, row.multipliers, row.pipelined);
+        assert!(
+            rs <= row.rs,
+            "{}A {}M{}: measured {rs} worse than paper {}",
+            row.adders,
+            row.multipliers,
+            if row.pipelined { "p" } else { "" },
+            row.rs
+        );
+        assert!(u64::from(rs) >= lb, "below the lower bound?!");
+    }
+}
+
+#[test]
+fn table_3_rotation_matches_or_beats_the_paper() {
+    let t = TimingModel::paper();
+    let graphs = [
+        ("Differential Equation", diffeq(&t)),
+        ("4-stage Lattice Filter", lattice4(&t)),
+        ("All-pole Lattice Filter", allpole(&t)),
+        ("2-cascaded Biquad Filter", biquad(&t)),
+    ];
+    for row in TABLE_3 {
+        let g = &graphs
+            .iter()
+            .find(|(n, _)| *n == row.benchmark)
+            .expect("benchmark exists")
+            .1;
+        let (rs, lb) = run_row(g, row.adders, row.multipliers, row.pipelined);
+        assert!(
+            rs <= row.rs,
+            "{} {}A {}M{}: measured {rs} worse than paper {}",
+            row.benchmark,
+            row.adders,
+            row.multipliers,
+            if row.pipelined { "p" } else { "" },
+            row.rs
+        );
+        assert!(u64::from(rs) >= lb);
+    }
+}
+
+#[test]
+fn diffeq_and_biquad_match_the_paper_exactly() {
+    // These two graphs are derived directly from their published
+    // definitions, so the reproduction must be exact, not just "as good".
+    let t = TimingModel::paper();
+    let diffeq_rows: [(u32, u32, bool, u32); 3] =
+        [(1, 1, true, 6), (1, 2, false, 6), (1, 1, false, 12)];
+    let g = diffeq(&t);
+    for (a, m, p, expect) in diffeq_rows {
+        let (rs, _) = run_row(&g, a, m, p);
+        assert_eq!(rs, expect, "diffeq {a}A {m}M pipelined={p}");
+    }
+    let biquad_rows: [(u32, u32, bool, u32); 8] = [
+        (2, 2, true, 4),
+        (2, 1, true, 8),
+        (1, 2, true, 8),
+        (1, 1, true, 8),
+        (2, 4, false, 4),
+        (2, 3, false, 6),
+        (1, 2, false, 8),
+        (1, 1, false, 16),
+    ];
+    let g = biquad(&t);
+    for (a, m, p, expect) in biquad_rows {
+        let (rs, _) = run_row(&g, a, m, p);
+        assert_eq!(rs, expect, "biquad {a}A {m}M pipelined={p}");
+    }
+}
+
+#[test]
+fn unit_time_diffeq_walkthrough_matches_figure_2() {
+    // Figure 2: initial optimal DAG schedule of length 8 (1 mult, 1
+    // adder, unit time); rotations reach the resource bound of 6.
+    let g = diffeq(&TimingModel::unit());
+    let res = ResourceSet::adders_multipliers(1, 1, false);
+    let scheduler = RotationScheduler::new(&g, res);
+    let mut state = scheduler.initial().unwrap();
+    assert_eq!(state.length(&g), 8, "Figure 2-(a)");
+    let mut reached = state.length(&g);
+    for _ in 0..4 {
+        let out = scheduler.down_rotate(&mut state, 1).unwrap();
+        reached = reached.min(out.length);
+    }
+    assert_eq!(reached, 6, "rotations of size 1 reach the optimum of 6");
+}
+
+#[test]
+fn many_optimal_schedules_are_found_for_the_elliptic_filter() {
+    // Section 6: "the number of optimal schedules found ranges from 15
+    // to 35, depending on the availability of resources."
+    let g = elliptic(&TimingModel::paper());
+    let scheduler = RotationScheduler::new(&g, ResourceSet::adders_multipliers(3, 3, false));
+    let solved = scheduler.solve().unwrap();
+    assert!(
+        solved.outcome.best.len() >= 10,
+        "expected many distinct optima, got {}",
+        solved.outcome.best.len()
+    );
+}

@@ -1,0 +1,123 @@
+//! Focused tests for up-rotation — the inverse operator Section 2
+//! defines symmetrically to down-rotation.
+
+use rotsched::core::RotationError;
+use rotsched::sched::validate::check_dag_schedule;
+use rotsched::{DfgBuilder, OpKind, ResourceSet, RotationScheduler};
+
+fn ring(n: usize, delays: u32) -> rotsched::Dfg {
+    let names: Vec<String> = (0..n).map(|i| format!("v{i}")).collect();
+    let refs: Vec<&str> = names.iter().map(String::as_str).collect();
+    DfgBuilder::new("ring")
+        .nodes("v", n, OpKind::Add, 1)
+        .chain(&refs)
+        .edge(&format!("v{}", n - 1), "v0", delays)
+        .build()
+        .unwrap()
+}
+
+#[test]
+fn up_rotation_undoes_a_down_rotation() {
+    let g = ring(4, 2);
+    let res = ResourceSet::adders_multipliers(2, 0, false);
+    let rs = RotationScheduler::new(&g, res.clone());
+    let mut st = rs.initial().unwrap();
+    let initial_len = st.length(&g);
+
+    // Down-rotate once, then up-rotate the suffix containing the same
+    // node: the retiming returns toward zero and legality holds
+    // throughout.
+    let down = rs.down_rotate(&mut st, 1).unwrap();
+    assert_eq!(st.retiming.max_value(), 1);
+    // The rotated node now sits at the end of the schedule; rotate the
+    // last step back up.
+    match rs.up_rotate(&mut st, 1) {
+        Ok(up) => {
+            // If exactly the same set came back, R is zero again.
+            let mut a = down.rotated.clone();
+            let mut b = up.rotated.clone();
+            a.sort();
+            b.sort();
+            if a == b {
+                assert_eq!(st.retiming.max_value(), 0);
+                assert_eq!(st.retiming.min_value(), 0);
+            }
+            assert!(st.retiming.is_legal(&g));
+            check_dag_schedule(&g, Some(&st.retiming), &st.schedule, &res).unwrap();
+            assert!(st.length(&g) <= initial_len + 1);
+        }
+        Err(RotationError::NotRotatable { .. }) => {
+            // Legal outcome when the suffix picked up extra nodes whose
+            // up-rotation is blocked; state must be unchanged then.
+            assert!(st.retiming.is_legal(&g));
+        }
+        Err(other) => panic!("unexpected error: {other}"),
+    }
+}
+
+#[test]
+fn up_rotations_circulate_delays_around_a_ring_indefinitely() {
+    // Delays are conserved on a cycle; up-rotation moves the register
+    // backwards around the ring forever, keeping every invariant — it
+    // never "drains". The retiming values keep decreasing while the
+    // schedule stays at the resource bound.
+    let g = ring(3, 1);
+    let res = ResourceSet::adders_multipliers(1, 0, false);
+    let rs = RotationScheduler::new(&g, res.clone());
+    let mut st = rs.initial().unwrap();
+    for _ in 0..6 {
+        rs.up_rotate(&mut st, 1).unwrap();
+        assert!(st.retiming.is_legal(&g));
+        check_dag_schedule(&g, Some(&st.retiming), &st.schedule, &res).unwrap();
+        assert_eq!(st.length(&g), 3, "one adder bounds the kernel at 3");
+    }
+    // Six single-node up-rotations = two full laps of the 3-ring.
+    assert_eq!(st.retiming.min_value(), -2);
+}
+
+#[test]
+fn up_rotation_size_validation() {
+    let g = ring(4, 2);
+    let res = ResourceSet::adders_multipliers(2, 0, false);
+    let rs = RotationScheduler::new(&g, res);
+    let mut st = rs.initial().unwrap();
+    assert!(matches!(
+        rs.up_rotate(&mut st, 0),
+        Err(RotationError::InvalidSize { .. })
+    ));
+    let len = st.length(&g);
+    assert!(matches!(
+        rs.up_rotate(&mut st, len),
+        Err(RotationError::InvalidSize { .. })
+    ));
+}
+
+#[test]
+fn alternating_rotations_keep_all_invariants() {
+    let g = ring(5, 2);
+    let res = ResourceSet::adders_multipliers(2, 0, false);
+    let rs = RotationScheduler::new(&g, res.clone());
+    let mut st = rs.initial().unwrap();
+    for i in 0..12 {
+        let len = st.length(&g);
+        if len <= 2 {
+            break;
+        }
+        let result = if i % 3 == 2 {
+            rs.up_rotate(&mut st, 1)
+        } else {
+            rs.down_rotate(&mut st, 1)
+        };
+        match result {
+            Ok(_) => {
+                assert!(st.retiming.is_legal(&g));
+                check_dag_schedule(&g, Some(&st.retiming), &st.schedule, &res).unwrap();
+                assert!(
+                    rotsched::sched::validate::realizing_retiming(&g, &st.schedule).is_some()
+                );
+            }
+            Err(RotationError::NotRotatable { .. }) => {}
+            Err(other) => panic!("unexpected error: {other}"),
+        }
+    }
+}
