@@ -152,7 +152,12 @@ fn heights(dfg: &Dfg, ii: u32) -> Vec<i64> {
 }
 
 /// One II attempt of Rau's iterative modulo scheduling.
-fn try_ii(dfg: &Dfg, resources: &ResourceSet, ii: u32, budget_ratio: usize) -> Option<ModuloResult> {
+fn try_ii(
+    dfg: &Dfg,
+    resources: &ResourceSet,
+    ii: u32,
+    budget_ratio: usize,
+) -> Option<ModuloResult> {
     let n = dfg.node_count();
     let priority = heights(dfg, ii);
     let mut start: Vec<Option<i64>> = vec![None; n];
@@ -286,7 +291,10 @@ fn try_ii(dfg: &Dfg, resources: &ResourceSet, ii: u32, budget_ratio: usize) -> O
         }
     }
 
-    let start: Vec<i64> = start.into_iter().map(|s| s.expect("all scheduled")).collect();
+    let start: Vec<i64> = start
+        .into_iter()
+        .map(|s| s.expect("all scheduled"))
+        .collect();
     let min_stage = start
         .iter()
         .map(|&s| s.div_euclid(i64::from(ii)))

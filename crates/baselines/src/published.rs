@@ -37,54 +37,472 @@ pub struct PublishedRow {
 /// Table 2: the 5th-order elliptic filters.
 pub const TABLE_2: &[PublishedRow] = &[
     // Non-pipelined multipliers.
-    row("5th-Order Elliptic Filter", 3, 3, false, 16, Some(16), None, Some(16), 16, 2),
-    row("5th-Order Elliptic Filter", 3, 2, false, 16, Some(17), None, Some(16), 16, 2),
-    row("5th-Order Elliptic Filter", 2, 2, false, 17, Some(17), None, Some(17), 17, 2),
-    row("5th-Order Elliptic Filter", 2, 1, false, 17, Some(20), None, Some(19), 19, 2),
+    row(
+        "5th-Order Elliptic Filter",
+        3,
+        3,
+        false,
+        16,
+        Some(16),
+        None,
+        Some(16),
+        16,
+        2,
+    ),
+    row(
+        "5th-Order Elliptic Filter",
+        3,
+        2,
+        false,
+        16,
+        Some(17),
+        None,
+        Some(16),
+        16,
+        2,
+    ),
+    row(
+        "5th-Order Elliptic Filter",
+        2,
+        2,
+        false,
+        17,
+        Some(17),
+        None,
+        Some(17),
+        17,
+        2,
+    ),
+    row(
+        "5th-Order Elliptic Filter",
+        2,
+        1,
+        false,
+        17,
+        Some(20),
+        None,
+        Some(19),
+        19,
+        2,
+    ),
     // Pipelined multipliers.
-    row("5th-Order Elliptic Filter", 3, 2, true, 16, Some(16), None, Some(16), 16, 2),
-    row("5th-Order Elliptic Filter", 3, 1, true, 16, Some(16), Some(16), Some(16), 16, 2),
-    row("5th-Order Elliptic Filter", 2, 1, true, 17, Some(18), Some(17), Some(17), 17, 2),
+    row(
+        "5th-Order Elliptic Filter",
+        3,
+        2,
+        true,
+        16,
+        Some(16),
+        None,
+        Some(16),
+        16,
+        2,
+    ),
+    row(
+        "5th-Order Elliptic Filter",
+        3,
+        1,
+        true,
+        16,
+        Some(16),
+        Some(16),
+        Some(16),
+        16,
+        2,
+    ),
+    row(
+        "5th-Order Elliptic Filter",
+        2,
+        1,
+        true,
+        17,
+        Some(18),
+        Some(17),
+        Some(17),
+        17,
+        2,
+    ),
 ];
 
 /// Table 3: the other four benchmarks (pipelined and non-pipelined
 /// multiplier variants interleaved as in the paper).
 pub const TABLE_3: &[PublishedRow] = &[
     // Differential equation.
-    row("Differential Equation", 1, 1, true, 6, None, None, None, 6, 2),
-    row("Differential Equation", 1, 2, false, 6, None, None, None, 6, 2),
-    row("Differential Equation", 1, 1, false, 12, None, None, None, 12, 2),
+    row(
+        "Differential Equation",
+        1,
+        1,
+        true,
+        6,
+        None,
+        None,
+        None,
+        6,
+        2,
+    ),
+    row(
+        "Differential Equation",
+        1,
+        2,
+        false,
+        6,
+        None,
+        None,
+        None,
+        6,
+        2,
+    ),
+    row(
+        "Differential Equation",
+        1,
+        1,
+        false,
+        12,
+        None,
+        None,
+        None,
+        12,
+        2,
+    ),
     // 4-stage lattice filter.
-    row("4-stage Lattice Filter", 6, 8, true, 2, None, Some(2), None, 2, 6),
-    row("4-stage Lattice Filter", 4, 5, true, 3, None, None, None, 3, 4),
-    row("4-stage Lattice Filter", 3, 4, true, 4, None, None, None, 4, 3),
-    row("4-stage Lattice Filter", 3, 3, true, 5, None, None, None, 5, 2),
-    row("4-stage Lattice Filter", 2, 3, true, 6, None, None, None, 6, 2),
-    row("4-stage Lattice Filter", 2, 2, true, 8, None, None, None, 8, 2),
-    row("4-stage Lattice Filter", 6, 15, false, 2, None, None, None, 2, 5),
-    row("4-stage Lattice Filter", 4, 10, false, 3, None, None, None, 3, 5),
-    row("4-stage Lattice Filter", 3, 8, false, 4, None, None, None, 4, 3),
-    row("4-stage Lattice Filter", 3, 6, false, 5, None, None, None, 5, 4),
-    row("4-stage Lattice Filter", 2, 5, false, 6, None, None, None, 6, 2),
-    row("4-stage Lattice Filter", 2, 4, false, 8, None, None, None, 8, 2),
+    row(
+        "4-stage Lattice Filter",
+        6,
+        8,
+        true,
+        2,
+        None,
+        Some(2),
+        None,
+        2,
+        6,
+    ),
+    row(
+        "4-stage Lattice Filter",
+        4,
+        5,
+        true,
+        3,
+        None,
+        None,
+        None,
+        3,
+        4,
+    ),
+    row(
+        "4-stage Lattice Filter",
+        3,
+        4,
+        true,
+        4,
+        None,
+        None,
+        None,
+        4,
+        3,
+    ),
+    row(
+        "4-stage Lattice Filter",
+        3,
+        3,
+        true,
+        5,
+        None,
+        None,
+        None,
+        5,
+        2,
+    ),
+    row(
+        "4-stage Lattice Filter",
+        2,
+        3,
+        true,
+        6,
+        None,
+        None,
+        None,
+        6,
+        2,
+    ),
+    row(
+        "4-stage Lattice Filter",
+        2,
+        2,
+        true,
+        8,
+        None,
+        None,
+        None,
+        8,
+        2,
+    ),
+    row(
+        "4-stage Lattice Filter",
+        6,
+        15,
+        false,
+        2,
+        None,
+        None,
+        None,
+        2,
+        5,
+    ),
+    row(
+        "4-stage Lattice Filter",
+        4,
+        10,
+        false,
+        3,
+        None,
+        None,
+        None,
+        3,
+        5,
+    ),
+    row(
+        "4-stage Lattice Filter",
+        3,
+        8,
+        false,
+        4,
+        None,
+        None,
+        None,
+        4,
+        3,
+    ),
+    row(
+        "4-stage Lattice Filter",
+        3,
+        6,
+        false,
+        5,
+        None,
+        None,
+        None,
+        5,
+        4,
+    ),
+    row(
+        "4-stage Lattice Filter",
+        2,
+        5,
+        false,
+        6,
+        None,
+        None,
+        None,
+        6,
+        2,
+    ),
+    row(
+        "4-stage Lattice Filter",
+        2,
+        4,
+        false,
+        8,
+        None,
+        None,
+        None,
+        8,
+        2,
+    ),
     // All-pole lattice filter.
-    row("All-pole Lattice Filter", 3, 2, true, 8, None, Some(8), None, 8, 3),
-    row("All-pole Lattice Filter", 2, 2, true, 9, None, None, None, 9, 2),
-    row("All-pole Lattice Filter", 2, 1, true, 9, None, None, None, 9, 2),
-    row("All-pole Lattice Filter", 1, 1, true, 11, None, None, None, 11, 2),
-    row("All-pole Lattice Filter", 3, 2, false, 8, None, None, None, 8, 3),
-    row("All-pole Lattice Filter", 2, 2, false, 9, None, None, None, 9, 2),
-    row("All-pole Lattice Filter", 2, 1, false, 10, None, None, None, 10, 2),
-    row("All-pole Lattice Filter", 1, 1, false, 11, None, None, None, 11, 2),
+    row(
+        "All-pole Lattice Filter",
+        3,
+        2,
+        true,
+        8,
+        None,
+        Some(8),
+        None,
+        8,
+        3,
+    ),
+    row(
+        "All-pole Lattice Filter",
+        2,
+        2,
+        true,
+        9,
+        None,
+        None,
+        None,
+        9,
+        2,
+    ),
+    row(
+        "All-pole Lattice Filter",
+        2,
+        1,
+        true,
+        9,
+        None,
+        None,
+        None,
+        9,
+        2,
+    ),
+    row(
+        "All-pole Lattice Filter",
+        1,
+        1,
+        true,
+        11,
+        None,
+        None,
+        None,
+        11,
+        2,
+    ),
+    row(
+        "All-pole Lattice Filter",
+        3,
+        2,
+        false,
+        8,
+        None,
+        None,
+        None,
+        8,
+        3,
+    ),
+    row(
+        "All-pole Lattice Filter",
+        2,
+        2,
+        false,
+        9,
+        None,
+        None,
+        None,
+        9,
+        2,
+    ),
+    row(
+        "All-pole Lattice Filter",
+        2,
+        1,
+        false,
+        10,
+        None,
+        None,
+        None,
+        10,
+        2,
+    ),
+    row(
+        "All-pole Lattice Filter",
+        1,
+        1,
+        false,
+        11,
+        None,
+        None,
+        None,
+        11,
+        2,
+    ),
     // 2-cascaded biquad filter.
-    row("2-cascaded Biquad Filter", 2, 2, true, 4, None, Some(4), None, 4, 2),
-    row("2-cascaded Biquad Filter", 2, 1, true, 8, None, None, None, 8, 2),
-    row("2-cascaded Biquad Filter", 1, 2, true, 8, None, None, None, 8, 2),
-    row("2-cascaded Biquad Filter", 1, 1, true, 8, None, None, None, 8, 2),
-    row("2-cascaded Biquad Filter", 2, 4, false, 4, None, None, None, 4, 2),
-    row("2-cascaded Biquad Filter", 2, 3, false, 6, None, None, None, 6, 2),
-    row("2-cascaded Biquad Filter", 1, 2, false, 8, None, None, None, 8, 2),
-    row("2-cascaded Biquad Filter", 1, 1, false, 16, None, None, None, 16, 2),
+    row(
+        "2-cascaded Biquad Filter",
+        2,
+        2,
+        true,
+        4,
+        None,
+        Some(4),
+        None,
+        4,
+        2,
+    ),
+    row(
+        "2-cascaded Biquad Filter",
+        2,
+        1,
+        true,
+        8,
+        None,
+        None,
+        None,
+        8,
+        2,
+    ),
+    row(
+        "2-cascaded Biquad Filter",
+        1,
+        2,
+        true,
+        8,
+        None,
+        None,
+        None,
+        8,
+        2,
+    ),
+    row(
+        "2-cascaded Biquad Filter",
+        1,
+        1,
+        true,
+        8,
+        None,
+        None,
+        None,
+        8,
+        2,
+    ),
+    row(
+        "2-cascaded Biquad Filter",
+        2,
+        4,
+        false,
+        4,
+        None,
+        None,
+        None,
+        4,
+        2,
+    ),
+    row(
+        "2-cascaded Biquad Filter",
+        2,
+        3,
+        false,
+        6,
+        None,
+        None,
+        None,
+        6,
+        2,
+    ),
+    row(
+        "2-cascaded Biquad Filter",
+        1,
+        2,
+        false,
+        8,
+        None,
+        None,
+        None,
+        8,
+        2,
+    ),
+    row(
+        "2-cascaded Biquad Filter",
+        1,
+        1,
+        false,
+        16,
+        None,
+        None,
+        None,
+        16,
+        2,
+    ),
 ];
 
 #[allow(clippy::too_many_arguments)]
@@ -157,13 +575,17 @@ mod tests {
     #[test]
     fn rs_meets_the_lower_bound_except_elliptic_2a1m() {
         for r in TABLE_2.iter().chain(TABLE_3) {
-            if r.benchmark.contains("Elliptic") && r.adders == 2 && r.multipliers == 1 && !r.pipelined
+            if r.benchmark.contains("Elliptic")
+                && r.adders == 2
+                && r.multipliers == 1
+                && !r.pipelined
             {
                 assert_eq!(r.rs, 19);
                 assert_eq!(r.lb, 17);
             } else {
                 assert_eq!(
-                    r.rs, r.lb,
+                    r.rs,
+                    r.lb,
                     "{} {}: paper reports RS = LB everywhere else",
                     r.benchmark,
                     resource_label(r)

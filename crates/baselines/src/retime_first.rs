@@ -103,8 +103,7 @@ mod tests {
         // The measurable version of the paper's Section 7 critique.
         for (name, g) in all_benchmarks(&TimingModel::paper()) {
             let res = ResourceSet::adders_multipliers(2, 2, false);
-            let baseline =
-                retime_then_schedule(&g, &res, PriorityPolicy::DescendantCount).unwrap();
+            let baseline = retime_then_schedule(&g, &res, PriorityPolicy::DescendantCount).unwrap();
             let plain = ListScheduler::default()
                 .schedule(&g, None, &res)
                 .unwrap()

@@ -2,33 +2,32 @@
 //! critical path, and the Lemma 3 realizing-retiming solver.
 
 use core::time::Duration;
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rotsched_bench::harness::Harness;
 use rotsched_benchmarks::{all_benchmarks, random_dfg, RandomDfgConfig, TimingModel};
 use rotsched_dfg::analysis::{critical_path_length, iteration_bound};
 use rotsched_sched::validate::realizing_retiming;
 use rotsched_sched::{ListScheduler, ResourceSet};
 
-fn bench_analysis(c: &mut Criterion) {
-    let mut group = c.benchmark_group("analysis");
-    group.warm_up_time(Duration::from_millis(500));
-    group.measurement_time(Duration::from_secs(2));
-    group.sample_size(20);
+fn main() {
+    let mut h = Harness::new("analysis").with_budget(
+        Duration::from_millis(500),
+        Duration::from_secs(2),
+        20,
+    );
     for (name, g) in all_benchmarks(&TimingModel::paper()) {
-        group.bench_with_input(BenchmarkId::new("iteration-bound", name), &g, |b, g| {
-            b.iter(|| iteration_bound(g).expect("valid"));
+        h.bench(&format!("iteration-bound/{name}"), || {
+            iteration_bound(&g).expect("valid");
         });
-        group.bench_with_input(BenchmarkId::new("critical-path", name), &g, |b, g| {
-            b.iter(|| critical_path_length(g, None).expect("valid"));
+        h.bench(&format!("critical-path/{name}"), || {
+            critical_path_length(&g, None).expect("valid");
         });
         let res = ResourceSet::adders_multipliers(2, 2, false);
         let s = ListScheduler::default()
             .schedule(&g, None, &res)
             .expect("schedulable");
-        group.bench_with_input(
-            BenchmarkId::new("realizing-retiming", name),
-            &(&g, &s),
-            |b, (g, s)| b.iter(|| realizing_retiming(g, s).expect("realizable")),
-        );
+        h.bench(&format!("realizing-retiming/{name}"), || {
+            realizing_retiming(&g, &s).expect("realizable");
+        });
     }
     for nodes in [100, 400, 1600] {
         let g = random_dfg(
@@ -40,14 +39,9 @@ fn bench_analysis(c: &mut Criterion) {
             },
             11,
         );
-        group.bench_with_input(
-            BenchmarkId::new("iteration-bound-random", nodes),
-            &g,
-            |b, g| b.iter(|| iteration_bound(g).expect("valid")),
-        );
+        h.bench(&format!("iteration-bound-random/{nodes}"), || {
+            iteration_bound(&g).expect("valid");
+        });
     }
-    group.finish();
+    h.finish();
 }
-
-criterion_group!(benches, bench_analysis);
-criterion_main!(benches);

@@ -3,41 +3,34 @@
 //! modulo scheduling.
 
 use core::time::Duration;
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rotsched_baselines::{dag_only, modulo_schedule, unfold_and_schedule, ModuloConfig};
+use rotsched_bench::harness::Harness;
 use rotsched_benchmarks::{all_benchmarks, TimingModel};
 use rotsched_core::RotationScheduler;
 use rotsched_sched::{PriorityPolicy, ResourceSet};
 
-fn bench_baselines(c: &mut Criterion) {
-    let mut group = c.benchmark_group("baselines");
-    group.warm_up_time(Duration::from_millis(500));
-    group.measurement_time(Duration::from_secs(2));
-    group.sample_size(20);
+fn main() {
+    let mut h = Harness::new("baselines").with_budget(
+        Duration::from_millis(500),
+        Duration::from_secs(2),
+        20,
+    );
     for (name, g) in all_benchmarks(&TimingModel::paper()) {
         let res = ResourceSet::adders_multipliers(2, 2, false);
-        group.bench_with_input(BenchmarkId::new("rotation-solve", name), &g, |b, g| {
-            b.iter(|| {
-                RotationScheduler::new(g, res.clone())
-                    .solve()
-                    .expect("schedulable")
-            });
+        h.bench(&format!("rotation-solve/{name}"), || {
+            RotationScheduler::new(&g, res.clone())
+                .solve()
+                .expect("schedulable");
         });
-        group.bench_with_input(BenchmarkId::new("modulo", name), &g, |b, g| {
-            b.iter(|| modulo_schedule(g, &res, &ModuloConfig::default()).expect("schedulable"));
+        h.bench(&format!("modulo/{name}"), || {
+            modulo_schedule(&g, &res, &ModuloConfig::default()).expect("schedulable");
         });
-        group.bench_with_input(BenchmarkId::new("dag-only", name), &g, |b, g| {
-            b.iter(|| dag_only(g, &res, PriorityPolicy::DescendantCount).expect("schedulable"));
+        h.bench(&format!("dag-only/{name}"), || {
+            dag_only(&g, &res, PriorityPolicy::DescendantCount).expect("schedulable");
         });
-        group.bench_with_input(BenchmarkId::new("unfold-x4", name), &g, |b, g| {
-            b.iter(|| {
-                unfold_and_schedule(g, &res, PriorityPolicy::DescendantCount, 4)
-                    .expect("schedulable")
-            });
+        h.bench(&format!("unfold-x4/{name}"), || {
+            unfold_and_schedule(&g, &res, PriorityPolicy::DescendantCount, 4).expect("schedulable");
         });
     }
-    group.finish();
+    h.finish();
 }
-
-criterion_group!(benches, bench_baselines);
-criterion_main!(benches);

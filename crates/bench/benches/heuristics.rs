@@ -4,34 +4,32 @@
 //! milliseconds).
 
 use core::time::Duration;
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rotsched_bench::harness::Harness;
 use rotsched_benchmarks::{all_benchmarks, TimingModel};
 use rotsched_core::{heuristic1, heuristic2, HeuristicConfig};
 use rotsched_sched::{ListScheduler, ResourceSet};
 
-fn bench_heuristics(c: &mut Criterion) {
+fn main() {
     let config = HeuristicConfig {
         rotations_per_phase: 32,
         max_size: None,
         keep_best: 16,
         rounds: 1,
     };
-    let mut group = c.benchmark_group("heuristics");
-    group.warm_up_time(Duration::from_millis(500));
-    group.measurement_time(Duration::from_secs(2));
-    group.sample_size(20);
+    let mut h = Harness::new("heuristics").with_budget(
+        Duration::from_millis(500),
+        Duration::from_secs(2),
+        20,
+    );
     for (name, g) in all_benchmarks(&TimingModel::paper()) {
         let res = ResourceSet::adders_multipliers(2, 2, false);
         let sched = ListScheduler::default();
-        group.bench_with_input(BenchmarkId::new("heuristic2", name), &g, |b, g| {
-            b.iter(|| heuristic2(g, &sched, &res, &config).expect("schedulable"));
+        h.bench(&format!("heuristic2/{name}"), || {
+            heuristic2(&g, &sched, &res, &config).expect("schedulable");
         });
-        group.bench_with_input(BenchmarkId::new("heuristic1", name), &g, |b, g| {
-            b.iter(|| heuristic1(g, &sched, &res, &config).expect("schedulable"));
+        h.bench(&format!("heuristic1/{name}"), || {
+            heuristic1(&g, &sched, &res, &config).expect("schedulable");
         });
     }
-    group.finish();
+    h.finish();
 }
-
-criterion_group!(benches, bench_heuristics);
-criterion_main!(benches);

@@ -3,7 +3,7 @@
 //! approach) vs. rescheduling the whole graph after each rotation.
 
 use core::time::Duration;
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rotsched_bench::harness::Harness;
 use rotsched_benchmarks::{all_benchmarks, random_dfg, RandomDfgConfig, TimingModel};
 use rotsched_core::{down_rotate, initial_state};
 use rotsched_dfg::Dfg;
@@ -26,18 +26,19 @@ fn one_rotation_full_reschedule(g: &Dfg, res: &ResourceSet) {
         .expect("schedulable");
 }
 
-fn bench_rotation_step(c: &mut Criterion) {
-    let mut group = c.benchmark_group("rotation_step");
-    group.warm_up_time(Duration::from_millis(500));
-    group.measurement_time(Duration::from_secs(2));
-    group.sample_size(20);
+fn main() {
+    let mut h = Harness::new("rotation_step").with_budget(
+        Duration::from_millis(500),
+        Duration::from_secs(2),
+        20,
+    );
     let res = ResourceSet::adders_multipliers(2, 2, false);
     for (name, g) in all_benchmarks(&TimingModel::paper()) {
-        group.bench_with_input(BenchmarkId::new("partial", name), &g, |b, g| {
-            b.iter(|| one_rotation_partial(g, &res));
+        h.bench(&format!("partial/{name}"), || {
+            one_rotation_partial(&g, &res)
         });
-        group.bench_with_input(BenchmarkId::new("full-reschedule", name), &g, |b, g| {
-            b.iter(|| one_rotation_full_reschedule(g, &res));
+        h.bench(&format!("full-reschedule/{name}"), || {
+            one_rotation_full_reschedule(&g, &res);
         });
     }
     // Scaling on random graphs.
@@ -49,12 +50,9 @@ fn bench_rotation_step(c: &mut Criterion) {
             },
             7,
         );
-        group.bench_with_input(BenchmarkId::new("partial-random", nodes), &g, |b, g| {
-            b.iter(|| one_rotation_partial(g, &res));
+        h.bench(&format!("partial-random/{nodes}"), || {
+            one_rotation_partial(&g, &res);
         });
     }
-    group.finish();
+    h.finish();
 }
-
-criterion_group!(benches, bench_rotation_step);
-criterion_main!(benches);

@@ -2,8 +2,12 @@
 //! baseline this repository implements, on every benchmark.
 //!
 //! ```text
-//! cargo run --release -p rotsched-bench --bin comparison
+//! cargo run --release -p rotsched-bench --bin comparison [-- --jobs N]
 //! ```
+//!
+//! With `--jobs N` the benchmark × resource-configuration cells run on
+//! `N` worker threads; rows print in a fixed order for every jobs
+//! value.
 //!
 //! Columns:
 //!
@@ -15,51 +19,56 @@
 //! * `RS`      — rotation scheduling (Heuristic 2).
 
 use rotsched_baselines::{
-    dag_only, lower_bound, modulo_schedule, retime_then_schedule, unfold_and_schedule,
-    ModuloConfig,
+    dag_only, lower_bound, modulo_schedule, retime_then_schedule, unfold_and_schedule, ModuloConfig,
 };
+use rotsched_bench::jobs_from_args;
 use rotsched_benchmarks::{all_benchmarks, TimingModel};
-use rotsched_core::RotationScheduler;
+use rotsched_core::{parallel_indexed, RotationScheduler};
 use rotsched_sched::{PriorityPolicy, ResourceSet};
 
 fn main() {
+    let jobs = jobs_from_args();
     let configs = [(2, 2, false), (3, 2, true), (1, 1, false)];
+    let benchmarks = all_benchmarks(&TimingModel::paper());
     println!(
         "{:<28} {:<7} {:>3} {:>5} {:>7} {:>7} {:>5} {:>5}",
         "Benchmark", "Res", "LB", "DAG", "RETIME", "UNFx4", "IMS", "RS"
     );
-    for (name, g) in all_benchmarks(&TimingModel::paper()) {
-        for (a, m, p) in configs {
-            let res = ResourceSet::adders_multipliers(a, m, p);
-            let lb = lower_bound(&g, &res).expect("valid");
-            let dag = dag_only(&g, &res, PriorityPolicy::DescendantCount)
-                .expect("schedulable")
-                .length;
-            let retime = retime_then_schedule(&g, &res, PriorityPolicy::DescendantCount)
-                .expect("schedulable")
-                .length;
-            let unf = unfold_and_schedule(&g, &res, PriorityPolicy::DescendantCount, 4)
-                .expect("schedulable")
-                .per_iteration;
-            let ims = modulo_schedule(&g, &res, &ModuloConfig::default())
-                .expect("schedulable")
-                .ii;
-            let rs = RotationScheduler::new(&g, res.clone())
-                .solve()
-                .expect("schedulable")
-                .length;
-            println!(
-                "{:<28} {:<7} {:>3} {:>5} {:>7} {:>7.2} {:>5} {:>5}",
-                name,
-                res.label(),
-                lb,
-                dag,
-                retime,
-                unf,
-                ims,
-                rs
-            );
-        }
+    let rows = parallel_indexed(jobs, benchmarks.len() * configs.len(), |i| {
+        let (name, g) = &benchmarks[i / configs.len()];
+        let (a, m, p) = configs[i % configs.len()];
+        let res = ResourceSet::adders_multipliers(a, m, p);
+        let lb = lower_bound(g, &res).expect("valid");
+        let dag = dag_only(g, &res, PriorityPolicy::DescendantCount)
+            .expect("schedulable")
+            .length;
+        let retime = retime_then_schedule(g, &res, PriorityPolicy::DescendantCount)
+            .expect("schedulable")
+            .length;
+        let unf = unfold_and_schedule(g, &res, PriorityPolicy::DescendantCount, 4)
+            .expect("schedulable")
+            .per_iteration;
+        let ims = modulo_schedule(g, &res, &ModuloConfig::default())
+            .expect("schedulable")
+            .ii;
+        let rs = RotationScheduler::new(g, res.clone())
+            .solve()
+            .expect("schedulable")
+            .length;
+        format!(
+            "{:<28} {:<7} {:>3} {:>5} {:>7} {:>7.2} {:>5} {:>5}",
+            name,
+            res.label(),
+            lb,
+            dag,
+            retime,
+            unf,
+            ims,
+            rs
+        )
+    });
+    for row in rows {
+        println!("{row}");
     }
     println!("\n(all lengths in control steps per iteration; lower is better)");
 }

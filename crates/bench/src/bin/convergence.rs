@@ -2,8 +2,12 @@
 //! resource availability on how fast phases reach the optimum.
 //!
 //! ```text
-//! cargo run --release -p rotsched-bench --bin convergence
+//! cargo run --release -p rotsched-bench --bin convergence [-- --jobs N]
 //! ```
+//!
+//! With `--jobs N` the benchmark × resource-configuration cells run on
+//! `N` worker threads; lines print in a fixed order for every jobs
+//! value.
 //!
 //! For every benchmark and a few resource configurations, runs one
 //! independent rotation phase per size (Heuristic 1's structure) and
@@ -16,51 +20,57 @@
 //! * more resources converge faster.
 
 use rotsched_baselines::lower_bound;
+use rotsched_bench::jobs_from_args;
 use rotsched_benchmarks::{all_benchmarks, TimingModel};
-use rotsched_core::{initial_state, rotation_phase, BestSet};
+use rotsched_core::{initial_state, parallel_indexed, rotation_phase, BestSet};
 use rotsched_sched::{ListScheduler, ResourceSet};
 
 fn main() {
+    let jobs = jobs_from_args();
     let alpha = 64;
-    for (name, g) in all_benchmarks(&TimingModel::paper()) {
+    let configs = [(2, 2, false), (3, 3, false), (2, 1, true)];
+    let benchmarks = all_benchmarks(&TimingModel::paper());
+
+    let lines = parallel_indexed(jobs, benchmarks.len() * configs.len(), |i| {
+        let (_, g) = &benchmarks[i / configs.len()];
+        let (adders, mults, pipelined) = configs[i % configs.len()];
+        let res = ResourceSet::adders_multipliers(adders, mults, pipelined);
+        let lb = lower_bound(g, &res).expect("valid benchmark");
+        let sched = ListScheduler::default();
+        let init = initial_state(g, &sched, &res).expect("schedulable");
+        let init_len = init.length(g);
+        let mut cells = Vec::new();
+        for size in 1..init_len.max(2) {
+            let mut state = init.clone();
+            let mut best = BestSet::new(1);
+            best.offer(state.wrapped_length(g, &res).expect("wraps"), &state);
+            let stats = rotation_phase(g, &sched, &res, &mut state, &mut best, size, alpha)
+                .expect("phases run");
+            let reached = best.length;
+            let when = stats
+                .lengths
+                .iter()
+                .position(|&l| u64::from(l) == u64::from(reached))
+                .map(|i| i + 1);
+            cells.push(match when {
+                Some(k) if u64::from(reached) == lb => format!("s{size}:{k}r"),
+                _ if u64::from(reached) == lb => format!("s{size}:-"),
+                _ => format!("s{size}:x{reached}"),
+            });
+        }
+        format!(
+            "{:<7} (initial {init_len}, LB {lb:>2}): {}",
+            res.label(),
+            cells.join(" ")
+        )
+    });
+
+    for (b, (name, _)) in benchmarks.iter().enumerate() {
         println!("\n== {name} ==");
-        for (adders, mults, pipelined) in [(2, 2, false), (3, 3, false), (2, 1, true)] {
-            let res = ResourceSet::adders_multipliers(adders, mults, pipelined);
-            let lb = lower_bound(&g, &res).expect("valid benchmark");
-            let sched = ListScheduler::default();
-            let init = initial_state(&g, &sched, &res).expect("schedulable");
-            let init_len = init.length(&g);
-            print!(
-                "{:<7} (initial {init_len}, LB {lb:>2}): ",
-                res.label()
-            );
-            let mut cells = Vec::new();
-            for size in 1..init_len.max(2) {
-                let mut state = init.clone();
-                let mut best = BestSet::new(1);
-                best.offer(
-                    state.wrapped_length(&g, &res).expect("wraps"),
-                    &state,
-                );
-                let stats = rotation_phase(&g, &sched, &res, &mut state, &mut best, size, alpha)
-                    .expect("phases run");
-                let reached = best.length;
-                let when = stats
-                    .lengths
-                    .iter()
-                    .position(|&l| u64::from(l) == u64::from(reached))
-                    .map(|i| i + 1);
-                cells.push(match when {
-                    Some(k) if u64::from(reached) == lb => format!("s{size}:{k}r"),
-                    _ if u64::from(reached) == lb => format!("s{size}:-"),
-                    _ => format!("s{size}:x{reached}"),
-                });
-            }
-            println!("{}", cells.join(" "));
+        for c in 0..configs.len() {
+            println!("{}", lines[b * configs.len() + c]);
         }
     }
-    println!(
-        "\nlegend: sK:Nr = phase of size K first reached the lower bound after N rotations;"
-    );
+    println!("\nlegend: sK:Nr = phase of size K first reached the lower bound after N rotations;");
     println!("        sK:xL = phase of size K plateaued at length L above the bound.");
 }

@@ -1,0 +1,162 @@
+//! Wall-clock performance report for the parallel portfolio engine.
+//!
+//! ```text
+//! cargo run --release -p rotsched-bench --bin perf_report [-- --out PATH]
+//! ```
+//!
+//! Times the full Table-3 sweep (every benchmark × resource-config
+//! cell) sequentially and under several `--jobs` values, checks that
+//! every jobs value yields byte-identical rows, and writes a
+//! machine-readable JSON report (default: `BENCH_ROTATION.json` at the
+//! repository root).
+
+use std::time::Instant;
+
+use rotsched_baselines::TABLE_3;
+use rotsched_bench::{format_row, measure_rs};
+use rotsched_benchmarks::{allpole, biquad, diffeq, lattice4, TimingModel};
+use rotsched_core::parallel_indexed;
+use rotsched_dfg::rng::Fnv64;
+use rotsched_dfg::Dfg;
+
+const JOBS: [usize; 4] = [1, 2, 4, 8];
+const REPS: usize = 3;
+
+fn main() {
+    let out_path = out_path_from_args();
+    let t = TimingModel::paper();
+    let graphs: Vec<(&str, Dfg)> = vec![
+        ("Differential Equation", diffeq(&t)),
+        ("4-stage Lattice Filter", lattice4(&t)),
+        ("All-pole Lattice Filter", allpole(&t)),
+        ("2-cascaded Biquad Filter", biquad(&t)),
+    ];
+    let cells = TABLE_3.len();
+    let hardware = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
+
+    println!("perf_report: table3 sweep ({cells} cells), {REPS} reps per jobs value");
+    println!("hardware threads: {hardware}\n");
+
+    // One untimed warm-up pass so allocator and page-cache effects hit
+    // every configuration equally.
+    let _ = sweep(&graphs, 1);
+
+    let mut results = Vec::new();
+    for jobs in JOBS {
+        let mut wall_ns = Vec::new();
+        let mut fingerprint = 0_u64;
+        for _ in 0..REPS {
+            let start = Instant::now();
+            let rows = sweep(&graphs, jobs);
+            let elapsed = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+            wall_ns.push(elapsed);
+            fingerprint = rows_fingerprint(&rows);
+        }
+        wall_ns.sort_unstable();
+        let median = wall_ns[wall_ns.len() / 2];
+        let min = wall_ns[0];
+        println!(
+            "jobs {jobs}: median {:.1} ms, min {:.1} ms (fingerprint {fingerprint:#018x})",
+            median as f64 / 1e6,
+            min as f64 / 1e6
+        );
+        results.push((jobs, median, min, fingerprint));
+    }
+
+    let seq_median = results[0].1;
+    let deterministic = results.iter().all(|r| r.3 == results[0].3);
+    assert!(
+        deterministic,
+        "table3 rows must be byte-identical for every jobs value"
+    );
+    println!("\nrows byte-identical across all jobs values: yes");
+    for (jobs, median, _, _) in &results {
+        println!(
+            "speedup vs sequential at jobs {jobs}: {:.2}x",
+            seq_median as f64 / *median as f64
+        );
+    }
+
+    let json = render_json(hardware, cells, &results, seq_median, deterministic);
+    match std::fs::write(&out_path, json) {
+        Ok(()) => println!("\nwrote {out_path}"),
+        Err(e) => {
+            eprintln!("error: cannot write {out_path}: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+/// Runs the full Table-3 sweep and returns the formatted rows.
+fn sweep(graphs: &[(&str, Dfg)], jobs: usize) -> Vec<String> {
+    parallel_indexed(jobs, TABLE_3.len(), |i| {
+        let row = &TABLE_3[i];
+        let g = &graphs
+            .iter()
+            .find(|(name, _)| *name == row.benchmark)
+            .expect("benchmark exists")
+            .1;
+        let measured = measure_rs(g, row.adders, row.multipliers, row.pipelined);
+        format_row(&measured, row.lb, row.rs, row.rs_depth)
+    })
+}
+
+fn rows_fingerprint(rows: &[String]) -> u64 {
+    let mut h = Fnv64::new();
+    for row in rows {
+        for b in row.bytes() {
+            h.write_u8(b);
+        }
+        h.write_u8(b'\n');
+    }
+    h.finish()
+}
+
+fn render_json(
+    hardware: usize,
+    cells: usize,
+    results: &[(usize, u64, u64, u64)],
+    seq_median: u64,
+    deterministic: bool,
+) -> String {
+    let mut s = String::new();
+    s.push_str("{\n");
+    s.push_str("  \"bench\": \"table3_sweep\",\n");
+    s.push_str(&format!("  \"hardware_threads\": {hardware},\n"));
+    s.push_str(&format!("  \"cells\": {cells},\n"));
+    s.push_str(&format!("  \"reps\": {REPS},\n"));
+    s.push_str(&format!(
+        "  \"deterministic_across_jobs\": {deterministic},\n"
+    ));
+    s.push_str("  \"results\": [\n");
+    for (k, (jobs, median, min, fingerprint)) in results.iter().enumerate() {
+        let speedup = seq_median as f64 / *median as f64;
+        s.push_str(&format!(
+            "    {{\"jobs\": {jobs}, \"wall_ns_median\": {median}, \"wall_ns_min\": {min}, \
+             \"speedup_vs_sequential\": {speedup:.3}, \
+             \"rows_fingerprint\": \"{fingerprint:#018x}\"}}{}\n",
+            if k + 1 < results.len() { "," } else { "" }
+        ));
+    }
+    s.push_str("  ]\n");
+    s.push_str("}\n");
+    s
+}
+
+fn out_path_from_args() -> String {
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        if arg == "--out" {
+            if let Some(p) = args.next() {
+                return p;
+            }
+        }
+        if let Some(p) = arg.strip_prefix("--out=") {
+            return p.to_string();
+        }
+    }
+    // crates/bench -> repository root.
+    concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_ROTATION.json").to_string()
+}

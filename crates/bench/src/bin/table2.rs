@@ -1,23 +1,29 @@
 //! Regenerates **Table 2**: results for the elliptic filters.
 //!
 //! ```text
-//! cargo run --release -p rotsched-bench --bin table2
+//! cargo run --release -p rotsched-bench --bin table2 [-- --jobs N]
 //! ```
+//!
+//! With `--jobs N` the resource-configuration cells are measured on `N`
+//! worker threads; rows are printed in table order either way, so the
+//! output is identical for every jobs value.
 
 use rotsched_baselines::{resource_label, TABLE_2};
-use rotsched_bench::{format_row, measure_rs};
+use rotsched_bench::{format_row, jobs_from_args, measure_rs};
 use rotsched_benchmarks::{elliptic, TimingModel};
+use rotsched_core::parallel_indexed;
 
 fn main() {
+    let jobs = jobs_from_args();
     let g = elliptic(&TimingModel::paper());
     println!("Table 2: Results for the elliptic filters");
     println!("(measured with this implementation vs. the paper's published numbers)\n");
-    for row in TABLE_2 {
-        let measured = measure_rs(&g, row.adders, row.multipliers, row.pipelined);
-        println!(
-            "{}",
-            format_row(&measured, row.lb, row.rs, row.rs_depth)
-        );
+    let rows = parallel_indexed(jobs, TABLE_2.len(), |i| {
+        let row = &TABLE_2[i];
+        measure_rs(&g, row.adders, row.multipliers, row.pipelined)
+    });
+    for (row, measured) in TABLE_2.iter().zip(&rows) {
+        println!("{}", format_row(measured, row.lb, row.rs, row.rs_depth));
         let mut competitors = Vec::new();
         if let Some(p) = row.pbs {
             competitors.push(format!("PBS {p}"));

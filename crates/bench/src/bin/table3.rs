@@ -1,15 +1,21 @@
 //! Regenerates **Table 3**: results for the other four benchmarks.
 //!
 //! ```text
-//! cargo run --release -p rotsched-bench --bin table3
+//! cargo run --release -p rotsched-bench --bin table3 [-- --jobs N]
 //! ```
+//!
+//! With `--jobs N` the benchmark × resource-configuration cells are
+//! measured on `N` worker threads; rows are printed in table order
+//! either way, so the output is identical for every jobs value.
 
 use rotsched_baselines::TABLE_3;
-use rotsched_bench::{format_row, measure_rs};
+use rotsched_bench::{format_row, jobs_from_args, measure_rs};
 use rotsched_benchmarks::{allpole, biquad, diffeq, lattice4, TimingModel};
+use rotsched_core::parallel_indexed;
 use rotsched_dfg::Dfg;
 
 fn main() {
+    let jobs = jobs_from_args();
     let t = TimingModel::paper();
     let graphs: Vec<(&str, Dfg)> = vec![
         ("Differential Equation", diffeq(&t)),
@@ -20,18 +26,21 @@ fn main() {
 
     println!("Table 3: Results for the other four benchmarks");
     println!("(measured with this implementation vs. the paper's published numbers)\n");
-    let mut current = "";
-    for row in TABLE_3 {
-        if row.benchmark != current {
-            current = row.benchmark;
-            println!("\n== {current} ==");
-        }
+    let measured = parallel_indexed(jobs, TABLE_3.len(), |i| {
+        let row = &TABLE_3[i];
         let g = &graphs
             .iter()
             .find(|(name, _)| *name == row.benchmark)
             .expect("benchmark exists")
             .1;
-        let measured = measure_rs(g, row.adders, row.multipliers, row.pipelined);
-        println!("{}", format_row(&measured, row.lb, row.rs, row.rs_depth));
+        measure_rs(g, row.adders, row.multipliers, row.pipelined)
+    });
+    let mut current = "";
+    for (row, cell) in TABLE_3.iter().zip(&measured) {
+        if row.benchmark != current {
+            current = row.benchmark;
+            println!("\n== {current} ==");
+        }
+        println!("{}", format_row(cell, row.lb, row.rs, row.rs_depth));
     }
 }

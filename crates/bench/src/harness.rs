@@ -1,0 +1,187 @@
+//! A minimal wall-clock benchmark harness.
+//!
+//! The workspace builds in an offline container, so Criterion is not
+//! available; the benches under `benches/` (all `harness = false`) use
+//! this self-contained harness instead. It keeps the parts that matter
+//! for the repo's perf claims: warm-up, batched sampling, median/mean
+//! per-iteration times, and a `cargo bench -- <filter>` substring filter.
+
+use std::time::{Duration, Instant};
+
+/// One measured benchmark entry.
+#[derive(Clone, Debug)]
+pub struct BenchResult {
+    /// Full benchmark id, e.g. `"rotation_step/partial/biquad"`.
+    pub id: String,
+    /// Total iterations across all samples.
+    pub iterations: u64,
+    /// Mean time per iteration in nanoseconds.
+    pub mean_ns: f64,
+    /// Median of the per-sample per-iteration times, in nanoseconds.
+    pub median_ns: f64,
+}
+
+/// A benchmark group: times closures and prints a per-entry summary.
+///
+/// ```
+/// use std::time::Duration;
+/// let mut h = rotsched_bench::harness::Harness::new("demo")
+///     .with_budget(Duration::from_millis(1), Duration::from_millis(5), 3);
+/// let mut acc = 0_u64;
+/// h.bench("sum", || {
+///     acc = acc.wrapping_add((0..100_u64).sum::<u64>());
+/// });
+/// assert!(!h.results().is_empty());
+/// ```
+pub struct Harness {
+    group: String,
+    filter: Option<String>,
+    warm_up: Duration,
+    measure: Duration,
+    samples: u32,
+    results: Vec<BenchResult>,
+}
+
+impl Harness {
+    /// A harness for `group` with the default budget (100 ms warm-up,
+    /// ~1 s measurement, 15 samples) and a filter taken from the first
+    /// free command-line argument (`cargo bench -- <substr>`).
+    #[must_use]
+    pub fn new(group: &str) -> Self {
+        let filter = std::env::args()
+            .skip(1)
+            .find(|a| !a.starts_with('-') && a != "--bench");
+        Harness {
+            group: group.to_string(),
+            filter,
+            warm_up: Duration::from_millis(100),
+            measure: Duration::from_millis(1000),
+            samples: 15,
+            results: Vec::new(),
+        }
+    }
+
+    /// Overrides the measurement budget per benchmark entry.
+    #[must_use]
+    pub fn with_budget(mut self, warm_up: Duration, measure: Duration, samples: u32) -> Self {
+        self.warm_up = warm_up;
+        self.measure = measure;
+        self.samples = samples.max(1);
+        self
+    }
+
+    /// Times `f`, printing one summary line; skipped (with a note) when
+    /// the id does not match the active filter.
+    pub fn bench<F: FnMut()>(&mut self, id: &str, mut f: F) {
+        let full = format!("{}/{}", self.group, id);
+        if let Some(filter) = &self.filter {
+            if !full.contains(filter.as_str()) {
+                return;
+            }
+        }
+        // Calibrate a batch size so one batch costs roughly 1/samples of
+        // the budget but at least one iteration.
+        let probe_start = Instant::now();
+        f();
+        let probe = probe_start.elapsed().max(Duration::from_nanos(50));
+        let target_batch = self.measure / (self.samples * 2);
+        let batch = (target_batch.as_nanos() / probe.as_nanos()).clamp(1, 1_000_000) as u64;
+
+        let warm_deadline = Instant::now() + self.warm_up;
+        while Instant::now() < warm_deadline {
+            f();
+        }
+
+        let mut per_iter: Vec<f64> = Vec::with_capacity(self.samples as usize);
+        let mut total_iters = 0_u64;
+        let mut total_time = Duration::ZERO;
+        let deadline = Instant::now() + self.measure;
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            for _ in 0..batch {
+                f();
+            }
+            let elapsed = start.elapsed();
+            per_iter.push(elapsed.as_nanos() as f64 / batch as f64);
+            total_iters += batch;
+            total_time += elapsed;
+            if Instant::now() > deadline {
+                break;
+            }
+        }
+        per_iter.sort_by(|a, b| a.partial_cmp(b).expect("durations are finite"));
+        let median_ns = per_iter[per_iter.len() / 2];
+        let mean_ns = total_time.as_nanos() as f64 / total_iters as f64;
+        println!(
+            "{full:<48} median {:>12} mean {:>12} ({} iters)",
+            format_ns(median_ns),
+            format_ns(mean_ns),
+            total_iters
+        );
+        self.results.push(BenchResult {
+            id: full,
+            iterations: total_iters,
+            mean_ns,
+            median_ns,
+        });
+    }
+
+    /// All results measured so far.
+    #[must_use]
+    pub fn results(&self) -> &[BenchResult] {
+        &self.results
+    }
+
+    /// Prints the closing line. Call at the end of `main`.
+    pub fn finish(&self) {
+        println!(
+            "{}: {} benchmark(s) measured",
+            self.group,
+            self.results.len()
+        );
+    }
+}
+
+/// Formats nanoseconds with an adaptive unit.
+#[must_use]
+pub fn format_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn harness_measures_and_records() {
+        let mut h = Harness::new("test").with_budget(
+            Duration::from_millis(1),
+            Duration::from_millis(10),
+            3,
+        );
+        let mut acc = 0_u64;
+        h.bench("noop", || acc = acc.wrapping_add(1));
+        assert_eq!(h.results().len(), 1);
+        let r = &h.results()[0];
+        assert_eq!(r.id, "test/noop");
+        assert!(r.iterations > 0);
+        assert!(r.mean_ns > 0.0);
+        assert!(acc > 0);
+    }
+
+    #[test]
+    fn format_ns_picks_units() {
+        assert!(format_ns(12.0).ends_with("ns"));
+        assert!(format_ns(12_000.0).ends_with("µs"));
+        assert!(format_ns(12_000_000.0).ends_with("ms"));
+        assert!(format_ns(12_000_000_000.0).ends_with('s'));
+    }
+}

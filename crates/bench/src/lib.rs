@@ -1,8 +1,11 @@
 //! Experiment harness for the rotation-scheduling reproduction.
 //!
 //! The binaries in `src/bin/` regenerate each table and figure of the
-//! paper; the Criterion benches in `benches/` measure runtime claims.
-//! This library hosts the shared measurement helpers.
+//! paper; the benches in `benches/` measure runtime claims with the
+//! self-contained [`harness`]. This library hosts the shared measurement
+//! helpers.
+
+pub mod harness;
 
 use rotsched_baselines::lower_bound;
 use rotsched_core::{HeuristicConfig, RotationScheduler};
@@ -88,6 +91,26 @@ pub fn measure_rs_with(
         verified,
         registers,
     }
+}
+
+/// Parses `--jobs N` (or `--jobs=N`) from the process arguments;
+/// defaults to 1. Every experiment binary accepts this flag and fans
+/// its benchmark × resource-config cells out over
+/// [`rotsched_core::parallel_indexed`] — output is collected and
+/// printed in a fixed order, so the tables are byte-identical for every
+/// `--jobs` value.
+#[must_use]
+pub fn jobs_from_args() -> usize {
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        if arg == "--jobs" {
+            return args.next().and_then(|v| v.parse().ok()).unwrap_or(1);
+        }
+        if let Some(v) = arg.strip_prefix("--jobs=") {
+            return v.parse().unwrap_or(1);
+        }
+    }
+    1
 }
 
 /// Formats a measured row against published numbers for table printing.

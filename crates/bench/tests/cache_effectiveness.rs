@@ -1,0 +1,40 @@
+//! The hot-path weight cache must actually pay off on real heuristic
+//! runs: rotation revisits zero-delay edge sets (phase restarts, cyclic
+//! rotations, repeated `FullSchedule`s of the same retimed face), so a
+//! meaningful share of priority-weight computations should be cache
+//! hits.
+
+use rotsched_benchmarks::{all_benchmarks, TimingModel};
+use rotsched_core::{heuristic1, heuristic2, HeuristicConfig};
+use rotsched_sched::{ListScheduler, ResourceSet};
+
+fn config() -> HeuristicConfig {
+    HeuristicConfig {
+        rotations_per_phase: 32,
+        max_size: None,
+        keep_best: 4,
+        rounds: 2,
+    }
+}
+
+#[test]
+fn weight_cache_gets_hits_on_real_sweeps() {
+    let mut total_hits = 0_u64;
+    let mut total_misses = 0_u64;
+    for (name, g) in all_benchmarks(&TimingModel::paper()) {
+        let res = ResourceSet::adders_multipliers(2, 2, false);
+        let sched = ListScheduler::default();
+        heuristic1(&g, &sched, &res, &config()).expect("schedulable");
+        heuristic2(&g, &sched, &res, &config()).expect("schedulable");
+        let (hits, misses) = sched.weight_cache_stats();
+        println!("{name}: weight cache {hits} hits / {misses} misses");
+        total_hits += hits;
+        total_misses += misses;
+    }
+    assert!(total_hits > 0, "cache never hit on an entire sweep suite");
+    assert!(
+        total_hits * 4 >= total_misses,
+        "cache hit fewer than 20% of lookups ({total_hits} hits / {total_misses} misses) — \
+         the hot-path cache no longer pays off"
+    );
+}

@@ -86,8 +86,9 @@ mod tests {
             (4, 11, 16, 8),
             (8, 8, 7, 4),
         ];
-        for ((name, g), (mults, adds, cp, ib)) in
-            all_benchmarks(&TimingModel::paper()).into_iter().zip(expected)
+        for ((name, g), (mults, adds, cp, ib)) in all_benchmarks(&TimingModel::paper())
+            .into_iter()
+            .zip(expected)
         {
             let got_m = g
                 .nodes()

@@ -5,8 +5,7 @@
 //! subgraph is a DAG by construction; backward edges always carry at
 //! least one delay.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use rotsched_dfg::rng::SplitMix64;
 use rotsched_dfg::{Dfg, OpKind};
 
 /// Parameters for random DFG generation.
@@ -49,11 +48,11 @@ impl Default for RandomDfgConfig {
 /// most produce several recurrences.
 #[must_use]
 pub fn random_dfg(config: &RandomDfgConfig, seed: u64) -> Dfg {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = SplitMix64::new(seed);
     let mut g = Dfg::new(format!("random-{seed}"));
     let mut ids = Vec::with_capacity(config.nodes);
     for i in 0..config.nodes {
-        let is_mult = rng.gen_bool(config.mult_fraction.clamp(0.0, 1.0));
+        let is_mult = rng.chance(config.mult_fraction);
         let (op, time) = if is_mult {
             (OpKind::Mul, config.mult_steps.max(1))
         } else {
@@ -63,11 +62,13 @@ pub fn random_dfg(config: &RandomDfgConfig, seed: u64) -> Dfg {
     }
     for i in 0..config.nodes {
         for j in 0..config.nodes {
-            if i < j && rng.gen_bool(config.forward_density.clamp(0.0, 1.0)) {
-                g.add_edge(ids[i], ids[j], 0).expect("forward edge is valid");
-            } else if i != j && rng.gen_bool(config.feedback_density.clamp(0.0, 1.0)) {
-                let d = rng.gen_range(1..=config.max_delays.max(1));
-                g.add_edge(ids[i], ids[j], d).expect("delayed edge is valid");
+            if i < j && rng.chance(config.forward_density) {
+                g.add_edge(ids[i], ids[j], 0)
+                    .expect("forward edge is valid");
+            } else if i != j && rng.chance(config.feedback_density) {
+                let d = rng.range_u32(1, config.max_delays.max(1));
+                g.add_edge(ids[i], ids[j], d)
+                    .expect("delayed edge is valid");
             }
         }
     }
@@ -98,8 +99,14 @@ mod tests {
         let b = random_dfg(&cfg, 42);
         assert_eq!(a.node_count(), b.node_count());
         assert_eq!(a.edge_count(), b.edge_count());
-        let ea: Vec<_> = a.edges().map(|(_, e)| (e.from(), e.to(), e.delays())).collect();
-        let eb: Vec<_> = b.edges().map(|(_, e)| (e.from(), e.to(), e.delays())).collect();
+        let ea: Vec<_> = a
+            .edges()
+            .map(|(_, e)| (e.from(), e.to(), e.delays()))
+            .collect();
+        let eb: Vec<_> = b
+            .edges()
+            .map(|(_, e)| (e.from(), e.to(), e.delays()))
+            .collect();
         assert_eq!(ea, eb);
     }
 

@@ -25,8 +25,7 @@ use crate::rotate::RotationState;
 /// Returns [`RotationError::Unrealizable`] when no retiming realizes the
 /// schedule — impossible for schedules produced by rotation.
 pub fn minimize_depth(dfg: &Dfg, schedule: &Schedule) -> Result<Retiming, RotationError> {
-    rotsched_sched::validate::realizing_retiming(dfg, schedule)
-        .ok_or(RotationError::Unrealizable)
+    rotsched_sched::validate::realizing_retiming(dfg, schedule).ok_or(RotationError::Unrealizable)
 }
 
 /// Converts a rotation state into an executable [`LoopSchedule`]:

@@ -15,7 +15,8 @@ use rotsched_dfg::Dfg;
 use rotsched_sched::{ListScheduler, ResourceSet};
 
 use crate::error::RotationError;
-use crate::phase::{rotation_phase, BestSet, PhaseStats};
+use crate::phase::{rotation_phase, rotation_phase_pruned, BestSet, PhaseStats};
+use crate::portfolio::PruneSignal;
 use crate::rotate::{initial_state, RotationState};
 
 /// Tuning knobs shared by both heuristics.
@@ -120,16 +121,41 @@ pub fn heuristic2(
     resources: &ResourceSet,
     config: &HeuristicConfig,
 ) -> Result<HeuristicOutcome, RotationError> {
+    heuristic2_pruned(dfg, scheduler, resources, config, None)
+}
+
+/// [`heuristic2`] with an optional portfolio pruning signal: the sweep
+/// publishes its best length as it goes and stops early when the signal
+/// says further work is pointless (see
+/// [`PruneSignal`](crate::portfolio::PruneSignal)). With `prune = None`
+/// this is exactly [`heuristic2`].
+///
+/// # Errors
+///
+/// Propagates graph and scheduling failures.
+pub fn heuristic2_pruned(
+    dfg: &Dfg,
+    scheduler: &ListScheduler,
+    resources: &ResourceSet,
+    config: &HeuristicConfig,
+    prune: Option<&PruneSignal<'_>>,
+) -> Result<HeuristicOutcome, RotationError> {
     let init = initial_state(dfg, scheduler, resources)?;
     let mut best = BestSet::new(config.keep_best);
     best.offer(init.wrapped_length(dfg, resources)?, &init);
+    if let Some(p) = prune {
+        p.record(best.length);
+    }
 
     let beta = config.max_size.unwrap_or_else(|| init.length(dfg)).max(1);
     let mut phases = Vec::new();
     let mut state = init;
-    for _round in 0..config.rounds.max(1) {
+    'sweep: for _round in 0..config.rounds.max(1) {
         for size in (1..=beta).rev() {
-            let stats = rotation_phase(
+            if prune.is_some_and(|p| p.should_stop(best.length)) {
+                break 'sweep;
+            }
+            let stats = rotation_phase_pruned(
                 dfg,
                 scheduler,
                 resources,
@@ -137,18 +163,19 @@ pub fn heuristic2(
                 &mut best,
                 size,
                 config.rotations_per_phase,
+                prune,
             )?;
             phases.push(stats);
 
             // Find a new initial schedule for the next phase from the
-            // accumulated rotation function: FullSchedule(G_R).
-            let schedule = scheduler.schedule(dfg, Some(&state.retiming), resources)?;
-            state = RotationState {
-                retiming: state.retiming.clone(),
-                schedule,
-            };
+            // accumulated rotation function: FullSchedule(G_R). The
+            // rotation function is kept in place.
+            state.schedule = scheduler.schedule(dfg, Some(&state.retiming), resources)?;
             let wrapped = state.wrapped_length(dfg, resources)?;
             best.offer(wrapped, &state);
+            if let Some(p) = prune {
+                p.record(best.length);
+            }
         }
     }
     Ok(HeuristicOutcome::from_parts(best, phases))

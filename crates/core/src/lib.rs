@@ -43,6 +43,8 @@
 //! * [`phase`] — rotation phases with best-set tracking (Section 5).
 //! * [`heuristics`] — Heuristic 1 (independent phases) and Heuristic 2
 //!   (chained, decreasing sizes) behind the paper's tables.
+//! * [`portfolio`] — deterministic parallel portfolio search over many
+//!   independent configurations, with lower-bound-based pruning.
 //! * [`depth`] — pipeline-depth minimization via the shortest-path dual
 //!   (Section 3.2, Theorem 2, Lemma 3) and loop-schedule expansion.
 //! * [`RotationScheduler`] — the high-level facade.
@@ -55,19 +57,23 @@ mod error;
 pub mod heuristics;
 pub mod nested;
 pub mod phase;
+pub mod portfolio;
 pub mod rate;
 pub mod rotate;
 pub mod rotate_chained;
 mod scheduler;
 
 pub use error::RotationError;
-pub use heuristics::{heuristic1, heuristic2, HeuristicConfig, HeuristicOutcome};
-pub use phase::{rotation_phase, BestSet, PhaseStats};
+pub use heuristics::{
+    heuristic1, heuristic2, heuristic2_pruned, HeuristicConfig, HeuristicOutcome,
+};
+pub use phase::{rotation_phase, rotation_phase_pruned, BestSet, PhaseStats};
+pub use portfolio::{
+    parallel_indexed, Portfolio, PortfolioOutcome, PruneSignal, SearchTask, SharedBound, TaskReport,
+};
+pub use rate::{rate_optimal, unfold_and_rotate, RateResult};
 pub use rotate::{
     down_rotate, initial_state, is_down_rotatable, up_rotate, DownRotateOutcome, RotationState,
 };
-pub use rotate_chained::{
-    down_rotate_chained, initial_chained_state, ChainedRotationState,
-};
-pub use rate::{rate_optimal, unfold_and_rotate, RateResult};
+pub use rotate_chained::{down_rotate_chained, initial_chained_state, ChainedRotationState};
 pub use scheduler::{RotationScheduler, SolvedPipeline};

@@ -62,12 +62,9 @@ impl CompoundNode {
             let class = resources
                 .class_for(inner.node(e.node).op())
                 .expect("inner operations are bound");
-            for off in resources
-                .class(class)
-                .occupancy(inner.node(e.node).time())
-            {
-                let step = usize::try_from(e.start + i64::from(off) - first)
-                    .expect("event within span");
+            for off in resources.class(class).occupancy(inner.node(e.node).time()) {
+                let step =
+                    usize::try_from(e.start + i64::from(off) - first).expect("event within span");
                 profile[step][class.index()] += 1;
             }
         }
@@ -185,7 +182,10 @@ impl NestedScheduler {
             "the compound node's declared time must equal its span"
         );
 
-        let weights = self.policy.weights(outer, retiming).map_err(SchedError::from)?;
+        let weights = self
+            .policy
+            .weights(outer, retiming)
+            .map_err(SchedError::from)?;
         let mut is_free = outer.node_map(false);
         for &v in free {
             is_free[v] = true;
@@ -245,8 +245,7 @@ impl NestedScheduler {
             }
             extra.iter().all(|(&(class_idx, step), &need)| {
                 let class = &resources.classes()[class_idx];
-                table.used(rotsched_sched::ResourceClassId::from_index(class_idx), step)
-                    + need
+                table.used(rotsched_sched::ResourceClassId::from_index(class_idx), step) + need
                     <= class.count()
             })
         };
@@ -282,11 +281,7 @@ impl NestedScheduler {
         rotsched_dfg::analysis::zero_delay_topological_order(outer, retiming)
             .map_err(SchedError::from)?;
 
-        let mut ready: Vec<NodeId> = free
-            .iter()
-            .copied()
-            .filter(|&v| blocking[v] == 0)
-            .collect();
+        let mut ready: Vec<NodeId> = free.iter().copied().filter(|&v| blocking[v] == 0).collect();
         let mut remaining = free.len();
         let horizon = table.horizon()
             + u32::try_from(outer.total_time()).unwrap_or(u32::MAX)
@@ -410,7 +405,6 @@ mod tests {
     /// Local helpers namespaced to avoid clutter.
     mod rotsched_core_test_helpers {
         pub use rotsched_dfg::{DfgBuilder, OpKind};
-        
     }
 
     /// A small inner loop: 2 mults + 1 add with a recurrence.
@@ -450,8 +444,7 @@ mod tests {
         let solved = crate::RotationScheduler::new(&inner, res.clone())
             .solve()
             .expect("inner loop schedulable");
-        let ls = crate::depth::into_loop_schedule(&inner, res, &solved.state)
-            .expect("expandable");
+        let ls = crate::depth::into_loop_schedule(&inner, res, &solved.state).expect("expandable");
         let compound = CompoundNode::from_loop(&inner, &ls, res, iterations);
         (inner, compound)
     }
@@ -509,8 +502,7 @@ mod tests {
         let before = s.length(&outer);
         // Rotate the prefix (pre1): it moves into the slack alongside
         // the compound, shortening or preserving the schedule.
-        down_rotate_nested(&outer, &sched, &res, loop_id, &compound, &mut r, &mut s, 1)
-            .unwrap();
+        down_rotate_nested(&outer, &sched, &res, loop_id, &compound, &mut r, &mut s, 1).unwrap();
         assert!(r.is_legal(&outer));
         assert!(s.length(&outer) <= before);
         assert!(s.is_complete());

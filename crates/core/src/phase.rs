@@ -7,15 +7,42 @@
 //! shortest length seen (`L_opt`) and the set `Q` of distinct schedules
 //! achieving it.
 
+use rotsched_dfg::rng::Fnv64;
 use rotsched_dfg::Dfg;
-use rotsched_sched::{ListScheduler, ResourceSet};
+use rotsched_sched::{ListScheduler, ResourceSet, Schedule};
 
 use crate::error::RotationError;
+use crate::portfolio::PruneSignal;
 use crate::rotate::{down_rotate, RotationState};
 
 /// A schedule achieving the best known length, with its rotation
 /// function.
 pub type BestSchedule = RotationState;
+
+/// A cheap order-insensitive-enough fingerprint of a schedule: FNV-1a
+/// over its `(node, control step)` pairs in node-index order (the order
+/// [`Schedule::iter`] already yields). Two equal schedules always hash
+/// equal; unequal schedules collide only with hash probability, and a
+/// collision merely costs one deep comparison — never a wrong answer.
+#[must_use]
+fn schedule_fingerprint(schedule: &Schedule) -> u64 {
+    let mut h = Fnv64::new();
+    for (v, cs) in schedule.iter() {
+        h.write_u32(u32::try_from(v.index()).unwrap_or(u32::MAX));
+        h.write_u32(cs);
+    }
+    h.finish()
+}
+
+/// How an offered state relates to the current best set.
+enum Admission {
+    /// Worse than the best, a duplicate, or a tie with the set full.
+    Reject,
+    /// Ties the best and is new; carries the precomputed fingerprint.
+    Tie(u64),
+    /// Strictly improves the best; carries the precomputed fingerprint.
+    Improve(u64),
+}
 
 /// The set of best schedules found so far (`Q` in the paper), with the
 /// shortest length (`L_opt`).
@@ -27,6 +54,10 @@ pub struct BestSet {
     pub schedules: Vec<BestSchedule>,
     /// Maximum number of schedules retained.
     pub capacity: usize,
+    /// `fingerprints[i]` is the schedule fingerprint of `schedules[i]`;
+    /// duplicate offers are rejected on a fingerprint mismatch scan and
+    /// only fall back to a deep schedule comparison on a hash match.
+    fingerprints: Vec<u64>,
 }
 
 impl BestSet {
@@ -37,26 +68,89 @@ impl BestSet {
             length: u32::MAX,
             schedules: Vec::new(),
             capacity: capacity.max(1),
+            fingerprints: Vec::new(),
+        }
+    }
+
+    /// Classifies an offer without cloning anything. Fingerprints are
+    /// computed only when the offer can actually be admitted.
+    fn admission(&self, length: u32, schedule: &Schedule) -> Admission {
+        if length > self.length {
+            return Admission::Reject;
+        }
+        if length < self.length {
+            return Admission::Improve(schedule_fingerprint(schedule));
+        }
+        if self.schedules.len() >= self.capacity {
+            return Admission::Reject;
+        }
+        let fp = schedule_fingerprint(schedule);
+        let duplicate = self
+            .fingerprints
+            .iter()
+            .zip(&self.schedules)
+            .any(|(&f, s)| f == fp && s.schedule == *schedule);
+        if duplicate {
+            Admission::Reject
+        } else {
+            Admission::Tie(fp)
         }
     }
 
     /// Offers a state with the given (wrapped) length; keeps it when it
     /// ties or improves the best, dropping longer ones. Returns `true`
     /// when the offer strictly improved the best length.
+    ///
+    /// The state is cloned only on admission — rejected offers (the
+    /// common case inside a rotation phase) cost a fingerprint at most.
     pub fn offer(&mut self, length: u32, state: &RotationState) -> bool {
-        if length < self.length {
-            self.length = length;
-            self.schedules.clear();
-            self.schedules.push(state.clone());
-            true
-        } else {
-            if length == self.length
-                && self.schedules.len() < self.capacity
-                && !self.schedules.iter().any(|s| s.schedule == state.schedule)
-            {
+        match self.admission(length, &state.schedule) {
+            Admission::Reject => false,
+            Admission::Tie(fp) => {
                 self.schedules.push(state.clone());
+                self.fingerprints.push(fp);
+                false
             }
-            false
+            Admission::Improve(fp) => {
+                self.length = length;
+                self.schedules.clear();
+                self.fingerprints.clear();
+                self.schedules.push(state.clone());
+                self.fingerprints.push(fp);
+                true
+            }
+        }
+    }
+
+    /// Like [`BestSet::offer`] but takes ownership of the state, so
+    /// admission moves instead of cloning. Rejected states are dropped.
+    pub fn offer_owned(&mut self, length: u32, state: RotationState) -> bool {
+        match self.admission(length, &state.schedule) {
+            Admission::Reject => false,
+            Admission::Tie(fp) => {
+                self.schedules.push(state);
+                self.fingerprints.push(fp);
+                false
+            }
+            Admission::Improve(fp) => {
+                self.length = length;
+                self.schedules.clear();
+                self.fingerprints.clear();
+                self.schedules.push(state);
+                self.fingerprints.push(fp);
+                true
+            }
+        }
+    }
+
+    /// Merges another best set into this one (used when joining portfolio
+    /// workers), moving its states rather than cloning them.
+    pub fn merge(&mut self, other: BestSet) {
+        if other.length > self.length {
+            return;
+        }
+        for state in other.schedules {
+            self.offer_owned(other.length, state);
         }
     }
 
@@ -103,12 +197,39 @@ pub fn rotation_phase(
     size: u32,
     alpha: usize,
 ) -> Result<PhaseStats, RotationError> {
+    rotation_phase_pruned(dfg, scheduler, resources, state, best, size, alpha, None)
+}
+
+/// [`rotation_phase`] with an optional portfolio pruning signal: the
+/// phase publishes its best length after every rotation and stops as
+/// soon as the signal says further work is pointless (the best reached
+/// the combined lower bound, or a lower-indexed portfolio task did).
+///
+/// With `prune = None` this is exactly [`rotation_phase`].
+///
+/// # Errors
+///
+/// See [`rotation_phase`].
+#[allow(clippy::too_many_arguments)]
+pub fn rotation_phase_pruned(
+    dfg: &Dfg,
+    scheduler: &ListScheduler,
+    resources: &ResourceSet,
+    state: &mut RotationState,
+    best: &mut BestSet,
+    size: u32,
+    alpha: usize,
+    prune: Option<&PruneSignal<'_>>,
+) -> Result<PhaseStats, RotationError> {
     let mut stats = PhaseStats {
         requested_size: size,
         ..PhaseStats::default()
     };
     let mut min_seen = u32::MAX;
     for j in 0..alpha {
+        if prune.is_some_and(|p| p.should_stop(best.length)) {
+            break;
+        }
         let length = state.schedule.length(dfg);
         if length <= 1 {
             break; // nothing left to rotate
@@ -129,6 +250,9 @@ pub fn rotation_phase(
             stats.first_optimum_at = Some(j + 1);
         }
         best.offer(wrapped, state);
+        if let Some(p) = prune {
+            p.record(best.length);
+        }
     }
     Ok(stats)
 }
@@ -215,6 +339,48 @@ mod tests {
         assert!(best.offer(3, &st));
         assert_eq!(best.count(), 1);
         assert_eq!(best.length, 3);
+    }
+
+    #[test]
+    fn owned_offers_match_borrowed_offers() {
+        let (g, sched, res) = setup();
+        let st = initial_state(&g, &sched, &res).unwrap();
+        let mut by_ref = BestSet::new(4);
+        let mut by_move = BestSet::new(4);
+        for shift in 0..3_i64 {
+            let mut s = st.clone();
+            s.schedule.shift(shift);
+            assert_eq!(by_ref.offer(4, &s), by_move.offer_owned(4, s.clone()));
+        }
+        assert_eq!(by_ref.length, by_move.length);
+        assert_eq!(by_ref.schedules, by_move.schedules);
+    }
+
+    #[test]
+    fn merge_unions_ties_and_prefers_shorter_lengths() {
+        let (g, sched, res) = setup();
+        let st = initial_state(&g, &sched, &res).unwrap();
+        let mut a = BestSet::new(4);
+        a.offer(4, &st);
+        // A worse set is ignored entirely.
+        let mut worse = BestSet::new(4);
+        let mut shifted = st.clone();
+        shifted.schedule.shift(1);
+        worse.offer(5, &shifted);
+        a.merge(worse);
+        assert_eq!(a.length, 4);
+        assert_eq!(a.count(), 1);
+        // A tying set unions (with dedupe), a better one replaces.
+        let mut tie = BestSet::new(4);
+        tie.offer(4, &st);
+        tie.offer(4, &shifted);
+        a.merge(tie);
+        assert_eq!(a.count(), 2, "duplicate dropped, new tie kept");
+        let mut better = BestSet::new(4);
+        better.offer(3, &st);
+        a.merge(better);
+        assert_eq!(a.length, 3);
+        assert_eq!(a.count(), 1);
     }
 
     #[test]

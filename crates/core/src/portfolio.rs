@@ -1,0 +1,598 @@
+//! Parallel portfolio rotation search with bound-based pruning.
+//!
+//! Rotation scheduling explores many independent search configurations:
+//! Heuristic 1 runs one phase per rotation size, Heuristic 2 can be
+//! re-run under different priority policies, and experiment sweeps
+//! evaluate many benchmark × resource-config cells. All of these are
+//! embarrassingly parallel — no configuration reads another's state —
+//! so this module fans them out across scoped worker threads
+//! ([`std::thread::scope`]; no external runtime) while keeping the
+//! result **bit-for-bit deterministic** in the thread count.
+//!
+//! ## The determinism protocol
+//!
+//! Tasks are indexed `0..n`. Two shared atomics coordinate pruning:
+//!
+//! * `incumbent` — the best (wrapped) length published by any task.
+//!   Monotone via `fetch_min`; **advisory only** (its value depends on
+//!   thread timing, so it never drives control flow).
+//! * `achiever` — the lowest task index whose own best reached the
+//!   combined recurrence + resource lower bound
+//!   ([`rotsched_baselines::lower_bound`]). Also `fetch_min`.
+//!
+//! A task stops early in exactly two cases, both safe:
+//!
+//! 1. **Self-prune** — its own best equals the lower bound. This
+//!    depends only on task-local state, so it fires at the same point
+//!    regardless of the thread count.
+//! 2. **Cross-prune** — `achiever` holds a *strictly lower* task
+//!    index. Such a task's result is discarded by the merge rule below,
+//!    so truncating its search cannot change the outcome.
+//!
+//! Merge rule: let `c` be the lowest-indexed task whose final best
+//! equals the bound. If `c` exists, the portfolio result is task `c`'s
+//! best set alone; otherwise it is the capacity-capped union of every
+//! task's best set, folded in index order. An induction over task
+//! indices shows `c` (and its entire search trajectory) is independent
+//! of scheduling: a task can only record itself as achiever if its
+//! untruncated run would reach the bound, and it can only be truncated
+//! by a strictly lower achiever — so every task below and including the
+//! first true achiever runs exactly as it would sequentially.
+
+use std::sync::atomic::{AtomicU32, AtomicUsize, Ordering};
+use std::thread;
+
+use rotsched_baselines::lower_bound;
+use rotsched_dfg::Dfg;
+use rotsched_sched::{ListScheduler, PriorityPolicy, ResourceSet};
+
+use crate::error::RotationError;
+use crate::heuristics::{heuristic2_pruned, HeuristicConfig};
+use crate::phase::{rotation_phase_pruned, BestSet, PhaseStats};
+use crate::rotate::{initial_state, RotationState};
+
+/// Sentinel for "no schedule yet" — a [`BestSet`] that never admitted.
+const NO_LENGTH: u32 = u32::MAX;
+
+/// The shared pruning state of one portfolio run.
+#[derive(Debug)]
+pub struct SharedBound {
+    bound: u32,
+    incumbent: AtomicU32,
+    achiever: AtomicU32,
+}
+
+impl SharedBound {
+    /// A fresh shared state for the given combined lower bound.
+    #[must_use]
+    pub fn new(bound: u32) -> Self {
+        SharedBound {
+            bound,
+            incumbent: AtomicU32::new(NO_LENGTH),
+            achiever: AtomicU32::new(u32::MAX),
+        }
+    }
+
+    /// The combined recurrence + resource lower bound in effect.
+    #[must_use]
+    pub fn bound(&self) -> u32 {
+        self.bound
+    }
+
+    /// The best length any task has published so far (advisory —
+    /// timing-dependent while workers are running).
+    #[must_use]
+    pub fn incumbent(&self) -> u32 {
+        self.incumbent.load(Ordering::Relaxed)
+    }
+
+    /// A pruning handle for the task with the given index.
+    #[must_use]
+    pub fn signal(&self, task_index: u32) -> PruneSignal<'_> {
+        PruneSignal {
+            shared: self,
+            task_index,
+        }
+    }
+}
+
+/// A task's handle onto the shared pruning state.
+#[derive(Clone, Copy, Debug)]
+pub struct PruneSignal<'a> {
+    shared: &'a SharedBound,
+    task_index: u32,
+}
+
+impl PruneSignal<'_> {
+    /// Publishes the task's current best length. Marks this task as a
+    /// bound achiever when the length reaches the lower bound — never
+    /// for lengths above it, and lengths *below* the bound cannot occur
+    /// (the bound is proven; see the pruning test).
+    pub fn record(&self, own_best: u32) {
+        self.shared.incumbent.fetch_min(own_best, Ordering::Relaxed);
+        if own_best != NO_LENGTH && own_best <= self.shared.bound {
+            self.shared
+                .achiever
+                .fetch_min(self.task_index, Ordering::Relaxed);
+        }
+    }
+
+    /// Should this task stop searching? True on self-prune (own best
+    /// reached the lower bound — deterministic) or cross-prune (a
+    /// strictly lower-indexed task reached it — result discarded by the
+    /// canonical merge, so stopping is unobservable).
+    #[must_use]
+    pub fn should_stop(&self, own_best: u32) -> bool {
+        (own_best != NO_LENGTH && own_best <= self.shared.bound) || self.lost_to_lower_task()
+    }
+
+    /// True when a strictly lower-indexed task has achieved the bound.
+    #[must_use]
+    pub fn lost_to_lower_task(&self) -> bool {
+        self.shared.achiever.load(Ordering::Relaxed) < self.task_index
+    }
+}
+
+/// One independent search configuration of a portfolio.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SearchTask {
+    /// One Heuristic-1 rotation phase: `alpha` rotations of size `size`
+    /// starting from the initial list schedule.
+    Phase {
+        /// Rotation size `i`.
+        size: u32,
+        /// Down-rotations to perform (`α`).
+        alpha: usize,
+        /// Priority policy for the list scheduler.
+        policy: PriorityPolicy,
+    },
+    /// A full Heuristic-2 descending sweep with its own knobs.
+    Sweep {
+        /// The heuristic configuration (`α`, `β`, rounds, retention).
+        config: HeuristicConfig,
+        /// Priority policy for the list scheduler.
+        policy: PriorityPolicy,
+    },
+}
+
+impl SearchTask {
+    /// A short human-readable label ("h1/size=3/DescendantCount").
+    #[must_use]
+    pub fn label(&self) -> String {
+        match self {
+            SearchTask::Phase {
+                size,
+                alpha,
+                policy,
+            } => {
+                format!("h1/size={size}/alpha={alpha}/{policy:?}")
+            }
+            SearchTask::Sweep { config, policy } => format!(
+                "h2/alpha={}/rounds={}/{policy:?}",
+                config.rotations_per_phase, config.rounds
+            ),
+        }
+    }
+}
+
+/// Per-task summary of a portfolio run.
+///
+/// For tasks above the canonical achiever these numbers are
+/// timing-dependent (the task may have been cross-pruned at any point);
+/// they are reported for diagnostics, never for results.
+#[derive(Clone, Debug)]
+pub struct TaskReport {
+    /// The task's label.
+    pub label: String,
+    /// The task's own best length, if it admitted any schedule.
+    pub best_length: Option<u32>,
+    /// Down-rotations the task performed.
+    pub rotations: usize,
+    /// Whether the task was stopped by a lower-indexed bound achiever.
+    pub cross_pruned: bool,
+}
+
+/// The deterministic result of a portfolio run.
+#[derive(Clone, Debug)]
+pub struct PortfolioOutcome {
+    /// Best (wrapped) schedule length found.
+    pub best_length: u32,
+    /// The canonical best set: the lowest-indexed bound achiever's `Q`
+    /// when the bound was reached, else the capacity-capped union of
+    /// all tasks' sets in index order. `best[0]` is the canonical
+    /// winner. Identical for every thread count.
+    pub best: Vec<RotationState>,
+    /// The combined recurrence + resource lower bound used for pruning.
+    pub lower_bound: u32,
+    /// Whether some task reached the lower bound (proving optimality).
+    pub bound_achieved: bool,
+    /// Index of the canonical achiever task, when the bound was reached.
+    pub canonical_task: Option<usize>,
+    /// Phase statistics from the deterministic part of the run: tasks
+    /// `0..=canonical_task` when the bound was achieved, all tasks
+    /// otherwise. Identical for every thread count.
+    pub phases: Vec<PhaseStats>,
+    /// Total rotations in `phases`.
+    pub total_rotations: usize,
+    /// Advisory per-task summaries (timing-dependent above the
+    /// canonical achiever).
+    pub reports: Vec<TaskReport>,
+}
+
+/// A portfolio: an indexed task list plus execution knobs.
+#[derive(Clone, Debug)]
+pub struct Portfolio {
+    /// The search configurations, in canonical (tie-break) order.
+    pub tasks: Vec<SearchTask>,
+    /// Worker threads (`0` or `1` runs on the caller's thread).
+    pub jobs: usize,
+    /// Capacity of the merged best set.
+    pub keep_best: usize,
+}
+
+impl Portfolio {
+    /// The standard portfolio for a problem instance: Heuristic 1's
+    /// phases of sizes `1..=β` under the paper's policy, then one
+    /// Heuristic-2 sweep per priority policy. Task order fixes the
+    /// canonical tie-break.
+    ///
+    /// # Errors
+    ///
+    /// Propagates graph and scheduling failures from the initial list
+    /// schedule (needed to determine `β`).
+    pub fn standard(
+        dfg: &Dfg,
+        resources: &ResourceSet,
+        config: &HeuristicConfig,
+    ) -> Result<Self, RotationError> {
+        let init = initial_state(dfg, &ListScheduler::default(), resources)?;
+        let beta = config.max_size.unwrap_or_else(|| init.length(dfg)).max(1);
+        let mut tasks = Vec::new();
+        for size in 1..=beta {
+            tasks.push(SearchTask::Phase {
+                size,
+                alpha: config.rotations_per_phase,
+                policy: PriorityPolicy::default(),
+            });
+        }
+        for policy in [
+            PriorityPolicy::DescendantCount,
+            PriorityPolicy::PathHeight,
+            PriorityPolicy::Mobility,
+            PriorityPolicy::InputOrder,
+        ] {
+            tasks.push(SearchTask::Sweep {
+                config: *config,
+                policy,
+            });
+        }
+        Ok(Portfolio {
+            tasks,
+            jobs: 1,
+            keep_best: config.keep_best,
+        })
+    }
+
+    /// Sets the worker-thread count.
+    #[must_use]
+    pub fn with_jobs(mut self, jobs: usize) -> Self {
+        self.jobs = jobs;
+        self
+    }
+
+    /// Runs every task and merges the results deterministically.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the lowest-indexed task failure, and lower-bound
+    /// computation failures.
+    pub fn run(
+        &self,
+        dfg: &Dfg,
+        resources: &ResourceSet,
+    ) -> Result<PortfolioOutcome, RotationError> {
+        let bound = u32::try_from(lower_bound(dfg, resources)?).unwrap_or(u32::MAX - 1);
+        let shared = SharedBound::new(bound);
+        let runs = parallel_indexed(self.jobs, self.tasks.len(), |i| {
+            let index = u32::try_from(i).unwrap_or(u32::MAX);
+            run_task(
+                dfg,
+                resources,
+                &self.tasks[i],
+                self.keep_best,
+                &shared.signal(index),
+            )
+        });
+        let mut completed = Vec::with_capacity(runs.len());
+        for run in runs {
+            completed.push(run?);
+        }
+
+        let reports = self
+            .tasks
+            .iter()
+            .zip(&completed)
+            .map(|(task, run)| TaskReport {
+                label: task.label(),
+                best_length: (run.best.length != NO_LENGTH).then_some(run.best.length),
+                rotations: run.phases.iter().map(|p| p.rotations).sum(),
+                cross_pruned: run.cross_pruned,
+            })
+            .collect();
+
+        let canonical_task = completed
+            .iter()
+            .position(|run| run.best.length != NO_LENGTH && run.best.length <= bound);
+        let mut best = BestSet::new(self.keep_best);
+        let mut phases = Vec::new();
+        match canonical_task {
+            Some(c) => {
+                // The canonical achiever ran exactly as it would have
+                // sequentially; its set IS the portfolio result.
+                for (i, run) in completed.into_iter().enumerate() {
+                    if i <= c {
+                        phases.extend(run.phases);
+                    }
+                    if i == c {
+                        best = run.best;
+                        break;
+                    }
+                }
+            }
+            None => {
+                // No pruning ever fired, so every task completed its
+                // full deterministic search: union in index order.
+                for run in completed {
+                    phases.extend(run.phases);
+                    best.merge(run.best);
+                }
+            }
+        }
+        Ok(PortfolioOutcome {
+            best_length: best.length,
+            lower_bound: bound,
+            bound_achieved: canonical_task.is_some(),
+            canonical_task,
+            total_rotations: phases.iter().map(|p| p.rotations).sum(),
+            phases,
+            best: best.schedules,
+            reports,
+        })
+    }
+}
+
+/// What one task produced.
+struct TaskRun {
+    best: BestSet,
+    phases: Vec<PhaseStats>,
+    cross_pruned: bool,
+}
+
+fn run_task(
+    dfg: &Dfg,
+    resources: &ResourceSet,
+    task: &SearchTask,
+    keep_best: usize,
+    signal: &PruneSignal<'_>,
+) -> Result<TaskRun, RotationError> {
+    if signal.lost_to_lower_task() {
+        // A lower-indexed task already proved the bound: this task's
+        // result would be discarded, so skip the work entirely.
+        return Ok(TaskRun {
+            best: BestSet::new(keep_best),
+            phases: Vec::new(),
+            cross_pruned: true,
+        });
+    }
+    match task {
+        SearchTask::Phase {
+            size,
+            alpha,
+            policy,
+        } => {
+            let scheduler = ListScheduler::new(*policy);
+            let mut state = initial_state(dfg, &scheduler, resources)?;
+            let mut best = BestSet::new(keep_best);
+            best.offer(state.wrapped_length(dfg, resources)?, &state);
+            signal.record(best.length);
+            let stats = rotation_phase_pruned(
+                dfg,
+                &scheduler,
+                resources,
+                &mut state,
+                &mut best,
+                *size,
+                *alpha,
+                Some(signal),
+            )?;
+            Ok(TaskRun {
+                best,
+                phases: vec![stats],
+                cross_pruned: signal.lost_to_lower_task(),
+            })
+        }
+        SearchTask::Sweep { config, policy } => {
+            let scheduler = ListScheduler::new(*policy);
+            let out = heuristic2_pruned(dfg, &scheduler, resources, config, Some(signal))?;
+            let mut best = BestSet::new(config.keep_best);
+            for state in out.best {
+                best.offer_owned(out.best_length, state);
+            }
+            Ok(TaskRun {
+                best,
+                phases: out.phases,
+                cross_pruned: signal.lost_to_lower_task(),
+            })
+        }
+    }
+}
+
+/// Runs `count` independent jobs `run(0), …, run(count - 1)` on up to
+/// `jobs` scoped worker threads and returns the results **in index
+/// order**. With `jobs <= 1` (or a single job) everything runs on the
+/// caller's thread — byte-identical to the parallel path for
+/// deterministic `run` functions.
+///
+/// Workers claim indices from a shared atomic counter, so long and
+/// short jobs balance without any up-front partitioning. This is the
+/// engine under the portfolio and under the experiment sweeps'
+/// benchmark × resource-config cells.
+pub fn parallel_indexed<T, F>(jobs: usize, count: usize, run: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let jobs = jobs.max(1).min(count);
+    if jobs <= 1 {
+        return (0..count).map(run).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let run = &run;
+    let mut indexed: Vec<(usize, T)> = thread::scope(|scope| {
+        let workers: Vec<_> = (0..jobs)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut local = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= count {
+                            break;
+                        }
+                        local.push((i, run(i)));
+                    }
+                    local
+                })
+            })
+            .collect();
+        workers
+            .into_iter()
+            .flat_map(|w| w.join().expect("portfolio worker panicked"))
+            .collect()
+    });
+    indexed.sort_unstable_by_key(|&(i, _)| i);
+    indexed.into_iter().map(|(_, value)| value).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rotsched_dfg::{DfgBuilder, OpKind};
+
+    fn ring(n: usize, delays: u32) -> Dfg {
+        let names: Vec<String> = (0..n).map(|i| format!("v{i}")).collect();
+        let refs: Vec<&str> = names.iter().map(String::as_str).collect();
+        DfgBuilder::new("ring")
+            .nodes("v", n, OpKind::Add, 1)
+            .chain(&refs)
+            .edge(&format!("v{}", n - 1), "v0", delays)
+            .build()
+            .unwrap()
+    }
+
+    fn config() -> HeuristicConfig {
+        HeuristicConfig {
+            rotations_per_phase: 16,
+            max_size: None,
+            keep_best: 8,
+            rounds: 1,
+        }
+    }
+
+    #[test]
+    fn parallel_indexed_returns_results_in_index_order() {
+        for jobs in [0, 1, 2, 7, 64] {
+            let out = parallel_indexed(jobs, 33, |i| i * i);
+            assert_eq!(out, (0..33).map(|i| i * i).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn parallel_indexed_handles_empty_and_single() {
+        assert!(parallel_indexed(4, 0, |i| i).is_empty());
+        assert_eq!(parallel_indexed(4, 1, |i| i + 7), vec![7]);
+    }
+
+    #[test]
+    fn pruning_never_fires_below_the_lower_bound() {
+        let shared = SharedBound::new(3);
+        let sig = shared.signal(5);
+        // Above the bound: no stop, no achiever.
+        sig.record(4);
+        assert!(!sig.should_stop(4));
+        assert!(!sig.lost_to_lower_task());
+        assert_eq!(shared.incumbent(), 4);
+        // Unachieved sentinel never registers.
+        assert!(!sig.should_stop(NO_LENGTH));
+        // At the bound: self-prune fires and the achiever is recorded.
+        sig.record(3);
+        assert!(sig.should_stop(3));
+        // Higher-indexed tasks cross-prune; lower-indexed ones do not.
+        assert!(shared.signal(6).lost_to_lower_task());
+        assert!(!shared.signal(5).lost_to_lower_task());
+        assert!(!shared.signal(2).lost_to_lower_task());
+        assert!(shared.signal(2).should_stop(3), "self-prune still applies");
+    }
+
+    #[test]
+    fn achiever_takes_the_minimum_task_index() {
+        let shared = SharedBound::new(2);
+        shared.signal(9).record(2);
+        shared.signal(4).record(2);
+        shared.signal(7).record(2);
+        assert!(shared.signal(5).lost_to_lower_task());
+        assert!(!shared.signal(4).lost_to_lower_task());
+    }
+
+    #[test]
+    fn standard_portfolio_reaches_the_bound_on_a_ring() {
+        let g = ring(6, 3);
+        let res = ResourceSet::adders_multipliers(3, 0, false);
+        let p = Portfolio::standard(&g, &res, &config()).unwrap();
+        let out = p.run(&g, &res).unwrap();
+        assert_eq!(out.best_length, 2, "IB = 6/3 = 2");
+        assert!(out.bound_achieved);
+        assert_eq!(out.lower_bound, 2);
+        assert!(out.canonical_task.is_some());
+        assert!(!out.best.is_empty());
+    }
+
+    #[test]
+    fn outcome_is_identical_across_thread_counts() {
+        let g = ring(7, 2);
+        let res = ResourceSet::adders_multipliers(2, 0, false);
+        let p = Portfolio::standard(&g, &res, &config()).unwrap();
+        let baseline = p.clone().with_jobs(1).run(&g, &res).unwrap();
+        for jobs in [2, 3, 8] {
+            let out = p.clone().with_jobs(jobs).run(&g, &res).unwrap();
+            assert_eq!(out.best_length, baseline.best_length);
+            assert_eq!(out.best, baseline.best, "jobs={jobs}");
+            assert_eq!(out.canonical_task, baseline.canonical_task);
+            assert_eq!(out.phases, baseline.phases);
+        }
+    }
+
+    #[test]
+    fn portfolio_never_worsens_heuristic2() {
+        use crate::heuristics::heuristic2;
+        for delays in 1..=3 {
+            let g = ring(6, delays);
+            let res = ResourceSet::adders_multipliers(2, 0, false);
+            let solo = heuristic2(&g, &ListScheduler::default(), &res, &config()).unwrap();
+            let p = Portfolio::standard(&g, &res, &config()).unwrap();
+            let out = p.with_jobs(4).run(&g, &res).unwrap();
+            assert!(out.best_length <= solo.best_length);
+            assert!(out.best_length >= out.lower_bound, "bound is sound");
+        }
+    }
+
+    #[test]
+    fn reports_cover_every_task() {
+        let g = ring(5, 2);
+        let res = ResourceSet::adders_multipliers(2, 0, false);
+        let p = Portfolio::standard(&g, &res, &config()).unwrap();
+        let n = p.tasks.len();
+        let out = p.run(&g, &res).unwrap();
+        assert_eq!(out.reports.len(), n);
+        assert!(out.reports.iter().all(|r| !r.label.is_empty()));
+    }
+}

@@ -82,7 +82,9 @@ pub fn rate_optimal(
     max_factor: u32,
 ) -> Result<RateResult, RotationError> {
     let factor = match max_cycle_ratio(dfg)? {
-        Some(ratio) => u32::try_from(ratio.den()).unwrap_or(1).min(max_factor.max(1)),
+        Some(ratio) => u32::try_from(ratio.den())
+            .unwrap_or(1)
+            .min(max_factor.max(1)),
         None => 1,
     };
     unfold_and_rotate(dfg, resources, config, factor)
@@ -147,7 +149,10 @@ mod tests {
         let r = rate_optimal(&g, &res, &config(), 8).unwrap();
         assert_eq!(r.factor, 2);
         assert_eq!(r.kernel_length, 3, "3 steps per 2 iterations");
-        assert!((r.per_iteration - 1.5).abs() < 1e-9, "beats the integer IB of 2");
+        assert!(
+            (r.per_iteration - 1.5).abs() < 1e-9,
+            "beats the integer IB of 2"
+        );
     }
 
     #[test]

@@ -44,11 +44,7 @@ impl RotationState {
     ///
     /// Propagates wrap-analysis failures (never happens for the state
     /// maintained by rotation, whose unwrapped interpretation is legal).
-    pub fn wrapped_length(
-        &self,
-        dfg: &Dfg,
-        resources: &ResourceSet,
-    ) -> Result<u32, RotationError> {
+    pub fn wrapped_length(&self, dfg: &Dfg, resources: &ResourceSet) -> Result<u32, RotationError> {
         Ok(rotsched_sched::wrapped_length(
             dfg,
             Some(&self.retiming),
@@ -69,11 +65,7 @@ pub fn is_down_rotatable(dfg: &Dfg, retiming: &Retiming, set: &[NodeId]) -> bool
 /// Returns a node of `set` reached by a delay-free edge from outside, if
 /// any (the witness that the set is *not* down-rotatable).
 #[must_use]
-pub fn find_rotatability_witness(
-    dfg: &Dfg,
-    retiming: &Retiming,
-    set: &[NodeId],
-) -> Option<NodeId> {
+pub fn find_rotatability_witness(dfg: &Dfg, retiming: &Retiming, set: &[NodeId]) -> Option<NodeId> {
     let mut in_set = dfg.node_map(false);
     for &v in set {
         in_set[v] = true;
@@ -360,10 +352,7 @@ mod tests {
         assert!(is_down_rotatable(&g, &r0, &[ids[0]]));
         // v1 has a zero-delay edge from v0.
         assert!(!is_down_rotatable(&g, &r0, &[ids[1]]));
-        assert_eq!(
-            find_rotatability_witness(&g, &r0, &[ids[1]]),
-            Some(ids[1])
-        );
+        assert_eq!(find_rotatability_witness(&g, &r0, &[ids[1]]), Some(ids[1]));
         // {v0, v1} together are rotatable.
         assert!(is_down_rotatable(&g, &r0, &[ids[0], ids[1]]));
     }

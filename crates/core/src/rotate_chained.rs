@@ -135,8 +135,7 @@ mod tests {
                 break;
             }
             down_rotate_chained(&g, &sched, &res, &timing, &mut st, 1).unwrap();
-            check_chained_schedule(&g, Some(&st.retiming), &st.schedule, &res, &timing)
-                .unwrap();
+            check_chained_schedule(&g, Some(&st.retiming), &st.schedule, &res, &timing).unwrap();
             best = best.min(st.length(&g, &timing));
         }
         // With 2 delays the ring splits into two 3-op chains of 45 units

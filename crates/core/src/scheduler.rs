@@ -16,6 +16,7 @@ use rotsched_sched::{
 use crate::depth::{into_loop_schedule, minimized_depth};
 use crate::error::RotationError;
 use crate::heuristics::{heuristic1, heuristic2, HeuristicConfig, HeuristicOutcome};
+use crate::portfolio::{Portfolio, PortfolioOutcome};
 use crate::rotate::{down_rotate, initial_state, up_rotate, DownRotateOutcome, RotationState};
 
 /// A solved instance: the best pipeline found plus its key metrics.
@@ -60,6 +61,7 @@ pub struct RotationScheduler<'a> {
     resources: ResourceSet,
     scheduler: ListScheduler,
     config: HeuristicConfig,
+    jobs: usize,
 }
 
 impl<'a> RotationScheduler<'a> {
@@ -73,6 +75,7 @@ impl<'a> RotationScheduler<'a> {
             resources,
             scheduler: ListScheduler::default(),
             config: HeuristicConfig::default(),
+            jobs: 1,
         }
     }
 
@@ -80,6 +83,16 @@ impl<'a> RotationScheduler<'a> {
     #[must_use]
     pub fn with_policy(mut self, policy: PriorityPolicy) -> Self {
         self.scheduler = ListScheduler::new(policy);
+        self
+    }
+
+    /// Sets the worker-thread count used by [`RotationScheduler::portfolio`]
+    /// and [`RotationScheduler::solve_portfolio`]. The result is
+    /// deterministic in this knob; `1` (the default) runs on the
+    /// caller's thread.
+    #[must_use]
+    pub fn with_jobs(mut self, jobs: usize) -> Self {
+        self.jobs = jobs.max(1);
         self
     }
 
@@ -175,6 +188,49 @@ impl<'a> RotationScheduler<'a> {
         })
     }
 
+    /// Runs the standard search portfolio (Heuristic 1's phases plus a
+    /// Heuristic-2 sweep per priority policy) on the configured number
+    /// of worker threads, with lower-bound-based pruning. The outcome
+    /// is identical for every thread count.
+    ///
+    /// # Errors
+    ///
+    /// Propagates graph and scheduling failures.
+    pub fn portfolio(&self) -> Result<PortfolioOutcome, RotationError> {
+        Portfolio::standard(self.dfg, &self.resources, &self.config)?
+            .with_jobs(self.jobs)
+            .run(self.dfg, &self.resources)
+    }
+
+    /// Like [`RotationScheduler::solve`], but searches with the full
+    /// parallel portfolio instead of a single Heuristic-2 sweep. Never
+    /// worse than `solve()` on the same configuration, and
+    /// deterministic in the thread count.
+    ///
+    /// # Errors
+    ///
+    /// Propagates graph and scheduling failures.
+    pub fn solve_portfolio(&self) -> Result<SolvedPipeline, RotationError> {
+        let outcome = self.portfolio()?;
+        let state = outcome
+            .best
+            .first()
+            .cloned()
+            .expect("the portfolio always retains at least the initial schedule");
+        let depth = minimized_depth(self.dfg, &state)?;
+        Ok(SolvedPipeline {
+            length: outcome.best_length,
+            depth,
+            state,
+            outcome: HeuristicOutcome {
+                best_length: outcome.best_length,
+                best: outcome.best,
+                total_rotations: outcome.total_rotations,
+                phases: outcome.phases,
+            },
+        })
+    }
+
     /// Expands a state into an executable [`LoopSchedule`] (wrapped
     /// kernel + shallow retiming).
     ///
@@ -250,6 +306,18 @@ mod tests {
         let out = rs.heuristic1().unwrap();
         assert_eq!(out.phases.len(), 2);
         assert!(out.best.len() <= 2);
+    }
+
+    #[test]
+    fn solve_portfolio_matches_solve_on_easy_instances() {
+        let g = ring();
+        let rs = RotationScheduler::new(&g, ResourceSet::adders_multipliers(2, 0, false));
+        let solo = rs.solve().unwrap();
+        for jobs in [1, 4] {
+            let par = rs.clone().with_jobs(jobs).solve_portfolio().unwrap();
+            assert_eq!(par.length, solo.length);
+            assert!(par.depth <= 2);
+        }
     }
 
     #[test]

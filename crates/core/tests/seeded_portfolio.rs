@@ -1,0 +1,128 @@
+//! Seeded randomized tests for the parallel portfolio: the result —
+//! best length AND canonical schedule set — must be identical for every
+//! worker-thread count, and pruning must never produce a length below
+//! the combined lower bound.
+
+use rotsched_benchmarks::{random_dfg, RandomDfgConfig};
+use rotsched_core::{HeuristicConfig, Portfolio, RotationScheduler};
+use rotsched_dfg::rng::SplitMix64;
+use rotsched_dfg::Dfg;
+use rotsched_sched::validate::realizing_retiming;
+use rotsched_sched::ResourceSet;
+
+const CASES: u64 = 32;
+
+fn random_graph(rng: &mut SplitMix64) -> Dfg {
+    let seed = rng.next_u64() % 500;
+    let nodes = rng.range_u32(4, 11) as usize;
+    random_dfg(
+        &RandomDfgConfig {
+            nodes,
+            forward_density: 0.2,
+            feedback_density: 0.1,
+            max_delays: 2,
+            mult_fraction: 0.3,
+            mult_steps: 2,
+        },
+        seed,
+    )
+}
+
+fn config() -> HeuristicConfig {
+    HeuristicConfig {
+        rotations_per_phase: 8,
+        max_size: None,
+        keep_best: 4,
+        rounds: 1,
+    }
+}
+
+/// The portfolio returns the identical best length and the identical
+/// canonical schedule set for `jobs` in {1, 2, 8} on random cyclic
+/// DFGs — the tentpole determinism property.
+#[test]
+fn portfolio_is_deterministic_in_the_thread_count() {
+    for case in 0..CASES {
+        let mut rng = SplitMix64::new(case);
+        let g = random_graph(&mut rng);
+        let res = ResourceSet::adders_multipliers(
+            rng.range_u32(1, 2),
+            rng.range_u32(1, 2),
+            rng.chance(0.5),
+        );
+        let p = Portfolio::standard(&g, &res, &config()).expect("schedulable");
+        let sequential = p.clone().with_jobs(1).run(&g, &res).expect("runs");
+        for jobs in [2_usize, 8] {
+            let parallel = p.clone().with_jobs(jobs).run(&g, &res).expect("runs");
+            assert_eq!(
+                parallel.best_length, sequential.best_length,
+                "case {case}, jobs {jobs}: best length diverged"
+            );
+            assert_eq!(
+                parallel.best, sequential.best,
+                "case {case}, jobs {jobs}: canonical schedule set diverged"
+            );
+            assert_eq!(
+                parallel.canonical_task, sequential.canonical_task,
+                "case {case}, jobs {jobs}: canonical task diverged"
+            );
+            assert_eq!(
+                parallel.phases, sequential.phases,
+                "case {case}, jobs {jobs}: deterministic phase stats diverged"
+            );
+        }
+    }
+}
+
+/// Pruning is sound: the portfolio's best length never beats the
+/// combined recurrence + resource lower bound it prunes against, and a
+/// claimed bound achievement really is at the bound.
+#[test]
+fn portfolio_never_beats_the_lower_bound() {
+    for case in 0..CASES {
+        let mut rng = SplitMix64::new(case);
+        let g = random_graph(&mut rng);
+        let res = ResourceSet::adders_multipliers(
+            rng.range_u32(1, 3),
+            rng.range_u32(1, 3),
+            rng.chance(0.5),
+        );
+        let p = Portfolio::standard(&g, &res, &config()).expect("schedulable");
+        let out = p.with_jobs(4).run(&g, &res).expect("runs");
+        let lb = rotsched_baselines::lower_bound(&g, &res).expect("valid graph");
+        assert_eq!(u64::from(out.lower_bound), lb, "case {case}");
+        assert!(
+            u64::from(out.best_length) >= lb,
+            "case {case}: best {} beats LB {lb}",
+            out.best_length
+        );
+        if out.bound_achieved {
+            assert_eq!(u64::from(out.best_length), lb, "case {case}");
+            assert!(out.canonical_task.is_some(), "case {case}");
+        }
+    }
+}
+
+/// Every schedule the portfolio returns is a legal static schedule of
+/// the original graph, and the facade's portfolio solve verifies
+/// end-to-end by simulation.
+#[test]
+fn portfolio_schedules_are_legal_and_simulate() {
+    for case in 0..CASES / 2 {
+        let mut rng = SplitMix64::new(0x5EED ^ case);
+        let g = random_graph(&mut rng);
+        let res = ResourceSet::adders_multipliers(2, 2, false);
+        let scheduler = RotationScheduler::new(&g, res.clone())
+            .with_config(config())
+            .with_jobs(4);
+        let solved = scheduler.solve_portfolio().expect("schedulable");
+        for st in &solved.outcome.best {
+            let r = realizing_retiming(&g, &st.schedule).expect("statically realizable");
+            assert!(r.is_legal(&g), "case {case}");
+        }
+        let report = scheduler
+            .verify(&solved.state, 5)
+            .expect("pipeline is correct");
+        assert_eq!(report.executions, g.node_count() * 5, "case {case}");
+    }
+}

@@ -1,0 +1,159 @@
+//! Seeded randomized tests for the rotation invariants.
+//!
+//! Originally proptest properties; now a deterministic `SplitMix64` seed
+//! sweep so the workspace builds with no external dependencies.
+
+use rotsched_benchmarks::{random_dfg, RandomDfgConfig};
+use rotsched_core::{down_rotate, initial_state, HeuristicConfig};
+use rotsched_dfg::rng::SplitMix64;
+use rotsched_dfg::Dfg;
+use rotsched_sched::validate::{check_dag_schedule, realizing_retiming};
+use rotsched_sched::{ListScheduler, ResourceSet};
+
+const CASES: u64 = 96;
+
+fn random_graph(rng: &mut SplitMix64) -> Dfg {
+    let seed = rng.next_u64() % 500;
+    let nodes = rng.range_u32(4, 13) as usize;
+    random_dfg(
+        &RandomDfgConfig {
+            nodes,
+            forward_density: 0.2,
+            feedback_density: 0.08,
+            max_delays: 2,
+            mult_fraction: 0.35,
+            mult_steps: 2,
+        },
+        seed,
+    )
+}
+
+fn resource_config(rng: &mut SplitMix64) -> (u32, u32, bool) {
+    (rng.range_u32(1, 2), rng.range_u32(1, 2), rng.chance(0.5))
+}
+
+/// The paper's core invariant: after ANY sequence of legal rotations,
+/// the schedule is a legal DAG schedule of G_R — and therefore a legal
+/// static schedule of the original G, certified by Lemma 1.
+#[test]
+fn rotation_preserves_legality_and_realizability() {
+    for case in 0..CASES {
+        let mut rng = SplitMix64::new(case);
+        let g = random_graph(&mut rng);
+        let (adders, mults, pipelined) = resource_config(&mut rng);
+        let n_sizes = rng.range_u32(1, 9);
+        let sizes: Vec<u32> = (0..n_sizes).map(|_| rng.range_u32(1, 3)).collect();
+        let res = ResourceSet::adders_multipliers(adders, mults, pipelined);
+        let sched = ListScheduler::default();
+        let mut state = initial_state(&g, &sched, &res).expect("schedulable");
+        for &size in &sizes {
+            let len = state.length(&g);
+            if len <= 1 {
+                break;
+            }
+            let size = size.min(len - 1);
+            down_rotate(&g, &sched, &res, &mut state, size).expect("prefix rotations are legal");
+            // (a) the rotation function is a legal retiming;
+            assert!(state.retiming.is_legal(&g), "case {case}");
+            // (b) the schedule is DAG-legal on the implicitly retimed graph;
+            assert!(
+                check_dag_schedule(&g, Some(&state.retiming), &state.schedule, &res).is_ok(),
+                "case {case}"
+            );
+            // (c) some retiming (not necessarily R) realizes it on G.
+            let r = realizing_retiming(&g, &state.schedule);
+            assert!(r.is_some(), "case {case}");
+            assert!(r.expect("checked").is_legal(&g), "case {case}");
+        }
+    }
+}
+
+/// The wrapped schedule length never beats the combined lower bound.
+#[test]
+fn rotation_never_beats_the_lower_bound() {
+    for case in 0..CASES {
+        let mut rng = SplitMix64::new(case);
+        let g = random_graph(&mut rng);
+        let (adders, mults, pipelined) = resource_config(&mut rng);
+        let rotations = rng.range_u32(1, 7);
+        let res = ResourceSet::adders_multipliers(adders, mults, pipelined);
+        let lb = rotsched_baselines::lower_bound(&g, &res).expect("valid graph");
+        let sched = ListScheduler::default();
+        let mut state = initial_state(&g, &sched, &res).expect("schedulable");
+        for _ in 0..rotations {
+            if state.length(&g) <= 1 {
+                break;
+            }
+            down_rotate(&g, &sched, &res, &mut state, 1).expect("legal rotation");
+            let wrapped = state.wrapped_length(&g, &res).expect("wraps");
+            assert!(
+                u64::from(wrapped) >= lb,
+                "case {case}: wrapped {wrapped} < LB {lb}"
+            );
+        }
+    }
+}
+
+/// Depth minimization returns a retiming realizing the same schedule
+/// with depth no larger than the accumulated rotation function's.
+#[test]
+fn depth_minimization_is_sound() {
+    for case in 0..CASES {
+        let mut rng = SplitMix64::new(case);
+        let g = random_graph(&mut rng);
+        let rotations = rng.range_u32(1, 7);
+        let res = ResourceSet::adders_multipliers(2, 2, false);
+        let sched = ListScheduler::default();
+        let mut state = initial_state(&g, &sched, &res).expect("schedulable");
+        for _ in 0..rotations {
+            if state.length(&g) <= 1 {
+                break;
+            }
+            down_rotate(&g, &sched, &res, &mut state, 1).expect("legal rotation");
+        }
+        let minimized = rotsched_core::depth::minimize_depth(&g, &state.schedule)
+            .expect("rotation states are realizable");
+        assert!(
+            minimized.depth() <= state.retiming.to_normalized().depth(),
+            "case {case}"
+        );
+        assert!(
+            check_dag_schedule(&g, Some(&minimized), &state.schedule, &res).is_ok(),
+            "case {case}"
+        );
+    }
+}
+
+/// Solved pipelines simulate correctly end-to-end on random graphs.
+#[test]
+fn solved_pipelines_simulate_correctly() {
+    for case in 0..CASES {
+        let mut rng = SplitMix64::new(case);
+        let seed = rng.next_u64() % 200;
+        let (adders, mults, pipelined) = resource_config(&mut rng);
+        let g = random_dfg(
+            &RandomDfgConfig {
+                nodes: 10,
+                forward_density: 0.2,
+                feedback_density: 0.1,
+                max_delays: 2,
+                mult_fraction: 0.3,
+                mult_steps: 2,
+            },
+            seed,
+        );
+        let res = ResourceSet::adders_multipliers(adders, mults, pipelined);
+        let scheduler =
+            rotsched_core::RotationScheduler::new(&g, res).with_config(HeuristicConfig {
+                rotations_per_phase: 8,
+                max_size: None,
+                keep_best: 2,
+                rounds: 1,
+            });
+        let solved = scheduler.solve().expect("schedulable");
+        let report = scheduler
+            .verify(&solved.state, 6)
+            .expect("pipeline is correct");
+        assert_eq!(report.executions, g.node_count() * 6, "case {case}");
+    }
+}

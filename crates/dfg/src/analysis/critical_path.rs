@@ -9,7 +9,7 @@ use crate::graph::Dfg;
 use crate::ids::NodeId;
 use crate::retiming::Retiming;
 
-use super::topo::{is_zero_delay_under, zero_delay_topological_order};
+use super::topo::{zero_delay_flags, zero_delay_topological_order};
 
 /// Per-node arrival information for the zero-delay DAG of `G_r`.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -60,13 +60,15 @@ impl ArrivalTimes {
 /// a DAG.
 pub fn arrival_times(dfg: &Dfg, retiming: Option<&Retiming>) -> Result<ArrivalTimes, DfgError> {
     let order = zero_delay_topological_order(dfg, retiming)?;
+    let zero = zero_delay_flags(dfg, retiming);
+    let csr = dfg.csr();
     let mut finish = vec![0_u64; dfg.node_count()];
     let mut pred = vec![None; dfg.node_count()];
     for v in order {
         let mut best: u64 = 0;
         let mut best_pred = None;
-        for &e in dfg.in_edges(v) {
-            if is_zero_delay_under(dfg, retiming, e) {
+        for &e in csr.inn(v) {
+            if zero[e.index()] {
                 let u = dfg.edge(e).from();
                 if finish[u.index()] > best {
                     best = finish[u.index()];

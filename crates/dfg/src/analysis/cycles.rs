@@ -27,7 +27,10 @@ impl Cycle {
     /// Total computation time of the cycle's nodes.
     #[must_use]
     pub fn total_time(&self, dfg: &Dfg) -> u64 {
-        self.nodes.iter().map(|&v| u64::from(dfg.node(v).time())).sum()
+        self.nodes
+            .iter()
+            .map(|&v| u64::from(dfg.node(v).time()))
+            .sum()
     }
 
     /// Minimum total delay along the cycle: for each consecutive node pair
@@ -96,12 +99,7 @@ pub fn simple_cycles(dfg: &Dfg, max_cycles: usize) -> CycleEnumeration {
 /// Johnson's algorithm on one SCC. Vertices are processed in ascending id
 /// order as successive roots; each reported cycle starts at its smallest
 /// id, so cycles are produced exactly once.
-fn enumerate_component(
-    dfg: &Dfg,
-    comp: &[NodeId],
-    max_cycles: usize,
-    out: &mut CycleEnumeration,
-) {
+fn enumerate_component(dfg: &Dfg, comp: &[NodeId], max_cycles: usize, out: &mut CycleEnumeration) {
     let members: HashSet<NodeId> = comp.iter().copied().collect();
 
     for (root_pos, &root) in comp.iter().enumerate() {

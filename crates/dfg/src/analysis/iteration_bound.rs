@@ -273,8 +273,7 @@ fn find_improving_cycle(
     // Integer weights: w(e) = num·d(e) − den·t(e); Σw < 0 ⟺ T/D > λ.
     let num = i128::from(lambda.num());
     let den = i128::from(lambda.den());
-    let weight =
-        |t: u64, d: u64| -> i128 { num * i128::from(d) - den * i128::from(t) };
+    let weight = |t: u64, d: u64| -> i128 { num * i128::from(d) - den * i128::from(t) };
 
     let mut dist = vec![0_i128; n]; // virtual source connects to all at 0
     let mut pred = vec![usize::MAX; n];
@@ -430,7 +429,9 @@ mod tests {
         let v = add_nodes(&mut g, &[3, 1, 4, 1, 5, 2]);
         let mut seed = 0x9E37_79B9_u64;
         let mut next = || {
-            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            seed = seed
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             seed >> 33
         };
         for &a in &v {

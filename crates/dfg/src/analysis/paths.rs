@@ -61,10 +61,29 @@ pub fn bellman_ford(
     let mut pred: Vec<Option<usize>> = vec![None; vertex_count];
     dist[source] = Some(0);
 
+    // Bucket edges by tail vertex (a CSR-style counting sort): each
+    // relaxation round then reads every dist[e.from] from a run of
+    // same-tail edges instead of hopping across the distance array in
+    // input order. Purely a stable reorder — Bellman–Ford's result does
+    // not depend on within-round relaxation order.
+    let mut counts = vec![0_usize; vertex_count + 1];
+    for e in edges {
+        counts[e.from + 1] += 1;
+    }
+    for i in 0..vertex_count {
+        counts[i + 1] += counts[i];
+    }
+    let mut bucketed = vec![WeightedEdge::new(0, 0, 0); edges.len()];
+    let mut cursor = counts;
+    for e in edges {
+        bucketed[cursor[e.from]] = *e;
+        cursor[e.from] += 1;
+    }
+
     let mut updated_vertex = None;
     for round in 0..vertex_count {
         updated_vertex = None;
-        for e in edges {
+        for e in &bucketed {
             let Some(du) = dist[e.from] else { continue };
             let candidate = du.saturating_add(e.weight);
             if dist[e.to].is_none_or(|dv| candidate < dv) {
@@ -172,10 +191,7 @@ mod tests {
 
     #[test]
     fn zero_weight_cycle_is_not_negative() {
-        let edges = vec![
-            WeightedEdge::new(0, 1, 2),
-            WeightedEdge::new(1, 0, -2),
-        ];
+        let edges = vec![WeightedEdge::new(0, 1, 2), WeightedEdge::new(1, 0, -2)];
         assert!(bellman_ford(2, &edges, 0).is_ok());
     }
 

@@ -38,13 +38,18 @@ pub fn zero_delay_topological_order(
     retiming: Option<&Retiming>,
 ) -> Result<Vec<NodeId>, DfgError> {
     let n = dfg.node_count();
+    // Evaluate each edge's retimed delay exactly once; the Kahn loop
+    // below visits every out-list and would otherwise pay the retiming
+    // lookups per visit.
+    let zero = zero_delay_flags(dfg, retiming);
     let mut indegree = vec![0_usize; n];
     for (id, edge) in dfg.edges() {
-        if is_zero_delay_under(dfg, retiming, id) {
+        if zero[id.index()] {
             indegree[edge.to().index()] += 1;
         }
     }
 
+    let csr = dfg.csr();
     let mut queue: Vec<NodeId> = dfg
         .node_ids()
         .filter(|v| indegree[v.index()] == 0)
@@ -55,8 +60,8 @@ pub fn zero_delay_topological_order(
         let v = queue[head];
         head += 1;
         order.push(v);
-        for &e in dfg.out_edges(v) {
-            if is_zero_delay_under(dfg, retiming, e) {
+        for &e in csr.out(v) {
+            if zero[e.index()] {
                 let w = dfg.edge(e).to();
                 indegree[w.index()] -= 1;
                 if indegree[w.index()] == 0 {
@@ -70,18 +75,22 @@ pub fn zero_delay_topological_order(
         Ok(order)
     } else {
         Err(DfgError::ZeroDelayCycle {
-            cycle: extract_zero_delay_cycle(dfg, retiming, &indegree),
+            cycle: extract_zero_delay_cycle(dfg, &zero, &indegree),
         })
     }
 }
 
+/// One flag per edge: is it zero-delay in `G_r`? Materialized so
+/// traversals test a `bool` instead of re-deriving the retimed delay.
+pub(crate) fn zero_delay_flags(dfg: &Dfg, retiming: Option<&Retiming>) -> Vec<bool> {
+    dfg.edge_ids()
+        .map(|e| is_zero_delay_under(dfg, retiming, e))
+        .collect()
+}
+
 /// Walks backwards through still-constrained nodes to recover one concrete
 /// zero-delay cycle for error reporting.
-fn extract_zero_delay_cycle(
-    dfg: &Dfg,
-    retiming: Option<&Retiming>,
-    indegree: &[usize],
-) -> Vec<NodeId> {
+fn extract_zero_delay_cycle(dfg: &Dfg, zero: &[bool], indegree: &[usize]) -> Vec<NodeId> {
     // Any node with remaining in-degree sits on or downstream of a cycle in
     // the zero-delay subgraph restricted to such nodes; walking predecessors
     // |V| times necessarily enters a cycle.
@@ -103,7 +112,7 @@ fn extract_zero_delay_cycle(
             .in_edges(current)
             .iter()
             .copied()
-            .filter(|&e| is_zero_delay_under(dfg, retiming, e))
+            .filter(|&e| zero[e.index()])
             .map(|e| dfg.edge(e).from())
             .find(|u| indegree[u.index()] > 0)
             .expect("constrained node has a constrained zero-delay predecessor");

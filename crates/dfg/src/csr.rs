@@ -1,0 +1,165 @@
+//! A compressed-sparse-row (CSR) view of a [`Dfg`]'s adjacency.
+//!
+//! [`Dfg`] stores adjacency as `Vec<Vec<EdgeId>>`, which is convenient to
+//! build incrementally but costs a pointer chase per node on every
+//! traversal. The analysis passes (`topo`, `critical_path`, the
+//! Bellman–Ford constraint solver) walk the whole graph thousands of
+//! times per rotation search, so [`Dfg::csr`](crate::Dfg::csr) exposes a
+//! one-shot flattened view: all out-edge ids in one contiguous array
+//! indexed by a per-node offset table, and the same for in-edges. The
+//! view is built lazily on first use and cached inside the graph; any
+//! mutation (adding a node or edge) invalidates it.
+
+use crate::graph::Dfg;
+use crate::ids::{EdgeId, NodeId};
+
+/// Flattened adjacency of a [`Dfg`], in edge-insertion order per node.
+///
+/// Obtain one with [`Dfg::csr`](crate::Dfg::csr); it stays valid until
+/// the graph is next mutated.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Csr {
+    out_offsets: Vec<u32>,
+    out_edges: Vec<EdgeId>,
+    in_offsets: Vec<u32>,
+    in_edges: Vec<EdgeId>,
+}
+
+impl Csr {
+    /// Builds the view by flattening `dfg`'s adjacency lists.
+    #[must_use]
+    pub fn build(dfg: &Dfg) -> Self {
+        let n = dfg.node_count();
+        let m = dfg.edge_count();
+        let mut out_offsets = Vec::with_capacity(n + 1);
+        let mut out_edges = Vec::with_capacity(m);
+        let mut in_offsets = Vec::with_capacity(n + 1);
+        let mut in_edges = Vec::with_capacity(m);
+        out_offsets.push(0);
+        in_offsets.push(0);
+        for v in dfg.node_ids() {
+            out_edges.extend_from_slice(dfg.out_edges(v));
+            out_offsets.push(u32::try_from(out_edges.len()).expect("edge count fits in u32"));
+            in_edges.extend_from_slice(dfg.in_edges(v));
+            in_offsets.push(u32::try_from(in_edges.len()).expect("edge count fits in u32"));
+        }
+        Csr {
+            out_offsets,
+            out_edges,
+            in_offsets,
+            in_edges,
+        }
+    }
+
+    /// Ids of the edges leaving `v`, in insertion order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` does not belong to the graph the view was built from.
+    #[must_use]
+    pub fn out(&self, v: NodeId) -> &[EdgeId] {
+        let lo = self.out_offsets[v.index()] as usize;
+        let hi = self.out_offsets[v.index() + 1] as usize;
+        &self.out_edges[lo..hi]
+    }
+
+    /// Ids of the edges entering `v`, in insertion order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` does not belong to the graph the view was built from.
+    #[must_use]
+    pub fn inn(&self, v: NodeId) -> &[EdgeId] {
+        let lo = self.in_offsets[v.index()] as usize;
+        let hi = self.in_offsets[v.index() + 1] as usize;
+        &self.in_edges[lo..hi]
+    }
+
+    /// All out-edge ids, concatenated in node order (useful for passes
+    /// that only need "every edge grouped by tail").
+    #[must_use]
+    pub fn out_edges_flat(&self) -> &[EdgeId] {
+        &self.out_edges
+    }
+
+    /// Number of nodes the view covers.
+    #[must_use]
+    pub fn node_count(&self) -> usize {
+        self.out_offsets.len() - 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::op::OpKind;
+
+    fn diamond() -> Dfg {
+        let mut g = Dfg::new("diamond");
+        let a = g.add_node("a", OpKind::Add, 1);
+        let b = g.add_node("b", OpKind::Add, 1);
+        let c = g.add_node("c", OpKind::Mul, 2);
+        let d = g.add_node("d", OpKind::Add, 1);
+        g.add_edge(a, b, 0).unwrap();
+        g.add_edge(a, c, 0).unwrap();
+        g.add_edge(b, d, 0).unwrap();
+        g.add_edge(c, d, 0).unwrap();
+        g.add_edge(d, a, 2).unwrap();
+        g
+    }
+
+    #[test]
+    fn csr_matches_vec_adjacency() {
+        let g = diamond();
+        let csr = Csr::build(&g);
+        assert_eq!(csr.node_count(), g.node_count());
+        for v in g.node_ids() {
+            assert_eq!(csr.out(v), g.out_edges(v), "out of {v}");
+            assert_eq!(csr.inn(v), g.in_edges(v), "in of {v}");
+        }
+    }
+
+    #[test]
+    fn cached_view_invalidated_on_mutation() {
+        let mut g = diamond();
+        let before = g.csr().out(crate::NodeId::from_index(0)).len();
+        let a = crate::NodeId::from_index(0);
+        let d = crate::NodeId::from_index(3);
+        g.add_edge(a, d, 1).unwrap();
+        let after = g.csr().out(a).len();
+        assert_eq!(after, before + 1, "cache rebuilt after add_edge");
+        for v in g.node_ids() {
+            assert_eq!(g.csr().out(v), g.out_edges(v));
+            assert_eq!(g.csr().inn(v), g.in_edges(v));
+        }
+    }
+
+    #[test]
+    fn cached_view_tracks_added_nodes() {
+        let mut g = diamond();
+        let _ = g.csr();
+        let e = g.add_node("e", OpKind::Add, 1);
+        assert_eq!(g.csr().node_count(), 5);
+        assert!(g.csr().out(e).is_empty());
+        assert!(g.csr().inn(e).is_empty());
+    }
+
+    #[test]
+    fn empty_graph_has_empty_view() {
+        let g = Dfg::new("empty");
+        let csr = Csr::build(&g);
+        assert_eq!(csr.node_count(), 0);
+        assert!(csr.out_edges_flat().is_empty());
+    }
+
+    #[test]
+    fn flat_out_edges_group_by_tail() {
+        let g = diamond();
+        let csr = Csr::build(&g);
+        let mut expected = Vec::new();
+        for v in g.node_ids() {
+            expected.extend_from_slice(g.out_edges(v));
+        }
+        assert_eq!(csr.out_edges_flat(), expected.as_slice());
+    }
+}

@@ -12,7 +12,6 @@ use crate::ids::NodeId;
 /// must form a DAG; edges with `d(e) > 0` are *inter-iteration* dependencies
 /// (registers in circuitry terms).
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Edge {
     from: NodeId,
     to: NodeId,

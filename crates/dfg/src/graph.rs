@@ -1,5 +1,8 @@
 //! The data-flow graph `G = (V, E, d, t)`.
 
+use std::sync::OnceLock;
+
+use crate::csr::Csr;
 use crate::edge::Edge;
 use crate::error::DfgError;
 use crate::ids::{EdgeId, NodeId, NodeMap};
@@ -39,15 +42,29 @@ use crate::op::OpKind;
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Clone, Debug, PartialEq, Eq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+#[derive(Clone, Debug)]
 pub struct Dfg {
     name: String,
     nodes: Vec<Node>,
     edges: Vec<Edge>,
     out: Vec<Vec<EdgeId>>,
     inn: Vec<Vec<EdgeId>>,
+    /// Lazily built flattened adjacency ([`Dfg::csr`]); reset on mutation.
+    csr: OnceLock<Csr>,
+    /// Lazily computed structure hash ([`Dfg::structure_fingerprint`]);
+    /// reset on any mutation, including [`Dfg::node_mut`].
+    fingerprint: OnceLock<u64>,
 }
+
+// The CSR cache is derived state: two graphs are equal iff their logical
+// content is, regardless of which of them has materialized the view.
+impl PartialEq for Dfg {
+    fn eq(&self, other: &Self) -> bool {
+        self.name == other.name && self.nodes == other.nodes && self.edges == other.edges
+    }
+}
+
+impl Eq for Dfg {}
 
 impl Dfg {
     /// Creates an empty graph with a human-readable name.
@@ -59,6 +76,8 @@ impl Dfg {
             edges: Vec::new(),
             out: Vec::new(),
             inn: Vec::new(),
+            csr: OnceLock::new(),
+            fingerprint: OnceLock::new(),
         }
     }
 
@@ -74,6 +93,8 @@ impl Dfg {
         self.nodes.push(Node::new(name, op, time));
         self.out.push(Vec::new());
         self.inn.push(Vec::new());
+        self.csr = OnceLock::new();
+        self.fingerprint = OnceLock::new();
         id
     }
 
@@ -100,6 +121,8 @@ impl Dfg {
         self.edges.push(Edge::new(from, to, delays));
         self.out[from.index()].push(id);
         self.inn[to.index()].push(id);
+        self.csr = OnceLock::new();
+        self.fingerprint = OnceLock::new();
         Ok(id)
     }
 
@@ -133,6 +156,8 @@ impl Dfg {
     /// Panics if `id` does not belong to this graph.
     #[must_use]
     pub fn node_mut(&mut self, id: NodeId) -> &mut Node {
+        // Node data (op kind, time) feeds the structure fingerprint.
+        self.fingerprint = OnceLock::new();
         &mut self.nodes[id.index()]
     }
 
@@ -210,6 +235,45 @@ impl Dfg {
             .map(|&e| self.edge(e))
             .filter(|e| e.is_zero_delay())
             .map(Edge::from)
+    }
+
+    /// The flattened CSR adjacency view, built on first use and cached
+    /// until the next mutation.
+    ///
+    /// Traversal-heavy passes should iterate this instead of
+    /// [`Dfg::out_edges`]/[`Dfg::in_edges`]: the per-node edge lists are
+    /// contiguous in one allocation, so a whole-graph sweep touches two
+    /// flat arrays instead of `|V|` separate vectors.
+    #[must_use]
+    pub fn csr(&self) -> &Csr {
+        self.csr.get_or_init(|| Csr::build(self))
+    }
+
+    /// A deterministic 64-bit hash of the graph's scheduling-relevant
+    /// structure: every node's `(op, time)` and every edge's
+    /// `(from, to, delays)`, in index order. Names are excluded.
+    ///
+    /// Computed on first use and cached until the next mutation. Caches
+    /// keyed by graph content (e.g. the list scheduler's priority-weight
+    /// cache) combine this with their own derived state instead of
+    /// hashing the whole graph on every probe.
+    #[must_use]
+    pub fn structure_fingerprint(&self) -> u64 {
+        *self.fingerprint.get_or_init(|| {
+            let mut h = crate::rng::Fnv64::new();
+            h.write_u64(self.nodes.len() as u64);
+            for node in &self.nodes {
+                h.write_u8(node.op() as u8);
+                h.write_u32(node.time());
+            }
+            h.write_u64(self.edges.len() as u64);
+            for edge in &self.edges {
+                h.write_u32(edge.from().index() as u32);
+                h.write_u32(edge.to().index() as u32);
+                h.write_u32(edge.delays());
+            }
+            h.finish()
+        })
     }
 
     /// Sum of all node computation times (used for resource lower bounds).
@@ -350,10 +414,7 @@ mod tests {
         let b = g.add_node("b", OpKind::Add, 1);
         g.add_edge(a, b, 0).unwrap();
         g.add_edge(b, a, 0).unwrap();
-        assert!(matches!(
-            g.validate(),
-            Err(DfgError::ZeroDelayCycle { .. })
-        ));
+        assert!(matches!(g.validate(), Err(DfgError::ZeroDelayCycle { .. })));
     }
 
     #[test]

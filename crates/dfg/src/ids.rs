@@ -22,7 +22,6 @@ use core::fmt;
 /// assert_eq!(a.index(), 0);
 /// ```
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct NodeId(u32);
 
 impl NodeId {
@@ -59,7 +58,6 @@ impl fmt::Display for NodeId {
 ///
 /// Edge ids are dense indices assigned in insertion order, starting at 0.
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct EdgeId(u32);
 
 impl EdgeId {
@@ -95,7 +93,6 @@ impl fmt::Display for EdgeId {
 /// graph of the same size is not detectable; keep maps next to the graph
 /// they belong to.
 #[derive(Clone, PartialEq, Eq, Hash)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct NodeMap<T> {
     values: Vec<T>,
 }

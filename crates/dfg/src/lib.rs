@@ -57,6 +57,7 @@
 
 pub mod analysis;
 mod builder;
+mod csr;
 pub mod dot;
 mod edge;
 mod error;
@@ -65,10 +66,12 @@ mod ids;
 mod node;
 mod op;
 mod retiming;
+pub mod rng;
 pub mod text;
 pub mod unfold;
 
 pub use builder::DfgBuilder;
+pub use csr::Csr;
 pub use edge::Edge;
 pub use error::DfgError;
 pub use graph::Dfg;

@@ -11,7 +11,6 @@ use crate::op::OpKind;
 /// Computation time is measured in whole control steps; multi-cycle
 /// operations simply have `time > 1`.
 #[derive(Clone, Debug, PartialEq, Eq, Hash)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Node {
     name: String,
     op: OpKind,

@@ -26,7 +26,6 @@ use core::str::FromStr;
 /// assert_eq!("mul".parse::<OpKind>().ok(), Some(OpKind::Mul));
 /// ```
 #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum OpKind {
     /// Addition.
     Add,
@@ -118,9 +117,7 @@ impl FromStr for OpKind {
             .iter()
             .copied()
             .find(|k| k.mnemonic() == s)
-            .ok_or_else(|| ParseOpKindError {
-                text: s.to_owned(),
-            })
+            .ok_or_else(|| ParseOpKindError { text: s.to_owned() })
     }
 }
 

@@ -50,7 +50,6 @@ use crate::ids::{EdgeId, NodeId, NodeMap};
 /// # }
 /// ```
 #[derive(Clone, PartialEq, Eq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Retiming {
     values: NodeMap<i64>,
 }

@@ -149,9 +149,10 @@ pub fn parse(input: &str) -> Result<Dfg, ParseDfgError> {
                     return Err(syntax(line_no, "expected `edge <from> <to> <delays>`"));
                 }
                 let lookup = |name: &str| {
-                    by_name.get(name).copied().ok_or_else(|| {
-                        syntax(line_no, &format!("unknown node name `{name}`"))
-                    })
+                    by_name
+                        .get(name)
+                        .copied()
+                        .ok_or_else(|| syntax(line_no, &format!("unknown node name `{name}`")))
                 };
                 let from = lookup(fields[1])?;
                 let to = lookup(fields[2])?;
@@ -227,8 +228,7 @@ mod tests {
 
     #[test]
     fn invalid_graph_is_rejected_at_validation() {
-        let err = parse("dfg g\nnode a add 1\nnode b add 1\nedge a b 0\nedge b a 0\n")
-            .unwrap_err();
+        let err = parse("dfg g\nnode a add 1\nnode b add 1\nedge a b 0\nedge b a 0\n").unwrap_err();
         assert!(matches!(err, ParseDfgError::Graph(_)));
     }
 

@@ -1,0 +1,210 @@
+//! Seeded randomized tests for the DFG analyses.
+//!
+//! These were originally proptest properties; they now run over a
+//! deterministic `SplitMix64` seed sweep so the workspace builds with no
+//! external dependencies. Each case derives a small valid DFG (forward
+//! zero-delay edges plus delayed edges in any direction) from the seed.
+
+use rotsched_dfg::analysis::{
+    critical_path_length, iteration_bound, max_cycle_ratio, retime_to_period, simple_cycles,
+    zero_delay_topological_order, Ratio,
+};
+use rotsched_dfg::rng::SplitMix64;
+use rotsched_dfg::{Dfg, NodeId, OpKind, Retiming};
+
+const CASES: u64 = 256;
+
+/// A small valid DFG derived from `rng`: forward zero-delay edges plus
+/// delayed edges in any direction.
+fn small_dfg(rng: &mut SplitMix64) -> Dfg {
+    let n = rng.range_u32(2, 7) as usize;
+    let mut g = Dfg::new("prop");
+    let ids: Vec<NodeId> = (0..n)
+        .map(|i| {
+            let time = rng.range_u32(1, 3);
+            let op = if time > 1 { OpKind::Mul } else { OpKind::Add };
+            g.add_node(format!("v{i}"), op, time)
+        })
+        .collect();
+    for i in 0..n {
+        for j in 0..n {
+            match rng.range_u32(0, 3) {
+                1 if i < j => {
+                    g.add_edge(ids[i], ids[j], 0).expect("forward edge");
+                }
+                2 if i != j => {
+                    g.add_edge(ids[i], ids[j], 1).expect("delayed edge");
+                }
+                3 => {
+                    g.add_edge(ids[i], ids[j], 2).expect("delayed edge");
+                }
+                _ => {}
+            }
+        }
+    }
+    g
+}
+
+/// Brute-force max cycle ratio from full cycle enumeration.
+fn brute_force_ratio(g: &Dfg) -> Option<Ratio> {
+    let en = simple_cycles(g, 1_000_000);
+    assert!(!en.truncated, "test graphs are small");
+    en.cycles
+        .iter()
+        .map(|c| Ratio::new(c.total_time(g), c.min_total_delays(g)))
+        .max()
+}
+
+#[test]
+fn generated_graphs_validate() {
+    for seed in 0..CASES {
+        let g = small_dfg(&mut SplitMix64::new(seed));
+        assert!(g.validate().is_ok(), "seed {seed}");
+    }
+}
+
+#[test]
+fn max_cycle_ratio_matches_brute_force() {
+    for seed in 0..CASES {
+        let g = small_dfg(&mut SplitMix64::new(seed));
+        let fast = max_cycle_ratio(&g).expect("valid graph");
+        let brute = brute_force_ratio(&g);
+        assert_eq!(fast, brute, "seed {seed}");
+    }
+}
+
+#[test]
+fn topological_order_respects_zero_delay_edges() {
+    for seed in 0..CASES {
+        let g = small_dfg(&mut SplitMix64::new(seed));
+        let order = zero_delay_topological_order(&g, None).expect("valid graph");
+        let mut pos = vec![0_usize; g.node_count()];
+        for (i, &v) in order.iter().enumerate() {
+            pos[v.index()] = i;
+        }
+        for (_, e) in g.edges() {
+            if e.is_zero_delay() {
+                assert!(pos[e.from().index()] < pos[e.to().index()], "seed {seed}");
+            }
+        }
+    }
+}
+
+#[test]
+fn critical_path_is_at_least_the_max_node_time() {
+    for seed in 0..CASES {
+        let g = small_dfg(&mut SplitMix64::new(seed));
+        let cp = critical_path_length(&g, None).expect("valid graph");
+        assert!(cp >= u64::from(g.max_node_time()), "seed {seed}");
+    }
+}
+
+#[test]
+fn normalization_preserves_retimed_delays() {
+    for seed in 0..CASES {
+        let mut rng = SplitMix64::new(seed);
+        let g = small_dfg(&mut rng);
+        let shift = i64::from(rng.range_u32(0, 5)) - 3;
+        let mut r = Retiming::zero(&g);
+        for v in g.node_ids() {
+            r.set(v, shift + (v.index() as i64 % 2));
+        }
+        let n = r.to_normalized();
+        assert!(n.is_normalized(), "seed {seed}");
+        for (id, _) in g.edges() {
+            assert_eq!(
+                n.retimed_delay(&g, id),
+                r.retimed_delay(&g, id),
+                "seed {seed}"
+            );
+        }
+    }
+}
+
+#[test]
+fn feasible_retiming_meets_the_period() {
+    for seed in 0..CASES {
+        let g = small_dfg(&mut SplitMix64::new(seed));
+        // Any period at or above the critical path is trivially feasible;
+        // check the returned retiming actually achieves what it claims.
+        let cp = critical_path_length(&g, None).expect("valid graph");
+        if let Some(r) = retime_to_period(&g, cp).expect("valid graph") {
+            assert!(r.is_legal(&g), "seed {seed}");
+            let cp_r = critical_path_length(&g, Some(&r)).expect("legal retiming");
+            assert!(cp_r <= cp, "seed {seed}");
+        }
+    }
+}
+
+#[test]
+fn retiming_below_cycle_ratio_is_infeasible() {
+    for seed in 0..CASES {
+        let g = small_dfg(&mut SplitMix64::new(seed));
+        if let Some(ratio) = max_cycle_ratio(&g).expect("valid graph") {
+            let below = ratio.ceil().saturating_sub(1);
+            if below >= 1 && (ratio.num() > below * ratio.den()) {
+                let r = retime_to_period(&g, below).expect("valid graph");
+                assert!(
+                    r.is_none(),
+                    "seed {seed}: period {below} below ratio {ratio}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn iteration_bound_never_exceeds_critical_path() {
+    for seed in 0..CASES {
+        let g = small_dfg(&mut SplitMix64::new(seed));
+        // Every cycle's ratio is bounded by its own total time, which is
+        // bounded by the total graph time; check the cheap invariant.
+        if let Some(ib) = iteration_bound(&g).expect("valid graph") {
+            assert!(ib <= g.total_time(), "seed {seed}");
+        }
+    }
+}
+
+#[test]
+fn unfolding_scales_the_cycle_ratio() {
+    for seed in 0..CASES {
+        let mut rng = SplitMix64::new(seed);
+        let g = small_dfg(&mut rng);
+        let f = rng.range_u32(1, 3);
+        let base = max_cycle_ratio(&g).expect("valid graph");
+        let unfolded = rotsched_dfg::unfold::unfold(&g, f).expect("valid graph");
+        let scaled = max_cycle_ratio(&unfolded.graph).expect("unfolded graph is valid");
+        match (base, scaled) {
+            (None, None) => {}
+            (Some(b), Some(s)) => {
+                // ratio(G_f) = f * ratio(G), exactly.
+                assert_eq!(
+                    Ratio::new(b.num() * u64::from(f), b.den()),
+                    s,
+                    "seed {seed}"
+                );
+            }
+            other => panic!("seed {seed}: cyclicity changed under unfolding: {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn text_format_roundtrips() {
+    for seed in 0..CASES {
+        let g = small_dfg(&mut SplitMix64::new(seed));
+        let text = rotsched_dfg::text::to_text(&g);
+        let back = rotsched_dfg::text::parse(&text).expect("roundtrip parses");
+        assert_eq!(back.node_count(), g.node_count(), "seed {seed}");
+        assert_eq!(back.edge_count(), g.edge_count(), "seed {seed}");
+        let orig: Vec<_> = g
+            .edges()
+            .map(|(_, e)| (e.from(), e.to(), e.delays()))
+            .collect();
+        let parsed: Vec<_> = back
+            .edges()
+            .map(|(_, e)| (e.from(), e.to(), e.delays()))
+            .collect();
+        assert_eq!(orig, parsed, "seed {seed}");
+    }
+}

@@ -87,7 +87,9 @@ pub fn bind_datapath(
             .class_for(node.op())
             .ok_or(SchedError::UnboundOp { node: v })?;
         let class = resources.class(class_id);
-        let start = schedule.start(v).ok_or(SchedError::Unscheduled { node: v })?;
+        let start = schedule
+            .start(v)
+            .ok_or(SchedError::Unscheduled { node: v })?;
         let folded: Vec<u32> = class
             .occupancy(node.time())
             .map(|off| (start + off - 1) % ii + 1)
@@ -193,12 +195,7 @@ mod tests {
     use crate::schedule::Schedule;
     use rotsched_dfg::{DfgBuilder, OpKind, Retiming};
 
-    fn bound(
-        g: &Dfg,
-        kernel: u32,
-        starts: &[(&str, u32)],
-        res: &ResourceSet,
-    ) -> DatapathBinding {
+    fn bound(g: &Dfg, kernel: u32, starts: &[(&str, u32)], res: &ResourceSet) -> DatapathBinding {
         let mut s = Schedule::empty(g);
         for &(name, cs) in starts {
             s.set(g.node_by_name(name).unwrap(), cs);
@@ -284,7 +281,11 @@ mod tests {
         let len = s.length(&g);
         let ls = LoopSchedule::new(len, s, Retiming::zero(&g));
         let b = bind_datapath(&g, &ls, &res).unwrap();
-        assert_eq!(b.unit(g.node_by_name("m").unwrap()).0, 1, "multiplier class");
+        assert_eq!(
+            b.unit(g.node_by_name("m").unwrap()).0,
+            1,
+            "multiplier class"
+        );
         assert_eq!(b.unit(g.node_by_name("a").unwrap()).0, 0, "adder class");
         assert!(b.register_count >= b.max_live);
     }

@@ -130,8 +130,7 @@ impl ChainedSchedule {
             if let Some((step, offset)) = *slot {
                 first = first.min(step);
                 let t = dfg.node(v).time().max(1);
-                let end_step = if timing.fits_in_step(t) && offset + t <= timing.units_per_step
-                {
+                let end_step = if timing.fits_in_step(t) && offset + t <= timing.units_per_step {
                     step
                 } else {
                     step + timing.steps_for(t) - 1
@@ -228,7 +227,10 @@ impl ChainedScheduler {
         schedule: &mut ChainedSchedule,
         free: &[NodeId],
     ) -> Result<(), SchedError> {
-        let weights = self.policy.weights(dfg, retiming).map_err(SchedError::from)?;
+        let weights = self
+            .policy
+            .weights(dfg, retiming)
+            .map_err(SchedError::from)?;
         let mut is_free = dfg.node_map(false);
         for &v in free {
             is_free[v] = true;
@@ -276,11 +278,7 @@ impl ChainedScheduler {
         rotsched_dfg::analysis::zero_delay_topological_order(dfg, retiming)
             .map_err(SchedError::from)?;
 
-        let mut ready: Vec<NodeId> = free
-            .iter()
-            .copied()
-            .filter(|&v| blocking[v] == 0)
-            .collect();
+        let mut ready: Vec<NodeId> = free.iter().copied().filter(|&v| blocking[v] == 0).collect();
         let mut remaining = free.len();
         let horizon = table.horizon()
             + u32::try_from(dfg.node_count()).unwrap_or(u32::MAX)

@@ -129,7 +129,10 @@ fn mix(a: u64, b: u64) -> u64 {
 /// The seeded token for iterations before the loop starts (the loop's
 /// initial values / register contents).
 fn initial_token(v: NodeId, iteration: i64) -> Token {
-    mix(0xDEAD_BEEF_0BAD_F00D, mix(v.index() as u64, iteration as u64))
+    mix(
+        0xDEAD_BEEF_0BAD_F00D,
+        mix(v.index() as u64, iteration as u64),
+    )
 }
 
 /// Sequential reference semantics: `value(v, j)` for all nodes and

@@ -15,14 +15,40 @@
 //!
 //! [`ResourceClass`]: crate::ResourceClass
 
+use std::sync::Mutex;
+
 use rotsched_dfg::analysis::topo::is_zero_delay_under;
-use rotsched_dfg::{Dfg, NodeId, Retiming};
+use rotsched_dfg::{Dfg, DfgError, NodeId, NodeMap, Retiming};
 
 use crate::error::SchedError;
 use crate::priority::PriorityPolicy;
 use crate::reservation::ReservationTable;
 use crate::resources::ResourceSet;
 use crate::schedule::Schedule;
+
+/// Capacity of the per-scheduler priority-weight cache. Rotation search
+/// cycles through a handful of retimed zero-delay DAGs per phase, so a
+/// small LRU captures nearly all repeats without unbounded growth.
+const WEIGHT_CACHE_CAP: usize = 32;
+
+/// One memoized weight computation.
+#[derive(Clone, Debug)]
+struct WeightEntry {
+    /// [`Dfg::structure_fingerprint`] of the graph the weights belong to.
+    graph: u64,
+    /// Exact zero-delay edge bitset under the retiming (bit `i` = edge
+    /// `i` has zero retimed delay). Compared in full — no collisions.
+    zero_bits: Vec<u64>,
+    weights: NodeMap<u64>,
+}
+
+/// LRU cache of priority weights, most recently used last.
+#[derive(Clone, Debug, Default)]
+struct WeightCache {
+    entries: Vec<WeightEntry>,
+    hits: u64,
+    misses: u64,
+}
 
 /// A list scheduler with a configurable priority policy.
 ///
@@ -47,22 +73,114 @@ use crate::schedule::Schedule;
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+#[derive(Debug, Default)]
 pub struct ListScheduler {
     policy: PriorityPolicy,
+    /// Weight memo for the hot path: all four policies are pure functions
+    /// of the graph structure and the retimed zero-delay edge set, and a
+    /// rotation phase revisits the same few retimed DAGs over and over.
+    /// A `Mutex` keeps the public API `&self` and the type `Sync`; the
+    /// parallel portfolio clones the scheduler per worker, so the lock is
+    /// uncontended in practice.
+    cache: Mutex<WeightCache>,
 }
+
+impl Clone for ListScheduler {
+    fn clone(&self) -> Self {
+        ListScheduler {
+            policy: self.policy,
+            cache: Mutex::new(self.locked_cache().clone()),
+        }
+    }
+}
+
+// The cache is derived state: schedulers are equal iff their policies are.
+impl PartialEq for ListScheduler {
+    fn eq(&self, other: &Self) -> bool {
+        self.policy == other.policy
+    }
+}
+
+impl Eq for ListScheduler {}
 
 impl ListScheduler {
     /// A scheduler using the given priority policy.
     #[must_use]
     pub fn new(policy: PriorityPolicy) -> Self {
-        ListScheduler { policy }
+        ListScheduler {
+            policy,
+            cache: Mutex::new(WeightCache::default()),
+        }
+    }
+
+    /// The cache guard; recovers from poisoning (a panic mid-insert at
+    /// worst loses memoized entries, never correctness).
+    fn locked_cache(&self) -> std::sync::MutexGuard<'_, WeightCache> {
+        self.cache
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
     }
 
     /// The priority policy in use.
     #[must_use]
     pub fn policy(&self) -> PriorityPolicy {
         self.policy
+    }
+
+    /// `(hits, misses)` of the priority-weight cache since construction
+    /// (clones start with their source's counters).
+    #[must_use]
+    pub fn weight_cache_stats(&self) -> (u64, u64) {
+        let cache = self.locked_cache();
+        (cache.hits, cache.misses)
+    }
+
+    /// [`PriorityPolicy::weights`] memoized on the retiming's effect on
+    /// the zero-delay edge set.
+    ///
+    /// Two retimings that expose the same zero-delay DAG (and many do —
+    /// a rotation only redistributes delays along a few edges) hit the
+    /// same entry; the key also includes the graph's structure
+    /// fingerprint so one scheduler can serve interleaved graphs, as the
+    /// bench sweeps do.
+    fn cached_weights(
+        &self,
+        dfg: &Dfg,
+        retiming: Option<&Retiming>,
+    ) -> Result<NodeMap<u64>, DfgError> {
+        let graph = dfg.structure_fingerprint();
+        let mut zero_bits = vec![0_u64; dfg.edge_count().div_ceil(64)];
+        for (i, e) in dfg.edge_ids().enumerate() {
+            if is_zero_delay_under(dfg, retiming, e) {
+                zero_bits[i / 64] |= 1 << (i % 64);
+            }
+        }
+        {
+            let mut cache = self.locked_cache();
+            if let Some(pos) = cache
+                .entries
+                .iter()
+                .position(|entry| entry.graph == graph && entry.zero_bits == zero_bits)
+            {
+                cache.hits += 1;
+                let entry = cache.entries.remove(pos);
+                let weights = entry.weights.clone();
+                cache.entries.push(entry); // most recently used last
+                return Ok(weights);
+            }
+            cache.misses += 1;
+        }
+        let weights = self.policy.weights(dfg, retiming)?;
+        let mut cache = self.locked_cache();
+        if cache.entries.len() >= WEIGHT_CACHE_CAP {
+            cache.entries.remove(0);
+        }
+        cache.entries.push(WeightEntry {
+            graph,
+            zero_bits,
+            weights: weights.clone(),
+        });
+        Ok(weights)
     }
 
     /// Schedules the whole zero-delay DAG of `G_r` from scratch
@@ -112,7 +230,9 @@ impl ListScheduler {
         schedule: &mut Schedule,
         free: &[NodeId],
     ) -> Result<(), SchedError> {
-        let weights = self.policy.weights(dfg, retiming).map_err(SchedError::from)?;
+        let weights = self
+            .cached_weights(dfg, retiming)
+            .map_err(SchedError::from)?;
 
         let mut is_free = dfg.node_map(false);
         for &v in free {
@@ -208,11 +328,7 @@ impl ListScheduler {
         };
 
         let mut remaining: usize = free.len();
-        let mut ready: Vec<NodeId> = free
-            .iter()
-            .copied()
-            .filter(|&v| blocking[v] == 0)
-            .collect();
+        let mut ready: Vec<NodeId> = free.iter().copied().filter(|&v| blocking[v] == 0).collect();
 
         // A safe horizon: everything fits after the fixed part even fully
         // serialized.
@@ -374,12 +490,16 @@ mod tests {
             .build()
             .unwrap();
         let pipelined = ResourceSet::adders_multipliers(1, 1, true);
-        let s = ListScheduler::default().schedule(&g, None, &pipelined).unwrap();
+        let s = ListScheduler::default()
+            .schedule(&g, None, &pipelined)
+            .unwrap();
         // Starts at steps 1 and 2; second finishes at step 3.
         assert_eq!(s.length(&g), 3);
 
         let nonpipelined = resources(1, 1);
-        let s2 = ListScheduler::default().schedule(&g, None, &nonpipelined).unwrap();
+        let s2 = ListScheduler::default()
+            .schedule(&g, None, &nonpipelined)
+            .unwrap();
         assert_eq!(s2.length(&g), 4, "non-pipelined unit is busy both steps");
     }
 
@@ -434,7 +554,11 @@ mod tests {
         ListScheduler::default()
             .reschedule(&g, None, &res, &mut s, &[ids[0]])
             .unwrap();
-        assert_eq!(s.start(ids[0]), Some(1), "free node takes the earliest hole");
+        assert_eq!(
+            s.start(ids[0]),
+            Some(1),
+            "free node takes the earliest hole"
+        );
     }
 
     #[test]
@@ -508,6 +632,74 @@ mod tests {
             .schedule(&g, None, &only_adders)
             .unwrap_err();
         assert!(matches!(err, SchedError::UnboundOp { .. }));
+    }
+
+    #[test]
+    fn weight_cache_hits_on_repeated_reschedules() {
+        let g = DfgBuilder::new("cache")
+            .nodes("a", 4, OpKind::Add, 1)
+            .wire("a0", "a1")
+            .wire("a1", "a2")
+            .build()
+            .unwrap();
+        let res = resources(2, 0);
+        let sched = ListScheduler::default();
+        let s1 = sched.schedule(&g, None, &res).unwrap();
+        let s2 = sched.schedule(&g, None, &res).unwrap();
+        assert_eq!(s1, s2, "cache must not change results");
+        let (hits, misses) = sched.weight_cache_stats();
+        assert_eq!(misses, 1, "second run reuses the first run's weights");
+        assert_eq!(hits, 1);
+    }
+
+    #[test]
+    fn weight_cache_distinguishes_retimings_by_zero_delay_set() {
+        let g = DfgBuilder::new("cache-retimed")
+            .node("a", OpKind::Add, 1)
+            .node("b", OpKind::Add, 1)
+            .wire("a", "b")
+            .edge("b", "a", 1)
+            .build()
+            .unwrap();
+        let a = g.node_by_name("a").unwrap();
+        let res = resources(1, 0);
+        let sched = ListScheduler::default();
+        let plain = sched.schedule(&g, None, &res).unwrap();
+        let r = rotsched_dfg::Retiming::from_set(&g, [a]);
+        let rotated = sched.schedule(&g, Some(&r), &res).unwrap();
+        assert_ne!(
+            plain, rotated,
+            "different zero-delay DAGs, different results"
+        );
+        let (hits, misses) = sched.weight_cache_stats();
+        assert_eq!(misses, 2, "two distinct zero-delay edge sets");
+        assert_eq!(hits, 0);
+        // The uncached path must agree with the cached one.
+        let fresh = ListScheduler::default();
+        assert_eq!(fresh.schedule(&g, Some(&r), &res).unwrap(), rotated);
+    }
+
+    #[test]
+    fn weight_cache_distinguishes_graphs_by_fingerprint() {
+        let g1 = DfgBuilder::new("g1")
+            .nodes("a", 3, OpKind::Add, 1)
+            .wire("a0", "a1")
+            .build()
+            .unwrap();
+        // Same node/edge counts, different wiring.
+        let g2 = DfgBuilder::new("g2")
+            .nodes("a", 3, OpKind::Add, 1)
+            .wire("a1", "a2")
+            .build()
+            .unwrap();
+        let res = resources(1, 0);
+        let sched = ListScheduler::default();
+        let s1 = sched.schedule(&g1, None, &res).unwrap();
+        let _ = sched.schedule(&g2, None, &res).unwrap();
+        let (_, misses) = sched.weight_cache_stats();
+        assert_eq!(misses, 2, "different graphs may not share weights");
+        // And the interleaved graph still round-trips correctly.
+        assert_eq!(sched.schedule(&g1, None, &res).unwrap(), s1);
     }
 
     #[test]

@@ -34,11 +34,7 @@ impl PriorityPolicy {
     ///
     /// Returns [`DfgError::ZeroDelayCycle`] if the zero-delay subgraph is
     /// not a DAG.
-    pub fn weights(
-        self,
-        dfg: &Dfg,
-        retiming: Option<&Retiming>,
-    ) -> Result<NodeMap<u64>, DfgError> {
+    pub fn weights(self, dfg: &Dfg, retiming: Option<&Retiming>) -> Result<NodeMap<u64>, DfgError> {
         match self {
             PriorityPolicy::DescendantCount => descendant_counts(dfg, retiming),
             PriorityPolicy::PathHeight => path_heights(dfg, retiming),
@@ -150,7 +146,9 @@ mod tests {
         // Rotating v0 down removes its zero-delay out-edges from the DAG
         // and turns the delayed edge v3 -> v0 into a zero-delay one.
         let r = Retiming::from_set(&g, [v[0]]);
-        let w = PriorityPolicy::DescendantCount.weights(&g, Some(&r)).unwrap();
+        let w = PriorityPolicy::DescendantCount
+            .weights(&g, Some(&r))
+            .unwrap();
         assert_eq!(w[v[0]], 0);
         assert_eq!(w[v[3]], 1); // v3 now precedes v0
         assert_eq!(w[v[1]], 2); // v1 -> v3 -> v0

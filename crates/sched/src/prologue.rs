@@ -176,11 +176,7 @@ impl LoopSchedule {
             while idx < events.len() && events[idx].start == start {
                 let e = &events[idx];
                 phase = self.phase(e.kernel, iterations);
-                line.push(format!(
-                    "{}@it{}",
-                    dfg.node(e.node).name(),
-                    e.iteration
-                ));
+                line.push(format!("{}@it{}", dfg.node(e.node).name(), e.iteration));
                 idx += 1;
             }
             let marker = match phase {

@@ -141,7 +141,13 @@ impl ResourceSet {
             ResourceClass::new(
                 "adder",
                 adders,
-                vec![OpKind::Add, OpKind::Sub, OpKind::Cmp, OpKind::Shift, OpKind::Other],
+                vec![
+                    OpKind::Add,
+                    OpKind::Sub,
+                    OpKind::Cmp,
+                    OpKind::Shift,
+                    OpKind::Other,
+                ],
                 false,
             ),
             ResourceClass::new(
@@ -203,12 +209,7 @@ impl ResourceSet {
                     .next()
                     .map(|ch| ch.to_ascii_uppercase().to_string())
                     .unwrap_or_default();
-                format!(
-                    "{}{}{}",
-                    c.count,
-                    tag,
-                    if c.pipelined { "p" } else { "" }
-                )
+                format!("{}{}{}", c.count, tag, if c.pipelined { "p" } else { "" })
             })
             .collect::<Vec<_>>()
             .join(" ")

@@ -108,7 +108,10 @@ impl Schedule {
         for slot in self.start.values_mut() {
             if let Some(cs) = slot {
                 let shifted = i64::from(*cs) + delta;
-                assert!(shifted >= 1, "shift would move a node before control step 1");
+                assert!(
+                    shifted >= 1,
+                    "shift would move a node before control step 1"
+                );
                 *slot = Some(u32::try_from(shifted).expect("control step fits in u32"));
             }
         }
@@ -150,7 +153,9 @@ impl Schedule {
         let Some(first) = self.first_step() else {
             return "(empty schedule)\n".to_owned();
         };
-        let last = self.last_step(dfg).expect("nonempty schedule has a last step");
+        let last = self
+            .last_step(dfg)
+            .expect("nonempty schedule has a last step");
         let _ = write!(out, "{:>4} ", "CS");
         for c in columns {
             let _ = write!(out, "| {c:^14} ");

@@ -138,11 +138,7 @@ pub fn realizing_retiming(dfg: &Dfg, schedule: &Schedule) -> Option<Retiming> {
         let chained_ok = su + dfg.node(edge.from()).time().max(1) <= sv;
         let k = i64::from(edge.delays()) - i64::from(!chained_ok);
         // Constraint r(v) − r(u) ≤ k becomes an H-edge u → v of length k.
-        edges.push(WeightedEdge::new(
-            edge.from().index(),
-            edge.to().index(),
-            k,
-        ));
+        edges.push(WeightedEdge::new(edge.from().index(), edge.to().index(), k));
     }
     for v in 0..n {
         edges.push(WeightedEdge::new(n, v, 0));
@@ -189,8 +185,7 @@ pub fn check_static_schedule(
 
 fn find_violation_witness(dfg: &Dfg, schedule: &Schedule) -> SchedError {
     for (_, edge) in dfg.edges() {
-        let (Some(su), Some(sv)) = (schedule.start(edge.from()), schedule.start(edge.to()))
-        else {
+        let (Some(su), Some(sv)) = (schedule.start(edge.from()), schedule.start(edge.to())) else {
             continue;
         };
         let finish = su + dfg.node(edge.from()).time().max(1);

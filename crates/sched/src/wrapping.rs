@@ -130,26 +130,26 @@ pub fn wrap_to_length(
         let sv = normalized.start(edge.to()).expect("complete");
         let finish = su + dfg.node(edge.from()).time().max(1); // exclusive
         match dr {
-            0
-                if finish > sv => {
-                    return Err(SchedError::PrecedenceViolated {
-                        from: edge.from(),
-                        to: edge.to(),
-                        finish,
-                        start: sv,
-                    });
-                }
+            0 if finish > sv => {
+                return Err(SchedError::PrecedenceViolated {
+                    from: edge.from(),
+                    to: edge.to(),
+                    finish,
+                    start: sv,
+                });
+            }
             1 if finish - 1 > target
                 // Wrapped producer: consumer of the next iteration must
                 // wait for the tail: s(v) >= finish - target.
-                && sv + target < finish => {
-                    return Err(SchedError::PrecedenceViolated {
-                        from: edge.from(),
-                        to: edge.to(),
-                        finish: finish - target,
-                        start: sv,
-                    });
-                }
+                && sv + target < finish =>
+            {
+                return Err(SchedError::PrecedenceViolated {
+                    from: edge.from(),
+                    to: edge.to(),
+                    finish: finish - target,
+                    start: sv,
+                });
+            }
             _ => {}
         }
     }

@@ -1,0 +1,176 @@
+//! Seeded randomized tests for the extension modules: chained scheduling,
+//! register pressure, and datapath binding.
+//!
+//! Originally proptest properties; now a deterministic `SplitMix64` seed
+//! sweep so the workspace builds with no external dependencies.
+
+use rotsched_dfg::rng::SplitMix64;
+use rotsched_dfg::{Dfg, NodeId, OpKind, Retiming};
+use rotsched_sched::chaining::check_chained_schedule;
+use rotsched_sched::{
+    bind_datapath, register_pressure, ChainTiming, ChainedScheduler, ListScheduler, LoopSchedule,
+    ResourceSet,
+};
+
+const CASES: u64 = 128;
+
+/// Small valid DFGs with mixed op durations (in time units for the
+/// chained tests; the unit interpretation is the caller's).
+fn small_dfg(rng: &mut SplitMix64, max_time: u32) -> Dfg {
+    let n = rng.range_u32(2, 7) as usize;
+    let times: Vec<u32> = (0..n).map(|_| rng.range_u32(1, max_time)).collect();
+    let mean = times.iter().sum::<u32>() / n as u32;
+    let mut g = Dfg::new("prop");
+    let ids: Vec<NodeId> = (0..n)
+        .map(|i| {
+            let op = if times[i] > mean {
+                OpKind::Mul
+            } else {
+                OpKind::Add
+            };
+            g.add_node(format!("v{i}"), op, times[i])
+        })
+        .collect();
+    for i in 0..n {
+        for j in 0..n {
+            match rng.range_u32(0, 3) {
+                1 if i < j => {
+                    g.add_edge(ids[i], ids[j], 0).expect("forward edge");
+                }
+                2 if i != j => {
+                    g.add_edge(ids[i], ids[j], 1).expect("delayed edge");
+                }
+                3 => {
+                    g.add_edge(ids[i], ids[j], 2).expect("delayed edge");
+                }
+                _ => {}
+            }
+        }
+    }
+    g
+}
+
+fn resource_config(rng: &mut SplitMix64) -> (u32, u32) {
+    (rng.range_u32(1, 3), rng.range_u32(1, 3))
+}
+
+/// Chained schedules always validate and stay within the honest bounds:
+/// at least the per-class occupancy bound, at most the fully-serialized
+/// step count. (Chained and unchained list scheduling are different
+/// greedy heuristics — neither dominates the other in general, so no
+/// cross-comparison is asserted.)
+#[test]
+fn chained_schedules_validate_and_respect_bounds() {
+    for seed in 0..CASES {
+        let mut rng = SplitMix64::new(seed);
+        let g = small_dfg(&mut rng, 60);
+        let (adders, mults) = resource_config(&mut rng);
+        let res = ResourceSet::adders_multipliers(adders, mults, false);
+        let timing = ChainTiming::new(40);
+        let chained = ChainedScheduler::default()
+            .schedule(&g, None, &res, &timing)
+            .expect("schedulable");
+        check_chained_schedule(&g, None, &chained, &res, &timing).expect("valid");
+
+        let len = chained.length(&g, &timing);
+        // Upper bound: every op serialized into its own step span.
+        let serialized: u32 = g.nodes().map(|(_, n)| timing.steps_for(n.time())).sum();
+        assert!(len <= serialized, "seed {seed}");
+        // Lower bound: the busiest class's step occupancy over its units.
+        for class in res.classes() {
+            let occupancy: u32 = g
+                .nodes()
+                .filter(|(_, n)| class.executes(n.op()))
+                .map(|(_, n)| timing.steps_for(n.time()))
+                .sum();
+            if class.count() > 0 && occupancy > 0 {
+                assert!(len >= occupancy.div_ceil(class.count()), "seed {seed}");
+            }
+        }
+    }
+}
+
+/// Register binding always allocates at least MAXLIVE registers and
+/// never assigns two overlapping lifetimes to the same register for
+/// single-kernel lifetimes.
+#[test]
+fn binding_is_consistent_with_register_pressure() {
+    for seed in 0..CASES {
+        let mut rng = SplitMix64::new(seed);
+        let g = small_dfg(&mut rng, 2);
+        let (adders, mults) = resource_config(&mut rng);
+        let res = ResourceSet::adders_multipliers(adders, mults, false);
+        let s = ListScheduler::default()
+            .schedule(&g, None, &res)
+            .expect("schedulable");
+        let len = s.length(&g).max(1);
+        let ls = LoopSchedule::new(len, s, Retiming::zero(&g));
+        let report = register_pressure(&g, &ls);
+        let binding = bind_datapath(&g, &ls, &res).expect("bindable");
+        assert!(binding.register_count >= report.max_live, "seed {seed}");
+        assert_eq!(binding.max_live, report.max_live, "seed {seed}");
+        // Every node with a consumer after its production got a register.
+        for v in g.node_ids() {
+            let has_late_consumer = g.out_edges(v).iter().any(|&e| {
+                let edge = g.edge(e);
+                let su = ls.schedule().start(v).expect("complete");
+                let sv = ls.schedule().start(edge.to()).expect("complete");
+                i64::from(sv) + i64::from(edge.delays()) * i64::from(len)
+                    > i64::from(su) + i64::from(g.node(v).time().max(1)) - 1
+            });
+            if has_late_consumer {
+                assert!(binding.register(v).is_some(), "seed {seed}: {v} unbound");
+            }
+        }
+    }
+}
+
+/// Unit binding never double-books an instance within the folded kernel.
+#[test]
+fn unit_binding_has_no_conflicts() {
+    for seed in 0..CASES {
+        let mut rng = SplitMix64::new(seed);
+        let g = small_dfg(&mut rng, 2);
+        let (adders, mults) = resource_config(&mut rng);
+        let res = ResourceSet::adders_multipliers(adders, mults, false);
+        let s = ListScheduler::default()
+            .schedule(&g, None, &res)
+            .expect("schedulable");
+        let len = s.length(&g).max(1);
+        let ls = LoopSchedule::new(len, s, Retiming::zero(&g));
+        let binding = bind_datapath(&g, &ls, &res).expect("bindable");
+        let mut seen = std::collections::HashSet::new();
+        for v in g.node_ids() {
+            let (class_idx, instance) = binding.unit(v);
+            let class = &res.classes()[class_idx];
+            assert!(instance < class.count(), "seed {seed}");
+            let start = ls.schedule().start(v).expect("complete");
+            for off in class.occupancy(g.node(v).time()) {
+                let folded = (start + off - 1) % len + 1;
+                assert!(
+                    seen.insert((class_idx, instance, folded)),
+                    "seed {seed}: instance ({class_idx},{instance}) double-booked at folded step {folded}"
+                );
+            }
+        }
+    }
+}
+
+/// Register pressure per slot sums the folded lifetimes exactly: total
+/// lifetime equals the sum over slots.
+#[test]
+fn per_slot_pressure_sums_to_total_lifetime() {
+    for seed in 0..CASES {
+        let mut rng = SplitMix64::new(seed);
+        let g = small_dfg(&mut rng, 2);
+        let res = ResourceSet::adders_multipliers(4, 4, false);
+        let s = ListScheduler::default()
+            .schedule(&g, None, &res)
+            .expect("schedulable");
+        let len = s.length(&g).max(1);
+        let ls = LoopSchedule::new(len, s, Retiming::zero(&g));
+        let report = register_pressure(&g, &ls);
+        let slot_sum: u64 = report.per_slot.iter().map(|&x| u64::from(x)).sum();
+        assert_eq!(slot_sum, report.total_lifetime, "seed {seed}");
+    }
+}

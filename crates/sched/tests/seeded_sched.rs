@@ -1,0 +1,169 @@
+//! Seeded randomized tests for the scheduling substrate.
+//!
+//! Originally proptest properties; now a deterministic `SplitMix64` seed
+//! sweep so the workspace builds with no external dependencies.
+
+use rotsched_dfg::rng::SplitMix64;
+use rotsched_dfg::{Dfg, NodeId, OpKind, Retiming};
+use rotsched_sched::validate::{check_dag_schedule, realizing_retiming};
+use rotsched_sched::{
+    minimal_wrap, simulate, ListScheduler, LoopSchedule, PriorityPolicy, ResourceSet,
+};
+
+const CASES: u64 = 192;
+
+/// Small valid DFGs (forward zero-delay edges, delayed edges anywhere).
+fn small_dfg(rng: &mut SplitMix64) -> Dfg {
+    let n = rng.range_u32(2, 7) as usize;
+    let mut g = Dfg::new("prop");
+    let ids: Vec<NodeId> = (0..n)
+        .map(|i| {
+            let time = rng.range_u32(1, 2);
+            let op = if time > 1 { OpKind::Mul } else { OpKind::Add };
+            g.add_node(format!("v{i}"), op, time)
+        })
+        .collect();
+    for i in 0..n {
+        for j in 0..n {
+            match rng.range_u32(0, 3) {
+                1 if i < j => {
+                    g.add_edge(ids[i], ids[j], 0).expect("forward edge");
+                }
+                2 if i != j => {
+                    g.add_edge(ids[i], ids[j], 1).expect("delayed edge");
+                }
+                3 => {
+                    g.add_edge(ids[i], ids[j], 2).expect("delayed edge");
+                }
+                _ => {}
+            }
+        }
+    }
+    g
+}
+
+fn resource_config(rng: &mut SplitMix64) -> (u32, u32, bool) {
+    (rng.range_u32(1, 3), rng.range_u32(1, 3), rng.chance(0.5))
+}
+
+#[test]
+fn full_schedules_are_always_legal() {
+    let policies = [
+        PriorityPolicy::DescendantCount,
+        PriorityPolicy::PathHeight,
+        PriorityPolicy::Mobility,
+        PriorityPolicy::InputOrder,
+    ];
+    for seed in 0..CASES {
+        let mut rng = SplitMix64::new(seed);
+        let g = small_dfg(&mut rng);
+        let (adders, mults, pipelined) = resource_config(&mut rng);
+        let policy = policies[rng.index(policies.len())];
+        let res = ResourceSet::adders_multipliers(adders, mults, pipelined);
+        let s = ListScheduler::new(policy)
+            .schedule(&g, None, &res)
+            .expect("valid graphs schedule");
+        assert!(
+            check_dag_schedule(&g, None, &s, &res).is_ok(),
+            "seed {seed}"
+        );
+        assert!(s.is_complete(), "seed {seed}");
+    }
+}
+
+#[test]
+fn partial_reschedule_never_moves_fixed_nodes() {
+    for seed in 0..CASES {
+        let mut rng = SplitMix64::new(seed);
+        let g = small_dfg(&mut rng);
+        let (adders, mults, pipelined) = resource_config(&mut rng);
+        let res = ResourceSet::adders_multipliers(adders, mults, pipelined);
+        let sched = ListScheduler::default();
+        let mut s = sched.schedule(&g, None, &res).expect("schedulable");
+        let free: Vec<NodeId> = g.node_ids().filter(|_| rng.chance(0.5)).collect();
+        let fixed_before: Vec<_> = g
+            .node_ids()
+            .filter(|v| !free.contains(v))
+            .map(|v| (v, s.start(v)))
+            .collect();
+        // Greedy list scheduling may box a freed node in between fixed
+        // neighbors (another free node can take its only slot); that is
+        // reported as NoFeasibleSlot, never as a corrupted schedule.
+        match sched.reschedule(&g, None, &res, &mut s, &free) {
+            Ok(()) => {
+                for (v, before) in fixed_before {
+                    assert_eq!(s.start(v), before, "seed {seed}: fixed node {v} moved");
+                }
+                assert!(
+                    check_dag_schedule(&g, None, &s, &res).is_ok(),
+                    "seed {seed}"
+                );
+            }
+            Err(rotsched_sched::SchedError::NoFeasibleSlot { .. }) => {
+                // Fixed nodes still must not have moved.
+                for (v, before) in fixed_before {
+                    assert_eq!(s.start(v), before, "seed {seed}: fixed node {v} moved");
+                }
+            }
+            Err(other) => panic!("seed {seed}: unexpected error: {other}"),
+        }
+    }
+}
+
+#[test]
+fn wrapped_length_never_exceeds_unwrapped() {
+    for seed in 0..CASES {
+        let mut rng = SplitMix64::new(seed);
+        let g = small_dfg(&mut rng);
+        let (adders, mults, pipelined) = resource_config(&mut rng);
+        let res = ResourceSet::adders_multipliers(adders, mults, pipelined);
+        let s = ListScheduler::default()
+            .schedule(&g, None, &res)
+            .expect("schedulable");
+        let w = minimal_wrap(&g, None, &s, &res).expect("legal schedules wrap");
+        assert!(w.kernel_length <= s.length(&g), "seed {seed}");
+        assert!(w.kernel_length >= 1, "seed {seed}");
+    }
+}
+
+#[test]
+fn realizing_retiming_certifies_list_schedules() {
+    for seed in 0..CASES {
+        let g = small_dfg(&mut SplitMix64::new(seed));
+        let res = ResourceSet::adders_multipliers(2, 2, false);
+        let s = ListScheduler::default()
+            .schedule(&g, None, &res)
+            .expect("schedulable");
+        // A DAG schedule of G is realized by the zero retiming; the
+        // solver must find one (possibly another) that is legal and
+        // realizes the schedule.
+        let r = realizing_retiming(&g, &s).expect("DAG schedules are static schedules");
+        assert!(r.is_legal(&g), "seed {seed}");
+        assert!(
+            check_dag_schedule(&g, Some(&r), &s, &res).is_ok(),
+            "seed {seed}"
+        );
+    }
+}
+
+#[test]
+fn unpipelined_simulation_always_passes() {
+    for seed in 0..CASES {
+        let mut rng = SplitMix64::new(seed);
+        let g = small_dfg(&mut rng);
+        let (adders, mults, pipelined) = resource_config(&mut rng);
+        let iterations = rng.range_u32(1, 5);
+        let res = ResourceSet::adders_multipliers(adders, mults, pipelined);
+        let s = ListScheduler::default()
+            .schedule(&g, None, &res)
+            .expect("schedulable");
+        let len = s.length(&g).max(1);
+        let ls = LoopSchedule::new(len, s, Retiming::zero(&g));
+        let report = simulate(&g, &ls, &res, iterations).expect("sequential pipeline is correct");
+        assert_eq!(
+            report.executions,
+            g.node_count() * iterations as usize,
+            "seed {seed}"
+        );
+    }
+}

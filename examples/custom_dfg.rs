@@ -13,9 +13,7 @@
 
 use rotsched::baselines::{dag_only, modulo_schedule, unfold_sweep, ModuloConfig};
 use rotsched::dfg::text;
-use rotsched::{
-    lower_bound, DfgBuilder, OpKind, PriorityPolicy, ResourceSet, RotationScheduler,
-};
+use rotsched::{lower_bound, DfgBuilder, OpKind, PriorityPolicy, ResourceSet, RotationScheduler};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // y[n] = x[n] + a1*y[n-1] + a2*y[n-2], with a scaled output tap.
@@ -46,7 +44,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Baseline 1: no pipelining.
     let dag = dag_only(&graph, &resources, PriorityPolicy::DescendantCount)?;
-    println!("DAG-only list scheduling:    {} steps/iteration", dag.length);
+    println!(
+        "DAG-only list scheduling:    {} steps/iteration",
+        dag.length
+    );
 
     // Baseline 2: unfold and schedule.
     for r in unfold_sweep(&graph, &resources, PriorityPolicy::DescendantCount, 4)? {

@@ -59,18 +59,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let deep = state.retiming.to_normalized();
     println!(
         "\npipeline stages under R: {:?}",
-        deep.stages()
-            .iter()
-            .map(Vec::len)
-            .collect::<Vec<_>>()
+        deep.stages().iter().map(Vec::len).collect::<Vec<_>>()
     );
     println!(
         "pipeline stages under r: {:?}",
-        shallow
-            .stages()
-            .iter()
-            .map(Vec::len)
-            .collect::<Vec<_>>()
+        shallow.stages().iter().map(Vec::len).collect::<Vec<_>>()
     );
     Ok(())
 }

@@ -22,9 +22,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let scheduler = RotationScheduler::new(&graph, resources);
 
     let table = |state: &rotsched::RotationState| {
-        state.schedule.format_table(&graph, &["Mult", "Adder"], |v| {
-            usize::from(!graph.node(v).op().is_multiplicative())
-        })
+        state
+            .schedule
+            .format_table(&graph, &["Mult", "Adder"], |v| {
+                usize::from(!graph.node(v).op().is_multiplicative())
+            })
     };
 
     let mut state = scheduler.initial()?;

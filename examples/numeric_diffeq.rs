@@ -31,11 +31,7 @@ const A_LIMIT: f64 = 10.0;
 /// Operand values are the loop state of the iteration the event belongs
 /// to (reads through delay edges reach back to previous iterations,
 /// which the state store below provides).
-fn evaluate(
-    name: &str,
-    iter: u32,
-    values: &HashMap<(String, i64), f64>,
-) -> f64 {
+fn evaluate(name: &str, iter: u32, values: &HashMap<(String, i64), f64>) -> f64 {
     let get = |n: &str, j: i64| -> f64 {
         if j < 0 {
             // Initial loop state.
@@ -46,7 +42,9 @@ fn evaluate(
                 _ => 0.0,
             }
         } else {
-            *values.get(&(n.to_owned(), j)).unwrap_or_else(|| panic!("missing {n}@{j}"))
+            *values
+                .get(&(n.to_owned(), j))
+                .unwrap_or_else(|| panic!("missing {n}@{j}"))
         }
     };
     let j = i64::from(iter);

@@ -35,7 +35,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     // Graphviz output for the cyclic DFG (Figure 1-(b)).
-    println!("\nDOT rendering of the DFG:\n{}", rotsched::dfg::dot::to_dot(&graph, None));
+    println!(
+        "\nDOT rendering of the DFG:\n{}",
+        rotsched::dfg::dot::to_dot(&graph, None)
+    );
 
     // Rotation scheduling under Table 3's "1A 2M" configuration.
     let resources = ResourceSet::adders_multipliers(1, 2, false);
@@ -55,9 +58,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let kernel = scheduler.loop_schedule(&solved.state)?;
     println!(
         "\nkernel schedule:\n{}",
-        kernel.schedule().format_table(&graph, &["Mult", "Adder"], |v| {
-            usize::from(!graph.node(v).op().is_multiplicative())
-        })
+        kernel
+            .schedule()
+            .format_table(&graph, &["Mult", "Adder"], |v| {
+                usize::from(!graph.node(v).op().is_multiplicative())
+            })
     );
 
     // Execute the pipeline for 100 iterations and compare every computed

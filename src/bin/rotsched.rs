@@ -4,8 +4,13 @@
 //! rotsched analyze  <file.dfg>
 //! rotsched solve    <file.dfg> [--adders N] [--mults N] [--pipelined]
 //!                              [--verify ITERS] [--dot] [--expand ITERS]
+//!                              [--jobs N]
 //! rotsched compare  <file.dfg> [--adders N] [--mults N] [--pipelined]
 //! ```
+//!
+//! `--jobs N` with `N > 1` searches with the parallel portfolio
+//! (Heuristic 1's phases plus one Heuristic-2 sweep per priority
+//! policy) on `N` worker threads; the result is deterministic in `N`.
 //!
 //! Input files use the text format of `rotsched::dfg::text`:
 //!
@@ -20,8 +25,7 @@
 use std::process::ExitCode;
 
 use rotsched::baselines::{
-    dag_only, lower_bound, modulo_schedule, retime_then_schedule, unfold_and_schedule,
-    ModuloConfig,
+    dag_only, lower_bound, modulo_schedule, retime_then_schedule, unfold_and_schedule, ModuloConfig,
 };
 use rotsched::dfg::analysis;
 use rotsched::dfg::text;
@@ -34,12 +38,13 @@ struct Options {
     verify: Option<u32>,
     expand: Option<u32>,
     dot: bool,
+    jobs: u32,
 }
 
 fn usage() -> ExitCode {
     eprintln!(
         "usage: rotsched <analyze|solve|compare> <file.dfg> \
-         [--adders N] [--mults N] [--pipelined] [--verify N] [--expand N] [--dot]"
+         [--adders N] [--mults N] [--pipelined] [--verify N] [--expand N] [--dot] [--jobs N]"
     );
     ExitCode::from(2)
 }
@@ -57,6 +62,7 @@ fn main() -> ExitCode {
         verify: None,
         expand: None,
         dot: false,
+        jobs: 1,
     };
     let mut it = args[2..].iter();
     while let Some(flag) = it.next() {
@@ -84,6 +90,10 @@ fn main() -> ExitCode {
             },
             "--expand" => match take_u32("--expand") {
                 Some(v) => opts.expand = Some(v),
+                None => return usage(),
+            },
+            "--jobs" => match take_u32("--jobs") {
+                Some(v) => opts.jobs = v.max(1),
                 None => return usage(),
             },
             "--pipelined" => opts.pipelined = true,
@@ -157,8 +167,12 @@ fn solve(graph: &Dfg, opts: &Options) -> Result<(), Box<dyn std::error::Error>> 
         resources.label(),
         lower_bound(graph, &resources)?
     );
-    let scheduler = RotationScheduler::new(graph, resources);
-    let solved = scheduler.solve()?;
+    let scheduler = RotationScheduler::new(graph, resources).with_jobs(opts.jobs as usize);
+    let solved = if opts.jobs > 1 {
+        scheduler.solve_portfolio()?
+    } else {
+        scheduler.solve()?
+    };
     println!(
         "kernel: {} control steps, pipeline depth {}, {} optimal schedules found",
         solved.length,
@@ -168,16 +182,21 @@ fn solve(graph: &Dfg, opts: &Options) -> Result<(), Box<dyn std::error::Error>> 
     let kernel = scheduler.loop_schedule(&solved.state)?;
     println!(
         "\n{}",
-        kernel.schedule().format_table(graph, &["Mult", "Adder"], |v| {
-            usize::from(!graph.node(v).op().is_multiplicative())
-        })
+        kernel
+            .schedule()
+            .format_table(graph, &["Mult", "Adder"], |v| {
+                usize::from(!graph.node(v).op().is_multiplicative())
+            })
     );
     if let Some(iters) = opts.expand {
         println!("expansion over {iters} iterations:");
         println!("{}", kernel.format_expansion(graph, iters));
     }
     if opts.dot {
-        println!("{}", rotsched::dfg::dot::to_dot(graph, Some(kernel.retiming())));
+        println!(
+            "{}",
+            rotsched::dfg::dot::to_dot(graph, Some(kernel.retiming()))
+        );
     }
     if let Some(iters) = opts.verify {
         let report = scheduler.verify(&solved.state, iters)?;
@@ -213,7 +232,9 @@ fn compare(graph: &Dfg, opts: &Options) -> Result<(), Box<dyn std::error::Error>
     );
     println!(
         "  rotation scheduling: {}",
-        RotationScheduler::new(graph, resources.clone()).solve()?.length
+        RotationScheduler::new(graph, resources.clone())
+            .solve()?
+            .length
     );
     Ok(())
 }

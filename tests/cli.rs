@@ -66,7 +66,15 @@ fn compare_lists_all_baselines() {
 fn pipelined_flag_changes_the_result() {
     let base = &fixture("differential-equation");
     let (plain, _, _) = run(&["solve", base, "--adders", "1", "--mults", "1"]);
-    let (pipelined, _, _) = run(&["solve", base, "--adders", "1", "--mults", "1", "--pipelined"]);
+    let (pipelined, _, _) = run(&[
+        "solve",
+        base,
+        "--adders",
+        "1",
+        "--mults",
+        "1",
+        "--pipelined",
+    ]);
     assert!(plain.contains("kernel: 12"));
     assert!(pipelined.contains("kernel: 6"));
 }

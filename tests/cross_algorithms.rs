@@ -1,13 +1,9 @@
 //! Cross-algorithm integration tests: rotation scheduling against the
 //! executable baselines on the benchmark suite.
 
-use rotsched::baselines::{
-    dag_only, lower_bound, modulo_schedule, unfold_sweep, ModuloConfig,
-};
+use rotsched::baselines::{dag_only, lower_bound, modulo_schedule, unfold_sweep, ModuloConfig};
 use rotsched::sched::simulate;
-use rotsched::{
-    all_benchmarks, PriorityPolicy, ResourceSet, RotationScheduler, TimingModel,
-};
+use rotsched::{all_benchmarks, PriorityPolicy, ResourceSet, RotationScheduler, TimingModel};
 
 fn configs() -> Vec<ResourceSet> {
     vec![

@@ -86,7 +86,9 @@ fn zero_units_for_a_needed_class_never_schedules() {
     let res = ResourceSet::adders_multipliers(1, 0, false);
     // class_for still binds Mul to the multiplier class with 0 units:
     // scheduling must fail cleanly, not loop.
-    let err = ListScheduler::default().schedule(&g, None, &res).unwrap_err();
+    let err = ListScheduler::default()
+        .schedule(&g, None, &res)
+        .unwrap_err();
     assert!(matches!(err, SchedError::NoFeasibleSlot { .. }));
 }
 

@@ -21,15 +21,21 @@ fn table_1_characteristics_match_exactly() {
         ("All-pole Lattice Filter", 4, 11, 16, 8),
         ("2-cascaded Biquad Filter", 8, 8, 7, 4),
     ];
-    for ((name, g), (ename, mults, adds, cp, ib)) in
-        all_benchmarks(&TimingModel::paper()).into_iter().zip(expected)
+    for ((name, g), (ename, mults, adds, cp, ib)) in all_benchmarks(&TimingModel::paper())
+        .into_iter()
+        .zip(expected)
     {
         assert_eq!(name, ename);
         assert_eq!(
-            g.nodes().filter(|(_, n)| n.op().is_multiplicative()).count(),
+            g.nodes()
+                .filter(|(_, n)| n.op().is_multiplicative())
+                .count(),
             mults
         );
-        assert_eq!(g.nodes().filter(|(_, n)| n.op().is_additive()).count(), adds);
+        assert_eq!(
+            g.nodes().filter(|(_, n)| n.op().is_additive()).count(),
+            adds
+        );
         assert_eq!(critical_path_length(&g, None).unwrap(), cp);
         assert_eq!(iteration_bound(&g).unwrap(), Some(ib));
     }
@@ -37,12 +43,7 @@ fn table_1_characteristics_match_exactly() {
 
 /// Runs rotation scheduling for one published row and returns
 /// (achieved length, our lower bound).
-fn run_row(
-    graph: &rotsched::Dfg,
-    adders: u32,
-    multipliers: u32,
-    pipelined: bool,
-) -> (u32, u64) {
+fn run_row(graph: &rotsched::Dfg, adders: u32, multipliers: u32, pipelined: bool) -> (u32, u64) {
     let resources = ResourceSet::adders_multipliers(adders, multipliers, pipelined);
     let lb = lower_bound(graph, &resources).unwrap();
     let scheduler = RotationScheduler::new(graph, resources);

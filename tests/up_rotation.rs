@@ -112,9 +112,7 @@ fn alternating_rotations_keep_all_invariants() {
             Ok(_) => {
                 assert!(st.retiming.is_legal(&g));
                 check_dag_schedule(&g, Some(&st.retiming), &st.schedule, &res).unwrap();
-                assert!(
-                    rotsched::sched::validate::realizing_retiming(&g, &st.schedule).is_some()
-                );
+                assert!(rotsched::sched::validate::realizing_retiming(&g, &st.schedule).is_some());
             }
             Err(RotationError::NotRotatable { .. }) => {}
             Err(other) => panic!("unexpected error: {other}"),
