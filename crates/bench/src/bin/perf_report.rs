@@ -1,29 +1,50 @@
-//! Wall-clock performance report for the parallel portfolio engine.
+//! Wall-clock performance report for the parallel portfolio engine and
+//! the incremental rotation kernel.
 //!
 //! ```text
-//! cargo run --release -p rotsched-bench --bin perf_report [-- --out PATH]
+//! cargo run --release -p rotsched-bench --bin perf_report [-- OPTIONS]
+//!
+//!   --out PATH        write the JSON report here (default:
+//!                     BENCH_ROTATION.json at the repository root)
+//!   --reps N          timed repetitions per jobs value (default: 3)
+//!   --check BASELINE  smoke mode: run one sweep, compare schedule
+//!                     lengths and the rows fingerprint against a
+//!                     checked-in baseline JSON, exit non-zero on any
+//!                     regression. No timing, no report written.
 //! ```
 //!
 //! Times the full Table-3 sweep (every benchmark × resource-config
 //! cell) sequentially and under several `--jobs` values, checks that
-//! every jobs value yields byte-identical rows, and writes a
-//! machine-readable JSON report (default: `BENCH_ROTATION.json` at the
-//! repository root).
+//! every jobs value yields byte-identical rows, samples per-rotation-step
+//! latency percentiles for the incremental context path against the
+//! from-scratch path, and writes a machine-readable JSON report.
 
 use std::time::Instant;
 
 use rotsched_baselines::TABLE_3;
 use rotsched_bench::{format_row, measure_rs};
-use rotsched_benchmarks::{allpole, biquad, diffeq, lattice4, TimingModel};
-use rotsched_core::parallel_indexed;
+use rotsched_benchmarks::{
+    allpole, biquad, diffeq, lattice4, random_dfg, RandomDfgConfig, TimingModel,
+};
+use rotsched_core::{down_rotate, initial_state, parallel_indexed, RotationContext};
 use rotsched_dfg::rng::Fnv64;
 use rotsched_dfg::Dfg;
+use rotsched_sched::{ListScheduler, ResourceSet};
 
 const JOBS: [usize; 4] = [1, 2, 4, 8];
-const REPS: usize = 3;
+/// Size-1 rotations per sampled sequence in the per-step timing study.
+const STEP_SEQ: usize = 32;
+/// Repetitions of each sampled sequence.
+const STEP_REPS: usize = 5;
+
+struct Options {
+    out: String,
+    check: Option<String>,
+    reps: usize,
+}
 
 fn main() {
-    let out_path = out_path_from_args();
+    let opts = options_from_args();
     let t = TimingModel::paper();
     let graphs: Vec<(&str, Dfg)> = vec![
         ("Differential Equation", diffeq(&t)),
@@ -31,12 +52,18 @@ fn main() {
         ("All-pole Lattice Filter", allpole(&t)),
         ("2-cascaded Biquad Filter", biquad(&t)),
     ];
+
+    if let Some(baseline) = &opts.check {
+        std::process::exit(check_against_baseline(&graphs, baseline));
+    }
+
     let cells = TABLE_3.len();
+    let reps = opts.reps;
     let hardware = std::thread::available_parallelism()
         .map(std::num::NonZeroUsize::get)
         .unwrap_or(1);
 
-    println!("perf_report: table3 sweep ({cells} cells), {REPS} reps per jobs value");
+    println!("perf_report: table3 sweep ({cells} cells), {reps} reps per jobs value");
     println!("hardware threads: {hardware}\n");
 
     // One untimed warm-up pass so allocator and page-cache effects hit
@@ -44,15 +71,17 @@ fn main() {
     let _ = sweep(&graphs, 1);
 
     let mut results = Vec::new();
+    let mut lengths = Vec::new();
     for jobs in JOBS {
         let mut wall_ns = Vec::new();
         let mut fingerprint = 0_u64;
-        for _ in 0..REPS {
+        for _ in 0..reps {
             let start = Instant::now();
             let rows = sweep(&graphs, jobs);
             let elapsed = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
             wall_ns.push(elapsed);
             fingerprint = rows_fingerprint(&rows);
+            lengths = rows.iter().map(|(_, rs)| *rs).collect();
         }
         wall_ns.sort_unstable();
         let median = wall_ns[wall_ns.len() / 2];
@@ -79,18 +108,43 @@ fn main() {
         );
     }
 
-    let json = render_json(hardware, cells, &results, seq_median, deterministic);
-    match std::fs::write(&out_path, json) {
-        Ok(()) => println!("\nwrote {out_path}"),
+    let (ctx, scratch) = step_percentiles(&graphs);
+    println!(
+        "\nrotation step (context):      p50 {:>8} ns, p90 {:>8} ns, p99 {:>8} ns ({} samples)",
+        ctx.p50, ctx.p90, ctx.p99, ctx.samples
+    );
+    println!(
+        "rotation step (from scratch): p50 {:>8} ns, p90 {:>8} ns, p99 {:>8} ns ({} samples)",
+        scratch.p50, scratch.p90, scratch.p99, scratch.samples
+    );
+    println!(
+        "per-step speedup at p50: {:.2}x",
+        scratch.p50 as f64 / ctx.p50.max(1) as f64
+    );
+
+    let json = render_json(
+        hardware,
+        cells,
+        reps,
+        &results,
+        seq_median,
+        deterministic,
+        &lengths,
+        &ctx,
+        &scratch,
+    );
+    match std::fs::write(&opts.out, json) {
+        Ok(()) => println!("\nwrote {}", opts.out),
         Err(e) => {
-            eprintln!("error: cannot write {out_path}: {e}");
+            eprintln!("error: cannot write {}: {e}", opts.out);
             std::process::exit(1);
         }
     }
 }
 
-/// Runs the full Table-3 sweep and returns the formatted rows.
-fn sweep(graphs: &[(&str, Dfg)], jobs: usize) -> Vec<String> {
+/// Runs the full Table-3 sweep; returns each cell's formatted row and
+/// achieved schedule length.
+fn sweep(graphs: &[(&str, Dfg)], jobs: usize) -> Vec<(String, u32)> {
     parallel_indexed(jobs, TABLE_3.len(), |i| {
         let row = &TABLE_3[i];
         let g = &graphs
@@ -99,13 +153,14 @@ fn sweep(graphs: &[(&str, Dfg)], jobs: usize) -> Vec<String> {
             .expect("benchmark exists")
             .1;
         let measured = measure_rs(g, row.adders, row.multipliers, row.pipelined);
-        format_row(&measured, row.lb, row.rs, row.rs_depth)
+        let rs = measured.rs;
+        (format_row(&measured, row.lb, row.rs, row.rs_depth), rs)
     })
 }
 
-fn rows_fingerprint(rows: &[String]) -> u64 {
+fn rows_fingerprint(rows: &[(String, u32)]) -> u64 {
     let mut h = Fnv64::new();
-    for row in rows {
+    for (row, _) in rows {
         for b in row.bytes() {
             h.write_u8(b);
         }
@@ -114,22 +169,203 @@ fn rows_fingerprint(rows: &[String]) -> u64 {
     h.finish()
 }
 
+#[derive(Clone, Copy)]
+struct StepPercentiles {
+    p50: u64,
+    p90: u64,
+    p99: u64,
+    samples: usize,
+}
+
+fn percentiles(ns: &mut [u64]) -> StepPercentiles {
+    ns.sort_unstable();
+    let at = |p: usize| ns[(ns.len() - 1) * p / 100];
+    StepPercentiles {
+        p50: at(50),
+        p90: at(90),
+        p99: at(99),
+        samples: ns.len(),
+    }
+}
+
+/// Samples per-rotation-step latency for the persistent-context path and
+/// the from-scratch operator over the paper benchmarks plus a 64-node
+/// random graph.
+fn step_percentiles(graphs: &[(&str, Dfg)]) -> (StepPercentiles, StepPercentiles) {
+    let res = ResourceSet::adders_multipliers(2, 2, false);
+    let sched = ListScheduler::default();
+    let random64 = random_dfg(
+        &RandomDfgConfig {
+            nodes: 64,
+            ..RandomDfgConfig::default()
+        },
+        7,
+    );
+    let mut ctx_ns = Vec::new();
+    let mut scratch_ns = Vec::new();
+    let subjects = graphs
+        .iter()
+        .map(|(_, g)| g)
+        .chain(std::iter::once(&random64));
+    for g in subjects {
+        let init = initial_state(g, &sched, &res).expect("schedulable");
+        // One continuous sequence per arm — the context and the caches
+        // warm up exactly as they do inside a rotation phase.
+        let mut state = init.clone();
+        let mut ctx = RotationContext::new(g, &sched, &res, &state).expect("schedulable");
+        for _ in 0..STEP_REPS * STEP_SEQ {
+            if state.length(g) <= 1 {
+                break;
+            }
+            let start = Instant::now();
+            ctx.down_rotate(g, &sched, &res, &mut state, 1)
+                .expect("legal");
+            ctx_ns.push(u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX));
+        }
+        let mut state = init.clone();
+        for _ in 0..STEP_REPS * STEP_SEQ {
+            if state.length(g) <= 1 {
+                break;
+            }
+            let start = Instant::now();
+            down_rotate(g, &sched, &res, &mut state, 1).expect("legal");
+            scratch_ns.push(u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX));
+        }
+    }
+    (percentiles(&mut ctx_ns), percentiles(&mut scratch_ns))
+}
+
+/// Smoke mode: one sequential sweep compared against a checked-in
+/// baseline. Returns the process exit code.
+fn check_against_baseline(graphs: &[(&str, Dfg)], baseline_path: &str) -> i32 {
+    let baseline = match std::fs::read_to_string(baseline_path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: cannot read baseline {baseline_path}: {e}");
+            return 1;
+        }
+    };
+    let rows = sweep(graphs, 1);
+    let fingerprint = rows_fingerprint(&rows);
+    let mut failures = 0_u32;
+
+    match extract_hex_field(&baseline, "rows_fingerprint") {
+        Some(expected) if expected == fingerprint => {
+            println!("rows fingerprint: {fingerprint:#018x} (matches baseline)");
+        }
+        Some(expected) => {
+            eprintln!("FAIL: rows fingerprint {fingerprint:#018x} != baseline {expected:#018x}");
+            failures += 1;
+        }
+        None => {
+            eprintln!("FAIL: baseline has no rows_fingerprint field");
+            failures += 1;
+        }
+    }
+
+    match extract_u32_array(&baseline, "schedule_lengths") {
+        Some(expected) if expected.len() == rows.len() => {
+            for (i, ((_, rs), want)) in rows.iter().zip(&expected).enumerate() {
+                if rs > want {
+                    eprintln!(
+                        "FAIL: cell {i} ({}, {}): schedule length {rs} regressed past \
+                         baseline {want}",
+                        TABLE_3[i].benchmark, TABLE_3[i].adders
+                    );
+                    failures += 1;
+                }
+            }
+            if failures == 0 {
+                println!(
+                    "schedule lengths: all {} cells at or below baseline",
+                    rows.len()
+                );
+            }
+        }
+        Some(expected) => {
+            eprintln!(
+                "FAIL: baseline has {} schedule lengths, sweep produced {}",
+                expected.len(),
+                rows.len()
+            );
+            failures += 1;
+        }
+        None => {
+            eprintln!("FAIL: baseline has no schedule_lengths field");
+            failures += 1;
+        }
+    }
+
+    if failures == 0 {
+        println!("check passed");
+        0
+    } else {
+        eprintln!("check failed with {failures} regression(s)");
+        1
+    }
+}
+
+/// Pulls `"name": "0x..."` out of a baseline report without a JSON
+/// parser (the workspace is dependency-free).
+fn extract_hex_field(json: &str, name: &str) -> Option<u64> {
+    let key = format!("\"{name}\": \"0x");
+    let start = json.find(&key)? + key.len();
+    let rest = &json[start..];
+    let end = rest.find('"')?;
+    u64::from_str_radix(&rest[..end], 16).ok()
+}
+
+/// Pulls `"name": [1, 2, ...]` out of a baseline report.
+fn extract_u32_array(json: &str, name: &str) -> Option<Vec<u32>> {
+    let key = format!("\"{name}\": [");
+    let start = json.find(&key)? + key.len();
+    let rest = &json[start..];
+    let end = rest.find(']')?;
+    rest[..end]
+        .split(',')
+        .map(|s| s.trim().parse::<u32>().ok())
+        .collect()
+}
+
+#[allow(clippy::too_many_arguments)]
 fn render_json(
     hardware: usize,
     cells: usize,
+    reps: usize,
     results: &[(usize, u64, u64, u64)],
     seq_median: u64,
     deterministic: bool,
+    lengths: &[u32],
+    ctx: &StepPercentiles,
+    scratch: &StepPercentiles,
 ) -> String {
     let mut s = String::new();
     s.push_str("{\n");
     s.push_str("  \"bench\": \"table3_sweep\",\n");
     s.push_str(&format!("  \"hardware_threads\": {hardware},\n"));
     s.push_str(&format!("  \"cells\": {cells},\n"));
-    s.push_str(&format!("  \"reps\": {REPS},\n"));
+    s.push_str(&format!("  \"reps\": {reps},\n"));
     s.push_str(&format!(
         "  \"deterministic_across_jobs\": {deterministic},\n"
     ));
+    let lengths_csv = lengths
+        .iter()
+        .map(ToString::to_string)
+        .collect::<Vec<_>>()
+        .join(", ");
+    s.push_str(&format!("  \"schedule_lengths\": [{lengths_csv}],\n"));
+    s.push_str("  \"rotation_step_ns\": {\n");
+    for (label, p, comma) in [("context", ctx, ","), ("scratch", scratch, ",")] {
+        s.push_str(&format!(
+            "    \"{label}\": {{\"p50\": {}, \"p90\": {}, \"p99\": {}, \"samples\": {}}}{comma}\n",
+            p.p50, p.p90, p.p99, p.samples
+        ));
+    }
+    s.push_str(&format!(
+        "    \"speedup_p50\": {:.2}\n",
+        scratch.p50 as f64 / ctx.p50.max(1) as f64
+    ));
+    s.push_str("  },\n");
     s.push_str("  \"results\": [\n");
     for (k, (jobs, median, min, fingerprint)) in results.iter().enumerate() {
         let speedup = seq_median as f64 / *median as f64;
@@ -145,18 +381,33 @@ fn render_json(
     s
 }
 
-fn out_path_from_args() -> String {
+fn options_from_args() -> Options {
+    let mut opts = Options {
+        out: concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_ROTATION.json").to_string(),
+        check: None,
+        reps: 3,
+    };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         if arg == "--out" {
             if let Some(p) = args.next() {
-                return p;
+                opts.out = p;
             }
-        }
-        if let Some(p) = arg.strip_prefix("--out=") {
-            return p.to_string();
+        } else if let Some(p) = arg.strip_prefix("--out=") {
+            opts.out = p.to_string();
+        } else if arg == "--check" {
+            if let Some(p) = args.next() {
+                opts.check = Some(p);
+            }
+        } else if let Some(p) = arg.strip_prefix("--check=") {
+            opts.check = Some(p.to_string());
+        } else if arg == "--reps" {
+            if let Some(n) = args.next() {
+                opts.reps = n.parse().unwrap_or(opts.reps).max(1);
+            }
+        } else if let Some(n) = arg.strip_prefix("--reps=") {
+            opts.reps = n.parse().unwrap_or(opts.reps).max(1);
         }
     }
-    // crates/bench -> repository root.
-    concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_ROTATION.json").to_string()
+    opts
 }

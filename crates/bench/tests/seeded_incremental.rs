@@ -1,0 +1,187 @@
+//! Seeded equivalence properties for the incremental rotation kernel:
+//! on random cyclic DFGs, the persistent
+//! [`RotationContext`](rotsched_core::RotationContext) path must be
+//! bit-identical to the from-scratch reference at every level — single
+//! rotation phases (under every priority policy), full Heuristic-1 and
+//! Heuristic-2 sweeps, and the parallel portfolio at every job count.
+//!
+//! Debug builds additionally cross-check every incrementally maintained
+//! structure (reservation table, zero-delay view, priority weights)
+//! against full recomputation inside the context itself, so a pass here
+//! is a strong structural guarantee, not just an output comparison.
+
+use rotsched_benchmarks::{random_dfg, RandomDfgConfig};
+use rotsched_core::{
+    heuristic1, heuristic2, heuristic2_reference, initial_state, rotation_phase,
+    rotation_phase_reference, BestSet, HeuristicConfig, HeuristicOutcome, RotationScheduler,
+};
+use rotsched_dfg::Dfg;
+use rotsched_sched::{ListScheduler, PriorityPolicy, ResourceSet};
+
+const SEEDS: [u64; 4] = [11, 23, 42, 97];
+
+fn suite_graph(seed: u64) -> Dfg {
+    random_dfg(
+        &RandomDfgConfig {
+            nodes: 40,
+            ..RandomDfgConfig::default()
+        },
+        seed,
+    )
+}
+
+fn config() -> HeuristicConfig {
+    HeuristicConfig {
+        rotations_per_phase: 24,
+        max_size: Some(4),
+        keep_best: 4,
+        rounds: 2,
+    }
+}
+
+fn assert_outcomes_identical(a: &HeuristicOutcome, b: &HeuristicOutcome, what: &str) {
+    assert_eq!(a.best_length, b.best_length, "{what}: best length diverged");
+    assert_eq!(a.best, b.best, "{what}: best schedule set diverged");
+    assert_eq!(a.phases, b.phases, "{what}: phase statistics diverged");
+    assert_eq!(
+        a.total_rotations, b.total_rotations,
+        "{what}: rotation count diverged"
+    );
+}
+
+#[test]
+fn phases_match_the_reference_under_every_policy() {
+    let res = ResourceSet::adders_multipliers(2, 2, false);
+    for seed in SEEDS {
+        let g = suite_graph(seed);
+        for policy in [
+            PriorityPolicy::DescendantCount,
+            PriorityPolicy::PathHeight,
+            PriorityPolicy::Mobility,
+            PriorityPolicy::InputOrder,
+        ] {
+            let sched = ListScheduler::new(policy);
+            let init = initial_state(&g, &sched, &res).expect("schedulable");
+            for size in 1..=3 {
+                let mut incremental = init.clone();
+                let mut reference = init.clone();
+                let mut best_inc = BestSet::new(4);
+                let mut best_ref = BestSet::new(4);
+                let stats_inc =
+                    rotation_phase(&g, &sched, &res, &mut incremental, &mut best_inc, size, 24)
+                        .expect("phase runs");
+                let stats_ref = rotation_phase_reference(
+                    &g,
+                    &sched,
+                    &res,
+                    &mut reference,
+                    &mut best_ref,
+                    size,
+                    24,
+                    None,
+                )
+                .expect("phase runs");
+                let what = format!("seed {seed}, {policy:?}, size {size}");
+                assert_eq!(stats_inc, stats_ref, "{what}: phase stats diverged");
+                assert_eq!(incremental, reference, "{what}: final state diverged");
+                assert_eq!(best_inc.length, best_ref.length, "{what}: best length");
+                assert_eq!(
+                    best_inc.schedules, best_ref.schedules,
+                    "{what}: best set diverged"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn heuristic2_matches_the_reference_on_random_graphs() {
+    let res = ResourceSet::adders_multipliers(2, 2, false);
+    for seed in SEEDS {
+        let g = suite_graph(seed);
+        let sched = ListScheduler::default();
+        let incremental = heuristic2(&g, &sched, &res, &config()).expect("schedulable");
+        let reference = heuristic2_reference(&g, &sched, &res, &config()).expect("schedulable");
+        assert_outcomes_identical(
+            &incremental,
+            &reference,
+            &format!("seed {seed}, heuristic2"),
+        );
+    }
+}
+
+/// Heuristic 1's phases all restart from the initial state; driving the
+/// same loop with the from-scratch phase must reproduce it exactly.
+#[test]
+fn heuristic1_matches_a_reference_driven_sweep() {
+    let res = ResourceSet::adders_multipliers(2, 2, false);
+    let cfg = config();
+    for seed in SEEDS {
+        let g = suite_graph(seed);
+        let sched = ListScheduler::default();
+        let incremental = heuristic1(&g, &sched, &res, &cfg).expect("schedulable");
+
+        let init = initial_state(&g, &sched, &res).expect("schedulable");
+        let mut best = BestSet::new(cfg.keep_best);
+        best.offer(init.wrapped_length(&g, &res).expect("wrappable"), &init);
+        let beta = cfg.max_size.unwrap_or_else(|| init.length(&g)).max(1);
+        let mut phases = Vec::new();
+        for size in 1..=beta {
+            let mut state = init.clone();
+            let stats = rotation_phase_reference(
+                &g,
+                &sched,
+                &res,
+                &mut state,
+                &mut best,
+                size,
+                cfg.rotations_per_phase,
+                None,
+            )
+            .expect("phase runs");
+            phases.push(stats);
+        }
+
+        let what = format!("seed {seed}, heuristic1");
+        assert_eq!(incremental.best_length, best.length, "{what}: best length");
+        assert_eq!(incremental.best, best.schedules, "{what}: best set");
+        assert_eq!(incremental.phases, phases, "{what}: phase statistics");
+    }
+}
+
+#[test]
+fn portfolio_is_identical_for_every_job_count() {
+    let res = ResourceSet::adders_multipliers(2, 2, false);
+    for seed in [11, 42] {
+        let g = suite_graph(seed);
+        let baseline = RotationScheduler::new(&g, res.clone())
+            .with_config(config())
+            .with_jobs(1)
+            .portfolio()
+            .expect("schedulable");
+        for jobs in [2, 4] {
+            let run = RotationScheduler::new(&g, res.clone())
+                .with_config(config())
+                .with_jobs(jobs)
+                .portfolio()
+                .expect("schedulable");
+            let what = format!("seed {seed}, jobs {jobs}");
+            assert_eq!(run.best_length, baseline.best_length, "{what}: best length");
+            assert_eq!(run.best, baseline.best, "{what}: canonical best set");
+            assert_eq!(run.lower_bound, baseline.lower_bound, "{what}: bound");
+            assert_eq!(
+                run.bound_achieved, baseline.bound_achieved,
+                "{what}: bound achievement"
+            );
+            assert_eq!(
+                run.canonical_task, baseline.canonical_task,
+                "{what}: canonical task"
+            );
+            assert_eq!(run.phases, baseline.phases, "{what}: phase statistics");
+            assert_eq!(
+                run.total_rotations, baseline.total_rotations,
+                "{what}: rotation count"
+            );
+        }
+    }
+}

@@ -1,0 +1,188 @@
+//! The persistent rotation context — the paper's `O(|R||V|)` per-step
+//! bound, realized.
+//!
+//! [`down_rotate`](crate::rotate::down_rotate) is semantically
+//! incremental (only the rotated prefix is rescheduled) but pays
+//! `O(V+E)` setup per step inside [`ListScheduler::reschedule`].
+//! [`RotationContext`] carries that setup *across* the steps of a phase:
+//! the reservation table, the zero-delay edge view, and the priority
+//! weights are maintained by deltas (see
+//! [`SchedContext`](rotsched_sched::SchedContext)), the retiming is
+//! updated in place via [`Retiming::apply_set`], and schedule
+//! normalization becomes an O(1) origin shift on the table.
+//!
+//! [`RotationContext::down_rotate`] makes exactly the same decisions as
+//! the from-scratch operator — both funnel into the same placement core
+//! — so results are bit-identical; debug builds cross-check every
+//! maintained structure against full recomputation.
+//!
+//! [`Retiming::apply_set`]: rotsched_dfg::Retiming::apply_set
+
+use rotsched_dfg::Dfg;
+use rotsched_sched::{ListScheduler, ResourceSet, SchedContext};
+
+use crate::error::RotationError;
+use crate::rotate::{is_down_rotatable, DownRotateOutcome, RotationState};
+
+/// Incremental scheduling state for a run of down-rotations on one
+/// `(graph, scheduler, resources)` triple.
+///
+/// Build one per rotation phase (each portfolio worker builds its own)
+/// from the phase's starting state; it stays valid as long as every
+/// rotation of that state goes through [`RotationContext::down_rotate`].
+/// After an error the context is stale — rebuild before reuse.
+#[derive(Debug)]
+pub struct RotationContext {
+    ctx: SchedContext,
+}
+
+impl RotationContext {
+    /// Builds the context for `state`'s schedule and rotation function.
+    ///
+    /// # Errors
+    ///
+    /// Propagates scheduling-substrate failures (unbindable ops, an
+    /// oversubscribed schedule, a cyclic zero-delay subgraph).
+    pub fn new(
+        dfg: &Dfg,
+        scheduler: &ListScheduler,
+        resources: &ResourceSet,
+        state: &RotationState,
+    ) -> Result<Self, RotationError> {
+        Ok(RotationContext {
+            ctx: SchedContext::new(
+                dfg,
+                scheduler,
+                resources,
+                Some(&state.retiming),
+                &state.schedule,
+            )?,
+        })
+    }
+
+    /// [`down_rotate`](crate::rotate::down_rotate), incrementally: frees
+    /// only the prefix nodes' reservations, folds the rotation into the
+    /// retiming in place, repairs the zero-delay view and weights
+    /// locally, renumbers by an O(1) origin shift, and reschedules the
+    /// prefix through the shared placement core. Produces bit-identical
+    /// states, lengths, and errors to the from-scratch operator.
+    ///
+    /// # Errors
+    ///
+    /// Exactly [`down_rotate`](crate::rotate::down_rotate)'s errors; the
+    /// context must be rebuilt after one.
+    pub fn down_rotate(
+        &mut self,
+        dfg: &Dfg,
+        scheduler: &ListScheduler,
+        resources: &ResourceSet,
+        state: &mut RotationState,
+        size: u32,
+    ) -> Result<DownRotateOutcome, RotationError> {
+        let length = state.schedule.length(dfg);
+        if size == 0 || size >= length {
+            return Err(RotationError::InvalidSize {
+                size,
+                schedule_length: length,
+            });
+        }
+
+        let rotated = state.schedule.prefix_nodes(size);
+        debug_assert!(
+            is_down_rotatable(dfg, &state.retiming, &rotated),
+            "a schedule prefix is always down-rotatable (Property 1)"
+        );
+
+        for &v in &rotated {
+            let cs = state.schedule.start(v).expect("prefix nodes are scheduled");
+            self.ctx.release(dfg, resources, v, cs);
+            state.schedule.clear(v);
+        }
+        state.retiming.apply_set(&rotated, 1);
+        self.ctx
+            .apply_retiming_delta(dfg, &state.retiming, &rotated);
+
+        // Normalize the fixed remainder; the table follows with an O(1)
+        // origin shift. The remainder can be empty even for size <
+        // length when multi-cycle tails pad the length past the last
+        // start step — then there is nothing to renumber, exactly like
+        // `Schedule::normalize` on an empty schedule.
+        if let Some(first) = state.schedule.first_step() {
+            if first != 1 {
+                state.schedule.shift(1 - i64::from(first));
+                self.ctx.shift(1 - i64::from(first));
+            }
+        }
+
+        self.ctx.reschedule(
+            dfg,
+            scheduler,
+            Some(&state.retiming),
+            resources,
+            &mut state.schedule,
+            &rotated,
+        )?;
+        debug_assert_eq!(state.schedule.first_step(), Some(1));
+
+        Ok(DownRotateOutcome {
+            rotated,
+            length: state.schedule.length(dfg),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rotate::{down_rotate, initial_state};
+    use rotsched_dfg::{DfgBuilder, OpKind};
+
+    #[test]
+    fn context_rotations_match_the_from_scratch_operator() {
+        let g = DfgBuilder::new("ring")
+            .nodes("v", 5, OpKind::Add, 1)
+            .chain(&["v0", "v1", "v2", "v3", "v4"])
+            .edge("v4", "v0", 2)
+            .build()
+            .unwrap();
+        let sched = ListScheduler::default();
+        let res = ResourceSet::adders_multipliers(2, 0, false);
+        let mut incremental = initial_state(&g, &sched, &res).unwrap();
+        let mut reference = incremental.clone();
+        let mut ctx = RotationContext::new(&g, &sched, &res, &incremental).unwrap();
+        for _ in 0..6 {
+            if incremental.length(&g) <= 1 {
+                break;
+            }
+            let a = ctx
+                .down_rotate(&g, &sched, &res, &mut incremental, 1)
+                .unwrap();
+            let b = down_rotate(&g, &sched, &res, &mut reference, 1).unwrap();
+            assert_eq!(a, b);
+            assert_eq!(incremental, reference);
+        }
+    }
+
+    #[test]
+    fn context_rejects_invalid_sizes_like_the_operator() {
+        let g = DfgBuilder::new("pair")
+            .nodes("v", 2, OpKind::Add, 1)
+            .wire("v0", "v1")
+            .edge("v1", "v0", 1)
+            .build()
+            .unwrap();
+        let sched = ListScheduler::default();
+        let res = ResourceSet::adders_multipliers(1, 0, false);
+        let mut st = initial_state(&g, &sched, &res).unwrap();
+        let mut ctx = RotationContext::new(&g, &sched, &res, &st).unwrap();
+        assert!(matches!(
+            ctx.down_rotate(&g, &sched, &res, &mut st, 0),
+            Err(RotationError::InvalidSize { .. })
+        ));
+        let len = st.length(&g);
+        assert!(matches!(
+            ctx.down_rotate(&g, &sched, &res, &mut st, len),
+            Err(RotationError::InvalidSize { .. })
+        ));
+    }
+}

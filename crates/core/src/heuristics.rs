@@ -15,7 +15,9 @@ use rotsched_dfg::Dfg;
 use rotsched_sched::{ListScheduler, ResourceSet};
 
 use crate::error::RotationError;
-use crate::phase::{rotation_phase, rotation_phase_pruned, BestSet, PhaseStats};
+use crate::phase::{
+    rotation_phase, rotation_phase_pruned, rotation_phase_reference, BestSet, PhaseStats,
+};
 use crate::portfolio::PruneSignal;
 use crate::rotate::{initial_state, RotationState};
 
@@ -181,6 +183,49 @@ pub fn heuristic2_pruned(
     Ok(HeuristicOutcome::from_parts(best, phases))
 }
 
+/// The from-scratch twin of [`heuristic2`]: the same sweep driven by
+/// [`rotation_phase_reference`], i.e. without the incremental
+/// [`RotationContext`](crate::RotationContext). Kept as the reference
+/// arm for equivalence tests and end-to-end before/after measurements —
+/// its results are bit-identical to [`heuristic2`]'s.
+///
+/// # Errors
+///
+/// Propagates graph and scheduling failures.
+pub fn heuristic2_reference(
+    dfg: &Dfg,
+    scheduler: &ListScheduler,
+    resources: &ResourceSet,
+    config: &HeuristicConfig,
+) -> Result<HeuristicOutcome, RotationError> {
+    let init = initial_state(dfg, scheduler, resources)?;
+    let mut best = BestSet::new(config.keep_best);
+    best.offer(init.wrapped_length(dfg, resources)?, &init);
+
+    let beta = config.max_size.unwrap_or_else(|| init.length(dfg)).max(1);
+    let mut phases = Vec::new();
+    let mut state = init;
+    for _round in 0..config.rounds.max(1) {
+        for size in (1..=beta).rev() {
+            let stats = rotation_phase_reference(
+                dfg,
+                scheduler,
+                resources,
+                &mut state,
+                &mut best,
+                size,
+                config.rotations_per_phase,
+                None,
+            )?;
+            phases.push(stats);
+            state.schedule = scheduler.schedule(dfg, Some(&state.retiming), resources)?;
+            let wrapped = state.wrapped_length(dfg, resources)?;
+            best.offer(wrapped, &state);
+        }
+    }
+    Ok(HeuristicOutcome::from_parts(best, phases))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -269,6 +314,20 @@ mod tests {
             out.total_rotations,
             out.phases.iter().map(|p| p.rotations).sum::<usize>()
         );
+    }
+
+    #[test]
+    fn incremental_heuristic2_matches_the_reference_path() {
+        for delays in 1..=3 {
+            let g = ring(6, delays);
+            let res = ResourceSet::adders_multipliers(2, 0, false);
+            let fast = heuristic2(&g, &ListScheduler::default(), &res, &config()).unwrap();
+            let slow =
+                heuristic2_reference(&g, &ListScheduler::default(), &res, &config()).unwrap();
+            assert_eq!(fast.best_length, slow.best_length);
+            assert_eq!(fast.best, slow.best);
+            assert_eq!(fast.phases, slow.phases);
+        }
     }
 
     #[test]

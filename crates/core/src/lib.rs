@@ -40,6 +40,9 @@
 //!
 //! * [`rotate`] — down-/up-rotation operators, rotatability checks
 //!   (Property 1), and the `DownRotate` procedure (Section 3.1).
+//! * [`context`] — the persistent [`RotationContext`] that makes each
+//!   rotation step cost `O(|R|·deg)` instead of `O(V+E)` (Section 3.3's
+//!   complexity claim).
 //! * [`phase`] — rotation phases with best-set tracking (Section 5).
 //! * [`heuristics`] — Heuristic 1 (independent phases) and Heuristic 2
 //!   (chained, decreasing sizes) behind the paper's tables.
@@ -52,6 +55,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod context;
 pub mod depth;
 mod error;
 pub mod heuristics;
@@ -63,11 +67,15 @@ pub mod rotate;
 pub mod rotate_chained;
 mod scheduler;
 
+pub use context::RotationContext;
 pub use error::RotationError;
 pub use heuristics::{
-    heuristic1, heuristic2, heuristic2_pruned, HeuristicConfig, HeuristicOutcome,
+    heuristic1, heuristic2, heuristic2_pruned, heuristic2_reference, HeuristicConfig,
+    HeuristicOutcome,
 };
-pub use phase::{rotation_phase, rotation_phase_pruned, BestSet, PhaseStats};
+pub use phase::{
+    rotation_phase, rotation_phase_pruned, rotation_phase_reference, BestSet, PhaseStats,
+};
 pub use portfolio::{
     parallel_indexed, Portfolio, PortfolioOutcome, PruneSignal, SearchTask, SharedBound, TaskReport,
 };

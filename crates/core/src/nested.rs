@@ -382,7 +382,7 @@ pub fn down_rotate_nested(
     for &v in &rotated {
         schedule.clear(v);
     }
-    *retiming = retiming.compose(&Retiming::from_set(outer, rotated.iter().copied()));
+    retiming.apply_set(&rotated, 1);
     schedule.normalize();
     scheduler.reschedule(
         outer,

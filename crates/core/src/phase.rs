@@ -11,6 +11,7 @@ use rotsched_dfg::rng::Fnv64;
 use rotsched_dfg::Dfg;
 use rotsched_sched::{ListScheduler, ResourceSet, Schedule};
 
+use crate::context::RotationContext;
 use crate::error::RotationError;
 use crate::portfolio::PruneSignal;
 use crate::rotate::{down_rotate, RotationState};
@@ -207,6 +208,12 @@ pub fn rotation_phase(
 ///
 /// With `prune = None` this is exactly [`rotation_phase`].
 ///
+/// The phase's rotations run through a [`RotationContext`] built from
+/// the starting state, so per-step work is proportional to the rotated
+/// prefix rather than the graph. Each caller (portfolio worker) gets
+/// its own context; the results are bit-identical to
+/// [`rotation_phase_reference`].
+///
 /// # Errors
 ///
 /// See [`rotation_phase`].
@@ -214,6 +221,67 @@ pub fn rotation_phase(
 pub fn rotation_phase_pruned(
     dfg: &Dfg,
     scheduler: &ListScheduler,
+    resources: &ResourceSet,
+    state: &mut RotationState,
+    best: &mut BestSet,
+    size: u32,
+    alpha: usize,
+    prune: Option<&PruneSignal<'_>>,
+) -> Result<PhaseStats, RotationError> {
+    let mut ctx = RotationContext::new(dfg, scheduler, resources, state)?;
+    run_phase(
+        |state, effective| {
+            ctx.down_rotate(dfg, scheduler, resources, state, effective)
+                .map(|_| ())
+        },
+        dfg,
+        resources,
+        state,
+        best,
+        size,
+        alpha,
+        prune,
+    )
+}
+
+/// The from-scratch twin of [`rotation_phase_pruned`]: identical search,
+/// but every rotation uses the non-incremental
+/// [`down_rotate`](crate::rotate::down_rotate) operator. Kept as the
+/// reference arm for equivalence tests and the `rotation_step`
+/// before/after benchmark.
+///
+/// # Errors
+///
+/// See [`rotation_phase`].
+#[allow(clippy::too_many_arguments)]
+pub fn rotation_phase_reference(
+    dfg: &Dfg,
+    scheduler: &ListScheduler,
+    resources: &ResourceSet,
+    state: &mut RotationState,
+    best: &mut BestSet,
+    size: u32,
+    alpha: usize,
+    prune: Option<&PruneSignal<'_>>,
+) -> Result<PhaseStats, RotationError> {
+    run_phase(
+        |state, effective| down_rotate(dfg, scheduler, resources, state, effective).map(|_| ()),
+        dfg,
+        resources,
+        state,
+        best,
+        size,
+        alpha,
+        prune,
+    )
+}
+
+/// The shared phase loop, parameterized over the rotation operator so
+/// the incremental and reference paths cannot drift apart.
+#[allow(clippy::too_many_arguments)]
+fn run_phase(
+    mut rotate: impl FnMut(&mut RotationState, u32) -> Result<(), RotationError>,
+    dfg: &Dfg,
     resources: &ResourceSet,
     state: &mut RotationState,
     best: &mut BestSet,
@@ -241,7 +309,7 @@ pub fn rotation_phase_pruned(
         if effective == 0 {
             break;
         }
-        down_rotate(dfg, scheduler, resources, state, effective)?;
+        rotate(state, effective)?;
         let wrapped = state.wrapped_length(dfg, resources)?;
         stats.rotations += 1;
         stats.lengths.push(wrapped);
@@ -381,6 +449,34 @@ mod tests {
         a.merge(better);
         assert_eq!(a.length, 3);
         assert_eq!(a.count(), 1);
+    }
+
+    #[test]
+    fn context_phase_matches_reference_phase() {
+        let (g, sched, res) = setup();
+        for size in 1..=3 {
+            let mut st_ctx = initial_state(&g, &sched, &res).unwrap();
+            let mut st_ref = st_ctx.clone();
+            let mut best_ctx = BestSet::new(8);
+            let mut best_ref = BestSet::new(8);
+            let stats_ctx =
+                rotation_phase(&g, &sched, &res, &mut st_ctx, &mut best_ctx, size, 8).unwrap();
+            let stats_ref = rotation_phase_reference(
+                &g,
+                &sched,
+                &res,
+                &mut st_ref,
+                &mut best_ref,
+                size,
+                8,
+                None,
+            )
+            .unwrap();
+            assert_eq!(stats_ctx, stats_ref);
+            assert_eq!(st_ctx, st_ref);
+            assert_eq!(best_ctx.length, best_ref.length);
+            assert_eq!(best_ctx.schedules, best_ref.schedules);
+        }
     }
 
     #[test]

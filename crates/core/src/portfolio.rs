@@ -282,6 +282,12 @@ impl Portfolio {
 
     /// Runs every task and merges the results deterministically.
     ///
+    /// Each worker's phases run through their own
+    /// [`RotationContext`](crate::RotationContext) (built per phase
+    /// inside [`rotation_phase_pruned`]), so the incremental state is
+    /// never shared across threads and the merged outcome is identical
+    /// for every job count.
+    ///
     /// # Errors
     ///
     /// Propagates the lowest-indexed task failure, and lower-bound

@@ -77,9 +77,7 @@ pub fn down_rotate_chained(
     for &v in &rotated {
         state.schedule.clear(v);
     }
-    state.retiming = state
-        .retiming
-        .compose(&Retiming::from_set(dfg, rotated.iter().copied()));
+    state.retiming.apply_set(&rotated, 1);
     state.schedule.normalize();
     scheduler.reschedule(
         dfg,

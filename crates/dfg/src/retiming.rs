@@ -158,6 +158,29 @@ impl Retiming {
         Ok(())
     }
 
+    /// Adds `delta` to `r(v)` for every node of `set` **in place** — the
+    /// delta form of composing with the indicator retiming of `set`
+    /// scaled by `delta`. `apply_set(set, 1)` is one down-rotation of
+    /// `set`, `apply_set(set, -1)` one up-rotation; both are equivalent
+    /// to (but allocation-free compared with)
+    /// `self.compose(&Retiming::from_set(dfg, set))` and its inverse.
+    ///
+    /// Rotation's hot loop uses this so that no `Retiming` is allocated
+    /// per step; [`Retiming::undo_set`] rolls a speculative application
+    /// back exactly.
+    pub fn apply_set(&mut self, set: &[NodeId], delta: i64) {
+        for &v in set {
+            self.values[v] += delta;
+        }
+    }
+
+    /// Rolls back a previous `apply_set(set, delta)` call — the exact
+    /// inverse, for speculative legality probes (apply, check, roll
+    /// back) without cloning the retiming.
+    pub fn undo_set(&mut self, set: &[NodeId], delta: i64) {
+        self.apply_set(set, -delta);
+    }
+
     /// Composition `r1 ∘ r2 (v) = r1(v) + r2(v)` — the combined effect of
     /// performing both retimings (the composite of a sequence of rotations
     /// is the composite of the retimings of the rotated sets).
@@ -346,6 +369,22 @@ mod tests {
         assert_eq!(c.of(ids[0]), 2);
         assert_eq!(c.of(ids[1]), 1);
         assert_eq!(c.of(ids[2]), 0);
+    }
+
+    #[test]
+    fn apply_set_matches_compose_and_undo_restores() {
+        let (g, ids) = diamond();
+        let mut r = Retiming::from_set(&g, [ids[0]]);
+        let composed = r.compose(&Retiming::from_set(&g, [ids[0], ids[1], ids[2]]));
+        let set = [ids[0], ids[1], ids[2]];
+        let before = r.clone();
+        r.apply_set(&set, 1);
+        assert_eq!(r, composed);
+        r.undo_set(&set, 1);
+        assert_eq!(r, before);
+        // Negative deltas model up-rotations.
+        r.apply_set(&[ids[3]], -1);
+        assert_eq!(r.of(ids[3]), -1);
     }
 
     #[test]

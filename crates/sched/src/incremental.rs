@@ -1,0 +1,554 @@
+//! Incremental rescheduling state carried across rotation steps.
+//!
+//! The paper's complexity claim (Section 3.3) is that one rotation costs
+//! `O(|R||V|)` — only the rotated prefix `R` is rescheduled against the
+//! fixed remainder. The from-scratch [`ListScheduler::reschedule`] meets
+//! the *placement* bound but pays `O(V+E)` per call in setup: it rebuilds
+//! the reservation table from every fixed node, re-derives the zero-delay
+//! edge set, revalidates the topological order, and rebinds every
+//! operation. [`SchedContext`] hoists all of that out of the loop:
+//!
+//! * the **reservation table** is maintained incrementally — a rotation
+//!   releases only the prefix nodes' slots, and schedule normalization
+//!   becomes an O(1) origin shift ([`ReservationTable::shift_origin`]);
+//! * the **zero-delay edge set** is repaired locally — retiming the set
+//!   `R` can only flip edges incident to `R`, so the [`ZeroSet`] (and its
+//!   XOR fingerprint, the weight-cache key) updates in O(|R|·deg);
+//! * **priority weights** are repaired instead of recomputed — only the
+//!   reflexive ancestors of a flipped edge's source can change weight,
+//!   so the descendant bitsets / path heights of exactly those nodes are
+//!   rebuilt; repaired states are memoized by the zero-set fingerprint,
+//!   so the periodic part of a rotation sequence re-activates them in
+//!   O(1) (the other policies fall back to the fingerprint-keyed
+//!   scheduler cache);
+//! * the **topological sanity check** is skipped — a legal retiming
+//!   preserves every cycle's delay sum, so the zero-delay subgraph stays
+//!   acyclic by construction (`debug_assert`ed, not recomputed).
+//!
+//! Placement itself funnels through the same [`place_free`] core as the
+//! from-scratch path, which is what makes the incremental results
+//! bit-identical — cross-checked by `debug_assert`s against full
+//! recomputation in debug builds.
+
+use rotsched_dfg::analysis::topo::is_zero_delay_under;
+use rotsched_dfg::{Dfg, EdgeId, NodeId, NodeMap, Retiming};
+
+use crate::error::SchedError;
+use crate::list::{
+    bind_classes, build_fixed_table, place_free, ListScheduler, PlaceInputs, PlaceScratch, ZeroSet,
+};
+use crate::priority::{descendant_sets, PriorityPolicy};
+use crate::reservation::ReservationTable;
+use crate::resources::{ResourceClassId, ResourceSet};
+use crate::schedule::Schedule;
+
+/// Policy-dependent weight state that can be repaired locally.
+#[derive(Clone, Debug)]
+enum WeightsState {
+    /// Descendant counts with the underlying per-node descendant bitsets
+    /// (`words` words per node, row-major), so a dirty node's row is
+    /// rebuilt from its (already-correct) successors' rows.
+    Descendants {
+        words: usize,
+        sets: Vec<u64>,
+        weights: NodeMap<u64>,
+    },
+    /// Path heights; repaired bottom-up over the dirty set.
+    Heights { weights: NodeMap<u64> },
+}
+
+/// A memoized weight state, keyed by the exact zero-delay set it was
+/// computed for. Rotation sequences revisit zero-delay sets (the state
+/// space is eventually periodic), so repaired states are kept and
+/// re-activated by fingerprint instead of repaired again — on dense
+/// graphs the dirty region of a single rotation can approach the whole
+/// graph, and the memo turns that repeated cost into an O(1) swap.
+#[derive(Clone, Debug)]
+struct WeightsEntry {
+    zero: ZeroSet,
+    state: WeightsState,
+}
+
+/// Retained [`WeightsEntry`]s; covers the typical rotation period (one
+/// full revolution of the node set) with room to spare.
+const WEIGHT_MEMO_CAP: usize = 64;
+
+/// Persistent scheduling state for a run of rotations over one `(graph,
+/// scheduler, resources)` triple.
+///
+/// The context must observe every mutation of the schedule it tracks:
+/// [`SchedContext::release`] when a node's reservation is freed,
+/// [`SchedContext::shift`] when the schedule is renumbered,
+/// [`SchedContext::apply_retiming_delta`] after the retiming changed on a
+/// node set, and [`SchedContext::reschedule`] to place freed nodes.
+/// After a reschedule error the context is stale; rebuild it with
+/// [`SchedContext::new`] before further use.
+#[derive(Debug)]
+pub struct SchedContext {
+    policy: PriorityPolicy,
+    /// Structure fingerprint of the graph this context was built for.
+    graph: u64,
+    class_of: NodeMap<ResourceClassId>,
+    table: ReservationTable,
+    zero: ZeroSet,
+    /// Memoized weight states keyed by zero set; `active` indexes the
+    /// entry matching the current `zero`. Empty for policies without a
+    /// local repair rule (mobility, input order), which go through the
+    /// scheduler's fingerprint-keyed cache on each reschedule instead.
+    memo: Vec<WeightsEntry>,
+    active: usize,
+    scratch: PlaceScratch,
+    /// Edge bitset + list of edges whose zero-delay status flipped in the
+    /// current delta (cleared again before `apply_retiming_delta`
+    /// returns).
+    flipped: Vec<u64>,
+    flips: Vec<EdgeId>,
+    /// Node bitset + list of nodes whose weights need repair.
+    dirty: Vec<u64>,
+    dirty_list: Vec<NodeId>,
+    stack: Vec<NodeId>,
+    /// Dirty-restricted out-degrees for the children-first repair order.
+    deg: NodeMap<u32>,
+}
+
+impl SchedContext {
+    /// Builds the context for `schedule` under `retiming`: binds classes,
+    /// reserves every scheduled node's slots, derives the zero-delay set
+    /// and the policy's weight state.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SchedError::UnboundOp`] for an unbindable operation,
+    /// [`SchedError::ResourceOverflow`] when `schedule` already violates
+    /// the limits, and [`SchedError::Graph`] for a cyclic zero-delay
+    /// subgraph.
+    pub fn new(
+        dfg: &Dfg,
+        scheduler: &ListScheduler,
+        resources: &ResourceSet,
+        retiming: Option<&Retiming>,
+        schedule: &Schedule,
+    ) -> Result<Self, SchedError> {
+        let class_of = bind_classes(dfg, resources)?;
+        let table = build_fixed_table(dfg, &class_of, resources, schedule)?;
+        rotsched_dfg::analysis::zero_delay_topological_order(dfg, retiming)
+            .map_err(SchedError::from)?;
+        let zero = ZeroSet::compute(dfg, retiming);
+        let state = match scheduler.policy() {
+            PriorityPolicy::DescendantCount => {
+                let (sets, weights) = descendant_sets(dfg, retiming).map_err(SchedError::from)?;
+                Some(WeightsState::Descendants {
+                    words: dfg.node_count().div_ceil(64),
+                    sets,
+                    weights,
+                })
+            }
+            PriorityPolicy::PathHeight => Some(WeightsState::Heights {
+                weights: PriorityPolicy::PathHeight
+                    .weights(dfg, retiming)
+                    .map_err(SchedError::from)?,
+            }),
+            _ => None,
+        };
+        let memo = state
+            .map(|state| {
+                vec![WeightsEntry {
+                    zero: zero.clone(),
+                    state,
+                }]
+            })
+            .unwrap_or_default();
+        Ok(SchedContext {
+            policy: scheduler.policy(),
+            graph: dfg.structure_fingerprint(),
+            class_of,
+            table,
+            zero,
+            memo,
+            active: 0,
+            scratch: PlaceScratch::new(dfg),
+            flipped: vec![0_u64; dfg.edge_count().div_ceil(64)],
+            flips: Vec::new(),
+            dirty: vec![0_u64; dfg.node_count().div_ceil(64)],
+            dirty_list: Vec::new(),
+            stack: Vec::new(),
+            deg: dfg.node_map(0_u32),
+        })
+    }
+
+    /// Releases `v`'s reservation; `cs` must be its current start step.
+    /// Call before clearing `v` from the schedule.
+    pub fn release(&mut self, dfg: &Dfg, resources: &ResourceSet, v: NodeId, cs: u32) {
+        let class_id = self.class_of[v];
+        let class = resources.class(class_id);
+        let time = dfg.node(v).time();
+        self.table
+            .remove(class_id, class.occupancy(time).map(|off| cs + off));
+    }
+
+    /// Mirrors [`Schedule::shift`]`(delta)` on the reservation table in
+    /// O(1) (an origin move, no data motion).
+    pub fn shift(&mut self, delta: i64) {
+        self.table.shift_origin(delta);
+    }
+
+    /// Repairs the zero-delay set and the weight state after the caller
+    /// changed the retiming on exactly the nodes of `touched` (e.g. via
+    /// [`Retiming::apply_set`]). Only edges incident to `touched` can
+    /// change status, and only reflexive ancestors of a flipped edge's
+    /// source can change weight, so the cost is proportional to the
+    /// affected region, not the graph.
+    pub fn apply_retiming_delta(&mut self, dfg: &Dfg, retiming: &Retiming, touched: &[NodeId]) {
+        debug_assert!(self.flips.is_empty());
+        for &v in touched {
+            for &e in dfg.in_edges(v).iter().chain(dfg.out_edges(v)) {
+                let now = is_zero_delay_under(dfg, Some(retiming), e);
+                if self.zero.set(e, now) {
+                    let i = e.index();
+                    self.flipped[i / 64] |= 1 << (i % 64);
+                    self.flips.push(e);
+                }
+            }
+        }
+        if !self.flips.is_empty() && !self.memo.is_empty() {
+            let key = self.zero.key();
+            if let Some(i) = self
+                .memo
+                .iter()
+                .position(|e| e.zero.key() == key && e.zero == self.zero)
+            {
+                // Re-activate the memoized state: an O(1) index move, no
+                // copy, no repair.
+                self.active = i;
+            } else {
+                let mut state = self.memo[self.active].state.clone();
+                self.repair_weights(dfg, &mut state);
+                self.memo.push(WeightsEntry {
+                    zero: self.zero.clone(),
+                    state,
+                });
+                self.active = self.memo.len() - 1;
+                if self.memo.len() > WEIGHT_MEMO_CAP {
+                    self.memo.remove(0);
+                    self.active -= 1;
+                }
+            }
+        }
+        for &e in &self.flips {
+            let i = e.index();
+            self.flipped[i / 64] &= !(1 << (i % 64));
+        }
+        self.flips.clear();
+    }
+
+    /// Recomputes the weight state of exactly the nodes whose zero-delay
+    /// subtree changed: the reflexive ancestors (over edges that are
+    /// zero-delay before *or* after the delta) of each flipped edge's
+    /// source, processed children-first over the new zero-delay DAG so a
+    /// dirty node always reads already-repaired successors.
+    fn repair_weights(&mut self, dfg: &Dfg, state: &mut WeightsState) {
+        let SchedContext {
+            zero,
+            flipped,
+            flips,
+            dirty,
+            dirty_list,
+            stack,
+            deg,
+            ..
+        } = self;
+        let is_dirty =
+            |dirty: &[u64], v: NodeId| (dirty[v.index() / 64] >> (v.index() % 64)) & 1 == 1;
+
+        // Upward closure from the flip sources. An edge that was zero
+        // before the delta is either still zero or in `flipped`, so
+        // `zero ∪ flipped` covers the union of the old and new DAGs.
+        dirty_list.clear();
+        stack.clear();
+        let mark = |dirty: &mut Vec<u64>,
+                    dirty_list: &mut Vec<NodeId>,
+                    stack: &mut Vec<NodeId>,
+                    v: NodeId| {
+            if (dirty[v.index() / 64] >> (v.index() % 64)) & 1 == 0 {
+                dirty[v.index() / 64] |= 1 << (v.index() % 64);
+                dirty_list.push(v);
+                stack.push(v);
+            }
+        };
+        for &e in flips.iter() {
+            mark(dirty, dirty_list, stack, dfg.edge(e).from());
+        }
+        while let Some(v) = stack.pop() {
+            for &e in dfg.in_edges(v) {
+                let i = e.index();
+                if zero.contains(e) || (flipped[i / 64] >> (i % 64)) & 1 == 1 {
+                    mark(dirty, dirty_list, stack, dfg.edge(e).from());
+                }
+            }
+        }
+
+        // Children-first order via Kahn on the dirty-restricted new DAG.
+        for &v in dirty_list.iter() {
+            deg[v] = 0;
+        }
+        for &v in dirty_list.iter() {
+            for &e in dfg.out_edges(v) {
+                if zero.contains(e) && is_dirty(dirty, dfg.edge(e).to()) {
+                    deg[v] += 1;
+                }
+            }
+        }
+        stack.clear();
+        stack.extend(dirty_list.iter().copied().filter(|&v| deg[v] == 0));
+        let mut processed = 0_usize;
+        while let Some(v) = stack.pop() {
+            match state {
+                WeightsState::Descendants {
+                    words,
+                    sets,
+                    weights,
+                } => {
+                    let words = *words;
+                    let vi = v.index();
+                    sets[vi * words..(vi + 1) * words].fill(0);
+                    for &e in dfg.out_edges(v) {
+                        if zero.contains(e) {
+                            let w = dfg.edge(e).to().index();
+                            sets[vi * words + w / 64] |= 1 << (w % 64);
+                            for k in 0..words {
+                                let bits = sets[w * words + k];
+                                sets[vi * words + k] |= bits;
+                            }
+                        }
+                    }
+                    weights[v] = sets[vi * words..(vi + 1) * words]
+                        .iter()
+                        .map(|w| u64::from(w.count_ones()))
+                        .sum();
+                }
+                WeightsState::Heights { weights } => {
+                    let mut below = 0_u64;
+                    for &e in dfg.out_edges(v) {
+                        if zero.contains(e) {
+                            below = below.max(weights[dfg.edge(e).to()]);
+                        }
+                    }
+                    weights[v] = below + u64::from(dfg.node(v).time().max(1));
+                }
+            }
+            processed += 1;
+            for &e in dfg.in_edges(v) {
+                if zero.contains(e) {
+                    let u = dfg.edge(e).from();
+                    if is_dirty(dirty, u) {
+                        deg[u] -= 1;
+                        if deg[u] == 0 {
+                            stack.push(u);
+                        }
+                    }
+                }
+            }
+        }
+        debug_assert_eq!(
+            processed,
+            dirty_list.len(),
+            "dirty subgraph of a legal retiming is acyclic"
+        );
+        for &v in dirty_list.iter() {
+            dirty[v.index() / 64] &= !(1 << (v.index() % 64));
+        }
+    }
+
+    /// Places the nodes of `free` (already released via
+    /// [`SchedContext::release`] and cleared from `schedule`) using the
+    /// maintained table, zero-delay set and weights. Funnels through the
+    /// same placement core as [`ListScheduler::reschedule`], so the
+    /// result is bit-identical to a from-scratch call — `debug_assert`ed
+    /// here against full recomputation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SchedError::NoFeasibleSlot`] when a free node is boxed
+    /// in by fixed successors (as the from-scratch path would); the
+    /// context is stale afterwards.
+    pub fn reschedule(
+        &mut self,
+        dfg: &Dfg,
+        scheduler: &ListScheduler,
+        retiming: Option<&Retiming>,
+        resources: &ResourceSet,
+        schedule: &mut Schedule,
+        free: &[NodeId],
+    ) -> Result<(), SchedError> {
+        debug_assert_eq!(
+            self.policy,
+            scheduler.policy(),
+            "context/scheduler mismatch"
+        );
+        debug_assert_eq!(
+            self.graph,
+            dfg.structure_fingerprint(),
+            "context/graph mismatch"
+        );
+        #[cfg(debug_assertions)]
+        {
+            assert_eq!(
+                self.zero,
+                ZeroSet::compute(dfg, retiming),
+                "incremental zero-delay set diverged"
+            );
+            assert!(
+                rotsched_dfg::analysis::zero_delay_topological_order(dfg, retiming).is_ok(),
+                "legal retimings keep the zero-delay subgraph acyclic"
+            );
+            let rebuilt = build_fixed_table(dfg, &self.class_of, resources, schedule)
+                .expect("fixed part stayed feasible");
+            assert!(
+                self.table.same_usage(&rebuilt),
+                "incremental reservation table diverged"
+            );
+        }
+
+        let cached;
+        let weights: &NodeMap<u64> = match self.memo.get(self.active) {
+            Some(entry) => {
+                debug_assert_eq!(entry.zero, self.zero, "active weight entry is stale");
+                match &entry.state {
+                    WeightsState::Descendants { weights, .. }
+                    | WeightsState::Heights { weights } => weights,
+                }
+            }
+            None => {
+                cached = scheduler
+                    .cached_weights_for(dfg, retiming, &self.zero)
+                    .map_err(SchedError::from)?;
+                &cached
+            }
+        };
+        #[cfg(debug_assertions)]
+        {
+            let recomputed = self
+                .policy
+                .weights(dfg, retiming)
+                .expect("weights computable on a legal retiming");
+            assert_eq!(
+                weights.as_slice(),
+                recomputed.as_slice(),
+                "incrementally repaired weights diverged"
+            );
+        }
+
+        let inputs = PlaceInputs {
+            dfg,
+            zero: &self.zero,
+            weights,
+            class_of: &self.class_of,
+            resources,
+        };
+        place_free(&inputs, &mut self.table, schedule, free, &mut self.scratch)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rotsched_dfg::{DfgBuilder, OpKind};
+
+    /// A small cyclic graph with a delayed back edge, so rotations have
+    /// zero-delay flips to repair.
+    fn ring() -> Dfg {
+        DfgBuilder::new("ring")
+            .node("a", OpKind::Add, 1)
+            .node("b", OpKind::Mul, 2)
+            .node("c", OpKind::Add, 1)
+            .wire("a", "b")
+            .wire("b", "c")
+            .edge("c", "a", 2)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn context_reschedule_matches_from_scratch() {
+        let dfg = ring();
+        let resources = ResourceSet::adders_multipliers(1, 1, false);
+        let scheduler = ListScheduler::default();
+        let mut retiming = Retiming::zero(&dfg);
+        let mut schedule = scheduler.schedule(&dfg, None, &resources).unwrap();
+
+        let mut ctx =
+            SchedContext::new(&dfg, &scheduler, &resources, Some(&retiming), &schedule).unwrap();
+
+        // Rotate the first control step down, twice, checking against the
+        // from-scratch reschedule each time.
+        for _ in 0..2 {
+            let rotated = schedule.prefix_nodes(1);
+            for &v in &rotated {
+                let cs = schedule.start(v).unwrap();
+                ctx.release(&dfg, &resources, v, cs);
+                schedule.clear(v);
+            }
+            retiming.apply_set(&rotated, 1);
+            ctx.apply_retiming_delta(&dfg, &retiming, &rotated);
+            let first = schedule.first_step().unwrap();
+            if first != 1 {
+                schedule.shift(1 - i64::from(first));
+                ctx.shift(1 - i64::from(first));
+            }
+            let mut reference = schedule.clone();
+            ctx.reschedule(
+                &dfg,
+                &scheduler,
+                Some(&retiming),
+                &resources,
+                &mut schedule,
+                &rotated,
+            )
+            .unwrap();
+            scheduler
+                .reschedule(&dfg, Some(&retiming), &resources, &mut reference, &rotated)
+                .unwrap();
+            assert_eq!(schedule, reference);
+        }
+    }
+
+    #[test]
+    fn weight_repair_tracks_flips_for_all_local_policies() {
+        for policy in [PriorityPolicy::DescendantCount, PriorityPolicy::PathHeight] {
+            let dfg = ring();
+            let resources = ResourceSet::adders_multipliers(1, 1, false);
+            let scheduler = ListScheduler::new(policy);
+            let mut retiming = Retiming::zero(&dfg);
+            let mut schedule = scheduler.schedule(&dfg, None, &resources).unwrap();
+            let mut ctx =
+                SchedContext::new(&dfg, &scheduler, &resources, Some(&retiming), &schedule)
+                    .unwrap();
+            for _ in 0..3 {
+                let rotated = schedule.prefix_nodes(1);
+                for &v in &rotated {
+                    let cs = schedule.start(v).unwrap();
+                    ctx.release(&dfg, &resources, v, cs);
+                    schedule.clear(v);
+                }
+                retiming.apply_set(&rotated, 1);
+                ctx.apply_retiming_delta(&dfg, &retiming, &rotated);
+                let first = schedule.first_step().unwrap();
+                if first != 1 {
+                    schedule.shift(1 - i64::from(first));
+                    ctx.shift(1 - i64::from(first));
+                }
+                // The debug_asserts inside compare weights and table
+                // against full recomputation.
+                ctx.reschedule(
+                    &dfg,
+                    &scheduler,
+                    Some(&retiming),
+                    &resources,
+                    &mut schedule,
+                    &rotated,
+                )
+                .unwrap();
+            }
+        }
+    }
+}

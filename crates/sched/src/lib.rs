@@ -47,6 +47,7 @@ pub mod binding;
 pub mod chaining;
 mod error;
 pub mod executor;
+mod incremental;
 mod list;
 mod priority;
 pub mod prologue;
@@ -62,7 +63,8 @@ pub use binding::{bind_datapath, DatapathBinding};
 pub use chaining::{ChainTiming, ChainedSchedule, ChainedScheduler};
 pub use error::SchedError;
 pub use executor::{simulate, SimulationError, SimulationReport};
-pub use list::ListScheduler;
+pub use incremental::SchedContext;
+pub use list::{ListScheduler, ZeroSet};
 pub use priority::PriorityPolicy;
 pub use prologue::{LoopEvent, LoopPhase, LoopSchedule};
 pub use registers::{register_pressure, RegisterReport};

@@ -15,15 +15,15 @@
 //!
 //! [`ResourceClass`]: crate::ResourceClass
 
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 
 use rotsched_dfg::analysis::topo::is_zero_delay_under;
-use rotsched_dfg::{Dfg, DfgError, NodeId, NodeMap, Retiming};
+use rotsched_dfg::{Dfg, DfgError, EdgeId, NodeId, NodeMap, Retiming};
 
 use crate::error::SchedError;
 use crate::priority::PriorityPolicy;
 use crate::reservation::ReservationTable;
-use crate::resources::ResourceSet;
+use crate::resources::{ResourceClassId, ResourceSet};
 use crate::schedule::Schedule;
 
 /// Capacity of the per-scheduler priority-weight cache. Rotation search
@@ -31,15 +31,78 @@ use crate::schedule::Schedule;
 /// small LRU captures nearly all repeats without unbounded growth.
 const WEIGHT_CACHE_CAP: usize = 32;
 
+/// Deterministic per-edge hash (the splitmix64 finalizer) for the
+/// XOR-accumulated fingerprint of a zero-delay edge set. Flipping one
+/// edge's membership is a single XOR, which is what lets the rotation
+/// context maintain the cache key in O(flipped edges) per step.
+pub(crate) fn edge_hash(edge_index: usize) -> u64 {
+    let mut z = (edge_index as u64).wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// The zero-delay edge set of `G_r`: an exact bitset plus a cheap XOR
+/// fingerprint over per-edge hashes. The fingerprint is the weight-cache
+/// key (collisions fall back to the exact bitset comparison, so a
+/// collision costs a compare, never a wrong answer) and is maintained
+/// incrementally by [`SchedContext`](crate::SchedContext).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ZeroSet {
+    bits: Vec<u64>,
+    key: u64,
+}
+
+impl ZeroSet {
+    /// Evaluates every edge's retimed delay once.
+    #[must_use]
+    pub fn compute(dfg: &Dfg, retiming: Option<&Retiming>) -> Self {
+        let mut bits = vec![0_u64; dfg.edge_count().div_ceil(64)];
+        let mut key = 0_u64;
+        for (i, e) in dfg.edge_ids().enumerate() {
+            if is_zero_delay_under(dfg, retiming, e) {
+                bits[i / 64] |= 1 << (i % 64);
+                key ^= edge_hash(i);
+            }
+        }
+        ZeroSet { bits, key }
+    }
+
+    /// Whether edge `e` is zero-delay in this set.
+    #[must_use]
+    pub fn contains(&self, e: EdgeId) -> bool {
+        let i = e.index();
+        (self.bits[i / 64] >> (i % 64)) & 1 == 1
+    }
+
+    /// Sets edge `e`'s membership, updating the fingerprint; returns
+    /// `true` when the membership actually changed.
+    pub fn set(&mut self, e: EdgeId, zero: bool) -> bool {
+        if self.contains(e) == zero {
+            return false;
+        }
+        let i = e.index();
+        self.bits[i / 64] ^= 1 << (i % 64);
+        self.key ^= edge_hash(i);
+        true
+    }
+
+    /// The XOR fingerprint (the weight-cache key component).
+    #[must_use]
+    pub fn key(&self) -> u64 {
+        self.key
+    }
+}
+
 /// One memoized weight computation.
 #[derive(Clone, Debug)]
 struct WeightEntry {
     /// [`Dfg::structure_fingerprint`] of the graph the weights belong to.
     graph: u64,
-    /// Exact zero-delay edge bitset under the retiming (bit `i` = edge
-    /// `i` has zero retimed delay). Compared in full — no collisions.
-    zero_bits: Vec<u64>,
-    weights: NodeMap<u64>,
+    /// Exact zero-delay edge set under the retiming; the embedded
+    /// fingerprint is compared first, the bitset confirms on a match.
+    zero: ZeroSet,
+    weights: Arc<NodeMap<u64>>,
 }
 
 /// LRU cache of priority weights, most recently used last.
@@ -136,49 +199,62 @@ impl ListScheduler {
     }
 
     /// [`PriorityPolicy::weights`] memoized on the retiming's effect on
-    /// the zero-delay edge set.
+    /// the zero-delay edge set. Returns a shared handle — a hit clones an
+    /// `Arc`, never the weight vector.
     ///
     /// Two retimings that expose the same zero-delay DAG (and many do —
     /// a rotation only redistributes delays along a few edges) hit the
     /// same entry; the key also includes the graph's structure
     /// fingerprint so one scheduler can serve interleaved graphs, as the
     /// bench sweeps do.
-    fn cached_weights(
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`DfgError`] from the underlying weight computation
+    /// (e.g. a cyclic zero-delay subgraph).
+    pub fn cached_weights(
         &self,
         dfg: &Dfg,
         retiming: Option<&Retiming>,
-    ) -> Result<NodeMap<u64>, DfgError> {
+    ) -> Result<Arc<NodeMap<u64>>, DfgError> {
+        let zero = ZeroSet::compute(dfg, retiming);
+        self.cached_weights_for(dfg, retiming, &zero)
+    }
+
+    /// [`Self::cached_weights`] with the caller's precomputed zero-delay
+    /// set, so the incrementally-maintained [`ZeroSet`] of a rotation
+    /// context probes the cache without the O(E) rebuild. The XOR
+    /// fingerprint is checked first; the exact bitset confirms a match,
+    /// so a hash collision costs one comparison, never a wrong answer.
+    pub(crate) fn cached_weights_for(
+        &self,
+        dfg: &Dfg,
+        retiming: Option<&Retiming>,
+        zero: &ZeroSet,
+    ) -> Result<Arc<NodeMap<u64>>, DfgError> {
         let graph = dfg.structure_fingerprint();
-        let mut zero_bits = vec![0_u64; dfg.edge_count().div_ceil(64)];
-        for (i, e) in dfg.edge_ids().enumerate() {
-            if is_zero_delay_under(dfg, retiming, e) {
-                zero_bits[i / 64] |= 1 << (i % 64);
-            }
-        }
         {
             let mut cache = self.locked_cache();
-            if let Some(pos) = cache
-                .entries
-                .iter()
-                .position(|entry| entry.graph == graph && entry.zero_bits == zero_bits)
-            {
+            if let Some(pos) = cache.entries.iter().position(|entry| {
+                entry.graph == graph && entry.zero.key == zero.key && entry.zero.bits == zero.bits
+            }) {
                 cache.hits += 1;
                 let entry = cache.entries.remove(pos);
-                let weights = entry.weights.clone();
+                let weights = Arc::clone(&entry.weights);
                 cache.entries.push(entry); // most recently used last
                 return Ok(weights);
             }
             cache.misses += 1;
         }
-        let weights = self.policy.weights(dfg, retiming)?;
+        let weights = Arc::new(self.policy.weights(dfg, retiming)?);
         let mut cache = self.locked_cache();
         if cache.entries.len() >= WEIGHT_CACHE_CAP {
             cache.entries.remove(0);
         }
         cache.entries.push(WeightEntry {
             graph,
-            zero_bits,
-            weights: weights.clone(),
+            zero: zero.clone(),
+            weights: Arc::clone(&weights),
         });
         Ok(weights)
     }
@@ -230,191 +306,297 @@ impl ListScheduler {
         schedule: &mut Schedule,
         free: &[NodeId],
     ) -> Result<(), SchedError> {
+        let zero = ZeroSet::compute(dfg, retiming);
         let weights = self
-            .cached_weights(dfg, retiming)
+            .cached_weights_for(dfg, retiming, &zero)
             .map_err(SchedError::from)?;
 
-        let mut is_free = dfg.node_map(false);
         for &v in free {
-            is_free[v] = true;
             schedule.clear(v);
         }
 
-        // Bind operations to classes up front.
-        let mut class_of = dfg.node_map(None);
-        for (v, node) in dfg.nodes() {
-            class_of[v] = Some(
-                resources
-                    .class_for(node.op())
-                    .ok_or(SchedError::UnboundOp { node: v })?,
-            );
-        }
+        let class_of = bind_classes(dfg, resources)?;
+        let mut table = build_fixed_table(dfg, &class_of, resources, schedule)?;
 
-        // Reserve the fixed nodes' units.
-        let mut table = ReservationTable::new(resources);
-        for (v, cs) in schedule.iter() {
-            let class_id = class_of[v].expect("all ops bound above");
-            let class = resources.class(class_id);
-            let steps: Vec<u32> = class
-                .occupancy(dfg.node(v).time())
-                .map(|off| cs + off)
-                .collect();
-            if !table.can_place(class_id, steps.iter().copied()) {
-                let bad = steps
-                    .iter()
-                    .copied()
-                    .find(|&s| table.used(class_id, s) >= class.count())
-                    .unwrap_or(cs);
-                return Err(SchedError::ResourceOverflow {
-                    class: class.name().to_owned(),
-                    cs: bad,
-                    used: table.used(class_id, bad) + 1,
-                    limit: class.count(),
-                });
-            }
-            table.place(class_id, steps);
-        }
-
-        // Dependency bookkeeping over the zero-delay DAG of G_r.
-        // blocking[v] = number of *unscheduled free* zero-delay preds.
-        let mut blocking = dfg.node_map(0_u32);
-        for v in free.iter().copied() {
-            for &e in dfg.in_edges(v) {
-                if is_zero_delay_under(dfg, retiming, e) {
-                    let u = dfg.edge(e).from();
-                    if is_free[u] {
-                        blocking[v] += 1;
-                    }
-                }
-            }
-        }
         // Sanity: the zero-delay subgraph must be acyclic overall.
         rotsched_dfg::analysis::zero_delay_topological_order(dfg, retiming)
             .map_err(SchedError::from)?;
 
-        // Latest start allowed by *fixed* zero-delay successors: v must
-        // finish before any fixed successor w starts, i.e.
-        // s(v) <= s(w) - t(v). A bound of 0 marks an unsatisfiable box-in
-        // (control steps are 1-based). Fixed nodes never move, so this is
-        // computed once.
-        let mut latest: rotsched_dfg::NodeMap<Option<u32>> = dfg.node_map(None);
-        for &v in free {
-            let t = dfg.node(v).time().max(1);
-            for &e in dfg.out_edges(v) {
-                if is_zero_delay_under(dfg, retiming, e) {
-                    let w = dfg.edge(e).to();
-                    if !is_free[w] {
-                        if let Some(sw) = schedule.start(w) {
-                            let bound = sw.saturating_sub(t);
-                            latest[v] = Some(latest[v].map_or(bound, |a| a.min(bound)));
-                        }
+        let inputs = PlaceInputs {
+            dfg,
+            zero: &zero,
+            weights: &weights,
+            class_of: &class_of,
+            resources,
+        };
+        let mut scratch = PlaceScratch::new(dfg);
+        place_free(&inputs, &mut table, schedule, free, &mut scratch)
+    }
+}
+
+/// Binds every operation to its resource class up front.
+pub(crate) fn bind_classes(
+    dfg: &Dfg,
+    resources: &ResourceSet,
+) -> Result<NodeMap<ResourceClassId>, SchedError> {
+    let mut class_of = dfg.node_map(ResourceClassId::from_index(0));
+    for (v, node) in dfg.nodes() {
+        class_of[v] = resources
+            .class_for(node.op())
+            .ok_or(SchedError::UnboundOp { node: v })?;
+    }
+    Ok(class_of)
+}
+
+/// Builds a reservation table holding every scheduled node's slots,
+/// reporting [`SchedError::ResourceOverflow`] if the schedule already
+/// violates the resource limits.
+pub(crate) fn build_fixed_table(
+    dfg: &Dfg,
+    class_of: &NodeMap<ResourceClassId>,
+    resources: &ResourceSet,
+    schedule: &Schedule,
+) -> Result<ReservationTable, SchedError> {
+    let mut table = ReservationTable::new(resources);
+    for (v, cs) in schedule.iter() {
+        let class_id = class_of[v];
+        let class = resources.class(class_id);
+        let time = dfg.node(v).time();
+        if !table.can_place(class_id, class.occupancy(time).map(|off| cs + off)) {
+            let bad = class
+                .occupancy(time)
+                .map(|off| cs + off)
+                .find(|&s| table.used(class_id, s) >= class.count())
+                .unwrap_or(cs);
+            return Err(SchedError::ResourceOverflow {
+                class: class.name().to_owned(),
+                cs: bad,
+                used: table.used(class_id, bad) + 1,
+                limit: class.count(),
+            });
+        }
+        table.place(class_id, class.occupancy(time).map(|off| cs + off));
+    }
+    Ok(table)
+}
+
+/// The immutable inputs of one placement pass.
+pub(crate) struct PlaceInputs<'a> {
+    pub(crate) dfg: &'a Dfg,
+    pub(crate) zero: &'a ZeroSet,
+    pub(crate) weights: &'a NodeMap<u64>,
+    pub(crate) class_of: &'a NodeMap<ResourceClassId>,
+    pub(crate) resources: &'a ResourceSet,
+}
+
+/// Reusable buffers for [`place_free`]. Entries are only ever written
+/// for the free set of the current call (and `is_free` is cleared again
+/// on exit), so a persistent scratch keeps each rotation step free of
+/// O(V) allocations.
+#[derive(Clone, Debug)]
+pub(crate) struct PlaceScratch {
+    is_free: NodeMap<bool>,
+    blocking: NodeMap<u32>,
+    latest: NodeMap<Option<u32>>,
+    ready: Vec<NodeId>,
+}
+
+impl PlaceScratch {
+    pub(crate) fn new(dfg: &Dfg) -> Self {
+        PlaceScratch {
+            is_free: dfg.node_map(false),
+            blocking: dfg.node_map(0_u32),
+            latest: dfg.node_map(None),
+            ready: Vec::new(),
+        }
+    }
+}
+
+/// The placement core shared by [`ListScheduler::reschedule`] and the
+/// incremental [`SchedContext`](crate::SchedContext): places the nodes
+/// of `free` into `schedule`/`table` without moving any fixed node. The
+/// free nodes must already be cleared from both. Both callers funnel
+/// through this single decision procedure, which is what makes the
+/// incremental path bit-identical to the from-scratch one.
+pub(crate) fn place_free(
+    inputs: &PlaceInputs<'_>,
+    table: &mut ReservationTable,
+    schedule: &mut Schedule,
+    free: &[NodeId],
+    scratch: &mut PlaceScratch,
+) -> Result<(), SchedError> {
+    for &v in free {
+        scratch.is_free[v] = true;
+        scratch.blocking[v] = 0;
+        scratch.latest[v] = None;
+    }
+    let result = place_free_inner(inputs, table, schedule, free, scratch);
+    for &v in free {
+        scratch.is_free[v] = false;
+    }
+    result
+}
+
+fn place_free_inner(
+    inputs: &PlaceInputs<'_>,
+    table: &mut ReservationTable,
+    schedule: &mut Schedule,
+    free: &[NodeId],
+    scratch: &mut PlaceScratch,
+) -> Result<(), SchedError> {
+    let PlaceInputs {
+        dfg,
+        zero,
+        weights,
+        class_of,
+        resources,
+    } = *inputs;
+    let PlaceScratch {
+        is_free,
+        blocking,
+        latest,
+        ready,
+    } = scratch;
+
+    // Dependency bookkeeping over the zero-delay DAG of G_r.
+    // blocking[v] = number of *unscheduled free* zero-delay preds.
+    for v in free.iter().copied() {
+        for &e in dfg.in_edges(v) {
+            if zero.contains(e) {
+                let u = dfg.edge(e).from();
+                if is_free[u] {
+                    blocking[v] += 1;
+                }
+            }
+        }
+    }
+
+    // Latest start allowed by *fixed* zero-delay successors: v must
+    // finish before any fixed successor w starts, i.e.
+    // s(v) <= s(w) - t(v). A bound of 0 marks an unsatisfiable box-in
+    // (control steps are 1-based). Fixed nodes never move, so this is
+    // computed once.
+    for &v in free {
+        let t = dfg.node(v).time().max(1);
+        for &e in dfg.out_edges(v) {
+            if zero.contains(e) {
+                let w = dfg.edge(e).to();
+                if !is_free[w] {
+                    if let Some(sw) = schedule.start(w) {
+                        let bound = sw.saturating_sub(t);
+                        latest[v] = Some(latest[v].map_or(bound, |a| a.min(bound)));
                     }
                 }
             }
         }
+    }
 
-        // Earliest start from already-scheduled zero-delay predecessors.
-        let earliest_start = |v: NodeId, schedule: &Schedule| -> u32 {
-            let mut earliest = 1;
-            for &e in dfg.in_edges(v) {
-                if is_zero_delay_under(dfg, retiming, e) {
-                    let u = dfg.edge(e).from();
-                    if let Some(su) = schedule.start(u) {
-                        earliest = earliest.max(su + dfg.node(u).time().max(1));
-                    }
+    // Earliest start from already-scheduled zero-delay predecessors.
+    let earliest_start = |v: NodeId, schedule: &Schedule| -> u32 {
+        let mut earliest = 1;
+        for &e in dfg.in_edges(v) {
+            if zero.contains(e) {
+                let u = dfg.edge(e).from();
+                if let Some(su) = schedule.start(u) {
+                    earliest = earliest.max(su + dfg.node(u).time().max(1));
                 }
             }
-            earliest
-        };
+        }
+        earliest
+    };
 
-        let mut remaining: usize = free.len();
-        let mut ready: Vec<NodeId> = free.iter().copied().filter(|&v| blocking[v] == 0).collect();
+    let mut remaining: usize = free.len();
+    ready.clear();
+    ready.extend(free.iter().copied().filter(|&v| blocking[v] == 0));
 
-        // A safe horizon: everything fits after the fixed part even fully
-        // serialized.
-        let horizon = table.horizon() + u32::try_from(dfg.total_time()).unwrap_or(u32::MAX) + 1;
+    // A safe horizon: everything fits after the fixed part even fully
+    // serialized.
+    let horizon = table.horizon() + u32::try_from(dfg.total_time()).unwrap_or(u32::MAX) + 1;
 
-        let mut cs: u32 = 1;
-        while remaining > 0 {
-            if cs > horizon {
-                let stuck = free
-                    .iter()
-                    .copied()
-                    .find(|&v| schedule.start(v).is_none())
-                    .expect("remaining > 0 implies an unscheduled free node");
-                return Err(SchedError::NoFeasibleSlot { node: stuck });
-            }
+    let mut cs: u32 = 1;
+    while remaining > 0 {
+        // Steps before every ready node's earliest start place nothing —
+        // skip them wholesale. Decisions are unchanged: a node whose
+        // earliest start exceeds `cs` is passed over (and its deadline
+        // not examined) by the scan below anyway.
+        if let Some(min_earliest) = ready.iter().map(|&v| earliest_start(v, schedule)).min() {
+            cs = cs.max(min_earliest);
+        }
+        if cs > horizon {
+            let stuck = free
+                .iter()
+                .copied()
+                .find(|&v| schedule.start(v).is_none())
+                .expect("remaining > 0 implies an unscheduled free node");
+            return Err(SchedError::NoFeasibleSlot { node: stuck });
+        }
 
-            // Ready nodes whose precedence admits this step: nodes boxed
-            // in by fixed successors (earliest deadline) first, then by
-            // weight. Unboxed nodes have no deadline, so plain full
-            // scheduling is unaffected.
-            ready.sort_by_key(|&v| {
-                (
-                    latest[v].unwrap_or(u32::MAX),
-                    core::cmp::Reverse(weights[v]),
-                    v,
-                )
-            });
-            let mut placed_any = true;
-            while placed_any {
-                placed_any = false;
-                let mut i = 0;
-                while i < ready.len() {
-                    let v = ready[i];
-                    let earliest = earliest_start(v, schedule);
-                    if earliest > cs {
-                        i += 1;
-                        continue;
+        // Ready nodes whose precedence admits this step: nodes boxed
+        // in by fixed successors (earliest deadline) first, then by
+        // weight. Unboxed nodes have no deadline, so plain full
+        // scheduling is unaffected.
+        ready.sort_by_key(|&v| {
+            (
+                latest[v].unwrap_or(u32::MAX),
+                core::cmp::Reverse(weights[v]),
+                v,
+            )
+        });
+        let mut placed_any = true;
+        while placed_any {
+            placed_any = false;
+            let mut i = 0;
+            while i < ready.len() {
+                let v = ready[i];
+                let earliest = earliest_start(v, schedule);
+                if earliest > cs {
+                    i += 1;
+                    continue;
+                }
+                if let Some(bound) = latest[v] {
+                    if cs > bound {
+                        return Err(SchedError::NoFeasibleSlot { node: v });
                     }
-                    if let Some(bound) = latest[v] {
-                        if cs > bound {
-                            return Err(SchedError::NoFeasibleSlot { node: v });
-                        }
-                    }
-                    let class_id = class_of[v].expect("all ops bound above");
-                    let class = resources.class(class_id);
-                    let steps: Vec<u32> = class
-                        .occupancy(dfg.node(v).time())
-                        .map(|off| cs + off)
-                        .collect();
-                    if table.can_place(class_id, steps.iter().copied()) {
-                        table.place(class_id, steps);
-                        schedule.set(v, cs);
-                        remaining -= 1;
-                        ready.swap_remove(i);
-                        placed_any = true;
-                        // Unblock free successors.
-                        for &e in dfg.out_edges(v) {
-                            if is_zero_delay_under(dfg, retiming, e) {
-                                let w = dfg.edge(e).to();
-                                if is_free[w] && schedule.start(w).is_none() {
-                                    blocking[w] -= 1;
-                                    if blocking[w] == 0 {
-                                        ready.push(w);
-                                    }
+                }
+                let class_id = class_of[v];
+                let class = resources.class(class_id);
+                let time = dfg.node(v).time();
+                if table.can_place(class_id, class.occupancy(time).map(|off| cs + off)) {
+                    table.place(class_id, class.occupancy(time).map(|off| cs + off));
+                    schedule.set(v, cs);
+                    remaining -= 1;
+                    ready.swap_remove(i);
+                    placed_any = true;
+                    // Unblock free successors.
+                    for &e in dfg.out_edges(v) {
+                        if zero.contains(e) {
+                            let w = dfg.edge(e).to();
+                            if is_free[w] && schedule.start(w).is_none() {
+                                blocking[w] -= 1;
+                                if blocking[w] == 0 {
+                                    ready.push(w);
                                 }
                             }
                         }
-                    } else {
-                        i += 1;
                     }
-                }
-                if placed_any {
-                    // Newly unblocked nodes may also fit in this step.
-                    ready.sort_by_key(|&v| {
-                        (
-                            latest[v].unwrap_or(u32::MAX),
-                            core::cmp::Reverse(weights[v]),
-                            v,
-                        )
-                    });
+                } else {
+                    i += 1;
                 }
             }
-            cs += 1;
+            if placed_any {
+                // Newly unblocked nodes may also fit in this step.
+                ready.sort_by_key(|&v| {
+                    (
+                        latest[v].unwrap_or(u32::MAX),
+                        core::cmp::Reverse(weights[v]),
+                        v,
+                    )
+                });
+            }
         }
-        Ok(())
+        cs += 1;
     }
+    Ok(())
 }
 
 #[cfg(test)]

@@ -66,6 +66,17 @@ impl PriorityPolicy {
 /// Transitive descendant counts in the zero-delay DAG, via reverse
 /// topological accumulation of descendant bitsets.
 fn descendant_counts(dfg: &Dfg, retiming: Option<&Retiming>) -> Result<NodeMap<u64>, DfgError> {
+    descendant_sets(dfg, retiming).map(|(_, weights)| weights)
+}
+
+/// [`descendant_counts`] plus the underlying per-node descendant bitsets
+/// (`words = node_count.div_ceil(64)` words per node, row-major). The
+/// incremental context keeps the rows so a rotation can repair only the
+/// nodes whose zero-delay subtree actually changed.
+pub(crate) fn descendant_sets(
+    dfg: &Dfg,
+    retiming: Option<&Retiming>,
+) -> Result<(Vec<u64>, NodeMap<u64>), DfgError> {
     let order = zero_delay_topological_order(dfg, retiming)?;
     let n = dfg.node_count();
     let words = n.div_ceil(64);
@@ -92,7 +103,7 @@ fn descendant_counts(dfg: &Dfg, retiming: Option<&Retiming>) -> Result<NodeMap<u
             .map(|w| u64::from(w.count_ones()))
             .sum();
     }
-    Ok(weights)
+    Ok((sets, weights))
 }
 
 /// Longest zero-delay path (in computation time) from each node to a sink,

@@ -118,9 +118,12 @@ impl Schedule {
     }
 
     /// Renumbers control steps so the first occupied one becomes 1.
+    /// Already-normalized schedules are left untouched (no O(V) shift).
     pub fn normalize(&mut self) {
         if let Some(first) = self.first_step() {
-            self.shift(1 - i64::from(first));
+            if first != 1 {
+                self.shift(1 - i64::from(first));
+            }
         }
     }
 
