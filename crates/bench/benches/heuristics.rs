@@ -30,7 +30,7 @@ fn main() {
         // The from-scratch ablation of the incremental rotation context
         // (identical output, see DESIGN.md §6).
         h.bench(&format!("heuristic2-reference/{name}"), || {
-            heuristic2_reference(&g, &sched, &res, &config).expect("schedulable");
+            heuristic2_reference(&g, &sched, &res, &config, None).expect("schedulable");
         });
         h.bench(&format!("heuristic1/{name}"), || {
             heuristic1(&g, &sched, &res, &config).expect("schedulable");

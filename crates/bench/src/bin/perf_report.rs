@@ -11,6 +11,13 @@
 //!                     lengths and the rows fingerprint against a
 //!                     checked-in baseline JSON, exit non-zero on any
 //!                     regression. No timing, no report written.
+//!   --degradation     anytime-degradation mode: for each paper
+//!                     benchmark, run Heuristic 2 under growing
+//!                     rotation budgets and print the incumbent best
+//!                     length at each truncation point. Deterministic
+//!                     (rotation budgets, no clocks); no report
+//!                     written. Source of EXPERIMENTS.md's
+//!                     degradation-curve table.
 //! ```
 //!
 //! Times the full Table-3 sweep (every benchmark × resource-config
@@ -26,7 +33,10 @@ use rotsched_bench::{format_row, measure_rs};
 use rotsched_benchmarks::{
     allpole, biquad, diffeq, lattice4, random_dfg, RandomDfgConfig, TimingModel,
 };
-use rotsched_core::{down_rotate, initial_state, parallel_indexed, RotationContext};
+use rotsched_core::{
+    down_rotate, heuristic2_pruned, initial_state, parallel_indexed, Budget, HeuristicConfig,
+    RotationContext,
+};
 use rotsched_dfg::rng::Fnv64;
 use rotsched_dfg::Dfg;
 use rotsched_sched::{ListScheduler, ResourceSet};
@@ -41,6 +51,7 @@ struct Options {
     out: String,
     check: Option<String>,
     reps: usize,
+    degradation: bool,
 }
 
 fn main() {
@@ -55,6 +66,10 @@ fn main() {
 
     if let Some(baseline) = &opts.check {
         std::process::exit(check_against_baseline(&graphs, baseline));
+    }
+    if opts.degradation {
+        degradation_report(&graphs);
+        return;
     }
 
     let cells = TABLE_3.len();
@@ -235,6 +250,48 @@ fn step_percentiles(graphs: &[(&str, Dfg)]) -> (StepPercentiles, StepPercentiles
     (percentiles(&mut ctx_ns), percentiles(&mut scratch_ns))
 }
 
+/// Anytime-degradation mode: incumbent best length as a function of the
+/// rotation budget, per benchmark. Rotation budgets stop the search at
+/// exact down-rotation counts, so this table is fully deterministic and
+/// directly reproducible.
+fn degradation_report(graphs: &[(&str, Dfg)]) {
+    let res = ResourceSet::adders_multipliers(2, 1, false);
+    let sched = ListScheduler::default();
+    let config = HeuristicConfig {
+        rotations_per_phase: 32,
+        max_size: None,
+        keep_best: 16,
+        rounds: 1,
+    };
+    println!("anytime degradation (Heuristic 2, {}):\n", res.label());
+    println!("| benchmark | budget (rotations) | best length |");
+    println!("|---|---|---|");
+    for (name, g) in graphs {
+        let full = heuristic2_pruned(g, &sched, &res, &config, None, None).expect("schedulable");
+        // Powers of two up to the unlimited run's rotation count, plus
+        // the exact endpoint.
+        let mut budgets = vec![0_usize];
+        let mut k = 1;
+        while k < full.total_rotations {
+            budgets.push(k);
+            k *= 2;
+        }
+        budgets.push(full.total_rotations);
+        for k in budgets {
+            let meter = Budget::default().with_max_rotations(k as u64).arm();
+            let out = heuristic2_pruned(g, &sched, &res, &config, None, Some(&meter))
+                .expect("schedulable");
+            let mark = if out.best_length == full.best_length {
+                " (converged)"
+            } else {
+                ""
+            };
+            println!("| {name} | {k} | {}{mark} |", out.best_length);
+        }
+    }
+    println!("\nbudgets are exact down-rotation counts; every row is deterministic");
+}
+
 /// Smoke mode: one sequential sweep compared against a checked-in
 /// baseline. Returns the process exit code.
 fn check_against_baseline(graphs: &[(&str, Dfg)], baseline_path: &str) -> i32 {
@@ -386,6 +443,7 @@ fn options_from_args() -> Options {
         out: concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_ROTATION.json").to_string(),
         check: None,
         reps: 3,
+        degradation: false,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -407,6 +465,8 @@ fn options_from_args() -> Options {
             }
         } else if let Some(n) = arg.strip_prefix("--reps=") {
             opts.reps = n.parse().unwrap_or(opts.reps).max(1);
+        } else if arg == "--degradation" {
+            opts.degradation = true;
         }
     }
     opts

@@ -12,8 +12,9 @@
 
 use rotsched_benchmarks::{random_dfg, RandomDfgConfig};
 use rotsched_core::{
-    heuristic1, heuristic2, heuristic2_reference, initial_state, rotation_phase,
-    rotation_phase_reference, BestSet, HeuristicConfig, HeuristicOutcome, RotationScheduler,
+    heuristic1, heuristic1_budgeted, heuristic2, heuristic2_pruned, heuristic2_reference,
+    initial_state, rotation_phase, rotation_phase_reference, BestSet, Budget, HeuristicConfig,
+    HeuristicOutcome, RotationScheduler,
 };
 use rotsched_dfg::Dfg;
 use rotsched_sched::{ListScheduler, PriorityPolicy, ResourceSet};
@@ -79,6 +80,7 @@ fn phases_match_the_reference_under_every_policy() {
                     size,
                     24,
                     None,
+                    None,
                 )
                 .expect("phase runs");
                 let what = format!("seed {seed}, {policy:?}, size {size}");
@@ -101,7 +103,8 @@ fn heuristic2_matches_the_reference_on_random_graphs() {
         let g = suite_graph(seed);
         let sched = ListScheduler::default();
         let incremental = heuristic2(&g, &sched, &res, &config()).expect("schedulable");
-        let reference = heuristic2_reference(&g, &sched, &res, &config()).expect("schedulable");
+        let reference =
+            heuristic2_reference(&g, &sched, &res, &config(), None).expect("schedulable");
         assert_outcomes_identical(
             &incremental,
             &reference,
@@ -137,6 +140,7 @@ fn heuristic1_matches_a_reference_driven_sweep() {
                 size,
                 cfg.rotations_per_phase,
                 None,
+                None,
             )
             .expect("phase runs");
             phases.push(stats);
@@ -146,6 +150,95 @@ fn heuristic1_matches_a_reference_driven_sweep() {
         assert_eq!(incremental.best_length, best.length, "{what}: best length");
         assert_eq!(incremental.best, best.schedules, "{what}: best set");
         assert_eq!(incremental.phases, phases, "{what}: phase statistics");
+    }
+}
+
+/// The resilience layer's bit-identity guarantee: an *unlimited* budget
+/// threaded through every entry point (heuristics, facade solve, and
+/// portfolio) changes nothing — schedules, stats, and phase traces all
+/// match the budget-free API exactly.
+#[test]
+fn unlimited_budget_is_bit_identical_to_no_budget() {
+    let res = ResourceSet::adders_multipliers(2, 2, false);
+    for seed in SEEDS {
+        let g = suite_graph(seed);
+        let sched = ListScheduler::default();
+        let what = format!("seed {seed}");
+
+        let plain2 = heuristic2(&g, &sched, &res, &config()).expect("schedulable");
+        let meter = Budget::unlimited().arm();
+        let budgeted2 = heuristic2_pruned(&g, &sched, &res, &config(), None, Some(&meter))
+            .expect("schedulable");
+        assert_outcomes_identical(&plain2, &budgeted2, &format!("{what}, heuristic2+budget"));
+        assert_eq!(budgeted2.stopped, None, "{what}: unlimited budget fired");
+
+        let plain1 = heuristic1(&g, &sched, &res, &config()).expect("schedulable");
+        let meter = Budget::unlimited().arm();
+        let budgeted1 =
+            heuristic1_budgeted(&g, &sched, &res, &config(), Some(&meter)).expect("schedulable");
+        assert_outcomes_identical(&plain1, &budgeted1, &format!("{what}, heuristic1+budget"));
+
+        let rs = RotationScheduler::new(&g, res.clone()).with_config(config());
+        let plain = rs.solve().expect("schedulable");
+        let budgeted = rs
+            .clone()
+            .with_budget(Budget::unlimited())
+            .solve()
+            .expect("schedulable");
+        assert_eq!(plain.length, budgeted.length, "{what}: solve length");
+        assert_eq!(plain.state, budgeted.state, "{what}: solve state");
+        assert_eq!(plain.depth, budgeted.depth, "{what}: solve depth");
+        assert_eq!(plain.quality, budgeted.quality, "{what}: solve quality");
+        assert_eq!(plain.stats, budgeted.stats, "{what}: solve stats");
+    }
+}
+
+/// Anytime monotonicity at the suite scale: under growing rotation
+/// budgets the incumbent never regresses, and the truncated search's
+/// rotation trace is a prefix of the unlimited run's.
+#[test]
+fn rotation_budgets_truncate_heuristic2_monotonically() {
+    let res = ResourceSet::adders_multipliers(2, 2, false);
+    for seed in [11, 97] {
+        let g = suite_graph(seed);
+        let sched = ListScheduler::default();
+        let full = heuristic2(&g, &sched, &res, &config()).expect("schedulable");
+        let full_trace: Vec<u32> = full
+            .phases
+            .iter()
+            .flat_map(|p| p.lengths.iter().copied())
+            .collect();
+        let mut last_best = u32::MAX;
+        // Stride the budget axis to keep the suite fast; include the
+        // exact endpoints.
+        let budgets: Vec<usize> = (0..full.total_rotations)
+            .step_by(7)
+            .chain([full.total_rotations])
+            .collect();
+        for k in budgets {
+            let meter = Budget::default().with_max_rotations(k as u64).arm();
+            let out = heuristic2_pruned(&g, &sched, &res, &config(), None, Some(&meter))
+                .expect("schedulable");
+            let what = format!("seed {seed}, budget {k}");
+            let trace: Vec<u32> = out
+                .phases
+                .iter()
+                .flat_map(|p| p.lengths.iter().copied())
+                .collect();
+            assert_eq!(
+                trace,
+                full_trace[..trace.len()],
+                "{what}: truncated trace is not a prefix"
+            );
+            assert!(out.total_rotations <= k, "{what}: budget overshot");
+            assert!(
+                out.best_length <= last_best,
+                "{what}: incumbent regressed ({} > {last_best})",
+                out.best_length
+            );
+            last_best = out.best_length;
+        }
+        assert_eq!(last_best, full.best_length);
     }
 }
 

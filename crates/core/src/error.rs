@@ -32,6 +32,15 @@ pub enum RotationError {
     /// No retiming realizes the final schedule — internal invariant
     /// violation; rotation always maintains realizability.
     Unrealizable,
+    /// Every portfolio worker panicked, leaving no surviving result to
+    /// degrade to. A *partial* worker failure never raises this — the
+    /// portfolio degrades to the surviving workers' best instead.
+    WorkerPanicked {
+        /// Index of the lowest-numbered panicked task.
+        task: usize,
+        /// The panic payload, when it was a string.
+        message: String,
+    },
 }
 
 impl fmt::Display for RotationError {
@@ -53,6 +62,9 @@ impl fmt::Display for RotationError {
             ),
             RotationError::Unrealizable => {
                 write!(f, "no retiming realizes the schedule (internal invariant violated)")
+            }
+            RotationError::WorkerPanicked { task, message } => {
+                write!(f, "every portfolio worker panicked (first: task {task}: {message})")
             }
         }
     }

@@ -14,10 +14,9 @@
 use rotsched_dfg::Dfg;
 use rotsched_sched::{ListScheduler, ResourceSet};
 
+use crate::budget::{BudgetMeter, StopReason};
 use crate::error::RotationError;
-use crate::phase::{
-    rotation_phase, rotation_phase_pruned, rotation_phase_reference, BestSet, PhaseStats,
-};
+use crate::phase::{rotation_phase_pruned, rotation_phase_reference, BestSet, PhaseStats};
 use crate::portfolio::PruneSignal;
 use crate::rotate::{initial_state, RotationState};
 
@@ -63,6 +62,9 @@ pub struct HeuristicOutcome {
     pub phases: Vec<PhaseStats>,
     /// Total rotations performed across all phases.
     pub total_rotations: usize,
+    /// Why the run stopped early, if a [`Budget`](crate::Budget) limit
+    /// fired mid-run; `None` for a run that finished its full sweep.
+    pub stopped: Option<StopReason>,
 }
 
 impl HeuristicOutcome {
@@ -71,6 +73,7 @@ impl HeuristicOutcome {
             best_length: best.length,
             best: best.schedules,
             total_rotations: phases.iter().map(|p| p.rotations).sum(),
+            stopped: phases.iter().find_map(|p| p.stopped),
             phases,
         }
     }
@@ -88,6 +91,24 @@ pub fn heuristic1(
     resources: &ResourceSet,
     config: &HeuristicConfig,
 ) -> Result<HeuristicOutcome, RotationError> {
+    heuristic1_budgeted(dfg, scheduler, resources, config, None)
+}
+
+/// [`heuristic1`] under an optional armed [`Budget`](crate::Budget): a
+/// fired budget ends the current phase at its cancellation point and
+/// skips the remaining sizes, returning the incumbent best. With
+/// `budget = None` this is exactly [`heuristic1`].
+///
+/// # Errors
+///
+/// Propagates graph and scheduling failures.
+pub fn heuristic1_budgeted(
+    dfg: &Dfg,
+    scheduler: &ListScheduler,
+    resources: &ResourceSet,
+    config: &HeuristicConfig,
+    budget: Option<&BudgetMeter>,
+) -> Result<HeuristicOutcome, RotationError> {
     let init = initial_state(dfg, scheduler, resources)?;
     let mut best = BestSet::new(config.keep_best);
     best.offer(init.wrapped_length(dfg, resources)?, &init);
@@ -96,7 +117,7 @@ pub fn heuristic1(
     let mut phases = Vec::new();
     for size in 1..=beta {
         let mut state = init.clone();
-        let stats = rotation_phase(
+        let stats = rotation_phase_pruned(
             dfg,
             scheduler,
             resources,
@@ -104,8 +125,17 @@ pub fn heuristic1(
             &mut best,
             size,
             config.rotations_per_phase,
+            None,
+            budget,
         )?;
+        // Key the sweep's early exit off the *recorded* stop, not a
+        // fresh meter check: deterministic limits then truncate the
+        // exact same phase prefix on every run.
+        let stopped = stats.stopped.is_some();
         phases.push(stats);
+        if stopped {
+            break;
+        }
     }
     Ok(HeuristicOutcome::from_parts(best, phases))
 }
@@ -123,14 +153,17 @@ pub fn heuristic2(
     resources: &ResourceSet,
     config: &HeuristicConfig,
 ) -> Result<HeuristicOutcome, RotationError> {
-    heuristic2_pruned(dfg, scheduler, resources, config, None)
+    heuristic2_pruned(dfg, scheduler, resources, config, None, None)
 }
 
-/// [`heuristic2`] with an optional portfolio pruning signal: the sweep
-/// publishes its best length as it goes and stops early when the signal
-/// says further work is pointless (see
-/// [`PruneSignal`](crate::portfolio::PruneSignal)). With `prune = None`
-/// this is exactly [`heuristic2`].
+/// [`heuristic2`] with an optional portfolio pruning signal and an
+/// optional armed [`Budget`](crate::Budget): the sweep publishes its
+/// best length as it goes and stops early when the signal says further
+/// work is pointless (see [`PruneSignal`](crate::portfolio::PruneSignal))
+/// or when the budget meter fires. A budget stop ends the sweep after
+/// the phase that recorded it — its chained reschedule is skipped, so
+/// the incumbent is exactly what the truncated search produced. With
+/// `prune = None` and `budget = None` this is exactly [`heuristic2`].
 ///
 /// # Errors
 ///
@@ -141,6 +174,7 @@ pub fn heuristic2_pruned(
     resources: &ResourceSet,
     config: &HeuristicConfig,
     prune: Option<&PruneSignal<'_>>,
+    budget: Option<&BudgetMeter>,
 ) -> Result<HeuristicOutcome, RotationError> {
     let init = initial_state(dfg, scheduler, resources)?;
     let mut best = BestSet::new(config.keep_best);
@@ -166,8 +200,13 @@ pub fn heuristic2_pruned(
                 size,
                 config.rotations_per_phase,
                 prune,
+                budget,
             )?;
+            let stopped = stats.stopped.is_some();
             phases.push(stats);
+            if stopped {
+                break 'sweep;
+            }
 
             // Find a new initial schedule for the next phase from the
             // accumulated rotation function: FullSchedule(G_R). The
@@ -187,7 +226,8 @@ pub fn heuristic2_pruned(
 /// [`rotation_phase_reference`], i.e. without the incremental
 /// [`RotationContext`](crate::RotationContext). Kept as the reference
 /// arm for equivalence tests and end-to-end before/after measurements —
-/// its results are bit-identical to [`heuristic2`]'s.
+/// its results are bit-identical to [`heuristic2`]'s, including under a
+/// rotation budget (`budget` mirrors [`heuristic2_pruned`]'s).
 ///
 /// # Errors
 ///
@@ -197,6 +237,7 @@ pub fn heuristic2_reference(
     scheduler: &ListScheduler,
     resources: &ResourceSet,
     config: &HeuristicConfig,
+    budget: Option<&BudgetMeter>,
 ) -> Result<HeuristicOutcome, RotationError> {
     let init = initial_state(dfg, scheduler, resources)?;
     let mut best = BestSet::new(config.keep_best);
@@ -205,7 +246,7 @@ pub fn heuristic2_reference(
     let beta = config.max_size.unwrap_or_else(|| init.length(dfg)).max(1);
     let mut phases = Vec::new();
     let mut state = init;
-    for _round in 0..config.rounds.max(1) {
+    'sweep: for _round in 0..config.rounds.max(1) {
         for size in (1..=beta).rev() {
             let stats = rotation_phase_reference(
                 dfg,
@@ -216,8 +257,13 @@ pub fn heuristic2_reference(
                 size,
                 config.rotations_per_phase,
                 None,
+                budget,
             )?;
+            let stopped = stats.stopped.is_some();
             phases.push(stats);
+            if stopped {
+                break 'sweep;
+            }
             state.schedule = scheduler.schedule(dfg, Some(&state.retiming), resources)?;
             let wrapped = state.wrapped_length(dfg, resources)?;
             best.offer(wrapped, &state);
@@ -323,11 +369,55 @@ mod tests {
             let res = ResourceSet::adders_multipliers(2, 0, false);
             let fast = heuristic2(&g, &ListScheduler::default(), &res, &config()).unwrap();
             let slow =
-                heuristic2_reference(&g, &ListScheduler::default(), &res, &config()).unwrap();
+                heuristic2_reference(&g, &ListScheduler::default(), &res, &config(), None).unwrap();
             assert_eq!(fast.best_length, slow.best_length);
             assert_eq!(fast.best, slow.best);
             assert_eq!(fast.phases, slow.phases);
         }
+    }
+
+    #[test]
+    fn budgeted_heuristic2_truncates_deterministically() {
+        use crate::budget::{Budget, StopReason};
+        let g = ring(6, 3);
+        let res = ResourceSet::adders_multipliers(2, 0, false);
+        let full = heuristic2(&g, &ListScheduler::default(), &res, &config()).unwrap();
+        let mut last_best = u32::MAX;
+        for k in 0..=full.total_rotations {
+            let meter = Budget::default().with_max_rotations(k as u64).arm();
+            let out = heuristic2_pruned(
+                &g,
+                &ListScheduler::default(),
+                &res,
+                &config(),
+                None,
+                Some(&meter),
+            )
+            .unwrap();
+            assert!(out.total_rotations <= k);
+            assert!(
+                out.best_length <= last_best,
+                "incumbent never regresses as the budget grows"
+            );
+            last_best = out.best_length;
+            if k < full.total_rotations {
+                assert_eq!(out.stopped, Some(StopReason::RotationBudget));
+            }
+        }
+        assert_eq!(last_best, full.best_length);
+    }
+
+    #[test]
+    fn budgeted_heuristic1_stops_and_keeps_incumbent() {
+        use crate::budget::Budget;
+        let g = ring(6, 3);
+        let res = ResourceSet::adders_multipliers(2, 0, false);
+        let meter = Budget::default().with_max_rotations(0).arm();
+        let out = heuristic1_budgeted(&g, &ListScheduler::default(), &res, &config(), Some(&meter))
+            .unwrap();
+        assert_eq!(out.total_rotations, 0);
+        assert!(out.stopped.is_some());
+        assert!(!out.best.is_empty(), "initial schedule is the incumbent");
     }
 
     #[test]

@@ -55,6 +55,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod budget;
 pub mod context;
 pub mod depth;
 mod error;
@@ -67,21 +68,23 @@ pub mod rotate;
 pub mod rotate_chained;
 mod scheduler;
 
+pub use budget::{Budget, BudgetMeter, CancelToken, StopReason};
 pub use context::RotationContext;
 pub use error::RotationError;
 pub use heuristics::{
-    heuristic1, heuristic2, heuristic2_pruned, heuristic2_reference, HeuristicConfig,
-    HeuristicOutcome,
+    heuristic1, heuristic1_budgeted, heuristic2, heuristic2_pruned, heuristic2_reference,
+    HeuristicConfig, HeuristicOutcome,
 };
 pub use phase::{
     rotation_phase, rotation_phase_pruned, rotation_phase_reference, BestSet, PhaseStats,
 };
 pub use portfolio::{
-    parallel_indexed, Portfolio, PortfolioOutcome, PruneSignal, SearchTask, SharedBound, TaskReport,
+    parallel_indexed, parallel_indexed_isolated, IsolatedResult, Portfolio, PortfolioOutcome,
+    PruneSignal, SearchTask, SharedBound, TaskOutcome, TaskReport,
 };
 pub use rate::{rate_optimal, unfold_and_rotate, RateResult};
 pub use rotate::{
     down_rotate, initial_state, is_down_rotatable, up_rotate, DownRotateOutcome, RotationState,
 };
 pub use rotate_chained::{down_rotate_chained, initial_chained_state, ChainedRotationState};
-pub use scheduler::{RotationScheduler, SolvedPipeline};
+pub use scheduler::{RotationScheduler, SolveOutcome, SolveQuality, SolveStats, SolvedPipeline};

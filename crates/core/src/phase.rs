@@ -11,6 +11,7 @@ use rotsched_dfg::rng::Fnv64;
 use rotsched_dfg::Dfg;
 use rotsched_sched::{ListScheduler, ResourceSet, Schedule};
 
+use crate::budget::{BudgetMeter, StopReason};
 use crate::context::RotationContext;
 use crate::error::RotationError;
 use crate::portfolio::PruneSignal;
@@ -175,6 +176,12 @@ pub struct PhaseStats {
     /// The first rotation index (1-based) at which the phase achieved its
     /// own minimum length, if any rotation was performed.
     pub first_optimum_at: Option<usize>,
+    /// Why the phase stopped early, if a [`Budget`](crate::Budget) limit
+    /// fired mid-phase; `None` for a phase that ran to natural
+    /// completion. Sweeps key their own early exit off this recorded
+    /// flag rather than re-reading the clock, so budgeted control flow
+    /// stays reproducible for deterministic limits.
+    pub stopped: Option<StopReason>,
 }
 
 /// Runs `RotationPhase(S_init, L_opt, Q, G, i, α)`: `alpha` rotations of
@@ -198,15 +205,22 @@ pub fn rotation_phase(
     size: u32,
     alpha: usize,
 ) -> Result<PhaseStats, RotationError> {
-    rotation_phase_pruned(dfg, scheduler, resources, state, best, size, alpha, None)
+    rotation_phase_pruned(
+        dfg, scheduler, resources, state, best, size, alpha, None, None,
+    )
 }
 
-/// [`rotation_phase`] with an optional portfolio pruning signal: the
-/// phase publishes its best length after every rotation and stops as
-/// soon as the signal says further work is pointless (the best reached
-/// the combined lower bound, or a lower-indexed portfolio task did).
+/// [`rotation_phase`] with an optional portfolio pruning signal and an
+/// optional armed [`Budget`](crate::Budget): the phase publishes its
+/// best length after every rotation and stops as soon as the signal
+/// says further work is pointless (the best reached the combined lower
+/// bound, or a lower-indexed portfolio task did), or as soon as the
+/// budget meter fires. A budget stop is recorded in
+/// [`PhaseStats::stopped`]; the state and best set always hold complete,
+/// legal schedules — no rotation is abandoned halfway.
 ///
-/// With `prune = None` this is exactly [`rotation_phase`].
+/// With `prune = None` and `budget = None` this is exactly
+/// [`rotation_phase`].
 ///
 /// The phase's rotations run through a [`RotationContext`] built from
 /// the starting state, so per-step work is proportional to the rotated
@@ -227,6 +241,7 @@ pub fn rotation_phase_pruned(
     size: u32,
     alpha: usize,
     prune: Option<&PruneSignal<'_>>,
+    budget: Option<&BudgetMeter>,
 ) -> Result<PhaseStats, RotationError> {
     let mut ctx = RotationContext::new(dfg, scheduler, resources, state)?;
     run_phase(
@@ -241,6 +256,7 @@ pub fn rotation_phase_pruned(
         size,
         alpha,
         prune,
+        budget,
     )
 }
 
@@ -263,6 +279,7 @@ pub fn rotation_phase_reference(
     size: u32,
     alpha: usize,
     prune: Option<&PruneSignal<'_>>,
+    budget: Option<&BudgetMeter>,
 ) -> Result<PhaseStats, RotationError> {
     run_phase(
         |state, effective| down_rotate(dfg, scheduler, resources, state, effective).map(|_| ()),
@@ -273,6 +290,7 @@ pub fn rotation_phase_reference(
         size,
         alpha,
         prune,
+        budget,
     )
 }
 
@@ -288,6 +306,7 @@ fn run_phase(
     size: u32,
     alpha: usize,
     prune: Option<&PruneSignal<'_>>,
+    budget: Option<&BudgetMeter>,
 ) -> Result<PhaseStats, RotationError> {
     let mut stats = PhaseStats {
         requested_size: size,
@@ -295,6 +314,13 @@ fn run_phase(
     };
     let mut min_seen = u32::MAX;
     for j in 0..alpha {
+        // The cancellation point: checked before each rotation, so a
+        // fired budget never abandons a rotation halfway and the state
+        // always holds a complete legal schedule.
+        if let Some(reason) = budget.and_then(BudgetMeter::check) {
+            stats.stopped = Some(reason);
+            break;
+        }
         if prune.is_some_and(|p| p.should_stop(best.length)) {
             break;
         }
@@ -310,6 +336,9 @@ fn run_phase(
             break;
         }
         rotate(state, effective)?;
+        if let Some(meter) = budget {
+            meter.charge_rotation();
+        }
         let wrapped = state.wrapped_length(dfg, resources)?;
         stats.rotations += 1;
         stats.lengths.push(wrapped);
@@ -470,6 +499,7 @@ mod tests {
                 size,
                 8,
                 None,
+                None,
             )
             .unwrap();
             assert_eq!(stats_ctx, stats_ref);
@@ -477,6 +507,66 @@ mod tests {
             assert_eq!(best_ctx.length, best_ref.length);
             assert_eq!(best_ctx.schedules, best_ref.schedules);
         }
+    }
+
+    #[test]
+    fn rotation_budget_truncates_phase_to_a_prefix() {
+        use crate::budget::{Budget, StopReason};
+        let (g, sched, res) = setup();
+        // Unlimited run as the reference trace.
+        let mut st_full = initial_state(&g, &sched, &res).unwrap();
+        let mut best_full = BestSet::new(8);
+        let full = rotation_phase(&g, &sched, &res, &mut st_full, &mut best_full, 1, 8).unwrap();
+        // Budget of k rotations reproduces exactly the first k lengths.
+        for k in 0..=full.rotations {
+            let meter = Budget::default().with_max_rotations(k as u64).arm();
+            let mut st = initial_state(&g, &sched, &res).unwrap();
+            let mut best = BestSet::new(8);
+            let stats = rotation_phase_pruned(
+                &g,
+                &sched,
+                &res,
+                &mut st,
+                &mut best,
+                1,
+                8,
+                None,
+                Some(&meter),
+            )
+            .unwrap();
+            assert_eq!(stats.rotations, k);
+            assert_eq!(stats.lengths, full.lengths[..k]);
+            if k < full.rotations {
+                assert_eq!(stats.stopped, Some(StopReason::RotationBudget));
+            }
+        }
+    }
+
+    #[test]
+    fn cancelled_phase_keeps_its_incumbent() {
+        use crate::budget::{Budget, CancelToken, StopReason};
+        let (g, sched, res) = setup();
+        let token = CancelToken::new();
+        token.cancel();
+        let meter = Budget::default().with_cancel(token).arm();
+        let mut st = initial_state(&g, &sched, &res).unwrap();
+        let mut best = BestSet::new(8);
+        best.offer(st.wrapped_length(&g, &res).unwrap(), &st);
+        let stats = rotation_phase_pruned(
+            &g,
+            &sched,
+            &res,
+            &mut st,
+            &mut best,
+            2,
+            8,
+            None,
+            Some(&meter),
+        )
+        .unwrap();
+        assert_eq!(stats.rotations, 0);
+        assert_eq!(stats.stopped, Some(StopReason::Cancelled));
+        assert_eq!(best.length, 4, "pre-cancel incumbent survives");
     }
 
     #[test]

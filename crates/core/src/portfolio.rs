@@ -39,6 +39,8 @@
 //! by a strictly lower achiever — so every task below and including the
 //! first true achiever runs exactly as it would sequentially.
 
+use std::any::Any;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU32, AtomicUsize, Ordering};
 use std::thread;
 
@@ -46,6 +48,7 @@ use rotsched_baselines::lower_bound;
 use rotsched_dfg::Dfg;
 use rotsched_sched::{ListScheduler, PriorityPolicy, ResourceSet};
 
+use crate::budget::{Budget, BudgetMeter, StopReason};
 use crate::error::RotationError;
 use crate::heuristics::{heuristic2_pruned, HeuristicConfig};
 use crate::phase::{rotation_phase_pruned, BestSet, PhaseStats};
@@ -153,6 +156,10 @@ pub enum SearchTask {
         /// Priority policy for the list scheduler.
         policy: PriorityPolicy,
     },
+    /// Test-only: a task that panics on entry, exercising the panic
+    /// isolation path. Never produced by [`Portfolio::standard`].
+    #[doc(hidden)]
+    PanicForTest,
 }
 
 impl SearchTask {
@@ -171,7 +178,37 @@ impl SearchTask {
                 "h2/alpha={}/rounds={}/{policy:?}",
                 config.rotations_per_phase, config.rounds
             ),
+            SearchTask::PanicForTest => "panic-for-test".to_string(),
         }
+    }
+}
+
+/// How one portfolio task ended — the structured per-task verdict.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum TaskOutcome {
+    /// The task ran its full search (possibly self-pruning at the
+    /// proven lower bound).
+    Completed,
+    /// The task was cut short by a strictly lower-indexed bound
+    /// achiever; its result is discarded by the canonical merge.
+    Pruned,
+    /// A [`Budget`] limit (deadline, rotation budget, or cancellation)
+    /// fired inside the task; its incumbent best still participates.
+    TimedOut,
+    /// The task panicked. The portfolio degrades to the surviving
+    /// workers' results instead of unwinding.
+    Panicked,
+}
+
+impl core::fmt::Display for TaskOutcome {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(match self {
+            TaskOutcome::Completed => "completed",
+            TaskOutcome::Pruned => "pruned",
+            TaskOutcome::TimedOut => "timed out",
+            TaskOutcome::Panicked => "panicked",
+        })
     }
 }
 
@@ -190,6 +227,8 @@ pub struct TaskReport {
     pub rotations: usize,
     /// Whether the task was stopped by a lower-indexed bound achiever.
     pub cross_pruned: bool,
+    /// How the task ended.
+    pub outcome: TaskOutcome,
 }
 
 /// The deterministic result of a portfolio run.
@@ -217,6 +256,12 @@ pub struct PortfolioOutcome {
     /// Advisory per-task summaries (timing-dependent above the
     /// canonical achiever).
     pub reports: Vec<TaskReport>,
+    /// How many tasks panicked (each isolated; the portfolio degraded
+    /// to the survivors).
+    pub panicked_tasks: usize,
+    /// Why the run stopped early, if a [`Budget`] limit fired in any
+    /// worker; `None` when every surviving task ran to completion.
+    pub stopped: Option<StopReason>,
 }
 
 /// A portfolio: an indexed task list plus execution knobs.
@@ -228,6 +273,10 @@ pub struct Portfolio {
     pub jobs: usize,
     /// Capacity of the merged best set.
     pub keep_best: usize,
+    /// The solve budget, armed once per [`Portfolio::run`] and shared by
+    /// every worker (a rotation budget is global across tasks). Defaults
+    /// to unlimited.
+    pub budget: Budget,
 }
 
 impl Portfolio {
@@ -270,6 +319,7 @@ impl Portfolio {
             tasks,
             jobs: 1,
             keep_best: config.keep_best,
+            budget: Budget::unlimited(),
         })
     }
 
@@ -277,6 +327,15 @@ impl Portfolio {
     #[must_use]
     pub fn with_jobs(mut self, jobs: usize) -> Self {
         self.jobs = jobs;
+        self
+    }
+
+    /// Sets the solve budget (see [`Budget`]). Unlimited by default —
+    /// and an unlimited budget leaves the run bit-identical to one
+    /// without any budget.
+    #[must_use]
+    pub fn with_budget(mut self, budget: Budget) -> Self {
+        self.budget = budget;
         self
     }
 
@@ -288,10 +347,16 @@ impl Portfolio {
     /// never shared across threads and the merged outcome is identical
     /// for every job count.
     ///
+    /// Workers are panic-isolated: a task that panics is reported as
+    /// [`TaskOutcome::Panicked`] and the portfolio degrades to the
+    /// surviving workers' best rather than unwinding. The configured
+    /// [`Budget`] is armed once here and shared by every worker.
+    ///
     /// # Errors
     ///
-    /// Propagates the lowest-indexed task failure, and lower-bound
-    /// computation failures.
+    /// Propagates the lowest-indexed task failure, lower-bound
+    /// computation failures, and [`RotationError::WorkerPanicked`] when
+    /// *every* task panicked (nothing left to degrade to).
     pub fn run(
         &self,
         dfg: &Dfg,
@@ -299,7 +364,10 @@ impl Portfolio {
     ) -> Result<PortfolioOutcome, RotationError> {
         let bound = u32::try_from(lower_bound(dfg, resources)?).unwrap_or(u32::MAX - 1);
         let shared = SharedBound::new(bound);
-        let runs = parallel_indexed(self.jobs, self.tasks.len(), |i| {
+        // Arm only when limited so the unlimited path provably does no
+        // budget work at all (bit-identical to the pre-budget API).
+        let meter = (!self.budget.is_unlimited()).then(|| self.budget.arm());
+        let runs = parallel_indexed_isolated(self.jobs, self.tasks.len(), |i| {
             let index = u32::try_from(i).unwrap_or(u32::MAX);
             run_task(
                 dfg,
@@ -307,24 +375,66 @@ impl Portfolio {
                 &self.tasks[i],
                 self.keep_best,
                 &shared.signal(index),
+                meter.as_ref(),
             )
         });
-        let mut completed = Vec::with_capacity(runs.len());
-        for run in runs {
-            completed.push(run?);
+
+        // Unpack the isolation layer: a panicked worker degrades to an
+        // empty placeholder (it can never be the canonical achiever); a
+        // worker that returned an error propagates it, lowest index
+        // first, exactly as the sequential path would.
+        let mut completed: Vec<(TaskRun, bool)> = Vec::with_capacity(runs.len());
+        let mut first_panic: Option<(usize, String)> = None;
+        let mut panicked_tasks = 0;
+        for (i, run) in runs.into_iter().enumerate() {
+            match run {
+                Ok(result) => completed.push((result?, false)),
+                Err(payload) => {
+                    panicked_tasks += 1;
+                    if first_panic.is_none() {
+                        first_panic = Some((i, panic_message(payload.as_ref())));
+                    }
+                    completed.push((
+                        TaskRun {
+                            best: BestSet::new(self.keep_best),
+                            phases: Vec::new(),
+                            cross_pruned: false,
+                        },
+                        true,
+                    ));
+                }
+            }
+        }
+        if panicked_tasks == self.tasks.len() && panicked_tasks > 0 {
+            let (task, message) = first_panic.unwrap_or((0, String::new()));
+            return Err(RotationError::WorkerPanicked { task, message });
         }
 
         let reports = self
             .tasks
             .iter()
             .zip(&completed)
-            .map(|(task, run)| TaskReport {
+            .map(|(task, (run, panicked))| TaskReport {
                 label: task.label(),
                 best_length: (run.best.length != NO_LENGTH).then_some(run.best.length),
                 rotations: run.phases.iter().map(|p| p.rotations).sum(),
                 cross_pruned: run.cross_pruned,
+                outcome: if *panicked {
+                    TaskOutcome::Panicked
+                } else if run.phases.iter().any(|p| p.stopped.is_some()) {
+                    TaskOutcome::TimedOut
+                } else if run.cross_pruned {
+                    TaskOutcome::Pruned
+                } else {
+                    TaskOutcome::Completed
+                },
             })
             .collect();
+        let stopped = completed
+            .iter()
+            .flat_map(|(run, _)| run.phases.iter())
+            .find_map(|p| p.stopped);
+        let completed: Vec<TaskRun> = completed.into_iter().map(|(run, _)| run).collect();
 
         let canonical_task = completed
             .iter()
@@ -363,7 +473,20 @@ impl Portfolio {
             phases,
             best: best.schedules,
             reports,
+            panicked_tasks,
+            stopped,
         })
+    }
+}
+
+/// Best-effort extraction of a panic payload's message.
+fn panic_message(payload: &(dyn Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
     }
 }
 
@@ -380,6 +503,7 @@ fn run_task(
     task: &SearchTask,
     keep_best: usize,
     signal: &PruneSignal<'_>,
+    budget: Option<&BudgetMeter>,
 ) -> Result<TaskRun, RotationError> {
     if signal.lost_to_lower_task() {
         // A lower-indexed task already proved the bound: this task's
@@ -410,6 +534,7 @@ fn run_task(
                 *size,
                 *alpha,
                 Some(signal),
+                budget,
             )?;
             Ok(TaskRun {
                 best,
@@ -419,7 +544,7 @@ fn run_task(
         }
         SearchTask::Sweep { config, policy } => {
             let scheduler = ListScheduler::new(*policy);
-            let out = heuristic2_pruned(dfg, &scheduler, resources, config, Some(signal))?;
+            let out = heuristic2_pruned(dfg, &scheduler, resources, config, Some(signal), budget)?;
             let mut best = BestSet::new(config.keep_best);
             for state in out.best {
                 best.offer_owned(out.best_length, state);
@@ -430,6 +555,7 @@ fn run_task(
                 cross_pruned: signal.lost_to_lower_task(),
             })
         }
+        SearchTask::PanicForTest => panic!("injected test panic"),
     }
 }
 
@@ -443,18 +569,64 @@ fn run_task(
 /// short jobs balance without any up-front partitioning. This is the
 /// engine under the portfolio and under the experiment sweeps'
 /// benchmark × resource-config cells.
+///
+/// A panicking job does not tear down its worker thread or the other
+/// jobs: every remaining index still runs. The first (lowest-index)
+/// panic is re-raised on the caller's thread after all results are
+/// collected, preserving the sequential path's observable behavior.
+/// Callers that want to *survive* panics use
+/// [`parallel_indexed_isolated`] instead.
 pub fn parallel_indexed<T, F>(jobs: usize, count: usize, run: F) -> Vec<T>
 where
     T: Send,
     F: Fn(usize) -> T + Sync,
 {
+    let mut results = Vec::with_capacity(count);
+    let mut first_panic: Option<Box<dyn Any + Send>> = None;
+    for run in parallel_indexed_isolated(jobs, count, run) {
+        match run {
+            Ok(value) => results.push(value),
+            Err(payload) => {
+                if first_panic.is_none() {
+                    first_panic = Some(payload);
+                }
+            }
+        }
+    }
+    if let Some(payload) = first_panic {
+        resume_unwind(payload);
+    }
+    results
+}
+
+/// One isolated job's outcome: the job's value, or the panic payload it
+/// unwound with.
+pub type IsolatedResult<T> = Result<T, Box<dyn Any + Send>>;
+
+/// The panic-isolating core of [`parallel_indexed`]: identical
+/// scheduling, but each job runs under
+/// [`catch_unwind`](std::panic::catch_unwind) and its slot reports
+/// `Err(payload)` instead of unwinding. Job-count-independent: the
+/// sequential (`jobs <= 1`) path isolates exactly like the parallel one.
+///
+/// Isolation is sound here because jobs are independent by contract —
+/// a job observes no other job's state, so a panicked job leaves
+/// nothing half-mutated that a survivor could read (the portfolio's
+/// shared pruning atomics are monotone and single-word, safe to observe
+/// at any point).
+pub fn parallel_indexed_isolated<T, F>(jobs: usize, count: usize, run: F) -> Vec<IsolatedResult<T>>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
     let jobs = jobs.max(1).min(count);
+    let isolated = |i: usize| catch_unwind(AssertUnwindSafe(|| run(i)));
     if jobs <= 1 {
-        return (0..count).map(run).collect();
+        return (0..count).map(isolated).collect();
     }
     let next = AtomicUsize::new(0);
-    let run = &run;
-    let mut indexed: Vec<(usize, T)> = thread::scope(|scope| {
+    let isolated = &isolated;
+    let mut indexed: Vec<(usize, IsolatedResult<T>)> = thread::scope(|scope| {
         let workers: Vec<_> = (0..jobs)
             .map(|_| {
                 scope.spawn(|| {
@@ -464,7 +636,7 @@ where
                         if i >= count {
                             break;
                         }
-                        local.push((i, run(i)));
+                        local.push((i, isolated(i)));
                     }
                     local
                 })
@@ -472,7 +644,7 @@ where
             .collect();
         workers
             .into_iter()
-            .flat_map(|w| w.join().expect("portfolio worker panicked"))
+            .flat_map(|w| w.join().expect("worker loop itself never panics"))
             .collect()
     });
     indexed.sort_unstable_by_key(|&(i, _)| i);
@@ -600,5 +772,107 @@ mod tests {
         let out = p.run(&g, &res).unwrap();
         assert_eq!(out.reports.len(), n);
         assert!(out.reports.iter().all(|r| !r.label.is_empty()));
+        assert_eq!(out.panicked_tasks, 0);
+        assert!(out
+            .reports
+            .iter()
+            .all(|r| r.outcome != TaskOutcome::Panicked));
+    }
+
+    #[test]
+    fn isolated_engine_survives_panicking_jobs() {
+        for jobs in [1, 2, 8] {
+            let out = parallel_indexed_isolated(jobs, 9, |i| {
+                assert!(i % 3 != 1, "boom at {i}");
+                i * 10
+            });
+            assert_eq!(out.len(), 9);
+            for (i, slot) in out.iter().enumerate() {
+                if i % 3 == 1 {
+                    assert!(slot.is_err(), "jobs={jobs} index {i} should panic");
+                } else {
+                    assert_eq!(*slot.as_ref().unwrap(), i * 10);
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "boom at 4")]
+    fn non_isolated_engine_reraises_the_lowest_index_panic() {
+        // Indices 4 and 7 both panic; the re-raise must pick 4.
+        let _ = parallel_indexed(3, 9, |i| {
+            assert!(i != 4 && i != 7, "boom at {i}");
+            i
+        });
+    }
+
+    #[test]
+    fn panicking_task_degrades_the_portfolio() {
+        let g = ring(6, 3);
+        let res = ResourceSet::adders_multipliers(2, 0, false);
+        let clean = Portfolio::standard(&g, &res, &config()).unwrap();
+        let mut p = clean.clone();
+        // Inject the crash *first* so it cannot hide behind cross-pruning.
+        p.tasks.insert(0, SearchTask::PanicForTest);
+        for jobs in [1, 2, 4] {
+            let out = p.clone().with_jobs(jobs).run(&g, &res).unwrap();
+            assert_eq!(out.panicked_tasks, 1, "jobs={jobs}");
+            assert_eq!(out.reports[0].outcome, TaskOutcome::Panicked);
+            assert_eq!(out.reports[0].best_length, None);
+            let baseline = clean.clone().with_jobs(jobs).run(&g, &res).unwrap();
+            assert_eq!(
+                out.best_length, baseline.best_length,
+                "survivors' best is unaffected"
+            );
+        }
+    }
+
+    #[test]
+    fn all_tasks_panicking_is_an_error_not_an_abort() {
+        let g = ring(4, 2);
+        let res = ResourceSet::adders_multipliers(2, 0, false);
+        let p = Portfolio {
+            tasks: vec![SearchTask::PanicForTest, SearchTask::PanicForTest],
+            jobs: 2,
+            keep_best: 4,
+            budget: Budget::unlimited(),
+        };
+        match p.run(&g, &res) {
+            Err(RotationError::WorkerPanicked { task, message }) => {
+                assert_eq!(task, 0);
+                assert!(message.contains("injected test panic"));
+            }
+            other => panic!("expected WorkerPanicked, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn zero_rotation_budget_still_returns_the_initial_incumbent() {
+        let g = ring(6, 3);
+        let res = ResourceSet::adders_multipliers(2, 0, false);
+        let p = Portfolio::standard(&g, &res, &config())
+            .unwrap()
+            .with_budget(Budget::default().with_max_rotations(0));
+        let out = p.run(&g, &res).unwrap();
+        assert_eq!(out.total_rotations, 0);
+        assert!(out.stopped.is_some());
+        assert!(
+            !out.best.is_empty(),
+            "initial list schedules are the incumbents"
+        );
+    }
+
+    #[test]
+    fn unlimited_budget_matches_the_budgetless_run() {
+        let g = ring(7, 2);
+        let res = ResourceSet::adders_multipliers(2, 0, false);
+        let p = Portfolio::standard(&g, &res, &config()).unwrap();
+        let plain = p.clone().run(&g, &res).unwrap();
+        let budgeted = p.with_budget(Budget::unlimited()).run(&g, &res).unwrap();
+        assert_eq!(plain.best_length, budgeted.best_length);
+        assert_eq!(plain.best, budgeted.best);
+        assert_eq!(plain.phases, budgeted.phases);
+        assert_eq!(budgeted.stopped, None);
     }
 }

@@ -8,20 +8,68 @@
 //! lower-level functions remain available for research code that wants
 //! to compose its own heuristics.
 
+use rotsched_baselines::lower_bound;
 use rotsched_dfg::Dfg;
 use rotsched_sched::{
     simulate, ListScheduler, LoopSchedule, PriorityPolicy, ResourceSet, SimulationReport,
 };
 
+use crate::budget::{Budget, StopReason};
 use crate::depth::{into_loop_schedule, minimized_depth};
 use crate::error::RotationError;
-use crate::heuristics::{heuristic1, heuristic2, HeuristicConfig, HeuristicOutcome};
+use crate::heuristics::{
+    heuristic1_budgeted, heuristic2_pruned, HeuristicConfig, HeuristicOutcome,
+};
 use crate::portfolio::{Portfolio, PortfolioOutcome};
 use crate::rotate::{down_rotate, initial_state, up_rotate, DownRotateOutcome, RotationState};
 
-/// A solved instance: the best pipeline found plus its key metrics.
+/// How good a solved pipeline is — the structured verdict carried by
+/// every [`SolveOutcome`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum SolveQuality {
+    /// The schedule length equals the proven combined lower bound.
+    Optimal,
+    /// The search ran to completion without proving optimality (the
+    /// bound may simply be unattainable).
+    Complete,
+    /// A [`Budget`] limit fired; the result is the incumbent best of a
+    /// truncated search. Still a legal schedule.
+    BudgetExhausted,
+    /// At least one portfolio worker panicked; the result is the best of
+    /// the surviving workers. Still a legal schedule.
+    Degraded,
+}
+
+impl core::fmt::Display for SolveQuality {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(match self {
+            SolveQuality::Optimal => "optimal",
+            SolveQuality::Complete => "complete",
+            SolveQuality::BudgetExhausted => "budget-exhausted",
+            SolveQuality::Degraded => "degraded",
+        })
+    }
+}
+
+/// Search-effort accounting carried by every [`SolveOutcome`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SolveStats {
+    /// Total down-rotations performed.
+    pub total_rotations: usize,
+    /// Why the search stopped early, when a budget limit fired.
+    pub stopped: Option<StopReason>,
+    /// Portfolio workers that panicked (always 0 for single-sweep
+    /// solves).
+    pub panicked_tasks: usize,
+    /// The combined recurrence + resource lower bound of the instance.
+    pub lower_bound: u32,
+}
+
+/// A solved instance: the best pipeline found plus its key metrics and
+/// the structured quality verdict.
 #[derive(Clone, Debug)]
-pub struct SolvedPipeline {
+pub struct SolveOutcome {
     /// The wrapped schedule length (initiation interval).
     pub length: u32,
     /// The minimized pipeline depth (the parenthesized numbers in the
@@ -31,7 +79,16 @@ pub struct SolvedPipeline {
     pub state: RotationState,
     /// The full heuristic outcome (all best schedules, per-phase stats).
     pub outcome: HeuristicOutcome,
+    /// The quality verdict: optimal / complete / budget-exhausted /
+    /// degraded.
+    pub quality: SolveQuality,
+    /// Search-effort accounting.
+    pub stats: SolveStats,
 }
+
+/// The pre-resilience name of [`SolveOutcome`], kept as an alias so
+/// existing callers (which read the same fields) keep compiling.
+pub type SolvedPipeline = SolveOutcome;
 
 /// Rotation scheduling, end to end.
 ///
@@ -62,6 +119,7 @@ pub struct RotationScheduler<'a> {
     scheduler: ListScheduler,
     config: HeuristicConfig,
     jobs: usize,
+    budget: Budget,
 }
 
 impl<'a> RotationScheduler<'a> {
@@ -76,7 +134,18 @@ impl<'a> RotationScheduler<'a> {
             scheduler: ListScheduler::default(),
             config: HeuristicConfig::default(),
             jobs: 1,
+            budget: Budget::unlimited(),
         }
+    }
+
+    /// Sets the solve budget (deadline, rotation budget, and/or cancel
+    /// token; see [`Budget`]) applied by the heuristic and solve entry
+    /// points. Unlimited by default — and an unlimited budget leaves
+    /// every result bit-identical to a budget-free run.
+    #[must_use]
+    pub fn with_budget(mut self, budget: Budget) -> Self {
+        self.budget = budget;
+        self
     }
 
     /// Replaces the list-scheduling priority policy.
@@ -151,7 +220,14 @@ impl<'a> RotationScheduler<'a> {
     ///
     /// Propagates graph and scheduling failures.
     pub fn heuristic1(&self) -> Result<HeuristicOutcome, RotationError> {
-        heuristic1(self.dfg, &self.scheduler, &self.resources, &self.config)
+        let meter = (!self.budget.is_unlimited()).then(|| self.budget.arm());
+        heuristic1_budgeted(
+            self.dfg,
+            &self.scheduler,
+            &self.resources,
+            &self.config,
+            meter.as_ref(),
+        )
     }
 
     /// Runs Heuristic 2 (chained phases of decreasing size) — the
@@ -161,18 +237,27 @@ impl<'a> RotationScheduler<'a> {
     ///
     /// Propagates graph and scheduling failures.
     pub fn heuristic2(&self) -> Result<HeuristicOutcome, RotationError> {
-        heuristic2(self.dfg, &self.scheduler, &self.resources, &self.config)
+        let meter = (!self.budget.is_unlimited()).then(|| self.budget.arm());
+        heuristic2_pruned(
+            self.dfg,
+            &self.scheduler,
+            &self.resources,
+            &self.config,
+            None,
+            meter.as_ref(),
+        )
     }
 
     /// Runs Heuristic 2 and packages the best schedule with its
-    /// minimized pipeline depth.
+    /// minimized pipeline depth and quality verdict.
     ///
     /// # Errors
     ///
     /// Propagates graph and scheduling failures;
     /// [`RotationError::Unrealizable`] cannot occur for states produced
     /// by rotation.
-    pub fn solve(&self) -> Result<SolvedPipeline, RotationError> {
+    pub fn solve(&self) -> Result<SolveOutcome, RotationError> {
+        let bound = u32::try_from(lower_bound(self.dfg, &self.resources)?).unwrap_or(u32::MAX - 1);
         let outcome = self.heuristic2()?;
         let state = outcome
             .best
@@ -180,11 +265,26 @@ impl<'a> RotationScheduler<'a> {
             .cloned()
             .expect("heuristics always retain at least the initial schedule");
         let depth = minimized_depth(self.dfg, &state)?;
-        Ok(SolvedPipeline {
+        let quality = if outcome.stopped.is_some() {
+            SolveQuality::BudgetExhausted
+        } else if outcome.best_length <= bound {
+            SolveQuality::Optimal
+        } else {
+            SolveQuality::Complete
+        };
+        let stats = SolveStats {
+            total_rotations: outcome.total_rotations,
+            stopped: outcome.stopped,
+            panicked_tasks: 0,
+            lower_bound: bound,
+        };
+        Ok(SolveOutcome {
             length: outcome.best_length,
             depth,
             state,
             outcome,
+            quality,
+            stats,
         })
     }
 
@@ -199,6 +299,7 @@ impl<'a> RotationScheduler<'a> {
     pub fn portfolio(&self) -> Result<PortfolioOutcome, RotationError> {
         Portfolio::standard(self.dfg, &self.resources, &self.config)?
             .with_jobs(self.jobs)
+            .with_budget(self.budget.clone())
             .run(self.dfg, &self.resources)
     }
 
@@ -210,15 +311,52 @@ impl<'a> RotationScheduler<'a> {
     /// # Errors
     ///
     /// Propagates graph and scheduling failures.
-    pub fn solve_portfolio(&self) -> Result<SolvedPipeline, RotationError> {
+    pub fn solve_portfolio(&self) -> Result<SolveOutcome, RotationError> {
         let outcome = self.portfolio()?;
+        self.package_portfolio(outcome)
+    }
+
+    /// Like [`RotationScheduler::solve_portfolio`], but runs a
+    /// caller-supplied [`Portfolio`] (custom task list, jobs, budget)
+    /// instead of the standard one. This is the hook behind the
+    /// panic-injection tests: a portfolio containing a crashing task
+    /// packages into a [`SolveQuality::Degraded`] outcome here.
+    ///
+    /// # Errors
+    ///
+    /// Propagates graph and scheduling failures, and
+    /// [`RotationError::WorkerPanicked`] when every task panicked.
+    pub fn solve_with_portfolio(
+        &self,
+        portfolio: &Portfolio,
+    ) -> Result<SolveOutcome, RotationError> {
+        let outcome = portfolio.run(self.dfg, &self.resources)?;
+        self.package_portfolio(outcome)
+    }
+
+    fn package_portfolio(&self, outcome: PortfolioOutcome) -> Result<SolveOutcome, RotationError> {
         let state = outcome
             .best
             .first()
             .cloned()
             .expect("the portfolio always retains at least the initial schedule");
         let depth = minimized_depth(self.dfg, &state)?;
-        Ok(SolvedPipeline {
+        let quality = if outcome.panicked_tasks > 0 {
+            SolveQuality::Degraded
+        } else if outcome.stopped.is_some() {
+            SolveQuality::BudgetExhausted
+        } else if outcome.bound_achieved {
+            SolveQuality::Optimal
+        } else {
+            SolveQuality::Complete
+        };
+        let stats = SolveStats {
+            total_rotations: outcome.total_rotations,
+            stopped: outcome.stopped,
+            panicked_tasks: outcome.panicked_tasks,
+            lower_bound: outcome.lower_bound,
+        };
+        Ok(SolveOutcome {
             length: outcome.best_length,
             depth,
             state,
@@ -227,7 +365,10 @@ impl<'a> RotationScheduler<'a> {
                 best: outcome.best,
                 total_rotations: outcome.total_rotations,
                 phases: outcome.phases,
+                stopped: outcome.stopped,
             },
+            quality,
+            stats,
         })
     }
 
@@ -318,6 +459,58 @@ mod tests {
             assert_eq!(par.length, solo.length);
             assert!(par.depth <= 2);
         }
+    }
+
+    #[test]
+    fn solve_reports_optimal_quality_at_the_bound() {
+        let g = ring();
+        let rs = RotationScheduler::new(&g, ResourceSet::adders_multipliers(2, 0, false));
+        let solved = rs.solve().unwrap();
+        assert_eq!(solved.quality, SolveQuality::Optimal);
+        assert_eq!(solved.stats.lower_bound, 2);
+        assert_eq!(solved.stats.stopped, None);
+        assert_eq!(solved.stats.panicked_tasks, 0);
+    }
+
+    #[test]
+    fn exhausted_budget_is_reported_and_still_yields_a_pipeline() {
+        let g = ring();
+        let rs = RotationScheduler::new(&g, ResourceSet::adders_multipliers(2, 0, false))
+            .with_budget(Budget::default().with_max_rotations(0));
+        let solved = rs.solve().unwrap();
+        assert_eq!(solved.quality, SolveQuality::BudgetExhausted);
+        assert_eq!(solved.stats.total_rotations, 0);
+        assert_eq!(solved.length, 4, "incumbent is the initial schedule");
+        // The incumbent is executable end to end.
+        let report = rs.verify(&solved.state, 5).unwrap();
+        assert_eq!(report.iterations, 5);
+    }
+
+    #[test]
+    fn injected_worker_panic_degrades_the_portfolio_solve() {
+        use crate::portfolio::SearchTask;
+        let g = ring();
+        let rs = RotationScheduler::new(&g, ResourceSet::adders_multipliers(2, 0, false));
+        let mut p = Portfolio::standard(&g, rs.resources(), &HeuristicConfig::default()).unwrap();
+        p.tasks.insert(0, SearchTask::PanicForTest);
+        for jobs in [1, 3] {
+            let solved = rs.solve_with_portfolio(&p.clone().with_jobs(jobs)).unwrap();
+            assert_eq!(solved.quality, SolveQuality::Degraded, "jobs={jobs}");
+            assert_eq!(solved.stats.panicked_tasks, 1);
+            assert_eq!(solved.length, 2, "survivors still find the optimum");
+        }
+    }
+
+    #[test]
+    fn unlimited_budget_solve_matches_the_default_solve() {
+        let g = ring();
+        let rs = RotationScheduler::new(&g, ResourceSet::adders_multipliers(2, 0, false));
+        let plain = rs.solve().unwrap();
+        let budgeted = rs.clone().with_budget(Budget::unlimited()).solve().unwrap();
+        assert_eq!(plain.length, budgeted.length);
+        assert_eq!(plain.state, budgeted.state);
+        assert_eq!(plain.quality, budgeted.quality);
+        assert_eq!(plain.outcome.phases, budgeted.outcome.phases);
     }
 
     #[test]

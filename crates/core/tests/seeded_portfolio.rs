@@ -4,7 +4,7 @@
 //! the combined lower bound.
 
 use rotsched_benchmarks::{random_dfg, RandomDfgConfig};
-use rotsched_core::{HeuristicConfig, Portfolio, RotationScheduler};
+use rotsched_core::{Budget, HeuristicConfig, Portfolio, RotationScheduler, SearchTask};
 use rotsched_dfg::rng::SplitMix64;
 use rotsched_dfg::Dfg;
 use rotsched_sched::validate::realizing_retiming;
@@ -124,5 +124,76 @@ fn portfolio_schedules_are_legal_and_simulate() {
             .verify(&solved.state, 5)
             .expect("pipeline is correct");
         assert_eq!(report.executions, g.node_count() * 5, "case {case}");
+    }
+}
+
+/// The resilience layer's zero-cost guarantee at suite scale: arming an
+/// *unlimited* budget changes nothing about a portfolio run — lengths,
+/// canonical schedule sets, phase traces, and rotation counts are all
+/// bit-identical, and no stop or panic is reported.
+#[test]
+fn unlimited_budget_portfolio_is_bit_identical() {
+    for case in 0..CASES / 2 {
+        let mut rng = SplitMix64::new(0xB0D6 ^ case);
+        let g = random_graph(&mut rng);
+        let res = ResourceSet::adders_multipliers(2, 2, false);
+        let p = Portfolio::standard(&g, &res, &config()).expect("schedulable");
+        for jobs in [1_usize, 4] {
+            let plain = p.clone().with_jobs(jobs).run(&g, &res).expect("runs");
+            let budgeted = p
+                .clone()
+                .with_jobs(jobs)
+                .with_budget(Budget::unlimited())
+                .run(&g, &res)
+                .expect("runs");
+            let what = format!("case {case}, jobs {jobs}");
+            assert_eq!(budgeted.best_length, plain.best_length, "{what}: length");
+            assert_eq!(budgeted.best, plain.best, "{what}: best set");
+            assert_eq!(
+                budgeted.canonical_task, plain.canonical_task,
+                "{what}: canonical task"
+            );
+            assert_eq!(budgeted.phases, plain.phases, "{what}: phase stats");
+            assert_eq!(
+                budgeted.total_rotations, plain.total_rotations,
+                "{what}: rotation count"
+            );
+            assert_eq!(budgeted.stopped, None, "{what}: phantom stop");
+            assert_eq!(budgeted.panicked_tasks, 0, "{what}: phantom panic");
+        }
+    }
+}
+
+/// Panic isolation at suite scale: a crashing task injected into every
+/// random portfolio degrades the run to the survivors' result — same
+/// best length and schedules as the clean run, one panic counted — for
+/// every job count, including the sequential path.
+#[test]
+fn injected_panic_degrades_to_the_survivors_best_everywhere() {
+    for case in 0..CASES / 2 {
+        let mut rng = SplitMix64::new(0xDEAD ^ case);
+        let g = random_graph(&mut rng);
+        let res = ResourceSet::adders_multipliers(2, 2, false);
+        let clean = Portfolio::standard(&g, &res, &config()).expect("schedulable");
+        let baseline = clean.clone().with_jobs(1).run(&g, &res).expect("runs");
+        let mut sabotaged = clean;
+        // Injecting *first* gives the crash the best chance to poison
+        // cross-task pruning state if isolation were leaky.
+        sabotaged.tasks.insert(0, SearchTask::PanicForTest);
+        for jobs in [1_usize, 2, 8] {
+            let out = sabotaged
+                .clone()
+                .with_jobs(jobs)
+                .run(&g, &res)
+                .expect("survivors carry the run");
+            let what = format!("case {case}, jobs {jobs}");
+            assert_eq!(out.panicked_tasks, 1, "{what}: panic count");
+            assert_eq!(out.best_length, baseline.best_length, "{what}: length");
+            assert_eq!(out.best, baseline.best, "{what}: best set");
+            for st in &out.best {
+                let r = realizing_retiming(&g, &st.schedule).expect("legal");
+                assert!(r.is_legal(&g), "{what}: illegal survivor schedule");
+            }
+        }
     }
 }

@@ -76,7 +76,11 @@ pub fn arrival_times(dfg: &Dfg, retiming: Option<&Retiming>) -> Result<ArrivalTi
                 }
             }
         }
-        finish[v.index()] = best + u64::from(dfg.node(v).time());
+        // Saturate rather than wrap: path sums over u32 node times cannot
+        // overflow u64 on any allocatable graph, but a wrapped sum would
+        // silently corrupt the critical path while a saturated one stays
+        // a valid upper bound.
+        finish[v.index()] = best.saturating_add(u64::from(dfg.node(v).time()));
         pred[v.index()] = best_pred;
     }
     Ok(ArrivalTimes { finish, pred })
@@ -168,5 +172,23 @@ mod tests {
         let mut g = Dfg::new("one");
         g.add_node("x", OpKind::Mul, 3);
         assert_eq!(critical_path_length(&g, None).unwrap(), 3);
+    }
+
+    /// Near-`u32::MAX` node times: path sums leave the `u32` range but
+    /// must stay exact in `u64` — no wrap, no panic.
+    #[test]
+    fn huge_node_times_sum_exactly_in_u64() {
+        let mut g = Dfg::new("huge");
+        let t = u32::MAX;
+        let a = g.add_node("a", OpKind::Mul, t);
+        let b = g.add_node("b", OpKind::Mul, t);
+        let c = g.add_node("c", OpKind::Add, t - 1);
+        g.add_edge(a, b, 0).unwrap();
+        g.add_edge(b, c, 0).unwrap();
+        g.add_edge(c, a, 1).unwrap();
+        assert_eq!(
+            critical_path_length(&g, None).unwrap(),
+            2 * u64::from(t) + u64::from(t - 1)
+        );
     }
 }

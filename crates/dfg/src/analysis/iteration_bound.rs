@@ -238,8 +238,8 @@ fn initial_cycle_ratio(n: usize, edges: &[(usize, usize, u64, u64)]) -> Result<R
                     let mut total_t = t_v;
                     let mut total_d = d;
                     for &(_, ti, di) in &path[start + 1..] {
-                        total_t += ti;
-                        total_d += di;
+                        total_t = total_t.saturating_add(ti);
+                        total_d = total_d.saturating_add(di);
                     }
                     if total_d == 0 {
                         return Err(zero_delay_cycle_error());
@@ -282,7 +282,7 @@ fn find_improving_cycle(
     for _round in 0..n {
         witness = None;
         for (idx, &(u, v, t, d)) in edges.iter().enumerate() {
-            let cand = dist[u] + weight(t, d);
+            let cand = dist[u].saturating_add(weight(t, d));
             if cand < dist[v] {
                 dist[v] = cand;
                 pred[v] = u;
@@ -317,8 +317,8 @@ fn find_improving_cycle(
     loop {
         let e = pred_edge[cur];
         let (u, _, t, d) = edges[e];
-        total_t += t;
-        total_d += d;
+        total_t = total_t.saturating_add(t);
+        total_d = total_d.saturating_add(d);
         cur = u;
         if cur == start {
             break;
@@ -444,6 +444,34 @@ mod tests {
         let fast = max_cycle_ratio(&g).unwrap();
         let brute = brute_force_ratio(&g);
         assert_eq!(fast, brute);
+    }
+
+    /// Near-`u32::MAX` times and delays: the exact rational arithmetic
+    /// (u64 cycle sums, i128 Bellman–Ford weights) must neither wrap nor
+    /// panic, and the ratio stays exact.
+    #[test]
+    fn huge_times_and_delays_keep_the_ratio_exact() {
+        let mut g = Dfg::new("huge");
+        let t = u32::MAX;
+        let v = add_nodes(&mut g, &[t, t, t - 1]);
+        g.add_edge(v[0], v[1], 0).unwrap();
+        g.add_edge(v[1], v[2], 1).unwrap();
+        g.add_edge(v[2], v[0], 1).unwrap();
+        // T = 3·(2^32 − 1) − 1, D = 2: exact and far outside u32.
+        let total = 3 * u64::from(t) - 1;
+        assert_eq!(max_cycle_ratio(&g).unwrap(), Some(Ratio::new(total, 2)));
+        assert_eq!(iteration_bound(&g).unwrap(), Some(total.div_ceil(2)));
+
+        // Huge delays push the ratio below one; still exact.
+        let mut g = Dfg::new("slow");
+        let v = add_nodes(&mut g, &[1, 1]);
+        g.add_edge(v[0], v[1], u32::MAX).unwrap();
+        g.add_edge(v[1], v[0], u32::MAX).unwrap();
+        assert_eq!(
+            max_cycle_ratio(&g).unwrap(),
+            Some(Ratio::new(2, 2 * u64::from(u32::MAX)))
+        );
+        assert_eq!(iteration_bound(&g).unwrap(), Some(1));
     }
 
     #[test]

@@ -1,0 +1,216 @@
+//! Seeded malformed-input harness for the DFG text parser.
+//!
+//! The robustness contract of [`rotsched_dfg::text::parse`] is total:
+//! for *any* input string it returns `Ok` or a structured
+//! [`ParseDfgError`](rotsched_dfg::text::ParseDfgError) — it never
+//! panics. This harness enforces that by mutating serialized valid
+//! graphs with a seeded [`SplitMix64`] (byte flips, deletions,
+//! duplications, token injections, line shuffles, truncations) and
+//! feeding every mutant — plus a battery of handcrafted adversarial
+//! inputs — through the parser under `catch_unwind`.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use rotsched_dfg::rng::SplitMix64;
+use rotsched_dfg::text::{parse, to_text};
+use rotsched_dfg::{Dfg, OpKind};
+
+/// Asserts the robustness contract on one input, reporting the input on
+/// violation so a failure is immediately reproducible.
+fn assert_parse_does_not_panic(input: &str, what: &str) {
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        // Ok and Err are both fine; only unwinding is a bug.
+        let _ = parse(input);
+    }));
+    assert!(
+        result.is_ok(),
+        "parse panicked on {what}; input was:\n{input}"
+    );
+}
+
+/// A random valid graph, serialized. Unmutated, it parses back cleanly.
+fn valid_graph_text(rng: &mut SplitMix64) -> String {
+    let n = rng.range_u32(2, 12) as usize;
+    let mut g = Dfg::new(format!("fuzz{}", rng.below(1000)));
+    let mut ids = Vec::with_capacity(n);
+    for i in 0..n {
+        let op = if rng.chance(0.5) {
+            OpKind::Add
+        } else {
+            OpKind::Mul
+        };
+        ids.push(g.add_node(format!("v{i}"), op, rng.range_u32(1, 4)));
+    }
+    // A delayed ring keeps the graph legal (no zero-delay cycle), then
+    // sprinkle extra forward zero-delay edges and random back edges.
+    for i in 0..n {
+        let delays = u32::from(i == n - 1) * rng.range_u32(1, 3);
+        let _ = g.add_edge(ids[i], ids[(i + 1) % n], delays);
+    }
+    for _ in 0..rng.below(2 * n as u64) {
+        let a = rng.index(n);
+        let b = rng.index(n);
+        let delays = if a < b { 0 } else { rng.range_u32(1, 2) };
+        let _ = g.add_edge(ids[a], ids[b], delays);
+    }
+    to_text(&g)
+}
+
+/// Tokens an adversarial mutation can splice into the text.
+const INJECT: &[&str] = &[
+    "dfg",
+    "node",
+    "edge",
+    "add",
+    "mul",
+    "frob",
+    "-1",
+    "4294967295",
+    "4294967296",
+    "18446744073709551616",
+    "0",
+    "NaN",
+    "\u{0}",
+    "\u{FFFD}",
+    "é",
+    "#",
+    "\n\n",
+    " \t ",
+    "node node node node",
+];
+
+/// Applies one random mutation to the byte buffer.
+fn mutate(bytes: &mut Vec<u8>, rng: &mut SplitMix64) {
+    if bytes.is_empty() {
+        bytes.extend_from_slice(INJECT[rng.index(INJECT.len())].as_bytes());
+        return;
+    }
+    match rng.below(6) {
+        // Flip a byte.
+        0 => {
+            let i = rng.index(bytes.len());
+            bytes[i] ^= rng.below(255) as u8 + 1;
+        }
+        // Delete a span.
+        1 => {
+            let start = rng.index(bytes.len());
+            let len = 1 + rng.index((bytes.len() - start).min(16));
+            bytes.drain(start..start + len);
+        }
+        // Duplicate a span.
+        2 => {
+            let start = rng.index(bytes.len());
+            let len = 1 + rng.index((bytes.len() - start).min(16));
+            let span: Vec<u8> = bytes[start..start + len].to_vec();
+            let at = rng.index(bytes.len() + 1);
+            bytes.splice(at..at, span);
+        }
+        // Inject an adversarial token.
+        3 => {
+            let token = INJECT[rng.index(INJECT.len())];
+            let at = rng.index(bytes.len() + 1);
+            bytes.splice(at..at, token.bytes());
+        }
+        // Swap two whole lines.
+        4 => {
+            let text = String::from_utf8_lossy(bytes).into_owned();
+            let mut lines: Vec<&str> = text.lines().collect();
+            if lines.len() >= 2 {
+                let a = rng.index(lines.len());
+                let b = rng.index(lines.len());
+                lines.swap(a, b);
+            }
+            *bytes = lines.join("\n").into_bytes();
+        }
+        // Truncate.
+        _ => {
+            let keep = rng.index(bytes.len());
+            bytes.truncate(keep);
+        }
+    }
+}
+
+#[test]
+fn parser_never_panics_on_mutated_graphs() {
+    for seed in 0..64u64 {
+        let mut rng = SplitMix64::new(0xF022_0000 + seed);
+        let pristine = valid_graph_text(&mut rng);
+        assert!(
+            parse(&pristine).is_ok(),
+            "seed {seed}: unmutated graph must parse"
+        );
+        let mut bytes = pristine.into_bytes();
+        // Mutations accumulate: later rounds run on already-corrupted
+        // text, drifting far from anything well-formed.
+        for round in 0..12 {
+            mutate(&mut bytes, &mut rng);
+            let input = String::from_utf8_lossy(&bytes).into_owned();
+            assert_parse_does_not_panic(&input, &format!("seed {seed}, round {round}"));
+        }
+    }
+}
+
+#[test]
+fn parser_never_panics_on_adversarial_inputs() {
+    let long_line = "node ".repeat(10_000);
+    let many_fields = format!("edge {}", "a ".repeat(1_000));
+    let deep_redefine = "dfg g\n".repeat(500);
+    let cases: Vec<String> = [
+        "",
+        " ",
+        "\n",
+        "\t\t\t",
+        "#",
+        "# only a comment",
+        "dfg",
+        "dfg a b",
+        "node",
+        "node a",
+        "node a add",
+        "node a add 1 2",
+        "node a add -1",
+        "node a add 4294967296",
+        "node a add 99999999999999999999999999",
+        "node a frob 1",
+        "edge",
+        "edge a",
+        "edge a b",
+        "edge a b 1",
+        "edge a b -1",
+        "dfg g\nnode a add 1\nedge a a 0",
+        "dfg g\nnode a add 1\nedge a a 4294967295",
+        "dfg g\nnode a add 0",
+        "dfg g\nnode a add 1\ndfg h\nedge a a 1",
+        "dfg \u{0}\nnode \u{0} add 1",
+        "dfg é\nnode é mul 2\nedge é é 1",
+        "unknown directive",
+    ]
+    .into_iter()
+    .map(str::to_owned)
+    .chain([long_line, many_fields, deep_redefine])
+    .collect();
+    for (i, case) in cases.iter().enumerate() {
+        assert_parse_does_not_panic(case, &format!("handcrafted case {i}"));
+    }
+}
+
+/// Structured errors (not just "no panic"): malformed inputs yield
+/// line-numbered syntax errors or graph errors, and a `dfg` directive
+/// mid-file resets the namespace (so stale names are *reported*, not
+/// dereferenced).
+#[test]
+fn malformed_inputs_yield_structured_errors() {
+    use rotsched_dfg::text::ParseDfgError;
+    let err = parse("dfg g\nnode a add 1\ndfg h\nedge a a 1\n").unwrap_err();
+    match err {
+        ParseDfgError::Syntax { line, message } => {
+            assert_eq!(line, 4);
+            assert!(message.contains("unknown node name"));
+        }
+        other => panic!("expected a syntax error, got {other}"),
+    }
+    assert!(matches!(
+        parse("dfg g\nnode a add 1\nnode b add 1\nedge a b 0\nedge b a 0\n"),
+        Err(ParseDfgError::Graph(_))
+    ));
+}

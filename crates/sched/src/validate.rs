@@ -45,7 +45,9 @@ pub fn check_dag_schedule(
         if is_zero_delay_under(dfg, retiming, id) {
             let su = schedule.start(edge.from()).expect("checked complete");
             let sv = schedule.start(edge.to()).expect("checked complete");
-            let finish = su + dfg.node(edge.from()).time().max(1);
+            // Saturating: a start near u32::MAX must report a precedence
+            // violation, not wrap around and pass.
+            let finish = su.saturating_add(dfg.node(edge.from()).time().max(1));
             if finish > sv {
                 return Err(SchedError::PrecedenceViolated {
                     from: edge.from(),
@@ -78,7 +80,7 @@ pub fn check_resources(
         let class = resources.class(class_id);
         let steps: Vec<u32> = class
             .occupancy(dfg.node(v).time())
-            .map(|off| cs + off)
+            .map(|off| cs.saturating_add(off))
             .collect();
         if !table.can_place(class_id, steps.iter().copied()) {
             let bad = steps
@@ -135,7 +137,7 @@ pub fn realizing_retiming(dfg: &Dfg, schedule: &Schedule) -> Option<Retiming> {
         let sv = schedule
             .start(edge.to())
             .expect("realizing_retiming requires a complete schedule");
-        let chained_ok = su + dfg.node(edge.from()).time().max(1) <= sv;
+        let chained_ok = su.saturating_add(dfg.node(edge.from()).time().max(1)) <= sv;
         let k = i64::from(edge.delays()) - i64::from(!chained_ok);
         // Constraint r(v) − r(u) ≤ k becomes an H-edge u → v of length k.
         edges.push(WeightedEdge::new(edge.from().index(), edge.to().index(), k));
@@ -188,7 +190,7 @@ fn find_violation_witness(dfg: &Dfg, schedule: &Schedule) -> SchedError {
         let (Some(su), Some(sv)) = (schedule.start(edge.from()), schedule.start(edge.to())) else {
             continue;
         };
-        let finish = su + dfg.node(edge.from()).time().max(1);
+        let finish = su.saturating_add(dfg.node(edge.from()).time().max(1));
         if edge.delays() == 0 && finish > sv {
             return SchedError::PrecedenceViolated {
                 from: edge.from(),
@@ -326,6 +328,34 @@ mod tests {
         s.set(y, 1);
         assert!(realizing_retiming(&g, &s).is_none());
         assert!(check_static_schedule(&g, &s, &res).is_err());
+    }
+
+    /// A start step near `u32::MAX` used to overflow `s(u) + t(u)` in the
+    /// precedence checks (a debug-build panic on hostile input); it must
+    /// instead saturate and report a violation.
+    #[test]
+    fn near_max_start_steps_fail_cleanly_instead_of_wrapping() {
+        let g = iir();
+        let m = g.node_by_name("m").unwrap();
+        let a = g.node_by_name("a").unwrap();
+        let res = ResourceSet::adders_multipliers(1, 1, false);
+        let mut s = Schedule::empty(&g);
+        s.set(m, u32::MAX);
+        s.set(a, 1);
+        // Wrapped arithmetic would compute finish(m) = 1 and accept the
+        // zero-delay edge m -> a; saturation must reject it.
+        let err = check_dag_schedule(&g, None, &s, &res).unwrap_err();
+        assert!(matches!(
+            err,
+            SchedError::PrecedenceViolated {
+                finish: u32::MAX,
+                ..
+            }
+        ));
+        // The retiming dual hits the same sum on every edge; it must
+        // terminate without panicking (no realizing retiming exists is
+        // fine, finding one is fine — unwinding is not).
+        let _ = realizing_retiming(&g, &s);
     }
 
     #[test]

@@ -4,13 +4,20 @@
 //! rotsched analyze  <file.dfg>
 //! rotsched solve    <file.dfg> [--adders N] [--mults N] [--pipelined]
 //!                              [--verify ITERS] [--dot] [--expand ITERS]
-//!                              [--jobs N]
+//!                              [--jobs N] [--deadline-ms N] [--max-rotations N]
 //! rotsched compare  <file.dfg> [--adders N] [--mults N] [--pipelined]
 //! ```
 //!
 //! `--jobs N` with `N > 1` searches with the parallel portfolio
 //! (Heuristic 1's phases plus one Heuristic-2 sweep per priority
 //! policy) on `N` worker threads; the result is deterministic in `N`.
+//!
+//! `--deadline-ms N` bounds the solve to `N` milliseconds of wall-clock
+//! time and `--max-rotations N` to `N` down-rotations; either way the
+//! solve returns its incumbent best — always a legal schedule. Exit
+//! codes: `0` success, `1` error, `2` usage, `3` budget exhausted
+//! (legal incumbent printed), `4` degraded (a portfolio worker failed;
+//! best surviving result printed).
 //!
 //! Input files use the text format of `rotsched::dfg::text`:
 //!
@@ -23,13 +30,14 @@
 //! ```
 
 use std::process::ExitCode;
+use std::time::Duration;
 
 use rotsched::baselines::{
     dag_only, lower_bound, modulo_schedule, retime_then_schedule, unfold_and_schedule, ModuloConfig,
 };
 use rotsched::dfg::analysis;
 use rotsched::dfg::text;
-use rotsched::{Dfg, PriorityPolicy, ResourceSet, RotationScheduler};
+use rotsched::{Budget, Dfg, PriorityPolicy, ResourceSet, RotationScheduler, SolveQuality};
 
 struct Options {
     adders: u32,
@@ -39,14 +47,47 @@ struct Options {
     expand: Option<u32>,
     dot: bool,
     jobs: u32,
+    deadline_ms: Option<u64>,
+    max_rotations: Option<u64>,
+}
+
+impl Options {
+    fn budget(&self) -> Budget {
+        let mut budget = Budget::unlimited();
+        if let Some(ms) = self.deadline_ms {
+            budget = budget.with_deadline(Duration::from_millis(ms));
+        }
+        if let Some(max) = self.max_rotations {
+            budget = budget.with_max_rotations(max);
+        }
+        budget
+    }
 }
 
 fn usage() -> ExitCode {
     eprintln!(
         "usage: rotsched <analyze|solve|compare> <file.dfg> \
-         [--adders N] [--mults N] [--pipelined] [--verify N] [--expand N] [--dot] [--jobs N]"
+         [--adders N] [--mults N] [--pipelined] [--verify N] [--expand N] [--dot] [--jobs N] \
+         [--deadline-ms N] [--max-rotations N]"
     );
     ExitCode::from(2)
+}
+
+/// Reads the next argument of `it` as a number, or reports why not.
+fn parse_arg<T: std::str::FromStr>(it: &mut std::slice::Iter<'_, String>, name: &str) -> Option<T> {
+    match it.next() {
+        None => {
+            eprintln!("error: {name} needs a numeric argument");
+            None
+        }
+        Some(raw) => match raw.parse() {
+            Ok(v) => Some(v),
+            Err(_) => {
+                eprintln!("error: {name} needs a numeric argument, got {raw:?}");
+                None
+            }
+        },
+    }
 }
 
 fn main() -> ExitCode {
@@ -63,37 +104,38 @@ fn main() -> ExitCode {
         expand: None,
         dot: false,
         jobs: 1,
+        deadline_ms: None,
+        max_rotations: None,
     };
     let mut it = args[2..].iter();
     while let Some(flag) = it.next() {
-        let mut take_u32 = |name: &str| -> Option<u32> {
-            match it.next().and_then(|v| v.parse().ok()) {
-                Some(v) => Some(v),
-                None => {
-                    eprintln!("error: {name} needs a numeric argument");
-                    None
-                }
-            }
-        };
         match flag.as_str() {
-            "--adders" => match take_u32("--adders") {
+            "--adders" => match parse_arg(&mut it, "--adders") {
                 Some(v) => opts.adders = v,
                 None => return usage(),
             },
-            "--mults" => match take_u32("--mults") {
+            "--mults" => match parse_arg(&mut it, "--mults") {
                 Some(v) => opts.mults = v,
                 None => return usage(),
             },
-            "--verify" => match take_u32("--verify") {
+            "--verify" => match parse_arg(&mut it, "--verify") {
                 Some(v) => opts.verify = Some(v),
                 None => return usage(),
             },
-            "--expand" => match take_u32("--expand") {
+            "--expand" => match parse_arg(&mut it, "--expand") {
                 Some(v) => opts.expand = Some(v),
                 None => return usage(),
             },
-            "--jobs" => match take_u32("--jobs") {
+            "--jobs" => match parse_arg::<u32>(&mut it, "--jobs") {
                 Some(v) => opts.jobs = v.max(1),
+                None => return usage(),
+            },
+            "--deadline-ms" => match parse_arg(&mut it, "--deadline-ms") {
+                Some(v) => opts.deadline_ms = Some(v),
+                None => return usage(),
+            },
+            "--max-rotations" => match parse_arg(&mut it, "--max-rotations") {
+                Some(v) => opts.max_rotations = Some(v),
                 None => return usage(),
             },
             "--pipelined" => opts.pipelined = true,
@@ -103,6 +145,10 @@ fn main() -> ExitCode {
                 return usage();
             }
         }
+    }
+    if opts.adders == 0 && opts.mults == 0 {
+        eprintln!("error: invalid resource spec: need at least one adder or multiplier");
+        return ExitCode::FAILURE;
     }
 
     let content = match std::fs::read_to_string(path) {
@@ -121,13 +167,13 @@ fn main() -> ExitCode {
     };
 
     let result = match command.as_str() {
-        "analyze" => analyze(&graph),
+        "analyze" => analyze(&graph).map(|()| ExitCode::SUCCESS),
         "solve" => solve(&graph, &opts),
-        "compare" => compare(&graph, &opts),
+        "compare" => compare(&graph, &opts).map(|()| ExitCode::SUCCESS),
         _ => return usage(),
     };
     match result {
-        Ok(()) => ExitCode::SUCCESS,
+        Ok(code) => code,
         Err(e) => {
             eprintln!("error: {e}");
             ExitCode::FAILURE
@@ -160,14 +206,16 @@ fn analyze(graph: &Dfg) -> Result<(), Box<dyn std::error::Error>> {
     Ok(())
 }
 
-fn solve(graph: &Dfg, opts: &Options) -> Result<(), Box<dyn std::error::Error>> {
+fn solve(graph: &Dfg, opts: &Options) -> Result<ExitCode, Box<dyn std::error::Error>> {
     let resources = ResourceSet::adders_multipliers(opts.adders, opts.mults, opts.pipelined);
     println!(
         "scheduling under {} (lower bound {})",
         resources.label(),
         lower_bound(graph, &resources)?
     );
-    let scheduler = RotationScheduler::new(graph, resources).with_jobs(opts.jobs as usize);
+    let scheduler = RotationScheduler::new(graph, resources)
+        .with_jobs(opts.jobs as usize)
+        .with_budget(opts.budget());
     let solved = if opts.jobs > 1 {
         scheduler.solve_portfolio()?
     } else {
@@ -179,6 +227,16 @@ fn solve(graph: &Dfg, opts: &Options) -> Result<(), Box<dyn std::error::Error>> 
         solved.depth,
         solved.outcome.best.len()
     );
+    match solved.stats.stopped {
+        Some(reason) => println!(
+            "quality: {} ({} rotations, stopped: {reason})",
+            solved.quality, solved.stats.total_rotations
+        ),
+        None => println!(
+            "quality: {} ({} rotations)",
+            solved.quality, solved.stats.total_rotations
+        ),
+    }
     let kernel = scheduler.loop_schedule(&solved.state)?;
     println!(
         "\n{}",
@@ -206,7 +264,12 @@ fn solve(graph: &Dfg, opts: &Options) -> Result<(), Box<dyn std::error::Error>> 
             report.speedup()
         );
     }
-    Ok(())
+    Ok(match solved.quality {
+        SolveQuality::BudgetExhausted => ExitCode::from(3),
+        SolveQuality::Degraded => ExitCode::from(4),
+        // Optimal, Complete, and any future non-failure verdicts.
+        _ => ExitCode::SUCCESS,
+    })
 }
 
 fn compare(graph: &Dfg, opts: &Options) -> Result<(), Box<dyn std::error::Error>> {

@@ -72,7 +72,8 @@ pub use rotsched_benchmarks::{
     all_benchmarks, allpole, biquad, diffeq, elliptic, lattice4, TimingModel,
 };
 pub use rotsched_core::{
-    HeuristicConfig, RotationError, RotationScheduler, RotationState, SolvedPipeline,
+    Budget, CancelToken, HeuristicConfig, RotationError, RotationScheduler, RotationState,
+    SolveOutcome, SolveQuality, SolveStats, SolvedPipeline, StopReason,
 };
 pub use rotsched_dfg::{Dfg, DfgBuilder, DfgError, NodeId, OpKind, Retiming};
 pub use rotsched_sched::{

@@ -10,6 +10,14 @@ fn fixture(name: &str) -> String {
 }
 
 fn run(args: &[&str]) -> (String, String, bool) {
+    let (stdout, stderr, code) = run_code(args);
+    (stdout, stderr, code == 0)
+}
+
+/// Like [`run`] but exposes the exact exit code, for the budget and
+/// degradation codes (3 and 4) that are failures to a shell but carry
+/// meaning here.
+fn run_code(args: &[&str]) -> (String, String, i32) {
     let out = Command::new(env!("CARGO_BIN_EXE_rotsched"))
         .args(args)
         .output()
@@ -17,7 +25,7 @@ fn run(args: &[&str]) -> (String, String, bool) {
     (
         String::from_utf8_lossy(&out.stdout).into_owned(),
         String::from_utf8_lossy(&out.stderr).into_owned(),
-        out.status.success(),
+        out.status.code().expect("not killed by a signal"),
     )
 }
 
@@ -91,6 +99,143 @@ fn unknown_flag_shows_usage() {
     let (_, stderr, ok) = run(&["solve", &fixture("differential-equation"), "--frobnicate"]);
     assert!(!ok);
     assert!(stderr.contains("usage:"));
+}
+
+/// A zero-rotation budget trips deterministically before the first
+/// down-rotation: the initial list schedule is the incumbent, it is
+/// still printed (and verifiable), and the exit code is 3.
+#[test]
+fn zero_rotation_budget_exits_with_code_3_and_a_legal_kernel() {
+    let (stdout, _, code) = run_code(&[
+        "solve",
+        &fixture("differential-equation"),
+        "--max-rotations",
+        "0",
+        "--verify",
+        "4",
+    ]);
+    assert_eq!(code, 3, "budget exhaustion must use exit code 3: {stdout}");
+    assert!(stdout.contains("kernel:"), "no incumbent printed: {stdout}");
+    assert!(
+        stdout.contains(
+            "quality: budget-exhausted (0 rotations, stopped: rotation budget exhausted)"
+        ),
+        "missing quality line: {stdout}"
+    );
+    assert!(
+        stdout.contains("verified over 4 iterations"),
+        "the incumbent must still verify: {stdout}"
+    );
+}
+
+/// An already-expired deadline behaves like a zero rotation budget:
+/// deterministic exit 3 with the initial incumbent.
+#[test]
+fn expired_deadline_exits_with_code_3_and_a_legal_kernel() {
+    let (stdout, _, code) = run_code(&[
+        "solve",
+        &fixture("2-cascaded-biquad-filter"),
+        "--deadline-ms",
+        "0",
+        "--verify",
+        "4",
+    ]);
+    assert_eq!(code, 3, "expired deadline must use exit code 3: {stdout}");
+    assert!(stdout.contains("kernel:"), "no incumbent printed: {stdout}");
+    assert!(
+        stdout.contains("stopped: deadline expired"),
+        "missing stop reason: {stdout}"
+    );
+    assert!(stdout.contains("verified over 4 iterations"), "{stdout}");
+}
+
+/// A generous deadline either finishes (0) or stops with a legal
+/// incumbent (3) — never crashes, never prints an unverifiable result.
+#[test]
+fn deadline_solve_always_yields_a_verified_kernel() {
+    let (stdout, stderr, code) = run_code(&[
+        "solve",
+        &fixture("5th-order-elliptic-filter"),
+        "--deadline-ms",
+        "50",
+        "--verify",
+        "4",
+    ]);
+    assert!(
+        code == 0 || code == 3,
+        "unexpected exit {code}: {stdout}{stderr}"
+    );
+    assert!(stdout.contains("kernel:"), "{stdout}");
+    assert!(stdout.contains("verified over 4 iterations"), "{stdout}");
+}
+
+/// Unlimited solves are unaffected by the budget plumbing: exit 0 and a
+/// quality verdict on stdout.
+#[test]
+fn unbudgeted_solve_reports_quality_and_exits_zero() {
+    let (stdout, _, code) = run_code(&[
+        "solve",
+        &fixture("differential-equation"),
+        "--adders",
+        "1",
+        "--mults",
+        "2",
+    ]);
+    assert_eq!(code, 0, "{stdout}");
+    assert!(
+        stdout.contains("quality: optimal") || stdout.contains("quality: complete"),
+        "missing quality verdict: {stdout}"
+    );
+    assert!(!stdout.contains("stopped:"), "{stdout}");
+}
+
+#[test]
+fn empty_resource_spec_is_rejected() {
+    let (_, stderr, code) = run_code(&[
+        "solve",
+        &fixture("differential-equation"),
+        "--adders",
+        "0",
+        "--mults",
+        "0",
+    ]);
+    assert_eq!(code, 1);
+    assert!(stderr.contains("invalid resource spec"), "{stderr}");
+}
+
+#[test]
+fn non_numeric_flag_value_shows_the_offending_token() {
+    let (_, stderr, code) = run_code(&[
+        "solve",
+        &fixture("differential-equation"),
+        "--max-rotations",
+        "banana",
+    ]);
+    assert_eq!(code, 2, "bad flag values are usage errors");
+    assert!(
+        stderr.contains("--max-rotations") && stderr.contains("banana"),
+        "{stderr}"
+    );
+}
+
+#[test]
+fn flag_missing_its_value_shows_usage() {
+    let (_, stderr, code) =
+        run_code(&["solve", &fixture("differential-equation"), "--deadline-ms"]);
+    assert_eq!(code, 2);
+    assert!(stderr.contains("needs a numeric argument"), "{stderr}");
+    assert!(stderr.contains("usage:"), "{stderr}");
+}
+
+#[test]
+fn non_utf8_input_fails_cleanly() {
+    let dir = std::env::temp_dir().join("rotsched-cli-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("binary.dfg");
+    std::fs::write(&path, [0xFFu8, 0xFE, 0x00, 0x01, 0x80]).unwrap();
+    let (_, stderr, code) = run_code(&["analyze", path.to_str().unwrap()]);
+    assert_eq!(code, 1);
+    assert!(stderr.contains("cannot read"), "{stderr}");
 }
 
 #[test]
