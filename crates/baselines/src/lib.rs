@@ -14,7 +14,7 @@
 //!   paper, as cited constants.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod bounds;
 pub mod dag_only;

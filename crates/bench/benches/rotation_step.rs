@@ -77,7 +77,7 @@ fn main() {
     let res = ResourceSet::adders_multipliers(2, 2, false);
     for (name, g) in all_benchmarks(&TimingModel::paper()) {
         h.bench(&format!("partial/{name}"), || {
-            one_rotation_partial(&g, &res)
+            one_rotation_partial(&g, &res);
         });
         h.bench(&format!("full-reschedule/{name}"), || {
             one_rotation_full_reschedule(&g, &res);

@@ -25,13 +25,13 @@ fn main() {
             if pipelined { "p" } else { "" }
         );
         run(
-            ResourceSet::adders_multipliers(adders, mults, pipelined),
+            &ResourceSet::adders_multipliers(adders, mults, pipelined),
             jobs,
         );
     }
 }
 
-fn run(res: ResourceSet, jobs: usize) {
+fn run(res: &ResourceSet, jobs: usize) {
     let policies = [
         ("descendants", PriorityPolicy::DescendantCount),
         ("path-height", PriorityPolicy::PathHeight),
@@ -52,7 +52,7 @@ fn run(res: ResourceSet, jobs: usize) {
         "Benchmark", "LB", "descendants", "path-height", "mobility", "input-order"
     );
     for row in rows(&|name, g| {
-        let lb = lower_bound(g, &res).expect("valid");
+        let lb = lower_bound(g, res).expect("valid");
         let mut cells = Vec::new();
         for (_, policy) in policies {
             let cfg = HeuristicConfig {
@@ -61,7 +61,7 @@ fn run(res: ResourceSet, jobs: usize) {
                 keep_best: 4,
                 rounds: 1,
             };
-            let out = heuristic2(g, &ListScheduler::new(policy), &res, &cfg).expect("schedulable");
+            let out = heuristic2(g, &ListScheduler::new(policy), res, &cfg).expect("schedulable");
             cells.push(out.best_length);
         }
         format!(
@@ -78,7 +78,7 @@ fn run(res: ResourceSet, jobs: usize) {
         "Benchmark", "LB", "H1", "H2"
     );
     for row in rows(&|name, g| {
-        let lb = lower_bound(g, &res).expect("valid");
+        let lb = lower_bound(g, res).expect("valid");
         let cfg = HeuristicConfig {
             rotations_per_phase: 32,
             max_size: None,
@@ -86,8 +86,8 @@ fn run(res: ResourceSet, jobs: usize) {
             rounds: 1,
         };
         let sched = ListScheduler::default();
-        let h1 = heuristic1(g, &sched, &res, &cfg).expect("schedulable");
-        let h2 = heuristic2(g, &sched, &res, &cfg).expect("schedulable");
+        let h1 = heuristic1(g, &sched, res, &cfg).expect("schedulable");
+        let h2 = heuristic2(g, &sched, res, &cfg).expect("schedulable");
         format!(
             "{:<28} {:>3} {:>4} {:>4} | {:>5} / {:>5}",
             name, lb, h1.best_length, h2.best_length, h1.total_rotations, h2.total_rotations
@@ -102,7 +102,7 @@ fn run(res: ResourceSet, jobs: usize) {
         "Benchmark", "LB", "r1", "r2", "r4", "r8"
     );
     for row in rows(&|name, g| {
-        let lb = lower_bound(g, &res).expect("valid");
+        let lb = lower_bound(g, res).expect("valid");
         let mut cells = Vec::new();
         for rounds in [1, 2, 4, 8] {
             let cfg = HeuristicConfig {
@@ -111,7 +111,7 @@ fn run(res: ResourceSet, jobs: usize) {
                 keep_best: 4,
                 rounds,
             };
-            let out = heuristic2(g, &ListScheduler::default(), &res, &cfg).expect("schedulable");
+            let out = heuristic2(g, &ListScheduler::default(), res, &cfg).expect("schedulable");
             cells.push(out.best_length);
         }
         format!(

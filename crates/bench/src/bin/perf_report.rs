@@ -11,6 +11,12 @@
 //!                     lengths and the rows fingerprint against a
 //!                     checked-in baseline JSON, exit non-zero on any
 //!                     regression. No timing, no report written.
+//!   --certify         certification mode: run one sweep and have the
+//!                     independent verifier (`rotsched-verify`) re-prove
+//!                     every winning kernel legal — starts, retimed-delay
+//!                     precedence, reservations, and the optimality
+//!                     verdict. Exit non-zero on any rejection. No
+//!                     timing, no report written.
 //!   --degradation     anytime-degradation mode: for each paper
 //!                     benchmark, run Heuristic 2 under growing
 //!                     rotation budgets and print the incumbent best
@@ -52,6 +58,7 @@ struct Options {
     check: Option<String>,
     reps: usize,
     degradation: bool,
+    certify: bool,
 }
 
 fn main() {
@@ -67,6 +74,9 @@ fn main() {
     if let Some(baseline) = &opts.check {
         std::process::exit(check_against_baseline(&graphs, baseline));
     }
+    if opts.certify {
+        std::process::exit(certify_sweep(&graphs));
+    }
     if opts.degradation {
         degradation_report(&graphs);
         return;
@@ -74,9 +84,7 @@ fn main() {
 
     let cells = TABLE_3.len();
     let reps = opts.reps;
-    let hardware = std::thread::available_parallelism()
-        .map(std::num::NonZeroUsize::get)
-        .unwrap_or(1);
+    let hardware = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
 
     println!("perf_report: table3 sweep ({cells} cells), {reps} reps per jobs value");
     println!("hardware threads: {hardware}\n");
@@ -362,6 +370,65 @@ fn check_against_baseline(graphs: &[(&str, Dfg)], baseline_path: &str) -> i32 {
     }
 }
 
+/// Certification mode: solve every Table-3 cell and have the
+/// independent verifier re-prove each winning kernel — and the
+/// solver's own quality verdict — legal. This is what stands between
+/// "the perf numbers regressed nowhere" and "the perf numbers are
+/// backed by schedules that are actually correct".
+fn certify_sweep(graphs: &[(&str, Dfg)]) -> i32 {
+    use rotsched_core::{RotationScheduler, SolveQuality};
+    use rotsched_sched::{verify_spec, verify_starts};
+    use rotsched_verify::{certify_claim, Claim};
+
+    let mut failures = 0_u32;
+    for row in TABLE_3 {
+        let g = &graphs
+            .iter()
+            .find(|(name, _)| *name == row.benchmark)
+            .expect("benchmark exists")
+            .1;
+        let resources = ResourceSet::adders_multipliers(row.adders, row.multipliers, row.pipelined);
+        let scheduler = RotationScheduler::new(g, resources.clone());
+        let solved = scheduler.solve().expect("benchmark solves");
+        let kernel = scheduler
+            .loop_schedule(&solved.state)
+            .expect("winner expands");
+        let spec = verify_spec(&resources);
+        let starts = verify_starts(g, kernel.schedule());
+        let claim = Claim {
+            kernel_length: kernel.kernel_length(),
+            depth: Some(kernel.retiming().depth()),
+            optimal: matches!(solved.quality, SolveQuality::Optimal),
+        };
+        match certify_claim(g, &spec, Some(kernel.retiming()), &starts, &claim) {
+            Ok(cert) => println!(
+                "  ok  {:<24} {:<6} {}",
+                row.benchmark,
+                resources.label(),
+                cert.summary()
+            ),
+            Err(bad) => {
+                failures += 1;
+                eprintln!(
+                    "FAIL {:<24} {:<6} rejected by the verifier:",
+                    row.benchmark,
+                    resources.label()
+                );
+                for d in &bad {
+                    eprintln!("       {}", d.render_text(g));
+                }
+            }
+        }
+    }
+    if failures == 0 {
+        println!("certified: all {} Table-3 cells", TABLE_3.len());
+        0
+    } else {
+        eprintln!("certification failed on {failures} cell(s)");
+        1
+    }
+}
+
 /// Pulls `"name": "0x..."` out of a baseline report without a JSON
 /// parser (the workspace is dependency-free).
 fn extract_hex_field(json: &str, name: &str) -> Option<u64> {
@@ -444,6 +511,7 @@ fn options_from_args() -> Options {
         check: None,
         reps: 3,
         degradation: false,
+        certify: false,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -467,6 +535,8 @@ fn options_from_args() -> Options {
             opts.reps = n.parse().unwrap_or(opts.reps).max(1);
         } else if arg == "--degradation" {
             opts.degradation = true;
+        } else if arg == "--certify" {
+            opts.certify = true;
         }
     }
     opts

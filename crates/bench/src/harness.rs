@@ -55,7 +55,7 @@ impl Harness {
             group: group.to_string(),
             filter,
             warm_up: Duration::from_millis(100),
-            measure: Duration::from_millis(1000),
+            measure: Duration::from_secs(1),
             samples: 15,
             results: Vec::new(),
         }

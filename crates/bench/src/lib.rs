@@ -5,6 +5,9 @@
 //! self-contained [`harness`]. This library hosts the shared measurement
 //! helpers.
 
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
 pub mod harness;
 
 use rotsched_baselines::lower_bound;
@@ -80,8 +83,7 @@ pub fn measure_rs_with(
     let verified = scheduler.verify(&solved.state, 25).is_ok();
     let registers = scheduler
         .loop_schedule(&solved.state)
-        .map(|ls| rotsched_sched::register_pressure(dfg, &ls).max_live)
-        .unwrap_or(0);
+        .map_or(0, |ls| rotsched_sched::register_pressure(dfg, &ls).max_live);
     MeasuredRow {
         resources: resources.label(),
         lb,

@@ -278,7 +278,7 @@ mod tests {
     #[test]
     fn generous_deadline_does_not_fire() {
         let meter = Budget::default()
-            .with_deadline(Duration::from_secs(3600))
+            .with_deadline(Duration::from_hours(1))
             .arm();
         assert_eq!(meter.check(), None);
     }

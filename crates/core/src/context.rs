@@ -7,7 +7,7 @@
 //! [`RotationContext`] carries that setup *across* the steps of a phase:
 //! the reservation table, the zero-delay edge view, and the priority
 //! weights are maintained by deltas (see
-//! [`SchedContext`](rotsched_sched::SchedContext)), the retiming is
+//! [`SchedContext`]), the retiming is
 //! updated in place via [`Retiming::apply_set`], and schedule
 //! normalization becomes an O(1) origin shift on the table.
 //!

@@ -159,7 +159,7 @@ pub fn heuristic2(
 /// [`heuristic2`] with an optional portfolio pruning signal and an
 /// optional armed [`Budget`](crate::Budget): the sweep publishes its
 /// best length as it goes and stops early when the signal says further
-/// work is pointless (see [`PruneSignal`](crate::portfolio::PruneSignal))
+/// work is pointless (see [`PruneSignal`])
 /// or when the budget meter fires. A budget stop ends the sweep after
 /// the phase that recorded it — its chained reschedule is skipped, so
 /// the incumbent is exactly what the truncated search produced. With

@@ -53,7 +53,7 @@
 //! * [`RotationScheduler`] — the high-level facade.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod budget;
 pub mod context;

@@ -262,7 +262,7 @@ pub fn rotation_phase_pruned(
 
 /// The from-scratch twin of [`rotation_phase_pruned`]: identical search,
 /// but every rotation uses the non-incremental
-/// [`down_rotate`](crate::rotate::down_rotate) operator. Kept as the
+/// [`down_rotate`] operator. Kept as the
 /// reference arm for equivalence tests and the `rotation_step`
 /// before/after benchmark.
 ///

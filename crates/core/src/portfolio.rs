@@ -605,7 +605,7 @@ pub type IsolatedResult<T> = Result<T, Box<dyn Any + Send>>;
 
 /// The panic-isolating core of [`parallel_indexed`]: identical
 /// scheduling, but each job runs under
-/// [`catch_unwind`](std::panic::catch_unwind) and its slot reports
+/// [`catch_unwind`] and its slot reports
 /// `Err(payload)` instead of unwinding. Job-count-independent: the
 /// sequential (`jobs <= 1`) path isolates exactly like the parallel one.
 ///

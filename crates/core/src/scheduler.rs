@@ -278,6 +278,7 @@ impl<'a> RotationScheduler<'a> {
             panicked_tasks: 0,
             lower_bound: bound,
         };
+        self.debug_certify(&outcome.best, quality);
         Ok(SolveOutcome {
             length: outcome.best_length,
             depth,
@@ -356,6 +357,7 @@ impl<'a> RotationScheduler<'a> {
             panicked_tasks: outcome.panicked_tasks,
             lower_bound: outcome.lower_bound,
         };
+        self.debug_certify(&outcome.best, quality);
         Ok(SolveOutcome {
             length: outcome.best_length,
             depth,
@@ -370,6 +372,44 @@ impl<'a> RotationScheduler<'a> {
             quality,
             stats,
         })
+    }
+
+    /// Debug-build safety net: every incumbent a solve is about to hand
+    /// back is re-checked by the independent certifier
+    /// (`rotsched-verify` shares no scheduling code with this crate).
+    /// A failure here is always a scheduler bug, never a bad input, so
+    /// it asserts rather than returning an error. Compiled to a no-op
+    /// in release builds.
+    fn debug_certify(&self, incumbents: &[RotationState], quality: SolveQuality) {
+        if !cfg!(debug_assertions) {
+            return;
+        }
+        let spec = rotsched_sched::verify_spec(&self.resources);
+        for state in incumbents {
+            let ls = self
+                .loop_schedule(state)
+                .expect("accepted incumbents must expand into loop schedules");
+            let starts = rotsched_sched::verify_starts(self.dfg, ls.schedule());
+            let claim = rotsched_verify::Claim {
+                kernel_length: ls.kernel_length(),
+                depth: Some(ls.retiming().depth()),
+                optimal: matches!(quality, SolveQuality::Optimal),
+            };
+            if let Err(bad) = rotsched_verify::certify_claim(
+                self.dfg,
+                &spec,
+                Some(ls.retiming()),
+                &starts,
+                &claim,
+            ) {
+                let report: Vec<String> = bad.iter().map(|d| d.render_text(self.dfg)).collect();
+                panic!(
+                    "scheduler produced an uncertifiable incumbent for `{}`:\n{}",
+                    self.dfg.name(),
+                    report.join("\n")
+                );
+            }
+        }
     }
 
     /// Expands a state into an executable [`LoopSchedule`] (wrapped

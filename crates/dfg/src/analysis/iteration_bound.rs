@@ -430,8 +430,8 @@ mod tests {
         let mut seed = 0x9E37_79B9_u64;
         let mut next = || {
             seed = seed
-                .wrapping_mul(6364136223846793005)
-                .wrapping_add(1442695040888963407);
+                .wrapping_mul(6_364_136_223_846_793_005)
+                .wrapping_add(1_442_695_040_888_963_407);
             seed >> 33
         };
         for &a in &v {

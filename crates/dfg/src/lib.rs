@@ -53,7 +53,7 @@
 //! * [`unfold`] — loop unfolding.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod analysis;
 mod builder;

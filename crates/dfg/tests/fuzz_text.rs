@@ -8,23 +8,35 @@
 //! duplications, token injections, line shuffles, truncations) and
 //! feeding every mutant — plus a battery of handcrafted adversarial
 //! inputs — through the parser under `catch_unwind`.
+//!
+//! The same totality contract extends one layer up: every mutant the
+//! parser *accepts* is fed through the `rotsched-verify` lint engine,
+//! which must analyze arbitrary hostile-but-well-formed graphs without
+//! panicking (diagnostics, even a pile of them, are a fine outcome;
+//! unwinding is a bug).
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
 
 use rotsched_dfg::rng::SplitMix64;
 use rotsched_dfg::text::{parse, to_text};
 use rotsched_dfg::{Dfg, OpKind};
+use rotsched_verify::{lint, LintContext, LintOptions};
 
 /// Asserts the robustness contract on one input, reporting the input on
-/// violation so a failure is immediately reproducible.
+/// violation so a failure is immediately reproducible. Every mutant the
+/// parser accepts is pushed on through the lint engine, which must be
+/// total too.
 fn assert_parse_does_not_panic(input: &str, what: &str) {
     let result = catch_unwind(AssertUnwindSafe(|| {
         // Ok and Err are both fine; only unwinding is a bug.
-        let _ = parse(input);
+        if let Ok(graph) = parse(input) {
+            let options = LintOptions::default();
+            let _ = lint(&graph, &LintContext::bare(&options));
+        }
     }));
     assert!(
         result.is_ok(),
-        "parse panicked on {what}; input was:\n{input}"
+        "parse/lint panicked on {what}; input was:\n{input}"
     );
 }
 

@@ -40,11 +40,12 @@
 //! ```
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 mod asap_alap;
 pub mod binding;
 pub mod chaining;
+pub mod diagnostics;
 mod error;
 pub mod executor;
 mod incremental;
@@ -61,6 +62,7 @@ pub mod wrapping;
 pub use asap_alap::{timing_bounds, TimingBounds};
 pub use binding::{bind_datapath, DatapathBinding};
 pub use chaining::{ChainTiming, ChainedSchedule, ChainedScheduler};
+pub use diagnostics::{check_static_schedule_diag, verify_spec, verify_starts};
 pub use error::SchedError;
 pub use executor::{simulate, SimulationError, SimulationReport};
 pub use incremental::SchedContext;

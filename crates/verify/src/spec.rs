@@ -1,0 +1,188 @@
+//! The verifier's own resource model.
+//!
+//! This deliberately re-states the semantics of the scheduler's
+//! `ResourceSet` instead of importing it: the certificate checker must
+//! not inherit a bug in the scheduler's occupancy or class-binding
+//! logic. The shared contract is behavioural, pinned by tests, not a
+//! shared type:
+//!
+//! * an operation kind binds to the **first** class that lists it;
+//! * a non-pipelined unit is busy for every control step of the
+//!   operation (`t` steps, at least one);
+//! * a pipelined unit is contended for only in the start step.
+
+use rotsched_dfg::{Dfg, OpKind};
+
+/// One class of functional units as the verifier models it.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct UnitClass {
+    /// Human-readable name, used in diagnostics (`adder`, `multiplier`).
+    pub name: String,
+    /// Number of units available per control step.
+    pub units: u32,
+    /// Whether a new operation can start on a busy unit every step.
+    pub pipelined: bool,
+    /// The operation kinds this class executes.
+    pub ops: Vec<OpKind>,
+}
+
+impl UnitClass {
+    /// Creates a class.
+    #[must_use]
+    pub fn new(name: impl Into<String>, units: u32, pipelined: bool, ops: Vec<OpKind>) -> Self {
+        UnitClass {
+            name: name.into(),
+            units,
+            pipelined,
+            ops,
+        }
+    }
+
+    /// Control steps one operation of duration `time` keeps a unit busy.
+    #[must_use]
+    pub fn busy_steps(&self, time: u32) -> u32 {
+        if self.pipelined {
+            1
+        } else {
+            time.max(1)
+        }
+    }
+}
+
+/// A complete resource allocation, from the verifier's point of view.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ResourceSpec {
+    classes: Vec<UnitClass>,
+}
+
+impl ResourceSpec {
+    /// Builds a spec from explicit classes. Binding order matters: an
+    /// operation kind claimed by several classes goes to the first.
+    #[must_use]
+    pub fn new(classes: Vec<UnitClass>) -> Self {
+        ResourceSpec { classes }
+    }
+
+    /// The paper's standard allocation: `adders` adder-class units
+    /// (add/sub/cmp/shift/other, never pipelined) and `multipliers`
+    /// multiplier-class units (mul/div), pipelined or not.
+    #[must_use]
+    pub fn adders_multipliers(adders: u32, multipliers: u32, pipelined_mult: bool) -> Self {
+        ResourceSpec::new(vec![
+            UnitClass::new(
+                "adder",
+                adders,
+                false,
+                vec![
+                    OpKind::Add,
+                    OpKind::Sub,
+                    OpKind::Cmp,
+                    OpKind::Shift,
+                    OpKind::Other,
+                ],
+            ),
+            UnitClass::new(
+                "multiplier",
+                multipliers,
+                pipelined_mult,
+                vec![OpKind::Mul, OpKind::Div],
+            ),
+        ])
+    }
+
+    /// An effectively unconstrained allocation.
+    #[must_use]
+    pub fn unlimited() -> Self {
+        ResourceSpec::new(vec![UnitClass::new(
+            "any",
+            u32::MAX,
+            false,
+            OpKind::ALL.to_vec(),
+        )])
+    }
+
+    /// The classes, in binding order.
+    #[must_use]
+    pub fn classes(&self) -> &[UnitClass] {
+        &self.classes
+    }
+
+    /// Index of the class executing `op` (first match wins), if any.
+    #[must_use]
+    pub fn class_of(&self, op: OpKind) -> Option<usize> {
+        self.classes.iter().position(|c| c.ops.contains(&op))
+    }
+
+    /// The resource lower bound on the kernel length: the busiest class's
+    /// total occupancy divided by its unit count, rounded up. Classes
+    /// with zero units and unbound operations are skipped (they are
+    /// errors in their own right, reported elsewhere).
+    #[must_use]
+    pub fn resource_bound(&self, dfg: &Dfg) -> u64 {
+        let mut per_class = vec![0_u64; self.classes.len()];
+        for (_, node) in dfg.nodes() {
+            if let Some(c) = self.class_of(node.op()) {
+                per_class[c] += u64::from(self.classes[c].busy_steps(node.time()));
+            }
+        }
+        per_class
+            .iter()
+            .zip(&self.classes)
+            .filter(|&(_, class)| class.units > 0)
+            .map(|(&occ, class)| occ.div_ceil(u64::from(class.units)))
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rotsched_dfg::Dfg;
+
+    #[test]
+    fn first_match_wins() {
+        let spec = ResourceSpec::new(vec![
+            UnitClass::new("a", 1, false, vec![OpKind::Add]),
+            UnitClass::new("b", 1, false, vec![OpKind::Add, OpKind::Mul]),
+        ]);
+        assert_eq!(spec.class_of(OpKind::Add), Some(0));
+        assert_eq!(spec.class_of(OpKind::Mul), Some(1));
+        assert_eq!(spec.class_of(OpKind::Div), None);
+    }
+
+    #[test]
+    fn busy_steps_respects_pipelining() {
+        let p = UnitClass::new("p", 1, true, vec![OpKind::Mul]);
+        let n = UnitClass::new("n", 1, false, vec![OpKind::Mul]);
+        assert_eq!(p.busy_steps(3), 1);
+        assert_eq!(n.busy_steps(3), 3);
+        assert_eq!(n.busy_steps(0), 1);
+    }
+
+    #[test]
+    fn resource_bound_counts_occupancy() {
+        let mut g = Dfg::new("g");
+        for i in 0..4 {
+            g.add_node(format!("m{i}"), OpKind::Mul, 2);
+        }
+        assert_eq!(
+            ResourceSpec::adders_multipliers(0, 2, false).resource_bound(&g),
+            4
+        );
+        assert_eq!(
+            ResourceSpec::adders_multipliers(0, 2, true).resource_bound(&g),
+            2
+        );
+    }
+
+    #[test]
+    fn zero_unit_class_does_not_divide_by_zero() {
+        let mut g = Dfg::new("g");
+        g.add_node("m", OpKind::Mul, 1);
+        assert_eq!(
+            ResourceSpec::adders_multipliers(1, 0, false).resource_bound(&g),
+            0
+        );
+    }
+}

@@ -2,11 +2,18 @@
 //!
 //! ```text
 //! rotsched analyze  <file.dfg>
+//! rotsched lint     <file.dfg> [--adders N] [--mults N] [--pipelined]
+//!                              [--format text|json]
 //! rotsched solve    <file.dfg> [--adders N] [--mults N] [--pipelined]
 //!                              [--verify ITERS] [--dot] [--expand ITERS]
 //!                              [--jobs N] [--deadline-ms N] [--max-rotations N]
+//!                              [--certify] [--format text|json]
 //! rotsched compare  <file.dfg> [--adders N] [--mults N] [--pipelined]
 //! ```
+//!
+//! `lint` runs the independent static-analysis passes of
+//! `rotsched-verify` over the graph and resource spec, reporting
+//! structured diagnostics with stable `E0xx`/`W0xx` codes.
 //!
 //! `--jobs N` with `N > 1` searches with the parallel portfolio
 //! (Heuristic 1's phases plus one Heuristic-2 sweep per priority
@@ -14,10 +21,17 @@
 //!
 //! `--deadline-ms N` bounds the solve to `N` milliseconds of wall-clock
 //! time and `--max-rotations N` to `N` down-rotations; either way the
-//! solve returns its incumbent best — always a legal schedule. Exit
-//! codes: `0` success, `1` error, `2` usage, `3` budget exhausted
+//! solve returns its incumbent best — always a legal schedule.
+//!
+//! `--certify` re-checks the solved kernel with the independent
+//! certifying verifier (which shares no scheduling code with the
+//! solver) and prints the certificate; `--format json` emits
+//! machine-readable diagnostics and certificates.
+//!
+//! Exit codes: `0` success, `1` error, `2` usage, `3` budget exhausted
 //! (legal incumbent printed), `4` degraded (a portfolio worker failed;
-//! best surviving result printed).
+//! best surviving result printed), `5` lint errors or certification
+//! failure (the diagnostics are printed).
 //!
 //! Input files use the text format of `rotsched::dfg::text`:
 //!
@@ -37,7 +51,18 @@ use rotsched::baselines::{
 };
 use rotsched::dfg::analysis;
 use rotsched::dfg::text;
+use rotsched::sched::{verify_spec, verify_starts};
+use rotsched::verify::{
+    certify_claim, has_errors, lint, render_json_array, Claim, LintContext, LintOptions,
+};
 use rotsched::{Budget, Dfg, PriorityPolicy, ResourceSet, RotationScheduler, SolveQuality};
+
+/// Output format for diagnostics and certificates.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Format {
+    Text,
+    Json,
+}
 
 struct Options {
     adders: u32,
@@ -49,6 +74,8 @@ struct Options {
     jobs: u32,
     deadline_ms: Option<u64>,
     max_rotations: Option<u64>,
+    certify: bool,
+    format: Format,
 }
 
 impl Options {
@@ -66,9 +93,9 @@ impl Options {
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: rotsched <analyze|solve|compare> <file.dfg> \
+        "usage: rotsched <analyze|lint|solve|compare> <file.dfg> \
          [--adders N] [--mults N] [--pipelined] [--verify N] [--expand N] [--dot] [--jobs N] \
-         [--deadline-ms N] [--max-rotations N]"
+         [--deadline-ms N] [--max-rotations N] [--certify] [--format text|json]"
     );
     ExitCode::from(2)
 }
@@ -106,6 +133,8 @@ fn main() -> ExitCode {
         jobs: 1,
         deadline_ms: None,
         max_rotations: None,
+        certify: false,
+        format: Format::Text,
     };
     let mut it = args[2..].iter();
     while let Some(flag) = it.next() {
@@ -140,6 +169,18 @@ fn main() -> ExitCode {
             },
             "--pipelined" => opts.pipelined = true,
             "--dot" => opts.dot = true,
+            "--certify" => opts.certify = true,
+            "--format" => match it.next().map(String::as_str) {
+                Some("text") => opts.format = Format::Text,
+                Some("json") => opts.format = Format::Json,
+                other => {
+                    eprintln!(
+                        "error: --format needs `text` or `json`, got {}",
+                        other.unwrap_or("nothing")
+                    );
+                    return usage();
+                }
+            },
             other => {
                 eprintln!("error: unknown flag {other}");
                 return usage();
@@ -168,6 +209,7 @@ fn main() -> ExitCode {
 
     let result = match command.as_str() {
         "analyze" => analyze(&graph).map(|()| ExitCode::SUCCESS),
+        "lint" => Ok(lint_command(&graph, &opts)),
         "solve" => solve(&graph, &opts),
         "compare" => compare(&graph, &opts).map(|()| ExitCode::SUCCESS),
         _ => return usage(),
@@ -206,8 +248,48 @@ fn analyze(graph: &Dfg) -> Result<(), Box<dyn std::error::Error>> {
     Ok(())
 }
 
+/// `rotsched lint`: run every static-analysis pass over the graph and
+/// the resource spec implied by `--adders`/`--mults`/`--pipelined`.
+/// Exit code 5 when any error-severity diagnostic fires; warnings alone
+/// exit 0.
+fn lint_command(graph: &Dfg, opts: &Options) -> ExitCode {
+    let resources = ResourceSet::adders_multipliers(opts.adders, opts.mults, opts.pipelined);
+    let spec = verify_spec(&resources);
+    let lint_options = LintOptions::default();
+    let ctx = LintContext {
+        spec: Some(&spec),
+        retiming: None,
+        options: &lint_options,
+    };
+    let diags = lint(graph, &ctx);
+    match opts.format {
+        Format::Json => println!("{}", render_json_array(&diags, graph)),
+        Format::Text => {
+            for d in &diags {
+                println!("{}", d.render_text(graph));
+            }
+            let errors = diags
+                .iter()
+                .filter(|d| d.severity().as_str() == "error")
+                .count();
+            println!(
+                "{}: {} error(s), {} warning(s)",
+                graph.name(),
+                errors,
+                diags.len() - errors
+            );
+        }
+    }
+    if has_errors(&diags) {
+        ExitCode::from(5)
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
 fn solve(graph: &Dfg, opts: &Options) -> Result<ExitCode, Box<dyn std::error::Error>> {
     let resources = ResourceSet::adders_multipliers(opts.adders, opts.mults, opts.pipelined);
+    let spec = verify_spec(&resources);
     println!(
         "scheduling under {} (lower bound {})",
         resources.label(),
@@ -263,6 +345,32 @@ fn solve(graph: &Dfg, opts: &Options) -> Result<ExitCode, Box<dyn std::error::Er
             report.makespan,
             report.speedup()
         );
+    }
+    if opts.certify {
+        let starts = verify_starts(graph, kernel.schedule());
+        let claim = Claim {
+            kernel_length: kernel.kernel_length(),
+            depth: Some(kernel.retiming().depth()),
+            optimal: matches!(solved.quality, SolveQuality::Optimal),
+        };
+        match certify_claim(graph, &spec, Some(kernel.retiming()), &starts, &claim) {
+            Ok(cert) => match opts.format {
+                Format::Json => println!("{}", cert.render_json()),
+                Format::Text => println!("{}", cert.summary()),
+            },
+            Err(diags) => {
+                match opts.format {
+                    Format::Json => eprintln!("{}", render_json_array(&diags, graph)),
+                    Format::Text => {
+                        for d in &diags {
+                            eprintln!("{}", d.render_text(graph));
+                        }
+                    }
+                }
+                eprintln!("certification FAILED: the reported kernel is not a legal schedule");
+                return Ok(ExitCode::from(5));
+            }
+        }
     }
     Ok(match solved.quality {
         SolveQuality::BudgetExhausted => ExitCode::from(3),

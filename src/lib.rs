@@ -22,6 +22,10 @@
 //! * [`baselines`] — lower bounds, DAG-only scheduling, unfold-and-
 //!   schedule, iterative modulo scheduling, and the paper's published
 //!   comparison numbers.
+//! * [`verify`] — the independent static analyzer: a DFG lint engine
+//!   with stable diagnostic codes, and a certifying verifier that
+//!   re-checks retimings, wrapped kernels, and pipeline expansions
+//!   while sharing no scheduling code with the solver.
 //! * [`benchmarks`] — the five DSP benchmarks of Table 1 and random DFG
 //!   generators.
 //!
@@ -54,12 +58,13 @@
 //! paper-vs-measured record of every table and figure.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub use rotsched_baselines as baselines;
 pub use rotsched_core as core;
 pub use rotsched_dfg as dfg;
 pub use rotsched_sched as sched;
+pub use rotsched_verify as verify;
 
 /// The benchmark suite (re-exported crate).
 pub mod benchmarks {

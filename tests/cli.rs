@@ -248,3 +248,94 @@ fn malformed_input_reports_the_line() {
     assert!(!ok);
     assert!(stderr.contains("line 2"));
 }
+
+#[test]
+fn lint_passes_clean_fixtures_with_exit_0() {
+    let (stdout, _, code) = run_code(&["lint", &fixture("differential-equation")]);
+    assert_eq!(code, 0);
+    assert!(stdout.contains("0 error(s)"), "{stdout}");
+}
+
+#[test]
+fn lint_reports_errors_with_exit_5() {
+    // Zero adder units with adder-class operations present: E005.
+    let (stdout, _, code) = run_code(&[
+        "lint",
+        &fixture("differential-equation"),
+        "--adders",
+        "0",
+        "--mults",
+        "1",
+    ]);
+    assert_eq!(code, 5, "lint errors exit with code 5");
+    assert!(stdout.contains("E005"), "{stdout}");
+}
+
+#[test]
+fn lint_json_is_machine_readable_and_stable() {
+    let args = [
+        "lint",
+        &fixture("differential-equation"),
+        "--adders",
+        "0",
+        "--mults",
+        "1",
+        "--format",
+        "json",
+    ];
+    let (first, _, code) = run_code(&args);
+    let (second, _, _) = run_code(&args);
+    assert_eq!(code, 5);
+    assert_eq!(first, second, "lint JSON must be byte-stable");
+    assert!(first.trim_start().starts_with('['), "{first}");
+    assert!(first.contains("\"code\":\"E005\""), "{first}");
+    assert!(first.contains("\"severity\":\"error\""), "{first}");
+}
+
+#[test]
+fn solve_certify_passes_on_fixtures() {
+    let (stdout, _, code) = run_code(&[
+        "solve",
+        &fixture("differential-equation"),
+        "--adders",
+        "1",
+        "--mults",
+        "2",
+        "--certify",
+    ]);
+    assert_eq!(code, 0);
+    assert!(stdout.contains("certified:"), "{stdout}");
+}
+
+#[test]
+fn solve_certify_json_emits_the_certificate() {
+    let (stdout, _, code) = run_code(&[
+        "solve",
+        &fixture("differential-equation"),
+        "--adders",
+        "1",
+        "--mults",
+        "2",
+        "--certify",
+        "--format",
+        "json",
+    ]);
+    assert_eq!(code, 0);
+    assert!(stdout.contains("\"kernel_length\":6"), "{stdout}");
+    assert!(stdout.contains("\"proves_optimal\":true"), "{stdout}");
+}
+
+#[test]
+fn bad_format_value_is_a_usage_error() {
+    let (_, stderr, code) = run_code(&[
+        "lint",
+        &fixture("differential-equation"),
+        "--format",
+        "yaml",
+    ]);
+    assert_eq!(code, 2);
+    assert!(
+        stderr.contains("--format") && stderr.contains("yaml"),
+        "{stderr}"
+    );
+}

@@ -1,0 +1,100 @@
+//! Lint + certify every shipped graph: the text fixtures under
+//! `crates/benchmarks/fixtures/` and the programmatic bench suite.
+//! Asserts zero error-severity diagnostics on all of them and that the
+//! JSON renderings are byte-stable (identical across independent runs —
+//! the property downstream tooling relies on to diff reports).
+
+use rotsched::dfg::text;
+use rotsched::sched::{verify_spec, verify_starts};
+use rotsched::verify::{
+    certify, has_errors, lint, render_json_array, LintContext, LintOptions, Severity,
+};
+use rotsched::{all_benchmarks, Dfg, ResourceSet, RotationScheduler, TimingModel};
+
+const FIXTURES: [&str; 5] = [
+    "2-cascaded-biquad-filter",
+    "4-stage-lattice-filter",
+    "5th-order-elliptic-filter",
+    "all-pole-lattice-filter",
+    "differential-equation",
+];
+
+fn fixture_graph(name: &str) -> Dfg {
+    let path = format!(
+        "{}/crates/benchmarks/fixtures/{name}.dfg",
+        env!("CARGO_MANIFEST_DIR")
+    );
+    text::parse(&std::fs::read_to_string(path).expect("fixture readable")).expect("fixture parses")
+}
+
+/// Lints `graph` under a 2-adder/2-multiplier spec and returns the
+/// byte-stable JSON report, asserting no errors were found.
+fn lint_clean(graph: &Dfg, what: &str) -> String {
+    let spec = verify_spec(&ResourceSet::adders_multipliers(2, 2, false));
+    let options = LintOptions::default();
+    let ctx = LintContext {
+        spec: Some(&spec),
+        retiming: None,
+        options: &options,
+    };
+    let diags = lint(graph, &ctx);
+    let errors: Vec<String> = diags
+        .iter()
+        .filter(|d| d.severity() == Severity::Error)
+        .map(|d| d.render_text(graph))
+        .collect();
+    assert!(
+        !has_errors(&diags),
+        "{what}: unexpected lint errors:\n{}",
+        errors.join("\n")
+    );
+    render_json_array(&diags, graph)
+}
+
+#[test]
+fn every_fixture_lints_clean_with_stable_json() {
+    for name in FIXTURES {
+        let graph = fixture_graph(name);
+        let first = lint_clean(&graph, name);
+        let second = lint_clean(&graph, name);
+        assert_eq!(first, second, "{name}: lint JSON must be byte-stable");
+    }
+}
+
+#[test]
+fn every_bench_suite_graph_lints_clean() {
+    for timing in [TimingModel::paper(), TimingModel::unit()] {
+        for (name, graph) in all_benchmarks(&timing) {
+            let first = lint_clean(&graph, name);
+            let second = lint_clean(&graph, name);
+            assert_eq!(first, second, "{name}: lint JSON must be byte-stable");
+        }
+    }
+}
+
+#[test]
+fn every_bench_suite_graph_certifies_with_stable_certificate_json() {
+    let resources = ResourceSet::adders_multipliers(2, 2, false);
+    let spec = verify_spec(&resources);
+    for (name, graph) in all_benchmarks(&TimingModel::paper()) {
+        let run = || {
+            let scheduler = RotationScheduler::new(&graph, resources.clone());
+            let solved = scheduler.solve().expect("solves");
+            let kernel = scheduler.loop_schedule(&solved.state).expect("expands");
+            let starts = verify_starts(&graph, kernel.schedule());
+            certify(
+                &graph,
+                &spec,
+                Some(kernel.retiming()),
+                &starts,
+                kernel.kernel_length(),
+            )
+            .unwrap_or_else(|bad| {
+                let report: Vec<String> = bad.iter().map(|d| d.render_text(&graph)).collect();
+                panic!("{name}: rejected:\n{}", report.join("\n"));
+            })
+            .render_json()
+        };
+        assert_eq!(run(), run(), "{name}: certificate JSON must be byte-stable");
+    }
+}

@@ -1,0 +1,347 @@
+//! Mutation testing of the certifying verifier: inject faults into
+//! known-good solver outputs and assert that `rotsched-verify` rejects
+//! every one with the expected diagnostic code.
+//!
+//! The point of this suite is to prove the analyzer is not vacuous. A
+//! checker that accepts everything would pass every "legitimate outputs
+//! certify clean" test; only deliberate corruption shows it actually
+//! discriminates. Fault classes covered (each its own test):
+//!
+//! | fault                                   | code |
+//! |-----------------------------------------|------|
+//! | dropped start time                      | E101 |
+//! | start at control step 0                 | E102 |
+//! | kernel length 0                         | E102 |
+//! | off-by-one retiming (negative `d_r`)    | E103 |
+//! | dropped dependency (consumer too early) | E104 |
+//! | slot collision (class oversubscribed)   | E105 |
+//! | start past the kernel window            | E107 |
+//! | tail past two kernels                   | E108 |
+//! | wrapped producer consumed too early     | E109 |
+//! | dropped / duplicated pipeline event     | E110 |
+//! | unrolled-loop dependency violation      | E111 |
+//! | pipeline slot collision (absolute step) | E112 |
+//! | forged depth claim                      | E113 |
+//! | forged optimality verdict               | E114 |
+
+use rotsched::dfg::Retiming;
+use rotsched::sched::{verify_spec, verify_starts};
+use rotsched::verify::{
+    certify, certify_claim, certify_pipeline, expand, Claim, Code, Diagnostic, ResourceSpec,
+    StartTimes,
+};
+use rotsched::{diffeq, Dfg, DfgBuilder, OpKind, ResourceSet, RotationScheduler, TimingModel};
+
+/// A certified-good solver output on the paper's differential-equation
+/// benchmark under 1 adder + 2 multipliers: the raw material every
+/// schedule-level mutation corrupts.
+struct Good {
+    graph: Dfg,
+    spec: ResourceSpec,
+    retiming: Retiming,
+    starts: StartTimes,
+    length: u32,
+}
+
+fn solved_diffeq() -> Good {
+    let graph = diffeq(&TimingModel::paper());
+    let resources = ResourceSet::adders_multipliers(1, 2, false);
+    let scheduler = RotationScheduler::new(&graph, resources.clone());
+    let solved = scheduler.solve().expect("diffeq solves");
+    let kernel = scheduler.loop_schedule(&solved.state).expect("expands");
+    let spec = verify_spec(&resources);
+    let starts = verify_starts(&graph, kernel.schedule());
+    let good = Good {
+        spec,
+        retiming: kernel.retiming().clone(),
+        starts,
+        length: kernel.kernel_length(),
+        graph,
+    };
+    // Sanity: the unmutated quadruple certifies.
+    certify(
+        &good.graph,
+        &good.spec,
+        Some(&good.retiming),
+        &good.starts,
+        good.length,
+    )
+    .expect("the unmutated solver output is legal");
+    good
+}
+
+fn codes(diags: &[Diagnostic]) -> Vec<Code> {
+    diags.iter().map(|d| d.code).collect()
+}
+
+/// Runs `certify` on the (mutated) quadruple and returns the codes it
+/// rejected with; panics if the mutant is accepted.
+fn reject(good: &Good) -> Vec<Code> {
+    let rejected = certify(
+        &good.graph,
+        &good.spec,
+        Some(&good.retiming),
+        &good.starts,
+        good.length,
+    )
+    .expect_err("the mutant must be rejected");
+    codes(&rejected)
+}
+
+#[test]
+fn dropped_start_time_is_rejected_e101() {
+    let mut good = solved_diffeq();
+    let v = good.graph.node_by_name("m1").unwrap();
+    good.starts.clear(v);
+    assert!(reject(&good).contains(&Code::Unscheduled));
+}
+
+#[test]
+fn zero_start_is_rejected_e102() {
+    let mut good = solved_diffeq();
+    let v = good.graph.node_by_name("m1").unwrap();
+    good.starts.set(v, 0);
+    assert!(reject(&good).contains(&Code::InvalidStart));
+}
+
+#[test]
+fn zero_kernel_length_is_rejected_e102() {
+    let mut good = solved_diffeq();
+    good.length = 0;
+    assert!(reject(&good).contains(&Code::InvalidStart));
+}
+
+#[test]
+fn off_by_one_retiming_is_rejected_e103() {
+    let mut good = solved_diffeq();
+    // Incrementing one node's retiming value drops the retimed delay of
+    // every incoming edge by 1; picking a node with a zero-d_r incoming
+    // edge guarantees some d_r goes negative.
+    let e = good
+        .graph
+        .edges()
+        .map(|(_, e)| *e)
+        .find(|e| {
+            i64::from(e.delays()) + good.retiming.of(e.from()) - good.retiming.of(e.to()) == 0
+        })
+        .expect("diffeq has a zero-d_r edge");
+    good.retiming.add(e.to(), 1);
+    assert!(reject(&good).contains(&Code::CertIllegalRetiming));
+}
+
+#[test]
+fn dropped_dependency_is_rejected_e104() {
+    let mut good = solved_diffeq();
+    // Find an intra-kernel dependency (d_r = 0) and slide the consumer
+    // onto the producer's start, as if the edge had been dropped when
+    // the schedule was built.
+    let e = good
+        .graph
+        .edges()
+        .map(|(_, e)| *e)
+        .find(|e| {
+            i64::from(e.delays()) + good.retiming.of(e.from()) - good.retiming.of(e.to()) == 0
+        })
+        .expect("diffeq has a zero-d_r edge");
+    let producer_start = good.starts.get(e.from()).unwrap();
+    good.starts.set(e.to(), producer_start);
+    assert!(reject(&good).contains(&Code::PrecedenceViolation));
+}
+
+#[test]
+fn slot_collision_is_rejected_e105() {
+    let mut good = solved_diffeq();
+    // Pile every multiplication onto control step 1: 6 multiplications
+    // on 2 multipliers cannot fit.
+    for (v, node) in good.graph.nodes() {
+        if node.op().is_multiplicative() {
+            good.starts.set(v, 1);
+        }
+    }
+    assert!(reject(&good).contains(&Code::ResourceOverflow));
+}
+
+#[test]
+fn start_past_kernel_is_rejected_e107() {
+    let mut good = solved_diffeq();
+    let v = good.graph.node_by_name("m1").unwrap();
+    good.starts.set(v, good.length + 1);
+    assert!(reject(&good).contains(&Code::StartPastKernel));
+}
+
+#[test]
+fn tail_past_two_kernels_is_rejected_e108() {
+    // A wrapped tail may extend into the next kernel instance but never
+    // past it: a 4-step op started at step 2 of a 2-step kernel finishes
+    // at absolute step 5 > 2L = 4.
+    let g = DfgBuilder::new("tail")
+        .node("m", OpKind::Mul, 4)
+        .build()
+        .unwrap();
+    let m = g.node_by_name("m").unwrap();
+    let mut starts = StartTimes::empty(&g);
+    starts.set(m, 2);
+    let spec = ResourceSpec::unlimited();
+    let bad = certify(&g, &spec, None, &starts, 2).expect_err("tail overruns");
+    assert!(codes(&bad).contains(&Code::TailTooLong));
+}
+
+#[test]
+fn wrapped_producer_consumed_too_early_is_rejected_e109() {
+    // u (3 steps) starts at step 2 of a 3-step kernel: it wraps, finishing
+    // at absolute step 4. Its 1-delay consumer at step 1 of the next
+    // kernel instance reads at absolute step 4 — one step too early.
+    let g = DfgBuilder::new("wrap")
+        .node("u", OpKind::Mul, 3)
+        .node("v", OpKind::Add, 1)
+        .edge("u", "v", 1)
+        .build()
+        .unwrap();
+    let u = g.node_by_name("u").unwrap();
+    let v = g.node_by_name("v").unwrap();
+    let mut starts = StartTimes::empty(&g);
+    starts.set(u, 2);
+    starts.set(v, 1);
+    let spec = ResourceSpec::unlimited();
+    let bad = certify(&g, &spec, None, &starts, 3).expect_err("tail read too early");
+    assert!(codes(&bad).contains(&Code::WrapPrecedenceViolation));
+}
+
+#[test]
+fn forged_depth_claim_is_rejected_e113() {
+    let good = solved_diffeq();
+    let claim = Claim {
+        kernel_length: good.length,
+        depth: Some(good.retiming.depth() + 1),
+        optimal: false,
+    };
+    let bad = certify_claim(
+        &good.graph,
+        &good.spec,
+        Some(&good.retiming),
+        &good.starts,
+        &claim,
+    )
+    .expect_err("depth forgery");
+    assert!(codes(&bad).contains(&Code::LengthClaimMismatch));
+}
+
+#[test]
+fn forged_optimality_verdict_is_rejected_e114() {
+    // A legal single-node kernel stretched to L = 2 is *not* optimal
+    // (the true bound is 1); claiming so must be caught.
+    let g = DfgBuilder::new("pad")
+        .node("a", OpKind::Add, 1)
+        .build()
+        .unwrap();
+    let a = g.node_by_name("a").unwrap();
+    let mut starts = StartTimes::empty(&g);
+    starts.set(a, 1);
+    let spec = ResourceSpec::unlimited();
+    let claim = Claim {
+        kernel_length: 2,
+        depth: None,
+        optimal: true,
+    };
+    let bad = certify_claim(&g, &spec, None, &starts, &claim).expect_err("forged verdict");
+    assert!(codes(&bad).contains(&Code::ForgedOptimality));
+    // The honest verdict on the same schedule passes.
+    let honest = Claim {
+        optimal: false,
+        ..claim
+    };
+    certify_claim(&g, &spec, None, &starts, &honest).expect("honest verdict certifies");
+}
+
+// ---- prologue / pipeline-expansion corruptions ----
+
+/// The solved diffeq pipeline expanded over a small iteration window,
+/// pre-checked clean.
+fn expanded_diffeq(iterations: u32) -> (Good, Vec<rotsched::verify::ExecEvent>) {
+    let good = solved_diffeq();
+    let events = expand(
+        &good.graph,
+        &good.retiming,
+        &good.starts,
+        good.length,
+        iterations,
+    );
+    certify_pipeline(&good.graph, &good.spec, &events, iterations)
+        .expect("the unmutated expansion certifies");
+    (good, events)
+}
+
+#[test]
+fn dropped_pipeline_event_is_rejected_e110() {
+    let (good, mut events) = expanded_diffeq(4);
+    events.remove(events.len() / 2);
+    let bad = certify_pipeline(&good.graph, &good.spec, &events, 4).expect_err("dropped event");
+    assert!(codes(&bad).contains(&Code::ExecutionMultiplicity));
+}
+
+#[test]
+fn duplicated_pipeline_event_is_rejected_e110() {
+    let (good, mut events) = expanded_diffeq(4);
+    let dup = events[0];
+    events.push(dup);
+    let bad = certify_pipeline(&good.graph, &good.spec, &events, 4).expect_err("duplicated event");
+    assert!(codes(&bad).contains(&Code::ExecutionMultiplicity));
+}
+
+#[test]
+fn unrolled_dependency_violation_is_rejected_e111() {
+    let (good, mut events) = expanded_diffeq(4);
+    // Yank one mid-pipeline execution far before the loop even starts:
+    // whatever it consumes cannot be ready.
+    let idx = events.len() / 2;
+    events[idx].start = -1000;
+    let bad = certify_pipeline(&good.graph, &good.spec, &events, 4).expect_err("time travel");
+    assert!(codes(&bad).contains(&Code::UnrolledPrecedenceViolation));
+}
+
+#[test]
+fn pipeline_slot_collision_is_rejected_e112() {
+    // Three independent multiplications forced onto the same absolute
+    // step with only two multipliers.
+    let g = DfgBuilder::new("mulpile")
+        .nodes("m", 3, OpKind::Mul, 1)
+        .build()
+        .unwrap();
+    let spec = verify_spec(&ResourceSet::adders_multipliers(1, 2, false));
+    let events: Vec<rotsched::verify::ExecEvent> = g
+        .node_ids()
+        .map(|v| rotsched::verify::ExecEvent {
+            node: v,
+            iteration: 0,
+            start: 1,
+        })
+        .collect();
+    let bad = certify_pipeline(&g, &spec, &events, 1).expect_err("slot collision");
+    assert!(codes(&bad).contains(&Code::UnrolledResourceOverflow));
+}
+
+/// The fault classes above cover at least 12 distinct diagnostic codes —
+/// the acceptance floor of the suite — and every rejection carried the
+/// code the corruption was designed to trigger.
+#[test]
+fn suite_covers_at_least_12_distinct_codes() {
+    let covered = [
+        Code::Unscheduled,
+        Code::InvalidStart,
+        Code::CertIllegalRetiming,
+        Code::PrecedenceViolation,
+        Code::ResourceOverflow,
+        Code::StartPastKernel,
+        Code::TailTooLong,
+        Code::WrapPrecedenceViolation,
+        Code::ExecutionMultiplicity,
+        Code::UnrolledPrecedenceViolation,
+        Code::UnrolledResourceOverflow,
+        Code::LengthClaimMismatch,
+        Code::ForgedOptimality,
+    ];
+    let mut unique: Vec<&str> = covered.iter().map(|c| c.as_str()).collect();
+    unique.sort_unstable();
+    unique.dedup();
+    assert!(unique.len() >= 12, "only {} distinct codes", unique.len());
+}
