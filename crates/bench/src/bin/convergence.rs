@@ -10,7 +10,9 @@
 //! value.
 //!
 //! For every benchmark and a few resource configurations, runs one
-//! independent rotation phase per size (Heuristic 1's structure) and
+//! independent rotation phase per size (Heuristic 1's structure)
+//! through the instrumented [`SearchDriver`], reading per-rotation
+//! lengths off the recorded [`TraceEvent::Rotated`] stream, and
 //! reports, per size, how many rotations it took to first reach the
 //! phase's best length — the paper's observations to check:
 //!
@@ -22,7 +24,9 @@
 use rotsched_baselines::lower_bound;
 use rotsched_bench::jobs_from_args;
 use rotsched_benchmarks::{all_benchmarks, TimingModel};
-use rotsched_core::{initial_state, parallel_indexed, rotation_phase, BestSet};
+use rotsched_core::{
+    initial_state, parallel_indexed, BestSet, SearchDriver, TraceEvent, TraceRecorder,
+};
 use rotsched_sched::{ListScheduler, ResourceSet};
 
 fn main() {
@@ -43,14 +47,25 @@ fn main() {
         for size in 1..init_len.max(2) {
             let mut state = init.clone();
             let mut best = BestSet::new(1);
-            best.offer(state.wrapped_length(g, &res).expect("wraps"), &state);
-            let stats = rotation_phase(g, &sched, &res, &mut state, &mut best, size, alpha)
+            // Two events per rotation plus phase bookkeeping fits well
+            // inside this ring, so nothing the study reads is dropped.
+            let mut driver =
+                SearchDriver::incremental(g, &sched, &res).with_observer(TraceRecorder::new(256));
+            let wrapped = state.wrapped_length(g, &res).expect("wraps");
+            driver.offer(&mut best, wrapped, &state);
+            driver
+                .run_phase(&mut state, &mut best, size, alpha)
                 .expect("phases run");
+            let trace = driver.observer.finish();
             let reached = best.length;
-            let when = stats
-                .lengths
+            let when = trace
+                .events
                 .iter()
-                .position(|&l| u64::from(l) == u64::from(reached))
+                .filter_map(|e| match e {
+                    TraceEvent::Rotated { length, .. } => Some(*length),
+                    _ => None,
+                })
+                .position(|l| u64::from(l) == u64::from(reached))
                 .map(|i| i + 1);
             cells.push(match when {
                 Some(k) if u64::from(reached) == lb => format!("s{size}:{k}r"),

@@ -18,19 +18,24 @@
 //!                     verdict. Exit non-zero on any rejection. No
 //!                     timing, no report written.
 //!   --degradation     anytime-degradation mode: for each paper
-//!                     benchmark, run Heuristic 2 under growing
-//!                     rotation budgets and print the incumbent best
-//!                     length at each truncation point. Deterministic
-//!                     (rotation budgets, no clocks); no report
-//!                     written. Source of EXPERIMENTS.md's
-//!                     degradation-curve table.
+//!                     benchmark, run Heuristic 2 once under the
+//!                     instrumented engine and read the incumbent best
+//!                     length at each truncation point off the recorded
+//!                     best-length trajectory (`best_at_rotation`
+//!                     equals a fresh budgeted solve at that exact
+//!                     rotation count). Deterministic (rotation
+//!                     budgets, no clocks); no report written. Source
+//!                     of EXPERIMENTS.md's degradation-curve table.
 //! ```
 //!
 //! Times the full Table-3 sweep (every benchmark × resource-config
 //! cell) sequentially and under several `--jobs` values, checks that
 //! every jobs value yields byte-identical rows, samples per-rotation-step
 //! latency percentiles for the incremental context path against the
-//! from-scratch path, and writes a machine-readable JSON report.
+//! from-scratch path, measures the `SearchDriver` dispatch overhead
+//! against a hand-rolled replica of the pre-engine phase loop (the
+//! `NoopObserver` path must stay within noise of the bare kernel), and
+//! writes a machine-readable JSON report.
 
 use std::time::Instant;
 
@@ -40,8 +45,8 @@ use rotsched_benchmarks::{
     allpole, biquad, diffeq, lattice4, random_dfg, RandomDfgConfig, TimingModel,
 };
 use rotsched_core::{
-    down_rotate, heuristic2_pruned, initial_state, parallel_indexed, Budget, HeuristicConfig,
-    RotationContext,
+    down_rotate, initial_state, parallel_indexed, BestSet, HeuristicConfig, RotationContext,
+    SearchDriver, TraceRecorder,
 };
 use rotsched_dfg::rng::Fnv64;
 use rotsched_dfg::Dfg;
@@ -145,6 +150,14 @@ fn main() {
         scratch.p50 as f64 / ctx.p50.max(1) as f64
     );
 
+    let (driver, legacy) = driver_overhead(&graphs);
+    let overhead_pct = (driver.p50 as f64 - legacy.p50 as f64) / legacy.p50.max(1) as f64 * 100.0;
+    println!(
+        "\ndriver overhead ({STEP_SEQ} size-1 rotations per sequence): \
+         driver p50 {} ns, legacy loop p50 {} ns ({overhead_pct:+.2}%)",
+        driver.p50, legacy.p50
+    );
+
     let json = render_json(
         hardware,
         cells,
@@ -155,6 +168,8 @@ fn main() {
         &lengths,
         &ctx,
         &scratch,
+        &driver,
+        &legacy,
     );
     match std::fs::write(&opts.out, json) {
         Ok(()) => println!("\nwrote {}", opts.out),
@@ -258,10 +273,114 @@ fn step_percentiles(graphs: &[(&str, Dfg)]) -> (StepPercentiles, StepPercentiles
     (percentiles(&mut ctx_ns), percentiles(&mut scratch_ns))
 }
 
+/// Measures the engine's dispatch overhead: a full size-1 rotation
+/// phase through [`SearchDriver`] (the monomorphized `NoopObserver`
+/// path) against a hand-rolled replica of the pre-engine phase loop
+/// driving the same incremental kernel. Returns per-sequence wall-time
+/// percentiles `(driver, legacy)`.
+fn driver_overhead(graphs: &[(&str, Dfg)]) -> (StepPercentiles, StepPercentiles) {
+    let res = ResourceSet::adders_multipliers(2, 2, false);
+    let sched = ListScheduler::default();
+    let random64 = random_dfg(
+        &RandomDfgConfig {
+            nodes: 64,
+            ..RandomDfgConfig::default()
+        },
+        7,
+    );
+    let mut driver_ns = Vec::new();
+    let mut legacy_ns = Vec::new();
+    let subjects = graphs
+        .iter()
+        .map(|(_, g)| g)
+        .chain(std::iter::once(&random64));
+    for g in subjects {
+        let init = initial_state(g, &sched, &res).expect("schedulable");
+        // Warm-up: one untimed sequence per arm.
+        run_driver_sequence(g, &sched, &res, &init);
+        run_legacy_sequence(g, &sched, &res, &init);
+        for _ in 0..STEP_REPS {
+            let start = Instant::now();
+            run_driver_sequence(g, &sched, &res, &init);
+            driver_ns.push(u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX));
+            let start = Instant::now();
+            run_legacy_sequence(g, &sched, &res, &init);
+            legacy_ns.push(u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX));
+        }
+    }
+    (percentiles(&mut driver_ns), percentiles(&mut legacy_ns))
+}
+
+/// One phase of `STEP_SEQ` size-1 rotations through the engine.
+fn run_driver_sequence(
+    g: &Dfg,
+    sched: &ListScheduler,
+    res: &ResourceSet,
+    init: &rotsched_core::RotationState,
+) {
+    let mut state = init.clone();
+    let mut best = BestSet::new(4);
+    let mut driver = SearchDriver::incremental(g, sched, res);
+    driver
+        .run_phase(&mut state, &mut best, 1, STEP_SEQ)
+        .expect("legal");
+}
+
+/// The pre-engine phase loop, hand-rolled: the same context kernel,
+/// halving rule, wrapped-length probe, stats bookkeeping, and best-set
+/// offer that `rotation_phase` performed before the `SearchDriver`
+/// refactor. Kept as the baseline the engine's dispatch is measured
+/// against.
+fn run_legacy_sequence(
+    g: &Dfg,
+    sched: &ListScheduler,
+    res: &ResourceSet,
+    init: &rotsched_core::RotationState,
+) {
+    let mut state = init.clone();
+    let mut best = BestSet::new(4);
+    let mut ctx = RotationContext::new(g, sched, res, &state).expect("schedulable");
+    let mut rotations = 0_usize;
+    let mut lengths = Vec::new();
+    let mut first_optimum_at = None;
+    let mut min_seen = u32::MAX;
+    for j in 0..STEP_SEQ {
+        let length = state.length(g);
+        if length <= 1 {
+            break;
+        }
+        let mut effective = 1_u32;
+        while effective >= length {
+            effective = effective.div_ceil(2);
+        }
+        if effective == 0 {
+            break;
+        }
+        ctx.down_rotate(g, sched, res, &mut state, effective)
+            .expect("legal");
+        let wrapped = state.wrapped_length(g, res).expect("wraps");
+        rotations += 1;
+        lengths.push(wrapped);
+        if wrapped < min_seen {
+            min_seen = wrapped;
+            first_optimum_at = Some(j + 1);
+        }
+        let _ = best.offer(wrapped, &state);
+    }
+    // Keep the bookkeeping observable so the optimizer cannot discard
+    // the replica's stats work that the real loop also performed.
+    std::hint::black_box((rotations, lengths, first_optimum_at));
+}
+
 /// Anytime-degradation mode: incumbent best length as a function of the
 /// rotation budget, per benchmark. Rotation budgets stop the search at
 /// exact down-rotation counts, so this table is fully deterministic and
 /// directly reproducible.
+///
+/// One traced, unlimited run per benchmark replays the whole budget
+/// column: `TaskTrace::best_at_rotation(k)` is exactly the best length
+/// a fresh solve under `Budget::with_max_rotations(k)` returns (the
+/// `trace_determinism` suite enforces the equality).
 fn degradation_report(graphs: &[(&str, Dfg)]) {
     let res = ResourceSet::adders_multipliers(2, 1, false);
     let sched = ListScheduler::default();
@@ -275,7 +394,12 @@ fn degradation_report(graphs: &[(&str, Dfg)]) {
     println!("| benchmark | budget (rotations) | best length |");
     println!("|---|---|---|");
     for (name, g) in graphs {
-        let full = heuristic2_pruned(g, &sched, &res, &config, None, None).expect("schedulable");
+        // Capacity 0: the trajectory lives outside the event ring, so
+        // the recorder stays allocation-light while staying exact.
+        let mut driver =
+            SearchDriver::incremental(g, &sched, &res).with_observer(TraceRecorder::new(0));
+        let full = driver.heuristic2(&config).expect("schedulable");
+        let trace = driver.observer.finish();
         // Powers of two up to the unlimited run's rotation count, plus
         // the exact endpoint.
         let mut budgets = vec![0_usize];
@@ -286,15 +410,15 @@ fn degradation_report(graphs: &[(&str, Dfg)]) {
         }
         budgets.push(full.total_rotations);
         for k in budgets {
-            let meter = Budget::default().with_max_rotations(k as u64).arm();
-            let out = heuristic2_pruned(g, &sched, &res, &config, None, Some(&meter))
-                .expect("schedulable");
-            let mark = if out.best_length == full.best_length {
+            let best = trace
+                .best_at_rotation(k as u64)
+                .expect("the initial schedule is always admitted");
+            let mark = if best == full.best_length {
                 " (converged)"
             } else {
                 ""
             };
-            println!("| {name} | {k} | {}{mark} |", out.best_length);
+            println!("| {name} | {k} | {best}{mark} |");
         }
     }
     println!("\nbudgets are exact down-rotation counts; every row is deterministic");
@@ -462,6 +586,8 @@ fn render_json(
     lengths: &[u32],
     ctx: &StepPercentiles,
     scratch: &StepPercentiles,
+    driver: &StepPercentiles,
+    legacy: &StepPercentiles,
 ) -> String {
     let mut s = String::new();
     s.push_str("{\n");
@@ -488,6 +614,16 @@ fn render_json(
     s.push_str(&format!(
         "    \"speedup_p50\": {:.2}\n",
         scratch.p50 as f64 / ctx.p50.max(1) as f64
+    ));
+    s.push_str("  },\n");
+    s.push_str("  \"driver_overhead\": {\n");
+    s.push_str(&format!(
+        "    \"driver_seq_ns_p50\": {}, \"legacy_seq_ns_p50\": {}, \"samples\": {},\n",
+        driver.p50, legacy.p50, driver.samples
+    ));
+    s.push_str(&format!(
+        "    \"overhead_pct\": {:.2}\n",
+        (driver.p50 as f64 - legacy.p50 as f64) / legacy.p50.max(1) as f64 * 100.0
     ));
     s.push_str("  },\n");
     s.push_str("  \"results\": [\n");

@@ -126,7 +126,7 @@ fn heuristic1_matches_a_reference_driven_sweep() {
 
         let init = initial_state(&g, &sched, &res).expect("schedulable");
         let mut best = BestSet::new(cfg.keep_best);
-        best.offer(init.wrapped_length(&g, &res).expect("wrappable"), &init);
+        let _ = best.offer(init.wrapped_length(&g, &res).expect("wrappable"), &init);
         let beta = cfg.max_size.unwrap_or_else(|| init.length(&g)).max(1);
         let mut phases = Vec::new();
         for size in 1..=beta {

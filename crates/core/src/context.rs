@@ -19,7 +19,7 @@
 //! [`Retiming::apply_set`]: rotsched_dfg::Retiming::apply_set
 
 use rotsched_dfg::Dfg;
-use rotsched_sched::{ListScheduler, ResourceSet, SchedContext};
+use rotsched_sched::{CacheStats, ListScheduler, ResourceSet, SchedContext};
 
 use crate::error::RotationError;
 use crate::rotate::{is_down_rotatable, DownRotateOutcome, RotationState};
@@ -128,6 +128,15 @@ impl RotationContext {
             rotated,
             length: state.schedule.length(dfg),
         })
+    }
+
+    /// Running weight-memo hit/miss counters of the underlying
+    /// scheduling context, monotone over the context's lifetime. The
+    /// [engine](crate::engine) reports per-phase deltas from these via
+    /// [`CacheStats::since`].
+    #[must_use]
+    pub fn cache_stats(&self) -> CacheStats {
+        self.ctx.cache_stats()
     }
 }
 

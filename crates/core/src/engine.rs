@@ -1,0 +1,683 @@
+//! The unified rotation-search engine: one instrumented loop behind
+//! every heuristic, phase, and portfolio worker.
+//!
+//! Four generations of growth (pruning, incremental contexts, budgets,
+//! certification) each threaded their concern through a separate copy of
+//! the paper's core loop. [`SearchDriver`] collapses them: a single
+//! generic driver parameterized over the composable concerns —
+//!
+//! * a **step mode** ([`StepMode`]): how one down-rotation executes —
+//!   through a persistent incremental [`RotationContext`]
+//!   ([`IncrementalStep`], the production path) or the from-scratch
+//!   operator ([`ScratchStep`], the reference/ablation path);
+//! * a **prune source**: `None` or a portfolio [`PruneSignal`];
+//! * a **budget**: `None` or an armed [`BudgetMeter`];
+//! * an **observer** ([`SearchObserver`]): a monomorphized event sink.
+//!   The default [`NoopObserver`] compiles to nothing — the untraced
+//!   driver is the pre-refactor loop, instruction for instruction —
+//!   while a [`TraceRecorder`](crate::trace::TraceRecorder) turns the
+//!   same run into convergence telemetry.
+//!
+//! The paper's Heuristic 1 and Heuristic 2 (DAC 1993 §5) are sweep
+//! policies *over* this one loop; [`SearchDriver::heuristic1`] and
+//! [`SearchDriver::heuristic2`] implement them, and every legacy entry
+//! point (`rotation_phase*`, `heuristic1*`, `heuristic2*`) is a thin
+//! wrapper over a driver. Results are bit-identical to the pre-engine
+//! code paths — enforced by the `seeded_incremental`,
+//! `seeded_portfolio`, and `seeded_anytime` suites and the byte-stable
+//! bench tables.
+
+use rotsched_dfg::{Dfg, NodeId};
+use rotsched_sched::{CacheStats, ListScheduler, ResourceSet};
+
+use crate::budget::{BudgetMeter, StopReason};
+use crate::context::RotationContext;
+use crate::error::RotationError;
+use crate::heuristics::{HeuristicConfig, HeuristicOutcome};
+use crate::phase::{BestSet, PhaseStats};
+use crate::portfolio::PruneSignal;
+use crate::rotate::{down_rotate, initial_state, RotationState};
+
+/// A structured event emitted by the [`SearchDriver`] at every decision
+/// point of the search. Borrowed payloads keep emission allocation-free;
+/// observers that need to retain data copy what they keep.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SearchEvent<'a> {
+    /// A rotation phase began: `alpha` rotations of requested `size`.
+    PhaseStart {
+        /// Requested rotation size `i`.
+        size: u32,
+        /// Down-rotations the phase will attempt (`α`).
+        alpha: usize,
+    },
+    /// One down-rotation completed.
+    Rotated {
+        /// The rotated node set (the old schedule's first steps).
+        node_set: &'a [NodeId],
+        /// The *wrapped* schedule length after the rotation — the
+        /// paper's length metric, the one the search optimizes.
+        length: u32,
+    },
+    /// The incumbent best length strictly improved.
+    IncumbentImproved {
+        /// The new best (wrapped) length.
+        length: u32,
+    },
+    /// Heuristic 2 rescheduled the retimed graph between phases
+    /// (`FullSchedule(G_R)`).
+    Rescheduled {
+        /// The wrapped length of the fresh full schedule.
+        length: u32,
+    },
+    /// The portfolio prune signal ended the phase (the bound was
+    /// reached, here or by a lower-indexed task).
+    Pruned,
+    /// A budget limit fired; the phase stopped at its cancellation
+    /// point with the incumbent intact.
+    Stopped(StopReason),
+    /// A rotation phase ended (by exhausting `alpha`, pruning,
+    /// stopping, or running out of schedule to rotate).
+    PhaseEnd {
+        /// Down-rotations actually performed.
+        rotations: usize,
+        /// The incumbent best (wrapped) length at phase end.
+        best_length: u32,
+        /// Weight-memo hit/miss delta accumulated by this phase's
+        /// incremental context (zeros on the reference path).
+        cache: CacheStats,
+    },
+}
+
+/// An event sink for [`SearchDriver`] runs.
+///
+/// Implementations observe, they do not steer: the driver's control
+/// flow never depends on the observer, so a traced run returns the
+/// bit-identical result of an untraced one (enforced by the
+/// `trace_determinism` suite).
+pub trait SearchObserver {
+    /// Receives one search event.
+    fn on_event(&mut self, event: SearchEvent<'_>);
+}
+
+/// The zero-cost observer: every event monomorphizes to nothing, so a
+/// driver over `NoopObserver` is the uninstrumented loop.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NoopObserver;
+
+impl SearchObserver for NoopObserver {
+    #[inline(always)]
+    fn on_event(&mut self, _event: SearchEvent<'_>) {}
+}
+
+impl<O: SearchObserver + ?Sized> SearchObserver for &mut O {
+    #[inline]
+    fn on_event(&mut self, event: SearchEvent<'_>) {
+        (**self).on_event(event);
+    }
+}
+
+/// How the driver executes one down-rotation.
+///
+/// Both modes funnel into the same placement core, so their results are
+/// bit-identical; they differ only in per-step cost (see DESIGN.md §6).
+pub trait StepMode {
+    /// Called once at the start of every phase, before any rotation of
+    /// `state`; the incremental mode (re)builds its context here.
+    ///
+    /// # Errors
+    ///
+    /// Propagates scheduling-substrate failures from the context build.
+    fn begin_phase(
+        &mut self,
+        dfg: &Dfg,
+        scheduler: &ListScheduler,
+        resources: &ResourceSet,
+        state: &RotationState,
+    ) -> Result<(), RotationError>;
+
+    /// Performs one down-rotation of `size` on `state`, returning the
+    /// rotated node set.
+    ///
+    /// # Errors
+    ///
+    /// See [`down_rotate`].
+    fn rotate(
+        &mut self,
+        dfg: &Dfg,
+        scheduler: &ListScheduler,
+        resources: &ResourceSet,
+        state: &mut RotationState,
+        size: u32,
+    ) -> Result<Vec<NodeId>, RotationError>;
+
+    /// Running cache counters of the mode's scheduling state (zeros
+    /// when the mode keeps none).
+    fn cache_stats(&self) -> CacheStats;
+}
+
+/// The production step mode: rotations run through a persistent
+/// [`RotationContext`], rebuilt at each phase start, so per-step work is
+/// proportional to the rotated prefix rather than the graph.
+#[derive(Debug, Default)]
+pub struct IncrementalStep {
+    ctx: Option<RotationContext>,
+}
+
+impl StepMode for IncrementalStep {
+    fn begin_phase(
+        &mut self,
+        dfg: &Dfg,
+        scheduler: &ListScheduler,
+        resources: &ResourceSet,
+        state: &RotationState,
+    ) -> Result<(), RotationError> {
+        self.ctx = Some(RotationContext::new(dfg, scheduler, resources, state)?);
+        Ok(())
+    }
+
+    fn rotate(
+        &mut self,
+        dfg: &Dfg,
+        scheduler: &ListScheduler,
+        resources: &ResourceSet,
+        state: &mut RotationState,
+        size: u32,
+    ) -> Result<Vec<NodeId>, RotationError> {
+        let ctx = self.ctx.as_mut().expect("begin_phase precedes rotate");
+        ctx.down_rotate(dfg, scheduler, resources, state, size)
+            .map(|outcome| outcome.rotated)
+    }
+
+    fn cache_stats(&self) -> CacheStats {
+        self.ctx
+            .as_ref()
+            .map(RotationContext::cache_stats)
+            .unwrap_or_default()
+    }
+}
+
+/// The reference step mode: every rotation uses the non-incremental
+/// [`down_rotate`] operator. Kept as the ablation arm for equivalence
+/// tests and the `rotation_step` before/after benchmark.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ScratchStep;
+
+impl StepMode for ScratchStep {
+    fn begin_phase(
+        &mut self,
+        _dfg: &Dfg,
+        _scheduler: &ListScheduler,
+        _resources: &ResourceSet,
+        _state: &RotationState,
+    ) -> Result<(), RotationError> {
+        Ok(())
+    }
+
+    fn rotate(
+        &mut self,
+        dfg: &Dfg,
+        scheduler: &ListScheduler,
+        resources: &ResourceSet,
+        state: &mut RotationState,
+        size: u32,
+    ) -> Result<Vec<NodeId>, RotationError> {
+        down_rotate(dfg, scheduler, resources, state, size).map(|outcome| outcome.rotated)
+    }
+
+    fn cache_stats(&self) -> CacheStats {
+        CacheStats::default()
+    }
+}
+
+/// The unified search driver: one `(graph, scheduler, resources)`
+/// binding plus the composable concerns, exposing the paper's phase
+/// loop and both heuristics as methods.
+///
+/// Construct with [`SearchDriver::incremental`] (the production step
+/// mode) or [`SearchDriver::reference`] (the from-scratch ablation),
+/// attach concerns with the `with_*` builders, then run.
+///
+/// # Examples
+///
+/// ```
+/// use rotsched_core::engine::SearchDriver;
+/// use rotsched_core::{BestSet, HeuristicConfig};
+/// use rotsched_dfg::{DfgBuilder, OpKind};
+/// use rotsched_sched::{ListScheduler, ResourceSet};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let g = DfgBuilder::new("ring")
+///     .nodes("v", 4, OpKind::Add, 1)
+///     .chain(&["v0", "v1", "v2", "v3"])
+///     .edge("v3", "v0", 2)
+///     .build()?;
+/// let scheduler = ListScheduler::default();
+/// let resources = ResourceSet::adders_multipliers(2, 0, false);
+/// let mut driver = SearchDriver::incremental(&g, &scheduler, &resources);
+/// let outcome = driver.heuristic2(&HeuristicConfig::default())?;
+/// assert_eq!(outcome.best_length, 2); // the iteration bound
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct SearchDriver<'a, S, O = NoopObserver> {
+    dfg: &'a Dfg,
+    scheduler: &'a ListScheduler,
+    resources: &'a ResourceSet,
+    prune: Option<&'a PruneSignal<'a>>,
+    budget: Option<&'a BudgetMeter>,
+    step: S,
+    /// The attached observer; public so callers can reclaim a recorder
+    /// after the run.
+    pub observer: O,
+}
+
+impl<'a> SearchDriver<'a, IncrementalStep, NoopObserver> {
+    /// A driver on the incremental step mode (the production path).
+    #[must_use]
+    pub fn incremental(
+        dfg: &'a Dfg,
+        scheduler: &'a ListScheduler,
+        resources: &'a ResourceSet,
+    ) -> Self {
+        SearchDriver {
+            dfg,
+            scheduler,
+            resources,
+            prune: None,
+            budget: None,
+            step: IncrementalStep::default(),
+            observer: NoopObserver,
+        }
+    }
+}
+
+impl<'a> SearchDriver<'a, ScratchStep, NoopObserver> {
+    /// A driver on the from-scratch step mode (the reference arm).
+    #[must_use]
+    pub fn reference(
+        dfg: &'a Dfg,
+        scheduler: &'a ListScheduler,
+        resources: &'a ResourceSet,
+    ) -> Self {
+        SearchDriver {
+            dfg,
+            scheduler,
+            resources,
+            prune: None,
+            budget: None,
+            step: ScratchStep,
+            observer: NoopObserver,
+        }
+    }
+}
+
+impl<'a, S: StepMode, O: SearchObserver> SearchDriver<'a, S, O> {
+    /// Attaches a portfolio pruning signal.
+    #[must_use]
+    pub fn with_prune(mut self, prune: Option<&'a PruneSignal<'a>>) -> Self {
+        self.prune = prune;
+        self
+    }
+
+    /// Attaches an armed budget meter.
+    #[must_use]
+    pub fn with_budget(mut self, budget: Option<&'a BudgetMeter>) -> Self {
+        self.budget = budget;
+        self
+    }
+
+    /// Replaces the observer, keeping every other concern.
+    #[must_use]
+    pub fn with_observer<P: SearchObserver>(self, observer: P) -> SearchDriver<'a, S, P> {
+        SearchDriver {
+            dfg: self.dfg,
+            scheduler: self.scheduler,
+            resources: self.resources,
+            prune: self.prune,
+            budget: self.budget,
+            step: self.step,
+            observer,
+        }
+    }
+
+    /// Runs `RotationPhase(S_init, L_opt, Q, G, i, α)` — `alpha`
+    /// rotations of size `size` on `state`, halving the effective size
+    /// whenever it reaches the schedule length, recording improvements
+    /// into `best`. This is the paper's one core loop; every public
+    /// phase/heuristic entry point reduces to calls of this method.
+    ///
+    /// # Errors
+    ///
+    /// Propagates scheduling failures. Invalid sizes cannot occur: the
+    /// size is halved below the schedule length first, and a schedule of
+    /// length 1 terminates the phase early.
+    pub fn run_phase(
+        &mut self,
+        state: &mut RotationState,
+        best: &mut BestSet,
+        size: u32,
+        alpha: usize,
+    ) -> Result<PhaseStats, RotationError> {
+        self.step
+            .begin_phase(self.dfg, self.scheduler, self.resources, state)?;
+        let cache_before = self.step.cache_stats();
+        self.observer
+            .on_event(SearchEvent::PhaseStart { size, alpha });
+        let mut stats = PhaseStats {
+            requested_size: size,
+            ..PhaseStats::default()
+        };
+        let mut min_seen = u32::MAX;
+        for j in 0..alpha {
+            // The cancellation point: checked before each rotation, so a
+            // fired budget never abandons a rotation halfway and the
+            // state always holds a complete legal schedule.
+            if let Some(reason) = self.budget.and_then(BudgetMeter::check) {
+                stats.stopped = Some(reason);
+                self.observer.on_event(SearchEvent::Stopped(reason));
+                break;
+            }
+            if self.prune.is_some_and(|p| p.should_stop(best.length)) {
+                self.observer.on_event(SearchEvent::Pruned);
+                break;
+            }
+            let length = state.schedule.length(self.dfg);
+            if length <= 1 {
+                break; // nothing left to rotate
+            }
+            let mut effective = size;
+            while effective >= length {
+                effective = effective.div_ceil(2);
+            }
+            if effective == 0 {
+                break;
+            }
+            let rotated =
+                self.step
+                    .rotate(self.dfg, self.scheduler, self.resources, state, effective)?;
+            if let Some(meter) = self.budget {
+                meter.charge_rotation();
+            }
+            let wrapped = state.wrapped_length(self.dfg, self.resources)?;
+            self.observer.on_event(SearchEvent::Rotated {
+                node_set: &rotated,
+                length: wrapped,
+            });
+            stats.rotations += 1;
+            stats.lengths.push(wrapped);
+            if wrapped < min_seen {
+                min_seen = wrapped;
+                stats.first_optimum_at = Some(j + 1);
+            }
+            if best.offer(wrapped, state) {
+                self.observer.on_event(SearchEvent::IncumbentImproved {
+                    length: best.length,
+                });
+            }
+            if let Some(p) = self.prune {
+                p.record(best.length);
+            }
+        }
+        self.observer.on_event(SearchEvent::PhaseEnd {
+            rotations: stats.rotations,
+            best_length: best.length,
+            cache: self.step.cache_stats().since(&cache_before),
+        });
+        Ok(stats)
+    }
+
+    /// Offers `state` to `best` through the driver's concerns: emits
+    /// [`SearchEvent::IncumbentImproved`] on a strict improvement and
+    /// publishes the new best into the prune signal. This is how
+    /// out-of-phase candidates (the initial schedule, an inter-phase
+    /// reschedule) enter an instrumented search.
+    pub fn offer(&mut self, best: &mut BestSet, length: u32, state: &RotationState) {
+        if best.offer(length, state) {
+            self.observer.on_event(SearchEvent::IncumbentImproved {
+                length: best.length,
+            });
+        }
+        if let Some(p) = self.prune {
+            p.record(best.length);
+        }
+    }
+
+    /// Heuristic 1: independent phases of sizes `1..=β`, each restarting
+    /// from the initial schedule and the zero rotation function. A fired
+    /// budget ends the current phase at its cancellation point and skips
+    /// the remaining sizes.
+    ///
+    /// # Errors
+    ///
+    /// Propagates graph and scheduling failures.
+    pub fn heuristic1(
+        &mut self,
+        config: &HeuristicConfig,
+    ) -> Result<HeuristicOutcome, RotationError> {
+        let init = initial_state(self.dfg, self.scheduler, self.resources)?;
+        let mut best = BestSet::new(config.keep_best);
+        let wrapped = init.wrapped_length(self.dfg, self.resources)?;
+        self.offer(&mut best, wrapped, &init);
+
+        let beta = config
+            .max_size
+            .unwrap_or_else(|| init.length(self.dfg))
+            .max(1);
+        let mut phases = Vec::new();
+        for size in 1..=beta {
+            let mut state = init.clone();
+            let stats = self.run_phase(&mut state, &mut best, size, config.rotations_per_phase)?;
+            // Key the sweep's early exit off the *recorded* stop, not a
+            // fresh meter check: deterministic limits then truncate the
+            // exact same phase prefix on every run.
+            let stopped = stats.stopped.is_some();
+            phases.push(stats);
+            if stopped {
+                break;
+            }
+        }
+        Ok(HeuristicOutcome::from_parts(best, phases))
+    }
+
+    /// Heuristic 2: iterative compaction with phases of decreasing size
+    /// `β, β−1, …, 1`; each phase continues from the previous phase's
+    /// final rotation function via a fresh `FullSchedule` of the retimed
+    /// graph. The sweep stops early when the prune signal says further
+    /// work is pointless or the budget fires (a budget stop ends the
+    /// sweep after the phase that recorded it — its chained reschedule
+    /// is skipped, so the incumbent is exactly what the truncated search
+    /// produced).
+    ///
+    /// # Errors
+    ///
+    /// Propagates graph and scheduling failures.
+    pub fn heuristic2(
+        &mut self,
+        config: &HeuristicConfig,
+    ) -> Result<HeuristicOutcome, RotationError> {
+        let init = initial_state(self.dfg, self.scheduler, self.resources)?;
+        let mut best = BestSet::new(config.keep_best);
+        let wrapped = init.wrapped_length(self.dfg, self.resources)?;
+        self.offer(&mut best, wrapped, &init);
+
+        let beta = config
+            .max_size
+            .unwrap_or_else(|| init.length(self.dfg))
+            .max(1);
+        let mut phases = Vec::new();
+        let mut state = init;
+        'sweep: for _round in 0..config.rounds.max(1) {
+            for size in (1..=beta).rev() {
+                if self.prune.is_some_and(|p| p.should_stop(best.length)) {
+                    self.observer.on_event(SearchEvent::Pruned);
+                    break 'sweep;
+                }
+                let stats =
+                    self.run_phase(&mut state, &mut best, size, config.rotations_per_phase)?;
+                let stopped = stats.stopped.is_some();
+                phases.push(stats);
+                if stopped {
+                    break 'sweep;
+                }
+
+                // Find a new initial schedule for the next phase from the
+                // accumulated rotation function: FullSchedule(G_R). The
+                // rotation function is kept in place.
+                state.schedule =
+                    self.scheduler
+                        .schedule(self.dfg, Some(&state.retiming), self.resources)?;
+                let wrapped = state.wrapped_length(self.dfg, self.resources)?;
+                self.observer
+                    .on_event(SearchEvent::Rescheduled { length: wrapped });
+                self.offer(&mut best, wrapped, &state);
+            }
+        }
+        Ok(HeuristicOutcome::from_parts(best, phases))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::heuristics::{heuristic2, heuristic2_reference};
+    use crate::phase::rotation_phase;
+    use rotsched_dfg::{DfgBuilder, OpKind};
+
+    fn ring(n: usize, delays: u32) -> Dfg {
+        let names: Vec<String> = (0..n).map(|i| format!("v{i}")).collect();
+        let refs: Vec<&str> = names.iter().map(String::as_str).collect();
+        DfgBuilder::new("ring")
+            .nodes("v", n, OpKind::Add, 1)
+            .chain(&refs)
+            .edge(&format!("v{}", n - 1), "v0", delays)
+            .build()
+            .unwrap()
+    }
+
+    /// An observer that counts events by kind, for structural checks.
+    #[derive(Default)]
+    struct Counter {
+        phase_starts: usize,
+        phase_ends: usize,
+        rotations: usize,
+        improvements: usize,
+        reschedules: usize,
+        cache_hits: u64,
+        lengths: Vec<u32>,
+    }
+
+    impl SearchObserver for Counter {
+        fn on_event(&mut self, event: SearchEvent<'_>) {
+            match event {
+                SearchEvent::PhaseStart { .. } => self.phase_starts += 1,
+                SearchEvent::PhaseEnd { cache, .. } => {
+                    self.phase_ends += 1;
+                    self.cache_hits += cache.weight_memo_hits;
+                }
+                SearchEvent::Rotated { length, node_set } => {
+                    assert!(!node_set.is_empty());
+                    self.rotations += 1;
+                    self.lengths.push(length);
+                }
+                SearchEvent::IncumbentImproved { .. } => self.improvements += 1,
+                SearchEvent::Rescheduled { .. } => self.reschedules += 1,
+                SearchEvent::Pruned | SearchEvent::Stopped(_) => {}
+            }
+        }
+    }
+
+    #[test]
+    fn events_mirror_phase_stats() {
+        let g = ring(6, 3);
+        let sched = ListScheduler::default();
+        let res = ResourceSet::adders_multipliers(2, 0, false);
+        let mut driver =
+            SearchDriver::incremental(&g, &sched, &res).with_observer(Counter::default());
+        let mut state = initial_state(&g, &sched, &res).unwrap();
+        let mut best = BestSet::new(4);
+        let stats = driver.run_phase(&mut state, &mut best, 2, 8).unwrap();
+        let counter = &driver.observer;
+        assert_eq!(counter.phase_starts, 1);
+        assert_eq!(counter.phase_ends, 1);
+        assert_eq!(counter.rotations, stats.rotations);
+        assert_eq!(counter.lengths, stats.lengths);
+    }
+
+    #[test]
+    fn observed_run_matches_unobserved_run() {
+        let g = ring(7, 2);
+        let sched = ListScheduler::default();
+        let res = ResourceSet::adders_multipliers(2, 0, false);
+        let config = HeuristicConfig {
+            rotations_per_phase: 16,
+            max_size: None,
+            keep_best: 8,
+            rounds: 1,
+        };
+        let plain = heuristic2(&g, &sched, &res, &config).unwrap();
+        let mut driver =
+            SearchDriver::incremental(&g, &sched, &res).with_observer(Counter::default());
+        let observed = driver.heuristic2(&config).unwrap();
+        assert_eq!(plain.best_length, observed.best_length);
+        assert_eq!(plain.best, observed.best);
+        assert_eq!(plain.phases, observed.phases);
+        assert_eq!(driver.observer.rotations, observed.total_rotations);
+        assert!(driver.observer.improvements >= 1, "initial offer improves");
+        assert_eq!(
+            driver.observer.reschedules,
+            observed.phases.len(),
+            "one chained reschedule per completed phase"
+        );
+    }
+
+    #[test]
+    fn reference_and_incremental_drivers_agree() {
+        let g = ring(6, 3);
+        let sched = ListScheduler::default();
+        let res = ResourceSet::adders_multipliers(2, 0, false);
+        let config = HeuristicConfig {
+            rotations_per_phase: 16,
+            max_size: None,
+            keep_best: 8,
+            rounds: 1,
+        };
+        let fast = SearchDriver::incremental(&g, &sched, &res)
+            .heuristic2(&config)
+            .unwrap();
+        let slow = heuristic2_reference(&g, &sched, &res, &config, None).unwrap();
+        assert_eq!(fast.best_length, slow.best_length);
+        assert_eq!(fast.best, slow.best);
+        assert_eq!(fast.phases, slow.phases);
+    }
+
+    #[test]
+    fn driver_phase_matches_the_legacy_wrapper() {
+        let g = ring(5, 2);
+        let sched = ListScheduler::default();
+        let res = ResourceSet::adders_multipliers(2, 0, false);
+        for size in 1..=3 {
+            let mut st_wrapper = initial_state(&g, &sched, &res).unwrap();
+            let mut st_driver = st_wrapper.clone();
+            let mut best_wrapper = BestSet::new(8);
+            let mut best_driver = BestSet::new(8);
+            let a = rotation_phase(
+                &g,
+                &sched,
+                &res,
+                &mut st_wrapper,
+                &mut best_wrapper,
+                size,
+                8,
+            )
+            .unwrap();
+            let b = SearchDriver::incremental(&g, &sched, &res)
+                .run_phase(&mut st_driver, &mut best_driver, size, 8)
+                .unwrap();
+            assert_eq!(a, b);
+            assert_eq!(st_wrapper, st_driver);
+            assert_eq!(best_wrapper.schedules, best_driver.schedules);
+        }
+    }
+}

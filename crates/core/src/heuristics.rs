@@ -15,10 +15,11 @@ use rotsched_dfg::Dfg;
 use rotsched_sched::{ListScheduler, ResourceSet};
 
 use crate::budget::{BudgetMeter, StopReason};
+use crate::engine::SearchDriver;
 use crate::error::RotationError;
-use crate::phase::{rotation_phase_pruned, rotation_phase_reference, BestSet, PhaseStats};
+use crate::phase::{BestSet, PhaseStats};
 use crate::portfolio::PruneSignal;
-use crate::rotate::{initial_state, RotationState};
+use crate::rotate::RotationState;
 
 /// Tuning knobs shared by both heuristics.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -68,7 +69,13 @@ pub struct HeuristicOutcome {
 }
 
 impl HeuristicOutcome {
-    fn from_parts(best: BestSet, phases: Vec<PhaseStats>) -> Self {
+    /// Assembles an outcome from a final best set and the per-phase
+    /// statistics in execution order (the [`SearchDriver`]'s raw
+    /// products).
+    ///
+    /// [`SearchDriver`]: crate::engine::SearchDriver
+    #[must_use]
+    pub fn from_parts(best: BestSet, phases: Vec<PhaseStats>) -> Self {
         HeuristicOutcome {
             best_length: best.length,
             best: best.schedules,
@@ -99,6 +106,9 @@ pub fn heuristic1(
 /// skips the remaining sizes, returning the incumbent best. With
 /// `budget = None` this is exactly [`heuristic1`].
 ///
+/// This is a thin wrapper over [`SearchDriver::heuristic1`] on the
+/// incremental step mode.
+///
 /// # Errors
 ///
 /// Propagates graph and scheduling failures.
@@ -109,35 +119,9 @@ pub fn heuristic1_budgeted(
     config: &HeuristicConfig,
     budget: Option<&BudgetMeter>,
 ) -> Result<HeuristicOutcome, RotationError> {
-    let init = initial_state(dfg, scheduler, resources)?;
-    let mut best = BestSet::new(config.keep_best);
-    best.offer(init.wrapped_length(dfg, resources)?, &init);
-
-    let beta = config.max_size.unwrap_or_else(|| init.length(dfg)).max(1);
-    let mut phases = Vec::new();
-    for size in 1..=beta {
-        let mut state = init.clone();
-        let stats = rotation_phase_pruned(
-            dfg,
-            scheduler,
-            resources,
-            &mut state,
-            &mut best,
-            size,
-            config.rotations_per_phase,
-            None,
-            budget,
-        )?;
-        // Key the sweep's early exit off the *recorded* stop, not a
-        // fresh meter check: deterministic limits then truncate the
-        // exact same phase prefix on every run.
-        let stopped = stats.stopped.is_some();
-        phases.push(stats);
-        if stopped {
-            break;
-        }
-    }
-    Ok(HeuristicOutcome::from_parts(best, phases))
+    SearchDriver::incremental(dfg, scheduler, resources)
+        .with_budget(budget)
+        .heuristic1(config)
 }
 
 /// Heuristic 2: iterative compaction with phases of decreasing size
@@ -165,6 +149,9 @@ pub fn heuristic2(
 /// the incumbent is exactly what the truncated search produced. With
 /// `prune = None` and `budget = None` this is exactly [`heuristic2`].
 ///
+/// This is a thin wrapper over [`SearchDriver::heuristic2`] on the
+/// incremental step mode.
+///
 /// # Errors
 ///
 /// Propagates graph and scheduling failures.
@@ -176,58 +163,21 @@ pub fn heuristic2_pruned(
     prune: Option<&PruneSignal<'_>>,
     budget: Option<&BudgetMeter>,
 ) -> Result<HeuristicOutcome, RotationError> {
-    let init = initial_state(dfg, scheduler, resources)?;
-    let mut best = BestSet::new(config.keep_best);
-    best.offer(init.wrapped_length(dfg, resources)?, &init);
-    if let Some(p) = prune {
-        p.record(best.length);
-    }
-
-    let beta = config.max_size.unwrap_or_else(|| init.length(dfg)).max(1);
-    let mut phases = Vec::new();
-    let mut state = init;
-    'sweep: for _round in 0..config.rounds.max(1) {
-        for size in (1..=beta).rev() {
-            if prune.is_some_and(|p| p.should_stop(best.length)) {
-                break 'sweep;
-            }
-            let stats = rotation_phase_pruned(
-                dfg,
-                scheduler,
-                resources,
-                &mut state,
-                &mut best,
-                size,
-                config.rotations_per_phase,
-                prune,
-                budget,
-            )?;
-            let stopped = stats.stopped.is_some();
-            phases.push(stats);
-            if stopped {
-                break 'sweep;
-            }
-
-            // Find a new initial schedule for the next phase from the
-            // accumulated rotation function: FullSchedule(G_R). The
-            // rotation function is kept in place.
-            state.schedule = scheduler.schedule(dfg, Some(&state.retiming), resources)?;
-            let wrapped = state.wrapped_length(dfg, resources)?;
-            best.offer(wrapped, &state);
-            if let Some(p) = prune {
-                p.record(best.length);
-            }
-        }
-    }
-    Ok(HeuristicOutcome::from_parts(best, phases))
+    SearchDriver::incremental(dfg, scheduler, resources)
+        .with_prune(prune)
+        .with_budget(budget)
+        .heuristic2(config)
 }
 
 /// The from-scratch twin of [`heuristic2`]: the same sweep driven by
-/// [`rotation_phase_reference`], i.e. without the incremental
+/// the scratch step mode, i.e. without the incremental
 /// [`RotationContext`](crate::RotationContext). Kept as the reference
 /// arm for equivalence tests and end-to-end before/after measurements —
 /// its results are bit-identical to [`heuristic2`]'s, including under a
 /// rotation budget (`budget` mirrors [`heuristic2_pruned`]'s).
+///
+/// This is a thin wrapper over [`SearchDriver::heuristic2`] on the
+/// scratch step mode.
 ///
 /// # Errors
 ///
@@ -239,42 +189,15 @@ pub fn heuristic2_reference(
     config: &HeuristicConfig,
     budget: Option<&BudgetMeter>,
 ) -> Result<HeuristicOutcome, RotationError> {
-    let init = initial_state(dfg, scheduler, resources)?;
-    let mut best = BestSet::new(config.keep_best);
-    best.offer(init.wrapped_length(dfg, resources)?, &init);
-
-    let beta = config.max_size.unwrap_or_else(|| init.length(dfg)).max(1);
-    let mut phases = Vec::new();
-    let mut state = init;
-    'sweep: for _round in 0..config.rounds.max(1) {
-        for size in (1..=beta).rev() {
-            let stats = rotation_phase_reference(
-                dfg,
-                scheduler,
-                resources,
-                &mut state,
-                &mut best,
-                size,
-                config.rotations_per_phase,
-                None,
-                budget,
-            )?;
-            let stopped = stats.stopped.is_some();
-            phases.push(stats);
-            if stopped {
-                break 'sweep;
-            }
-            state.schedule = scheduler.schedule(dfg, Some(&state.retiming), resources)?;
-            let wrapped = state.wrapped_length(dfg, resources)?;
-            best.offer(wrapped, &state);
-        }
-    }
-    Ok(HeuristicOutcome::from_parts(best, phases))
+    SearchDriver::reference(dfg, scheduler, resources)
+        .with_budget(budget)
+        .heuristic2(config)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::rotate::initial_state;
     use rotsched_dfg::analysis::iteration_bound;
     use rotsched_dfg::{DfgBuilder, OpKind};
     use rotsched_sched::validate::realizing_retiming;

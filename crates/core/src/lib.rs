@@ -43,6 +43,12 @@
 //! * [`context`] — the persistent [`RotationContext`] that makes each
 //!   rotation step cost `O(|R|·deg)` instead of `O(V+E)` (Section 3.3's
 //!   complexity claim).
+//! * [`engine`] — the unified [`SearchDriver`]: one instrumented loop
+//!   (step mode × prune × budget × observer) behind every phase,
+//!   heuristic, and portfolio worker.
+//! * [`trace`] — [`TraceRecorder`]/[`SearchTrace`]: ring-buffered
+//!   convergence telemetry over driver events (`rotsched solve
+//!   --trace`).
 //! * [`phase`] — rotation phases with best-set tracking (Section 5).
 //! * [`heuristics`] — Heuristic 1 (independent phases) and Heuristic 2
 //!   (chained, decreasing sizes) behind the paper's tables.
@@ -58,6 +64,7 @@
 pub mod budget;
 pub mod context;
 pub mod depth;
+pub mod engine;
 mod error;
 pub mod heuristics;
 pub mod nested;
@@ -67,9 +74,13 @@ pub mod rate;
 pub mod rotate;
 pub mod rotate_chained;
 mod scheduler;
+pub mod trace;
 
 pub use budget::{Budget, BudgetMeter, CancelToken, StopReason};
 pub use context::RotationContext;
+pub use engine::{
+    IncrementalStep, NoopObserver, ScratchStep, SearchDriver, SearchEvent, SearchObserver, StepMode,
+};
 pub use error::RotationError;
 pub use heuristics::{
     heuristic1, heuristic1_budgeted, heuristic2, heuristic2_pruned, heuristic2_reference,
@@ -88,3 +99,7 @@ pub use rotate::{
 };
 pub use rotate_chained::{down_rotate_chained, initial_chained_state, ChainedRotationState};
 pub use scheduler::{RotationScheduler, SolveOutcome, SolveQuality, SolveStats, SolvedPipeline};
+pub use trace::{
+    PhaseCounters, SearchTrace, TaskTrace, TraceEvent, TraceRecorder, DEFAULT_TRACE_EVENTS,
+    TRACE_SCHEMA,
+};

@@ -12,10 +12,10 @@ use rotsched_dfg::Dfg;
 use rotsched_sched::{ListScheduler, ResourceSet, Schedule};
 
 use crate::budget::{BudgetMeter, StopReason};
-use crate::context::RotationContext;
+use crate::engine::SearchDriver;
 use crate::error::RotationError;
 use crate::portfolio::PruneSignal;
-use crate::rotate::{down_rotate, RotationState};
+use crate::rotate::RotationState;
 
 /// A schedule achieving the best known length, with its rotation
 /// function.
@@ -105,6 +105,7 @@ impl BestSet {
     ///
     /// The state is cloned only on admission — rejected offers (the
     /// common case inside a rotation phase) cost a fingerprint at most.
+    #[must_use = "the return value reports whether the best length strictly improved"]
     pub fn offer(&mut self, length: u32, state: &RotationState) -> bool {
         match self.admission(length, &state.schedule) {
             Admission::Reject => false,
@@ -126,6 +127,7 @@ impl BestSet {
 
     /// Like [`BestSet::offer`] but takes ownership of the state, so
     /// admission moves instead of cloning. Rejected states are dropped.
+    #[must_use = "the return value reports whether the best length strictly improved"]
     pub fn offer_owned(&mut self, length: u32, state: RotationState) -> bool {
         match self.admission(length, &state.schedule) {
             Admission::Reject => false,
@@ -152,7 +154,7 @@ impl BestSet {
             return;
         }
         for state in other.schedules {
-            self.offer_owned(other.length, state);
+            let _ = self.offer_owned(other.length, state);
         }
     }
 
@@ -222,11 +224,14 @@ pub fn rotation_phase(
 /// With `prune = None` and `budget = None` this is exactly
 /// [`rotation_phase`].
 ///
-/// The phase's rotations run through a [`RotationContext`] built from
-/// the starting state, so per-step work is proportional to the rotated
-/// prefix rather than the graph. Each caller (portfolio worker) gets
-/// its own context; the results are bit-identical to
-/// [`rotation_phase_reference`].
+/// The phase's rotations run through a
+/// [`RotationContext`](crate::RotationContext) built from the starting
+/// state, so per-step work is proportional to the rotated prefix rather
+/// than the graph. Each caller (portfolio worker) gets its own context;
+/// the results are bit-identical to [`rotation_phase_reference`].
+///
+/// This is a thin wrapper over
+/// [`SearchDriver::run_phase`] on the incremental step mode.
 ///
 /// # Errors
 ///
@@ -243,28 +248,20 @@ pub fn rotation_phase_pruned(
     prune: Option<&PruneSignal<'_>>,
     budget: Option<&BudgetMeter>,
 ) -> Result<PhaseStats, RotationError> {
-    let mut ctx = RotationContext::new(dfg, scheduler, resources, state)?;
-    run_phase(
-        |state, effective| {
-            ctx.down_rotate(dfg, scheduler, resources, state, effective)
-                .map(|_| ())
-        },
-        dfg,
-        resources,
-        state,
-        best,
-        size,
-        alpha,
-        prune,
-        budget,
-    )
+    SearchDriver::incremental(dfg, scheduler, resources)
+        .with_prune(prune)
+        .with_budget(budget)
+        .run_phase(state, best, size, alpha)
 }
 
 /// The from-scratch twin of [`rotation_phase_pruned`]: identical search,
 /// but every rotation uses the non-incremental
-/// [`down_rotate`] operator. Kept as the
+/// [`down_rotate`](crate::rotate::down_rotate) operator. Kept as the
 /// reference arm for equivalence tests and the `rotation_step`
 /// before/after benchmark.
+///
+/// This is a thin wrapper over
+/// [`SearchDriver::run_phase`] on the scratch step mode.
 ///
 /// # Errors
 ///
@@ -281,77 +278,10 @@ pub fn rotation_phase_reference(
     prune: Option<&PruneSignal<'_>>,
     budget: Option<&BudgetMeter>,
 ) -> Result<PhaseStats, RotationError> {
-    run_phase(
-        |state, effective| down_rotate(dfg, scheduler, resources, state, effective).map(|_| ()),
-        dfg,
-        resources,
-        state,
-        best,
-        size,
-        alpha,
-        prune,
-        budget,
-    )
-}
-
-/// The shared phase loop, parameterized over the rotation operator so
-/// the incremental and reference paths cannot drift apart.
-#[allow(clippy::too_many_arguments)]
-fn run_phase(
-    mut rotate: impl FnMut(&mut RotationState, u32) -> Result<(), RotationError>,
-    dfg: &Dfg,
-    resources: &ResourceSet,
-    state: &mut RotationState,
-    best: &mut BestSet,
-    size: u32,
-    alpha: usize,
-    prune: Option<&PruneSignal<'_>>,
-    budget: Option<&BudgetMeter>,
-) -> Result<PhaseStats, RotationError> {
-    let mut stats = PhaseStats {
-        requested_size: size,
-        ..PhaseStats::default()
-    };
-    let mut min_seen = u32::MAX;
-    for j in 0..alpha {
-        // The cancellation point: checked before each rotation, so a
-        // fired budget never abandons a rotation halfway and the state
-        // always holds a complete legal schedule.
-        if let Some(reason) = budget.and_then(BudgetMeter::check) {
-            stats.stopped = Some(reason);
-            break;
-        }
-        if prune.is_some_and(|p| p.should_stop(best.length)) {
-            break;
-        }
-        let length = state.schedule.length(dfg);
-        if length <= 1 {
-            break; // nothing left to rotate
-        }
-        let mut effective = size;
-        while effective >= length {
-            effective = effective.div_ceil(2);
-        }
-        if effective == 0 {
-            break;
-        }
-        rotate(state, effective)?;
-        if let Some(meter) = budget {
-            meter.charge_rotation();
-        }
-        let wrapped = state.wrapped_length(dfg, resources)?;
-        stats.rotations += 1;
-        stats.lengths.push(wrapped);
-        if wrapped < min_seen {
-            min_seen = wrapped;
-            stats.first_optimum_at = Some(j + 1);
-        }
-        best.offer(wrapped, state);
-        if let Some(p) = prune {
-            p.record(best.length);
-        }
-    }
-    Ok(stats)
+    SearchDriver::reference(dfg, scheduler, resources)
+        .with_prune(prune)
+        .with_budget(budget)
+        .run_phase(state, best, size, alpha)
 }
 
 #[cfg(test)]
@@ -385,7 +315,7 @@ mod tests {
         let (g, sched, res) = setup();
         let mut st = initial_state(&g, &sched, &res).unwrap();
         let mut best = BestSet::new(8);
-        best.offer(st.wrapped_length(&g, &res).unwrap(), &st);
+        assert!(best.offer(st.wrapped_length(&g, &res).unwrap(), &st));
         assert_eq!(best.length, 4);
         let stats = rotation_phase(&g, &sched, &res, &mut st, &mut best, 1, 8).unwrap();
         assert_eq!(stats.rotations, 8);
@@ -399,7 +329,7 @@ mod tests {
         let (g, sched, res) = setup();
         let mut st = initial_state(&g, &sched, &res).unwrap();
         let mut best = BestSet::new(8);
-        best.offer(st.wrapped_length(&g, &res).unwrap(), &st);
+        assert!(best.offer(st.wrapped_length(&g, &res).unwrap(), &st));
         rotation_phase(&g, &sched, &res, &mut st, &mut best, 2, 8).unwrap();
         assert_eq!(best.length, 2, "iteration bound 4/2 = 2");
     }
@@ -430,7 +360,7 @@ mod tests {
         assert_eq!(best.count(), 2);
         let mut st3 = st.clone();
         st3.schedule.shift(2);
-        best.offer(4, &st3);
+        assert!(!best.offer(4, &st3));
         assert_eq!(best.count(), 2, "capacity caps the set");
         // An improvement clears the set.
         assert!(best.offer(3, &st));
@@ -458,23 +388,23 @@ mod tests {
         let (g, sched, res) = setup();
         let st = initial_state(&g, &sched, &res).unwrap();
         let mut a = BestSet::new(4);
-        a.offer(4, &st);
+        assert!(a.offer(4, &st));
         // A worse set is ignored entirely.
         let mut worse = BestSet::new(4);
         let mut shifted = st.clone();
         shifted.schedule.shift(1);
-        worse.offer(5, &shifted);
+        assert!(worse.offer(5, &shifted));
         a.merge(worse);
         assert_eq!(a.length, 4);
         assert_eq!(a.count(), 1);
         // A tying set unions (with dedupe), a better one replaces.
         let mut tie = BestSet::new(4);
-        tie.offer(4, &st);
-        tie.offer(4, &shifted);
+        assert!(tie.offer(4, &st));
+        assert!(!tie.offer(4, &shifted));
         a.merge(tie);
         assert_eq!(a.count(), 2, "duplicate dropped, new tie kept");
         let mut better = BestSet::new(4);
-        better.offer(3, &st);
+        assert!(better.offer(3, &st));
         a.merge(better);
         assert_eq!(a.length, 3);
         assert_eq!(a.count(), 1);
@@ -551,7 +481,7 @@ mod tests {
         let meter = Budget::default().with_cancel(token).arm();
         let mut st = initial_state(&g, &sched, &res).unwrap();
         let mut best = BestSet::new(8);
-        best.offer(st.wrapped_length(&g, &res).unwrap(), &st);
+        assert!(best.offer(st.wrapped_length(&g, &res).unwrap(), &st));
         let stats = rotation_phase_pruned(
             &g,
             &sched,

@@ -49,10 +49,12 @@ use rotsched_dfg::Dfg;
 use rotsched_sched::{ListScheduler, PriorityPolicy, ResourceSet};
 
 use crate::budget::{Budget, BudgetMeter, StopReason};
+use crate::engine::{NoopObserver, SearchDriver, SearchObserver};
 use crate::error::RotationError;
-use crate::heuristics::{heuristic2_pruned, HeuristicConfig};
-use crate::phase::{rotation_phase_pruned, BestSet, PhaseStats};
+use crate::heuristics::HeuristicConfig;
+use crate::phase::{BestSet, PhaseStats};
 use crate::rotate::{initial_state, RotationState};
+use crate::trace::{SearchTrace, TaskTrace, TraceRecorder};
 
 /// Sentinel for "no schedule yet" — a [`BestSet`] that never admitted.
 const NO_LENGTH: u32 = u32::MAX;
@@ -343,9 +345,9 @@ impl Portfolio {
     ///
     /// Each worker's phases run through their own
     /// [`RotationContext`](crate::RotationContext) (built per phase
-    /// inside [`rotation_phase_pruned`]), so the incremental state is
-    /// never shared across threads and the merged outcome is identical
-    /// for every job count.
+    /// inside its [`SearchDriver`]), so the incremental state is never
+    /// shared across threads and the merged outcome is identical for
+    /// every job count.
     ///
     /// Workers are panic-isolated: a task that panics is reported as
     /// [`TaskOutcome::Panicked`] and the portfolio degrades to the
@@ -362,6 +364,59 @@ impl Portfolio {
         dfg: &Dfg,
         resources: &ResourceSet,
     ) -> Result<PortfolioOutcome, RotationError> {
+        // The untraced path monomorphizes over `NoopObserver`, so it is
+        // the pre-observer loop, instruction for instruction.
+        self.run_with(dfg, resources, |_| NoopObserver)
+            .map(|(outcome, _)| outcome)
+    }
+
+    /// Like [`Portfolio::run`], but every worker records its driver
+    /// events into a [`TraceRecorder`] with the given ring capacity.
+    ///
+    /// The returned trace keeps the **deterministic prefix** of the
+    /// task list — tasks `0..=canonical_task` when the bound was
+    /// achieved, all tasks otherwise (the same rule
+    /// [`PortfolioOutcome::phases`] follows). Tasks above the canonical
+    /// achiever are cross-pruned at timing-dependent points, so their
+    /// streams are discarded; everything kept, and the outcome itself,
+    /// is bit-identical for every job count (tasks at or below the
+    /// canonical achiever can never observe a cross-prune, because any
+    /// recorded achiever index is at least the canonical one). A
+    /// panicked task leaves an empty placeholder trace.
+    ///
+    /// # Errors
+    ///
+    /// Exactly [`Portfolio::run`]'s errors.
+    pub fn run_traced(
+        &self,
+        dfg: &Dfg,
+        resources: &ResourceSet,
+        capacity: usize,
+    ) -> Result<(PortfolioOutcome, SearchTrace), RotationError> {
+        let (outcome, observers) =
+            self.run_with(dfg, resources, |_| TraceRecorder::new(capacity))?;
+        let keep = outcome.canonical_task.map_or(observers.len(), |c| c + 1);
+        let tasks = observers
+            .into_iter()
+            .take(keep)
+            .map(|o| o.map_or_else(TaskTrace::default, TraceRecorder::finish))
+            .collect();
+        Ok((outcome, SearchTrace { tasks }))
+    }
+
+    /// The generic engine under [`Portfolio::run`] and
+    /// [`Portfolio::run_traced`]: one observer per task, returned in
+    /// index order (`None` for a panicked task).
+    fn run_with<O, F>(
+        &self,
+        dfg: &Dfg,
+        resources: &ResourceSet,
+        make_observer: F,
+    ) -> Result<(PortfolioOutcome, Vec<Option<O>>), RotationError>
+    where
+        O: SearchObserver + Send,
+        F: Fn(usize) -> O + Sync,
+    {
         let bound = u32::try_from(lower_bound(dfg, resources)?).unwrap_or(u32::MAX - 1);
         let shared = SharedBound::new(bound);
         // Arm only when limited so the unlimited path provably does no
@@ -369,13 +424,14 @@ impl Portfolio {
         let meter = (!self.budget.is_unlimited()).then(|| self.budget.arm());
         let runs = parallel_indexed_isolated(self.jobs, self.tasks.len(), |i| {
             let index = u32::try_from(i).unwrap_or(u32::MAX);
-            run_task(
+            run_task_with(
                 dfg,
                 resources,
                 &self.tasks[i],
                 self.keep_best,
                 &shared.signal(index),
                 meter.as_ref(),
+                make_observer(i),
             )
         });
 
@@ -384,11 +440,16 @@ impl Portfolio {
         // worker that returned an error propagates it, lowest index
         // first, exactly as the sequential path would.
         let mut completed: Vec<(TaskRun, bool)> = Vec::with_capacity(runs.len());
+        let mut observers: Vec<Option<O>> = Vec::with_capacity(runs.len());
         let mut first_panic: Option<(usize, String)> = None;
         let mut panicked_tasks = 0;
         for (i, run) in runs.into_iter().enumerate() {
             match run {
-                Ok(result) => completed.push((result?, false)),
+                Ok(result) => {
+                    let (task_run, observer) = result?;
+                    completed.push((task_run, false));
+                    observers.push(Some(observer));
+                }
                 Err(payload) => {
                     panicked_tasks += 1;
                     if first_panic.is_none() {
@@ -402,6 +463,7 @@ impl Portfolio {
                         },
                         true,
                     ));
+                    observers.push(None);
                 }
             }
         }
@@ -464,18 +526,21 @@ impl Portfolio {
                 }
             }
         }
-        Ok(PortfolioOutcome {
-            best_length: best.length,
-            lower_bound: bound,
-            bound_achieved: canonical_task.is_some(),
-            canonical_task,
-            total_rotations: phases.iter().map(|p| p.rotations).sum(),
-            phases,
-            best: best.schedules,
-            reports,
-            panicked_tasks,
-            stopped,
-        })
+        Ok((
+            PortfolioOutcome {
+                best_length: best.length,
+                lower_bound: bound,
+                bound_achieved: canonical_task.is_some(),
+                canonical_task,
+                total_rotations: phases.iter().map(|p| p.rotations).sum(),
+                phases,
+                best: best.schedules,
+                reports,
+                panicked_tasks,
+                stopped,
+            },
+            observers,
+        ))
     }
 }
 
@@ -497,22 +562,29 @@ struct TaskRun {
     cross_pruned: bool,
 }
 
-fn run_task(
+/// Runs one task through a [`SearchDriver`] monomorphized over the
+/// worker's observer, returning the observer alongside the result so
+/// traced runs can reclaim their recorders.
+fn run_task_with<O: SearchObserver>(
     dfg: &Dfg,
     resources: &ResourceSet,
     task: &SearchTask,
     keep_best: usize,
     signal: &PruneSignal<'_>,
     budget: Option<&BudgetMeter>,
-) -> Result<TaskRun, RotationError> {
+    observer: O,
+) -> Result<(TaskRun, O), RotationError> {
     if signal.lost_to_lower_task() {
         // A lower-indexed task already proved the bound: this task's
         // result would be discarded, so skip the work entirely.
-        return Ok(TaskRun {
-            best: BestSet::new(keep_best),
-            phases: Vec::new(),
-            cross_pruned: true,
-        });
+        return Ok((
+            TaskRun {
+                best: BestSet::new(keep_best),
+                phases: Vec::new(),
+                cross_pruned: true,
+            },
+            observer,
+        ));
     }
     match task {
         SearchTask::Phase {
@@ -521,39 +593,43 @@ fn run_task(
             policy,
         } => {
             let scheduler = ListScheduler::new(*policy);
+            let mut driver = SearchDriver::incremental(dfg, &scheduler, resources)
+                .with_prune(Some(signal))
+                .with_budget(budget)
+                .with_observer(observer);
             let mut state = initial_state(dfg, &scheduler, resources)?;
             let mut best = BestSet::new(keep_best);
-            best.offer(state.wrapped_length(dfg, resources)?, &state);
-            signal.record(best.length);
-            let stats = rotation_phase_pruned(
-                dfg,
-                &scheduler,
-                resources,
-                &mut state,
-                &mut best,
-                *size,
-                *alpha,
-                Some(signal),
-                budget,
-            )?;
-            Ok(TaskRun {
-                best,
-                phases: vec![stats],
-                cross_pruned: signal.lost_to_lower_task(),
-            })
+            let wrapped = state.wrapped_length(dfg, resources)?;
+            driver.offer(&mut best, wrapped, &state);
+            let stats = driver.run_phase(&mut state, &mut best, *size, *alpha)?;
+            Ok((
+                TaskRun {
+                    best,
+                    phases: vec![stats],
+                    cross_pruned: signal.lost_to_lower_task(),
+                },
+                driver.observer,
+            ))
         }
         SearchTask::Sweep { config, policy } => {
             let scheduler = ListScheduler::new(*policy);
-            let out = heuristic2_pruned(dfg, &scheduler, resources, config, Some(signal), budget)?;
+            let mut driver = SearchDriver::incremental(dfg, &scheduler, resources)
+                .with_prune(Some(signal))
+                .with_budget(budget)
+                .with_observer(observer);
+            let out = driver.heuristic2(config)?;
             let mut best = BestSet::new(config.keep_best);
             for state in out.best {
-                best.offer_owned(out.best_length, state);
+                let _ = best.offer_owned(out.best_length, state);
             }
-            Ok(TaskRun {
-                best,
-                phases: out.phases,
-                cross_pruned: signal.lost_to_lower_task(),
-            })
+            Ok((
+                TaskRun {
+                    best,
+                    phases: out.phases,
+                    cross_pruned: signal.lost_to_lower_task(),
+                },
+                driver.observer,
+            ))
         }
         SearchTask::PanicForTest => panic!("injected test panic"),
     }

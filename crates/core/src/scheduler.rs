@@ -16,12 +16,14 @@ use rotsched_sched::{
 
 use crate::budget::{Budget, StopReason};
 use crate::depth::{into_loop_schedule, minimized_depth};
+use crate::engine::SearchDriver;
 use crate::error::RotationError;
 use crate::heuristics::{
     heuristic1_budgeted, heuristic2_pruned, HeuristicConfig, HeuristicOutcome,
 };
 use crate::portfolio::{Portfolio, PortfolioOutcome};
 use crate::rotate::{down_rotate, initial_state, up_rotate, DownRotateOutcome, RotationState};
+use crate::trace::{SearchTrace, TraceRecorder};
 
 /// How good a solved pipeline is — the structured verdict carried by
 /// every [`SolveOutcome`].
@@ -257,8 +259,35 @@ impl<'a> RotationScheduler<'a> {
     /// [`RotationError::Unrealizable`] cannot occur for states produced
     /// by rotation.
     pub fn solve(&self) -> Result<SolveOutcome, RotationError> {
-        let bound = u32::try_from(lower_bound(self.dfg, &self.resources)?).unwrap_or(u32::MAX - 1);
         let outcome = self.heuristic2()?;
+        self.package_heuristic(outcome)
+    }
+
+    /// Like [`RotationScheduler::solve`], but records the search's
+    /// driver events into a [`TraceRecorder`] keeping at most
+    /// `capacity` raw events, and returns the finished [`SearchTrace`]
+    /// alongside the outcome. Tracing never steers the search: the
+    /// outcome is bit-identical to [`RotationScheduler::solve`]'s
+    /// (enforced by the `trace_determinism` suite).
+    ///
+    /// # Errors
+    ///
+    /// Exactly [`RotationScheduler::solve`]'s errors.
+    pub fn solve_traced(
+        &self,
+        capacity: usize,
+    ) -> Result<(SolveOutcome, SearchTrace), RotationError> {
+        let meter = (!self.budget.is_unlimited()).then(|| self.budget.arm());
+        let mut driver = SearchDriver::incremental(self.dfg, &self.scheduler, &self.resources)
+            .with_budget(meter.as_ref())
+            .with_observer(TraceRecorder::new(capacity));
+        let outcome = driver.heuristic2(&self.config)?;
+        let trace = SearchTrace::single(driver.observer.finish());
+        Ok((self.package_heuristic(outcome)?, trace))
+    }
+
+    fn package_heuristic(&self, outcome: HeuristicOutcome) -> Result<SolveOutcome, RotationError> {
+        let bound = u32::try_from(lower_bound(self.dfg, &self.resources)?).unwrap_or(u32::MAX - 1);
         let state = outcome
             .best
             .first()
@@ -315,6 +344,27 @@ impl<'a> RotationScheduler<'a> {
     pub fn solve_portfolio(&self) -> Result<SolveOutcome, RotationError> {
         let outcome = self.portfolio()?;
         self.package_portfolio(outcome)
+    }
+
+    /// Like [`RotationScheduler::solve_portfolio`], but traced: every
+    /// worker records its driver events, and the returned
+    /// [`SearchTrace`] keeps the deterministic task prefix (see
+    /// [`Portfolio::run_traced`] for the worker interleave ordering
+    /// rule). Both the outcome and the trace are identical for every
+    /// `--jobs` value.
+    ///
+    /// # Errors
+    ///
+    /// Exactly [`RotationScheduler::solve_portfolio`]'s errors.
+    pub fn solve_portfolio_traced(
+        &self,
+        capacity: usize,
+    ) -> Result<(SolveOutcome, SearchTrace), RotationError> {
+        let (outcome, trace) = Portfolio::standard(self.dfg, &self.resources, &self.config)?
+            .with_jobs(self.jobs)
+            .with_budget(self.budget.clone())
+            .run_traced(self.dfg, &self.resources, capacity)?;
+        Ok((self.package_portfolio(outcome)?, trace))
     }
 
     /// Like [`RotationScheduler::solve_portfolio`], but runs a

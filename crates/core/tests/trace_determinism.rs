@@ -1,0 +1,219 @@
+//! Seeded randomized tests for the instrumented engine: observing a
+//! search must never change it, the recorded trace must be identical
+//! for every worker-thread count, the best-length trajectory must
+//! replay budgeted runs exactly, and the trace's JSON form must
+//! round-trip byte-stably.
+
+use rotsched_benchmarks::{random_dfg, RandomDfgConfig};
+use rotsched_core::{
+    heuristic2_pruned, Budget, HeuristicConfig, Portfolio, RotationScheduler, SearchDriver,
+    SearchTrace, TraceRecorder,
+};
+use rotsched_dfg::rng::SplitMix64;
+use rotsched_dfg::Dfg;
+use rotsched_sched::{ListScheduler, ResourceSet};
+
+const CASES: u64 = 24;
+
+fn random_graph(rng: &mut SplitMix64) -> Dfg {
+    let seed = rng.next_u64() % 500;
+    let nodes = rng.range_u32(4, 11) as usize;
+    random_dfg(
+        &RandomDfgConfig {
+            nodes,
+            forward_density: 0.2,
+            feedback_density: 0.1,
+            max_delays: 2,
+            mult_fraction: 0.3,
+            mult_steps: 2,
+        },
+        seed,
+    )
+}
+
+fn config() -> HeuristicConfig {
+    HeuristicConfig {
+        rotations_per_phase: 8,
+        max_size: None,
+        keep_best: 4,
+        rounds: 1,
+    }
+}
+
+/// Observation is free of side effects: a traced solve returns the
+/// bit-identical outcome of an untraced solve, for the single-sweep and
+/// the portfolio paths alike.
+#[test]
+fn traced_solve_is_bit_identical_to_untraced() {
+    for case in 0..CASES {
+        let mut rng = SplitMix64::new(0x7ACE ^ case);
+        let g = random_graph(&mut rng);
+        let res = ResourceSet::adders_multipliers(2, 2, false);
+        for jobs in [1_usize, 4] {
+            let scheduler = RotationScheduler::new(&g, res.clone())
+                .with_config(config())
+                .with_jobs(jobs);
+            let (plain, traced) = if jobs > 1 {
+                (
+                    scheduler.solve_portfolio().expect("solves"),
+                    scheduler.solve_portfolio_traced(64).expect("solves"),
+                )
+            } else {
+                (
+                    scheduler.solve().expect("solves"),
+                    scheduler.solve_traced(64).expect("solves"),
+                )
+            };
+            let (observed, _trace) = traced;
+            let what = format!("case {case}, jobs {jobs}");
+            assert_eq!(observed.length, plain.length, "{what}: length");
+            assert_eq!(observed.depth, plain.depth, "{what}: depth");
+            assert_eq!(observed.state, plain.state, "{what}: winning state");
+            assert_eq!(observed.quality, plain.quality, "{what}: quality");
+            assert_eq!(observed.stats, plain.stats, "{what}: stats");
+            assert_eq!(
+                observed.outcome.best_length, plain.outcome.best_length,
+                "{what}: outcome best length"
+            );
+            assert_eq!(
+                observed.outcome.best, plain.outcome.best,
+                "{what}: best schedule set"
+            );
+            assert_eq!(
+                observed.outcome.phases, plain.outcome.phases,
+                "{what}: phase stats"
+            );
+            assert_eq!(
+                observed.outcome.total_rotations, plain.outcome.total_rotations,
+                "{what}: rotation count"
+            );
+            assert_eq!(
+                observed.outcome.stopped, plain.outcome.stopped,
+                "{what}: stop reason"
+            );
+        }
+    }
+}
+
+/// The recorded portfolio trace — counters, trajectories, and the raw
+/// event streams of the deterministic task prefix — is identical for
+/// every worker-thread count, and so is the outcome it rode along with.
+#[test]
+fn portfolio_trace_is_deterministic_in_the_thread_count() {
+    for case in 0..CASES {
+        let mut rng = SplitMix64::new(case);
+        let g = random_graph(&mut rng);
+        let res = ResourceSet::adders_multipliers(
+            rng.range_u32(1, 2),
+            rng.range_u32(1, 2),
+            rng.chance(0.5),
+        );
+        let p = Portfolio::standard(&g, &res, &config()).expect("schedulable");
+        let (seq_out, seq_trace) = p
+            .clone()
+            .with_jobs(1)
+            .run_traced(&g, &res, 128)
+            .expect("runs");
+        for jobs in [2_usize, 4] {
+            let (out, trace) = p
+                .clone()
+                .with_jobs(jobs)
+                .run_traced(&g, &res, 128)
+                .expect("runs");
+            let what = format!("case {case}, jobs {jobs}");
+            assert_eq!(out.best_length, seq_out.best_length, "{what}: best length");
+            assert_eq!(out.best, seq_out.best, "{what}: canonical schedule set");
+            assert_eq!(
+                out.canonical_task, seq_out.canonical_task,
+                "{what}: canonical task"
+            );
+            assert_eq!(trace, seq_trace, "{what}: traced event streams diverged");
+        }
+    }
+}
+
+/// One traced, unlimited Heuristic-2 run replays the whole anytime
+/// degradation table: `best_at_rotation(k)` equals the best length a
+/// fresh solve under `Budget::with_max_rotations(k)` returns, at every
+/// budget from zero through the unlimited run's rotation count.
+#[test]
+fn trajectory_replays_budgeted_runs_exactly() {
+    for case in 0..CASES / 2 {
+        let mut rng = SplitMix64::new(0xB1D ^ case);
+        let g = random_graph(&mut rng);
+        let res = ResourceSet::adders_multipliers(2, 1, false);
+        let sched = ListScheduler::default();
+        let config = config();
+        let mut driver =
+            SearchDriver::incremental(&g, &sched, &res).with_observer(TraceRecorder::new(0));
+        let full = driver.heuristic2(&config).expect("schedulable");
+        let trace = driver.observer.finish();
+        for k in 0..=full.total_rotations {
+            let meter = Budget::default().with_max_rotations(k as u64).arm();
+            let budgeted = heuristic2_pruned(&g, &sched, &res, &config, None, Some(&meter))
+                .expect("schedulable");
+            assert_eq!(
+                trace.best_at_rotation(k as u64),
+                Some(budgeted.best_length),
+                "case {case}: trajectory diverged from the budget-{k} run"
+            );
+        }
+    }
+}
+
+/// The JSON form is byte-stable: render → parse → re-render reproduces
+/// the exact bytes, for single-sweep and portfolio traces alike.
+#[test]
+fn trace_json_round_trips_byte_stably() {
+    for case in 0..CASES / 2 {
+        let mut rng = SplitMix64::new(0x15AB ^ case);
+        let g = random_graph(&mut rng);
+        let res = ResourceSet::adders_multipliers(2, 2, false);
+        for jobs in [1_usize, 4] {
+            let scheduler = RotationScheduler::new(&g, res.clone())
+                .with_config(config())
+                .with_jobs(jobs);
+            let (_, trace) = if jobs > 1 {
+                scheduler.solve_portfolio_traced(32).expect("solves")
+            } else {
+                scheduler.solve_traced(32).expect("solves")
+            };
+            let rendered = trace.render_json();
+            let parsed = SearchTrace::parse_json(&rendered)
+                .unwrap_or_else(|e| panic!("case {case}, jobs {jobs}: {e}"));
+            assert_eq!(parsed, trace, "case {case}, jobs {jobs}: parse lost data");
+            assert_eq!(
+                parsed.render_json(),
+                rendered,
+                "case {case}, jobs {jobs}: re-render not byte-identical"
+            );
+        }
+    }
+}
+
+/// A tiny event ring never corrupts the exact side of the trace: the
+/// counters, trajectory, and totals of a capacity-2 recording equal the
+/// ones of a roomy recording; only the raw event replay is truncated.
+#[test]
+fn ring_capacity_only_bounds_the_raw_replay() {
+    for case in 0..CASES / 2 {
+        let mut rng = SplitMix64::new(0x21C6 ^ case);
+        let g = random_graph(&mut rng);
+        let res = ResourceSet::adders_multipliers(2, 2, false);
+        let scheduler = RotationScheduler::new(&g, res.clone()).with_config(config());
+        let (_, roomy) = scheduler.solve_traced(4096).expect("solves");
+        let (_, tiny) = scheduler.solve_traced(2).expect("solves");
+        let (roomy, tiny) = (&roomy.tasks[0], &tiny.tasks[0]);
+        assert_eq!(tiny.phases, roomy.phases, "case {case}: phase counters");
+        assert_eq!(tiny.trajectory, roomy.trajectory, "case {case}: trajectory");
+        assert_eq!(tiny.rotations, roomy.rotations, "case {case}: rotations");
+        assert_eq!(tiny.prunes, roomy.prunes, "case {case}: prunes");
+        assert_eq!(tiny.stopped, roomy.stopped, "case {case}: stop reason");
+        assert!(tiny.events.len() <= 2, "case {case}: ring overflowed");
+        assert_eq!(
+            tiny.dropped + tiny.events.len() as u64,
+            roomy.dropped + roomy.events.len() as u64,
+            "case {case}: events went missing rather than dropped"
+        );
+    }
+}

@@ -100,6 +100,14 @@ pub fn simple_cycles(dfg: &Dfg, max_cycles: usize) -> CycleEnumeration {
 /// order as successive roots; each reported cycle starts at its smallest
 /// id, so cycles are produced exactly once.
 fn enumerate_component(dfg: &Dfg, comp: &[NodeId], max_cycles: usize, out: &mut CycleEnumeration) {
+    /// One frame of the iterative DFS with Johnson's blocking
+    /// discipline.
+    struct Frame {
+        v: NodeId,
+        succ_pos: usize,
+        found_cycle: bool,
+    }
+
     let members: HashSet<NodeId> = comp.iter().copied().collect();
 
     for (root_pos, &root) in comp.iter().enumerate() {
@@ -115,12 +123,6 @@ fn enumerate_component(dfg: &Dfg, comp: &[NodeId], max_cycles: usize, out: &mut 
             std::collections::HashMap::new();
         let mut path: Vec<NodeId> = Vec::new();
 
-        // Iterative DFS with Johnson's blocking discipline.
-        struct Frame {
-            v: NodeId,
-            succ_pos: usize,
-            found_cycle: bool,
-        }
         let mut frames = vec![Frame {
             v: root,
             succ_pos: 0,

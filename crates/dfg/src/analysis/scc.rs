@@ -56,8 +56,8 @@ impl SccDecomposition {
 /// dependencies, not absences of dependency).
 #[must_use]
 pub fn strongly_connected_components(dfg: &Dfg) -> SccDecomposition {
-    let n = dfg.node_count();
     const UNVISITED: usize = usize::MAX;
+    let n = dfg.node_count();
     let mut index = vec![UNVISITED; n];
     let mut lowlink = vec![0_usize; n];
     let mut on_stack = vec![false; n];

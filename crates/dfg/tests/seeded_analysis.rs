@@ -107,7 +107,7 @@ fn normalization_preserves_retimed_delays() {
         let shift = i64::from(rng.range_u32(0, 5)) - 3;
         let mut r = Retiming::zero(&g);
         for v in g.node_ids() {
-            r.set(v, shift + (v.index() as i64 % 2));
+            r.set(v, shift + i64::try_from(v.index() % 2).expect("0 or 1"));
         }
         let n = r.to_normalized();
         assert!(n.is_normalized(), "seed {seed}");

@@ -73,6 +73,35 @@ struct WeightsEntry {
 /// full revolution of the node set) with room to spare.
 const WEIGHT_MEMO_CAP: usize = 64;
 
+/// Cache-effectiveness counters of one [`SchedContext`], maintained by
+/// the incremental hooks and exposed so the search engine's observer
+/// layer can report per-phase hit rates without instrumenting the hot
+/// path itself.
+///
+/// A *hit* is a retiming delta whose new zero-delay set re-activated a
+/// memoized weight state in O(1); a *miss* had to repair the weights
+/// locally (and memoize the result). Policies without a local repair
+/// rule (mobility, input order) keep both counters at zero — they go
+/// through the scheduler's fingerprint-keyed cache instead.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Retiming deltas answered by re-activating a memoized weight state.
+    pub weight_memo_hits: u64,
+    /// Retiming deltas that had to repair (and memoize) a weight state.
+    pub weight_memo_misses: u64,
+}
+
+impl CacheStats {
+    /// Counter-wise difference `self - earlier`, for per-phase deltas.
+    #[must_use]
+    pub fn since(&self, earlier: &CacheStats) -> CacheStats {
+        CacheStats {
+            weight_memo_hits: self.weight_memo_hits - earlier.weight_memo_hits,
+            weight_memo_misses: self.weight_memo_misses - earlier.weight_memo_misses,
+        }
+    }
+}
+
 /// Persistent scheduling state for a run of rotations over one `(graph,
 /// scheduler, resources)` triple.
 ///
@@ -109,6 +138,8 @@ pub struct SchedContext {
     stack: Vec<NodeId>,
     /// Dirty-restricted out-degrees for the children-first repair order.
     deg: NodeMap<u32>,
+    /// Weight-memo effectiveness counters (see [`CacheStats`]).
+    stats: CacheStats,
 }
 
 impl SchedContext {
@@ -173,7 +204,14 @@ impl SchedContext {
             dirty_list: Vec::new(),
             stack: Vec::new(),
             deg: dfg.node_map(0_u32),
+            stats: CacheStats::default(),
         })
+    }
+
+    /// The running weight-memo hit/miss counters of this context.
+    #[must_use]
+    pub fn cache_stats(&self) -> CacheStats {
+        self.stats
     }
 
     /// Releases `v`'s reservation; `cs` must be its current start step.
@@ -220,7 +258,9 @@ impl SchedContext {
                 // Re-activate the memoized state: an O(1) index move, no
                 // copy, no repair.
                 self.active = i;
+                self.stats.weight_memo_hits += 1;
             } else {
+                self.stats.weight_memo_misses += 1;
                 let mut state = self.memo[self.active].state.clone();
                 self.repair_weights(dfg, &mut state);
                 self.memo.push(WeightsEntry {

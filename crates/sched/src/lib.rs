@@ -65,7 +65,7 @@ pub use chaining::{ChainTiming, ChainedSchedule, ChainedScheduler};
 pub use diagnostics::{check_static_schedule_diag, verify_spec, verify_starts};
 pub use error::SchedError;
 pub use executor::{simulate, SimulationError, SimulationReport};
-pub use incremental::SchedContext;
+pub use incremental::{CacheStats, SchedContext};
 pub use list::{ListScheduler, ZeroSet};
 pub use priority::PriorityPolicy;
 pub use prologue::{LoopEvent, LoopPhase, LoopSchedule};

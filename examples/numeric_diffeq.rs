@@ -53,11 +53,10 @@ fn evaluate(name: &str, iter: u32, values: &HashMap<(String, i64), f64>) -> f64 
     // the legally reordered pipeline would appear to miss values.
     match name {
         "m1" => 3.0 * get("xs", j - 1),
-        "m2" => get("s2", j - 1) * DX,
+        "m2" | "m6" => get("s2", j - 1) * DX,
         "m3" => get("m1", j) * get("m2", j),
         "m4" => 3.0 * get("ys", j - 1),
         "m5" => get("m4", j) * DX,
-        "m6" => get("s2", j - 1) * DX,
         "s1" => get("s2", j - 1) - get("m3", j),
         "s2" => get("s1", j) - get("m5", j),
         "ys" => get("ys", j - 1) + get("m6", j),

@@ -7,7 +7,7 @@
 //! rotsched solve    <file.dfg> [--adders N] [--mults N] [--pipelined]
 //!                              [--verify ITERS] [--dot] [--expand ITERS]
 //!                              [--jobs N] [--deadline-ms N] [--max-rotations N]
-//!                              [--certify] [--format text|json]
+//!                              [--certify] [--trace[=json]] [--format text|json]
 //! rotsched compare  <file.dfg> [--adders N] [--mults N] [--pipelined]
 //! ```
 //!
@@ -27,6 +27,13 @@
 //! certifying verifier (which shares no scheduling code with the
 //! solver) and prints the certificate; `--format json` emits
 //! machine-readable diagnostics and certificates.
+//!
+//! `--trace` records the search engine's event stream (rotations
+//! tried, cache hits, prunes, best-length trajectory) and prints a
+//! per-phase report after the schedule; `--trace=json` emits the
+//! byte-stable `rotsched-trace-v1` JSON document instead. Tracing
+//! never changes the solve: the traced result is bit-identical to the
+//! untraced one.
 //!
 //! Exit codes: `0` success, `1` error, `2` usage, `3` budget exhausted
 //! (legal incumbent printed), `4` degraded (a portfolio worker failed;
@@ -55,7 +62,9 @@ use rotsched::sched::{verify_spec, verify_starts};
 use rotsched::verify::{
     certify_claim, has_errors, lint, render_json_array, Claim, LintContext, LintOptions,
 };
-use rotsched::{Budget, Dfg, PriorityPolicy, ResourceSet, RotationScheduler, SolveQuality};
+use rotsched::{
+    Budget, Dfg, PriorityPolicy, ResourceSet, RotationScheduler, SolveQuality, DEFAULT_TRACE_EVENTS,
+};
 
 /// Output format for diagnostics and certificates.
 #[derive(Clone, Copy, PartialEq, Eq)]
@@ -75,6 +84,7 @@ struct Options {
     deadline_ms: Option<u64>,
     max_rotations: Option<u64>,
     certify: bool,
+    trace: Option<Format>,
     format: Format,
 }
 
@@ -95,7 +105,8 @@ fn usage() -> ExitCode {
     eprintln!(
         "usage: rotsched <analyze|lint|solve|compare> <file.dfg> \
          [--adders N] [--mults N] [--pipelined] [--verify N] [--expand N] [--dot] [--jobs N] \
-         [--deadline-ms N] [--max-rotations N] [--certify] [--format text|json]"
+         [--deadline-ms N] [--max-rotations N] [--certify] [--trace[=json]] \
+         [--format text|json]"
     );
     ExitCode::from(2)
 }
@@ -134,6 +145,7 @@ fn main() -> ExitCode {
         deadline_ms: None,
         max_rotations: None,
         certify: false,
+        trace: None,
         format: Format::Text,
     };
     let mut it = args[2..].iter();
@@ -167,6 +179,8 @@ fn main() -> ExitCode {
                 Some(v) => opts.max_rotations = Some(v),
                 None => return usage(),
             },
+            "--trace" | "--trace=text" => opts.trace = Some(Format::Text),
+            "--trace=json" => opts.trace = Some(Format::Json),
             "--pipelined" => opts.pipelined = true,
             "--dot" => opts.dot = true,
             "--certify" => opts.certify = true,
@@ -298,10 +312,20 @@ fn solve(graph: &Dfg, opts: &Options) -> Result<ExitCode, Box<dyn std::error::Er
     let scheduler = RotationScheduler::new(graph, resources)
         .with_jobs(opts.jobs as usize)
         .with_budget(opts.budget());
-    let solved = if opts.jobs > 1 {
-        scheduler.solve_portfolio()?
+    let (solved, trace) = if opts.trace.is_some() {
+        let (solved, trace) = if opts.jobs > 1 {
+            scheduler.solve_portfolio_traced(DEFAULT_TRACE_EVENTS)?
+        } else {
+            scheduler.solve_traced(DEFAULT_TRACE_EVENTS)?
+        };
+        (solved, Some(trace))
     } else {
-        scheduler.solve()?
+        let solved = if opts.jobs > 1 {
+            scheduler.solve_portfolio()?
+        } else {
+            scheduler.solve()?
+        };
+        (solved, None)
     };
     println!(
         "kernel: {} control steps, pipeline depth {}, {} optimal schedules found",
@@ -370,6 +394,13 @@ fn solve(graph: &Dfg, opts: &Options) -> Result<ExitCode, Box<dyn std::error::Er
                 eprintln!("certification FAILED: the reported kernel is not a legal schedule");
                 return Ok(ExitCode::from(5));
             }
+        }
+    }
+    if let Some(trace) = &trace {
+        match opts.trace {
+            Some(Format::Json) => println!("{}", trace.render_json()),
+            // `--trace` / `--trace=text`: the per-phase report.
+            _ => print!("\n{}", trace.render_text()),
         }
     }
     Ok(match solved.quality {

@@ -17,8 +17,9 @@
 //!   schedule validation, wrapped schedules, prologue/kernel/epilogue
 //!   expansion, and a cycle-accurate pipeline simulator.
 //! * [`core`] — rotation scheduling itself: the rotation operators,
-//!   rotation phases, Heuristics 1 and 2, depth minimization, and the
-//!   high-level [`RotationScheduler`].
+//!   the instrumented search engine ([`SearchDriver`] with
+//!   [`SearchObserver`] events), rotation phases, Heuristics 1 and 2,
+//!   depth minimization, and the high-level [`RotationScheduler`].
 //! * [`baselines`] — lower bounds, DAG-only scheduling, unfold-and-
 //!   schedule, iterative modulo scheduling, and the paper's published
 //!   comparison numbers.
@@ -78,7 +79,8 @@ pub use rotsched_benchmarks::{
 };
 pub use rotsched_core::{
     Budget, CancelToken, HeuristicConfig, RotationError, RotationScheduler, RotationState,
-    SolveOutcome, SolveQuality, SolveStats, SolvedPipeline, StopReason,
+    SearchDriver, SearchEvent, SearchObserver, SearchTrace, SolveOutcome, SolveQuality, SolveStats,
+    SolvedPipeline, StopReason, TraceRecorder, DEFAULT_TRACE_EVENTS,
 };
 pub use rotsched_dfg::{Dfg, DfgBuilder, DfgError, NodeId, OpKind, Retiming};
 pub use rotsched_sched::{
