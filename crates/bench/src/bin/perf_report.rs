@@ -9,8 +9,10 @@
 //!   --reps N          timed repetitions per jobs value (default: 3)
 //!   --check BASELINE  smoke mode: run one sweep, compare schedule
 //!                     lengths and the rows fingerprint against a
-//!                     checked-in baseline JSON, exit non-zero on any
-//!                     regression. No timing, no report written.
+//!                     checked-in baseline JSON, and gate the SoA
+//!                     rotation step's tail latency (p99 within 10x of
+//!                     p50); exit non-zero on any regression. No
+//!                     report written.
 //!   --certify         certification mode: run one sweep and have the
 //!                     independent verifier (`rotsched-verify`) re-prove
 //!                     every winning kernel legal — starts, retimed-delay
@@ -29,10 +31,12 @@
 //! ```
 //!
 //! Times the full Table-3 sweep (every benchmark × resource-config
-//! cell) sequentially and under several `--jobs` values, checks that
-//! every jobs value yields byte-identical rows, samples per-rotation-step
-//! latency percentiles for the incremental context path against the
-//! from-scratch path, measures the `SearchDriver` dispatch overhead
+//! cell) sequentially and under several `--jobs` values (requested and
+//! effective counts both recorded), checks that every jobs value yields
+//! byte-identical rows, samples per-rotation-step latency percentiles
+//! for the allocation-free SoA step and the incremental context path
+//! against the from-scratch path, times `solve_batch` throughput over a
+//! deduplicating corpus, measures the `SearchDriver` dispatch overhead
 //! against a hand-rolled replica of the pre-engine phase loop (the
 //! `NoopObserver` path must stay within noise of the bare kernel), and
 //! writes a machine-readable JSON report.
@@ -45,18 +49,28 @@ use rotsched_benchmarks::{
     allpole, biquad, diffeq, lattice4, random_dfg, RandomDfgConfig, TimingModel,
 };
 use rotsched_core::{
-    down_rotate, initial_state, parallel_indexed, BestSet, HeuristicConfig, RotationContext,
-    SearchDriver, TraceRecorder,
+    down_rotate, effective_jobs, initial_state, parallel_indexed, BestSet, HeuristicConfig,
+    ProblemSpec, RotationContext, RotationScheduler, SearchDriver, TraceRecorder,
 };
 use rotsched_dfg::rng::Fnv64;
 use rotsched_dfg::Dfg;
-use rotsched_sched::{ListScheduler, ResourceSet};
+use rotsched_sched::{ListScheduler, ResourceSet, WrapScratch};
 
 const JOBS: [usize; 4] = [1, 2, 4, 8];
 /// Size-1 rotations per sampled sequence in the per-step timing study.
 const STEP_SEQ: usize = 32;
 /// Repetitions of each sampled sequence.
 const STEP_REPS: usize = 5;
+/// Unique problems in the batch-throughput corpus.
+const BATCH_UNIQUE: u64 = 48;
+/// Total batch items (the tail repeats earlier specs, exercising the
+/// fingerprint deduplication path).
+const BATCH_ITEMS: u64 = 64;
+/// Timed `solve_batch` repetitions.
+const BATCH_REPS: usize = 9;
+/// Smoke gate: a steady-state SoA step's tail latency must stay within
+/// this multiple of its median.
+const STEP_TAIL_RATIO: u64 = 10;
 
 struct Options {
     out: String,
@@ -101,6 +115,7 @@ fn main() {
     let mut results = Vec::new();
     let mut lengths = Vec::new();
     for jobs in JOBS {
+        let effective = effective_jobs(jobs, cells);
         let mut wall_ns = Vec::new();
         let mut fingerprint = 0_u64;
         for _ in 0..reps {
@@ -115,30 +130,36 @@ fn main() {
         let median = wall_ns[wall_ns.len() / 2];
         let min = wall_ns[0];
         println!(
-            "jobs {jobs}: median {:.1} ms, min {:.1} ms (fingerprint {fingerprint:#018x})",
+            "jobs {jobs} (effective {effective}): median {:.1} ms, min {:.1} ms \
+             (fingerprint {fingerprint:#018x})",
             median as f64 / 1e6,
             min as f64 / 1e6
         );
-        results.push((jobs, median, min, fingerprint));
+        results.push((jobs, effective, median, min, fingerprint));
     }
 
-    let seq_median = results[0].1;
-    let deterministic = results.iter().all(|r| r.3 == results[0].3);
+    let seq_median = results[0].2;
+    let deterministic = results.iter().all(|r| r.4 == results[0].4);
     assert!(
         deterministic,
         "table3 rows must be byte-identical for every jobs value"
     );
     println!("\nrows byte-identical across all jobs values: yes");
-    for (jobs, median, _, _) in &results {
+    for (jobs, _, median, _, _) in &results {
         println!(
             "speedup vs sequential at jobs {jobs}: {:.2}x",
             seq_median as f64 / *median as f64
         );
     }
 
+    let soa = soa_steady_percentiles();
     let (ctx, scratch) = step_percentiles(&graphs);
     println!(
-        "\nrotation step (context):      p50 {:>8} ns, p90 {:>8} ns, p99 {:>8} ns ({} samples)",
+        "\nrotation step (soa, steady):  p50 {:>8} ns, p90 {:>8} ns, p99 {:>8} ns ({} samples)",
+        soa.p50, soa.p90, soa.p99, soa.samples
+    );
+    println!(
+        "rotation step (context):      p50 {:>8} ns, p90 {:>8} ns, p99 {:>8} ns ({} samples)",
         ctx.p50, ctx.p90, ctx.p99, ctx.samples
     );
     println!(
@@ -146,8 +167,21 @@ fn main() {
         scratch.p50, scratch.p90, scratch.p99, scratch.samples
     );
     println!(
-        "per-step speedup at p50: {:.2}x",
-        scratch.p50 as f64 / ctx.p50.max(1) as f64
+        "per-step speedup at p50: {:.2}x (context vs scratch); steady soa step \
+         tail p99/p50: {:.1}x",
+        scratch.p50 as f64 / ctx.p50.max(1) as f64,
+        soa.p99 as f64 / soa.p50.max(1) as f64
+    );
+
+    let specs = batch_corpus();
+    let batch = batch_throughput(&specs);
+    println!(
+        "\nbatch throughput ({} items, {} unique): \
+         {:.0} solves/s at p50, {:.0} solves/s at the p99 tail",
+        BATCH_ITEMS,
+        BATCH_UNIQUE,
+        solves_per_sec(BATCH_ITEMS, batch.p50),
+        solves_per_sec(BATCH_ITEMS, batch.p99)
     );
 
     let (driver, legacy) = driver_overhead(&graphs);
@@ -166,8 +200,10 @@ fn main() {
         seq_median,
         deterministic,
         &lengths,
+        &soa,
         &ctx,
         &scratch,
+        &batch,
         &driver,
         &legacy,
     );
@@ -271,6 +307,104 @@ fn step_percentiles(graphs: &[(&str, Dfg)]) -> (StepPercentiles, StepPercentiles
         }
     }
     (percentiles(&mut ctx_ns), percentiles(&mut scratch_ns))
+}
+
+/// Steps in the steady-state SoA benchmark's measured window.
+const SOA_SAMPLES: usize = 800;
+
+/// Samples the engine's true steady-state rotation step: a ring that
+/// rotates indefinitely, pooled buffers and the weight memo fully warm,
+/// each step a `down_rotate_in_place` on the reused buffer plus the
+/// allocation-free `WrapScratch` wrapped-length probe — exactly the
+/// work `SearchDriver` performs per rotation once warm-up is over (the
+/// `alloc_discipline` suite proves this window is allocation-free).
+/// Unlike [`step_percentiles`], which pools five graphs of very
+/// different sizes and shapes, every step here does like-for-like work,
+/// so the percentile spread reflects the hot loop itself.
+fn soa_steady_percentiles() -> StepPercentiles {
+    let n = 24_usize;
+    let names: Vec<String> = (0..n).map(|i| format!("v{i}")).collect();
+    let refs: Vec<&str> = names.iter().map(String::as_str).collect();
+    let g = rotsched_dfg::DfgBuilder::new("steady-ring")
+        .nodes("v", n, rotsched_dfg::OpKind::Add, 1)
+        .chain(&refs)
+        .edge(&format!("v{}", n - 1), "v0", 3)
+        .build()
+        .expect("valid ring");
+    let sched = ListScheduler::default();
+    let res = ResourceSet::adders_multipliers(4, 0, false);
+    let mut state = initial_state(&g, &sched, &res).expect("ring schedules");
+    let mut ctx = RotationContext::new(&g, &sched, &res, &state).expect("schedulable");
+    let mut wrap = WrapScratch::new(&g, &res).expect("ops bind");
+    // Warm-up: the rotation sequence of a uniform ring is periodic, so
+    // 4n steps see every distinct zero-delay set and grow every buffer.
+    // The untimed wrapped-length probe between steps keeps the scratch
+    // warm without charging the probe to the rotation arm (the
+    // `context` and `scratch` arms time the rotation operator alone).
+    for _ in 0..4 * n {
+        ctx.down_rotate_in_place(&g, &sched, &res, &mut state, 1)
+            .expect("steady ring keeps rotating");
+        wrap.wrapped_length(&g, Some(&state.retiming), &state.schedule, &res)
+            .expect("rotation states wrap");
+    }
+    let mut ns = Vec::with_capacity(SOA_SAMPLES);
+    for _ in 0..SOA_SAMPLES {
+        let start = Instant::now();
+        ctx.down_rotate_in_place(&g, &sched, &res, &mut state, 1)
+            .expect("steady ring keeps rotating");
+        ns.push(u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX));
+        wrap.wrapped_length(&g, Some(&state.retiming), &state.schedule, &res)
+            .expect("rotation states wrap");
+    }
+    percentiles(&mut ns)
+}
+
+/// The batch-throughput corpus: `BATCH_ITEMS` specs over `BATCH_UNIQUE`
+/// seeds, so the tail repeats earlier graphs and exercises the
+/// deduplication path exactly as a real sweep with repeated cells would.
+fn batch_corpus() -> Vec<ProblemSpec> {
+    (0..BATCH_ITEMS)
+        .map(|i| {
+            let seed = i % BATCH_UNIQUE;
+            let dfg = random_dfg(
+                &RandomDfgConfig {
+                    nodes: 8 + (seed as usize % 9),
+                    ..RandomDfgConfig::default()
+                },
+                seed,
+            );
+            let adders = 1 + (seed % 2) as u32;
+            let mults = 1 + (seed / 2 % 2) as u32;
+            ProblemSpec::new(dfg, ResourceSet::adders_multipliers(adders, mults, false))
+                .with_config(HeuristicConfig {
+                    rotations_per_phase: 8,
+                    max_size: Some(4),
+                    keep_best: 4,
+                    rounds: 1,
+                })
+        })
+        .collect()
+}
+
+/// Times `RotationScheduler::solve_batch` over the corpus. Returns
+/// per-repetition wall-time percentiles; p99 is the slowest repetition,
+/// so `items / p99` is the tail throughput floor.
+fn batch_throughput(specs: &[ProblemSpec]) -> StepPercentiles {
+    // Untimed warm-up rep.
+    let _ = RotationScheduler::solve_batch(specs).expect("corpus solves");
+    let mut wall_ns = Vec::with_capacity(BATCH_REPS);
+    for _ in 0..BATCH_REPS {
+        let start = Instant::now();
+        let outcomes = RotationScheduler::solve_batch(specs).expect("corpus solves");
+        assert_eq!(outcomes.len(), specs.len());
+        wall_ns.push(u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX));
+    }
+    percentiles(&mut wall_ns)
+}
+
+/// Solves per second implied by a per-repetition wall time.
+fn solves_per_sec(items: u64, wall_ns: u64) -> f64 {
+    items as f64 * 1e9 / wall_ns.max(1) as f64
 }
 
 /// Measures the engine's dispatch overhead: a full size-1 rotation
@@ -485,6 +619,25 @@ fn check_against_baseline(graphs: &[(&str, Dfg)], baseline_path: &str) -> i32 {
         }
     }
 
+    // Latency-shape gate: a steady-state SoA rotation step must keep
+    // its tail bounded — a p99 blowing past 10x the median means a
+    // hidden slow path (reallocation, cache rebuild) crept back into
+    // the hot loop even if medians look fine.
+    let soa = soa_steady_percentiles();
+    let ratio = soa.p99 / soa.p50.max(1);
+    if ratio > STEP_TAIL_RATIO {
+        eprintln!(
+            "FAIL: soa step p99 {} ns is {ratio}x its p50 {} ns (limit {STEP_TAIL_RATIO}x)",
+            soa.p99, soa.p50
+        );
+        failures += 1;
+    } else {
+        println!(
+            "soa step tail: p99 {} ns within {STEP_TAIL_RATIO}x of p50 {} ns",
+            soa.p99, soa.p50
+        );
+    }
+
     if failures == 0 {
         println!("check passed");
         0
@@ -500,7 +653,7 @@ fn check_against_baseline(graphs: &[(&str, Dfg)], baseline_path: &str) -> i32 {
 /// "the perf numbers regressed nowhere" and "the perf numbers are
 /// backed by schedules that are actually correct".
 fn certify_sweep(graphs: &[(&str, Dfg)]) -> i32 {
-    use rotsched_core::{RotationScheduler, SolveQuality};
+    use rotsched_core::SolveQuality;
     use rotsched_sched::{verify_spec, verify_starts};
     use rotsched_verify::{certify_claim, Claim};
 
@@ -580,12 +733,14 @@ fn render_json(
     hardware: usize,
     cells: usize,
     reps: usize,
-    results: &[(usize, u64, u64, u64)],
+    results: &[(usize, usize, u64, u64, u64)],
     seq_median: u64,
     deterministic: bool,
     lengths: &[u32],
+    soa: &StepPercentiles,
     ctx: &StepPercentiles,
     scratch: &StepPercentiles,
+    batch: &StepPercentiles,
     driver: &StepPercentiles,
     legacy: &StepPercentiles,
 ) -> String {
@@ -605,15 +760,37 @@ fn render_json(
         .join(", ");
     s.push_str(&format!("  \"schedule_lengths\": [{lengths_csv}],\n"));
     s.push_str("  \"rotation_step_ns\": {\n");
-    for (label, p, comma) in [("context", ctx, ","), ("scratch", scratch, ",")] {
+    for (label, p) in [("soa", soa), ("context", ctx), ("scratch", scratch)] {
         s.push_str(&format!(
-            "    \"{label}\": {{\"p50\": {}, \"p90\": {}, \"p99\": {}, \"samples\": {}}}{comma}\n",
+            "    \"{label}\": {{\"p50\": {}, \"p90\": {}, \"p99\": {}, \"samples\": {}}},\n",
             p.p50, p.p90, p.p99, p.samples
         ));
     }
     s.push_str(&format!(
-        "    \"speedup_p50\": {:.2}\n",
+        "    \"speedup_p50\": {:.2},\n",
         scratch.p50 as f64 / ctx.p50.max(1) as f64
+    ));
+    s.push_str(&format!(
+        "    \"soa_speedup_p50_vs_context\": {:.2},\n",
+        ctx.p50 as f64 / soa.p50.max(1) as f64
+    ));
+    s.push_str(&format!(
+        "    \"soa_tail_p99_over_p50\": {:.2}\n",
+        soa.p99 as f64 / soa.p50.max(1) as f64
+    ));
+    s.push_str("  },\n");
+    s.push_str("  \"batch_throughput\": {\n");
+    s.push_str(&format!(
+        "    \"items\": {BATCH_ITEMS}, \"unique\": {BATCH_UNIQUE}, \"reps\": {BATCH_REPS},\n"
+    ));
+    s.push_str(&format!(
+        "    \"wall_ns_p50\": {}, \"wall_ns_p99\": {},\n",
+        batch.p50, batch.p99
+    ));
+    s.push_str(&format!(
+        "    \"solves_per_sec_p50\": {:.0}, \"solves_per_sec_p99\": {:.0}\n",
+        solves_per_sec(BATCH_ITEMS, batch.p50),
+        solves_per_sec(BATCH_ITEMS, batch.p99)
     ));
     s.push_str("  },\n");
     s.push_str("  \"driver_overhead\": {\n");
@@ -627,10 +804,11 @@ fn render_json(
     ));
     s.push_str("  },\n");
     s.push_str("  \"results\": [\n");
-    for (k, (jobs, median, min, fingerprint)) in results.iter().enumerate() {
+    for (k, (jobs, effective, median, min, fingerprint)) in results.iter().enumerate() {
         let speedup = seq_median as f64 / *median as f64;
         s.push_str(&format!(
-            "    {{\"jobs\": {jobs}, \"wall_ns_median\": {median}, \"wall_ns_min\": {min}, \
+            "    {{\"jobs\": {jobs}, \"jobs_effective\": {effective}, \
+             \"wall_ns_median\": {median}, \"wall_ns_min\": {min}, \
              \"speedup_vs_sequential\": {speedup:.3}, \
              \"rows_fingerprint\": \"{fingerprint:#018x}\"}}{}\n",
             if k + 1 < results.len() { "," } else { "" }

@@ -1,0 +1,186 @@
+//! Per-solve buffer arena: recycled allocations for the rotation hot
+//! path and the batch solver.
+//!
+//! The paper's `O(|R||V|)` per-step bound is an *operation* count; on a
+//! real allocator a per-step `Vec` churn adds hidden `malloc`/`free`
+//! traffic that dwarfs the arithmetic for small prefixes. Every scratch
+//! buffer the hot path needs is therefore acquired from a pool that
+//! recycles capacity: a steady-state rotation step (beyond the weight
+//! memo's warm-up) performs **zero** heap allocations, enforced by the
+//! `alloc_discipline` counting-allocator suite.
+//!
+//! The arena is deliberately *safe* Rust — no bump pointers, no
+//! `unsafe`. A [`BufferPool`] is a free list of `Vec`s whose capacity
+//! survives reuse; acquiring from a warm pool is a `pop`, releasing is a
+//! `clear` + `push`. That is all the hot path needs, because every
+//! scratch buffer it uses is built and consumed within one step.
+//!
+//! [`SolveArena`] groups the pools one solve (or one
+//! [`solve_batch`](crate::RotationScheduler::solve_batch) item) draws
+//! from, so batch solving reuses warm capacity across items instead of
+//! re-growing it per item.
+
+use rotsched_dfg::NodeId;
+
+/// Reuse counters of a [`BufferPool`], for tests and reports.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Buffers handed out in total.
+    pub acquired: u64,
+    /// Hand-outs served from the free list (capacity recycled).
+    pub reused: u64,
+}
+
+/// A free list of `Vec<T>` buffers that recycles capacity.
+///
+/// `acquire` pops a cleared buffer (or creates an empty one when the
+/// pool is cold); `release` clears and returns it. Neither touches the
+/// heap once the pool is warm.
+///
+/// # Examples
+///
+/// ```
+/// use rotsched_core::arena::BufferPool;
+///
+/// let mut pool: BufferPool<u32> = BufferPool::new();
+/// let mut buf = pool.acquire();
+/// buf.extend([1, 2, 3]);
+/// pool.release(buf);
+/// let buf = pool.acquire();
+/// assert!(buf.is_empty());
+/// assert!(buf.capacity() >= 3); // capacity survived the round trip
+/// assert_eq!(pool.stats().reused, 1);
+/// ```
+#[derive(Debug)]
+pub struct BufferPool<T> {
+    free: Vec<Vec<T>>,
+    stats: PoolStats,
+}
+
+impl<T> Default for BufferPool<T> {
+    fn default() -> Self {
+        BufferPool::new()
+    }
+}
+
+impl<T> BufferPool<T> {
+    /// An empty (cold) pool.
+    #[must_use]
+    pub const fn new() -> Self {
+        BufferPool {
+            free: Vec::new(),
+            stats: PoolStats {
+                acquired: 0,
+                reused: 0,
+            },
+        }
+    }
+
+    /// Hands out a cleared buffer, recycling capacity when available.
+    #[must_use]
+    pub fn acquire(&mut self) -> Vec<T> {
+        self.stats.acquired += 1;
+        match self.free.pop() {
+            Some(buf) => {
+                self.stats.reused += 1;
+                debug_assert!(buf.is_empty(), "released buffers are cleared");
+                buf
+            }
+            None => Vec::new(),
+        }
+    }
+
+    /// Returns a buffer to the pool. Clearing drops the elements but
+    /// keeps the capacity for the next `acquire`.
+    pub fn release(&mut self, mut buf: Vec<T>) {
+        buf.clear();
+        self.free.push(buf);
+    }
+
+    /// Buffers currently parked on the free list.
+    #[must_use]
+    pub fn idle(&self) -> usize {
+        self.free.len()
+    }
+
+    /// Reuse counters since construction.
+    #[must_use]
+    pub fn stats(&self) -> PoolStats {
+        self.stats
+    }
+}
+
+/// The per-solve arena: the named pools one rotation solve draws its
+/// scratch buffers from.
+///
+/// One arena serves a whole [`solve_batch`](crate::RotationScheduler::solve_batch)
+/// run — the buffers a finished item releases are acquired warm by the
+/// next item, so only the first item pays the capacity growth.
+#[derive(Debug, Default)]
+pub struct SolveArena {
+    /// Rotated-prefix node sets (`S_i` of Subsection 3.1): one buffer
+    /// lives inside each [`RotationContext`](crate::RotationContext)
+    /// for its lifetime and returns here when the context is rebuilt.
+    pub nodes: BufferPool<NodeId>,
+}
+
+impl SolveArena {
+    /// An empty (cold) arena.
+    #[must_use]
+    pub const fn new() -> Self {
+        SolveArena {
+            nodes: BufferPool::new(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cold_pool_hands_out_empty_buffers() {
+        let mut pool: BufferPool<u8> = BufferPool::new();
+        let buf = pool.acquire();
+        assert!(buf.is_empty());
+        assert_eq!(pool.stats(), PoolStats {
+            acquired: 1,
+            reused: 0
+        });
+    }
+
+    #[test]
+    fn release_recycles_capacity() {
+        let mut pool: BufferPool<u64> = BufferPool::new();
+        let mut buf = pool.acquire();
+        buf.extend(0..100);
+        let cap = buf.capacity();
+        pool.release(buf);
+        assert_eq!(pool.idle(), 1);
+        let buf = pool.acquire();
+        assert!(buf.is_empty());
+        assert_eq!(buf.capacity(), cap);
+        assert_eq!(pool.stats().reused, 1);
+        assert_eq!(pool.idle(), 0);
+    }
+
+    #[test]
+    fn pool_is_lifo_so_the_warmest_buffer_comes_back_first() {
+        let mut pool: BufferPool<u32> = BufferPool::new();
+        let cold = pool.acquire();
+        let mut warm = pool.acquire();
+        warm.extend(0..64);
+        let warm_cap = warm.capacity();
+        pool.release(cold);
+        pool.release(warm);
+        assert_eq!(pool.acquire().capacity(), warm_cap);
+    }
+
+    #[test]
+    fn arena_groups_named_pools() {
+        let mut arena = SolveArena::new();
+        let buf = arena.nodes.acquire();
+        arena.nodes.release(buf);
+        assert_eq!(arena.nodes.stats().acquired, 1);
+    }
+}

@@ -18,7 +18,7 @@
 //!
 //! [`Retiming::apply_set`]: rotsched_dfg::Retiming::apply_set
 
-use rotsched_dfg::Dfg;
+use rotsched_dfg::{Dfg, NodeId};
 use rotsched_sched::{CacheStats, ListScheduler, ResourceSet, SchedContext};
 
 use crate::error::RotationError;
@@ -29,11 +29,16 @@ use crate::rotate::{is_down_rotatable, DownRotateOutcome, RotationState};
 ///
 /// Build one per rotation phase (each portfolio worker builds its own)
 /// from the phase's starting state; it stays valid as long as every
-/// rotation of that state goes through [`RotationContext::down_rotate`].
-/// After an error the context is stale — rebuild before reuse.
+/// rotation of that state goes through [`RotationContext::down_rotate`]
+/// or [`RotationContext::down_rotate_in_place`]. After an error the
+/// context is stale — rebuild before reuse.
 #[derive(Debug)]
 pub struct RotationContext {
     ctx: SchedContext,
+    /// The reusable prefix buffer: the rotated set `S_i` of the most
+    /// recent step. Filled by `prefix_nodes_into`, so steady-state
+    /// steps never allocate it.
+    rotated: Vec<NodeId>,
 }
 
 impl RotationContext {
@@ -49,6 +54,25 @@ impl RotationContext {
         resources: &ResourceSet,
         state: &RotationState,
     ) -> Result<Self, RotationError> {
+        Self::with_buffer(dfg, scheduler, resources, state, Vec::new())
+    }
+
+    /// [`RotationContext::new`] seeded with a recycled prefix buffer
+    /// (from an [`arena::BufferPool`](crate::arena::BufferPool) or a
+    /// retired context), so rebuilding a context at a phase boundary
+    /// reuses the previous phase's warm capacity.
+    ///
+    /// # Errors
+    ///
+    /// Exactly [`RotationContext::new`]'s errors.
+    pub fn with_buffer(
+        dfg: &Dfg,
+        scheduler: &ListScheduler,
+        resources: &ResourceSet,
+        state: &RotationState,
+        mut buffer: Vec<NodeId>,
+    ) -> Result<Self, RotationError> {
+        buffer.clear();
         Ok(RotationContext {
             ctx: SchedContext::new(
                 dfg,
@@ -57,7 +81,14 @@ impl RotationContext {
                 Some(&state.retiming),
                 &state.schedule,
             )?,
+            rotated: buffer,
         })
+    }
+
+    /// Retires the context, handing its prefix buffer back for reuse.
+    #[must_use]
+    pub fn into_buffer(self) -> Vec<NodeId> {
+        self.rotated
     }
 
     /// [`down_rotate`](crate::rotate::down_rotate), incrementally: frees
@@ -79,6 +110,30 @@ impl RotationContext {
         state: &mut RotationState,
         size: u32,
     ) -> Result<DownRotateOutcome, RotationError> {
+        let length = self.down_rotate_in_place(dfg, scheduler, resources, state, size)?;
+        Ok(DownRotateOutcome {
+            rotated: self.rotated.clone(),
+            length,
+        })
+    }
+
+    /// [`RotationContext::down_rotate`] without the owned outcome: the
+    /// rotated set is kept in the context's reusable buffer (read it via
+    /// [`RotationContext::rotated`]) and only the new unwrapped length is
+    /// returned. This is the engine's hot path — a steady-state call
+    /// performs zero heap allocations.
+    ///
+    /// # Errors
+    ///
+    /// Exactly [`RotationContext::down_rotate`]'s errors.
+    pub fn down_rotate_in_place(
+        &mut self,
+        dfg: &Dfg,
+        scheduler: &ListScheduler,
+        resources: &ResourceSet,
+        state: &mut RotationState,
+        size: u32,
+    ) -> Result<u32, RotationError> {
         let length = state.schedule.length(dfg);
         if size == 0 || size >= length {
             return Err(RotationError::InvalidSize {
@@ -87,20 +142,20 @@ impl RotationContext {
             });
         }
 
-        let rotated = state.schedule.prefix_nodes(size);
+        state.schedule.prefix_nodes_into(size, &mut self.rotated);
+        let rotated = &self.rotated;
         debug_assert!(
-            is_down_rotatable(dfg, &state.retiming, &rotated),
+            is_down_rotatable(dfg, &state.retiming, rotated),
             "a schedule prefix is always down-rotatable (Property 1)"
         );
 
-        for &v in &rotated {
+        for &v in rotated {
             let cs = state.schedule.start(v).expect("prefix nodes are scheduled");
             self.ctx.release(dfg, resources, v, cs);
             state.schedule.clear(v);
         }
-        state.retiming.apply_set(&rotated, 1);
-        self.ctx
-            .apply_retiming_delta(dfg, &state.retiming, &rotated);
+        state.retiming.apply_set(rotated, 1);
+        self.ctx.apply_retiming_delta(dfg, &state.retiming, rotated);
 
         // Normalize the fixed remainder; the table follows with an O(1)
         // origin shift. The remainder can be empty even for size <
@@ -120,14 +175,19 @@ impl RotationContext {
             Some(&state.retiming),
             resources,
             &mut state.schedule,
-            &rotated,
+            &self.rotated,
         )?;
         debug_assert_eq!(state.schedule.first_step(), Some(1));
 
-        Ok(DownRotateOutcome {
-            rotated,
-            length: state.schedule.length(dfg),
-        })
+        Ok(state.schedule.length(dfg))
+    }
+
+    /// The node set rotated by the most recent
+    /// [`RotationContext::down_rotate_in_place`] (empty before the first
+    /// step).
+    #[must_use]
+    pub fn rotated(&self) -> &[NodeId] {
+        &self.rotated
     }
 
     /// Running weight-memo hit/miss counters of the underlying

@@ -28,8 +28,9 @@
 //! bench tables.
 
 use rotsched_dfg::{Dfg, NodeId};
-use rotsched_sched::{CacheStats, ListScheduler, ResourceSet};
+use rotsched_sched::{CacheStats, ListScheduler, ResourceSet, WrapScratch};
 
+use crate::arena::SolveArena;
 use crate::budget::{BudgetMeter, StopReason};
 use crate::context::RotationContext;
 use crate::error::RotationError;
@@ -137,7 +138,9 @@ pub trait StepMode {
     ) -> Result<(), RotationError>;
 
     /// Performs one down-rotation of `size` on `state`, returning the
-    /// rotated node set.
+    /// rotated node set as a borrow of the mode's internal buffer (valid
+    /// until the next call) — the steady-state step never allocates an
+    /// owned set.
     ///
     /// # Errors
     ///
@@ -149,7 +152,7 @@ pub trait StepMode {
         resources: &ResourceSet,
         state: &mut RotationState,
         size: u32,
-    ) -> Result<Vec<NodeId>, RotationError>;
+    ) -> Result<&[NodeId], RotationError>;
 
     /// Running cache counters of the mode's scheduling state (zeros
     /// when the mode keeps none).
@@ -162,6 +165,10 @@ pub trait StepMode {
 #[derive(Debug, Default)]
 pub struct IncrementalStep {
     ctx: Option<RotationContext>,
+    /// Pools the prefix buffer across context rebuilds (and, through
+    /// [`SearchDriver::into_step`], across the items of a batch solve),
+    /// so only the first phase of the first solve grows it.
+    arena: SolveArena,
 }
 
 impl StepMode for IncrementalStep {
@@ -172,7 +179,13 @@ impl StepMode for IncrementalStep {
         resources: &ResourceSet,
         state: &RotationState,
     ) -> Result<(), RotationError> {
-        self.ctx = Some(RotationContext::new(dfg, scheduler, resources, state)?);
+        let buffer = match self.ctx.take() {
+            Some(retired) => retired.into_buffer(),
+            None => self.arena.nodes.acquire(),
+        };
+        self.ctx = Some(RotationContext::with_buffer(
+            dfg, scheduler, resources, state, buffer,
+        )?);
         Ok(())
     }
 
@@ -183,10 +196,10 @@ impl StepMode for IncrementalStep {
         resources: &ResourceSet,
         state: &mut RotationState,
         size: u32,
-    ) -> Result<Vec<NodeId>, RotationError> {
+    ) -> Result<&[NodeId], RotationError> {
         let ctx = self.ctx.as_mut().expect("begin_phase precedes rotate");
-        ctx.down_rotate(dfg, scheduler, resources, state, size)
-            .map(|outcome| outcome.rotated)
+        ctx.down_rotate_in_place(dfg, scheduler, resources, state, size)?;
+        Ok(ctx.rotated())
     }
 
     fn cache_stats(&self) -> CacheStats {
@@ -200,8 +213,11 @@ impl StepMode for IncrementalStep {
 /// The reference step mode: every rotation uses the non-incremental
 /// [`down_rotate`] operator. Kept as the ablation arm for equivalence
 /// tests and the `rotation_step` before/after benchmark.
-#[derive(Clone, Copy, Debug, Default)]
-pub struct ScratchStep;
+#[derive(Clone, Debug, Default)]
+pub struct ScratchStep {
+    /// Retains the last rotated set so the trait can hand out a borrow.
+    last: Vec<NodeId>,
+}
 
 impl StepMode for ScratchStep {
     fn begin_phase(
@@ -221,8 +237,9 @@ impl StepMode for ScratchStep {
         resources: &ResourceSet,
         state: &mut RotationState,
         size: u32,
-    ) -> Result<Vec<NodeId>, RotationError> {
-        down_rotate(dfg, scheduler, resources, state, size).map(|outcome| outcome.rotated)
+    ) -> Result<&[NodeId], RotationError> {
+        self.last = down_rotate(dfg, scheduler, resources, state, size)?.rotated;
+        Ok(&self.last)
     }
 
     fn cache_stats(&self) -> CacheStats {
@@ -268,6 +285,9 @@ pub struct SearchDriver<'a, S, O = NoopObserver> {
     prune: Option<&'a PruneSignal<'a>>,
     budget: Option<&'a BudgetMeter>,
     step: S,
+    /// Reusable buffers for the per-step wrapped-length probe, built on
+    /// the first phase and recycled for the driver's lifetime.
+    wrap: Option<WrapScratch>,
     /// The attached observer; public so callers can reclaim a recorder
     /// after the run.
     pub observer: O,
@@ -281,13 +301,29 @@ impl<'a> SearchDriver<'a, IncrementalStep, NoopObserver> {
         scheduler: &'a ListScheduler,
         resources: &'a ResourceSet,
     ) -> Self {
+        Self::incremental_with_step(dfg, scheduler, resources, IncrementalStep::default())
+    }
+
+    /// A driver reusing an existing [`IncrementalStep`] — its pooled
+    /// buffers stay warm across drivers, which is how
+    /// [`solve_batch`](crate::RotationScheduler::solve_batch) amortizes
+    /// per-item setup. Reclaim the step afterwards with
+    /// [`SearchDriver::into_step`].
+    #[must_use]
+    pub fn incremental_with_step(
+        dfg: &'a Dfg,
+        scheduler: &'a ListScheduler,
+        resources: &'a ResourceSet,
+        step: IncrementalStep,
+    ) -> Self {
         SearchDriver {
             dfg,
             scheduler,
             resources,
             prune: None,
             budget: None,
-            step: IncrementalStep::default(),
+            step,
+            wrap: None,
             observer: NoopObserver,
         }
     }
@@ -307,7 +343,8 @@ impl<'a> SearchDriver<'a, ScratchStep, NoopObserver> {
             resources,
             prune: None,
             budget: None,
-            step: ScratchStep,
+            step: ScratchStep::default(),
+            wrap: None,
             observer: NoopObserver,
         }
     }
@@ -338,8 +375,16 @@ impl<'a, S: StepMode, O: SearchObserver> SearchDriver<'a, S, O> {
             prune: self.prune,
             budget: self.budget,
             step: self.step,
+            wrap: self.wrap,
             observer,
         }
+    }
+
+    /// Consumes the driver, handing back its step mode with every pooled
+    /// buffer intact (see [`SearchDriver::incremental_with_step`]).
+    #[must_use]
+    pub fn into_step(self) -> S {
+        self.step
     }
 
     /// Runs `RotationPhase(S_init, L_opt, Q, G, i, α)` — `alpha`
@@ -362,6 +407,9 @@ impl<'a, S: StepMode, O: SearchObserver> SearchDriver<'a, S, O> {
     ) -> Result<PhaseStats, RotationError> {
         self.step
             .begin_phase(self.dfg, self.scheduler, self.resources, state)?;
+        if self.wrap.is_none() {
+            self.wrap = Some(WrapScratch::new(self.dfg, self.resources)?);
+        }
         let cache_before = self.step.cache_stats();
         self.observer
             .on_event(SearchEvent::PhaseStart { size, alpha });
@@ -400,9 +448,13 @@ impl<'a, S: StepMode, O: SearchObserver> SearchDriver<'a, S, O> {
             if let Some(meter) = self.budget {
                 meter.charge_rotation();
             }
-            let wrapped = state.wrapped_length(self.dfg, self.resources)?;
+            let wrapped = self
+                .wrap
+                .as_mut()
+                .expect("scratch is built at phase start")
+                .wrapped_length(self.dfg, Some(&state.retiming), &state.schedule, self.resources)?;
             self.observer.on_event(SearchEvent::Rotated {
-                node_set: &rotated,
+                node_set: rotated,
                 length: wrapped,
             });
             stats.rotations += 1;

@@ -43,6 +43,9 @@
 //! * [`context`] — the persistent [`RotationContext`] that makes each
 //!   rotation step cost `O(|R|·deg)` instead of `O(V+E)` (Section 3.3's
 //!   complexity claim).
+//! * [`arena`] — [`BufferPool`]/[`SolveArena`]: recycled scratch
+//!   buffers behind the steady-state zero-allocation guarantee and
+//!   [`RotationScheduler::solve_batch`]'s cross-item reuse.
 //! * [`engine`] — the unified [`SearchDriver`]: one instrumented loop
 //!   (step mode × prune × budget × observer) behind every phase,
 //!   heuristic, and portfolio worker.
@@ -61,6 +64,7 @@
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
+pub mod arena;
 pub mod budget;
 pub mod context;
 pub mod depth;
@@ -76,6 +80,7 @@ pub mod rotate_chained;
 mod scheduler;
 pub mod trace;
 
+pub use arena::{BufferPool, PoolStats, SolveArena};
 pub use budget::{Budget, BudgetMeter, CancelToken, StopReason};
 pub use context::RotationContext;
 pub use engine::{
@@ -90,15 +95,17 @@ pub use phase::{
     rotation_phase, rotation_phase_pruned, rotation_phase_reference, BestSet, PhaseStats,
 };
 pub use portfolio::{
-    parallel_indexed, parallel_indexed_isolated, IsolatedResult, Portfolio, PortfolioOutcome,
-    PruneSignal, SearchTask, SharedBound, TaskOutcome, TaskReport,
+    effective_jobs, parallel_indexed, parallel_indexed_isolated, IsolatedResult, Portfolio,
+    PortfolioOutcome, PruneSignal, SearchTask, SharedBound, TaskOutcome, TaskReport,
 };
 pub use rate::{rate_optimal, unfold_and_rotate, RateResult};
 pub use rotate::{
     down_rotate, initial_state, is_down_rotatable, up_rotate, DownRotateOutcome, RotationState,
 };
 pub use rotate_chained::{down_rotate_chained, initial_chained_state, ChainedRotationState};
-pub use scheduler::{RotationScheduler, SolveOutcome, SolveQuality, SolveStats, SolvedPipeline};
+pub use scheduler::{
+    ProblemSpec, RotationScheduler, SolveOutcome, SolveQuality, SolveStats, SolvedPipeline,
+};
 pub use trace::{
     PhaseCounters, SearchTrace, TaskTrace, TraceEvent, TraceRecorder, DEFAULT_TRACE_EVENTS,
     TRACE_SCHEMA,

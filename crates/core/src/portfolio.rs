@@ -679,6 +679,19 @@ where
 /// unwound with.
 pub type IsolatedResult<T> = Result<T, Box<dyn Any + Send>>;
 
+/// The worker-thread count a request for `jobs` threads over `count`
+/// tasks actually runs with: at least 1, at most `count`, and never
+/// more than [`std::thread::available_parallelism`] — oversubscribing a
+/// smaller machine only adds context-switch overhead (the outcome is
+/// deterministic in the thread count, so the clamp never changes
+/// results). Benchmarks report this next to the requested value.
+#[must_use]
+pub fn effective_jobs(jobs: usize, count: usize) -> usize {
+    let hardware =
+        std::thread::available_parallelism().map_or(usize::MAX, std::num::NonZeroUsize::get);
+    jobs.max(1).min(count.max(1)).min(hardware)
+}
+
 /// The panic-isolating core of [`parallel_indexed`]: identical
 /// scheduling, but each job runs under
 /// [`catch_unwind`] and its slot reports
@@ -695,7 +708,7 @@ where
     T: Send,
     F: Fn(usize) -> T + Sync,
 {
-    let jobs = jobs.max(1).min(count);
+    let jobs = effective_jobs(jobs, count);
     let isolated = |i: usize| catch_unwind(AssertUnwindSafe(|| run(i)));
     if jobs <= 1 {
         return (0..count).map(isolated).collect();
@@ -758,6 +771,18 @@ mod tests {
             let out = parallel_indexed(jobs, 33, |i| i * i);
             assert_eq!(out, (0..33).map(|i| i * i).collect::<Vec<_>>());
         }
+    }
+
+    #[test]
+    fn effective_jobs_clamps_to_tasks_and_hardware() {
+        let hardware = std::thread::available_parallelism()
+            .map_or(usize::MAX, std::num::NonZeroUsize::get);
+        assert_eq!(effective_jobs(0, 5), 1);
+        assert_eq!(effective_jobs(1, 0), 1);
+        assert_eq!(effective_jobs(8, 3), 3.min(hardware));
+        assert!(effective_jobs(usize::MAX, usize::MAX) <= hardware);
+        // Requests within both limits pass through unchanged.
+        assert_eq!(effective_jobs(1, 100), 1);
     }
 
     #[test]

@@ -16,7 +16,7 @@ use rotsched_sched::{
 
 use crate::budget::{Budget, StopReason};
 use crate::depth::{into_loop_schedule, minimized_depth};
-use crate::engine::SearchDriver;
+use crate::engine::{IncrementalStep, SearchDriver};
 use crate::error::RotationError;
 use crate::heuristics::{
     heuristic1_budgeted, heuristic2_pruned, HeuristicConfig, HeuristicOutcome,
@@ -91,6 +91,102 @@ pub struct SolveOutcome {
 /// The pre-resilience name of [`SolveOutcome`], kept as an alias so
 /// existing callers (which read the same fields) keep compiling.
 pub type SolvedPipeline = SolveOutcome;
+
+/// One item of a [`RotationScheduler::solve_batch`] run: an owned
+/// problem instance plus its solver configuration.
+///
+/// Defaults mirror [`RotationScheduler::new`]: descendant-count list
+/// scheduling, the standard Heuristic-2 sweep, an unlimited budget.
+///
+/// # Examples
+///
+/// ```
+/// use rotsched_core::{ProblemSpec, RotationScheduler};
+/// use rotsched_dfg::{DfgBuilder, OpKind};
+/// use rotsched_sched::ResourceSet;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let g = DfgBuilder::new("ring")
+///     .nodes("v", 4, OpKind::Add, 1)
+///     .chain(&["v0", "v1", "v2", "v3"])
+///     .edge("v3", "v0", 2)
+///     .build()?;
+/// let batch = vec![
+///     ProblemSpec::new(g.clone(), ResourceSet::adders_multipliers(2, 0, false)),
+///     ProblemSpec::new(g, ResourceSet::adders_multipliers(1, 0, false)),
+/// ];
+/// let solved = RotationScheduler::solve_batch(&batch)?;
+/// assert_eq!(solved[0].length, 2);
+/// assert_eq!(solved[1].length, 4);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, Debug)]
+pub struct ProblemSpec {
+    /// The loop's data-flow graph.
+    pub dfg: Dfg,
+    /// The functional units available to it.
+    pub resources: ResourceSet,
+    /// The list-scheduling priority policy.
+    pub policy: PriorityPolicy,
+    /// The heuristic configuration.
+    pub config: HeuristicConfig,
+    /// The solve budget (unlimited by default).
+    pub budget: Budget,
+}
+
+impl ProblemSpec {
+    /// A spec with the default policy, configuration, and budget.
+    #[must_use]
+    pub fn new(dfg: Dfg, resources: ResourceSet) -> Self {
+        ProblemSpec {
+            dfg,
+            resources,
+            policy: PriorityPolicy::default(),
+            config: HeuristicConfig::default(),
+            budget: Budget::unlimited(),
+        }
+    }
+
+    /// Replaces the priority policy.
+    #[must_use]
+    pub fn with_policy(mut self, policy: PriorityPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Replaces the heuristic configuration.
+    #[must_use]
+    pub fn with_config(mut self, config: HeuristicConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Replaces the solve budget. Budget-limited items are exempt from
+    /// batch deduplication (see [`RotationScheduler::solve_batch`]).
+    #[must_use]
+    pub fn with_budget(mut self, budget: Budget) -> Self {
+        self.budget = budget;
+        self
+    }
+
+    /// Whether `other` is guaranteed to solve to the same outcome, so a
+    /// batch may reuse this spec's result for it. Exact equality of
+    /// graph, resources, policy, and configuration — the cheap
+    /// [`Dfg::structure_fingerprint`] prefilter happens before this
+    /// confirm, so a fingerprint collision costs a comparison, never a
+    /// wrong reuse. Budget-limited specs never deduplicate: a deadline
+    /// makes the outcome time-dependent.
+    #[must_use]
+    fn dedup_matches(&self, other: &ProblemSpec) -> bool {
+        self.budget.is_unlimited()
+            && other.budget.is_unlimited()
+            && self.policy == other.policy
+            && self.config == other.config
+            && self.resources == other.resources
+            && self.dfg == other.dfg
+    }
+}
 
 /// Rotation scheduling, end to end.
 ///
@@ -316,6 +412,73 @@ impl<'a> RotationScheduler<'a> {
             quality,
             stats,
         })
+    }
+
+    /// Solves a whole batch of problem instances, amortizing per-item
+    /// setup that [`RotationScheduler::solve`] pays every call:
+    ///
+    /// * **one list scheduler per distinct policy** — the priority-weight
+    ///   memo is keyed by graph fingerprint, so items share warm entries
+    ///   safely;
+    /// * **one [`IncrementalStep`] for the whole batch** — its
+    ///   [arena](crate::arena) pools keep scratch capacity warm from
+    ///   item to item (only the first item grows the buffers);
+    /// * **request deduplication** — items whose graph fingerprint and
+    ///   exact spec match an earlier unlimited-budget item reuse its
+    ///   outcome instead of re-solving.
+    ///
+    /// Every outcome is byte-identical to what a per-item
+    /// `RotationScheduler::new(&spec.dfg, spec.resources)` configured
+    /// the same way would return from [`RotationScheduler::solve`]
+    /// (enforced by the `seeded_batch` suite); caches and pools never
+    /// steer decisions.
+    ///
+    /// # Errors
+    ///
+    /// The first item that fails aborts the batch with its error (a
+    /// batch of valid specs cannot fail partway).
+    pub fn solve_batch(specs: &[ProblemSpec]) -> Result<Vec<SolveOutcome>, RotationError> {
+        let mut schedulers: Vec<(PriorityPolicy, ListScheduler)> = Vec::new();
+        // `(graph fingerprint, spec index)` of every solved representative.
+        let mut seen: Vec<(u64, usize)> = Vec::new();
+        let mut step = IncrementalStep::default();
+        let mut outcomes: Vec<SolveOutcome> = Vec::with_capacity(specs.len());
+        for (i, spec) in specs.iter().enumerate() {
+            let fingerprint = spec.dfg.structure_fingerprint();
+            if let Some(&(_, j)) = seen
+                .iter()
+                .find(|&&(f, j)| f == fingerprint && spec.dedup_matches(&specs[j]))
+            {
+                let reused = outcomes[j].clone();
+                outcomes.push(reused);
+                continue;
+            }
+            let scheduler = match schedulers.iter().position(|(p, _)| *p == spec.policy) {
+                Some(k) => k,
+                None => {
+                    schedulers.push((spec.policy, ListScheduler::new(spec.policy)));
+                    schedulers.len() - 1
+                }
+            };
+            let scheduler = &schedulers[scheduler].1;
+            let meter = (!spec.budget.is_unlimited()).then(|| spec.budget.arm());
+            let mut driver =
+                SearchDriver::incremental_with_step(&spec.dfg, scheduler, &spec.resources, step)
+                    .with_budget(meter.as_ref());
+            let outcome = driver.heuristic2(&spec.config)?;
+            step = driver.into_step();
+            let facade = RotationScheduler {
+                dfg: &spec.dfg,
+                resources: spec.resources.clone(),
+                scheduler: scheduler.clone(),
+                config: spec.config,
+                jobs: 1,
+                budget: spec.budget.clone(),
+            };
+            outcomes.push(facade.package_heuristic(outcome)?);
+            seen.push((fingerprint, i));
+        }
+        Ok(outcomes)
     }
 
     /// Runs the standard search portfolio (Heuristic 1's phases plus a

@@ -1,0 +1,140 @@
+//! Allocation discipline of the data-oriented hot path, enforced by a
+//! counting global allocator.
+//!
+//! Two claims are pinned here:
+//!
+//! 1. a **steady-state rotation step** — `down_rotate_in_place` plus the
+//!    `WrapScratch` wrapped-length probe, beyond the weight-memo warm-up
+//!    — performs **zero** heap allocations;
+//! 2. a **deduplicated `solve_batch` item** costs a small fixed
+//!    allocation budget (the outcome clone), far below a fresh solve.
+//!
+//! The zero-allocation claim only holds in release builds: debug builds
+//! run the self-verifying cross-checks (`WrapScratch` re-runs the
+//! reference probe, the context re-validates its zero-delay view), which
+//! allocate by design. The test still runs the same steps in debug so
+//! the path is exercised; only the counts are release-gated.
+//!
+//! Everything is measured inside ONE `#[test]` — the counter is global,
+//! and the harness runs separate tests on separate threads.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use rotsched_core::{ProblemSpec, RotationContext, RotationScheduler};
+use rotsched_dfg::{Dfg, DfgBuilder, OpKind};
+use rotsched_sched::{ListScheduler, ResourceSet, WrapScratch};
+
+/// Counts every allocation and reallocation (frees are irrelevant to
+/// the zero-alloc claim) on top of the system allocator.
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc_zeroed(layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+fn allocs() -> u64 {
+    ALLOCS.load(Ordering::Relaxed)
+}
+
+/// A ring whose steady-state length stays above 1, so rotation steps
+/// can run indefinitely: n single-cycle adds, k delays on the back edge.
+fn ring(n: usize, delays: u32) -> Dfg {
+    let names: Vec<String> = (0..n).map(|i| format!("v{i}")).collect();
+    let refs: Vec<&str> = names.iter().map(String::as_str).collect();
+    DfgBuilder::new("ring")
+        .nodes("v", n, OpKind::Add, 1)
+        .chain(&refs)
+        .edge(&format!("v{}", n - 1), "v0", delays)
+        .build()
+        .expect("valid ring")
+}
+
+#[test]
+fn hot_path_allocation_discipline() {
+    // ---- claim 1: zero allocations per steady-state rotation step ----
+    let n = 24;
+    let g = ring(n, 3);
+    let sched = ListScheduler::default();
+    let res = ResourceSet::adders_multipliers(4, 0, false);
+    let mut state =
+        rotsched_core::initial_state(&g, &sched, &res).expect("ring schedules");
+    let mut ctx = RotationContext::new(&g, &sched, &res, &state).expect("context builds");
+    let mut wrap = WrapScratch::new(&g, &res).expect("ops bind");
+
+    let step = |ctx: &mut RotationContext, wrap: &mut WrapScratch, state: &mut _| {
+        ctx.down_rotate_in_place(&g, &sched, &res, state, 1)
+            .expect("steady ring keeps rotating");
+        wrap.wrapped_length(&g, Some(&state.retiming), &state.schedule, &res)
+            .expect("rotation states wrap");
+    };
+
+    // Warm-up: grow every pooled buffer and fill the weight memo (the
+    // rotation sequence of a uniform ring is periodic in n steps; 4n
+    // sees every zero-delay set it will ever produce).
+    for _ in 0..4 * n {
+        step(&mut ctx, &mut wrap, &mut state);
+    }
+
+    let mut per_step = Vec::with_capacity(n);
+    for _ in 0..n {
+        let before = allocs();
+        step(&mut ctx, &mut wrap, &mut state);
+        per_step.push(allocs() - before);
+    }
+    if !cfg!(debug_assertions) {
+        assert_eq!(
+            per_step.iter().sum::<u64>(),
+            0,
+            "steady-state rotation steps must not touch the heap: {per_step:?}"
+        );
+    }
+
+    // ---- claim 2: a deduplicated batch item has a fixed small cost ----
+    let spec = ProblemSpec::new(ring(10, 2), ResourceSet::adders_multipliers(2, 0, false));
+
+    let before = allocs();
+    let single = RotationScheduler::solve_batch(std::slice::from_ref(&spec)).expect("solves");
+    let fresh_cost = allocs() - before;
+
+    let before = allocs();
+    let triple =
+        RotationScheduler::solve_batch(&[spec.clone(), spec.clone(), spec]).expect("solves");
+    let triple_cost = allocs() - before;
+    assert_eq!(triple[2].length, single[0].length);
+
+    // Two duplicate items on top of the representative solve.
+    let duplicate_cost = triple_cost.saturating_sub(fresh_cost) / 2;
+    assert!(
+        duplicate_cost < 1_000,
+        "a deduplicated item should cost only its outcome clone, \
+         got {duplicate_cost} allocations"
+    );
+    assert!(
+        duplicate_cost * 4 < fresh_cost,
+        "deduplication must be far cheaper than solving: \
+         duplicate {duplicate_cost} vs fresh {fresh_cost}"
+    );
+}

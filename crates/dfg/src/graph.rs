@@ -156,8 +156,10 @@ impl Dfg {
     /// Panics if `id` does not belong to this graph.
     #[must_use]
     pub fn node_mut(&mut self, id: NodeId) -> &mut Node {
-        // Node data (op kind, time) feeds the structure fingerprint.
+        // Node data (op kind, time) feeds both the structure
+        // fingerprint and the CSR view's node-time arrays.
         self.fingerprint = OnceLock::new();
+        self.csr = OnceLock::new();
         &mut self.nodes[id.index()]
     }
 

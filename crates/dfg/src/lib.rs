@@ -71,7 +71,7 @@ pub mod text;
 pub mod unfold;
 
 pub use builder::DfgBuilder;
-pub use csr::Csr;
+pub use csr::{Csr, CsrGraph};
 pub use edge::Edge;
 pub use error::DfgError;
 pub use graph::Dfg;

@@ -181,6 +181,15 @@ impl Retiming {
         self.apply_set(set, -delta);
     }
 
+    /// The raw retiming values as a flat slice indexed by
+    /// `NodeId::index()` — the structure-of-arrays view the hot path
+    /// combines with [`CsrGraph`](crate::CsrGraph) edge arrays to test
+    /// `d(e) + r(u) − r(v) == 0` without touching edge objects.
+    #[must_use]
+    pub fn as_slice(&self) -> &[i64] {
+        self.values.as_slice()
+    }
+
     /// Composition `r1 ∘ r2 (v) = r1(v) + r2(v)` — the combined effect of
     /// performing both retimings (the composite of a sequence of rotations
     /// is the composite of the retimings of the rotated sets).

@@ -238,15 +238,39 @@ impl SchedContext {
     /// affected region, not the graph.
     pub fn apply_retiming_delta(&mut self, dfg: &Dfg, retiming: &Retiming, touched: &[NodeId]) {
         debug_assert!(self.flips.is_empty());
+        // Flat SoA walk: an edge's new status is d(e) + r(u) − r(v) == 0,
+        // read straight off the CSR delay arrays and the retiming slice.
+        let csr = dfg.csr();
+        let r = retiming.as_slice();
+        let (in_ids, in_tails, in_delays) = (csr.in_edge_ids(), csr.in_tails(), csr.in_delays());
+        let (out_ids, out_heads, out_delays) =
+            (csr.out_edge_ids(), csr.out_heads(), csr.out_delays());
         for &v in touched {
-            for &e in dfg.in_edges(v).iter().chain(dfg.out_edges(v)) {
-                let now = is_zero_delay_under(dfg, Some(retiming), e);
+            let rv = r[v.index()];
+            for i in csr.in_range(v.index()) {
+                let now = i64::from(in_delays[i]) + r[in_tails[i] as usize] - rv == 0;
+                let e = in_ids[i];
                 if self.zero.set(e, now) {
                     let i = e.index();
                     self.flipped[i / 64] |= 1 << (i % 64);
                     self.flips.push(e);
                 }
             }
+            for i in csr.out_range(v.index()) {
+                let now = i64::from(out_delays[i]) + rv - r[out_heads[i] as usize] == 0;
+                let e = out_ids[i];
+                if self.zero.set(e, now) {
+                    let i = e.index();
+                    self.flipped[i / 64] |= 1 << (i % 64);
+                    self.flips.push(e);
+                }
+            }
+            debug_assert!(dfg
+                .in_edges(v)
+                .iter()
+                .chain(dfg.out_edges(v))
+                .all(|&e| self.zero.contains(e)
+                    == is_zero_delay_under(dfg, Some(retiming), e)));
         }
         if !self.flips.is_empty() && !self.memo.is_empty() {
             let key = self.zero.key();
@@ -299,6 +323,10 @@ impl SchedContext {
         } = self;
         let is_dirty =
             |dirty: &[u64], v: NodeId| (dirty[v.index() / 64] >> (v.index() % 64)) & 1 == 1;
+        let csr = dfg.csr();
+        let (in_ids, in_tails) = (csr.in_edge_ids(), csr.in_tails());
+        let (out_ids, out_heads) = (csr.out_edge_ids(), csr.out_heads());
+        let times = csr.times();
 
         // Upward closure from the flip sources. An edge that was zero
         // before the delta is either still zero or in `flipped`, so
@@ -316,13 +344,23 @@ impl SchedContext {
             }
         };
         for &e in flips.iter() {
-            mark(dirty, dirty_list, stack, dfg.edge(e).from());
+            mark(
+                dirty,
+                dirty_list,
+                stack,
+                NodeId::from_index(csr.edge_from()[e.index()] as usize),
+            );
         }
         while let Some(v) = stack.pop() {
-            for &e in dfg.in_edges(v) {
-                let i = e.index();
-                if zero.contains(e) || (flipped[i / 64] >> (i % 64)) & 1 == 1 {
-                    mark(dirty, dirty_list, stack, dfg.edge(e).from());
+            for j in csr.in_range(v.index()) {
+                let i = in_ids[j].index();
+                if zero.contains(in_ids[j]) || (flipped[i / 64] >> (i % 64)) & 1 == 1 {
+                    mark(
+                        dirty,
+                        dirty_list,
+                        stack,
+                        NodeId::from_index(in_tails[j] as usize),
+                    );
                 }
             }
         }
@@ -332,8 +370,10 @@ impl SchedContext {
             deg[v] = 0;
         }
         for &v in dirty_list.iter() {
-            for &e in dfg.out_edges(v) {
-                if zero.contains(e) && is_dirty(dirty, dfg.edge(e).to()) {
+            for j in csr.out_range(v.index()) {
+                if zero.contains(out_ids[j])
+                    && is_dirty(dirty, NodeId::from_index(out_heads[j] as usize))
+                {
                     deg[v] += 1;
                 }
             }
@@ -351,9 +391,9 @@ impl SchedContext {
                     let words = *words;
                     let vi = v.index();
                     sets[vi * words..(vi + 1) * words].fill(0);
-                    for &e in dfg.out_edges(v) {
-                        if zero.contains(e) {
-                            let w = dfg.edge(e).to().index();
+                    for j in csr.out_range(vi) {
+                        if zero.contains(out_ids[j]) {
+                            let w = out_heads[j] as usize;
                             sets[vi * words + w / 64] |= 1 << (w % 64);
                             for k in 0..words {
                                 let bits = sets[w * words + k];
@@ -368,18 +408,18 @@ impl SchedContext {
                 }
                 WeightsState::Heights { weights } => {
                     let mut below = 0_u64;
-                    for &e in dfg.out_edges(v) {
-                        if zero.contains(e) {
-                            below = below.max(weights[dfg.edge(e).to()]);
+                    for j in csr.out_range(v.index()) {
+                        if zero.contains(out_ids[j]) {
+                            below = below.max(weights[NodeId::from_index(out_heads[j] as usize)]);
                         }
                     }
-                    weights[v] = below + u64::from(dfg.node(v).time().max(1));
+                    weights[v] = below + u64::from(times[v.index()]);
                 }
             }
             processed += 1;
-            for &e in dfg.in_edges(v) {
-                if zero.contains(e) {
-                    let u = dfg.edge(e).from();
+            for j in csr.in_range(v.index()) {
+                if zero.contains(in_ids[j]) {
+                    let u = NodeId::from_index(in_tails[j] as usize);
                     if is_dirty(dirty, u) {
                         deg[u] -= 1;
                         if deg[u] == 0 {

@@ -73,4 +73,4 @@ pub use registers::{register_pressure, RegisterReport};
 pub use reservation::ReservationTable;
 pub use resources::{ResourceClass, ResourceClassId, ResourceSet};
 pub use schedule::Schedule;
-pub use wrapping::{minimal_wrap, wrap_to_length, wrapped_length, WrappedSchedule};
+pub use wrapping::{minimal_wrap, wrap_to_length, wrapped_length, WrapScratch, WrappedSchedule};

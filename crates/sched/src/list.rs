@@ -17,7 +17,6 @@
 
 use std::sync::{Arc, Mutex};
 
-use rotsched_dfg::analysis::topo::is_zero_delay_under;
 use rotsched_dfg::{Dfg, DfgError, EdgeId, NodeId, NodeMap, Retiming};
 
 use crate::error::SchedError;
@@ -54,15 +53,36 @@ pub struct ZeroSet {
 }
 
 impl ZeroSet {
-    /// Evaluates every edge's retimed delay once.
+    /// Evaluates every edge's retimed delay once, straight off the
+    /// graph's flat [`CsrGraph`](rotsched_dfg::CsrGraph) edge arrays —
+    /// `d(e) + r(u) − r(v) == 0` per edge, no edge objects touched.
     #[must_use]
     pub fn compute(dfg: &Dfg, retiming: Option<&Retiming>) -> Self {
-        let mut bits = vec![0_u64; dfg.edge_count().div_ceil(64)];
+        let csr = dfg.csr();
+        let delays = csr.edge_delays();
+        let mut bits = vec![0_u64; delays.len().div_ceil(64)];
         let mut key = 0_u64;
-        for (i, e) in dfg.edge_ids().enumerate() {
-            if is_zero_delay_under(dfg, retiming, e) {
-                bits[i / 64] |= 1 << (i % 64);
-                key ^= edge_hash(i);
+        let mut mark = |i: usize| {
+            bits[i / 64] |= 1 << (i % 64);
+            key ^= edge_hash(i);
+        };
+        match retiming {
+            None => {
+                for (i, &d) in delays.iter().enumerate() {
+                    if d == 0 {
+                        mark(i);
+                    }
+                }
+            }
+            Some(r) => {
+                let r = r.as_slice();
+                let from = csr.edge_from();
+                let to = csr.edge_to();
+                for (i, &d) in delays.iter().enumerate() {
+                    if i64::from(d) + r[from[i] as usize] - r[to[i] as usize] == 0 {
+                        mark(i);
+                    }
+                }
             }
         }
         ZeroSet { bits, key }
@@ -458,15 +478,25 @@ fn place_free_inner(
         ready,
     } = scratch;
 
+    // The flat structure-of-arrays view: every precedence walk below
+    // runs over these contiguous slices instead of per-node edge
+    // vectors and edge objects. Per-node order is insertion order, so
+    // every decision matches the `Vec<Vec<EdgeId>>` iteration exactly.
+    let csr = dfg.csr();
+    let in_ids = csr.in_edge_ids();
+    let in_tails = csr.in_tails();
+    let out_ids = csr.out_edge_ids();
+    let out_heads = csr.out_heads();
+    let times = csr.times();
+    let is_free = is_free.as_slice();
+    let weights = weights.as_slice();
+
     // Dependency bookkeeping over the zero-delay DAG of G_r.
     // blocking[v] = number of *unscheduled free* zero-delay preds.
     for v in free.iter().copied() {
-        for &e in dfg.in_edges(v) {
-            if zero.contains(e) {
-                let u = dfg.edge(e).from();
-                if is_free[u] {
-                    blocking[v] += 1;
-                }
+        for i in csr.in_range(v.index()) {
+            if zero.contains(in_ids[i]) && is_free[in_tails[i] as usize] {
+                blocking[v] += 1;
             }
         }
     }
@@ -477,12 +507,12 @@ fn place_free_inner(
     // (control steps are 1-based). Fixed nodes never move, so this is
     // computed once.
     for &v in free {
-        let t = dfg.node(v).time().max(1);
-        for &e in dfg.out_edges(v) {
-            if zero.contains(e) {
-                let w = dfg.edge(e).to();
+        let t = times[v.index()];
+        for i in csr.out_range(v.index()) {
+            if zero.contains(out_ids[i]) {
+                let w = out_heads[i] as usize;
                 if !is_free[w] {
-                    if let Some(sw) = schedule.start(w) {
+                    if let Some(sw) = schedule.start(NodeId::from_index(w)) {
                         let bound = sw.saturating_sub(t);
                         latest[v] = Some(latest[v].map_or(bound, |a| a.min(bound)));
                     }
@@ -494,11 +524,11 @@ fn place_free_inner(
     // Earliest start from already-scheduled zero-delay predecessors.
     let earliest_start = |v: NodeId, schedule: &Schedule| -> u32 {
         let mut earliest = 1;
-        for &e in dfg.in_edges(v) {
-            if zero.contains(e) {
-                let u = dfg.edge(e).from();
-                if let Some(su) = schedule.start(u) {
-                    earliest = earliest.max(su + dfg.node(u).time().max(1));
+        for i in csr.in_range(v.index()) {
+            if zero.contains(in_ids[i]) {
+                let u = in_tails[i] as usize;
+                if let Some(su) = schedule.start(NodeId::from_index(u)) {
+                    earliest = earliest.max(su + times[u]);
                 }
             }
         }
@@ -534,11 +564,12 @@ fn place_free_inner(
         // Ready nodes whose precedence admits this step: nodes boxed
         // in by fixed successors (earliest deadline) first, then by
         // weight. Unboxed nodes have no deadline, so plain full
-        // scheduling is unaffected.
-        ready.sort_by_key(|&v| {
+        // scheduling is unaffected. The key ends in the unique node id,
+        // so the unstable sort is deterministic and allocation-free.
+        ready.sort_unstable_by_key(|&v| {
             (
                 latest[v].unwrap_or(u32::MAX),
-                core::cmp::Reverse(weights[v]),
+                core::cmp::Reverse(weights[v.index()]),
                 v,
             )
         });
@@ -568,10 +599,10 @@ fn place_free_inner(
                     ready.swap_remove(i);
                     placed_any = true;
                     // Unblock free successors.
-                    for &e in dfg.out_edges(v) {
-                        if zero.contains(e) {
-                            let w = dfg.edge(e).to();
-                            if is_free[w] && schedule.start(w).is_none() {
+                    for j in csr.out_range(v.index()) {
+                        if zero.contains(out_ids[j]) {
+                            let w = NodeId::from_index(out_heads[j] as usize);
+                            if is_free[w.index()] && schedule.start(w).is_none() {
                                 blocking[w] -= 1;
                                 if blocking[w] == 0 {
                                     ready.push(w);
@@ -585,10 +616,10 @@ fn place_free_inner(
             }
             if placed_any {
                 // Newly unblocked nodes may also fit in this step.
-                ready.sort_by_key(|&v| {
+                ready.sort_unstable_by_key(|&v| {
                     (
                         latest[v].unwrap_or(u32::MAX),
-                        core::cmp::Reverse(weights[v]),
+                        core::cmp::Reverse(weights[v.index()]),
                         v,
                     )
                 });

@@ -28,9 +28,13 @@ pub struct ReservationTable {
 }
 
 /// Origin values beyond this trigger a physical compaction so dead
-/// leading entries cannot accumulate without bound across a long
-/// rotation sequence.
-const COMPACT_ORIGIN: i64 = 4096;
+/// leading entries cannot accumulate across a long rotation sequence.
+/// Kept small so row capacity tops out at `horizon + COMPACT_ORIGIN`
+/// within the first compaction cycle — beyond that warm-up, placements
+/// stay within capacity and a steady-state rotation step never touches
+/// the heap (enforced by the `alloc_discipline` suite). Compaction
+/// itself is a short allocation-free `drain`.
+const COMPACT_ORIGIN: i64 = 64;
 
 impl ReservationTable {
     /// An empty table for the given resource set.

@@ -132,13 +132,23 @@ impl Schedule {
     /// down-rotation of size `i` (Subsection 3.1).
     #[must_use]
     pub fn prefix_nodes(&self, steps: u32) -> Vec<NodeId> {
+        let mut out = Vec::new();
+        self.prefix_nodes_into(steps, &mut out);
+        out
+    }
+
+    /// [`Schedule::prefix_nodes`] into a caller-owned buffer (cleared
+    /// first), so the rotation loop reuses one allocation across steps.
+    pub fn prefix_nodes_into(&self, steps: u32, out: &mut Vec<NodeId>) {
+        out.clear();
         let Some(first) = self.first_step() else {
-            return Vec::new();
+            return;
         };
-        self.iter()
-            .filter(|&(_, cs)| cs < first + steps)
-            .map(|(v, _)| v)
-            .collect()
+        out.extend(
+            self.iter()
+                .filter(|&(_, cs)| cs < first + steps)
+                .map(|(v, _)| v),
+        );
     }
 
     /// Renders the schedule as a control-step table like the paper's

@@ -210,6 +210,185 @@ pub fn wrapped_length(
     Ok(minimal_wrap(dfg, retiming, schedule, resources)?.kernel_length)
 }
 
+/// Reusable buffers for the allocation-free wrapped-length probe the
+/// rotation engine runs once per step.
+///
+/// [`wrapped_length`] clones and renormalizes the schedule, rebuilds a
+/// [`ReservationTable`], and rebinds classes on every call — fine for
+/// one-shot queries, but the dominant allocation source in the rotation
+/// loop. `WrapScratch` hoists the class binding out and folds occupancy
+/// into a flat reusable buffer, so steady-state probes allocate nothing
+/// (the buffer grows to the largest target seen, then stays). Results
+/// are identical to [`wrapped_length`] — `debug_assert`ed on every call
+/// in debug builds.
+#[derive(Clone, Debug)]
+pub struct WrapScratch {
+    /// Resource class of each node, by node index (bound once).
+    class_of: Vec<crate::resources::ResourceClassId>,
+    /// Normalized start steps, by node index (filled per call).
+    starts: Vec<u32>,
+    /// Folded occupancy, `classes × target` row-major (resized within
+    /// capacity per probed target after warm-up).
+    usage: Vec<u32>,
+}
+
+impl WrapScratch {
+    /// Binds every node to its resource class up front.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SchedError::UnboundOp`] if some operation has no class.
+    pub fn new(dfg: &Dfg, resources: &ResourceSet) -> Result<Self, SchedError> {
+        let mut class_of = Vec::with_capacity(dfg.node_count());
+        for (v, node) in dfg.nodes() {
+            class_of.push(
+                resources
+                    .class_for(node.op())
+                    .ok_or(SchedError::UnboundOp { node: v })?,
+            );
+        }
+        Ok(WrapScratch {
+            class_of,
+            starts: Vec::new(),
+            usage: Vec::new(),
+        })
+    }
+
+    /// [`wrapped_length`] without the per-call clones: the shortest
+    /// kernel length at which `schedule` wraps legally.
+    ///
+    /// # Errors
+    ///
+    /// Exactly [`wrapped_length`]'s errors (the cold failure path defers
+    /// to [`minimal_wrap`] so the reported error is identical too).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the scratch was built for a different graph.
+    pub fn wrapped_length(
+        &mut self,
+        dfg: &Dfg,
+        retiming: Option<&Retiming>,
+        schedule: &Schedule,
+        resources: &ResourceSet,
+    ) -> Result<u32, SchedError> {
+        assert_eq!(self.class_of.len(), dfg.node_count(), "scratch/graph mismatch");
+        let result = self.wrapped_length_inner(dfg, retiming, schedule, resources);
+        #[cfg(debug_assertions)]
+        {
+            let reference = wrapped_length(dfg, retiming, schedule, resources);
+            match (&result, &reference) {
+                (Ok(a), Ok(b)) => debug_assert_eq!(a, b, "scratch wrap diverged"),
+                (Err(_), Err(_)) => {}
+                _ => panic!("scratch wrap verdict diverged: {result:?} vs {reference:?}"),
+            }
+        }
+        result
+    }
+
+    fn wrapped_length_inner(
+        &mut self,
+        dfg: &Dfg,
+        retiming: Option<&Retiming>,
+        schedule: &Schedule,
+        resources: &ResourceSet,
+    ) -> Result<u32, SchedError> {
+        let n = dfg.node_count();
+        if n == 0 {
+            return wrapped_length(dfg, retiming, schedule, resources);
+        }
+        let csr = dfg.csr();
+        let times = csr.times();
+        let raw_times = csr.raw_times();
+
+        // Normalize virtually: work in `cs − base` space instead of
+        // cloning and shifting the schedule.
+        let mut first = u32::MAX;
+        for v in dfg.node_ids() {
+            match schedule.start(v) {
+                Some(cs) => first = first.min(cs),
+                None => return Err(SchedError::Unscheduled { node: v }),
+            }
+        }
+        let base = first - 1;
+        self.starts.clear();
+        let mut min_start = 1;
+        let mut unwrapped_len = 0;
+        for v in dfg.node_ids() {
+            let cs = schedule.start(v).expect("checked complete") - base;
+            self.starts.push(cs);
+            min_start = min_start.max(cs);
+            unwrapped_len = unwrapped_len.max(cs + times[v.index()] - 1);
+        }
+
+        // Zero-retimed-delay precedences are target-independent: if one
+        // is violated, every target fails — defer to the reference path
+        // for the exact error.
+        let delays = csr.edge_delays();
+        let edge_from = csr.edge_from();
+        let edge_to = csr.edge_to();
+        let r = retiming.map(Retiming::as_slice);
+        let dr_of = |i: usize| -> i64 {
+            let d = i64::from(delays[i]);
+            match r {
+                Some(r) => d + r[edge_from[i] as usize] - r[edge_to[i] as usize],
+                None => d,
+            }
+        };
+        for i in 0..delays.len() {
+            if dr_of(i) == 0 {
+                let u = edge_from[i] as usize;
+                let finish = self.starts[u] + times[u];
+                if finish > self.starts[edge_to[i] as usize] {
+                    return wrapped_length(dfg, retiming, schedule, resources);
+                }
+            }
+        }
+
+        let classes = resources.classes();
+        'target: for target in min_start..=unwrapped_len.max(min_start) {
+            // Tail condition: only one kernel boundary may be crossed.
+            // (Starts never exceed `target` in this scan — it begins at
+            // the maximum start step.)
+            for v in 0..n {
+                if self.starts[v] + times[v] - 1 > 2 * target {
+                    continue 'target;
+                }
+            }
+            // Resource condition: fold occupancy modulo `target`.
+            self.usage.clear();
+            self.usage.resize(classes.len() * target as usize, 0);
+            for v in 0..n {
+                let class_id = self.class_of[v];
+                let class = resources.class(class_id);
+                let row = class_id.index() * target as usize;
+                for off in class.occupancy(raw_times[v]) {
+                    let folded = (self.starts[v] + off - 1) % target;
+                    let slot = row + folded as usize;
+                    self.usage[slot] += 1;
+                    if self.usage[slot] > class.count() {
+                        continue 'target;
+                    }
+                }
+            }
+            // One-delay precedences across the wrap boundary.
+            for i in 0..delays.len() {
+                if dr_of(i) == 1 {
+                    let u = edge_from[i] as usize;
+                    let finish = self.starts[u] + times[u];
+                    if finish - 1 > target && self.starts[edge_to[i] as usize] + target < finish {
+                        continue 'target;
+                    }
+                }
+            }
+            return Ok(target);
+        }
+        // No target succeeded (cannot happen for a legal DAG schedule);
+        // surface the reference error.
+        wrapped_length(dfg, retiming, schedule, resources)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -330,6 +509,42 @@ mod tests {
         s.clear(g.node_by_name("m").unwrap());
         assert!(matches!(
             wrap_to_length(&g, None, &s, &res, 2),
+            Err(SchedError::Unscheduled { .. })
+        ));
+    }
+
+    #[test]
+    fn scratch_probe_matches_reference() {
+        let (g, s, res) = dangling_tail();
+        let mut scratch = WrapScratch::new(&g, &res).unwrap();
+        assert_eq!(
+            scratch.wrapped_length(&g, None, &s, &res).unwrap(),
+            wrapped_length(&g, None, &s, &res).unwrap()
+        );
+        // Repeated probes reuse the buffers and stay correct.
+        for _ in 0..3 {
+            assert_eq!(scratch.wrapped_length(&g, None, &s, &res).unwrap(), 2);
+        }
+    }
+
+    #[test]
+    fn scratch_probe_handles_unnormalized_schedules() {
+        let (g, mut s, res) = dangling_tail();
+        s.shift(4); // starts at step 5 — the probe normalizes virtually
+        let mut scratch = WrapScratch::new(&g, &res).unwrap();
+        assert_eq!(
+            scratch.wrapped_length(&g, None, &s, &res).unwrap(),
+            wrapped_length(&g, None, &s, &res).unwrap()
+        );
+    }
+
+    #[test]
+    fn scratch_probe_rejects_incomplete_schedules() {
+        let (g, mut s, res) = dangling_tail();
+        s.clear(g.node_by_name("m").unwrap());
+        let mut scratch = WrapScratch::new(&g, &res).unwrap();
+        assert!(matches!(
+            scratch.wrapped_length(&g, None, &s, &res),
             Err(SchedError::Unscheduled { .. })
         ));
     }
