@@ -9,7 +9,7 @@ use rotsched_core::{
     down_rotate, initial_state, BestSet, RotationContext, RotationState, SearchDriver,
 };
 use rotsched_dfg::Dfg;
-use rotsched_sched::{ListScheduler, ResourceSet};
+use rotsched_sched::{ListScheduler, ResourceSet, WrapScratch};
 
 /// Down-rotations per measured iteration in the context-vs-scratch
 /// arms. The rotation sequence continues across iterations (rotation is
@@ -72,13 +72,17 @@ fn driver_phase(g: &Dfg, sched: &ListScheduler, res: &ResourceSet, init: &Rotati
 }
 
 /// The engine-overhead guard, baseline side: a hand-rolled replica of
-/// the pre-engine phase loop — the same context kernel, halving rule,
+/// the engine's phase loop — the same context kernel, halving rule,
 /// wrapped-length probe, stats bookkeeping, and best-set offer that
-/// `rotation_phase` ran before the `SearchDriver` refactor.
+/// `SearchDriver::run_phase` performs, minus its dispatch. Must track
+/// the engine's hot path (`down_rotate_in_place` + `WrapScratch` since
+/// the SoA rework) or the overhead reading drifts into fiction; the
+/// two-sided band in `perf_report --check` guards the drift.
 fn legacy_phase(g: &Dfg, sched: &ListScheduler, res: &ResourceSet, init: &RotationState) {
     let mut state = init.clone();
     let mut best = BestSet::new(4);
     let mut ctx = RotationContext::new(g, sched, res, &state).expect("schedulable");
+    let mut wrap = WrapScratch::new(g, res).expect("ops bind");
     let mut rotations = 0_usize;
     let mut lengths = Vec::new();
     let mut first_optimum_at = None;
@@ -95,9 +99,11 @@ fn legacy_phase(g: &Dfg, sched: &ListScheduler, res: &ResourceSet, init: &Rotati
         if effective == 0 {
             break;
         }
-        ctx.down_rotate(g, sched, res, &mut state, effective)
+        ctx.down_rotate_in_place(g, sched, res, &mut state, effective)
             .expect("legal");
-        let wrapped = state.wrapped_length(g, res).expect("wraps");
+        let wrapped = wrap
+            .wrapped_length(g, Some(&state.retiming), &state.schedule, res)
+            .expect("wraps");
         rotations += 1;
         lengths.push(wrapped);
         if wrapped < min_seen {

@@ -9,10 +9,19 @@
 //!   --reps N          timed repetitions per jobs value (default: 3)
 //!   --check BASELINE  smoke mode: run one sweep, compare schedule
 //!                     lengths and the rows fingerprint against a
-//!                     checked-in baseline JSON, and gate the SoA
-//!                     rotation step's tail latency (p99 within 10x of
-//!                     p50); exit non-zero on any regression. No
-//!                     report written.
+//!                     checked-in baseline JSON, gate the SoA rotation
+//!                     step's tail latency (p99 within 10x of p50),
+//!                     gate batch throughput against the baseline's
+//!                     recorded solves/s (within a generous divisor),
+//!                     hold the driver-overhead reading — measured AND
+//!                     baseline — inside a two-sided band (a large
+//!                     negative reading means the hand-rolled replica
+//!                     went stale, not that the engine got fast), and
+//!                     gate the serve layer (warm hits ≥50x faster
+//!                     than cold at p50 with zero solver invocations,
+//!                     identical bursts collapsing to one solve,
+//!                     byte-identical responses throughout); exit
+//!                     non-zero on any regression. No report written.
 //!   --certify         certification mode: run one sweep and have the
 //!                     independent verifier (`rotsched-verify`) re-prove
 //!                     every winning kernel legal — starts, retimed-delay
@@ -38,9 +47,13 @@
 //! against the from-scratch path, times `solve_batch` throughput over a
 //! deduplicating corpus, measures the `SearchDriver` dispatch overhead
 //! against a hand-rolled replica of the pre-engine phase loop (the
-//! `NoopObserver` path must stay within noise of the bare kernel), and
-//! writes a machine-readable JSON report.
+//! `NoopObserver` path must stay within noise of the bare kernel),
+//! exercises the warm-path serve layer in-process (cold vs. warm-hit
+//! latency, single-flight deduplication under an identical burst,
+//! closed-loop sustained throughput — all counter-asserted and
+//! byte-compared), and writes a machine-readable JSON report.
 
+use std::sync::{Arc, Barrier};
 use std::time::Instant;
 
 use rotsched_baselines::TABLE_3;
@@ -52,9 +65,10 @@ use rotsched_core::{
     down_rotate, effective_jobs, initial_state, parallel_indexed, BestSet, HeuristicConfig,
     ProblemSpec, RotationContext, RotationScheduler, SearchDriver, TraceRecorder,
 };
-use rotsched_dfg::rng::Fnv64;
+use rotsched_dfg::rng::{Fnv64, SplitMix64};
 use rotsched_dfg::Dfg;
 use rotsched_sched::{ListScheduler, ResourceSet, WrapScratch};
+use rotsched_serve::{seeded_corpus, ServeConfig, SolveService};
 
 const JOBS: [usize; 4] = [1, 2, 4, 8];
 /// Size-1 rotations per sampled sequence in the per-step timing study.
@@ -71,6 +85,35 @@ const BATCH_REPS: usize = 9;
 /// Smoke gate: a steady-state SoA step's tail latency must stay within
 /// this multiple of its median.
 const STEP_TAIL_RATIO: u64 = 10;
+/// Smoke gate: measured batch throughput must stay within this divisor
+/// of the baseline's `solves_per_sec_p50` (generous — the baseline may
+/// come from different hardware; the gate exists to catch
+/// order-of-magnitude regressions, not machine variance).
+const BATCH_THROUGHPUT_DIVISOR: f64 = 3.0;
+/// Smoke gate: the engine-vs-replica overhead must sit inside
+/// `±DRIVER_OVERHEAD_BAND_PCT` — two-sided, because a large *negative*
+/// reading doesn't mean the engine got fast, it means the hand-rolled
+/// replica went stale against the engine's hot path.
+const DRIVER_OVERHEAD_BAND_PCT: f64 = 15.0;
+/// Seed for the serve-arm corpus.
+const SERVE_SEED: u64 = 11;
+/// Unique problems in the serve-arm corpus. Seven keeps every item
+/// budget-free (`seeded_corpus` attaches a rotation budget to every
+/// eighth item), so each problem takes the full warm path.
+const SERVE_UNIQUE: usize = 7;
+/// Fresh-service repetitions of the cold-solve pass.
+const SERVE_COLD_REPS: usize = 3;
+/// Timed warm-hit samples.
+const SERVE_WARM_SAMPLES: usize = 2000;
+/// Concurrent identical requests in the coalescing burst.
+const SERVE_BURST: usize = 32;
+/// Closed-loop client threads in the sustained arm.
+const SERVE_SUSTAIN_THREADS: usize = 4;
+/// Requests per closed-loop client.
+const SERVE_SUSTAIN_REQUESTS: usize = 200;
+/// Smoke gate: a warm cache hit must be at least this many times
+/// faster than a cold solve at p50.
+const SERVE_WARM_SPEEDUP_FLOOR: u64 = 50;
 
 struct Options {
     out: String,
@@ -192,6 +235,34 @@ fn main() {
         driver.p50, legacy.p50
     );
 
+    let serve = serve_report();
+    println!(
+        "\nserve cold solve:  p50 {:>9} ns, p99 {:>9} ns ({} samples)",
+        serve.cold.p50, serve.cold.p99, serve.cold.samples
+    );
+    println!(
+        "serve warm hit:    p50 {:>9} ns, p99 {:>9} ns ({} samples, \
+         {} extra solver invocations)",
+        serve.warm.p50, serve.warm.p99, serve.warm.samples, serve.warm_extra_invocations
+    );
+    println!(
+        "serve warm speedup at p50: {:.0}x; coalescing: {} identical requests \
+         -> {} solve(s), {} followers; sustained: {:.0} req/s over {} threads; \
+         deterministic: {}",
+        serve.cold.p50 as f64 / serve.warm.p50.max(1) as f64,
+        SERVE_BURST,
+        serve.burst_solves,
+        serve.burst_followers,
+        serve.sustained_rps,
+        SERVE_SUSTAIN_THREADS,
+        if serve.deterministic { "yes" } else { "NO" }
+    );
+    assert!(
+        serve.deterministic,
+        "serve responses must be byte-identical across cache states, \
+         thread counts, and arrival orders"
+    );
+
     let json = render_json(
         hardware,
         cells,
@@ -206,6 +277,7 @@ fn main() {
         &batch,
         &driver,
         &legacy,
+        &serve,
     );
     match std::fs::write(&opts.out, json) {
         Ok(()) => println!("\nwrote {}", opts.out),
@@ -460,11 +532,16 @@ fn run_driver_sequence(
         .expect("legal");
 }
 
-/// The pre-engine phase loop, hand-rolled: the same context kernel,
+/// The engine's phase loop, hand-rolled: the same context kernel,
 /// halving rule, wrapped-length probe, stats bookkeeping, and best-set
-/// offer that `rotation_phase` performed before the `SearchDriver`
-/// refactor. Kept as the baseline the engine's dispatch is measured
-/// against.
+/// offer that `SearchDriver::run_phase` performs — minus the engine's
+/// dispatch (step-mode enum, budget polling, observer calls). Kept as
+/// the baseline the engine's dispatch is measured against, and it MUST
+/// track the engine's hot path: when the engine gains a faster kernel
+/// (as the SoA rework did with `down_rotate_in_place` + `WrapScratch`),
+/// a stale replica turns the overhead number into a bogus "engine is
+/// far faster than the bare loop" reading. The two-sided `--check` band
+/// exists to catch exactly that drift.
 fn run_legacy_sequence(
     g: &Dfg,
     sched: &ListScheduler,
@@ -474,6 +551,7 @@ fn run_legacy_sequence(
     let mut state = init.clone();
     let mut best = BestSet::new(4);
     let mut ctx = RotationContext::new(g, sched, res, &state).expect("schedulable");
+    let mut wrap = WrapScratch::new(g, res).expect("ops bind");
     let mut rotations = 0_usize;
     let mut lengths = Vec::new();
     let mut first_optimum_at = None;
@@ -490,9 +568,11 @@ fn run_legacy_sequence(
         if effective == 0 {
             break;
         }
-        ctx.down_rotate(g, sched, res, &mut state, effective)
+        ctx.down_rotate_in_place(g, sched, res, &mut state, effective)
             .expect("legal");
-        let wrapped = state.wrapped_length(g, res).expect("wraps");
+        let wrapped = wrap
+            .wrapped_length(g, Some(&state.retiming), &state.schedule, res)
+            .expect("wraps");
         rotations += 1;
         lengths.push(wrapped);
         if wrapped < min_seen {
@@ -504,6 +584,152 @@ fn run_legacy_sequence(
     // Keep the bookkeeping observable so the optimizer cannot discard
     // the replica's stats work that the real loop also performed.
     std::hint::black_box((rotations, lengths, first_optimum_at));
+}
+
+/// Everything the serve arms measure and assert.
+struct ServeReport {
+    cold: StepPercentiles,
+    warm: StepPercentiles,
+    /// Solver invocations during warm-hit sampling — must be 0: the
+    /// warm path never touches the solver.
+    warm_extra_invocations: u64,
+    warm_hits: u64,
+    /// Solver invocations across the identical burst — must be 1.
+    burst_solves: u64,
+    /// Burst requests served without solving (coalesced + cache hits).
+    burst_followers: u64,
+    sustained_rps: f64,
+    /// Every response byte-identical to the reference, across fresh
+    /// services, warm caches, and concurrent clients.
+    deterministic: bool,
+}
+
+/// Measures the warm-path serve layer in-process: cold-solve latency
+/// over fresh services, warm-hit latency with the solver provably
+/// idle, single-flight deduplication under an identical burst, and
+/// closed-loop sustained throughput — asserting byte-identical
+/// responses throughout.
+fn serve_report() -> ServeReport {
+    let payloads: Vec<String> = seeded_corpus(SERVE_SEED, SERVE_UNIQUE)
+        .into_iter()
+        .map(|doc| format!("solve\n{doc}"))
+        .collect();
+    let mut deterministic = true;
+
+    // Cold solves: a fresh service per repetition, so every request
+    // misses. Responses across instances must agree byte-for-byte —
+    // this is the "regardless of cache state" half of the determinism
+    // contract.
+    let mut cold_ns = Vec::with_capacity(SERVE_COLD_REPS * payloads.len());
+    let mut reference: Vec<String> = Vec::with_capacity(payloads.len());
+    for rep in 0..SERVE_COLD_REPS {
+        let service = SolveService::new(ServeConfig::default());
+        for (i, payload) in payloads.iter().enumerate() {
+            let start = Instant::now();
+            let handled = service.handle(payload);
+            cold_ns.push(u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX));
+            let response = handled.response();
+            assert!(
+                response.contains("\"status\": \"ok\""),
+                "serve corpus item {i} did not solve: {response}"
+            );
+            if rep == 0 {
+                reference.push(response.to_owned());
+            } else {
+                deterministic &= response == reference[i];
+            }
+        }
+        assert_eq!(
+            service.counters().solver_invocations,
+            payloads.len() as u64,
+            "every cold request must invoke the solver exactly once"
+        );
+    }
+
+    // Warm hits: one service, fully warmed, then a long timed run of
+    // pure cache hits. The counters prove the solver never ran.
+    let service = SolveService::new(ServeConfig::default());
+    for (i, payload) in payloads.iter().enumerate() {
+        deterministic &= service.handle(payload).response() == reference[i];
+    }
+    let warmed = service.counters().solver_invocations;
+    let mut warm_ns = Vec::with_capacity(SERVE_WARM_SAMPLES);
+    for k in 0..SERVE_WARM_SAMPLES {
+        let i = k % payloads.len();
+        let start = Instant::now();
+        let handled = service.handle(&payloads[i]);
+        warm_ns.push(u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX));
+        deterministic &= handled.response() == reference[i];
+    }
+    let after = service.counters();
+    let warm_extra_invocations = after.solver_invocations - warmed;
+    let warm_hits = after.cache_hits;
+
+    // Coalescing: SERVE_BURST threads fire the identical request at a
+    // cold service through a barrier. Exactly one solve; every thread
+    // gets the same bytes (followers via the flight, late arrivals via
+    // the cache the leader filled before retiring the flight).
+    let burst_service = Arc::new(SolveService::new(ServeConfig::default()));
+    let burst_payload = Arc::new(payloads[1].clone());
+    let barrier = Arc::new(Barrier::new(SERVE_BURST));
+    let workers: Vec<_> = (0..SERVE_BURST)
+        .map(|_| {
+            let service = Arc::clone(&burst_service);
+            let payload = Arc::clone(&burst_payload);
+            let barrier = Arc::clone(&barrier);
+            std::thread::spawn(move || {
+                barrier.wait();
+                service.handle(&payload).response().to_owned()
+            })
+        })
+        .collect();
+    for worker in workers {
+        deterministic &= worker.join().expect("burst worker") == reference[1];
+    }
+    let burst = burst_service.counters();
+    let burst_solves = burst.solver_invocations;
+    let burst_followers = burst.coalesced + burst.cache_hits;
+
+    // Sustained closed loop: seeded clients hammering the corpus mix
+    // against one service — the "regardless of thread count or arrival
+    // order" half of the determinism contract, plus a requests/s
+    // number dominated by the warm path, as production traffic is.
+    let sustain_service = Arc::new(SolveService::new(ServeConfig::default()));
+    let sustain_payloads = Arc::new(payloads);
+    let sustain_reference = Arc::new(reference);
+    let started = Instant::now();
+    let clients: Vec<_> = (0..SERVE_SUSTAIN_THREADS)
+        .map(|t| {
+            let service = Arc::clone(&sustain_service);
+            let payloads = Arc::clone(&sustain_payloads);
+            let reference = Arc::clone(&sustain_reference);
+            std::thread::spawn(move || {
+                let mut rng = SplitMix64::new(SERVE_SEED ^ (0x5EED + t as u64));
+                let mut ok = true;
+                for _ in 0..SERVE_SUSTAIN_REQUESTS {
+                    let i = rng.index(payloads.len());
+                    ok &= service.handle(&payloads[i]).response() == reference[i];
+                }
+                ok
+            })
+        })
+        .collect();
+    for client in clients {
+        deterministic &= client.join().expect("sustain client");
+    }
+    let elapsed = started.elapsed().as_secs_f64().max(1e-9);
+    let total = (SERVE_SUSTAIN_THREADS * SERVE_SUSTAIN_REQUESTS) as f64;
+
+    ServeReport {
+        cold: percentiles(&mut cold_ns),
+        warm: percentiles(&mut warm_ns),
+        warm_extra_invocations,
+        warm_hits,
+        burst_solves,
+        burst_followers,
+        sustained_rps: total / elapsed,
+        deterministic,
+    }
 }
 
 /// Anytime-degradation mode: incumbent best length as a function of the
@@ -638,6 +864,118 @@ fn check_against_baseline(graphs: &[(&str, Dfg)], baseline_path: &str) -> i32 {
         );
     }
 
+    // Batch-throughput floor: measured p50 must stay within a generous
+    // divisor of the baseline's recorded rate. Catches order-of-
+    // magnitude regressions in the batch core without tripping on
+    // machine-to-machine variance.
+    let batch = batch_throughput(&batch_corpus());
+    let measured_sps = solves_per_sec(BATCH_ITEMS, batch.p50);
+    match extract_f64_field(&baseline, "solves_per_sec_p50") {
+        Some(recorded) if measured_sps >= recorded / BATCH_THROUGHPUT_DIVISOR => {
+            println!(
+                "batch throughput: {measured_sps:.0} solves/s at p50 \
+                 (baseline {recorded:.0}, floor /{BATCH_THROUGHPUT_DIVISOR})"
+            );
+        }
+        Some(recorded) => {
+            eprintln!(
+                "FAIL: batch throughput {measured_sps:.0} solves/s fell below \
+                 baseline {recorded:.0} / {BATCH_THROUGHPUT_DIVISOR}"
+            );
+            failures += 1;
+        }
+        None => {
+            eprintln!("FAIL: baseline has no solves_per_sec_p50 field");
+            failures += 1;
+        }
+    }
+
+    // Driver-overhead band, two-sided and applied to both the fresh
+    // measurement and the baseline's recorded number. Large positive
+    // means the engine's dispatch got expensive; large negative (the
+    // PR-6 drift: a recorded -43% against a real -2.65%) means the
+    // hand-rolled replica went stale against the engine's hot path —
+    // either way the overhead reading is fiction and must fail.
+    let (driver, legacy) = driver_overhead(graphs);
+    let measured_pct = (driver.p50 as f64 - legacy.p50 as f64) / legacy.p50.max(1) as f64 * 100.0;
+    if measured_pct.abs() > DRIVER_OVERHEAD_BAND_PCT {
+        eprintln!(
+            "FAIL: driver overhead {measured_pct:+.2}% outside \
+             ±{DRIVER_OVERHEAD_BAND_PCT}% (replica and engine hot paths diverged)"
+        );
+        failures += 1;
+    } else {
+        println!("driver overhead: {measured_pct:+.2}% within ±{DRIVER_OVERHEAD_BAND_PCT}%");
+    }
+    match extract_f64_field(&baseline, "overhead_pct") {
+        Some(recorded) if recorded.abs() <= DRIVER_OVERHEAD_BAND_PCT => {
+            println!(
+                "baseline driver overhead: {recorded:+.2}% within \
+                 ±{DRIVER_OVERHEAD_BAND_PCT}%"
+            );
+        }
+        Some(recorded) => {
+            eprintln!(
+                "FAIL: baseline records driver overhead {recorded:+.2}% outside \
+                 ±{DRIVER_OVERHEAD_BAND_PCT}% — stale baseline, regenerate it"
+            );
+            failures += 1;
+        }
+        None => {
+            eprintln!("FAIL: baseline has no overhead_pct field");
+            failures += 1;
+        }
+    }
+
+    // Serve gates: the warm path must actually be warm (no solver, a
+    // real multiple faster than solving), an identical burst must
+    // collapse to one solve, and every response must be byte-stable.
+    let serve = serve_report();
+    let speedup = serve.cold.p50 / serve.warm.p50.max(1);
+    if speedup < SERVE_WARM_SPEEDUP_FLOOR {
+        eprintln!(
+            "FAIL: serve warm hit p50 {} ns is only {speedup}x faster than cold \
+             p50 {} ns (floor {SERVE_WARM_SPEEDUP_FLOOR}x)",
+            serve.warm.p50, serve.cold.p50
+        );
+        failures += 1;
+    } else {
+        println!("serve warm speedup: {speedup}x at p50 (floor {SERVE_WARM_SPEEDUP_FLOOR}x)");
+    }
+    if serve.warm_extra_invocations != 0 {
+        eprintln!(
+            "FAIL: {} solver invocation(s) during warm-hit sampling — the warm \
+             path must never solve",
+            serve.warm_extra_invocations
+        );
+        failures += 1;
+    } else {
+        println!(
+            "serve warm path: 0 solver invocations across {} hits",
+            serve.warm.samples
+        );
+    }
+    if serve.burst_solves == 1 {
+        println!(
+            "serve coalescing: {SERVE_BURST} identical requests -> 1 solve, \
+             {} followers",
+            serve.burst_followers
+        );
+    } else {
+        eprintln!(
+            "FAIL: {SERVE_BURST} identical concurrent requests took {} solves \
+             (single-flight must collapse them to 1)",
+            serve.burst_solves
+        );
+        failures += 1;
+    }
+    if serve.deterministic {
+        println!("serve determinism: byte-identical responses across services and threads");
+    } else {
+        eprintln!("FAIL: serve responses diverged across cache states or threads");
+        failures += 1;
+    }
+
     if failures == 0 {
         println!("check passed");
         0
@@ -716,6 +1054,18 @@ fn extract_hex_field(json: &str, name: &str) -> Option<u64> {
     u64::from_str_radix(&rest[..end], 16).ok()
 }
 
+/// Pulls a bare numeric `"name": -2.65` (or integer) field out of a
+/// baseline report.
+fn extract_f64_field(json: &str, name: &str) -> Option<f64> {
+    let key = format!("\"{name}\": ");
+    let start = json.find(&key)? + key.len();
+    let rest = &json[start..];
+    let end = rest
+        .find(|c: char| c != '-' && c != '.' && !c.is_ascii_digit())
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
 /// Pulls `"name": [1, 2, ...]` out of a baseline report.
 fn extract_u32_array(json: &str, name: &str) -> Option<Vec<u32>> {
     let key = format!("\"{name}\": [");
@@ -743,6 +1093,7 @@ fn render_json(
     batch: &StepPercentiles,
     driver: &StepPercentiles,
     legacy: &StepPercentiles,
+    serve: &ServeReport,
 ) -> String {
     let mut s = String::new();
     s.push_str("{\n");
@@ -802,6 +1153,40 @@ fn render_json(
         "    \"overhead_pct\": {:.2}\n",
         (driver.p50 as f64 - legacy.p50 as f64) / legacy.p50.max(1) as f64 * 100.0
     ));
+    s.push_str("  },\n");
+    s.push_str("  \"serve\": {\n");
+    s.push_str(&format!(
+        "    \"unique\": {SERVE_UNIQUE}, \"seed\": {SERVE_SEED},\n"
+    ));
+    s.push_str(&format!(
+        "    \"cold_solve_ns_p50\": {}, \"cold_solve_ns_p99\": {},\n",
+        serve.cold.p50, serve.cold.p99
+    ));
+    s.push_str(&format!(
+        "    \"warm_hit_ns_p50\": {}, \"warm_hit_ns_p99\": {}, \"warm_samples\": {},\n",
+        serve.warm.p50, serve.warm.p99, serve.warm.samples
+    ));
+    s.push_str(&format!(
+        "    \"warm_speedup_p50\": {:.1}, \"warm_extra_invocations\": {}, \
+         \"warm_hits\": {},\n",
+        serve.cold.p50 as f64 / serve.warm.p50.max(1) as f64,
+        serve.warm_extra_invocations,
+        serve.warm_hits
+    ));
+    s.push_str(&format!(
+        "    \"coalescing\": {{\"burst\": {SERVE_BURST}, \"solves\": {}, \
+         \"followers\": {}, \"dedup_ratio\": {:.2}}},\n",
+        serve.burst_solves,
+        serve.burst_followers,
+        SERVE_BURST as f64 / serve.burst_solves.max(1) as f64
+    ));
+    s.push_str(&format!(
+        "    \"sustained\": {{\"threads\": {SERVE_SUSTAIN_THREADS}, \
+         \"requests\": {}, \"requests_per_sec\": {:.0}}},\n",
+        SERVE_SUSTAIN_THREADS * SERVE_SUSTAIN_REQUESTS,
+        serve.sustained_rps
+    ));
+    s.push_str(&format!("    \"deterministic\": {}\n", serve.deterministic));
     s.push_str("  },\n");
     s.push_str("  \"results\": [\n");
     for (k, (jobs, effective, median, min, fingerprint)) in results.iter().enumerate() {

@@ -143,10 +143,13 @@ mod tests {
         let mut pool: BufferPool<u8> = BufferPool::new();
         let buf = pool.acquire();
         assert!(buf.is_empty());
-        assert_eq!(pool.stats(), PoolStats {
-            acquired: 1,
-            reused: 0
-        });
+        assert_eq!(
+            pool.stats(),
+            PoolStats {
+                acquired: 1,
+                reused: 0
+            }
+        );
     }
 
     #[test]

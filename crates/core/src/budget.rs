@@ -166,6 +166,24 @@ impl Budget {
         self.deadline.is_none() && self.max_rotations.is_none() && self.cancel.is_none()
     }
 
+    /// The configured wall-clock deadline, if any.
+    #[must_use]
+    pub fn deadline(&self) -> Option<Duration> {
+        self.deadline
+    }
+
+    /// The configured rotation (step) budget, if any.
+    #[must_use]
+    pub fn max_rotations(&self) -> Option<u64> {
+        self.max_rotations
+    }
+
+    /// Whether an external [`CancelToken`] is attached.
+    #[must_use]
+    pub fn has_cancel(&self) -> bool {
+        self.cancel.is_some()
+    }
+
     /// Anchors the budget to *now* and returns the meter a solve checks.
     #[must_use]
     pub fn arm(&self) -> BudgetMeter {
@@ -177,6 +195,20 @@ impl Budget {
         }
     }
 }
+
+/// Budgets compare by their declarative limits. Cancel tokens have no
+/// observable configuration, so they compare by *presence* only: two
+/// budgets holding different tokens are equal as configurations even
+/// though the tokens are independent flags.
+impl PartialEq for Budget {
+    fn eq(&self, other: &Self) -> bool {
+        self.deadline == other.deadline
+            && self.max_rotations == other.max_rotations
+            && self.cancel.is_some() == other.cancel.is_some()
+    }
+}
+
+impl Eq for Budget {}
 
 /// One armed [`Budget`]: the live state a solve consults cooperatively
 /// at down-rotation granularity. A single meter is shared by every

@@ -452,7 +452,12 @@ impl<'a, S: StepMode, O: SearchObserver> SearchDriver<'a, S, O> {
                 .wrap
                 .as_mut()
                 .expect("scratch is built at phase start")
-                .wrapped_length(self.dfg, Some(&state.retiming), &state.schedule, self.resources)?;
+                .wrapped_length(
+                    self.dfg,
+                    Some(&state.retiming),
+                    &state.schedule,
+                    self.resources,
+                )?;
             self.observer.on_event(SearchEvent::Rotated {
                 node_set: rotated,
                 length: wrapped,

@@ -79,6 +79,7 @@ pub mod rotate;
 pub mod rotate_chained;
 mod scheduler;
 pub mod trace;
+pub mod wire;
 
 pub use arena::{BufferPool, PoolStats, SolveArena};
 pub use budget::{Budget, BudgetMeter, CancelToken, StopReason};
@@ -109,4 +110,7 @@ pub use scheduler::{
 pub use trace::{
     PhaseCounters, SearchTrace, TaskTrace, TraceEvent, TraceRecorder, DEFAULT_TRACE_EVENTS,
     TRACE_SCHEMA,
+};
+pub use wire::{
+    cache_fingerprint, cache_key_text, fingerprint_text, parse_problem, render_problem, WireError,
 };

@@ -775,8 +775,8 @@ mod tests {
 
     #[test]
     fn effective_jobs_clamps_to_tasks_and_hardware() {
-        let hardware = std::thread::available_parallelism()
-            .map_or(usize::MAX, std::num::NonZeroUsize::get);
+        let hardware =
+            std::thread::available_parallelism().map_or(usize::MAX, std::num::NonZeroUsize::get);
         assert_eq!(effective_jobs(0, 5), 1);
         assert_eq!(effective_jobs(1, 0), 1);
         assert_eq!(effective_jobs(8, 3), 3.min(hardware));

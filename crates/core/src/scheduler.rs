@@ -121,7 +121,7 @@ pub type SolvedPipeline = SolveOutcome;
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct ProblemSpec {
     /// The loop's data-flow graph.
     pub dfg: Dfg,

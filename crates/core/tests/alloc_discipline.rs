@@ -79,8 +79,7 @@ fn hot_path_allocation_discipline() {
     let g = ring(n, 3);
     let sched = ListScheduler::default();
     let res = ResourceSet::adders_multipliers(4, 0, false);
-    let mut state =
-        rotsched_core::initial_state(&g, &sched, &res).expect("ring schedules");
+    let mut state = rotsched_core::initial_state(&g, &sched, &res).expect("ring schedules");
     let mut ctx = RotationContext::new(&g, &sched, &res, &state).expect("context builds");
     let mut wrap = WrapScratch::new(&g, &res).expect("ops bind");
 

@@ -38,11 +38,8 @@ fn spec_for(seed: u64) -> ProblemSpec {
         },
         rng.next_u64() % 500,
     );
-    let resources = ResourceSet::adders_multipliers(
-        rng.range_u32(1, 2),
-        rng.range_u32(1, 2),
-        rng.chance(0.5),
-    );
+    let resources =
+        ResourceSet::adders_multipliers(rng.range_u32(1, 2), rng.range_u32(1, 2), rng.chance(0.5));
     let policy = POLICIES[(seed % 4) as usize];
     // A trimmed sweep keeps the 200-problem corpus fast in debug builds
     // while still running multiple phases per item.
@@ -94,8 +91,8 @@ fn batch_matches_per_item_solves_on_a_seeded_corpus() {
 #[test]
 fn duplicate_items_reuse_the_representative_outcome() {
     let spec = spec_for(3);
-    let batch = RotationScheduler::solve_batch(&[spec.clone(), spec.clone(), spec])
-        .expect("solvable");
+    let batch =
+        RotationScheduler::solve_batch(&[spec.clone(), spec.clone(), spec]).expect("solvable");
     assert_identical(&batch[1], &batch[0], "first duplicate");
     assert_identical(&batch[2], &batch[0], "second duplicate");
 }
@@ -128,5 +125,7 @@ fn near_duplicates_are_not_merged() {
 
 #[test]
 fn empty_batch_is_empty() {
-    assert!(RotationScheduler::solve_batch(&[]).expect("trivial").is_empty());
+    assert!(RotationScheduler::solve_batch(&[])
+        .expect("trivial")
+        .is_empty());
 }

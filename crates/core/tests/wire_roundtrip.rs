@@ -1,0 +1,123 @@
+//! The wire-format round-trip guarantee, enforced over a seeded corpus:
+//! `parse_problem(&render_problem(&spec)) == spec` for every spec the
+//! generators can produce — random graphs, varied resource allocations
+//! (including multi-class sets with pipelined units), all four priority
+//! policies, swept heuristic configurations, and budgets down to
+//! sub-millisecond deadlines. The canonical cache key must likewise be
+//! stable under a render→parse→render cycle and blind to budgets.
+
+use core::time::Duration;
+
+use rotsched_benchmarks::{random_dfg, RandomDfgConfig};
+use rotsched_core::{
+    cache_fingerprint, cache_key_text, parse_problem, render_problem, Budget, HeuristicConfig,
+    ProblemSpec,
+};
+use rotsched_dfg::rng::SplitMix64;
+use rotsched_sched::{PriorityPolicy, ResourceSet};
+
+const CORPUS: u64 = 120;
+
+const POLICIES: [PriorityPolicy; 4] = [
+    PriorityPolicy::DescendantCount,
+    PriorityPolicy::PathHeight,
+    PriorityPolicy::Mobility,
+    PriorityPolicy::InputOrder,
+];
+
+/// A seed-determined spec wandering the whole wire surface.
+fn spec_for(seed: u64) -> ProblemSpec {
+    let mut rng = SplitMix64::new(seed.wrapping_mul(6364).wrapping_add(11));
+    let nodes = rng.range_u32(3, 16) as usize;
+    let dfg = random_dfg(
+        &RandomDfgConfig {
+            nodes,
+            forward_density: 0.25,
+            feedback_density: 0.1,
+            max_delays: 3,
+            mult_fraction: 0.4,
+            mult_steps: 2,
+        },
+        rng.next_u64() % 1000,
+    );
+    let resources =
+        ResourceSet::adders_multipliers(rng.range_u32(1, 3), rng.range_u32(1, 2), rng.chance(0.5));
+    let config = HeuristicConfig {
+        rotations_per_phase: 1 + rng.index(64),
+        max_size: rng.chance(0.5).then(|| rng.range_u32(1, 8)),
+        keep_best: 1 + rng.index(16),
+        rounds: 1 + rng.index(4),
+    };
+    let mut budget = Budget::unlimited();
+    if rng.chance(0.4) {
+        // Mix whole-millisecond deadlines (rendered as `deadline-ms`)
+        // with nanosecond-precision ones (rendered as `deadline-ns`).
+        budget = if rng.chance(0.5) {
+            budget.with_deadline(Duration::from_millis(1 + rng.next_u64() % 10_000))
+        } else {
+            budget.with_deadline(Duration::from_nanos(1 + rng.next_u64() % 5_000_000_000))
+        };
+    }
+    if rng.chance(0.4) {
+        budget = budget.with_max_rotations(rng.next_u64() % 1_000_000);
+    }
+    ProblemSpec::new(dfg, resources)
+        .with_policy(POLICIES[rng.index(POLICIES.len())])
+        .with_config(config)
+        .with_budget(budget)
+}
+
+#[test]
+fn roundtrip_is_exact_over_a_seeded_corpus() {
+    for seed in 0..CORPUS {
+        let spec = spec_for(seed);
+        let wire = render_problem(&spec);
+        let back = parse_problem(&wire)
+            .unwrap_or_else(|e| panic!("seed {seed}: rendered spec failed to parse: {e}\n{wire}"));
+        assert_eq!(back, spec, "seed {seed}: parse(render(spec)) != spec");
+        // Rendering is a fixed point: a second trip is byte-identical.
+        assert_eq!(
+            render_problem(&back),
+            wire,
+            "seed {seed}: render not stable"
+        );
+    }
+}
+
+#[test]
+fn cache_keys_are_canonical_and_budget_blind() {
+    for seed in 0..CORPUS {
+        let spec = spec_for(seed);
+        let back = parse_problem(&render_problem(&spec)).expect("round-trips");
+        assert_eq!(
+            cache_key_text(&back),
+            cache_key_text(&spec),
+            "seed {seed}: cache key changed across a wire round-trip"
+        );
+        let mut unbudgeted = spec.clone();
+        unbudgeted.budget = Budget::unlimited();
+        assert_eq!(
+            cache_key_text(&spec),
+            cache_key_text(&unbudgeted),
+            "seed {seed}: budget leaked into the cache key"
+        );
+        assert_eq!(
+            cache_fingerprint(&spec),
+            cache_fingerprint(&unbudgeted),
+            "seed {seed}: budget leaked into the fingerprint"
+        );
+    }
+}
+
+#[test]
+fn distinct_problems_get_distinct_keys() {
+    // Fingerprints may collide in principle; over this corpus the full
+    // key texts must all differ (the consumer compares full keys, but a
+    // generator collapsing distinct problems onto one key would make
+    // the cache serve wrong answers silently).
+    let mut keys: Vec<String> = (0..CORPUS).map(|s| cache_key_text(&spec_for(s))).collect();
+    let total = keys.len();
+    keys.sort_unstable();
+    keys.dedup();
+    assert_eq!(keys.len(), total, "corpus produced duplicate cache keys");
+}

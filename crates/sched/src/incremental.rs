@@ -269,8 +269,7 @@ impl SchedContext {
                 .in_edges(v)
                 .iter()
                 .chain(dfg.out_edges(v))
-                .all(|&e| self.zero.contains(e)
-                    == is_zero_delay_under(dfg, Some(retiming), e)));
+                .all(|&e| self.zero.contains(e) == is_zero_delay_under(dfg, Some(retiming), e)));
         }
         if !self.flips.is_empty() && !self.memo.is_empty() {
             let key = self.zero.key();

@@ -272,7 +272,11 @@ impl WrapScratch {
         schedule: &Schedule,
         resources: &ResourceSet,
     ) -> Result<u32, SchedError> {
-        assert_eq!(self.class_of.len(), dfg.node_count(), "scratch/graph mismatch");
+        assert_eq!(
+            self.class_of.len(),
+            dfg.node_count(),
+            "scratch/graph mismatch"
+        );
         let result = self.wrapped_length_inner(dfg, retiming, schedule, resources);
         #[cfg(debug_assertions)]
         {
@@ -286,6 +290,10 @@ impl WrapScratch {
         result
     }
 
+    // Index loops walk several parallel arrays (`starts`, `times`,
+    // `class_of`) in lockstep; an iterator over any one of them would
+    // obscure that.
+    #[allow(clippy::needless_range_loop)]
     fn wrapped_length_inner(
         &mut self,
         dfg: &Dfg,

@@ -1,0 +1,155 @@
+//! Deadline admission control: shed requests that cannot meet their
+//! deadline instead of queueing them to certain failure.
+//!
+//! The gauge tracks two things: how many solves are in flight right
+//! now, and an exponentially weighted moving average of recent solve
+//! times. A request carrying a `deadline-ms`/`deadline-ns` budget is
+//! admitted only if the *projected* wait — the in-flight solves ahead
+//! of it plus its own solve, each at the EWMA estimate — fits inside
+//! the deadline. Requests without a deadline are always admitted.
+//!
+//! The decision itself is a pure function ([`admit_decision`]) over
+//! three integers, so the shed policy is unit-testable without a
+//! server, threads, or clocks.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// EWMA seed before any solve has completed, and the floor cost
+/// assumed per queued solve.
+const DEFAULT_ASSUMED_SOLVE_NS: u64 = 5_000_000;
+
+/// Decides admission for a deadline request. `deadline_ns` is the
+/// request's budget, `in_flight` the number of solves currently
+/// running, and `estimate_ns` the expected cost of one solve. The
+/// projected completion time is `(in_flight + 1) * estimate_ns`: every
+/// solve ahead of this request plus its own, all at the estimate.
+/// Saturating arithmetic keeps absurd inputs on the shed side.
+#[must_use]
+pub fn admit_decision(deadline_ns: u64, in_flight: u64, estimate_ns: u64) -> bool {
+    let projected = in_flight
+        .saturating_add(1)
+        .saturating_mul(estimate_ns.max(1));
+    projected <= deadline_ns
+}
+
+/// Live load statistics feeding [`admit_decision`].
+#[derive(Debug)]
+pub struct AdmissionGauge {
+    in_flight: AtomicU64,
+    ewma_ns: AtomicU64,
+}
+
+impl AdmissionGauge {
+    /// Creates a gauge whose EWMA starts at `assumed_solve_ns` (pass 0
+    /// for the default assumption) so the very first requests are
+    /// judged against *some* cost rather than admitted for free.
+    #[must_use]
+    pub fn new(assumed_solve_ns: u64) -> Self {
+        let seed = if assumed_solve_ns == 0 {
+            DEFAULT_ASSUMED_SOLVE_NS
+        } else {
+            assumed_solve_ns
+        };
+        AdmissionGauge {
+            in_flight: AtomicU64::new(0),
+            ewma_ns: AtomicU64::new(seed),
+        }
+    }
+
+    /// Solves currently running.
+    #[must_use]
+    pub fn in_flight(&self) -> u64 {
+        self.in_flight.load(Ordering::Relaxed)
+    }
+
+    /// The current per-solve cost estimate in nanoseconds.
+    #[must_use]
+    pub fn estimate_ns(&self) -> u64 {
+        self.ewma_ns.load(Ordering::Relaxed)
+    }
+
+    /// Applies [`admit_decision`] to the gauge's current state.
+    #[must_use]
+    pub fn admit(&self, deadline_ns: u64) -> bool {
+        admit_decision(deadline_ns, self.in_flight(), self.estimate_ns())
+    }
+
+    /// Registers a solve as started; the returned permit times it and
+    /// folds the observed duration back into the EWMA when dropped.
+    #[must_use]
+    pub fn start_solve(self: &Arc<Self>) -> SolvePermit {
+        self.in_flight.fetch_add(1, Ordering::Relaxed);
+        SolvePermit {
+            gauge: Arc::clone(self),
+            started: Instant::now(),
+        }
+    }
+
+    fn finish_solve(&self, elapsed_ns: u64) {
+        self.in_flight.fetch_sub(1, Ordering::Relaxed);
+        // ewma ← (3·ewma + sample) / 4. A single compare-exchange loop
+        // would buy nothing here: a lost update under contention skews
+        // the estimate by one sample, and the estimate is advisory.
+        let old = self.ewma_ns.load(Ordering::Relaxed);
+        let new = (old.saturating_mul(3).saturating_add(elapsed_ns)) / 4;
+        self.ewma_ns.store(new.max(1), Ordering::Relaxed);
+    }
+}
+
+/// RAII guard for one running solve; dropping it decrements the
+/// in-flight count and feeds the elapsed time into the estimate —
+/// including when the solve panics, so a crashing request can never
+/// leak permanent phantom load.
+#[derive(Debug)]
+pub struct SolvePermit {
+    gauge: Arc<AdmissionGauge>,
+    started: Instant,
+}
+
+impl Drop for SolvePermit {
+    fn drop(&mut self) {
+        let elapsed = u64::try_from(self.started.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        self.gauge.finish_solve(elapsed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decision_admits_when_projection_fits() {
+        // Empty queue, 5ms estimate, 10ms deadline: 1×5ms fits.
+        assert!(admit_decision(10_000_000, 0, 5_000_000));
+        // One ahead: 2×5ms = 10ms still fits exactly.
+        assert!(admit_decision(10_000_000, 1, 5_000_000));
+        // Two ahead: 3×5ms = 15ms exceeds the deadline — shed.
+        assert!(!admit_decision(10_000_000, 2, 5_000_000));
+        // Zero deadline sheds no matter what.
+        assert!(!admit_decision(0, 0, 1));
+        // Saturation: absurd load can't wrap into an admit.
+        assert!(!admit_decision(u64::MAX - 1, u64::MAX, u64::MAX));
+    }
+
+    #[test]
+    fn gauge_tracks_in_flight_and_updates_estimate() {
+        let gauge = Arc::new(AdmissionGauge::new(1_000_000));
+        assert_eq!(gauge.estimate_ns(), 1_000_000);
+        let a = gauge.start_solve();
+        let b = gauge.start_solve();
+        assert_eq!(gauge.in_flight(), 2);
+        drop(a);
+        drop(b);
+        assert_eq!(gauge.in_flight(), 0);
+        // Two near-zero samples pull the EWMA down from the seed.
+        assert!(gauge.estimate_ns() < 1_000_000);
+    }
+
+    #[test]
+    fn zero_assumption_falls_back_to_default_seed() {
+        let gauge = AdmissionGauge::new(0);
+        assert_eq!(gauge.estimate_ns(), DEFAULT_ASSUMED_SOLVE_NS);
+    }
+}

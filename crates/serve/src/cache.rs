@@ -1,0 +1,242 @@
+//! The sharded, fingerprint-keyed solve cache.
+//!
+//! Entries map a *canonical cache key* (the budget-free wire rendering
+//! of a problem, [`rotsched_core::wire::cache_key_text`]) to the
+//! byte-exact response the solver produced for it. The 64-bit
+//! fingerprint of the key selects a shard and prefilters probes; the
+//! stored key is compared exactly on every hit, so a fingerprint
+//! collision costs one string comparison and can never serve the wrong
+//! response.
+//!
+//! Each shard is an LRU under its own byte budget (the configured total
+//! split evenly). Recency is tracked with a monotone per-shard tick: a
+//! `BTreeMap<tick, key>` orders entries oldest-first, so eviction pops
+//! the map's first entry — no linked lists, no unsafe. All costs are
+//! accounted in bytes (key twice — map key and recency slot — plus the
+//! response and a fixed per-entry overhead), so the budget bounds real
+//! memory, not entry counts.
+
+use std::collections::{BTreeMap, HashMap};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Fixed per-entry bookkeeping charge (map nodes, ticks, lengths).
+const ENTRY_OVERHEAD: usize = 96;
+
+/// A point-in-time summary of cache contents and churn.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheReport {
+    /// Live entries across all shards.
+    pub entries: u64,
+    /// Accounted bytes across all shards.
+    pub bytes: u64,
+    /// Total insertions accepted.
+    pub insertions: u64,
+    /// Entries evicted to stay under the byte budget.
+    pub evictions: u64,
+    /// Insertions rejected because a single entry exceeded a whole
+    /// shard's budget.
+    pub rejected: u64,
+}
+
+#[derive(Debug)]
+struct Entry {
+    response: String,
+    tick: u64,
+    cost: usize,
+}
+
+#[derive(Debug, Default)]
+struct Shard {
+    map: HashMap<String, Entry>,
+    /// Oldest-first recency order: tick → key.
+    order: BTreeMap<u64, String>,
+    tick: u64,
+    bytes: usize,
+}
+
+impl Shard {
+    fn touch(&mut self, key: &str) -> Option<String> {
+        let next = self.tick + 1;
+        let entry = self.map.get_mut(key)?;
+        let old = entry.tick;
+        entry.tick = next;
+        let response = entry.response.clone();
+        self.tick = next;
+        let moved = self.order.remove(&old).expect("entry ticks stay in order");
+        self.order.insert(next, moved);
+        Some(response)
+    }
+
+    fn insert(&mut self, key: String, response: String, budget: usize) -> (u64, bool) {
+        let cost = 2 * key.len() + response.len() + ENTRY_OVERHEAD;
+        if cost > budget {
+            return (0, false);
+        }
+        self.tick += 1;
+        let tick = self.tick;
+        if let Some(old) = self.map.insert(
+            key.clone(),
+            Entry {
+                response,
+                tick,
+                cost,
+            },
+        ) {
+            self.bytes -= old.cost;
+            self.order.remove(&old.tick);
+        }
+        self.order.insert(tick, key);
+        self.bytes += cost;
+        let mut evicted = 0_u64;
+        while self.bytes > budget {
+            let (_, victim) = self
+                .order
+                .pop_first()
+                .expect("a shard over budget holds at least one entry");
+            let gone = self.map.remove(&victim).expect("order mirrors the map");
+            self.bytes -= gone.cost;
+            evicted += 1;
+        }
+        (evicted, true)
+    }
+}
+
+/// A sharded LRU response cache under a global byte budget.
+#[derive(Debug)]
+pub struct SolveCache {
+    shards: Vec<Mutex<Shard>>,
+    shard_budget: usize,
+    insertions: AtomicU64,
+    evictions: AtomicU64,
+    rejected: AtomicU64,
+}
+
+impl SolveCache {
+    /// Creates a cache of `shards` shards (rounded up to a power of
+    /// two, minimum 1) splitting `byte_budget` evenly.
+    #[must_use]
+    pub fn new(shards: usize, byte_budget: usize) -> Self {
+        let shards = shards.max(1).next_power_of_two();
+        SolveCache {
+            shard_budget: byte_budget / shards,
+            shards: (0..shards).map(|_| Mutex::new(Shard::default())).collect(),
+            insertions: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+        }
+    }
+
+    fn shard(&self, fingerprint: u64) -> &Mutex<Shard> {
+        &self.shards[(fingerprint as usize) & (self.shards.len() - 1)]
+    }
+
+    /// Looks up the response cached for `key`, refreshing its recency.
+    /// `fingerprint` must be the key's [`fingerprint_text`]
+    /// (it only selects the shard; the key itself is compared exactly).
+    ///
+    /// [`fingerprint_text`]: rotsched_core::wire::fingerprint_text
+    #[must_use]
+    pub fn get(&self, fingerprint: u64, key: &str) -> Option<String> {
+        self.shard(fingerprint)
+            .lock()
+            .expect("cache shard poisoned")
+            .touch(key)
+    }
+
+    /// Caches `response` under `key`, evicting least-recently-used
+    /// entries as needed to stay within the shard's byte budget. An
+    /// entry larger than a whole shard's budget is rejected rather than
+    /// wiping the shard for a value that still cannot fit.
+    pub fn insert(&self, fingerprint: u64, key: String, response: String) {
+        let (evicted, accepted) = self
+            .shard(fingerprint)
+            .lock()
+            .expect("cache shard poisoned")
+            .insert(key, response, self.shard_budget);
+        if accepted {
+            self.insertions.fetch_add(1, Ordering::Relaxed);
+            self.evictions.fetch_add(evicted, Ordering::Relaxed);
+        } else {
+            self.rejected.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Summarizes contents and churn across all shards.
+    #[must_use]
+    pub fn report(&self) -> CacheReport {
+        let mut entries = 0_u64;
+        let mut bytes = 0_u64;
+        for shard in &self.shards {
+            let shard = shard.lock().expect("cache shard poisoned");
+            entries += shard.map.len() as u64;
+            bytes += shard.bytes as u64;
+        }
+        CacheReport {
+            entries,
+            bytes,
+            insertions: self.insertions.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            rejected: self.rejected.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_returns_exact_response_and_miss_returns_none() {
+        let cache = SolveCache::new(4, 1 << 16);
+        cache.insert(7, "k1".into(), "r1".into());
+        assert_eq!(cache.get(7, "k1").as_deref(), Some("r1"));
+        assert_eq!(cache.get(7, "k2"), None);
+        // A colliding fingerprint only selects the shard — the key
+        // text decides the hit. `7` and `7 + 4` share a shard of 4:
+        // the resident key still answers, a foreign key never does.
+        cache.insert(7 + 4, "k3".into(), "r3".into());
+        assert_eq!(cache.get(7 + 4, "k3").as_deref(), Some("r3"));
+        assert_eq!(cache.get(7, "k3").as_deref(), Some("r3"));
+        assert_eq!(cache.get(7 + 4, "k1").as_deref(), Some("r1"));
+        assert_eq!(cache.get(7, "k4"), None);
+    }
+
+    #[test]
+    fn lru_evicts_oldest_under_pressure() {
+        // One shard, budget for roughly two entries.
+        let cache = SolveCache::new(1, 2 * (2 * 2 + 4 + ENTRY_OVERHEAD));
+        cache.insert(0, "aa".into(), "1111".into());
+        cache.insert(0, "bb".into(), "2222".into());
+        let _ = cache.get(0, "aa"); // refresh aa; bb is now oldest
+        cache.insert(0, "cc".into(), "3333".into());
+        assert_eq!(cache.get(0, "bb"), None);
+        assert_eq!(cache.get(0, "aa").as_deref(), Some("1111"));
+        assert_eq!(cache.get(0, "cc").as_deref(), Some("3333"));
+        assert_eq!(cache.report().evictions, 1);
+    }
+
+    #[test]
+    fn oversized_entry_is_rejected_not_cached() {
+        let cache = SolveCache::new(1, 64);
+        cache.insert(0, "k".into(), "x".repeat(1024));
+        assert_eq!(cache.get(0, "k"), None);
+        let report = cache.report();
+        assert_eq!(report.rejected, 1);
+        assert_eq!(report.entries, 0);
+    }
+
+    #[test]
+    fn reinsert_replaces_without_double_accounting() {
+        let cache = SolveCache::new(1, 1 << 16);
+        cache.insert(0, "k".into(), "first".into());
+        cache.insert(0, "k".into(), "second".into());
+        let report = cache.report();
+        assert_eq!(report.entries, 1);
+        assert_eq!(cache.get(0, "k").as_deref(), Some("second"));
+        assert_eq!(
+            report.bytes as usize,
+            2 * "k".len() + "second".len() + ENTRY_OVERHEAD
+        );
+    }
+}

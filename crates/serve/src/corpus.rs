@@ -1,0 +1,86 @@
+//! Seeded request corpora for load generation.
+//!
+//! `rotsched bench-serve`, the `serve` arms of `perf_report`, and the
+//! CI smoke job all need the same thing: a deterministic mix of
+//! solvable problems whose responses are byte-reproducible, so client
+//! threads can assert byte-identity across arbitrary interleavings.
+//! One seed → one corpus, everywhere.
+
+use rotsched_benchmarks::{all_benchmarks, random_dfg, RandomDfgConfig, TimingModel};
+use rotsched_core::wire::render_problem;
+use rotsched_core::{Budget, ProblemSpec};
+use rotsched_dfg::rng::SplitMix64;
+use rotsched_sched::{PriorityPolicy, ResourceSet};
+
+/// Builds `unique` distinct problem documents (wire format, no verb
+/// line) deterministically from `seed`.
+///
+/// The mix: the five paper benchmarks first, then seeded random
+/// graphs, each under a seed-chosen resource allocation and priority
+/// policy. Every eighth problem carries a generous `max-rotations`
+/// budget — large enough that the search always completes, so its
+/// response stays byte-deterministic while still exercising the
+/// budget-carrying request path.
+#[must_use]
+pub fn seeded_corpus(seed: u64, unique: usize) -> Vec<String> {
+    let mut rng = SplitMix64::new(seed);
+    let timing = TimingModel::paper();
+    let bases = all_benchmarks(&timing);
+    let policies = [
+        PriorityPolicy::DescendantCount,
+        PriorityPolicy::PathHeight,
+        PriorityPolicy::Mobility,
+        PriorityPolicy::InputOrder,
+    ];
+    let mut out = Vec::with_capacity(unique);
+    for i in 0..unique {
+        let dfg = if i < bases.len() {
+            bases[i].1.clone()
+        } else {
+            let config = RandomDfgConfig {
+                nodes: 8 + rng.index(7),
+                ..RandomDfgConfig::default()
+            };
+            random_dfg(&config, rng.next_u64())
+        };
+        // At least one unit of each kind: every graph mixes additive
+        // and multiplicative operations.
+        let resources = ResourceSet::adders_multipliers(
+            1 + rng.range_u32(0, 2),
+            1 + rng.range_u32(0, 1),
+            rng.chance(0.25),
+        );
+        let mut spec =
+            ProblemSpec::new(dfg, resources).with_policy(policies[rng.index(policies.len())]);
+        if i % 8 == 7 {
+            spec = spec.with_budget(Budget::unlimited().with_max_rotations(1_000_000));
+        }
+        out.push(render_problem(&spec));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rotsched_core::wire::parse_problem;
+
+    #[test]
+    fn corpus_is_deterministic_distinct_and_parseable() {
+        let a = seeded_corpus(42, 24);
+        let b = seeded_corpus(42, 24);
+        assert_eq!(a, b);
+        for (i, doc) in a.iter().enumerate() {
+            let spec = parse_problem(doc).unwrap_or_else(|e| panic!("item {i}: {e}"));
+            spec.dfg
+                .validate()
+                .unwrap_or_else(|e| panic!("item {i}: {e}"));
+        }
+        for i in 0..a.len() {
+            for j in i + 1..a.len() {
+                assert_ne!(a[i], a[j], "items {i} and {j} collide");
+            }
+        }
+        assert_ne!(seeded_corpus(43, 24), a);
+    }
+}

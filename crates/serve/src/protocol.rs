@@ -1,0 +1,195 @@
+//! Wire framing and the client side of the serve protocol.
+//!
+//! Frames are length-prefixed text: an ASCII decimal payload length,
+//! one `\n`, then exactly that many payload bytes. The prefix keeps the
+//! protocol self-delimiting (payloads themselves are multi-line text),
+//! trivially parseable from any language, and bounded — a frame
+//! claiming more than [`MAX_FRAME_BYTES`] is rejected before any
+//! allocation.
+//!
+//! ```text
+//! 23\n
+//! solve\ndfg g\nnode a add 1\n
+//! ```
+//!
+//! Both directions use the same framing. A connection carries any
+//! number of request/response frame pairs in sequence; the server
+//! replies to frames in arrival order per connection.
+
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+
+/// Upper bound on a frame payload. Large enough for any realistic
+/// graph (a 10k-node problem renders well under 1 MiB), small enough
+/// that a hostile length prefix cannot balloon server memory.
+pub const MAX_FRAME_BYTES: usize = 4 << 20;
+
+/// Writes one frame: decimal length, `\n`, payload, then flushes.
+///
+/// # Errors
+///
+/// Propagates I/O errors from the underlying writer.
+pub fn write_frame<W: Write>(w: &mut W, payload: &[u8]) -> io::Result<()> {
+    if payload.len() > MAX_FRAME_BYTES {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            format!(
+                "frame of {} bytes exceeds the {MAX_FRAME_BYTES}-byte limit",
+                payload.len()
+            ),
+        ));
+    }
+    writeln!(w, "{}", payload.len())?;
+    w.write_all(payload)?;
+    w.flush()
+}
+
+/// Reads one frame. Returns `Ok(None)` on a clean end of stream (EOF
+/// before the first length byte); anything malformed — a non-numeric
+/// length, a length beyond [`MAX_FRAME_BYTES`], or EOF mid-payload —
+/// is an error.
+///
+/// # Errors
+///
+/// Propagates I/O errors and reports protocol violations as
+/// [`io::ErrorKind::InvalidData`].
+pub fn read_frame<R: BufRead>(r: &mut R) -> io::Result<Option<Vec<u8>>> {
+    let mut header = Vec::with_capacity(16);
+    // Read the length line byte by byte through the buffered reader:
+    // `read_line` would happily buffer an unbounded "length" line.
+    loop {
+        let mut byte = [0_u8; 1];
+        match r.read(&mut byte) {
+            Ok(0) => {
+                if header.is_empty() {
+                    return Ok(None);
+                }
+                return Err(invalid("eof inside frame header"));
+            }
+            Ok(_) => {
+                if byte[0] == b'\n' {
+                    break;
+                }
+                header.push(byte[0]);
+                if header.len() > 8 {
+                    return Err(invalid("frame header too long"));
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+    let text = core::str::from_utf8(&header).map_err(|_| invalid("non-ascii frame header"))?;
+    let len: usize = text
+        .trim()
+        .parse()
+        .map_err(|_| invalid("frame header is not a decimal length"))?;
+    if len > MAX_FRAME_BYTES {
+        return Err(invalid("frame exceeds the payload limit"));
+    }
+    let mut payload = vec![0_u8; len];
+    r.read_exact(&mut payload)
+        .map_err(|_| invalid("eof inside frame payload"))?;
+    Ok(Some(payload))
+}
+
+fn invalid(message: &str) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, message.to_owned())
+}
+
+/// A client connection: one TCP stream carrying framed request/response
+/// pairs.
+#[derive(Debug)]
+pub struct Connection {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Connection {
+    /// Connects to a serve endpoint.
+    ///
+    /// # Errors
+    ///
+    /// Propagates connection failures.
+    pub fn connect<A: ToSocketAddrs>(addr: A) -> io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        let reader = BufReader::new(stream.try_clone()?);
+        Ok(Connection {
+            reader,
+            writer: stream,
+        })
+    }
+
+    /// Sends one request payload and waits for its response payload.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O and framing errors; a server that closes the
+    /// connection instead of replying is reported as unexpected EOF.
+    pub fn call(&mut self, payload: &str) -> io::Result<String> {
+        write_frame(&mut self.writer, payload.as_bytes())?;
+        match read_frame(&mut self.reader)? {
+            Some(bytes) => {
+                String::from_utf8(bytes).map_err(|_| invalid("response payload is not utf-8"))
+            }
+            None => Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "connection closed before the response frame",
+            )),
+        }
+    }
+}
+
+/// One-shot convenience: connect, issue a single request, disconnect.
+///
+/// # Errors
+///
+/// See [`Connection::connect`] and [`Connection::call`].
+pub fn request<A: ToSocketAddrs>(addr: A, payload: &str) -> io::Result<String> {
+    Connection::connect(addr)?.call(payload)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn frames_roundtrip() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"hello\nworld").unwrap();
+        write_frame(&mut buf, b"").unwrap();
+        let mut r = Cursor::new(buf);
+        assert_eq!(read_frame(&mut r).unwrap().unwrap(), b"hello\nworld");
+        assert_eq!(read_frame(&mut r).unwrap().unwrap(), b"");
+        assert!(read_frame(&mut r).unwrap().is_none());
+    }
+
+    #[test]
+    fn oversized_length_is_rejected_before_allocation() {
+        let mut r = Cursor::new(b"99999999\nx".to_vec());
+        assert_eq!(
+            read_frame(&mut r).unwrap_err().kind(),
+            io::ErrorKind::InvalidData
+        );
+    }
+
+    #[test]
+    fn malformed_length_is_rejected() {
+        let mut r = Cursor::new(b"abc\n".to_vec());
+        assert_eq!(
+            read_frame(&mut r).unwrap_err().kind(),
+            io::ErrorKind::InvalidData
+        );
+    }
+
+    #[test]
+    fn truncated_payload_is_rejected() {
+        let mut r = Cursor::new(b"10\nshort".to_vec());
+        assert_eq!(
+            read_frame(&mut r).unwrap_err().kind(),
+            io::ErrorKind::InvalidData
+        );
+    }
+}

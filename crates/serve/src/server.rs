@@ -1,0 +1,185 @@
+//! The TCP shell around [`SolveService`]: a blocking accept loop, one
+//! thread per connection, framed request/response pairs, and a clean
+//! `shutdown`-verb teardown that wakes the acceptor and joins every
+//! connection thread before returning.
+
+use std::collections::HashMap;
+use std::io::{self, BufReader};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread;
+
+use crate::protocol::{read_frame, write_frame};
+use crate::service::{Handled, ServeConfig, SolveService};
+
+/// A bound-but-not-yet-running serve endpoint.
+#[derive(Debug)]
+pub struct Server {
+    listener: TcpListener,
+    service: Arc<SolveService>,
+    shutdown: Arc<AtomicBool>,
+}
+
+impl Server {
+    /// Binds a listener (use port 0 for an ephemeral port) and builds
+    /// the service behind it.
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind failures.
+    pub fn bind<A: ToSocketAddrs>(addr: A, config: ServeConfig) -> io::Result<Self> {
+        Ok(Server {
+            listener: TcpListener::bind(addr)?,
+            service: Arc::new(SolveService::new(config)),
+            shutdown: Arc::new(AtomicBool::new(false)),
+        })
+    }
+
+    /// The bound address — the source of truth when binding port 0.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the OS query failure.
+    pub fn local_addr(&self) -> io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// The service behind the listener, for in-process inspection
+    /// (tests and benchmarks read counters through this).
+    #[must_use]
+    pub fn service(&self) -> Arc<SolveService> {
+        Arc::clone(&self.service)
+    }
+
+    /// Runs the accept loop until a connection issues the `shutdown`
+    /// verb, then joins every connection thread and returns. Clients
+    /// still connected at shutdown have their sockets closed out from
+    /// under their parked reads — an idle connection must never stall
+    /// the teardown.
+    ///
+    /// # Errors
+    ///
+    /// Propagates accept failures (per-connection I/O errors only end
+    /// that connection).
+    pub fn run(self) -> io::Result<()> {
+        let addr = self.listener.local_addr()?;
+        let mut handles: Vec<thread::JoinHandle<()>> = Vec::new();
+        // Live connections by id, so shutdown can unblock handlers
+        // parked in `read_frame`. Handlers deregister themselves on
+        // exit, keeping the registry proportional to open connections.
+        let live: Arc<Mutex<HashMap<u64, TcpStream>>> = Arc::new(Mutex::new(HashMap::new()));
+        let mut next_id = 0_u64;
+        loop {
+            let (stream, _) = self.listener.accept()?;
+            if self.shutdown.load(Ordering::Acquire) {
+                // The wake-up connection from the shutting-down handler
+                // (or a late client); drop it and stop accepting.
+                drop(stream);
+                break;
+            }
+            handles.retain(|h| !h.is_finished());
+            let id = next_id;
+            next_id += 1;
+            if let (Ok(clone), Ok(mut map)) = (stream.try_clone(), live.lock()) {
+                map.insert(id, clone);
+            }
+            let service = Arc::clone(&self.service);
+            let shutdown = Arc::clone(&self.shutdown);
+            let live = Arc::clone(&live);
+            handles.push(thread::spawn(move || {
+                serve_connection(stream, &service, &shutdown, addr);
+                if let Ok(mut map) = live.lock() {
+                    map.remove(&id);
+                }
+            }));
+        }
+        // Kick every surviving connection out of its blocking read;
+        // the handlers then observe EOF/error and return.
+        if let Ok(mut map) = live.lock() {
+            for (_, stream) in map.drain() {
+                let _ = stream.shutdown(Shutdown::Both);
+            }
+        }
+        for handle in handles {
+            let _ = handle.join();
+        }
+        Ok(())
+    }
+}
+
+/// Serves framed request/response pairs on one connection until the
+/// peer disconnects, a framing error occurs, or a shutdown is issued.
+fn serve_connection(
+    stream: TcpStream,
+    service: &SolveService,
+    shutdown: &AtomicBool,
+    server_addr: SocketAddr,
+) {
+    let _ = stream.set_nodelay(true);
+    let Ok(mut writer) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = BufReader::new(stream);
+    loop {
+        // Clean EOF or a framing violation: either way this connection
+        // is done (there is no way to resynchronize a length-prefixed
+        // stream after a bad header).
+        let Ok(Some(payload)) = read_frame(&mut reader) else {
+            return;
+        };
+        let payload = String::from_utf8_lossy(&payload);
+        match service.handle(&payload) {
+            Handled::Reply(response) => {
+                if write_frame(&mut writer, response.as_bytes()).is_err() {
+                    return;
+                }
+            }
+            Handled::Shutdown(response) => {
+                let _ = write_frame(&mut writer, response.as_bytes());
+                shutdown.store(true, Ordering::Release);
+                // The acceptor is blocked in `accept`; poke it awake so
+                // it observes the flag and exits.
+                let _ = TcpStream::connect(server_addr);
+                return;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::{request, Connection};
+
+    const RING: &str = "solve\ndfg ring\nnode v0 add 1\nnode v1 add 1\nnode v2 add 1\nnode v3 add 1\nedge v0 v1 0\nedge v1 v2 0\nedge v2 v3 0\nedge v3 v0 2\n";
+
+    #[test]
+    fn end_to_end_solve_stats_and_shutdown() {
+        let server = Server::bind(("127.0.0.1", 0), ServeConfig::default()).unwrap();
+        let addr = server.local_addr().unwrap();
+        let service = server.service();
+        let running = thread::spawn(move || server.run());
+
+        let mut conn = Connection::connect(addr).unwrap();
+        assert!(conn.call("ping").unwrap().contains("\"status\": \"ok\""));
+        let cold = conn.call(RING).unwrap();
+        let warm = conn.call(RING).unwrap();
+        assert_eq!(cold, warm);
+        assert!(cold.contains("\"status\": \"ok\""), "{cold}");
+        let counters = service.counters();
+        assert_eq!(counters.solver_invocations, 1);
+        assert_eq!(counters.cache_hits, 1);
+        // A second connection sees the same cache.
+        assert_eq!(request(addr, RING).unwrap(), cold);
+
+        assert!(request(addr, "shutdown")
+            .unwrap()
+            .contains("\"status\": \"ok\""));
+        // `conn` deliberately stays open across the join: shutdown
+        // must close idle connections out from under their parked
+        // reads rather than wait for every client to hang up.
+        running.join().unwrap().unwrap();
+        drop(conn);
+    }
+}

@@ -1,0 +1,530 @@
+//! The solve service: the warm path assembled from the cache, the
+//! flight table, and the admission gauge. Usable fully in-process —
+//! the TCP layer in [`server`](crate::server) is a thin framing shell
+//! around [`SolveService::handle`].
+//!
+//! ## Request verbs
+//!
+//! The first line of a payload is the verb:
+//!
+//! * `solve` — the rest of the payload is a problem in the
+//!   [`rotsched_core::wire`] format; the response is the solve JSON.
+//! * `stats` — counter and cache snapshot (diagnostic; load-dependent).
+//! * `ping` — liveness check.
+//! * `shutdown` — acknowledge, then stop the server.
+//!
+//! ## Determinism
+//!
+//! Responses to `solve` are byte-identical for a given request payload
+//! regardless of thread count, cache state, or arrival order:
+//!
+//! * Only *completed* outcomes — no budget limit fired, no worker
+//!   panicked — enter the cache. A completed-under-budget search is
+//!   bit-identical to the unlimited search of the same problem, so a
+//!   cached response is exactly what a fresh solve would produce.
+//! * Unlimited requests use the full warm path (cache lookup →
+//!   single-flight → insert).
+//! * Requests with only a rotation budget bypass the cache *lookup*:
+//!   their deterministic truncated response must never be shadowed by
+//!   a canonical cached answer. Their outcome is still inserted when
+//!   the budget never fired (then it *is* the canonical answer).
+//! * Requests with a deadline are inherently time-dependent (the same
+//!   contract as the CLI's `--deadline-ms`): they get admission
+//!   control and, when admitted, the cache lookup plus a solo solve.
+//!   A `shed` response is a fixed byte string carrying no load data.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use rotsched_core::wire::{cache_key_text, fingerprint_text, parse_problem};
+use rotsched_core::{ProblemSpec, RotationScheduler, SolveOutcome, SolveQuality};
+
+use crate::admission::AdmissionGauge;
+use crate::cache::{CacheReport, SolveCache};
+use crate::flight::{FlightOutcome, FlightTable, FlightTicket};
+
+/// Schema tag carried by every response.
+pub const RESPONSE_SCHEMA: &str = "rotsched-serve-v1";
+
+/// Tuning knobs for a [`SolveService`].
+#[derive(Clone, Copy, Debug)]
+pub struct ServeConfig {
+    /// Total cache byte budget across all shards.
+    pub cache_bytes: usize,
+    /// Cache shard count (rounded up to a power of two).
+    pub shards: usize,
+    /// EWMA seed for the per-solve cost estimate, in nanoseconds
+    /// (0 = the admission module's default assumption).
+    pub assumed_solve_ns: u64,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            cache_bytes: 8 << 20,
+            shards: 8,
+            assumed_solve_ns: 0,
+        }
+    }
+}
+
+/// Monotone event counters, readable while the service runs.
+#[derive(Debug, Default)]
+pub struct ServeCounters {
+    requests: AtomicU64,
+    parse_errors: AtomicU64,
+    solve_errors: AtomicU64,
+    solver_invocations: AtomicU64,
+    cache_hits: AtomicU64,
+    cache_misses: AtomicU64,
+    coalesced: AtomicU64,
+    shed: AtomicU64,
+}
+
+/// A point-in-time copy of [`ServeCounters`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CounterSnapshot {
+    /// Payloads handled (all verbs).
+    pub requests: u64,
+    /// Solve payloads rejected by the wire parser.
+    pub parse_errors: u64,
+    /// Solver or expansion failures (including abandoned flights).
+    pub solve_errors: u64,
+    /// Times the solver actually ran. The warm-hit and coalesced
+    /// paths never increment this — the perf gates assert on it.
+    pub solver_invocations: u64,
+    /// Responses served straight from the cache.
+    pub cache_hits: u64,
+    /// Cache probes that found nothing.
+    pub cache_misses: u64,
+    /// Requests that received another request's in-flight result.
+    pub coalesced: u64,
+    /// Deadline requests refused by admission control.
+    pub shed: u64,
+}
+
+impl ServeCounters {
+    fn bump(counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Copies the current counter values.
+    #[must_use]
+    pub fn snapshot(&self) -> CounterSnapshot {
+        CounterSnapshot {
+            requests: self.requests.load(Ordering::Relaxed),
+            parse_errors: self.parse_errors.load(Ordering::Relaxed),
+            solve_errors: self.solve_errors.load(Ordering::Relaxed),
+            solver_invocations: self.solver_invocations.load(Ordering::Relaxed),
+            cache_hits: self.cache_hits.load(Ordering::Relaxed),
+            cache_misses: self.cache_misses.load(Ordering::Relaxed),
+            coalesced: self.coalesced.load(Ordering::Relaxed),
+            shed: self.shed.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// What the transport should do with a handled payload.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Handled {
+    /// Send the response and keep serving.
+    Reply(String),
+    /// Send the response, then stop accepting connections.
+    Shutdown(String),
+}
+
+impl Handled {
+    /// The response payload regardless of the transport directive.
+    #[must_use]
+    pub fn response(&self) -> &str {
+        match self {
+            Handled::Reply(r) | Handled::Shutdown(r) => r,
+        }
+    }
+}
+
+/// The warm-path solve service. Thread-safe: wrap it in an [`Arc`] and
+/// call [`SolveService::handle`] from any number of threads.
+#[derive(Debug)]
+pub struct SolveService {
+    cache: SolveCache,
+    flights: Arc<FlightTable>,
+    gauge: Arc<AdmissionGauge>,
+    counters: ServeCounters,
+}
+
+impl SolveService {
+    /// Builds a service from its tuning knobs.
+    #[must_use]
+    pub fn new(config: ServeConfig) -> Self {
+        SolveService {
+            cache: SolveCache::new(config.shards, config.cache_bytes),
+            flights: Arc::new(FlightTable::new()),
+            gauge: Arc::new(AdmissionGauge::new(config.assumed_solve_ns)),
+            counters: ServeCounters::default(),
+        }
+    }
+
+    /// The live counters.
+    #[must_use]
+    pub fn counters(&self) -> CounterSnapshot {
+        self.counters.snapshot()
+    }
+
+    /// The live cache summary.
+    #[must_use]
+    pub fn cache_report(&self) -> CacheReport {
+        self.cache.report()
+    }
+
+    /// Handles one request payload and produces the response payload
+    /// plus the transport directive.
+    #[must_use]
+    pub fn handle(&self, payload: &str) -> Handled {
+        ServeCounters::bump(&self.counters.requests);
+        let (verb, rest) = match payload.split_once('\n') {
+            Some((first, rest)) => (first.trim(), rest),
+            None => (payload.trim(), ""),
+        };
+        match verb {
+            "solve" => Handled::Reply(self.solve(rest)),
+            "stats" => Handled::Reply(self.stats()),
+            "ping" => Handled::Reply(ok_response()),
+            "shutdown" => Handled::Shutdown(ok_response()),
+            other => Handled::Reply(error_response(&format!("unknown verb `{other}`"))),
+        }
+    }
+
+    fn solve(&self, problem: &str) -> String {
+        let spec = match parse_problem(problem) {
+            Ok(spec) => spec,
+            Err(e) => {
+                ServeCounters::bump(&self.counters.parse_errors);
+                return error_response(&format!("{e}"));
+            }
+        };
+        let key = cache_key_text(&spec);
+        let fingerprint = fingerprint_text(&key);
+
+        if let Some(deadline) = spec.budget.deadline() {
+            // Deadline requests: a warm hit beats any deadline, so probe
+            // the cache before deciding to shed.
+            if let Some(hit) = self.cache.get(fingerprint, &key) {
+                ServeCounters::bump(&self.counters.cache_hits);
+                return hit;
+            }
+            ServeCounters::bump(&self.counters.cache_misses);
+            let deadline_ns = u64::try_from(deadline.as_nanos()).unwrap_or(u64::MAX);
+            if !self.gauge.admit(deadline_ns) {
+                ServeCounters::bump(&self.counters.shed);
+                return shed_response();
+            }
+            return self.run_solver(&spec, fingerprint, &key);
+        }
+
+        if spec.budget.max_rotations().is_some() {
+            // Rotation-budget requests: deterministic *truncation* is
+            // the contract, so the cache lookup is skipped — a cached
+            // canonical answer must not shadow the truncated one. The
+            // solve still feeds the cache when the budget never fires.
+            return self.run_solver(&spec, fingerprint, &key);
+        }
+
+        // Unlimited requests: the full warm path.
+        if let Some(hit) = self.cache.get(fingerprint, &key) {
+            ServeCounters::bump(&self.counters.cache_hits);
+            return hit;
+        }
+        match self.flights.join(&key) {
+            FlightTicket::Followed(FlightOutcome::Response(response)) => {
+                ServeCounters::bump(&self.counters.coalesced);
+                response
+            }
+            FlightTicket::Followed(FlightOutcome::Abandoned) => {
+                ServeCounters::bump(&self.counters.solve_errors);
+                error_response("coalesced solve was abandoned")
+            }
+            FlightTicket::Lead(leader) => {
+                // Double-checked: a previous leader may have inserted
+                // and retired between our lookup miss and our join —
+                // solving again would break exactly-one-solve-per-key.
+                if let Some(hit) = self.cache.get(fingerprint, &key) {
+                    ServeCounters::bump(&self.counters.cache_hits);
+                    leader.publish(hit.clone());
+                    return hit;
+                }
+                let response = self.run_solver(&spec, fingerprint, &key);
+                // Insert (done inside run_solver) strictly precedes
+                // publish-and-retire, so no later request can miss both
+                // the cache and the flight.
+                leader.publish(response.clone());
+                response
+            }
+        }
+    }
+
+    /// Invokes the real solver — the only call site — and caches the
+    /// response when the outcome is completed (no budget stop, no
+    /// panicked worker).
+    fn run_solver(&self, spec: &ProblemSpec, fingerprint: u64, key: &str) -> String {
+        ServeCounters::bump(&self.counters.solver_invocations);
+        if spec.budget.deadline().is_none() && spec.budget.max_rotations().is_none() {
+            ServeCounters::bump(&self.counters.cache_misses);
+        }
+        let permit = self.gauge.start_solve();
+        let scheduler = RotationScheduler::new(&spec.dfg, spec.resources.clone())
+            .with_policy(spec.policy)
+            .with_config(spec.config)
+            .with_budget(spec.budget.clone());
+        let rendered = scheduler.solve().and_then(|solved| {
+            let kernel = scheduler.loop_schedule(&solved.state)?;
+            Ok(render_solved(spec, &solved, &kernel))
+        });
+        drop(permit);
+        match rendered {
+            Ok((response, completed)) => {
+                if completed {
+                    self.cache
+                        .insert(fingerprint, key.to_owned(), response.clone());
+                }
+                response
+            }
+            Err(e) => {
+                ServeCounters::bump(&self.counters.solve_errors);
+                error_response(&format!("{e}"))
+            }
+        }
+    }
+
+    fn stats(&self) -> String {
+        let c = self.counters.snapshot();
+        let cache = self.cache.report();
+        let mut out = String::with_capacity(512);
+        out.push_str("{\"schema\": \"");
+        out.push_str(RESPONSE_SCHEMA);
+        out.push_str("\", \"status\": \"ok\"");
+        for (name, value) in [
+            ("requests", c.requests),
+            ("parse_errors", c.parse_errors),
+            ("solve_errors", c.solve_errors),
+            ("solver_invocations", c.solver_invocations),
+            ("cache_hits", c.cache_hits),
+            ("cache_misses", c.cache_misses),
+            ("coalesced", c.coalesced),
+            ("shed", c.shed),
+            ("cache_entries", cache.entries),
+            ("cache_bytes", cache.bytes),
+            ("cache_insertions", cache.insertions),
+            ("cache_evictions", cache.evictions),
+            ("cache_rejected", cache.rejected),
+            ("in_flight", self.gauge.in_flight()),
+            ("estimate_ns", self.gauge.estimate_ns()),
+        ] {
+            out.push_str(", \"");
+            out.push_str(name);
+            out.push_str("\": ");
+            out.push_str(&value.to_string());
+        }
+        out.push('}');
+        out
+    }
+}
+
+/// Maps a solve quality to the wire status and the load generator's
+/// exit code contribution. `shed` and `error` statuses exist only at
+/// the serve layer and have no [`SolveQuality`].
+#[must_use]
+pub fn quality_status(quality: SolveQuality) -> &'static str {
+    match quality {
+        SolveQuality::Optimal | SolveQuality::Complete => "ok",
+        SolveQuality::BudgetExhausted => "budget-exhausted",
+        SolveQuality::Degraded => "degraded",
+        // Non-exhaustive upstream: a new verdict must get an explicit
+        // status rather than silently reading as a success.
+        _ => unimplemented!("quality without a wire status"),
+    }
+}
+
+fn json_escape(out: &mut String, s: &str) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+fn ok_response() -> String {
+    format!("{{\"schema\": \"{RESPONSE_SCHEMA}\", \"status\": \"ok\"}}")
+}
+
+fn shed_response() -> String {
+    // Fixed bytes by design: a shed response must not leak
+    // load-dependent data into an otherwise deterministic protocol.
+    format!("{{\"schema\": \"{RESPONSE_SCHEMA}\", \"status\": \"shed\"}}")
+}
+
+fn error_response(message: &str) -> String {
+    let mut out = String::with_capacity(64 + message.len());
+    out.push_str("{\"schema\": \"");
+    out.push_str(RESPONSE_SCHEMA);
+    out.push_str("\", \"status\": \"error\", \"message\": \"");
+    json_escape(&mut out, message);
+    out.push_str("\"}");
+    out
+}
+
+/// Renders the solve response; the boolean is "completed" — cacheable.
+fn render_solved(
+    spec: &ProblemSpec,
+    solved: &SolveOutcome,
+    kernel: &rotsched_sched::LoopSchedule,
+) -> (String, bool) {
+    let completed = solved.stats.stopped.is_none() && solved.stats.panicked_tasks == 0;
+    let mut out = String::with_capacity(256 + 32 * spec.dfg.node_count());
+    out.push_str("{\"schema\": \"");
+    out.push_str(RESPONSE_SCHEMA);
+    out.push_str("\", \"status\": \"");
+    out.push_str(quality_status(solved.quality));
+    out.push_str("\", \"quality\": \"");
+    out.push_str(&solved.quality.to_string());
+    out.push_str("\", \"length\": ");
+    out.push_str(&solved.length.to_string());
+    out.push_str(", \"depth\": ");
+    out.push_str(&solved.depth.to_string());
+    out.push_str(", \"lower_bound\": ");
+    out.push_str(&solved.stats.lower_bound.to_string());
+    out.push_str(", \"rotations\": ");
+    out.push_str(&solved.stats.total_rotations.to_string());
+    out.push_str(", \"kernel\": {");
+    let mut first = true;
+    for (id, node) in spec.dfg.nodes() {
+        if let Some(start) = kernel.schedule().start(id) {
+            if !first {
+                out.push_str(", ");
+            }
+            first = false;
+            out.push('"');
+            json_escape(&mut out, node.name());
+            out.push_str("\": ");
+            out.push_str(&start.to_string());
+        }
+    }
+    out.push_str("}, \"retiming\": {");
+    let mut first = true;
+    for (id, node) in spec.dfg.nodes() {
+        if !first {
+            out.push_str(", ");
+        }
+        first = false;
+        out.push('"');
+        json_escape(&mut out, node.name());
+        out.push_str("\": ");
+        out.push_str(&kernel.retiming().of(id).to_string());
+    }
+    out.push_str("}}");
+    (out, completed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const RING: &str = "dfg ring\nnode v0 add 1\nnode v1 add 1\nnode v2 add 1\nnode v3 add 1\nedge v0 v1 0\nedge v1 v2 0\nedge v2 v3 0\nedge v3 v0 2\n";
+
+    fn solve_payload(extra: &str) -> String {
+        format!("solve\n{RING}{extra}")
+    }
+
+    #[test]
+    fn warm_hit_skips_the_solver_and_repeats_bytes() {
+        let service = SolveService::new(ServeConfig::default());
+        let cold = service.handle(&solve_payload("")).response().to_owned();
+        assert!(cold.contains("\"status\": \"ok\""), "{cold}");
+        let warm = service.handle(&solve_payload("")).response().to_owned();
+        assert_eq!(cold, warm);
+        let c = service.counters();
+        assert_eq!(c.solver_invocations, 1);
+        assert_eq!(c.cache_hits, 1);
+        assert_eq!(c.cache_misses, 1);
+    }
+
+    #[test]
+    fn rotation_budget_requests_bypass_the_cache_lookup() {
+        let service = SolveService::new(ServeConfig::default());
+        // Warm the cache with the canonical answer.
+        let _ = service.handle(&solve_payload(""));
+        // A 0-rotation budget must yield its own truncated solve, not
+        // the cached canonical response.
+        let truncated = service
+            .handle(&solve_payload("budget max-rotations 0\n"))
+            .response()
+            .to_owned();
+        assert!(
+            truncated.contains("\"status\": \"budget-exhausted\""),
+            "{truncated}"
+        );
+        assert_eq!(service.counters().solver_invocations, 2);
+        // And it must not have poisoned the cache for unlimited requests.
+        let warm = service.handle(&solve_payload("")).response().to_owned();
+        assert!(warm.contains("\"status\": \"ok\""), "{warm}");
+        assert_eq!(service.counters().solver_invocations, 2);
+    }
+
+    #[test]
+    fn impossible_deadline_is_shed_with_fixed_bytes() {
+        let service = SolveService::new(ServeConfig::default());
+        let shed = service
+            .handle(&solve_payload("budget deadline-ns 1\n"))
+            .response()
+            .to_owned();
+        assert_eq!(
+            shed,
+            format!("{{\"schema\": \"{RESPONSE_SCHEMA}\", \"status\": \"shed\"}}")
+        );
+        let c = service.counters();
+        assert_eq!(c.shed, 1);
+        assert_eq!(c.solver_invocations, 0);
+    }
+
+    #[test]
+    fn deadline_requests_prefer_a_warm_hit_over_shedding() {
+        let service = SolveService::new(ServeConfig::default());
+        let canonical = service.handle(&solve_payload("")).response().to_owned();
+        // Same problem, impossible deadline: the cached answer wins.
+        let warm = service
+            .handle(&solve_payload("budget deadline-ns 1\n"))
+            .response()
+            .to_owned();
+        assert_eq!(warm, canonical);
+        let c = service.counters();
+        assert_eq!(c.shed, 0);
+        assert_eq!(c.cache_hits, 1);
+    }
+
+    #[test]
+    fn parse_errors_and_unknown_verbs_report_cleanly() {
+        let service = SolveService::new(ServeConfig::default());
+        let bad = service.handle("solve\nnot a graph\n").response().to_owned();
+        assert!(bad.contains("\"status\": \"error\""), "{bad}");
+        assert_eq!(service.counters().parse_errors, 1);
+        let unknown = service.handle("frobnicate").response().to_owned();
+        assert!(unknown.contains("unknown verb"), "{unknown}");
+    }
+
+    #[test]
+    fn verbs_ping_stats_shutdown() {
+        let service = SolveService::new(ServeConfig::default());
+        assert_eq!(service.handle("ping"), Handled::Reply(ok_response()));
+        let stats = service.handle("stats").response().to_owned();
+        assert!(stats.contains("\"requests\": 2"), "{stats}");
+        assert!(matches!(service.handle("shutdown"), Handled::Shutdown(_)));
+    }
+}

@@ -1,0 +1,167 @@
+//! Concurrency and memory-pressure contracts of the warm-path solve
+//! service, exercised through the public in-process API:
+//!
+//! * N threads hammering a mixed key set must read byte-identical
+//!   responses per key, and the solver must run exactly once per
+//!   unique problem — never once per request.
+//! * A cache squeezed far below the working set must evict, and every
+//!   post-eviction re-solve must still produce the bytes a fresh
+//!   service produces (eviction changes cost, never answers).
+
+use std::sync::{Arc, Barrier};
+use std::thread;
+
+use rotsched_serve::{seeded_corpus, ServeConfig, SolveService};
+
+/// A corpus slice with no budget directives, so every request takes
+/// the full warm path (lookup → single-flight → insert).
+fn solve_payloads(unique: usize) -> Vec<String> {
+    seeded_corpus(23, unique)
+        .into_iter()
+        .map(|doc| format!("solve\n{doc}"))
+        .collect()
+}
+
+/// Reference responses from a throwaway service, one per payload.
+fn reference_responses(payloads: &[String]) -> Vec<String> {
+    let service = SolveService::new(ServeConfig::default());
+    payloads
+        .iter()
+        .map(|p| service.handle(p).response().to_owned())
+        .collect()
+}
+
+#[test]
+fn concurrent_mixed_load_is_byte_identical_and_solves_each_key_once() {
+    const THREADS: usize = 8;
+    const ROUNDS: usize = 6;
+    let payloads = Arc::new(solve_payloads(6));
+    let reference = Arc::new(reference_responses(&payloads));
+    let service = Arc::new(SolveService::new(ServeConfig::default()));
+    let barrier = Arc::new(Barrier::new(THREADS));
+
+    let workers: Vec<_> = (0..THREADS)
+        .map(|t| {
+            let payloads = Arc::clone(&payloads);
+            let reference = Arc::clone(&reference);
+            let service = Arc::clone(&service);
+            let barrier = Arc::clone(&barrier);
+            thread::spawn(move || {
+                barrier.wait();
+                for round in 0..ROUNDS {
+                    // Every thread walks the key set from a different
+                    // offset, so first-arrival order varies per key and
+                    // threads race leader/follower/hit roles.
+                    for k in 0..payloads.len() {
+                        let i = (t + round + k) % payloads.len();
+                        let handled = service.handle(&payloads[i]);
+                        assert_eq!(
+                            handled.response(),
+                            reference[i],
+                            "thread {t} round {round} key {i}: response diverged"
+                        );
+                    }
+                }
+            })
+        })
+        .collect();
+    for worker in workers {
+        worker.join().expect("worker panicked");
+    }
+
+    let counters = service.counters();
+    assert_eq!(
+        counters.solver_invocations,
+        payloads.len() as u64,
+        "each unique problem must be solved exactly once \
+         (counters: {counters:?})"
+    );
+    assert_eq!(
+        counters.requests,
+        (THREADS * ROUNDS * payloads.len()) as u64
+    );
+    // Everything past the first solve per key was served warm.
+    assert_eq!(
+        counters.cache_hits + counters.coalesced + counters.solver_invocations,
+        counters.requests,
+        "every request must resolve as a hit, a coalesced follower, or \
+         the one solve (counters: {counters:?})"
+    );
+}
+
+#[test]
+fn eviction_under_pressure_keeps_answers_identical_to_a_fresh_service() {
+    let payloads = solve_payloads(10);
+    let reference = reference_responses(&payloads);
+    // A budget far below the working set: an entry costs roughly the
+    // problem text twice over plus the response (1-2 KiB here), so
+    // 8 KiB holds a handful of the ten problems at a time.
+    let service = SolveService::new(ServeConfig {
+        cache_bytes: 8 << 10,
+        shards: 1,
+        ..ServeConfig::default()
+    });
+
+    // Two sequential passes: the second re-requests keys the first
+    // pass has since evicted, forcing re-solves through the same path.
+    for pass in 0..2 {
+        for (i, payload) in payloads.iter().enumerate() {
+            assert_eq!(
+                service.handle(payload).response(),
+                reference[i],
+                "pass {pass} key {i}: post-eviction response diverged"
+            );
+        }
+    }
+
+    let report = service.cache_report();
+    assert!(
+        report.evictions > 0,
+        "a {}-byte budget must evict under a {}-problem working set \
+         (report: {report:?})",
+        8 << 10,
+        payloads.len()
+    );
+    assert!(
+        report.bytes <= 8 << 10,
+        "cache exceeded its byte budget: {report:?}"
+    );
+    let counters = service.counters();
+    assert!(
+        counters.solver_invocations > payloads.len() as u64,
+        "evicted keys must re-solve on return (counters: {counters:?})"
+    );
+    assert_eq!(
+        counters.cache_hits + counters.solver_invocations,
+        counters.requests,
+        "single-threaded requests are either hits or solves \
+         (counters: {counters:?})"
+    );
+}
+
+#[test]
+fn cache_disabled_service_still_answers_identically() {
+    // cache_bytes 0 rejects every insert: all requests solve, and the
+    // responses still match a cached service byte for byte.
+    let payloads = solve_payloads(3);
+    let reference = reference_responses(&payloads);
+    let service = SolveService::new(ServeConfig {
+        cache_bytes: 0,
+        ..ServeConfig::default()
+    });
+    for pass in 0..2 {
+        for (i, payload) in payloads.iter().enumerate() {
+            assert_eq!(
+                service.handle(payload).response(),
+                reference[i],
+                "pass {pass} key {i}"
+            );
+        }
+    }
+    let counters = service.counters();
+    assert_eq!(
+        counters.solver_invocations,
+        2 * payloads.len() as u64,
+        "with no cache every request must solve (counters: {counters:?})"
+    );
+}

@@ -9,6 +9,9 @@
 //!                              [--jobs N] [--deadline-ms N] [--max-rotations N]
 //!                              [--certify] [--trace[=json]] [--format text|json]
 //! rotsched compare  <file.dfg> [--adders N] [--mults N] [--pipelined]
+//! rotsched serve    [--port N] [--cache-bytes N] [--shards N]
+//! rotsched bench-serve --addr HOST:PORT [--clients N] [--requests N]
+//!                      [--unique N] [--seed N] [--shutdown]
 //! ```
 //!
 //! `lint` runs the independent static-analysis passes of
@@ -27,6 +30,17 @@
 //! certifying verifier (which shares no scheduling code with the
 //! solver) and prints the certificate; `--format json` emits
 //! machine-readable diagnostics and certificates.
+//!
+//! `serve` starts the warm-path solve service of `rotsched::serve` on
+//! `127.0.0.1` (`--port 0`, the default, binds an ephemeral port; the
+//! chosen address is printed as `listening on HOST:PORT`). Clients
+//! speak the length-prefixed text protocol: a `solve` payload carries
+//! a problem in the `rotsched::core::wire` format and gets back
+//! byte-stable JSON. `bench-serve` is the matching seeded closed-loop
+//! load generator: it replays a deterministic request mix from
+//! `--clients` connections, asserts byte-identical responses per
+//! unique problem across all interleavings, and reports throughput
+//! and the server's cache/coalescing counters.
 //!
 //! `--trace` records the search engine's event stream (rotations
 //! tried, cache hits, prunes, best-length trajectory) and prints a
@@ -57,8 +71,10 @@ use rotsched::baselines::{
     dag_only, lower_bound, modulo_schedule, retime_then_schedule, unfold_and_schedule, ModuloConfig,
 };
 use rotsched::dfg::analysis;
+use rotsched::dfg::rng::{Fnv64, SplitMix64};
 use rotsched::dfg::text;
 use rotsched::sched::{verify_spec, verify_starts};
+use rotsched::serve::{seeded_corpus, Connection, ServeConfig, Server};
 use rotsched::verify::{
     certify_claim, has_errors, lint, render_json_array, Claim, LintContext, LintOptions,
 };
@@ -106,7 +122,10 @@ fn usage() -> ExitCode {
         "usage: rotsched <analyze|lint|solve|compare> <file.dfg> \
          [--adders N] [--mults N] [--pipelined] [--verify N] [--expand N] [--dot] [--jobs N] \
          [--deadline-ms N] [--max-rotations N] [--certify] [--trace[=json]] \
-         [--format text|json]"
+         [--format text|json]\n\
+         \x20      rotsched serve [--port N] [--cache-bytes N] [--shards N]\n\
+         \x20      rotsched bench-serve --addr HOST:PORT [--clients N] [--requests N] \
+         [--unique N] [--seed N] [--shutdown]"
     );
     ExitCode::from(2)
 }
@@ -130,6 +149,13 @@ fn parse_arg<T: std::str::FromStr>(it: &mut std::slice::Iter<'_, String>, name: 
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    // The serving commands take no input file; dispatch them before
+    // the file-based commands.
+    match args.first().map(String::as_str) {
+        Some("serve") => return serve_command(&args[1..]),
+        Some("bench-serve") => return bench_serve_command(&args[1..]),
+        _ => {}
+    }
     let (Some(command), Some(path)) = (args.first(), args.get(1)) else {
         return usage();
     };
@@ -439,4 +465,206 @@ fn compare(graph: &Dfg, opts: &Options) -> Result<(), Box<dyn std::error::Error>
             .length
     );
     Ok(())
+}
+
+/// `rotsched serve`: run the warm-path solve service until a client
+/// issues the `shutdown` verb.
+fn serve_command(args: &[String]) -> ExitCode {
+    let mut port: u16 = 0;
+    let mut config = ServeConfig::default();
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--port" => match parse_arg(&mut it, "--port") {
+                Some(v) => port = v,
+                None => return usage(),
+            },
+            "--cache-bytes" => match parse_arg(&mut it, "--cache-bytes") {
+                Some(v) => config.cache_bytes = v,
+                None => return usage(),
+            },
+            "--shards" => match parse_arg(&mut it, "--shards") {
+                Some(v) => config.shards = v,
+                None => return usage(),
+            },
+            other => {
+                eprintln!("error: unknown flag {other}");
+                return usage();
+            }
+        }
+    }
+    let server = match Server::bind(("127.0.0.1", port), config) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: cannot bind 127.0.0.1:{port}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match server.local_addr() {
+        Ok(addr) => println!("listening on {addr}"),
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    match server.run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// `rotsched bench-serve`: seeded closed-loop load generator against a
+/// running `rotsched serve`, asserting byte-identical responses per
+/// unique problem across all client interleavings.
+fn bench_serve_command(args: &[String]) -> ExitCode {
+    let mut addr: Option<String> = None;
+    let mut clients: usize = 4;
+    let mut requests: usize = 64;
+    let mut unique: usize = 24;
+    let mut seed: u64 = 0x00C0_FFEE;
+    let mut shutdown = false;
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--addr" => match it.next() {
+                Some(v) => addr = Some(v.clone()),
+                None => {
+                    eprintln!("error: --addr needs a HOST:PORT argument");
+                    return usage();
+                }
+            },
+            "--clients" => match parse_arg::<usize>(&mut it, "--clients") {
+                Some(v) => clients = v.max(1),
+                None => return usage(),
+            },
+            "--requests" => match parse_arg::<usize>(&mut it, "--requests") {
+                Some(v) => requests = v.max(1),
+                None => return usage(),
+            },
+            "--unique" => match parse_arg::<usize>(&mut it, "--unique") {
+                Some(v) => unique = v.max(1),
+                None => return usage(),
+            },
+            "--seed" => match parse_arg(&mut it, "--seed") {
+                Some(v) => seed = v,
+                None => return usage(),
+            },
+            "--shutdown" => shutdown = true,
+            other => {
+                eprintln!("error: unknown flag {other}");
+                return usage();
+            }
+        }
+    }
+    let Some(addr) = addr else {
+        eprintln!("error: bench-serve needs --addr HOST:PORT");
+        return usage();
+    };
+
+    let payloads: Vec<String> = seeded_corpus(seed, unique)
+        .into_iter()
+        .map(|doc| format!("solve\n{doc}"))
+        .collect();
+    let payloads = std::sync::Arc::new(payloads);
+
+    let started = std::time::Instant::now();
+    let mut workers = Vec::with_capacity(clients);
+    for worker in 0..clients {
+        let payloads = std::sync::Arc::clone(&payloads);
+        let addr = addr.clone();
+        workers.push(std::thread::spawn(
+            move || -> std::io::Result<Vec<Option<String>>> {
+                let mut rng = SplitMix64::new(seed ^ (0x9E37 + worker as u64));
+                let mut conn = Connection::connect(addr.as_str())?;
+                // First response seen per unique problem, compared
+                // against every repeat on this connection.
+                let mut first: Vec<Option<String>> = vec![None; payloads.len()];
+                for _ in 0..requests {
+                    let idx = rng.index(payloads.len());
+                    let response = conn.call(&payloads[idx])?;
+                    match &first[idx] {
+                        None => first[idx] = Some(response),
+                        Some(prior) if *prior != response => {
+                            return Err(std::io::Error::new(
+                                std::io::ErrorKind::InvalidData,
+                                format!("problem {idx}: response bytes changed between repeats"),
+                            ));
+                        }
+                        Some(_) => {}
+                    }
+                }
+                Ok(first)
+            },
+        ));
+    }
+
+    let mut canonical: Vec<Option<String>> = vec![None; payloads.len()];
+    let mut mismatches = 0_usize;
+    for (worker, handle) in workers.into_iter().enumerate() {
+        let first = match handle.join() {
+            Ok(Ok(first)) => first,
+            Ok(Err(e)) => {
+                eprintln!("error: client {worker}: {e}");
+                return ExitCode::FAILURE;
+            }
+            Err(_) => {
+                eprintln!("error: client {worker} panicked");
+                return ExitCode::FAILURE;
+            }
+        };
+        for (idx, response) in first.into_iter().enumerate() {
+            let Some(response) = response else { continue };
+            match &canonical[idx] {
+                None => canonical[idx] = Some(response),
+                Some(prior) if *prior != response => {
+                    eprintln!("determinism: MISMATCH on problem {idx} (client {worker})");
+                    mismatches += 1;
+                }
+                Some(_) => {}
+            }
+        }
+    }
+    let elapsed = started.elapsed();
+
+    let total = clients * requests;
+    println!(
+        "bench-serve: {total} requests from {clients} clients over {} unique problems in {:.3}s \
+         ({:.0} req/s)",
+        payloads.len(),
+        elapsed.as_secs_f64(),
+        total as f64 / elapsed.as_secs_f64().max(1e-9),
+    );
+    let mut hasher = Fnv64::new();
+    for response in canonical.iter().flatten() {
+        for b in response.bytes() {
+            hasher.write_u8(b);
+        }
+        hasher.write_u8(0);
+    }
+    println!("responses fingerprint: {:#018x}", hasher.finish());
+    match rotsched::serve::request(addr.as_str(), "stats") {
+        Ok(stats) => println!("server stats: {stats}"),
+        Err(e) => {
+            eprintln!("error: stats query failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    if shutdown {
+        match rotsched::serve::request(addr.as_str(), "shutdown") {
+            Ok(_) => println!("server shutdown requested"),
+            Err(e) => {
+                eprintln!("error: shutdown failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    if mismatches > 0 {
+        eprintln!("determinism: FAILED ({mismatches} problems with divergent responses)");
+        return ExitCode::FAILURE;
+    }
+    println!("determinism: ok");
+    ExitCode::SUCCESS
 }

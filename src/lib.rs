@@ -27,6 +27,9 @@
 //!   with stable diagnostic codes, and a certifying verifier that
 //!   re-checks retimings, wrapped kernels, and pipeline expansions
 //!   while sharing no scheduling code with the solver.
+//! * [`serve`] — the warm-path solve service: a sharded fingerprint
+//!   cache, single-flight coalescing, deadline admission control, and
+//!   a length-prefixed TCP protocol (`rotsched serve`).
 //! * [`benchmarks`] — the five DSP benchmarks of Table 1 and random DFG
 //!   generators.
 //!
@@ -65,6 +68,7 @@ pub use rotsched_baselines as baselines;
 pub use rotsched_core as core;
 pub use rotsched_dfg as dfg;
 pub use rotsched_sched as sched;
+pub use rotsched_serve as serve;
 pub use rotsched_verify as verify;
 
 /// The benchmark suite (re-exported crate).
