@@ -20,8 +20,12 @@
 //!                     gate the serve layer (warm hits ≥50x faster
 //!                     than cold at p50 with zero solver invocations,
 //!                     identical bursts collapsing to one solve,
-//!                     byte-identical responses throughout); exit
-//!                     non-zero on any regression. No report written.
+//!                     byte-identical responses throughout), and hold
+//!                     the fault-injection plane's `NoopFaults`
+//!                     default to at most a 2% warm-path cost against
+//!                     a quiet-armed service (the zero-cost gate);
+//!                     exit non-zero on any regression. No report
+//!                     written.
 //!   --certify         certification mode: run one sweep and have the
 //!                     independent verifier (`rotsched-verify`) re-prove
 //!                     every winning kernel legal — starts, retimed-delay
@@ -68,7 +72,7 @@ use rotsched_core::{
 use rotsched_dfg::rng::{Fnv64, SplitMix64};
 use rotsched_dfg::Dfg;
 use rotsched_sched::{ListScheduler, ResourceSet, WrapScratch};
-use rotsched_serve::{seeded_corpus, ServeConfig, SolveService};
+use rotsched_serve::{seeded_corpus, FaultPlan, InjectedFaults, ServeConfig, SolveService};
 
 const JOBS: [usize; 4] = [1, 2, 4, 8];
 /// Size-1 rotations per sampled sequence in the per-step timing study.
@@ -114,6 +118,14 @@ const SERVE_SUSTAIN_REQUESTS: usize = 200;
 /// Smoke gate: a warm cache hit must be at least this many times
 /// faster than a cold solve at p50.
 const SERVE_WARM_SPEEDUP_FLOOR: u64 = 50;
+/// Smoke gate: the default `NoopFaults` warm path must cost at most
+/// this much more than a fault-armed service running an all-quiet
+/// plan. The fault plane is a generic parameter monomorphized out on
+/// the default path; if the noop path ever pays more than noise, the
+/// zero-cost claim broke.
+const FAULT_OVERHEAD_LIMIT_PCT: f64 = 2.0;
+/// Interleaved warm-hit samples per arm in the fault-overhead study.
+const FAULT_OVERHEAD_SAMPLES: usize = 1200;
 
 struct Options {
     out: String,
@@ -263,6 +275,13 @@ fn main() {
          thread counts, and arrival orders"
     );
 
+    let fault = fault_overhead();
+    println!(
+        "\nfault-plane overhead: noop warm p50 {} ns vs quiet-armed p50 {} ns \
+         ({:+.2}%, limit {FAULT_OVERHEAD_LIMIT_PCT}%)",
+        fault.noop_p50, fault.armed_p50, fault.overhead_pct
+    );
+
     let json = render_json(
         hardware,
         cells,
@@ -278,6 +297,7 @@ fn main() {
         &driver,
         &legacy,
         &serve,
+        &fault,
     );
     match std::fs::write(&opts.out, json) {
         Ok(()) => println!("\nwrote {}", opts.out),
@@ -732,6 +752,83 @@ fn serve_report() -> ServeReport {
     }
 }
 
+/// What the fault-overhead arm measures.
+struct FaultOverheadReport {
+    noop_p50: u64,
+    armed_p50: u64,
+    /// `(noop - armed) / armed`, in percent. Negative or near zero
+    /// when `NoopFaults` is truly free (the armed arm does strictly
+    /// more work: rate checks against an all-quiet plan).
+    overhead_pct: f64,
+    samples: usize,
+}
+
+/// Times one call for the fault-overhead comparison.
+fn time_one(call: impl FnOnce()) -> u64 {
+    let start = Instant::now();
+    call();
+    u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX)
+}
+
+/// Measures the cost of threading the fault plane through the serve
+/// hot path: interleaved warm-hit sampling of the default
+/// (`NoopFaults`, monomorphized no-ops) service against a service
+/// armed with [`FaultPlan::quiet`] — every injection point consulted,
+/// every rate zero, nothing fires. Interleaving cancels clock and
+/// cache drift between the arms.
+fn fault_overhead() -> FaultOverheadReport {
+    let payloads: Vec<String> = seeded_corpus(SERVE_SEED, SERVE_UNIQUE)
+        .into_iter()
+        .map(|doc| format!("solve\n{doc}"))
+        .collect();
+    let noop = SolveService::new(ServeConfig::default());
+    let armed = SolveService::with_faults(
+        ServeConfig::default(),
+        InjectedFaults::new(FaultPlan::quiet(1)),
+    );
+    // Warm both caches fully, plus one untimed hit lap per arm.
+    for payload in &payloads {
+        assert_eq!(
+            noop.handle(payload).response(),
+            armed.handle(payload).response(),
+            "a quiet plan must not change response bytes"
+        );
+    }
+    for payload in &payloads {
+        let _ = noop.handle(payload);
+        let _ = armed.handle(payload);
+    }
+    let mut noop_ns = Vec::with_capacity(FAULT_OVERHEAD_SAMPLES);
+    let mut armed_ns = Vec::with_capacity(FAULT_OVERHEAD_SAMPLES);
+    for k in 0..FAULT_OVERHEAD_SAMPLES {
+        let payload = &payloads[k % payloads.len()];
+        // Alternate which arm goes first: back-to-back calls on the
+        // same payload leave the second arm with warmer caches, and a
+        // fixed order would bias the comparison toward whichever arm
+        // always ran second.
+        if k % 2 == 0 {
+            noop_ns.push(time_one(|| drop(noop.handle(payload))));
+            armed_ns.push(time_one(|| drop(armed.handle(payload))));
+        } else {
+            armed_ns.push(time_one(|| drop(armed.handle(payload))));
+            noop_ns.push(time_one(|| drop(noop.handle(payload))));
+        }
+    }
+    assert_eq!(
+        noop.counters().solver_invocations,
+        payloads.len() as u64,
+        "sampling must stay on the warm path"
+    );
+    let noop_p50 = percentiles(&mut noop_ns).p50;
+    let armed_p50 = percentiles(&mut armed_ns).p50;
+    FaultOverheadReport {
+        noop_p50,
+        armed_p50,
+        overhead_pct: (noop_p50 as f64 - armed_p50 as f64) / armed_p50.max(1) as f64 * 100.0,
+        samples: FAULT_OVERHEAD_SAMPLES,
+    }
+}
+
 /// Anytime-degradation mode: incumbent best length as a function of the
 /// rotation budget, per benchmark. Rotation budgets stop the search at
 /// exact down-rotation counts, so this table is fully deterministic and
@@ -976,6 +1073,46 @@ fn check_against_baseline(graphs: &[(&str, Dfg)], baseline_path: &str) -> i32 {
         failures += 1;
     }
 
+    // Fault-plane gate, one-sided: the default NoopFaults warm path
+    // may not cost more than the limit over a quiet-armed service
+    // (which does strictly more work). Applied to the fresh
+    // measurement AND the baseline's recorded number, so a stale
+    // baseline can't hide a regression.
+    let fault = fault_overhead();
+    if fault.overhead_pct <= FAULT_OVERHEAD_LIMIT_PCT {
+        println!(
+            "fault-plane overhead: {:+.2}% within {FAULT_OVERHEAD_LIMIT_PCT}% \
+             (noop p50 {} ns, quiet-armed p50 {} ns)",
+            fault.overhead_pct, fault.noop_p50, fault.armed_p50
+        );
+    } else {
+        eprintln!(
+            "FAIL: NoopFaults warm path is {:+.2}% slower than a quiet-armed \
+             service (limit {FAULT_OVERHEAD_LIMIT_PCT}%) — the zero-cost default broke",
+            fault.overhead_pct
+        );
+        failures += 1;
+    }
+    match extract_f64_field(&baseline, "fault_overhead_pct") {
+        Some(recorded) if recorded <= FAULT_OVERHEAD_LIMIT_PCT => {
+            println!(
+                "baseline fault-plane overhead: {recorded:+.2}% within \
+                 {FAULT_OVERHEAD_LIMIT_PCT}%"
+            );
+        }
+        Some(recorded) => {
+            eprintln!(
+                "FAIL: baseline records fault-plane overhead {recorded:+.2}% past \
+                 {FAULT_OVERHEAD_LIMIT_PCT}% — stale baseline, regenerate it"
+            );
+            failures += 1;
+        }
+        None => {
+            eprintln!("FAIL: baseline has no fault_overhead_pct field");
+            failures += 1;
+        }
+    }
+
     if failures == 0 {
         println!("check passed");
         0
@@ -1094,6 +1231,7 @@ fn render_json(
     driver: &StepPercentiles,
     legacy: &StepPercentiles,
     serve: &ServeReport,
+    fault: &FaultOverheadReport,
 ) -> String {
     let mut s = String::new();
     s.push_str("{\n");
@@ -1187,6 +1325,17 @@ fn render_json(
         serve.sustained_rps
     ));
     s.push_str(&format!("    \"deterministic\": {}\n", serve.deterministic));
+    s.push_str("  },\n");
+    s.push_str("  \"fault_overhead\": {\n");
+    s.push_str(&format!(
+        "    \"noop_warm_ns_p50\": {}, \"armed_quiet_warm_ns_p50\": {}, \
+         \"samples\": {},\n",
+        fault.noop_p50, fault.armed_p50, fault.samples
+    ));
+    s.push_str(&format!(
+        "    \"fault_overhead_pct\": {:.2}, \"limit_pct\": {FAULT_OVERHEAD_LIMIT_PCT}\n",
+        fault.overhead_pct
+    ));
     s.push_str("  },\n");
     s.push_str("  \"results\": [\n");
     for (k, (jobs, effective, median, min, fingerprint)) in results.iter().enumerate() {

@@ -127,6 +127,7 @@ pub struct Budget {
     deadline: Option<Duration>,
     max_rotations: Option<u64>,
     cancel: Option<CancelToken>,
+    panic_after: Option<u64>,
 }
 
 impl Budget {
@@ -160,10 +161,28 @@ impl Budget {
         self
     }
 
-    /// True when no limit of any kind is configured.
+    /// Arms the solve to panic once `rotations` down-rotations have
+    /// been charged (`0` panics at the first cancellation point). This
+    /// is the fault-injection surface the serve layer's chaos suite
+    /// uses to kill a solver mid-search with partial state on the
+    /// stack; it is not part of the public budget contract.
+    #[doc(hidden)]
+    #[must_use]
+    pub fn with_panic_after(mut self, rotations: u64) -> Self {
+        self.panic_after = Some(rotations);
+        self
+    }
+
+    /// True when no limit of any kind is configured. An armed panic
+    /// injection counts as a limit so the engine keeps polling the
+    /// meter (and the rotation counter) even under an otherwise
+    /// unlimited budget.
     #[must_use]
     pub fn is_unlimited(&self) -> bool {
-        self.deadline.is_none() && self.max_rotations.is_none() && self.cancel.is_none()
+        self.deadline.is_none()
+            && self.max_rotations.is_none()
+            && self.cancel.is_none()
+            && self.panic_after.is_none()
     }
 
     /// The configured wall-clock deadline, if any.
@@ -192,6 +211,7 @@ impl Budget {
             max_rotations: self.max_rotations,
             rotations: AtomicU64::new(0),
             cancel: self.cancel.clone(),
+            panic_after: self.panic_after,
         }
     }
 }
@@ -205,6 +225,7 @@ impl PartialEq for Budget {
         self.deadline == other.deadline
             && self.max_rotations == other.max_rotations
             && self.cancel.is_some() == other.cancel.is_some()
+            && self.panic_after == other.panic_after
     }
 }
 
@@ -220,6 +241,7 @@ pub struct BudgetMeter {
     max_rotations: Option<u64>,
     rotations: AtomicU64,
     cancel: Option<CancelToken>,
+    panic_after: Option<u64>,
 }
 
 impl BudgetMeter {
@@ -227,7 +249,7 @@ impl BudgetMeter {
     pub fn charge_rotation(&self) {
         // Skip the atomic traffic entirely when nothing reads the
         // counter — the unlimited fast path must stay contention-free.
-        if self.max_rotations.is_some() {
+        if self.max_rotations.is_some() || self.panic_after.is_some() {
             self.rotations.fetch_add(1, Ordering::Relaxed);
         }
     }
@@ -248,6 +270,14 @@ impl BudgetMeter {
     /// clock so mixed budgets report reproducibly when both would fire.
     #[must_use]
     pub fn check(&self) -> Option<StopReason> {
+        // The fault-injection surface: an armed panic fires before any
+        // ordinary limit so chaos tests can rely on it deterministically.
+        if self
+            .panic_after
+            .is_some_and(|k| self.rotations.load(Ordering::Relaxed) >= k)
+        {
+            panic!("injected mid-search panic (fault injection)");
+        }
         if self.cancel.as_ref().is_some_and(CancelToken::is_cancelled) {
             return Some(StopReason::Cancelled);
         }
@@ -266,7 +296,10 @@ impl BudgetMeter {
     /// True when this meter can never fire.
     #[must_use]
     pub fn is_unlimited(&self) -> bool {
-        self.deadline.is_none() && self.max_rotations.is_none() && self.cancel.is_none()
+        self.deadline.is_none()
+            && self.max_rotations.is_none()
+            && self.cancel.is_none()
+            && self.panic_after.is_none()
     }
 }
 
@@ -353,6 +386,31 @@ mod tests {
             .arm()
             .check()
             .is_none());
+    }
+
+    #[test]
+    fn injected_panic_fires_at_the_armed_rotation() {
+        let meter = Budget::default().with_panic_after(2).arm();
+        assert!(!meter.is_unlimited());
+        assert_eq!(meter.check(), None);
+        meter.charge_rotation();
+        assert_eq!(meter.check(), None);
+        meter.charge_rotation();
+        let err = std::panic::catch_unwind(|| meter.check()).unwrap_err();
+        let msg = err.downcast_ref::<&str>().copied().unwrap_or_default();
+        assert!(msg.contains("injected mid-search panic"), "{msg}");
+    }
+
+    #[test]
+    fn injected_panic_counts_as_a_limit() {
+        // `is_unlimited` must be false so the scheduler arms a meter
+        // for an otherwise unlimited budget; equality must see it too.
+        assert!(!Budget::default().with_panic_after(5).is_unlimited());
+        assert_ne!(
+            Budget::default().with_panic_after(5),
+            Budget::default(),
+            "panic arming must be visible to budget equality"
+        );
     }
 
     #[test]

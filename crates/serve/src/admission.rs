@@ -89,11 +89,24 @@ impl AdmissionGauge {
 
     fn finish_solve(&self, elapsed_ns: u64) {
         self.in_flight.fetch_sub(1, Ordering::Relaxed);
-        // ewma ← (3·ewma + sample) / 4. A single compare-exchange loop
-        // would buy nothing here: a lost update under contention skews
-        // the estimate by one sample, and the estimate is advisory.
+        self.observe(elapsed_ns);
+    }
+
+    /// Folds one observed solve cost into the EWMA:
+    /// `ewma ← (3·ewma + sample) / 4`. A single compare-exchange loop
+    /// would buy nothing here: a lost update under contention skews
+    /// the estimate by one sample, and the estimate is advisory.
+    ///
+    /// The intermediate sum is computed in `u128` and the quotient
+    /// clamped back to `u64`, so a pathological sample (a skewed clock
+    /// reading near `u64::MAX`) can neither wrap nor — via premature
+    /// `u64` saturation of `3·ewma` — distort the decay trajectory:
+    /// repeated sane samples always pull the estimate back down by the
+    /// exact 3/4 factor.
+    pub fn observe(&self, sample_ns: u64) {
         let old = self.ewma_ns.load(Ordering::Relaxed);
-        let new = (old.saturating_mul(3).saturating_add(elapsed_ns)) / 4;
+        let widened = (3_u128 * u128::from(old) + u128::from(sample_ns)) / 4;
+        let new = u64::try_from(widened).unwrap_or(u64::MAX);
         self.ewma_ns.store(new.max(1), Ordering::Relaxed);
     }
 }
@@ -151,5 +164,44 @@ mod tests {
     fn zero_assumption_falls_back_to_default_seed() {
         let gauge = AdmissionGauge::new(0);
         assert_eq!(gauge.estimate_ns(), DEFAULT_ASSUMED_SOLVE_NS);
+    }
+
+    #[test]
+    fn pathological_observations_cannot_wrap_the_estimate() {
+        // Regression: the EWMA update must survive samples at and near
+        // u64::MAX without wrapping or getting stuck. With the
+        // intermediate widened to u128, feeding MAX from a MAX estimate
+        // converges to exactly MAX (not 0, not a wrapped junk value).
+        let gauge = AdmissionGauge::new(u64::MAX);
+        gauge.observe(u64::MAX);
+        assert_eq!(gauge.estimate_ns(), u64::MAX);
+        gauge.observe(u64::MAX - 1);
+        assert!(gauge.estimate_ns() >= u64::MAX - 1);
+        // A saturated estimate sheds any realistic deadline…
+        assert!(!gauge.admit(10_000_000));
+        // …and exact 3/4 decay under sane samples recovers it: after k
+        // rounds the pathological component shrinks by (3/4)^k. 160
+        // rounds bring u64::MAX below 1ms.
+        for _ in 0..160 {
+            gauge.observe(1_000);
+        }
+        assert!(
+            gauge.estimate_ns() < 1_000_000,
+            "estimate stuck high: {}",
+            gauge.estimate_ns()
+        );
+        assert!(gauge.admit(10_000_000));
+    }
+
+    #[test]
+    fn observe_is_exact_in_the_widened_domain() {
+        let gauge = AdmissionGauge::new(8);
+        // (3·8 + 4) / 4 = 7 exactly — no saturation distortion.
+        gauge.observe(4);
+        assert_eq!(gauge.estimate_ns(), 7);
+        // The floor keeps the estimate strictly positive.
+        let tiny = AdmissionGauge::new(1);
+        tiny.observe(0);
+        assert_eq!(tiny.estimate_ns(), 1);
     }
 }

@@ -1,0 +1,313 @@
+//! A retrying client with deadline-aware exponential backoff.
+//!
+//! The serve protocol is deliberately simple — framed request/response
+//! pairs over TCP — so transient faults (a reset mid-conversation, a
+//! short response frame, a slow server) surface as plain I/O errors.
+//! [`RetryClient`] wraps [`Connection`] with the policy a production
+//! caller wants:
+//!
+//! * **Exponential backoff with seeded jitter** — delays grow
+//!   `base · 2^attempt` up to a cap, each drawn uniformly from the
+//!   current window by the in-repo SplitMix64, so a retry storm from N
+//!   clients decorrelates deterministically (same seed ⇒ same delays,
+//!   the property the chaos suite relies on for replayable runs).
+//! * **Deadline awareness** — with a per-call deadline set, each
+//!   attempt's socket timeouts are clamped to the time remaining and a
+//!   retry is *never scheduled past the deadline*: if the next backoff
+//!   would land beyond it, the client gives up immediately with the
+//!   last error instead of sleeping into guaranteed failure.
+//! * **Idempotence discipline** — `solve`, `ping`, and `stats` are
+//!   idempotent (solve responses are byte-deterministic) and safe to
+//!   retry. `shutdown` is not: a retry after a lost *response* could
+//!   kill a server that already honored the first request's side
+//!   effect, so shutdown never retries.
+//!
+//! Every failed attempt poisons the connection; the next attempt
+//! reconnects from scratch — a half-read frame leaves a stream
+//! unsynchronizable, so resuming on the same socket is never safe.
+
+use std::io;
+use std::thread;
+use std::time::{Duration, Instant};
+
+use rotsched_dfg::rng::SplitMix64;
+
+use crate::protocol::Connection;
+
+/// Retry/backoff tuning for a [`RetryClient`].
+#[derive(Clone, Copy, Debug)]
+pub struct RetryPolicy {
+    /// Total attempts per call (first try included); min 1.
+    pub max_attempts: u32,
+    /// Backoff window before the first retry; doubles each retry.
+    pub base_backoff: Duration,
+    /// Upper bound on the backoff window.
+    pub max_backoff: Duration,
+    /// Per-call deadline: attempts time out at the remainder and no
+    /// retry is scheduled past it. `None` means wait forever.
+    pub deadline: Option<Duration>,
+    /// Seed for the jitter stream.
+    pub jitter_seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 4,
+            base_backoff: Duration::from_millis(5),
+            max_backoff: Duration::from_millis(200),
+            deadline: None,
+            jitter_seed: 0,
+        }
+    }
+}
+
+/// Monotone counters a load generator reads after a run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RetryStats {
+    /// Calls issued through the client.
+    pub calls: u64,
+    /// Attempts beyond the first, across all calls.
+    pub retries: u64,
+    /// Fresh TCP connections established.
+    pub connects: u64,
+    /// Calls that failed with attempts still allowed because the next
+    /// backoff would have crossed the deadline.
+    pub deadline_exhausted: u64,
+}
+
+/// A reconnecting, retrying serve client. Not thread-safe — one client
+/// per worker thread, each with its own jitter seed.
+#[derive(Debug)]
+pub struct RetryClient {
+    addr: String,
+    policy: RetryPolicy,
+    rng: SplitMix64,
+    conn: Option<Connection>,
+    stats: RetryStats,
+}
+
+impl RetryClient {
+    /// Creates a client for `addr` (connections are lazy).
+    #[must_use]
+    pub fn new(addr: impl Into<String>, policy: RetryPolicy) -> Self {
+        RetryClient {
+            addr: addr.into(),
+            policy,
+            rng: SplitMix64::new(policy.jitter_seed),
+            conn: None,
+            stats: RetryStats::default(),
+        }
+    }
+
+    /// The counters accumulated so far.
+    #[must_use]
+    pub fn stats(&self) -> RetryStats {
+        self.stats
+    }
+
+    /// Issues one request, retrying transient failures under the
+    /// policy. `shutdown` requests are never retried (see the module
+    /// docs); everything else is.
+    ///
+    /// # Errors
+    ///
+    /// Returns the last attempt's error once attempts, the deadline,
+    /// or idempotence rules forbid another try.
+    pub fn call(&mut self, payload: &str) -> io::Result<String> {
+        self.stats.calls += 1;
+        let deadline = self.policy.deadline.map(|d| Instant::now() + d);
+        let verb = payload.split('\n').next().unwrap_or("").trim();
+        let retryable = verb != "shutdown";
+        let max_attempts = self.policy.max_attempts.max(1);
+        let mut attempt = 0_u32;
+        loop {
+            match self.attempt(payload, deadline) {
+                Ok(response) => return Ok(response),
+                Err(e) => {
+                    // Whatever failed, the stream state is unknown;
+                    // only a fresh connection is safe.
+                    self.conn = None;
+                    attempt += 1;
+                    if !retryable || attempt >= max_attempts {
+                        return Err(e);
+                    }
+                    let delay = self.backoff(attempt);
+                    if let Some(deadline) = deadline {
+                        if Instant::now() + delay >= deadline {
+                            self.stats.deadline_exhausted += 1;
+                            return Err(e);
+                        }
+                    }
+                    self.stats.retries += 1;
+                    thread::sleep(delay);
+                }
+            }
+        }
+    }
+
+    /// One attempt: (re)connect, clamp socket timeouts to the time
+    /// remaining, send, await the response.
+    fn attempt(&mut self, payload: &str, deadline: Option<Instant>) -> io::Result<String> {
+        let timeout = match deadline {
+            Some(deadline) => {
+                let remaining = deadline.saturating_duration_since(Instant::now());
+                if remaining.is_zero() {
+                    return Err(io::Error::new(
+                        io::ErrorKind::TimedOut,
+                        "request deadline expired",
+                    ));
+                }
+                Some(remaining)
+            }
+            None => None,
+        };
+        let conn = if let Some(conn) = self.conn.as_mut() {
+            conn
+        } else {
+            self.stats.connects += 1;
+            self.conn.insert(Connection::connect(self.addr.as_str())?)
+        };
+        conn.set_timeouts(timeout, timeout)?;
+        conn.call(payload)
+    }
+
+    /// The seeded-jitter backoff before retry number `attempt` (1 is
+    /// the first retry): uniform over the exponentially growing,
+    /// capped window. Deterministic in (seed, attempt sequence).
+    fn backoff(&mut self, attempt: u32) -> Duration {
+        let base = self.policy.base_backoff.max(Duration::from_micros(1));
+        let cap = base
+            .saturating_mul(1_u32 << attempt.saturating_sub(1).min(20))
+            .min(self.policy.max_backoff.max(base));
+        let cap_ns = u64::try_from(cap.as_nanos()).unwrap_or(u64::MAX);
+        Duration::from_nanos(self.rng.below(cap_ns.saturating_add(1)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::server::Server;
+    use crate::service::ServeConfig;
+    use std::net::TcpListener;
+
+    #[test]
+    fn backoff_is_seeded_and_deterministic() {
+        let policy = RetryPolicy {
+            jitter_seed: 42,
+            ..RetryPolicy::default()
+        };
+        let mut a = RetryClient::new("127.0.0.1:1", policy);
+        let mut b = RetryClient::new("127.0.0.1:1", policy);
+        for attempt in 1..6 {
+            let (da, db) = (a.backoff(attempt), b.backoff(attempt));
+            assert_eq!(da, db, "attempt {attempt}");
+            // The window is capped.
+            assert!(da <= policy.max_backoff);
+        }
+        let mut c = RetryClient::new(
+            "127.0.0.1:1",
+            RetryPolicy {
+                jitter_seed: 43,
+                ..policy
+            },
+        );
+        let mut d = RetryClient::new("127.0.0.1:1", policy);
+        let differs = (1..6).any(|i| d.backoff(i) != c.backoff(i));
+        assert!(differs, "different seeds should jitter differently");
+    }
+
+    #[test]
+    fn transient_resets_are_retried_but_shutdown_is_not() {
+        // A "server" that accepts and immediately hangs up. Detached
+        // (never joined): it blocks in `accept` until the process
+        // exits, since the client stops connecting once its retry
+        // budget is spent.
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        thread::spawn(move || loop {
+            let Ok((stream, _)) = listener.accept() else {
+                return;
+            };
+            drop(stream);
+        });
+        let policy = RetryPolicy {
+            max_attempts: 3,
+            base_backoff: Duration::from_millis(1),
+            max_backoff: Duration::from_millis(2),
+            ..RetryPolicy::default()
+        };
+        let mut client = RetryClient::new(addr.to_string(), policy);
+        assert!(client.call("ping").is_err());
+        assert_eq!(client.stats().retries, 2, "ping retries to exhaustion");
+        let before = client.stats().retries;
+        assert!(client.call("shutdown").is_err());
+        assert_eq!(
+            client.stats().retries,
+            before,
+            "shutdown must never be retried"
+        );
+    }
+
+    #[test]
+    fn retries_never_cross_the_deadline() {
+        // A server that accepts and then never replies. Detached: it
+        // holds every connection open and blocks in `accept` until the
+        // process exits.
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        thread::spawn(move || {
+            let mut held = Vec::new();
+            loop {
+                match listener.accept() {
+                    Ok((stream, _)) => held.push(stream),
+                    Err(_) => return,
+                }
+            }
+        });
+        let mut client = RetryClient::new(
+            addr.to_string(),
+            RetryPolicy {
+                max_attempts: 10,
+                base_backoff: Duration::from_millis(50),
+                max_backoff: Duration::from_millis(200),
+                deadline: Some(Duration::from_millis(120)),
+                jitter_seed: 7,
+            },
+        );
+        let started = Instant::now();
+        assert!(client.call("ping").is_err());
+        let elapsed = started.elapsed();
+        assert!(
+            elapsed < Duration::from_millis(400),
+            "gave up late: {elapsed:?}"
+        );
+        assert!(
+            client.stats().retries < 9,
+            "deadline must cut retries short"
+        );
+    }
+
+    #[test]
+    fn end_to_end_solves_are_byte_identical_through_retries_config() {
+        let server = Server::bind(("127.0.0.1", 0), ServeConfig::default()).unwrap();
+        let addr = server.local_addr().unwrap();
+        let running = thread::spawn(move || server.run());
+        let mut client = RetryClient::new(
+            addr.to_string(),
+            RetryPolicy {
+                deadline: Some(Duration::from_secs(30)),
+                ..RetryPolicy::default()
+            },
+        );
+        let payload = "solve\ndfg ring\nnode v0 add 1\nnode v1 add 1\nedge v0 v1 0\nedge v1 v0 1\n";
+        let cold = client.call(payload).unwrap();
+        let warm = client.call(payload).unwrap();
+        assert_eq!(cold, warm);
+        assert!(cold.contains("\"status\": \"ok\""), "{cold}");
+        assert_eq!(client.stats().connects, 1);
+        let _ = client.call("shutdown");
+        running.join().unwrap().unwrap();
+    }
+}

@@ -1,0 +1,539 @@
+//! Deterministic fault injection for the serve path.
+//!
+//! Chaos testing is only useful when a failing run can be replayed, so
+//! every fault decision here is a *pure function* of the plan seed, the
+//! injection site, and that site's draw index — the i-th decision at a
+//! site is always the same bit pattern regardless of thread timing. A
+//! [`FaultPlan`] declares per-site firing rates; [`InjectedFaults`]
+//! hands the next decision out of each site's stream and counts what it
+//! drew and what actually fired, summarised by a [`FaultTrace`] whose
+//! rendering is byte-stable (same seed + same request sequence ⇒ same
+//! trace line).
+//!
+//! The hooks are threaded through the server, service, protocol, and
+//! cache layers behind the [`Faults`] trait. Production code
+//! instantiates [`NoopFaults`], a unit struct whose methods are inlined
+//! constants — the compiler monomorphizes every fault check out of the
+//! hot path (the `fault_overhead` arm of `perf_report` guards the claim
+//! with a ≤2% gate against the armed-at-zero plane).
+//!
+//! Fault classes (one injection site each):
+//!
+//! * **read stall** — the connection handler sleeps before reading the
+//!   next frame, simulating a slow or stalled peer.
+//! * **connection reset** — the handler drops the socket without a
+//!   reply, simulating a mid-conversation RST.
+//! * **short write** — a response frame is truncated after a prefix and
+//!   the stream errors, simulating a write fault or peer reset.
+//! * **solver panic** — the solve is armed to panic mid-search after a
+//!   seeded number of rotations (through the budget meter's hidden
+//!   test hook), simulating a solver-thread death with partial state.
+//! * **cache-insert drop** — a completed response is not cached,
+//!   simulating an insert failure; the next request re-solves.
+//! * **clock skew** — a pathological observed cost is folded into the
+//!   admission gauge, simulating a skewed monotonic clock reading.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+use rotsched_dfg::rng::{Fnv64, SplitMix64};
+
+/// One injection site per fault class.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultSite {
+    /// Sleep before reading the next request frame.
+    ReadStall,
+    /// Drop the connection without a reply.
+    ConnReset,
+    /// Truncate a response frame after a prefix.
+    ShortWrite,
+    /// Arm the solver to panic mid-search.
+    SolverPanic,
+    /// Drop a completed response instead of caching it.
+    CacheDrop,
+    /// Fold a pathological cost into the admission gauge.
+    ClockSkew,
+}
+
+impl FaultSite {
+    /// Every site, in trace-rendering order.
+    pub const ALL: [FaultSite; 6] = [
+        FaultSite::ReadStall,
+        FaultSite::ConnReset,
+        FaultSite::ShortWrite,
+        FaultSite::SolverPanic,
+        FaultSite::CacheDrop,
+        FaultSite::ClockSkew,
+    ];
+
+    /// Stable label used in trace lines.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            FaultSite::ReadStall => "read-stall",
+            FaultSite::ConnReset => "conn-reset",
+            FaultSite::ShortWrite => "short-write",
+            FaultSite::SolverPanic => "solver-panic",
+            FaultSite::CacheDrop => "cache-drop",
+            FaultSite::ClockSkew => "clock-skew",
+        }
+    }
+
+    /// Per-site salt so the decision streams of different sites are
+    /// statistically independent even under the same seed.
+    fn salt(self) -> u64 {
+        match self {
+            FaultSite::ReadStall => 0x9E37_79B9_7F4A_7C15,
+            FaultSite::ConnReset => 0xBF58_476D_1CE4_E5B9,
+            FaultSite::ShortWrite => 0x94D0_49BB_1331_11EB,
+            FaultSite::SolverPanic => 0xD6E8_FEB8_6659_FD93,
+            FaultSite::CacheDrop => 0xA5A5_A5A5_5A5A_5A5A,
+            FaultSite::ClockSkew => 0xC2B2_AE3D_27D4_EB4F,
+        }
+    }
+
+    fn index(self) -> usize {
+        match self {
+            FaultSite::ReadStall => 0,
+            FaultSite::ConnReset => 1,
+            FaultSite::ShortWrite => 2,
+            FaultSite::SolverPanic => 3,
+            FaultSite::CacheDrop => 4,
+            FaultSite::ClockSkew => 5,
+        }
+    }
+}
+
+/// The i-th decision of `site`'s stream under `seed`: a pure function,
+/// so any draw can be recomputed (replayed) without the others.
+#[must_use]
+pub fn decision(seed: u64, site: FaultSite, draw: u64) -> u64 {
+    // SplitMix64 seeded per (seed, site, index) and advanced once —
+    // the mix function scrambles the structured seed thoroughly.
+    SplitMix64::new(seed ^ site.salt() ^ draw.wrapping_mul(0x2545_F491_4F6C_DD1D)).next_u64()
+}
+
+/// Per-mille firing rates and fault parameters for every site, plus the
+/// seed that makes the whole run replayable.
+///
+/// Rates are in per-mille (0..=1000) so the chaos presets can express
+/// both rare faults (a few ‰) and targeted always-fire sites (1000‰).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// Seed for every decision stream.
+    pub seed: u64,
+    /// Read-stall firing rate, per mille.
+    pub read_stall_permille: u16,
+    /// How long a fired read stall sleeps.
+    pub read_stall_ms: u64,
+    /// Connection-reset firing rate, per mille.
+    pub conn_reset_permille: u16,
+    /// Short-write firing rate, per mille.
+    pub short_write_permille: u16,
+    /// Solver-panic firing rate, per mille.
+    pub solver_panic_permille: u16,
+    /// Cache-insert-drop firing rate, per mille.
+    pub cache_drop_permille: u16,
+    /// Clock-skew firing rate, per mille.
+    pub clock_skew_permille: u16,
+    /// The pathological cost a fired clock skew folds into the gauge.
+    pub clock_skew_ns: u64,
+}
+
+impl FaultPlan {
+    /// A plan with every rate at zero: the injection plane is armed but
+    /// never fires. Used by the `fault_overhead` perf guard to price
+    /// the dynamic dispatch-free but non-monomorphized-out hooks.
+    #[must_use]
+    pub fn quiet(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            read_stall_permille: 0,
+            read_stall_ms: 0,
+            conn_reset_permille: 0,
+            short_write_permille: 0,
+            solver_panic_permille: 0,
+            cache_drop_permille: 0,
+            clock_skew_permille: 0,
+            clock_skew_ns: 0,
+        }
+    }
+
+    /// The standard chaos preset: every fault class fires at a rate
+    /// high enough that a short soak exercises all of them, with stalls
+    /// kept far below the serve timeouts so chaos runs stay fast.
+    #[must_use]
+    pub fn chaos(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            read_stall_permille: 60,
+            read_stall_ms: 2,
+            conn_reset_permille: 40,
+            short_write_permille: 40,
+            solver_panic_permille: 150,
+            cache_drop_permille: 150,
+            clock_skew_permille: 100,
+            clock_skew_ns: u64::MAX / 2,
+        }
+    }
+
+    /// A plan where only `site` fires, always. Targeted regression
+    /// tests use this to drive one fault class deterministically.
+    #[must_use]
+    pub fn only(seed: u64, site: FaultSite) -> Self {
+        let mut plan = FaultPlan::quiet(seed);
+        match site {
+            FaultSite::ReadStall => {
+                plan.read_stall_permille = 1000;
+                plan.read_stall_ms = 1;
+            }
+            FaultSite::ConnReset => plan.conn_reset_permille = 1000,
+            FaultSite::ShortWrite => plan.short_write_permille = 1000,
+            FaultSite::SolverPanic => plan.solver_panic_permille = 1000,
+            FaultSite::CacheDrop => plan.cache_drop_permille = 1000,
+            FaultSite::ClockSkew => {
+                plan.clock_skew_permille = 1000;
+                plan.clock_skew_ns = u64::MAX / 2;
+            }
+        }
+        plan
+    }
+
+    fn rate(&self, site: FaultSite) -> u16 {
+        match site {
+            FaultSite::ReadStall => self.read_stall_permille,
+            FaultSite::ConnReset => self.conn_reset_permille,
+            FaultSite::ShortWrite => self.short_write_permille,
+            FaultSite::SolverPanic => self.solver_panic_permille,
+            FaultSite::CacheDrop => self.cache_drop_permille,
+            FaultSite::ClockSkew => self.clock_skew_permille,
+        }
+    }
+
+    /// Whether the i-th decision at `site` fires under this plan, and
+    /// the raw decision word (for parameter derivation). Pure.
+    #[must_use]
+    pub fn fires(&self, site: FaultSite, draw: u64) -> (bool, u64) {
+        let rate = u64::from(self.rate(site));
+        if rate == 0 {
+            // Rate zero never fires; skip the mix entirely so the
+            // quiet plan prices only the counter bump.
+            return (false, 0);
+        }
+        let word = decision(self.seed, site, draw);
+        (word % 1000 < rate, word)
+    }
+}
+
+/// What the write path should do with the next response frame.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum WriteFault {
+    /// Write the frame normally.
+    Clean,
+    /// Write only the first `keep` bytes of the frame (header included)
+    /// and then fail the write, leaving the peer with a short frame.
+    Short {
+        /// Bytes of the frame to deliver before failing.
+        keep: usize,
+    },
+}
+
+/// The injection hooks the serve path consults. Every method has a
+/// no-fault default, so [`NoopFaults`] is a one-line impl that the
+/// compiler folds away entirely.
+pub trait Faults: Send + Sync + 'static {
+    /// Sleep this long before reading the next request frame.
+    #[inline]
+    fn read_stall(&self) -> Option<Duration> {
+        None
+    }
+
+    /// Drop the connection now, without a reply.
+    #[inline]
+    fn reset_connection(&self) -> bool {
+        false
+    }
+
+    /// How to (mis)handle the next response frame of `len` total bytes.
+    #[inline]
+    fn write_fault(&self, len: usize) -> WriteFault {
+        let _ = len;
+        WriteFault::Clean
+    }
+
+    /// Arm the next solve to panic after this many rotations.
+    #[inline]
+    fn solver_panic_after(&self) -> Option<u64> {
+        None
+    }
+
+    /// Drop the next completed response instead of caching it.
+    #[inline]
+    fn drop_cache_insert(&self) -> bool {
+        false
+    }
+
+    /// Fold this pathological observed cost into the admission gauge
+    /// after the next solve.
+    #[inline]
+    fn clock_skew_ns(&self) -> Option<u64> {
+        None
+    }
+
+    /// The realized fault trace, if this implementation records one.
+    fn trace(&self) -> Option<FaultTrace> {
+        None
+    }
+}
+
+/// The production default: no faults, ever. A zero-sized type — every
+/// hook call monomorphizes to a constant and disappears.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct NoopFaults;
+
+impl Faults for NoopFaults {}
+
+/// A live injection plane: a [`FaultPlan`] plus per-site draw/fired
+/// counters. Decisions are handed out of each site's pure stream in
+/// draw order, so a single-client run replays bit-identically from the
+/// seed; multi-threaded runs still draw from the same deterministic
+/// stream, only the assignment of draws to requests varies.
+#[derive(Debug)]
+pub struct InjectedFaults {
+    plan: FaultPlan,
+    draws: [AtomicU64; 6],
+    fired: [AtomicU64; 6],
+}
+
+impl InjectedFaults {
+    /// Arms a plan with zeroed counters.
+    #[must_use]
+    pub fn new(plan: FaultPlan) -> Self {
+        InjectedFaults {
+            plan,
+            draws: [const { AtomicU64::new(0) }; 6],
+            fired: [const { AtomicU64::new(0) }; 6],
+        }
+    }
+
+    /// The plan this plane was armed with.
+    #[must_use]
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    /// Takes the next decision at `site`: returns whether it fired and
+    /// the raw decision word.
+    fn decide(&self, site: FaultSite) -> (bool, u64) {
+        let i = self.draws[site.index()].fetch_add(1, Ordering::Relaxed);
+        let (fired, word) = self.plan.fires(site, i);
+        if fired {
+            self.fired[site.index()].fetch_add(1, Ordering::Relaxed);
+        }
+        (fired, word)
+    }
+
+    /// The realized trace so far.
+    #[must_use]
+    pub fn realized_trace(&self) -> FaultTrace {
+        let mut per_site = [(0_u64, 0_u64); 6];
+        for site in FaultSite::ALL {
+            per_site[site.index()] = (
+                self.draws[site.index()].load(Ordering::Relaxed),
+                self.fired[site.index()].load(Ordering::Relaxed),
+            );
+        }
+        FaultTrace {
+            seed: self.plan.seed,
+            per_site,
+        }
+    }
+}
+
+impl Faults for InjectedFaults {
+    fn read_stall(&self) -> Option<Duration> {
+        let (fired, _) = self.decide(FaultSite::ReadStall);
+        fired.then(|| Duration::from_millis(self.plan.read_stall_ms))
+    }
+
+    fn reset_connection(&self) -> bool {
+        self.decide(FaultSite::ConnReset).0
+    }
+
+    fn write_fault(&self, len: usize) -> WriteFault {
+        let (fired, word) = self.decide(FaultSite::ShortWrite);
+        if fired && len > 0 {
+            // Keep a seeded prefix — anywhere from nothing to all but
+            // the last byte — so both header-truncated and
+            // payload-truncated frames are exercised.
+            WriteFault::Short {
+                keep: usize::try_from(word >> 10).unwrap_or(0) % len,
+            }
+        } else {
+            WriteFault::Clean
+        }
+    }
+
+    fn solver_panic_after(&self) -> Option<u64> {
+        let (fired, word) = self.decide(FaultSite::SolverPanic);
+        // A small rotation count so the panic lands mid-search (0
+        // panics before the first rotation).
+        fired.then_some((word >> 10) % 24)
+    }
+
+    fn drop_cache_insert(&self) -> bool {
+        self.decide(FaultSite::CacheDrop).0
+    }
+
+    fn clock_skew_ns(&self) -> Option<u64> {
+        let (fired, _) = self.decide(FaultSite::ClockSkew);
+        fired.then_some(self.plan.clock_skew_ns)
+    }
+
+    fn trace(&self) -> Option<FaultTrace> {
+        Some(self.realized_trace())
+    }
+}
+
+/// A byte-stable summary of a chaos run: per-site `fired/draws` counts
+/// and a fingerprint over the realized decision stream. Two runs with
+/// the same seed and the same request sequence render identical lines —
+/// the property the CI determinism check asserts.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FaultTrace {
+    /// The plan seed the trace was realized under.
+    pub seed: u64,
+    /// `(draws, fired)` per site, indexed like [`FaultSite::ALL`].
+    pub per_site: [(u64, u64); 6],
+}
+
+impl FaultTrace {
+    /// FNV-64 over the seed and every realized decision word, in site
+    /// then draw order. Because decisions are pure in (seed, site,
+    /// draw), the fingerprint is fully determined by the draw counts.
+    #[must_use]
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = Fnv64::new();
+        h.write_u64(self.seed);
+        for site in FaultSite::ALL {
+            let (draws, fired) = self.per_site[site.index()];
+            h.write_u64(draws);
+            h.write_u64(fired);
+            for i in 0..draws.min(4096) {
+                h.write_u64(decision(self.seed, site, i));
+            }
+        }
+        h.finish()
+    }
+
+    /// The one-line rendering, e.g.
+    /// `fault-trace seed=7 read-stall=3/120 ... fp=0x1a2b3c4d5e6f7081`.
+    #[must_use]
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut line = format!("fault-trace seed={}", self.seed);
+        for site in FaultSite::ALL {
+            let (draws, fired) = self.per_site[site.index()];
+            let _ = write!(line, " {}={fired}/{draws}", site.label());
+        }
+        let _ = write!(line, " fp={:#018x}", self.fingerprint());
+        line
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decisions_are_pure_and_replayable() {
+        for site in FaultSite::ALL {
+            for i in 0..64 {
+                assert_eq!(decision(9, site, i), decision(9, site, i));
+            }
+        }
+        // Distinct sites and seeds give distinct streams.
+        assert_ne!(
+            decision(9, FaultSite::ReadStall, 0),
+            decision(9, FaultSite::ConnReset, 0)
+        );
+        assert_ne!(
+            decision(9, FaultSite::ReadStall, 0),
+            decision(10, FaultSite::ReadStall, 0)
+        );
+    }
+
+    #[test]
+    fn quiet_plan_never_fires() {
+        let faults = InjectedFaults::new(FaultPlan::quiet(3));
+        for _ in 0..256 {
+            assert_eq!(faults.read_stall(), None);
+            assert!(!faults.reset_connection());
+            assert_eq!(faults.write_fault(100), WriteFault::Clean);
+            assert_eq!(faults.solver_panic_after(), None);
+            assert!(!faults.drop_cache_insert());
+            assert_eq!(faults.clock_skew_ns(), None);
+        }
+        let trace = faults.realized_trace();
+        for site in FaultSite::ALL {
+            let (draws, fired) = trace.per_site[site.index()];
+            assert_eq!(draws, 256, "{}", site.label());
+            assert_eq!(fired, 0, "{}", site.label());
+        }
+    }
+
+    #[test]
+    fn only_preset_always_fires_its_site_and_nothing_else() {
+        let faults = InjectedFaults::new(FaultPlan::only(5, FaultSite::SolverPanic));
+        for _ in 0..32 {
+            assert!(faults.solver_panic_after().is_some());
+            assert!(!faults.reset_connection());
+            assert!(!faults.drop_cache_insert());
+        }
+    }
+
+    #[test]
+    fn chaos_rates_fire_roughly_in_proportion() {
+        let plan = FaultPlan::chaos(11);
+        let mut fired = 0_u64;
+        for i in 0..10_000 {
+            fired += u64::from(plan.fires(FaultSite::SolverPanic, i).0);
+        }
+        // 150‰ nominal: accept a wide band, the point is "not 0, not all".
+        assert!((1000..2200).contains(&fired), "fired={fired}");
+    }
+
+    #[test]
+    fn short_write_prefix_is_always_shorter_than_the_frame() {
+        let faults = InjectedFaults::new(FaultPlan::only(7, FaultSite::ShortWrite));
+        for len in [1_usize, 2, 10, 4096] {
+            match faults.write_fault(len) {
+                WriteFault::Short { keep } => assert!(keep < len),
+                WriteFault::Clean => panic!("always-fire plan returned Clean"),
+            }
+        }
+    }
+
+    #[test]
+    fn trace_renders_byte_stably_and_fingerprints_match() {
+        let a = InjectedFaults::new(FaultPlan::chaos(21));
+        let b = InjectedFaults::new(FaultPlan::chaos(21));
+        for f in [&a, &b] {
+            for _ in 0..50 {
+                let _ = f.read_stall();
+                let _ = f.solver_panic_after();
+            }
+        }
+        let (ta, tb) = (a.realized_trace(), b.realized_trace());
+        assert_eq!(ta.render(), tb.render());
+        assert_eq!(ta.fingerprint(), tb.fingerprint());
+        assert!(ta.render().starts_with("fault-trace seed=21 read-stall="));
+        // A different seed changes the fingerprint.
+        let c = InjectedFaults::new(FaultPlan::chaos(22));
+        for _ in 0..50 {
+            let _ = c.read_stall();
+            let _ = c.solver_panic_after();
+        }
+        assert_ne!(ta.render(), c.realized_trace().render());
+    }
+}

@@ -105,6 +105,14 @@ impl FlightTable {
             .expect("flight table poisoned")
             .remove(key);
     }
+
+    /// Keys with a solve currently in progress. Quiescent servers must
+    /// report 0 — a nonzero count after every request has completed is
+    /// a wedged key, the condition the chaos suite asserts against.
+    #[must_use]
+    pub fn in_flight_keys(&self) -> usize {
+        self.flights.lock().expect("flight table poisoned").len()
+    }
 }
 
 /// The leader's obligation: publish a response (or be dropped, which
@@ -127,6 +135,16 @@ impl Leader {
         self.published = true;
         self.table.retire(&self.key);
         self.flight.publish(FlightOutcome::Response(response));
+    }
+
+    /// Explicitly abandons the flight: followers observe
+    /// [`FlightOutcome::Abandoned`] and requeue (or fail) instead of
+    /// receiving a response. Equivalent to dropping the leader, but it
+    /// reads as a decision rather than an accident at the call site —
+    /// the service uses it when a solve dies on an injected or real
+    /// panic and the faulted status must not be shared with followers.
+    pub fn abandon(self) {
+        // Drop does the work: retire + publish(Abandoned).
     }
 }
 
@@ -161,6 +179,13 @@ mod tests {
                 FlightTicket::Lead(_) => panic!("second joiner must follow"),
             })
         };
+        // Publish only after the follower has cloned the flight inside
+        // `join` (it does so under the table lock, before blocking) —
+        // otherwise it could arrive after retirement and lead a fresh
+        // flight instead.
+        while Arc::strong_count(&leader.flight) < 3 {
+            thread::yield_now();
+        }
         leader.publish("answer".to_owned());
         assert_eq!(
             follower.join().unwrap(),
@@ -214,8 +239,31 @@ mod tests {
                 FlightTicket::Lead(_) => panic!("second joiner must follow"),
             })
         };
+        // Same join-before-publish synchronization as above.
+        while Arc::strong_count(&leader.flight) < 3 {
+            thread::yield_now();
+        }
         drop(leader); // simulates a panicking solve
         assert_eq!(follower.join().unwrap(), FlightOutcome::Abandoned);
         assert!(matches!(table.join("k"), FlightTicket::Lead(_)));
+    }
+
+    #[test]
+    fn explicit_abandon_retires_the_key() {
+        let table = Arc::new(FlightTable::new());
+        assert_eq!(table.in_flight_keys(), 0);
+        let leader = match table.join("k") {
+            FlightTicket::Lead(leader) => leader,
+            FlightTicket::Followed(_) => panic!("first joiner must lead"),
+        };
+        assert_eq!(table.in_flight_keys(), 1);
+        leader.abandon();
+        assert_eq!(table.in_flight_keys(), 0, "abandon must not wedge the key");
+        // The next joiner leads a fresh flight.
+        match table.join("k") {
+            FlightTicket::Lead(leader) => leader.publish("r".to_owned()),
+            FlightTicket::Followed(_) => panic!("abandoned flight must not be joinable"),
+        }
+        assert_eq!(table.in_flight_keys(), 0);
     }
 }

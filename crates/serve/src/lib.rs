@@ -23,7 +23,16 @@
 //!   determinism-preserving warm path, and response rendering. Fully
 //!   usable in-process, no socket required.
 //! * [`protocol`] / [`server`] — length-prefixed text framing over
-//!   TCP, a thread-per-connection accept loop, and the client side.
+//!   TCP, a thread-per-connection accept loop with per-frame read
+//!   deadlines, an idle-connection reaper, and structured rejection of
+//!   over-cap or empty frames.
+//! * [`client`] — a reconnecting client with deadline-aware
+//!   exponential backoff and seeded jitter; never retries past the
+//!   request deadline, never retries `shutdown`.
+//! * [`fault`] — seeded, deterministic fault injection (read stalls,
+//!   connection resets, short writes, solver panics, cache-insert
+//!   drops, clock skew) behind a zero-cost `NoopFaults` default; every
+//!   chaos run is replayable from its seed.
 //!
 //! ## Determinism
 //!
@@ -34,6 +43,17 @@
 //! bit-identical to the unlimited search — and requests whose budget
 //! makes truncation part of the contract bypass the cache lookup. See
 //! [`service`] for the full case analysis.
+//!
+//! ## Failure model
+//!
+//! Any fault — an I/O failure, a slow or hostile peer, a solver-thread
+//! death — degrades the affected request to a well-defined status
+//! (`error`, `shed`, or the fixed-byte `faulted`), never a hang, a
+//! wedged single-flight key, or a wrong-bytes response. Every solve
+//! request lands in exactly one terminal counter, preserving
+//! `cache_hits + coalesced + solver_invocations + shed + faulted ==
+//! requests`; the chaos soak suite drives every fault class against
+//! the invariant. DESIGN.md §12 has the full fault-class table.
 //!
 //! ## Quick start
 //!
@@ -58,7 +78,9 @@
 
 pub mod admission;
 pub mod cache;
+pub mod client;
 pub mod corpus;
+pub mod fault;
 pub mod flight;
 pub mod protocol;
 pub mod server;
@@ -66,11 +88,15 @@ pub mod service;
 
 pub use admission::{admit_decision, AdmissionGauge, SolvePermit};
 pub use cache::{CacheReport, SolveCache};
+pub use client::{RetryClient, RetryPolicy, RetryStats};
 pub use corpus::seeded_corpus;
+pub use fault::{FaultPlan, FaultSite, FaultTrace, Faults, InjectedFaults, NoopFaults, WriteFault};
 pub use flight::{FlightOutcome, FlightTable, FlightTicket, Leader};
-pub use protocol::{read_frame, request, write_frame, Connection, MAX_FRAME_BYTES};
+pub use protocol::{
+    read_frame, read_frame_limited, request, write_frame, Connection, FrameError, MAX_FRAME_BYTES,
+};
 pub use server::Server;
 pub use service::{
-    quality_status, CounterSnapshot, Handled, ServeConfig, ServeCounters, SolveService,
-    RESPONSE_SCHEMA,
+    faulted_response, quality_status, CounterSnapshot, Handled, ServeConfig, ServeCounters,
+    SolveService, RESPONSE_SCHEMA,
 };

@@ -18,6 +18,9 @@
 
 use std::io::{self, BufRead, BufReader, Write};
 use std::net::{TcpStream, ToSocketAddrs};
+use std::time::{Duration, Instant};
+
+use crate::fault::{Faults, WriteFault};
 
 /// Upper bound on a frame payload. Large enough for any realistic
 /// graph (a 10k-node problem renders well under 1 MiB), small enough
@@ -44,6 +47,163 @@ pub fn write_frame<W: Write>(w: &mut W, payload: &[u8]) -> io::Result<()> {
     w.flush()
 }
 
+/// Writes one frame through the fault plane: a fired short-write fault
+/// delivers only a seeded prefix of the frame (header included) and
+/// then fails, simulating a write fault or a peer reset mid-frame.
+///
+/// # Errors
+///
+/// Propagates I/O errors; an injected short write reports
+/// [`io::ErrorKind::BrokenPipe`].
+pub fn write_frame_faulty<W: Write, F: Faults>(
+    w: &mut W,
+    payload: &[u8],
+    faults: &F,
+) -> io::Result<()> {
+    if payload.len() > MAX_FRAME_BYTES {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            format!(
+                "frame of {} bytes exceeds the {MAX_FRAME_BYTES}-byte limit",
+                payload.len()
+            ),
+        ));
+    }
+    let header = format!("{}\n", payload.len());
+    match faults.write_fault(header.len() + payload.len()) {
+        WriteFault::Clean => {
+            w.write_all(header.as_bytes())?;
+            w.write_all(payload)?;
+            w.flush()
+        }
+        WriteFault::Short { keep } => {
+            let header_part = keep.min(header.len());
+            w.write_all(&header.as_bytes()[..header_part])?;
+            w.write_all(&payload[..keep - header_part])?;
+            w.flush()?;
+            Err(io::Error::new(
+                io::ErrorKind::BrokenPipe,
+                "injected short write",
+            ))
+        }
+    }
+}
+
+/// Why the server side failed to read a request frame. The distinction
+/// matters for graceful degradation: a [`FrameError::TooLarge`] frame
+/// gets a structured `error` reply before the close, while a malformed
+/// header cannot even be answered safely (the stream can no longer be
+/// resynchronized).
+#[derive(Debug)]
+pub enum FrameError {
+    /// Clean end of stream before the first header byte.
+    Closed,
+    /// The length prefix parsed but exceeds [`MAX_FRAME_BYTES`]. The
+    /// payload bytes were not consumed, so the connection must close
+    /// after the structured error reply.
+    TooLarge(usize),
+    /// The header or payload was malformed (non-decimal length, EOF
+    /// mid-frame); the stream cannot be resynchronized.
+    Malformed(&'static str),
+    /// The per-frame deadline expired while the frame was in transit.
+    TimedOut,
+    /// An underlying I/O error.
+    Io(io::Error),
+}
+
+/// Reads one frame with an optional per-frame transfer deadline.
+///
+/// The deadline clock starts at the *first header byte*, not at the
+/// call: a connection idling between requests is governed by the idle
+/// reaper, while a peer that starts a frame and then drips it out
+/// (slowloris) is cut off after `frame_timeout`. For the deadline to
+/// be enforced the underlying stream must have a read timeout set —
+/// the timeout tick is when the deadline gets checked.
+///
+/// # Errors
+///
+/// Returns a [`FrameError`] classifying the failure; see its variants.
+pub fn read_frame_limited<R: BufRead>(
+    r: &mut R,
+    frame_timeout: Option<Duration>,
+) -> Result<Vec<u8>, FrameError> {
+    let mut header = Vec::with_capacity(16);
+    let mut deadline: Option<Instant> = None;
+    // Read the length line byte by byte through the buffered reader:
+    // `read_line` would happily buffer an unbounded "length" line.
+    loop {
+        let mut byte = [0_u8; 1];
+        match r.read(&mut byte) {
+            Ok(0) => {
+                if header.is_empty() {
+                    return Err(FrameError::Closed);
+                }
+                return Err(FrameError::Malformed("eof inside frame header"));
+            }
+            Ok(_) => {
+                if deadline.is_none() {
+                    deadline = frame_timeout.map(|t| Instant::now() + t);
+                }
+                if byte[0] == b'\n' {
+                    break;
+                }
+                header.push(byte[0]);
+                if header.len() > 8 {
+                    return Err(FrameError::Malformed("frame header too long"));
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                ) =>
+            {
+                // A socket-timeout tick. With a frame timeout in force
+                // it only matters once a frame is in transit past its
+                // deadline; without one there is no framing policy to
+                // wait under, so honor the socket timeout directly.
+                if frame_timeout.is_none() || deadline.is_some_and(|d| Instant::now() >= d) {
+                    return Err(FrameError::TimedOut);
+                }
+            }
+            Err(e) => return Err(FrameError::Io(e)),
+        }
+    }
+    let text = core::str::from_utf8(&header)
+        .map_err(|_| FrameError::Malformed("non-ascii frame header"))?;
+    let len: usize = text
+        .trim()
+        .parse()
+        .map_err(|_| FrameError::Malformed("frame header is not a decimal length"))?;
+    if len > MAX_FRAME_BYTES {
+        return Err(FrameError::TooLarge(len));
+    }
+    let mut payload = vec![0_u8; len];
+    let mut filled = 0;
+    // Fill manually rather than via `read_exact`: a timeout tick inside
+    // `read_exact` would discard the bytes already consumed.
+    while filled < len {
+        match r.read(&mut payload[filled..]) {
+            Ok(0) => return Err(FrameError::Malformed("eof inside frame payload")),
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                ) =>
+            {
+                if frame_timeout.is_none() || deadline.is_some_and(|d| Instant::now() >= d) {
+                    return Err(FrameError::TimedOut);
+                }
+            }
+            Err(e) => return Err(FrameError::Io(e)),
+        }
+    }
+    Ok(payload)
+}
+
 /// Reads one frame. Returns `Ok(None)` on a clean end of stream (EOF
 /// before the first length byte); anything malformed — a non-numeric
 /// length, a length beyond [`MAX_FRAME_BYTES`], or EOF mid-payload —
@@ -54,43 +214,17 @@ pub fn write_frame<W: Write>(w: &mut W, payload: &[u8]) -> io::Result<()> {
 /// Propagates I/O errors and reports protocol violations as
 /// [`io::ErrorKind::InvalidData`].
 pub fn read_frame<R: BufRead>(r: &mut R) -> io::Result<Option<Vec<u8>>> {
-    let mut header = Vec::with_capacity(16);
-    // Read the length line byte by byte through the buffered reader:
-    // `read_line` would happily buffer an unbounded "length" line.
-    loop {
-        let mut byte = [0_u8; 1];
-        match r.read(&mut byte) {
-            Ok(0) => {
-                if header.is_empty() {
-                    return Ok(None);
-                }
-                return Err(invalid("eof inside frame header"));
-            }
-            Ok(_) => {
-                if byte[0] == b'\n' {
-                    break;
-                }
-                header.push(byte[0]);
-                if header.len() > 8 {
-                    return Err(invalid("frame header too long"));
-                }
-            }
-            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
-            Err(e) => return Err(e),
-        }
+    match read_frame_limited(r, None) {
+        Ok(payload) => Ok(Some(payload)),
+        Err(FrameError::Closed) => Ok(None),
+        Err(FrameError::TooLarge(_)) => Err(invalid("frame exceeds the payload limit")),
+        Err(FrameError::Malformed(msg)) => Err(invalid(msg)),
+        Err(FrameError::TimedOut) => Err(io::Error::new(
+            io::ErrorKind::TimedOut,
+            "frame read timed out",
+        )),
+        Err(FrameError::Io(e)) => Err(e),
     }
-    let text = core::str::from_utf8(&header).map_err(|_| invalid("non-ascii frame header"))?;
-    let len: usize = text
-        .trim()
-        .parse()
-        .map_err(|_| invalid("frame header is not a decimal length"))?;
-    if len > MAX_FRAME_BYTES {
-        return Err(invalid("frame exceeds the payload limit"));
-    }
-    let mut payload = vec![0_u8; len];
-    r.read_exact(&mut payload)
-        .map_err(|_| invalid("eof inside frame payload"))?;
-    Ok(Some(payload))
 }
 
 fn invalid(message: &str) -> io::Error {
@@ -119,6 +253,20 @@ impl Connection {
             reader,
             writer: stream,
         })
+    }
+
+    /// Applies socket-level read/write timeouts (`None` clears them).
+    /// With a read timeout set, a [`Connection::call`] whose response
+    /// never arrives fails with [`io::ErrorKind::TimedOut`] instead of
+    /// blocking forever — the deadline primitive the retrying client
+    /// builds on.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the OS setsockopt failure.
+    pub fn set_timeouts(&self, read: Option<Duration>, write: Option<Duration>) -> io::Result<()> {
+        self.writer.set_read_timeout(read)?;
+        self.writer.set_write_timeout(write)
     }
 
     /// Sends one request payload and waits for its response payload.
@@ -191,5 +339,48 @@ mod tests {
             read_frame(&mut r).unwrap_err().kind(),
             io::ErrorKind::InvalidData
         );
+    }
+
+    #[test]
+    fn limited_reader_classifies_failures() {
+        use crate::fault::NoopFaults;
+        let mut over = Cursor::new(b"99999999\nx".to_vec());
+        assert!(matches!(
+            read_frame_limited(&mut over, None),
+            Err(FrameError::TooLarge(99_999_999))
+        ));
+        let mut eof = Cursor::new(Vec::new());
+        assert!(matches!(
+            read_frame_limited(&mut eof, None),
+            Err(FrameError::Closed)
+        ));
+        let mut bad = Cursor::new(b"1x\nz".to_vec());
+        assert!(matches!(
+            read_frame_limited(&mut bad, None),
+            Err(FrameError::Malformed(_))
+        ));
+        // Zero-length frames are valid at the framing layer; rejecting
+        // them is server policy, not protocol.
+        let mut zero = Vec::new();
+        write_frame_faulty(&mut zero, b"", &NoopFaults).unwrap();
+        let mut r = Cursor::new(zero);
+        assert_eq!(read_frame_limited(&mut r, None).unwrap(), b"");
+    }
+
+    #[test]
+    fn faulty_writer_is_clean_under_noop_and_truncates_when_fired() {
+        use crate::fault::{FaultPlan, FaultSite, InjectedFaults, NoopFaults};
+        let mut clean = Vec::new();
+        write_frame_faulty(&mut clean, b"payload", &NoopFaults).unwrap();
+        let mut reference = Vec::new();
+        write_frame(&mut reference, b"payload").unwrap();
+        assert_eq!(clean, reference);
+
+        let faults = InjectedFaults::new(FaultPlan::only(3, FaultSite::ShortWrite));
+        let mut short = Vec::new();
+        let err = write_frame_faulty(&mut short, b"payload", &faults).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::BrokenPipe);
+        assert!(short.len() < reference.len());
+        assert_eq!(short, reference[..short.len()]);
     }
 }

@@ -2,36 +2,85 @@
 //! thread per connection, framed request/response pairs, and a clean
 //! `shutdown`-verb teardown that wakes the acceptor and joins every
 //! connection thread before returning.
+//!
+//! ## Hardening
+//!
+//! * **Per-frame read deadline** ([`ServeConfig::read_timeout_ms`]):
+//!   once a request frame's first byte arrives, the remainder must land
+//!   within the window — a peer that drips a frame out byte by byte
+//!   (slowloris) is disconnected, not waited on.
+//! * **Idle reaper** ([`ServeConfig::idle_timeout_ms`]): a background
+//!   thread scans the live-connection registry and closes connections
+//!   that have not *completed* a frame within the idle window, so
+//!   half-open or silent peers cannot pin threads forever.
+//! * **Structured rejections**: an over-cap length prefix is answered
+//!   with an `error` frame *before* the close (the payload was never
+//!   consumed, so the stream cannot be resynchronized); a zero-length
+//!   frame is answered with an `error` frame and the connection keeps
+//!   serving (the stream is still in sync).
+//! * **Fault hooks**: with an armed [`Faults`] plane the handler can
+//!   stall before reads, reset connections, and short-write responses —
+//!   the chaos suite drives all of it deterministically from a seed.
 
 use std::collections::HashMap;
 use std::io::{self, BufReader};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread;
+use std::time::{Duration, Instant};
 
-use crate::protocol::{read_frame, write_frame};
-use crate::service::{Handled, ServeConfig, SolveService};
+use crate::fault::{Faults, NoopFaults};
+use crate::protocol::{read_frame_limited, write_frame_faulty, FrameError, MAX_FRAME_BYTES};
+use crate::service::{error_response, Handled, ServeConfig, SolveService};
 
 /// A bound-but-not-yet-running serve endpoint.
 #[derive(Debug)]
-pub struct Server {
+pub struct Server<F: Faults = NoopFaults> {
     listener: TcpListener,
-    service: Arc<SolveService>,
+    service: Arc<SolveService<F>>,
+    config: ServeConfig,
     shutdown: Arc<AtomicBool>,
 }
 
+/// One live connection as the reaper sees it: the socket handle used
+/// to force-close it and the wall-clock (milliseconds since server
+/// start) of its last completed frame.
+#[derive(Debug)]
+struct LiveConn {
+    stream: TcpStream,
+    last_activity_ms: Arc<AtomicU64>,
+}
+
+type Registry = Arc<Mutex<HashMap<u64, LiveConn>>>;
+
 impl Server {
     /// Binds a listener (use port 0 for an ephemeral port) and builds
-    /// the service behind it.
+    /// the fault-free service behind it.
     ///
     /// # Errors
     ///
     /// Propagates bind failures.
     pub fn bind<A: ToSocketAddrs>(addr: A, config: ServeConfig) -> io::Result<Self> {
+        Server::bind_with_faults(addr, config, NoopFaults)
+    }
+}
+
+impl<F: Faults> Server<F> {
+    /// Binds a listener with an explicit fault-injection plane.
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind failures.
+    pub fn bind_with_faults<A: ToSocketAddrs>(
+        addr: A,
+        config: ServeConfig,
+        faults: F,
+    ) -> io::Result<Self> {
         Ok(Server {
             listener: TcpListener::bind(addr)?,
-            service: Arc::new(SolveService::new(config)),
+            service: Arc::new(SolveService::with_faults(config, faults)),
+            config,
             shutdown: Arc::new(AtomicBool::new(false)),
         })
     }
@@ -48,15 +97,15 @@ impl Server {
     /// The service behind the listener, for in-process inspection
     /// (tests and benchmarks read counters through this).
     #[must_use]
-    pub fn service(&self) -> Arc<SolveService> {
+    pub fn service(&self) -> Arc<SolveService<F>> {
         Arc::clone(&self.service)
     }
 
     /// Runs the accept loop until a connection issues the `shutdown`
-    /// verb, then joins every connection thread and returns. Clients
-    /// still connected at shutdown have their sockets closed out from
-    /// under their parked reads — an idle connection must never stall
-    /// the teardown.
+    /// verb, then joins every connection thread (and the idle reaper)
+    /// and returns. Clients still connected at shutdown have their
+    /// sockets closed out from under their parked reads — an idle
+    /// connection must never stall the teardown.
     ///
     /// # Errors
     ///
@@ -64,11 +113,21 @@ impl Server {
     /// that connection).
     pub fn run(self) -> io::Result<()> {
         let addr = self.listener.local_addr()?;
+        let epoch = Instant::now();
         let mut handles: Vec<thread::JoinHandle<()>> = Vec::new();
         // Live connections by id, so shutdown can unblock handlers
-        // parked in `read_frame`. Handlers deregister themselves on
-        // exit, keeping the registry proportional to open connections.
-        let live: Arc<Mutex<HashMap<u64, TcpStream>>> = Arc::new(Mutex::new(HashMap::new()));
+        // parked in their reads and the reaper can close idle peers.
+        // Handlers deregister themselves on exit, keeping the registry
+        // proportional to open connections.
+        let live: Registry = Arc::new(Mutex::new(HashMap::new()));
+        let reaper = (self.config.idle_timeout_ms > 0).then(|| {
+            spawn_reaper(
+                Arc::clone(&live),
+                Arc::clone(&self.shutdown),
+                epoch,
+                Duration::from_millis(self.config.idle_timeout_ms),
+            )
+        });
         let mut next_id = 0_u64;
         loop {
             let (stream, _) = self.listener.accept()?;
@@ -81,14 +140,30 @@ impl Server {
             handles.retain(|h| !h.is_finished());
             let id = next_id;
             next_id += 1;
+            let last_activity_ms = Arc::new(AtomicU64::new(elapsed_ms(epoch)));
             if let (Ok(clone), Ok(mut map)) = (stream.try_clone(), live.lock()) {
-                map.insert(id, clone);
+                map.insert(
+                    id,
+                    LiveConn {
+                        stream: clone,
+                        last_activity_ms: Arc::clone(&last_activity_ms),
+                    },
+                );
             }
             let service = Arc::clone(&self.service);
             let shutdown = Arc::clone(&self.shutdown);
             let live = Arc::clone(&live);
+            let config = self.config;
             handles.push(thread::spawn(move || {
-                serve_connection(stream, &service, &shutdown, addr);
+                serve_connection(
+                    stream,
+                    &service,
+                    &shutdown,
+                    addr,
+                    config,
+                    epoch,
+                    &last_activity_ms,
+                );
                 if let Ok(mut map) = live.lock() {
                     map.remove(&id);
                 }
@@ -97,46 +172,130 @@ impl Server {
         // Kick every surviving connection out of its blocking read;
         // the handlers then observe EOF/error and return.
         if let Ok(mut map) = live.lock() {
-            for (_, stream) in map.drain() {
-                let _ = stream.shutdown(Shutdown::Both);
+            for (_, conn) in map.drain() {
+                let _ = conn.stream.shutdown(Shutdown::Both);
             }
         }
         for handle in handles {
             let _ = handle.join();
         }
+        if let Some(reaper) = reaper {
+            let _ = reaper.join();
+        }
         Ok(())
     }
 }
 
+/// Milliseconds since the server epoch, saturating.
+fn elapsed_ms(epoch: Instant) -> u64 {
+    u64::try_from(epoch.elapsed().as_millis()).unwrap_or(u64::MAX)
+}
+
+/// The slowloris defense for *silent* connections: every tick, close
+/// any connection whose last completed frame is older than the idle
+/// window. The handler thread then observes the forced EOF and exits;
+/// it — not the reaper — deregisters the connection.
+fn spawn_reaper(
+    live: Registry,
+    shutdown: Arc<AtomicBool>,
+    epoch: Instant,
+    idle: Duration,
+) -> thread::JoinHandle<()> {
+    thread::spawn(move || {
+        let idle_ms = u64::try_from(idle.as_millis()).unwrap_or(u64::MAX).max(1);
+        let tick = Duration::from_millis((idle_ms / 4).clamp(5, 250));
+        while !shutdown.load(Ordering::Acquire) {
+            thread::sleep(tick);
+            let now_ms = elapsed_ms(epoch);
+            if let Ok(map) = live.lock() {
+                for conn in map.values() {
+                    let last = conn.last_activity_ms.load(Ordering::Relaxed);
+                    if now_ms.saturating_sub(last) > idle_ms {
+                        let _ = conn.stream.shutdown(Shutdown::Both);
+                    }
+                }
+            }
+        }
+    })
+}
+
 /// Serves framed request/response pairs on one connection until the
 /// peer disconnects, a framing error occurs, or a shutdown is issued.
-fn serve_connection(
+fn serve_connection<F: Faults>(
     stream: TcpStream,
-    service: &SolveService,
+    service: &SolveService<F>,
     shutdown: &AtomicBool,
     server_addr: SocketAddr,
+    config: ServeConfig,
+    epoch: Instant,
+    last_activity_ms: &AtomicU64,
 ) {
     let _ = stream.set_nodelay(true);
+    let frame_timeout =
+        (config.read_timeout_ms > 0).then(|| Duration::from_millis(config.read_timeout_ms));
+    if let Some(timeout) = frame_timeout {
+        // The socket timeout is the poll tick that lets the frame
+        // deadline be checked while a read is parked; a fraction of
+        // the frame window keeps the check timely without busy-waiting.
+        let tick = timeout
+            .min(Duration::from_millis(50))
+            .max(Duration::from_millis(1));
+        let _ = stream.set_read_timeout(Some(tick));
+        let _ = stream.set_write_timeout(Some(timeout));
+    }
     let Ok(mut writer) = stream.try_clone() else {
         return;
     };
+    let faults = service.faults();
     let mut reader = BufReader::new(stream);
     loop {
-        // Clean EOF or a framing violation: either way this connection
-        // is done (there is no way to resynchronize a length-prefixed
-        // stream after a bad header).
-        let Ok(Some(payload)) = read_frame(&mut reader) else {
+        if faults.reset_connection() {
+            // Injected mid-conversation RST: drop without a reply.
             return;
+        }
+        if let Some(stall) = faults.read_stall() {
+            thread::sleep(stall);
+        }
+        let payload = match read_frame_limited(&mut reader, frame_timeout) {
+            Ok(payload) if payload.is_empty() => {
+                // A zero-length frame carries no verb. The stream is
+                // still in sync (nothing followed the header), so
+                // answer with a structured error and keep serving.
+                let reply = error_response("empty frame");
+                if write_frame_faulty(&mut writer, reply.as_bytes(), faults).is_err() {
+                    return;
+                }
+                last_activity_ms.store(elapsed_ms(epoch), Ordering::Relaxed);
+                continue;
+            }
+            Ok(payload) => payload,
+            Err(FrameError::TooLarge(len)) => {
+                // The length prefix parsed but the payload would bust
+                // the cap. Reply with a structured error *first* — the
+                // peer learns why — then close: the unread payload
+                // bytes make resynchronization impossible.
+                let reply = error_response(&format!(
+                    "too-large: frame of {len} bytes exceeds the {MAX_FRAME_BYTES}-byte limit"
+                ));
+                let _ = write_frame_faulty(&mut writer, reply.as_bytes(), faults);
+                return;
+            }
+            Err(_) => {
+                // Clean EOF, malformed header, frame deadline, or I/O
+                // failure: the connection is done (a bad header leaves
+                // no way to resynchronize a length-prefixed stream).
+                return;
+            }
         };
         let payload = String::from_utf8_lossy(&payload);
         match service.handle(&payload) {
             Handled::Reply(response) => {
-                if write_frame(&mut writer, response.as_bytes()).is_err() {
+                if write_frame_faulty(&mut writer, response.as_bytes(), faults).is_err() {
                     return;
                 }
             }
             Handled::Shutdown(response) => {
-                let _ = write_frame(&mut writer, response.as_bytes());
+                let _ = write_frame_faulty(&mut writer, response.as_bytes(), faults);
                 shutdown.store(true, Ordering::Release);
                 // The acceptor is blocked in `accept`; poke it awake so
                 // it observes the flag and exits.
@@ -144,13 +303,15 @@ fn serve_connection(
                 return;
             }
         }
+        last_activity_ms.store(elapsed_ms(epoch), Ordering::Relaxed);
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::protocol::{request, Connection};
+    use crate::protocol::{request, write_frame, Connection};
+    use std::io::{Read, Write};
 
     const RING: &str = "solve\ndfg ring\nnode v0 add 1\nnode v1 add 1\nnode v2 add 1\nnode v3 add 1\nedge v0 v1 0\nedge v1 v2 0\nedge v2 v3 0\nedge v3 v0 2\n";
 
@@ -181,5 +342,113 @@ mod tests {
         // reads rather than wait for every client to hang up.
         running.join().unwrap().unwrap();
         drop(conn);
+    }
+
+    #[test]
+    fn over_cap_frame_gets_a_structured_error_then_close() {
+        let server = Server::bind(("127.0.0.1", 0), ServeConfig::default()).unwrap();
+        let addr = server.local_addr().unwrap();
+        let running = thread::spawn(move || server.run());
+
+        // Hand-roll the over-cap header: `write_frame` refuses to.
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream.write_all(b"99999999\n").unwrap();
+        stream.flush().unwrap();
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        let reply = crate::protocol::read_frame(&mut reader).unwrap().unwrap();
+        let reply = String::from_utf8(reply).unwrap();
+        assert!(reply.contains("\"status\": \"error\""), "{reply}");
+        assert!(reply.contains("too-large"), "{reply}");
+        // …and then the close: the next read sees EOF.
+        let mut rest = Vec::new();
+        reader.read_to_end(&mut rest).unwrap();
+        assert!(rest.is_empty(), "connection must close after the error");
+
+        assert!(request(addr, "shutdown").is_ok());
+        running.join().unwrap().unwrap();
+    }
+
+    #[test]
+    fn zero_length_frame_is_rejected_without_dropping_the_connection() {
+        let server = Server::bind(("127.0.0.1", 0), ServeConfig::default()).unwrap();
+        let addr = server.local_addr().unwrap();
+        let running = thread::spawn(move || server.run());
+
+        let stream = TcpStream::connect(addr).unwrap();
+        let mut writer = stream.try_clone().unwrap();
+        let mut reader = BufReader::new(stream);
+        write_frame(&mut writer, b"").unwrap();
+        let reply = crate::protocol::read_frame(&mut reader).unwrap().unwrap();
+        let reply = String::from_utf8(reply).unwrap();
+        assert!(reply.contains("\"status\": \"error\""), "{reply}");
+        // The same connection still serves real requests afterwards.
+        write_frame(&mut writer, b"ping").unwrap();
+        let pong = crate::protocol::read_frame(&mut reader).unwrap().unwrap();
+        assert!(String::from_utf8(pong)
+            .unwrap()
+            .contains("\"status\": \"ok\""));
+
+        assert!(request(addr, "shutdown").is_ok());
+        running.join().unwrap().unwrap();
+    }
+
+    #[test]
+    fn slowloris_frame_is_cut_off_by_the_read_deadline() {
+        let config = ServeConfig {
+            read_timeout_ms: 80,
+            ..ServeConfig::default()
+        };
+        let server = Server::bind(("127.0.0.1", 0), config).unwrap();
+        let addr = server.local_addr().unwrap();
+        let running = thread::spawn(move || server.run());
+
+        // Start a frame, then drip: the server must disconnect us.
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream.write_all(b"10\nab").unwrap();
+        stream.flush().unwrap();
+        stream
+            .set_read_timeout(Some(Duration::from_secs(10)))
+            .unwrap();
+        let started = Instant::now();
+        let mut buf = [0_u8; 16];
+        // The read returns 0 (EOF) once the server drops us.
+        let n = stream.read(&mut buf).unwrap_or(0);
+        assert_eq!(n, 0, "server must close the dripping connection");
+        assert!(
+            started.elapsed() < Duration::from_secs(8),
+            "deadline must fire well before the watchdog"
+        );
+
+        // A healthy connection still works (fast frames fit easily).
+        assert!(request(addr, "ping")
+            .unwrap()
+            .contains("\"status\": \"ok\""));
+        assert!(request(addr, "shutdown").is_ok());
+        running.join().unwrap().unwrap();
+    }
+
+    #[test]
+    fn idle_reaper_closes_silent_connections() {
+        let config = ServeConfig {
+            idle_timeout_ms: 100,
+            ..ServeConfig::default()
+        };
+        let server = Server::bind(("127.0.0.1", 0), config).unwrap();
+        let addr = server.local_addr().unwrap();
+        let running = thread::spawn(move || server.run());
+
+        // Connect and go silent: the reaper must hang up on us.
+        let mut idle = TcpStream::connect(addr).unwrap();
+        idle.set_read_timeout(Some(Duration::from_secs(10)))
+            .unwrap();
+        let mut buf = [0_u8; 1];
+        let started = Instant::now();
+        let n = idle.read(&mut buf).unwrap_or(0);
+        assert_eq!(n, 0, "reaper must close the idle connection");
+        assert!(started.elapsed() >= Duration::from_millis(80));
+        assert!(started.elapsed() < Duration::from_secs(8));
+
+        assert!(request(addr, "shutdown").is_ok());
+        running.join().unwrap().unwrap();
     }
 }

@@ -32,7 +32,27 @@
 //!   contract as the CLI's `--deadline-ms`): they get admission
 //!   control and, when admitted, the cache lookup plus a solo solve.
 //!   A `shed` response is a fixed byte string carrying no load data.
+//!
+//! ## Graceful degradation
+//!
+//! A solve whose solver thread dies — a real panic or one injected by
+//! the [`fault`](crate::fault) plane — degrades to a fixed-byte
+//! `faulted` response instead of poisoning the service: the panic is
+//! caught at the solve boundary, the single-flight leadership is
+//! *abandoned* (never published, so followers can requeue and re-solve
+//! rather than inherit the failure), and the admission permit is
+//! released so no phantom load accumulates. Every solve request
+//! therefore lands in exactly one terminal bucket, which is the serve
+//! invariant the chaos suite asserts:
+//!
+//! ```text
+//! cache_hits + coalesced + solver_invocations + shed + faulted == requests
+//! ```
+//!
+//! (over parse-clean `solve` requests; `parse_errors` and the other
+//! verbs are accounted separately).
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -41,7 +61,14 @@ use rotsched_core::{ProblemSpec, RotationScheduler, SolveOutcome, SolveQuality};
 
 use crate::admission::AdmissionGauge;
 use crate::cache::{CacheReport, SolveCache};
+use crate::fault::{FaultTrace, Faults, NoopFaults};
 use crate::flight::{FlightOutcome, FlightTable, FlightTicket};
+
+/// How many times a follower whose leader died re-enters the warm path
+/// before giving up with a `faulted` response. Each requeue re-probes
+/// the cache and rejoins the flight table, so one healthy re-solve
+/// satisfies every waiting follower.
+const MAX_REQUEUES: u32 = 3;
 
 /// Schema tag carried by every response.
 pub const RESPONSE_SCHEMA: &str = "rotsched-serve-v1";
@@ -56,6 +83,14 @@ pub struct ServeConfig {
     /// EWMA seed for the per-solve cost estimate, in nanoseconds
     /// (0 = the admission module's default assumption).
     pub assumed_solve_ns: u64,
+    /// Per-frame transfer deadline in milliseconds (0 = none): once a
+    /// request frame's first byte arrives, the whole frame must land
+    /// within this window or the connection is dropped — the slowloris
+    /// defense for in-flight frames.
+    pub read_timeout_ms: u64,
+    /// Idle-connection deadline in milliseconds (0 = none): a
+    /// connection that completes no frame for this long is reaped.
+    pub idle_timeout_ms: u64,
 }
 
 impl Default for ServeConfig {
@@ -64,6 +99,8 @@ impl Default for ServeConfig {
             cache_bytes: 8 << 20,
             shards: 8,
             assumed_solve_ns: 0,
+            read_timeout_ms: 0,
+            idle_timeout_ms: 0,
         }
     }
 }
@@ -79,6 +116,8 @@ pub struct ServeCounters {
     cache_misses: AtomicU64,
     coalesced: AtomicU64,
     shed: AtomicU64,
+    faulted: AtomicU64,
+    cache_insert_drops: AtomicU64,
 }
 
 /// A point-in-time copy of [`ServeCounters`].
@@ -101,6 +140,13 @@ pub struct CounterSnapshot {
     pub coalesced: u64,
     /// Deadline requests refused by admission control.
     pub shed: u64,
+    /// Requests degraded to the fixed `faulted` response because their
+    /// solve died (a caught solver panic) or every requeue after a
+    /// leader death found another dead leader.
+    pub faulted: u64,
+    /// Completed responses not cached because the fault plane dropped
+    /// the insert (diagnostic; always 0 without injection).
+    pub cache_insert_drops: u64,
 }
 
 impl ServeCounters {
@@ -120,6 +166,8 @@ impl ServeCounters {
             cache_misses: self.cache_misses.load(Ordering::Relaxed),
             coalesced: self.coalesced.load(Ordering::Relaxed),
             shed: self.shed.load(Ordering::Relaxed),
+            faulted: self.faulted.load(Ordering::Relaxed),
+            cache_insert_drops: self.cache_insert_drops.load(Ordering::Relaxed),
         }
     }
 }
@@ -145,24 +193,62 @@ impl Handled {
 
 /// The warm-path solve service. Thread-safe: wrap it in an [`Arc`] and
 /// call [`SolveService::handle`] from any number of threads.
+///
+/// The `F` parameter is the fault-injection plane. The default,
+/// [`NoopFaults`], is a zero-sized type whose hooks are constant `None`
+/// / `false` answers — the compiler monomorphizes every injection
+/// check out of the production hot path (guarded by the
+/// `fault_overhead` arm of `perf_report`). Chaos tests instantiate
+/// [`SolveService::with_faults`] with an armed
+/// [`InjectedFaults`](crate::fault::InjectedFaults) plane instead.
 #[derive(Debug)]
-pub struct SolveService {
+pub struct SolveService<F: Faults = NoopFaults> {
     cache: SolveCache,
     flights: Arc<FlightTable>,
     gauge: Arc<AdmissionGauge>,
     counters: ServeCounters,
+    faults: F,
 }
 
 impl SolveService {
-    /// Builds a service from its tuning knobs.
+    /// Builds a fault-free service from its tuning knobs.
     #[must_use]
     pub fn new(config: ServeConfig) -> Self {
+        SolveService::with_faults(config, NoopFaults)
+    }
+}
+
+impl<F: Faults> SolveService<F> {
+    /// Builds a service with an explicit fault-injection plane.
+    #[must_use]
+    pub fn with_faults(config: ServeConfig, faults: F) -> Self {
         SolveService {
             cache: SolveCache::new(config.shards, config.cache_bytes),
             flights: Arc::new(FlightTable::new()),
             gauge: Arc::new(AdmissionGauge::new(config.assumed_solve_ns)),
             counters: ServeCounters::default(),
+            faults,
         }
+    }
+
+    /// The fault plane, for transport-layer hooks (read/write faults
+    /// live in the server, not the service).
+    #[must_use]
+    pub fn faults(&self) -> &F {
+        &self.faults
+    }
+
+    /// The realized fault trace, when the plane records one.
+    #[must_use]
+    pub fn fault_trace(&self) -> Option<FaultTrace> {
+        self.faults.trace()
+    }
+
+    /// Cache keys with a solve currently in flight. A quiescent
+    /// service must report 0; anything else is a wedged key.
+    #[must_use]
+    pub fn in_flight_keys(&self) -> usize {
+        self.flights.in_flight_keys()
     }
 
     /// The live counters.
@@ -219,7 +305,7 @@ impl SolveService {
                 ServeCounters::bump(&self.counters.shed);
                 return shed_response();
             }
-            return self.run_solver(&spec, fingerprint, &key);
+            return self.run_solver(&spec, fingerprint, &key).response;
         }
 
         if spec.budget.max_rotations().is_some() {
@@ -227,71 +313,126 @@ impl SolveService {
             // the contract, so the cache lookup is skipped — a cached
             // canonical answer must not shadow the truncated one. The
             // solve still feeds the cache when the budget never fires.
-            return self.run_solver(&spec, fingerprint, &key);
+            return self.run_solver(&spec, fingerprint, &key).response;
         }
 
-        // Unlimited requests: the full warm path.
-        if let Some(hit) = self.cache.get(fingerprint, &key) {
-            ServeCounters::bump(&self.counters.cache_hits);
-            return hit;
-        }
-        match self.flights.join(&key) {
-            FlightTicket::Followed(FlightOutcome::Response(response)) => {
-                ServeCounters::bump(&self.counters.coalesced);
-                response
+        // Unlimited requests: the full warm path. The loop is the
+        // requeue path — a follower whose leader died re-enters at the
+        // cache probe (a healthy leader may have published meanwhile)
+        // and otherwise rejoins the flight, possibly as the new leader.
+        let mut requeues = 0_u32;
+        loop {
+            if let Some(hit) = self.cache.get(fingerprint, &key) {
+                ServeCounters::bump(&self.counters.cache_hits);
+                return hit;
             }
-            FlightTicket::Followed(FlightOutcome::Abandoned) => {
-                ServeCounters::bump(&self.counters.solve_errors);
-                error_response("coalesced solve was abandoned")
-            }
-            FlightTicket::Lead(leader) => {
-                // Double-checked: a previous leader may have inserted
-                // and retired between our lookup miss and our join —
-                // solving again would break exactly-one-solve-per-key.
-                if let Some(hit) = self.cache.get(fingerprint, &key) {
-                    ServeCounters::bump(&self.counters.cache_hits);
-                    leader.publish(hit.clone());
-                    return hit;
+            match self.flights.join(&key) {
+                FlightTicket::Followed(FlightOutcome::Response(response)) => {
+                    ServeCounters::bump(&self.counters.coalesced);
+                    return response;
                 }
-                let response = self.run_solver(&spec, fingerprint, &key);
-                // Insert (done inside run_solver) strictly precedes
-                // publish-and-retire, so no later request can miss both
-                // the cache and the flight.
-                leader.publish(response.clone());
-                response
+                FlightTicket::Followed(FlightOutcome::Abandoned) => {
+                    // The leader died without publishing. Requeue a
+                    // bounded number of times, then degrade: no request
+                    // ever hangs on a wedged key.
+                    requeues += 1;
+                    if requeues > MAX_REQUEUES {
+                        ServeCounters::bump(&self.counters.faulted);
+                        return faulted_response();
+                    }
+                }
+                FlightTicket::Lead(leader) => {
+                    // Double-checked: a previous leader may have inserted
+                    // and retired between our lookup miss and our join —
+                    // solving again would break exactly-one-solve-per-key.
+                    if let Some(hit) = self.cache.get(fingerprint, &key) {
+                        ServeCounters::bump(&self.counters.cache_hits);
+                        leader.publish(hit.clone());
+                        return hit;
+                    }
+                    let run = self.run_solver(&spec, fingerprint, &key);
+                    if run.faulted {
+                        // Never share a faulted response: abandoning
+                        // lets followers requeue and re-solve cleanly.
+                        leader.abandon();
+                    } else {
+                        // Insert (done inside run_solver) strictly
+                        // precedes publish-and-retire, so no later
+                        // request can miss both the cache and the
+                        // flight.
+                        leader.publish(run.response.clone());
+                    }
+                    return run.response;
+                }
             }
         }
     }
 
     /// Invokes the real solver — the only call site — and caches the
     /// response when the outcome is completed (no budget stop, no
-    /// panicked worker).
-    fn run_solver(&self, spec: &ProblemSpec, fingerprint: u64, key: &str) -> String {
-        ServeCounters::bump(&self.counters.solver_invocations);
+    /// panicked worker) and the fault plane does not drop the insert.
+    ///
+    /// The solve runs under `catch_unwind`: a solver-thread death (real
+    /// or injected through the budget meter's panic hook) degrades to
+    /// the fixed `faulted` response. The admission permit lives outside
+    /// the protected region, so even a panicking solve releases its
+    /// in-flight slot and feeds its elapsed time into the gauge.
+    fn run_solver(&self, spec: &ProblemSpec, fingerprint: u64, key: &str) -> SolverRun {
         if spec.budget.deadline().is_none() && spec.budget.max_rotations().is_none() {
             ServeCounters::bump(&self.counters.cache_misses);
         }
+        let mut budget = spec.budget.clone();
+        if let Some(after) = self.faults.solver_panic_after() {
+            budget = budget.with_panic_after(after);
+        }
         let permit = self.gauge.start_solve();
-        let scheduler = RotationScheduler::new(&spec.dfg, spec.resources.clone())
-            .with_policy(spec.policy)
-            .with_config(spec.config)
-            .with_budget(spec.budget.clone());
-        let rendered = scheduler.solve().and_then(|solved| {
-            let kernel = scheduler.loop_schedule(&solved.state)?;
-            Ok(render_solved(spec, &solved, &kernel))
-        });
+        let rendered = catch_unwind(AssertUnwindSafe(|| {
+            let scheduler = RotationScheduler::new(&spec.dfg, spec.resources.clone())
+                .with_policy(spec.policy)
+                .with_config(spec.config)
+                .with_budget(budget);
+            scheduler.solve().and_then(|solved| {
+                let kernel = scheduler.loop_schedule(&solved.state)?;
+                Ok(render_solved(spec, &solved, &kernel))
+            })
+        }));
         drop(permit);
+        if let Some(skew_ns) = self.faults.clock_skew_ns() {
+            // A skewed clock reading: fold the pathological observed
+            // cost into the gauge exactly as a mis-measured solve
+            // would. Admission sheds harder until the EWMA decays.
+            self.gauge.observe(skew_ns);
+        }
         match rendered {
-            Ok((response, completed)) => {
+            Ok(Ok((response, completed))) => {
+                ServeCounters::bump(&self.counters.solver_invocations);
                 if completed {
-                    self.cache
-                        .insert(fingerprint, key.to_owned(), response.clone());
+                    if self.faults.drop_cache_insert() {
+                        ServeCounters::bump(&self.counters.cache_insert_drops);
+                    } else {
+                        self.cache
+                            .insert(fingerprint, key.to_owned(), response.clone());
+                    }
                 }
-                response
+                SolverRun {
+                    response,
+                    faulted: false,
+                }
             }
-            Err(e) => {
+            Ok(Err(e)) => {
+                ServeCounters::bump(&self.counters.solver_invocations);
                 ServeCounters::bump(&self.counters.solve_errors);
-                error_response(&format!("{e}"))
+                SolverRun {
+                    response: error_response(&format!("{e}")),
+                    faulted: false,
+                }
+            }
+            Err(_panic) => {
+                ServeCounters::bump(&self.counters.faulted);
+                SolverRun {
+                    response: faulted_response(),
+                    faulted: true,
+                }
             }
         }
     }
@@ -312,6 +453,9 @@ impl SolveService {
             ("cache_misses", c.cache_misses),
             ("coalesced", c.coalesced),
             ("shed", c.shed),
+            ("faulted", c.faulted),
+            ("cache_insert_drops", c.cache_insert_drops),
+            ("in_flight_keys", self.in_flight_keys() as u64),
             ("cache_entries", cache.entries),
             ("cache_bytes", cache.bytes),
             ("cache_insertions", cache.insertions),
@@ -328,6 +472,14 @@ impl SolveService {
         out.push('}');
         out
     }
+}
+
+/// The outcome of one real solver run: the response payload and
+/// whether it came from a caught panic (faulted responses are never
+/// published to followers or cached).
+struct SolverRun {
+    response: String,
+    faulted: bool,
 }
 
 /// Maps a solve quality to the wire status and the load generator's
@@ -371,7 +523,15 @@ fn shed_response() -> String {
     format!("{{\"schema\": \"{RESPONSE_SCHEMA}\", \"status\": \"shed\"}}")
 }
 
-fn error_response(message: &str) -> String {
+/// The fixed-byte degraded response for a request whose solve died.
+/// Like `shed`, it carries no failure details — panic payloads are
+/// process-local and would break byte-determinism across runs.
+#[must_use]
+pub fn faulted_response() -> String {
+    format!("{{\"schema\": \"{RESPONSE_SCHEMA}\", \"status\": \"faulted\"}}")
+}
+
+pub(crate) fn error_response(message: &str) -> String {
     let mut out = String::with_capacity(64 + message.len());
     out.push_str("{\"schema\": \"");
     out.push_str(RESPONSE_SCHEMA);
@@ -525,6 +685,77 @@ mod tests {
         assert_eq!(service.handle("ping"), Handled::Reply(ok_response()));
         let stats = service.handle("stats").response().to_owned();
         assert!(stats.contains("\"requests\": 2"), "{stats}");
+        assert!(stats.contains("\"faulted\": 0"), "{stats}");
         assert!(matches!(service.handle("shutdown"), Handled::Shutdown(_)));
+    }
+
+    /// A fault plane that kills exactly the first solve, then behaves.
+    #[derive(Debug, Default)]
+    struct PanicOnce {
+        fired: std::sync::atomic::AtomicBool,
+    }
+
+    impl crate::fault::Faults for PanicOnce {
+        fn solver_panic_after(&self) -> Option<u64> {
+            (!self.fired.swap(true, Ordering::Relaxed)).then_some(0)
+        }
+    }
+
+    #[test]
+    fn solver_panic_degrades_to_faulted_and_the_service_recovers() {
+        let service = SolveService::with_faults(ServeConfig::default(), PanicOnce::default());
+        let dead = service.handle(&solve_payload("")).response().to_owned();
+        assert_eq!(dead, faulted_response());
+        let c = service.counters();
+        assert_eq!(c.faulted, 1);
+        assert_eq!(c.solver_invocations, 0, "a dead solve is not an invocation");
+        assert_eq!(service.in_flight_keys(), 0, "no wedged key after a panic");
+        // The very next request re-solves cleanly — the faulted bytes
+        // were neither cached nor published.
+        let healthy = service.handle(&solve_payload("")).response().to_owned();
+        assert!(healthy.contains("\"status\": \"ok\""), "{healthy}");
+        let c = service.counters();
+        assert_eq!(c.solver_invocations, 1);
+        // Terminal-bucket invariant over the two solve requests.
+        assert_eq!(
+            c.cache_hits + c.coalesced + c.solver_invocations + c.shed + c.faulted,
+            c.requests
+        );
+    }
+
+    #[test]
+    fn dropped_cache_inserts_force_identical_resolves() {
+        use crate::fault::{FaultPlan, FaultSite, InjectedFaults};
+        let service = SolveService::with_faults(
+            ServeConfig::default(),
+            InjectedFaults::new(FaultPlan::only(5, FaultSite::CacheDrop)),
+        );
+        let first = service.handle(&solve_payload("")).response().to_owned();
+        let second = service.handle(&solve_payload("")).response().to_owned();
+        assert_eq!(first, second, "re-solves must be byte-identical");
+        let c = service.counters();
+        assert_eq!(c.solver_invocations, 2, "every insert was dropped");
+        assert_eq!(c.cache_insert_drops, 2);
+        assert_eq!(c.cache_hits, 0);
+    }
+
+    #[test]
+    fn clock_skew_pins_the_gauge_and_deadline_requests_shed() {
+        use crate::fault::{FaultPlan, FaultSite, InjectedFaults};
+        let service = SolveService::with_faults(
+            ServeConfig::default(),
+            InjectedFaults::new(FaultPlan::only(9, FaultSite::ClockSkew)),
+        );
+        // The unlimited solve completes normally but poisons the gauge
+        // with a pathological observed cost.
+        let ok = service.handle(&solve_payload("")).response().to_owned();
+        assert!(ok.contains("\"status\": \"ok\""), "{ok}");
+        // A *different* problem with a finite deadline is now shed with
+        // the fixed bytes (the skewed estimate projects past any
+        // deadline); the cached first problem still warm-hits.
+        let other = "solve\ndfg other\nnode a add 1\nnode b add 1\nedge a b 0\nedge b a 1\nbudget deadline-ms 100\n";
+        let shed = service.handle(other).response().to_owned();
+        assert_eq!(shed, shed_response());
+        assert_eq!(service.counters().shed, 1);
     }
 }

@@ -1,0 +1,345 @@
+//! Chaos soak: the PR 7 serve invariants must survive every fault
+//! class the injection plane can throw.
+//!
+//! Each soak drives an 8-thread mixed workload against a service armed
+//! with the standard chaos plan at a fixed seed and asserts:
+//!
+//! * **Byte identity** — every delivered response is either
+//!   byte-identical to the fault-free run of the same payload or one
+//!   of the fixed-byte degraded statuses (`shed`, `faulted`). Never a
+//!   third thing, never wrong bytes.
+//! * **Terminal-bucket invariant** — `cache_hits + coalesced +
+//!   solver_invocations + shed + faulted == requests` over the solve
+//!   workload: every request lands in exactly one bucket.
+//! * **No wedged keys** — after the workload quiesces, the
+//!   single-flight table is empty.
+//! * **Clean teardown** — socket soaks join the server within the test
+//!   deadline even with connections mid-fault.
+//!
+//! The same seeds run in CI's `chaos-smoke` job.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread;
+use std::time::{Duration, Instant};
+
+use rotsched_serve::{
+    faulted_response, seeded_corpus, FaultPlan, InjectedFaults, RetryClient, RetryPolicy,
+    ServeConfig, Server, SolveService, RESPONSE_SCHEMA,
+};
+
+const THREADS: usize = 8;
+const ROUNDS: usize = 3;
+const UNIQUE: usize = 6;
+const CORPUS_SEED: u64 = 11;
+
+/// Installs a panic hook that silences the *injected* solver panics
+/// (they are part of the plan, and the default hook would spray the
+/// test output) while passing every real panic through.
+fn quiet_injected_panics() {
+    static ONCE: std::sync::Once = std::sync::Once::new();
+    ONCE.call_once(|| {
+        let default = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let injected = info
+                .payload()
+                .downcast_ref::<&str>()
+                .is_some_and(|m| m.contains("injected mid-search panic"));
+            if !injected {
+                default(info);
+            }
+        }));
+    });
+}
+
+fn solve_payloads() -> Vec<String> {
+    seeded_corpus(CORPUS_SEED, UNIQUE)
+        .into_iter()
+        .map(|p| format!("solve\n{p}"))
+        .collect()
+}
+
+/// Fault-free reference responses, one per payload, computed on a
+/// fresh default service.
+fn reference_responses(payloads: &[String]) -> Vec<String> {
+    let service = SolveService::new(ServeConfig::default());
+    payloads
+        .iter()
+        .map(|p| service.handle(p).response().to_owned())
+        .collect()
+}
+
+fn shed_bytes() -> String {
+    format!("{{\"schema\": \"{RESPONSE_SCHEMA}\", \"status\": \"shed\"}}")
+}
+
+/// A delivered chaos response is legal iff it is the reference bytes
+/// or one of the fixed degraded statuses.
+fn assert_legal(response: &str, reference: &str, context: &str) {
+    assert!(
+        response == reference || response == faulted_response() || response == shed_bytes(),
+        "{context}: neither reference nor degraded bytes:\n got: {response}\n ref: {reference}"
+    );
+}
+
+/// The in-process soak: 8 threads, every fault class armed, counters
+/// and flight table checked after quiescence.
+fn soak_in_process(seed: u64) {
+    quiet_injected_panics();
+    let payloads = Arc::new(solve_payloads());
+    let reference = Arc::new(reference_responses(&payloads));
+    let service = Arc::new(SolveService::with_faults(
+        ServeConfig::default(),
+        InjectedFaults::new(FaultPlan::chaos(seed)),
+    ));
+
+    let handles: Vec<_> = (0..THREADS)
+        .map(|worker| {
+            let payloads = Arc::clone(&payloads);
+            let reference = Arc::clone(&reference);
+            let service = Arc::clone(&service);
+            thread::spawn(move || {
+                for round in 0..ROUNDS {
+                    for step in 0..payloads.len() {
+                        // Offset walk: workers collide on keys at
+                        // different times, exercising coalescing and
+                        // requeue under fire.
+                        let i = (step + worker * 2 + round) % payloads.len();
+                        let response = service.handle(&payloads[i]).response().to_owned();
+                        assert_legal(
+                            &response,
+                            &reference[i],
+                            &format!("seed {seed} worker {worker} payload {i}"),
+                        );
+                    }
+                }
+            })
+        })
+        .collect();
+    for handle in handles {
+        handle.join().expect("soak worker must not die");
+    }
+
+    let c = service.counters();
+    let requests = (THREADS * ROUNDS * payloads.len()) as u64;
+    assert_eq!(c.requests, requests);
+    assert_eq!(c.parse_errors, 0, "corpus payloads always parse");
+    assert_eq!(
+        c.cache_hits + c.coalesced + c.solver_invocations + c.shed + c.faulted,
+        requests,
+        "terminal-bucket invariant broken: {c:?}"
+    );
+    assert_eq!(
+        service.in_flight_keys(),
+        0,
+        "wedged single-flight keys after quiescence"
+    );
+    // The trace must be recorded and replayable: re-rendering is
+    // byte-stable and carries the plan seed.
+    let trace = service.fault_trace().expect("armed plane records a trace");
+    assert_eq!(trace.render(), service.fault_trace().unwrap().render());
+    assert!(trace
+        .render()
+        .starts_with(&format!("fault-trace seed={seed} ")));
+}
+
+#[test]
+fn chaos_soak_seed_101() {
+    soak_in_process(101);
+}
+
+#[test]
+fn chaos_soak_seed_202() {
+    soak_in_process(202);
+}
+
+#[test]
+fn chaos_soak_seed_303() {
+    soak_in_process(303);
+}
+
+/// The control arm: the identical workload with no faults must be
+/// fully byte-identical with zero degraded responses — proving the
+/// soak's assertions are not vacuous.
+#[test]
+fn fault_free_control_has_no_degraded_responses() {
+    let payloads = Arc::new(solve_payloads());
+    let reference = Arc::new(reference_responses(&payloads));
+    let service = Arc::new(SolveService::new(ServeConfig::default()));
+    let handles: Vec<_> = (0..THREADS)
+        .map(|worker| {
+            let payloads = Arc::clone(&payloads);
+            let reference = Arc::clone(&reference);
+            let service = Arc::clone(&service);
+            thread::spawn(move || {
+                for round in 0..ROUNDS {
+                    for step in 0..payloads.len() {
+                        let i = (step + worker * 2 + round) % payloads.len();
+                        let response = service.handle(&payloads[i]).response().to_owned();
+                        assert_eq!(response, reference[i], "control worker {worker}");
+                    }
+                }
+            })
+        })
+        .collect();
+    for handle in handles {
+        handle.join().expect("control worker must not die");
+    }
+    let c = service.counters();
+    let requests = (THREADS * ROUNDS * payloads.len()) as u64;
+    assert_eq!(c.faulted, 0);
+    assert_eq!(c.shed, 0);
+    assert_eq!(
+        c.cache_hits + c.coalesced + c.solver_invocations,
+        requests,
+        "fault-free invariant: {c:?}"
+    );
+    assert_eq!(service.in_flight_keys(), 0);
+    assert!(
+        service.fault_trace().is_none(),
+        "NoopFaults records nothing"
+    );
+}
+
+/// Solver panics at 100%: every unlimited solve dies, every follower's
+/// requeues find more dead leaders, and everything still degrades to
+/// the fixed bytes with the invariant intact.
+#[test]
+fn all_solver_panics_degrade_every_request() {
+    quiet_injected_panics();
+    let payloads = solve_payloads();
+    let service = Arc::new(SolveService::with_faults(
+        ServeConfig::default(),
+        InjectedFaults::new(FaultPlan::only(7, rotsched_serve::FaultSite::SolverPanic)),
+    ));
+    let handles: Vec<_> = (0..4)
+        .map(|_| {
+            let payloads = payloads.clone();
+            let service = Arc::clone(&service);
+            thread::spawn(move || {
+                for p in &payloads {
+                    let response = service.handle(p).response().to_owned();
+                    assert_eq!(response, faulted_response());
+                }
+            })
+        })
+        .collect();
+    for handle in handles {
+        handle.join().expect("worker must not die");
+    }
+    let c = service.counters();
+    let requests = (4 * payloads.len()) as u64;
+    assert_eq!(c.requests, requests);
+    assert_eq!(c.solver_invocations, 0);
+    assert_eq!(c.cache_hits + c.coalesced + c.shed, 0);
+    assert_eq!(c.faulted, requests);
+    assert_eq!(service.in_flight_keys(), 0, "no wedged keys");
+}
+
+/// The socket soak: a chaos-armed server (read stalls, resets, short
+/// writes, panics — plus tight timeouts) under retrying clients. Every
+/// *delivered* solve response must be legal, and the server must join
+/// within the watchdog deadline.
+#[test]
+fn socket_soak_under_chaos_with_retrying_clients() {
+    quiet_injected_panics();
+    let payloads = Arc::new(solve_payloads());
+    let reference = Arc::new(reference_responses(&payloads));
+    let config = ServeConfig {
+        read_timeout_ms: 2_000,
+        idle_timeout_ms: 10_000,
+        ..ServeConfig::default()
+    };
+    let server = Server::bind_with_faults(
+        ("127.0.0.1", 0),
+        config,
+        InjectedFaults::new(FaultPlan::chaos(404)),
+    )
+    .unwrap();
+    let addr = server.local_addr().unwrap();
+    let service = server.service();
+    let running = thread::spawn(move || server.run());
+
+    let clients: Vec<_> = (0..THREADS)
+        .map(|worker| {
+            let payloads = Arc::clone(&payloads);
+            let reference = Arc::clone(&reference);
+            thread::spawn(move || {
+                let mut client = RetryClient::new(
+                    addr.to_string(),
+                    RetryPolicy {
+                        max_attempts: 6,
+                        base_backoff: Duration::from_millis(1),
+                        max_backoff: Duration::from_millis(20),
+                        deadline: Some(Duration::from_mins(1)),
+                        jitter_seed: 0x5EED ^ worker as u64,
+                    },
+                );
+                let mut delivered = 0_u64;
+                for round in 0..ROUNDS {
+                    for step in 0..payloads.len() {
+                        let i = (step + worker * 2 + round) % payloads.len();
+                        // Under 100%-rate chaos a call can exhaust its
+                        // retries; only *delivered* responses carry
+                        // byte guarantees.
+                        if let Ok(response) = client.call(&payloads[i]) {
+                            delivered += 1;
+                            assert_legal(
+                                &response,
+                                &reference[i],
+                                &format!("socket worker {worker} payload {i}"),
+                            );
+                        }
+                    }
+                }
+                delivered
+            })
+        })
+        .collect();
+    let mut delivered = 0_u64;
+    for client in clients {
+        delivered += client.join().expect("client must not die");
+    }
+    assert!(
+        delivered > 0,
+        "chaos rates are moderate: some calls must get through"
+    );
+    assert_eq!(service.in_flight_keys(), 0, "no wedged keys");
+
+    // Shutdown may itself be hit by faults (shutdown is never retried
+    // by policy); deliver it with a bounded manual loop, treating a
+    // dead listener as success.
+    let stop = Arc::new(AtomicBool::new(false));
+    let watchdog = {
+        let stop = Arc::clone(&stop);
+        thread::spawn(move || {
+            let started = Instant::now();
+            while !stop.load(Ordering::Acquire) {
+                assert!(
+                    started.elapsed() < Duration::from_mins(1),
+                    "server failed to join within the deadline"
+                );
+                thread::sleep(Duration::from_millis(50));
+            }
+        })
+    };
+    for _ in 0..20 {
+        match rotsched_serve::request(addr, "shutdown") {
+            Ok(_) => break,
+            Err(_) => {
+                // Reset/short write ate the request or the reply; if
+                // the server is already down, connect fails and the
+                // loop can stop.
+                if std::net::TcpStream::connect(addr).is_err() {
+                    break;
+                }
+            }
+        }
+    }
+    running
+        .join()
+        .expect("server thread must not die")
+        .expect("server run must succeed");
+    stop.store(true, Ordering::Release);
+    watchdog.join().expect("watchdog must not trip");
+}

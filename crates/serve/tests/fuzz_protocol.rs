@@ -1,0 +1,212 @@
+//! Seeded mutation fuzzing of the frame parser.
+//!
+//! The server-side framing code faces raw network bytes, so its
+//! contract is *totality*: for any byte stream — truncated prefixes,
+//! non-decimal lengths, hostile header lengths, payloads split across
+//! arbitrarily small reads — [`read_frame_limited`] must return a
+//! classified [`FrameError`] or a payload, and must never panic.
+//!
+//! The corpus is generated, not stored: valid frames are mutated by a
+//! seeded [`SplitMix64`] stream (byte flips, truncations, digit
+//! corruption, header inflation), so every failure reproduces from the
+//! seed printed in the assertion message.
+
+use std::io::{self, BufRead, Read};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use rotsched_dfg::rng::SplitMix64;
+use rotsched_serve::{read_frame_limited, write_frame, FrameError, MAX_FRAME_BYTES};
+
+/// A reader that hands out its bytes in seeded, arbitrarily small
+/// chunks, simulating TCP segmentation. `BufRead` is implemented so
+/// the parser accepts it, but chunking happens in `read` — the only
+/// entry point the parser uses.
+struct ChunkedReader {
+    data: Vec<u8>,
+    pos: usize,
+    rng: SplitMix64,
+}
+
+impl ChunkedReader {
+    fn new(data: Vec<u8>, seed: u64) -> Self {
+        ChunkedReader {
+            data,
+            pos: 0,
+            rng: SplitMix64::new(seed),
+        }
+    }
+}
+
+impl Read for ChunkedReader {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        let remaining = self.data.len() - self.pos;
+        if remaining == 0 || buf.is_empty() {
+            return Ok(0);
+        }
+        // 1..=3 bytes per call: small enough to split every header and
+        // payload across many reads.
+        let chunk = (1 + self.rng.below(3) as usize)
+            .min(remaining)
+            .min(buf.len());
+        buf[..chunk].copy_from_slice(&self.data[self.pos..self.pos + chunk]);
+        self.pos += chunk;
+        Ok(chunk)
+    }
+}
+
+impl BufRead for ChunkedReader {
+    fn fill_buf(&mut self) -> io::Result<&[u8]> {
+        Ok(&self.data[self.pos..])
+    }
+
+    fn consume(&mut self, amt: usize) {
+        self.pos = (self.pos + amt).min(self.data.len());
+    }
+}
+
+/// Collapses a parse result to a comparable shape: payload bytes on
+/// success, the error class (plus message for `Malformed`) on failure.
+fn classify(result: Result<Vec<u8>, FrameError>) -> String {
+    match result {
+        Ok(payload) => format!("ok:{payload:?}"),
+        Err(FrameError::Closed) => "closed".to_owned(),
+        Err(FrameError::TooLarge(len)) => format!("too-large:{len}"),
+        Err(FrameError::Malformed(msg)) => format!("malformed:{msg}"),
+        Err(FrameError::TimedOut) => "timed-out".to_owned(),
+        Err(FrameError::Io(e)) => format!("io:{:?}", e.kind()),
+    }
+}
+
+/// Parses `bytes` under `catch_unwind`, panicking the test (with the
+/// reproducing seed) if the parser itself panicked.
+fn parse_total(bytes: &[u8], seed: u64, chunked: bool) -> String {
+    let data = bytes.to_vec();
+    let outcome = catch_unwind(AssertUnwindSafe(|| {
+        if chunked {
+            let mut reader = ChunkedReader::new(data, seed ^ 0x00C0_FFEE);
+            classify(read_frame_limited(&mut reader, None))
+        } else {
+            let mut reader = io::Cursor::new(data);
+            classify(read_frame_limited(&mut reader, None))
+        }
+    }));
+    // A panic payload here means the *parser* panicked — the exact
+    // totality violation this suite exists to catch.
+    outcome.unwrap_or_else(|_| panic!("parser panicked on seed {seed}: input {bytes:?}"))
+}
+
+/// A seeded valid frame to mutate.
+fn valid_frame(rng: &mut SplitMix64) -> Vec<u8> {
+    let len = rng.below(64) as usize;
+    let payload: Vec<u8> = (0..len).map(|_| rng.below(256) as u8).collect();
+    let mut frame = Vec::new();
+    write_frame(&mut frame, &payload).expect("in-memory write");
+    frame
+}
+
+/// One seeded mutation applied to `frame`.
+fn mutate(frame: &mut Vec<u8>, rng: &mut SplitMix64) {
+    if frame.is_empty() {
+        frame.push(rng.below(256) as u8);
+        return;
+    }
+    match rng.below(6) {
+        // Truncate: a prefix of a valid frame (possibly inside the
+        // header, possibly inside the payload).
+        0 => {
+            let keep = rng.below(frame.len() as u64 + 1) as usize;
+            frame.truncate(keep);
+        }
+        // Flip one byte anywhere.
+        1 => {
+            let i = rng.index(frame.len());
+            frame[i] ^= (1 + rng.below(255)) as u8;
+        }
+        // Corrupt the length digits with a non-decimal byte.
+        2 => {
+            frame[0] = b"x+- .\xFF"[rng.index(6)];
+        }
+        // Inflate the header: prepend digits until the claimed length
+        // is absurd (over-cap or over the 8-byte header bound).
+        3 => {
+            for _ in 0..rng.range_u32(1, 10) {
+                frame.insert(0, b'0' + (1 + rng.below(9)) as u8);
+            }
+        }
+        // Delete a byte (desynchronizes length and payload).
+        4 => {
+            let i = rng.index(frame.len());
+            frame.remove(i);
+        }
+        // Duplicate a chunk (payload longer than claimed; the excess
+        // must be left unread, not crash anything).
+        _ => {
+            let i = rng.index(frame.len());
+            let extra: Vec<u8> = frame[i..].to_vec();
+            frame.extend_from_slice(&extra);
+        }
+    }
+}
+
+/// The main sweep: hundreds of seeded mutants, each parsed both from a
+/// contiguous buffer and through seeded chunking. The parser must be
+/// total, and chunking must never change the outcome.
+#[test]
+fn mutated_frames_never_panic_and_chunking_is_transparent() {
+    for seed in 0..24_u64 {
+        let mut rng = SplitMix64::new(0xF0_5EED ^ seed);
+        for case in 0..32 {
+            let mut frame = valid_frame(&mut rng);
+            for _ in 0..=rng.below(3) {
+                mutate(&mut frame, &mut rng);
+            }
+            let contiguous = parse_total(&frame, seed, false);
+            let chunked = parse_total(&frame, seed, true);
+            assert_eq!(
+                contiguous, chunked,
+                "seed {seed} case {case}: chunking changed the outcome for {frame:?}"
+            );
+        }
+    }
+}
+
+/// Unmutated frames must always parse, chunked or not, including the
+/// zero-length frame.
+#[test]
+fn valid_frames_parse_identically_under_chunking() {
+    let mut rng = SplitMix64::new(9);
+    for _ in 0..64 {
+        let frame = valid_frame(&mut rng);
+        let contiguous = parse_total(&frame, 9, false);
+        let chunked = parse_total(&frame, 9, true);
+        assert!(contiguous.starts_with("ok:"), "{contiguous}");
+        assert_eq!(contiguous, chunked);
+    }
+}
+
+/// The directed corpus: every header shape the fuzzer might take many
+/// seeds to hit gets a pinned expectation.
+#[test]
+fn directed_hostile_inputs_are_classified() {
+    let over_cap = format!("{}\nx", MAX_FRAME_BYTES + 1);
+    let over_cap_expected = format!("too-large:{}", MAX_FRAME_BYTES + 1);
+    let cases: Vec<(&[u8], &str)> = vec![
+        (b"", "closed"),
+        (b"12", "malformed:eof inside frame header"),
+        (b"abc\n", "malformed:frame header is not a decimal length"),
+        (b"-1\n", "malformed:frame header is not a decimal length"),
+        (b"3.5\n", "malformed:frame header is not a decimal length"),
+        (b"\n", "malformed:frame header is not a decimal length"),
+        (b"4\nab", "malformed:eof inside frame payload"),
+        (b"999999999\n", "malformed:frame header too long"),
+        (b"18446744073709551616\n", "malformed:frame header too long"),
+        (b"\xFF\xFE\n", "malformed:non-ascii frame header"),
+        (b"0\n", "ok:[]"),
+        (b"2\nhi", "ok:[104, 105]"),
+        (over_cap.as_bytes(), over_cap_expected.as_str()),
+    ];
+    for (bytes, expected) in cases {
+        assert_eq!(parse_total(bytes, 0, false), expected, "input {bytes:?}");
+        assert_eq!(parse_total(bytes, 0, true), expected, "chunked {bytes:?}");
+    }
+}

@@ -10,8 +10,10 @@
 //!                              [--certify] [--trace[=json]] [--format text|json]
 //! rotsched compare  <file.dfg> [--adders N] [--mults N] [--pipelined]
 //! rotsched serve    [--port N] [--cache-bytes N] [--shards N]
+//!                   [--read-timeout-ms N] [--idle-timeout-ms N]
+//!                   [--chaos-seed N]
 //! rotsched bench-serve --addr HOST:PORT [--clients N] [--requests N]
-//!                      [--unique N] [--seed N] [--shutdown]
+//!                      [--unique N] [--seed N] [--chaos-seed N] [--shutdown]
 //! ```
 //!
 //! `lint` runs the independent static-analysis passes of
@@ -41,6 +43,18 @@
 //! `--clients` connections, asserts byte-identical responses per
 //! unique problem across all interleavings, and reports throughput
 //! and the server's cache/coalescing counters.
+//!
+//! `serve --read-timeout-ms N` cuts off any frame still in transit
+//! `N` ms after its first byte (slowloris defense) and
+//! `--idle-timeout-ms N` reaps connections silent between frames;
+//! both default to off. `serve --chaos-seed N` arms the deterministic
+//! fault-injection plane (`rotsched::serve::fault`) with the standard
+//! chaos plan at seed `N` and prints the replayable `fault-trace` line
+//! when the server exits — the same seed always produces the same
+//! fault decision stream. `bench-serve --chaos-seed N` drives the
+//! matching load through retrying clients that tolerate injected
+//! resets, stalls, and degraded (`faulted`/`shed`) responses while
+//! still asserting every delivered solve response is byte-stable.
 //!
 //! `--trace` records the search engine's event stream (rotations
 //! tried, cache hits, prunes, best-length trajectory) and prints a
@@ -74,7 +88,10 @@ use rotsched::dfg::analysis;
 use rotsched::dfg::rng::{Fnv64, SplitMix64};
 use rotsched::dfg::text;
 use rotsched::sched::{verify_spec, verify_starts};
-use rotsched::serve::{seeded_corpus, Connection, ServeConfig, Server};
+use rotsched::serve::{
+    faulted_response, seeded_corpus, Connection, FaultPlan, Faults, InjectedFaults, RetryClient,
+    RetryPolicy, ServeConfig, Server,
+};
 use rotsched::verify::{
     certify_claim, has_errors, lint, render_json_array, Claim, LintContext, LintOptions,
 };
@@ -123,9 +140,10 @@ fn usage() -> ExitCode {
          [--adders N] [--mults N] [--pipelined] [--verify N] [--expand N] [--dot] [--jobs N] \
          [--deadline-ms N] [--max-rotations N] [--certify] [--trace[=json]] \
          [--format text|json]\n\
-         \x20      rotsched serve [--port N] [--cache-bytes N] [--shards N]\n\
+         \x20      rotsched serve [--port N] [--cache-bytes N] [--shards N] \
+         [--read-timeout-ms N] [--idle-timeout-ms N] [--chaos-seed N]\n\
          \x20      rotsched bench-serve --addr HOST:PORT [--clients N] [--requests N] \
-         [--unique N] [--seed N] [--shutdown]"
+         [--unique N] [--seed N] [--chaos-seed N] [--shutdown]"
     );
     ExitCode::from(2)
 }
@@ -472,6 +490,7 @@ fn compare(graph: &Dfg, opts: &Options) -> Result<(), Box<dyn std::error::Error>
 fn serve_command(args: &[String]) -> ExitCode {
     let mut port: u16 = 0;
     let mut config = ServeConfig::default();
+    let mut chaos_seed: Option<u64> = None;
     let mut it = args.iter();
     while let Some(flag) = it.next() {
         match flag.as_str() {
@@ -487,19 +506,49 @@ fn serve_command(args: &[String]) -> ExitCode {
                 Some(v) => config.shards = v,
                 None => return usage(),
             },
+            "--read-timeout-ms" => match parse_arg(&mut it, "--read-timeout-ms") {
+                Some(v) => config.read_timeout_ms = v,
+                None => return usage(),
+            },
+            "--idle-timeout-ms" => match parse_arg(&mut it, "--idle-timeout-ms") {
+                Some(v) => config.idle_timeout_ms = v,
+                None => return usage(),
+            },
+            "--chaos-seed" => match parse_arg(&mut it, "--chaos-seed") {
+                Some(v) => chaos_seed = Some(v),
+                None => return usage(),
+            },
             other => {
                 eprintln!("error: unknown flag {other}");
                 return usage();
             }
         }
     }
-    let server = match Server::bind(("127.0.0.1", port), config) {
-        Ok(s) => s,
-        Err(e) => {
-            eprintln!("error: cannot bind 127.0.0.1:{port}: {e}");
-            return ExitCode::FAILURE;
+    match chaos_seed {
+        Some(seed) => {
+            let faults = InjectedFaults::new(FaultPlan::chaos(seed));
+            match Server::bind_with_faults(("127.0.0.1", port), config, faults) {
+                Ok(server) => run_server(server),
+                Err(e) => {
+                    eprintln!("error: cannot bind 127.0.0.1:{port}: {e}");
+                    ExitCode::FAILURE
+                }
+            }
         }
-    };
+        None => match Server::bind(("127.0.0.1", port), config) {
+            Ok(server) => run_server(server),
+            Err(e) => {
+                eprintln!("error: cannot bind 127.0.0.1:{port}: {e}");
+                ExitCode::FAILURE
+            }
+        },
+    }
+}
+
+/// Announces the bound address, runs the accept loop to completion,
+/// and — when the fault plane is armed — prints the replayable
+/// `fault-trace` line so two same-seed runs can be diffed.
+fn run_server<F: Faults>(server: Server<F>) -> ExitCode {
     match server.local_addr() {
         Ok(addr) => println!("listening on {addr}"),
         Err(e) => {
@@ -507,7 +556,12 @@ fn serve_command(args: &[String]) -> ExitCode {
             return ExitCode::FAILURE;
         }
     }
-    match server.run() {
+    let service = server.service();
+    let outcome = server.run();
+    if let Some(trace) = service.fault_trace() {
+        println!("{}", trace.render());
+    }
+    match outcome {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
             eprintln!("error: {e}");
@@ -525,6 +579,7 @@ fn bench_serve_command(args: &[String]) -> ExitCode {
     let mut requests: usize = 64;
     let mut unique: usize = 24;
     let mut seed: u64 = 0x00C0_FFEE;
+    let mut chaos_seed: Option<u64> = None;
     let mut shutdown = false;
     let mut it = args.iter();
     while let Some(flag) = it.next() {
@@ -552,6 +607,10 @@ fn bench_serve_command(args: &[String]) -> ExitCode {
                 Some(v) => seed = v,
                 None => return usage(),
             },
+            "--chaos-seed" => match parse_arg(&mut it, "--chaos-seed") {
+                Some(v) => chaos_seed = Some(v),
+                None => return usage(),
+            },
             "--shutdown" => shutdown = true,
             other => {
                 eprintln!("error: unknown flag {other}");
@@ -569,6 +628,10 @@ fn bench_serve_command(args: &[String]) -> ExitCode {
         .map(|doc| format!("solve\n{doc}"))
         .collect();
     let payloads = std::sync::Arc::new(payloads);
+
+    if let Some(chaos) = chaos_seed {
+        return bench_serve_chaos(&addr, &payloads, clients, requests, chaos, shutdown);
+    }
 
     let started = std::time::Instant::now();
     let mut workers = Vec::with_capacity(clients);
@@ -667,4 +730,143 @@ fn bench_serve_command(args: &[String]) -> ExitCode {
     }
     println!("determinism: ok");
     ExitCode::SUCCESS
+}
+
+/// The chaos arm of `bench-serve`: retrying clients against a server
+/// whose fault plane may reset, stall, short-write, or panic under
+/// them. Calls may legitimately fail to deliver and delivered
+/// responses may be the degraded `faulted`/`shed` statuses — but every
+/// delivered *ok* response per unique problem must still be
+/// byte-stable across clients and repeats.
+fn bench_serve_chaos(
+    addr: &str,
+    payloads: &std::sync::Arc<Vec<String>>,
+    clients: usize,
+    requests: usize,
+    chaos_seed: u64,
+    shutdown: bool,
+) -> ExitCode {
+    let started = std::time::Instant::now();
+    let mut workers = Vec::with_capacity(clients);
+    for worker in 0..clients {
+        let payloads = std::sync::Arc::clone(payloads);
+        let addr = addr.to_owned();
+        workers.push(std::thread::spawn(move || {
+            let mut client = RetryClient::new(
+                addr,
+                RetryPolicy {
+                    max_attempts: 6,
+                    base_backoff: Duration::from_millis(1),
+                    max_backoff: Duration::from_millis(50),
+                    deadline: Some(Duration::from_secs(30)),
+                    jitter_seed: chaos_seed ^ (0x9E37 + worker as u64),
+                },
+            );
+            let mut rng = SplitMix64::new(chaos_seed ^ (0xC0DE + worker as u64));
+            let mut first: Vec<Option<String>> = vec![None; payloads.len()];
+            let (mut ok, mut degraded, mut undelivered, mut mismatches) =
+                (0_u64, 0_u64, 0_u64, 0_u64);
+            for _ in 0..requests {
+                let idx = rng.index(payloads.len());
+                match client.call(&payloads[idx]) {
+                    Err(_) => undelivered += 1,
+                    Ok(response)
+                        if response == faulted_response()
+                            || response.contains("\"status\": \"shed\"") =>
+                    {
+                        degraded += 1;
+                    }
+                    Ok(response) => {
+                        ok += 1;
+                        match &first[idx] {
+                            None => first[idx] = Some(response),
+                            Some(prior) if *prior != response => mismatches += 1,
+                            Some(_) => {}
+                        }
+                    }
+                }
+            }
+            (first, ok, degraded, undelivered, mismatches, client.stats())
+        }));
+    }
+
+    let mut canonical: Vec<Option<String>> = vec![None; payloads.len()];
+    let (mut ok, mut degraded, mut undelivered, mut mismatches) = (0_u64, 0_u64, 0_u64, 0_u64);
+    let mut retries = 0_u64;
+    for (worker, handle) in workers.into_iter().enumerate() {
+        let Ok((first, w_ok, w_degraded, w_undelivered, w_mismatch, stats)) = handle.join() else {
+            eprintln!("error: client {worker} panicked");
+            return ExitCode::FAILURE;
+        };
+        ok += w_ok;
+        degraded += w_degraded;
+        undelivered += w_undelivered;
+        mismatches += w_mismatch;
+        retries += stats.retries;
+        for (idx, response) in first.into_iter().enumerate() {
+            let Some(response) = response else { continue };
+            match &canonical[idx] {
+                None => canonical[idx] = Some(response),
+                Some(prior) if *prior != response => {
+                    eprintln!("determinism: MISMATCH on problem {idx} (client {worker})");
+                    mismatches += 1;
+                }
+                Some(_) => {}
+            }
+        }
+    }
+    let elapsed = started.elapsed();
+    let total = (clients * requests) as u64;
+    println!(
+        "bench-serve (chaos seed {chaos_seed}): {total} requests from {clients} clients in \
+         {:.3}s — {ok} ok, {degraded} degraded, {undelivered} undelivered, {retries} retries",
+        elapsed.as_secs_f64(),
+    );
+    // Under chaos the stats verb itself may need retries.
+    let mut stats_client = RetryClient::new(
+        addr.to_owned(),
+        RetryPolicy {
+            deadline: Some(Duration::from_secs(10)),
+            jitter_seed: chaos_seed,
+            ..RetryPolicy::default()
+        },
+    );
+    match stats_client.call("stats") {
+        Ok(stats) => println!("server stats: {stats}"),
+        Err(e) => println!("server stats: unavailable under chaos ({e})"),
+    }
+    if shutdown && !shutdown_chaotic_server(addr) {
+        eprintln!("error: server did not shut down");
+        return ExitCode::FAILURE;
+    }
+    if mismatches > 0 {
+        eprintln!("determinism: FAILED ({mismatches} divergent ok responses)");
+        return ExitCode::FAILURE;
+    }
+    println!("determinism: ok ({ok} delivered ok responses byte-stable)");
+    ExitCode::SUCCESS
+}
+
+/// Delivers `shutdown` to a fault-armed server. The request itself can
+/// be eaten by an injected reset or short write, and `shutdown` is
+/// never retried blindly (see [`RetryClient`]); instead, probe: if a
+/// follow-up connect fails, the listener is down and shutdown
+/// succeeded.
+fn shutdown_chaotic_server(addr: &str) -> bool {
+    for _ in 0..25 {
+        match rotsched::serve::request(addr, "shutdown") {
+            Ok(_) => {
+                println!("server shutdown requested");
+                return true;
+            }
+            Err(_) => {
+                std::thread::sleep(Duration::from_millis(20));
+                if std::net::TcpStream::connect(addr).is_err() {
+                    println!("server shutdown confirmed by probe");
+                    return true;
+                }
+            }
+        }
+    }
+    false
 }
