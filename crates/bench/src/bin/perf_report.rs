@@ -23,9 +23,14 @@
 //!                     byte-identical responses throughout), and hold
 //!                     the fault-injection plane's `NoopFaults`
 //!                     default to at most a 2% warm-path cost against
-//!                     a quiet-armed service (the zero-cost gate);
-//!                     exit non-zero on any regression. No report
-//!                     written.
+//!                     a quiet-armed service (the zero-cost gate), and
+//!                     gate the static-analysis framework (a full
+//!                     schedule-mode analysis of a 256-node graph
+//!                     under 5 ms at p50, byte-identical reports on
+//!                     every repetition; the sweep fingerprint gate
+//!                     doubles as proof that a plain solve pays
+//!                     nothing when `--analyze` is off); exit non-zero
+//!                     on any regression. No report written.
 //!   --certify         certification mode: run one sweep and have the
 //!                     independent verifier (`rotsched-verify`) re-prove
 //!                     every winning kernel legal — starts, retimed-delay
@@ -126,6 +131,20 @@ const SERVE_WARM_SPEEDUP_FLOOR: u64 = 50;
 const FAULT_OVERHEAD_LIMIT_PCT: f64 = 2.0;
 /// Interleaved warm-hit samples per arm in the fault-overhead study.
 const FAULT_OVERHEAD_SAMPLES: usize = 1200;
+/// Graphs in the analyze-arm latency suite.
+const ANALYZE_SUITE_GRAPHS: u64 = 8;
+/// Nodes per suite graph.
+const ANALYZE_SUITE_NODES: usize = 64;
+/// Timed full-analysis repetitions per graph.
+const ANALYZE_REPS: usize = 9;
+/// Nodes in the large analyze-gate graph.
+const ANALYZE_LARGE_NODES: usize = 256;
+/// Smoke gate: one full schedule-mode analysis (all four passes plus
+/// the lint sweep) of the 256-node graph must finish under 5 ms at
+/// p50. The analysis framework runs after `solve --analyze` and per
+/// request in `analyze`; a linear-ish budget keeps it invisible next
+/// to the solve it annotates.
+const ANALYZE_LARGE_LIMIT_NS: u64 = 5_000_000;
 
 struct Options {
     out: String,
@@ -282,6 +301,23 @@ fn main() {
         fault.noop_p50, fault.armed_p50, fault.overhead_pct
     );
 
+    let analyze = analyze_arm();
+    println!(
+        "\nfull analysis ({ANALYZE_SUITE_NODES}-node suite): p50 {:>8} ns, \
+         p90 {:>8} ns, p99 {:>8} ns ({} samples)",
+        analyze.suite.p50, analyze.suite.p90, analyze.suite.p99, analyze.suite.samples
+    );
+    println!(
+        "full analysis ({ANALYZE_LARGE_NODES} nodes):     p50 {:>8} ns \
+         (limit {ANALYZE_LARGE_LIMIT_NS} ns); reports byte-stable: {}",
+        analyze.large.p50,
+        if analyze.byte_stable { "yes" } else { "NO" }
+    );
+    assert!(
+        analyze.byte_stable,
+        "analysis reports must render byte-identically on every run"
+    );
+
     let json = render_json(
         hardware,
         cells,
@@ -298,6 +334,7 @@ fn main() {
         &legacy,
         &serve,
         &fault,
+        &analyze,
     );
     match std::fs::write(&opts.out, json) {
         Ok(()) => println!("\nwrote {}", opts.out),
@@ -829,6 +866,81 @@ fn fault_overhead() -> FaultOverheadReport {
     }
 }
 
+/// What the static-analysis arm measures.
+struct AnalyzeArmReport {
+    /// Full-analysis latency over the 64-node suite.
+    suite: StepPercentiles,
+    /// Full-analysis latency on the single large graph.
+    large: StepPercentiles,
+    /// Every repetition rendered byte-identical JSON.
+    byte_stable: bool,
+}
+
+/// Times one full schedule-mode analysis — all four registered passes
+/// plus the lint sweep — against `graphs` of `nodes` nodes each, and
+/// byte-compares every repetition's JSON rendering against the first.
+/// The schedule view comes from the list scheduler's initial schedule,
+/// so the saturation and register-pressure passes run in their
+/// schedule-aware mode (static-only analysis does strictly less work).
+fn analyze_percentiles(nodes: usize, graphs: u64, byte_stable: &mut bool) -> StepPercentiles {
+    use rotsched_sched::{verify_spec, verify_starts};
+    use rotsched_verify::{analyze, ScheduleView};
+    let res = ResourceSet::adders_multipliers(2, 2, false);
+    let spec = verify_spec(&res);
+    let sched = ListScheduler::default();
+    // The generator's densities are per-pair, so edge counts grow
+    // quadratically with n; real DFGs keep bounded fan-in. Scale the
+    // densities to hold the 64-node suite's per-node degree constant,
+    // so the large gate graph is a bigger instance of the same shape,
+    // not a categorically denser one.
+    let density_scale = (ANALYZE_SUITE_NODES as f64 / nodes as f64).min(1.0);
+    let defaults = RandomDfgConfig::default();
+    let mut ns = Vec::with_capacity(graphs as usize * ANALYZE_REPS);
+    for seed in 0..graphs {
+        let g = random_dfg(
+            &RandomDfgConfig {
+                nodes,
+                forward_density: defaults.forward_density * density_scale,
+                feedback_density: defaults.feedback_density * density_scale,
+                ..defaults
+            },
+            seed,
+        );
+        let state = initial_state(&g, &sched, &res).expect("schedulable");
+        let starts = verify_starts(&g, &state.schedule);
+        let view = ScheduleView {
+            starts: &starts,
+            retiming: &state.retiming,
+            kernel_length: state.length(&g),
+        };
+        // Untimed warm-up rep doubles as the byte-stability reference.
+        let reference = analyze(&g, &spec, Some(&view)).render_json(&g);
+        for _ in 0..ANALYZE_REPS {
+            let start = Instant::now();
+            let report = analyze(&g, &spec, Some(&view));
+            ns.push(u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX));
+            *byte_stable &= report.render_json(&g) == reference;
+        }
+    }
+    percentiles(&mut ns)
+}
+
+/// Measures the static-analysis framework: per-run latency over the
+/// 64-node suite and over the single 256-node gate graph. The solve
+/// path itself pays nothing for any of this — analysis runs only
+/// behind `--analyze` (`opts.analyze.then(..)` in the CLI), which the
+/// sweep fingerprints above would expose if it ever changed.
+fn analyze_arm() -> AnalyzeArmReport {
+    let mut byte_stable = true;
+    let suite = analyze_percentiles(ANALYZE_SUITE_NODES, ANALYZE_SUITE_GRAPHS, &mut byte_stable);
+    let large = analyze_percentiles(ANALYZE_LARGE_NODES, 1, &mut byte_stable);
+    AnalyzeArmReport {
+        suite,
+        large,
+        byte_stable,
+    }
+}
+
 /// Anytime-degradation mode: incumbent best length as a function of the
 /// rotation budget, per benchmark. Rotation budgets stop the search at
 /// exact down-rotation counts, so this table is fully deterministic and
@@ -1113,6 +1225,37 @@ fn check_against_baseline(graphs: &[(&str, Dfg)], baseline_path: &str) -> i32 {
         }
     }
 
+    // Analysis gates: one full schedule-mode analysis of the 256-node
+    // graph must stay under its latency budget, and every repetition
+    // must render byte-identical JSON. The solve path itself is gated
+    // separately (fingerprint + lengths above): analysis runs only
+    // behind `--analyze`, so those gates would expose any cost leaking
+    // into a plain solve.
+    let analyze = analyze_arm();
+    if analyze.large.p50 <= ANALYZE_LARGE_LIMIT_NS {
+        println!(
+            "analysis latency: {ANALYZE_LARGE_NODES}-node full analysis p50 {} ns \
+             within {ANALYZE_LARGE_LIMIT_NS} ns (suite p50 {} ns, p99 {} ns)",
+            analyze.large.p50, analyze.suite.p50, analyze.suite.p99
+        );
+    } else {
+        eprintln!(
+            "FAIL: {ANALYZE_LARGE_NODES}-node full analysis p50 {} ns over the \
+             {ANALYZE_LARGE_LIMIT_NS} ns budget",
+            analyze.large.p50
+        );
+        failures += 1;
+    }
+    if analyze.byte_stable {
+        println!(
+            "analysis determinism: byte-identical reports across {} runs",
+            analyze.suite.samples + analyze.large.samples
+        );
+    } else {
+        eprintln!("FAIL: analysis reports diverged between repetitions");
+        failures += 1;
+    }
+
     if failures == 0 {
         println!("check passed");
         0
@@ -1232,6 +1375,7 @@ fn render_json(
     legacy: &StepPercentiles,
     serve: &ServeReport,
     fault: &FaultOverheadReport,
+    analyze: &AnalyzeArmReport,
 ) -> String {
     let mut s = String::new();
     s.push_str("{\n");
@@ -1336,6 +1480,22 @@ fn render_json(
         "    \"fault_overhead_pct\": {:.2}, \"limit_pct\": {FAULT_OVERHEAD_LIMIT_PCT}\n",
         fault.overhead_pct
     ));
+    s.push_str("  },\n");
+    s.push_str("  \"analyze\": {\n");
+    s.push_str(&format!(
+        "    \"suite_nodes\": {ANALYZE_SUITE_NODES}, \"suite_graphs\": {ANALYZE_SUITE_GRAPHS},\n"
+    ));
+    s.push_str(&format!(
+        "    \"suite_ns_p50\": {}, \"suite_ns_p90\": {}, \"suite_ns_p99\": {}, \
+         \"suite_samples\": {},\n",
+        analyze.suite.p50, analyze.suite.p90, analyze.suite.p99, analyze.suite.samples
+    ));
+    s.push_str(&format!(
+        "    \"large_nodes\": {ANALYZE_LARGE_NODES}, \"large_ns_p50\": {}, \
+         \"large_limit_ns\": {ANALYZE_LARGE_LIMIT_NS},\n",
+        analyze.large.p50
+    ));
+    s.push_str(&format!("    \"byte_stable\": {}\n", analyze.byte_stable));
     s.push_str("  },\n");
     s.push_str("  \"results\": [\n");
     for (k, (jobs, effective, median, min, fingerprint)) in results.iter().enumerate() {

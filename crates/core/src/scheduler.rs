@@ -88,6 +88,21 @@ pub struct SolveOutcome {
     pub stats: SolveStats,
 }
 
+impl SolveOutcome {
+    /// The winning rotation function (how far each node was rotated).
+    #[must_use]
+    pub fn retiming(&self) -> &rotsched_dfg::Retiming {
+        &self.state.retiming
+    }
+
+    /// The winning flat schedule (per-node start steps before
+    /// wrapping).
+    #[must_use]
+    pub fn schedule(&self) -> &rotsched_sched::Schedule {
+        &self.state.schedule
+    }
+}
+
 /// The pre-resilience name of [`SolveOutcome`], kept as an alias so
 /// existing callers (which read the same fields) keep compiling.
 pub type SolvedPipeline = SolveOutcome;

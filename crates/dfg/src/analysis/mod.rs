@@ -28,5 +28,5 @@ pub use cycles::{simple_cycles, Cycle, CycleEnumeration};
 pub use iteration_bound::{iteration_bound, max_cycle_ratio, Ratio};
 pub use paths::{bellman_ford, NegativeCycle, ShortestPaths, WeightedEdge};
 pub use retime_feasibility::{min_period_retiming, retime_to_period};
-pub use scc::{strongly_connected_components, SccDecomposition};
+pub use scc::{strongly_connected_components, strongly_connected_components_csr, SccDecomposition};
 pub use topo::zero_delay_topological_order;

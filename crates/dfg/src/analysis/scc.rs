@@ -6,6 +6,7 @@
 //! here. An iterative formulation is used so that deep chains in large
 //! random graphs cannot overflow the call stack.
 
+use crate::csr::CsrGraph;
 use crate::graph::Dfg;
 use crate::ids::NodeId;
 
@@ -49,6 +50,29 @@ impl SccDecomposition {
                     .any(|&e| dfg.edge(e).to() == comp[0])
         })
     }
+
+    /// Indices (into [`SccDecomposition::components`]) of the components
+    /// that can contain a cycle, read directly off a CSR view.
+    #[must_use]
+    pub fn cyclic_component_indices(&self, csr: &CsrGraph) -> Vec<usize> {
+        self.components
+            .iter()
+            .enumerate()
+            .filter(|(_, comp)| {
+                comp.len() > 1 || {
+                    let v = comp[0].index();
+                    csr.out_range(v).any(|i| csr.out_heads()[i] as usize == v)
+                }
+            })
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Whether any cycle exists at all (some component is cyclic).
+    #[must_use]
+    pub fn has_cycle(&self, csr: &CsrGraph) -> bool {
+        !self.cyclic_component_indices(csr).is_empty()
+    }
 }
 
 /// Computes the strongly connected components of `dfg` considering **all**
@@ -56,8 +80,19 @@ impl SccDecomposition {
 /// dependencies, not absences of dependency).
 #[must_use]
 pub fn strongly_connected_components(dfg: &Dfg) -> SccDecomposition {
+    strongly_connected_components_csr(dfg.csr())
+}
+
+/// [`strongly_connected_components`] running directly over a flat CSR
+/// view, for passes that already hold one (the verifier's analysis
+/// cache, the hot-path schedulers) and never want to touch `Vec<Vec<_>>`
+/// adjacency. Per-node edge order is the CSR's, which is the `Dfg`'s
+/// insertion order, so both entry points produce identical
+/// decompositions.
+#[must_use]
+pub fn strongly_connected_components_csr(csr: &CsrGraph) -> SccDecomposition {
     const UNVISITED: usize = usize::MAX;
-    let n = dfg.node_count();
+    let n = csr.node_count();
     let mut index = vec![UNVISITED; n];
     let mut lowlink = vec![0_usize; n];
     let mut on_stack = vec![false; n];
@@ -81,9 +116,9 @@ pub fn strongly_connected_components(dfg: &Dfg) -> SccDecomposition {
         on_stack[root] = true;
 
         while let Some(&mut (v, ref mut edge_pos)) = frames.last_mut() {
-            let out = dfg.out_edges(NodeId::from_index(v));
-            if *edge_pos < out.len() {
-                let w = dfg.edge(out[*edge_pos]).to().index();
+            let out = csr.out_range(v);
+            if out.start + *edge_pos < out.end {
+                let w = csr.out_heads()[out.start + *edge_pos] as usize;
                 *edge_pos += 1;
                 if index[w] == UNVISITED {
                     index[w] = next_index;
@@ -186,6 +221,42 @@ mod tests {
         g.add_edge(v[1], v[0], 2).unwrap();
         let scc = strongly_connected_components(&g);
         assert_eq!(scc.components().len(), 1);
+    }
+
+    #[test]
+    fn csr_entry_point_matches_graph_entry_point() {
+        let mut g = Dfg::new("g");
+        let v = add_nodes(&mut g, 5);
+        g.add_edge(v[0], v[1], 0).unwrap();
+        g.add_edge(v[1], v[0], 1).unwrap();
+        g.add_edge(v[2], v[3], 0).unwrap();
+        g.add_edge(v[3], v[4], 0).unwrap();
+        g.add_edge(v[4], v[2], 1).unwrap();
+        g.add_edge(v[1], v[2], 0).unwrap();
+        let from_graph = strongly_connected_components(&g);
+        let from_csr = strongly_connected_components_csr(&CsrGraph::build(&g));
+        assert_eq!(from_graph, from_csr);
+    }
+
+    #[test]
+    fn cyclic_component_indices_match_cyclic_components() {
+        let mut g = Dfg::new("mix");
+        let v = add_nodes(&mut g, 4);
+        g.add_edge(v[0], v[0], 1).unwrap(); // self loop
+        g.add_edge(v[1], v[2], 0).unwrap(); // acyclic pair
+        g.add_edge(v[2], v[3], 0).unwrap();
+        g.add_edge(v[3], v[2], 1).unwrap(); // two-node loop
+        let scc = strongly_connected_components(&g);
+        let idx = scc.cyclic_component_indices(g.csr());
+        let expected: Vec<usize> = scc
+            .components()
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| scc.cyclic_components(&g).any(|cc| &cc == c))
+            .map(|(i, _)| i)
+            .collect();
+        assert_eq!(idx, expected);
+        assert!(scc.has_cycle(g.csr()));
     }
 
     #[test]

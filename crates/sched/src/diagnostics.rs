@@ -8,9 +8,12 @@
 //! makes its certificates worth anything).
 
 use rotsched_dfg::{Dfg, DfgError};
-use rotsched_verify::{Code, Diagnostic, Locus, ResourceSpec, StartTimes, UnitClass};
+use rotsched_verify::{
+    AnalysisReport, Code, Diagnostic, Locus, ResourceSpec, ScheduleView, StartTimes, UnitClass,
+};
 
 use crate::error::SchedError;
+use crate::prologue::LoopSchedule;
 use crate::resources::ResourceSet;
 use crate::schedule::Schedule;
 use crate::validate;
@@ -113,6 +116,26 @@ pub fn verify_spec(resources: &ResourceSet) -> ResourceSpec {
 #[must_use]
 pub fn verify_starts(dfg: &Dfg, schedule: &Schedule) -> StartTimes {
     StartTimes::from_fn(dfg, |v| schedule.start(v))
+}
+
+/// Runs the verifier's static-analysis framework over a solved loop
+/// schedule: the resources and the kernel are translated into the
+/// verifier's own vocabulary (the verifier never sees this crate's
+/// types) and profiled by every registered analysis pass.
+#[must_use]
+pub fn analyze_loop_schedule(
+    dfg: &Dfg,
+    resources: &ResourceSet,
+    ls: &LoopSchedule,
+) -> AnalysisReport {
+    let spec = verify_spec(resources);
+    let starts = verify_starts(dfg, ls.schedule());
+    let view = ScheduleView {
+        starts: &starts,
+        retiming: ls.retiming(),
+        kernel_length: ls.kernel_length(),
+    };
+    rotsched_verify::analyze(dfg, &spec, Some(&view))
 }
 
 /// [`validate::check_static_schedule`] with structured reporting: on

@@ -1,0 +1,167 @@
+//! A small fixed-point dataflow engine over the SoA [`CsrGraph`].
+//!
+//! The passes that propagate per-node facts along edges (longest
+//! zero-delay chains, parametric Bellman–Ford cycle probes) share this
+//! one worklist-free round iterator instead of each hand-rolling a
+//! traversal: every round sweeps the flat edge arrays **in edge-index
+//! order**, applies the caller's transfer function, and stops when a
+//! full round changes nothing or the round budget runs out. The sweep
+//! order is deterministic, so every result (and therefore every
+//! rendered report) is byte-stable.
+//!
+//! A round budget of `node_count + 1` gives Bellman–Ford semantics:
+//! facts over cycle-free propagation stabilize within `n` rounds, so a
+//! run that still changes in round `n + 1` has a reinforcing cycle —
+//! the engine reports `converged = false` and the caller decides what
+//! that means (a zero-delay cycle for chain depth, a
+//! better-than-`λ` cycle for the ratio probe).
+
+use rotsched_dfg::CsrGraph;
+
+/// Which way facts flow along an edge.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Direction {
+    /// From `edge_from` to `edge_to` (producer facts reach consumers).
+    Forward,
+    /// From `edge_to` to `edge_from` (consumer facts reach producers).
+    Backward,
+}
+
+/// The result of a fixed-point run.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FixedPoint<T> {
+    /// The per-node values after the last completed round.
+    pub values: Vec<T>,
+    /// Completed sweep rounds (including the final no-change round).
+    pub rounds: u32,
+    /// Whether a round with no changes was reached within the budget.
+    /// `false` means a reinforcing cycle kept the facts growing.
+    pub converged: bool,
+}
+
+/// Iterates `transfer` over every edge until a fixed point.
+///
+/// Per edge, `transfer(e, source_value, dest_value)` returns
+/// `Some(new_dest_value)` to update the destination (`edge_to` under
+/// [`Direction::Forward`], `edge_from` under [`Direction::Backward`])
+/// or `None` to leave it unchanged. Returning an unchanged value is
+/// counted as a change, so transfer functions should return `None`
+/// when nothing improves — that is what terminates the run.
+///
+/// `max_rounds` bounds the sweep count; `node_count + 1` is the usual
+/// Bellman–Ford-style budget (see the module docs).
+pub fn fixed_point<T: Clone>(
+    csr: &CsrGraph,
+    direction: Direction,
+    init: Vec<T>,
+    max_rounds: u32,
+    mut transfer: impl FnMut(usize, &T, &T) -> Option<T>,
+) -> FixedPoint<T> {
+    debug_assert_eq!(init.len(), csr.node_count());
+    let mut values = init;
+    let m = csr.edge_count();
+    let mut rounds = 0_u32;
+    while rounds < max_rounds {
+        rounds += 1;
+        let mut changed = false;
+        for e in 0..m {
+            let (src, dst) = match direction {
+                Direction::Forward => (csr.edge_from()[e] as usize, csr.edge_to()[e] as usize),
+                Direction::Backward => (csr.edge_to()[e] as usize, csr.edge_from()[e] as usize),
+            };
+            if let Some(new) = transfer(e, &values[src], &values[dst]) {
+                values[dst] = new;
+                changed = true;
+            }
+        }
+        if !changed {
+            return FixedPoint {
+                values,
+                rounds,
+                converged: true,
+            };
+        }
+    }
+    FixedPoint {
+        values,
+        rounds,
+        converged: false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rotsched_dfg::{Dfg, OpKind};
+
+    fn chain() -> Dfg {
+        let mut g = Dfg::new("chain");
+        let a = g.add_node("a", OpKind::Add, 1);
+        let b = g.add_node("b", OpKind::Add, 2);
+        let c = g.add_node("c", OpKind::Add, 3);
+        g.add_edge(a, b, 0).unwrap();
+        g.add_edge(b, c, 0).unwrap();
+        g
+    }
+
+    #[test]
+    fn forward_longest_path_converges() {
+        let g = chain();
+        let csr = g.csr();
+        let times = csr.times().to_vec();
+        let init: Vec<u64> = times.iter().map(|&t| u64::from(t)).collect();
+        let n = csr.node_count() as u32;
+        let fp = fixed_point(csr, Direction::Forward, init, n + 1, |e, src, dst| {
+            let _ = e;
+            let candidate = src + u64::from(times[csr.edge_to()[e] as usize]);
+            (candidate > *dst).then_some(candidate)
+        });
+        assert!(fp.converged);
+        assert_eq!(fp.values, vec![1, 3, 6]);
+    }
+
+    #[test]
+    fn backward_direction_flows_against_edges() {
+        let g = chain();
+        let csr = g.csr();
+        // Count of reachable sinks-to-node hops: distance to the chain end.
+        let init = vec![0_u64; csr.node_count()];
+        let fp = fixed_point(csr, Direction::Backward, init, 4, |_, src, dst| {
+            let candidate = src + 1;
+            (candidate > *dst).then_some(candidate)
+        });
+        assert!(fp.converged);
+        assert_eq!(fp.values, vec![2, 1, 0]);
+    }
+
+    #[test]
+    fn reinforcing_cycle_reports_non_convergence() {
+        let mut g = Dfg::new("loop");
+        let a = g.add_node("a", OpKind::Add, 1);
+        let b = g.add_node("b", OpKind::Add, 1);
+        g.add_edge(a, b, 0).unwrap();
+        g.add_edge(b, a, 0).unwrap();
+        let csr = g.csr();
+        let n = csr.node_count() as u32;
+        let fp = fixed_point(
+            csr,
+            Direction::Forward,
+            vec![0_u64; 2],
+            n + 1,
+            |_, src, dst| {
+                let candidate = src + 1;
+                (candidate > *dst).then_some(candidate)
+            },
+        );
+        assert!(!fp.converged);
+        assert_eq!(fp.rounds, n + 1);
+    }
+
+    #[test]
+    fn empty_graph_converges_immediately() {
+        let g = Dfg::new("empty");
+        let fp = fixed_point::<u64>(g.csr(), Direction::Forward, Vec::new(), 8, |_, _, _| None);
+        assert!(fp.converged);
+        assert_eq!(fp.rounds, 1);
+    }
+}

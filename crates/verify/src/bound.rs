@@ -35,7 +35,10 @@ pub fn recurrence_forces(dfg: &Dfg, min_length: u32) -> bool {
 }
 
 /// The recurrence lower bound: the smallest `L ≥ 1` not excluded by any
-/// cycle, or `None` when a zero-delay cycle excludes every length.
+/// cycle, or `None` when no length up to `u32::MAX − 1` survives —
+/// either a zero-delay cycle excludes every length, or the critical
+/// ratio itself exceeds what `u32` can carry (possible only with
+/// near-`u32::MAX` computation times).
 ///
 /// On a graph without cycles this is 1. Binary search over
 /// [`recurrence_forces`], which is monotone in its threshold.
@@ -68,21 +71,45 @@ pub fn recurrence_bound(dfg: &Dfg) -> Option<u32> {
 ///
 /// Longest-path relaxation from an implicit super-source (all distances
 /// start at 0); if the |V|-th pass still relaxes, a positive cycle
-/// exists. Weights and distances fit comfortably in `i128` for any
-/// `u32`-sized inputs.
+/// exists. A single weight `t − k·d` fits in `i128` for any `u32`-sized
+/// inputs, but distances *accumulate* one weight per relaxation, so the
+/// sums saturate rather than trust a size argument; saturation cannot
+/// mask a positive cycle, because a distance pinned at `i128::MAX`
+/// merely stops relaxing (the `n`-th-pass test needs only one strict
+/// improvement anywhere, and ~2⁶² chained relaxations would have to
+/// precede a pin).
 fn exists_positive_cycle(dfg: &Dfg, k: i128) -> bool {
     let n = dfg.node_count();
     if n == 0 {
         return false;
     }
+    // Weights once, not once per pass: up to n+1 sweeps re-read them.
+    let weights: Vec<(usize, usize, i128)> = dfg
+        .edges()
+        .map(|(_, edge)| {
+            let w = i128::from(dfg.node(edge.from()).time())
+                .saturating_sub(k.saturating_mul(i128::from(edge.delays())));
+            (edge.from().index(), edge.to().index(), w)
+        })
+        .collect();
+    // A positive cycle needs a positive-weight edge.
+    let Some(max_w) = weights.iter().map(|&(_, _, w)| w).filter(|&w| w > 0).max() else {
+        return false;
+    };
+    // Distances start at 0 and a simple path carries at most
+    // (n−1)·max_w; any distance beyond that already proves a positive
+    // cycle, so the sweep can answer without finishing its pass budget.
+    let threshold = i128::from(n as u64 - 1).saturating_mul(max_w);
     let mut dist = vec![0_i128; n];
     for pass in 0..=n {
         let mut relaxed = false;
-        for (_, edge) in dfg.edges() {
-            let w = i128::from(dfg.node(edge.from()).time()) - k * i128::from(edge.delays());
-            let candidate = dist[edge.from().index()] + w;
-            if candidate > dist[edge.to().index()] {
-                dist[edge.to().index()] = candidate;
+        for &(from, to, w) in &weights {
+            let candidate = dist[from].saturating_add(w);
+            if candidate > dist[to] {
+                if candidate > threshold {
+                    return true;
+                }
+                dist[to] = candidate;
                 relaxed = true;
             }
         }
@@ -167,5 +194,38 @@ mod tests {
         let a = g.add_node("a", OpKind::Add, u32::MAX);
         g.add_edge(a, a, u32::MAX).unwrap();
         assert_eq!(recurrence_bound(&g), Some(1));
+    }
+
+    #[test]
+    fn near_overflow_times_saturate_instead_of_wrapping() {
+        // Two u32::MAX-time nodes around one delay: the true ratio
+        // (2^33 − 2) no longer fits in u32, so the bound degrades to
+        // None rather than a wrapped nonsense value.
+        let mut g = Dfg::new("huge");
+        let a = g.add_node("a", OpKind::Add, u32::MAX);
+        let b = g.add_node("b", OpKind::Add, u32::MAX);
+        g.add_edge(a, b, 0).unwrap();
+        g.add_edge(b, a, 1).unwrap();
+        assert_eq!(recurrence_bound(&g), None);
+        // The probe itself stays exact at any representable threshold.
+        assert!(recurrence_forces(&g, u32::MAX));
+    }
+
+    #[test]
+    fn near_overflow_mixed_cycle_keeps_the_exact_bound() {
+        // A u32::MAX-time node through u32::MAX delays alongside a
+        // small recurrence: the huge cycle's ratio rounds up to 2 and
+        // the small one forces 3, so the exact answer survives the
+        // extreme weights.
+        let mut g = Dfg::new("mixed");
+        let big = g.add_node("big", OpKind::Mul, u32::MAX);
+        let m = g.add_node("m", OpKind::Mul, 2);
+        let a = g.add_node("a", OpKind::Add, 1);
+        g.add_edge(big, big, u32::MAX).unwrap();
+        g.add_edge(big, m, 1).unwrap();
+        g.add_edge(m, a, 0).unwrap();
+        g.add_edge(a, m, 1).unwrap();
+        assert_eq!(recurrence_bound(&g), Some(3));
+        assert!(!recurrence_forces(&g, 4));
     }
 }

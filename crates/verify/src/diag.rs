@@ -12,6 +12,9 @@
 //! * `E1xx` — **certification violations**: a concrete (graph,
 //!   resources, retiming, schedule) quadruple that is not a legal
 //!   pipeline, or a claim about one that does not hold.
+//! * `A0xx` — **analysis findings**: informational facts the static
+//!   analysis passes extract (critical cycle, binding resource class,
+//!   register-pressure peak); never failures.
 
 use core::fmt;
 
@@ -95,6 +98,23 @@ pub enum Code {
     /// `E114` — a claimed optimality verdict that neither the recurrence
     /// bound nor the resource bound supports.
     ForgedOptimality,
+    /// `A001` — a critical cycle: a cycle achieving the maximum
+    /// time-to-delay ratio, i.e. the recurrence bottleneck every further
+    /// rotation is limited by.
+    CriticalCycle,
+    /// `A002` — a saturated resource class: the class whose utilization
+    /// binds the kernel length under the given spec (and schedule, when
+    /// one is analyzed).
+    SaturatedClass,
+    /// `A003` — the register-pressure peak: the kernel step holding the
+    /// maximum number of simultaneously live values.
+    RegisterPressurePeak,
+    /// `A004` — the deepest zero-delay chain in the graph (the
+    /// combinational critical path under the current retiming).
+    DeepestChain,
+    /// `A005` — which lower bound binds the schedule: the recurrence
+    /// bound (critical cycle) or the resource bound (saturated class).
+    BindingConstraint,
 }
 
 impl Code {
@@ -128,14 +148,21 @@ impl Code {
             Code::UnrolledResourceOverflow => "E112",
             Code::LengthClaimMismatch => "E113",
             Code::ForgedOptimality => "E114",
+            Code::CriticalCycle => "A001",
+            Code::SaturatedClass => "A002",
+            Code::RegisterPressurePeak => "A003",
+            Code::DeepestChain => "A004",
+            Code::BindingConstraint => "A005",
         }
     }
 
-    /// The severity implied by the code (`E` = error, `W` = warning).
+    /// The severity implied by the code (`E` = error, `W` = warning,
+    /// `A` = informational analysis finding).
     #[must_use]
     pub const fn severity(self) -> Severity {
         match self.as_str().as_bytes()[0] {
             b'W' => Severity::Warning,
+            b'A' => Severity::Info,
             _ => Severity::Error,
         }
     }
@@ -171,12 +198,17 @@ impl Code {
             Code::UnrolledResourceOverflow => "unrolled-loop step over-subscribes a class",
             Code::LengthClaimMismatch => "claimed length differs from the certified kernel",
             Code::ForgedOptimality => "optimality claim unsupported by any bound",
+            Code::CriticalCycle => "cycle achieving the maximum time-to-delay ratio",
+            Code::SaturatedClass => "resource class whose utilization binds the kernel",
+            Code::RegisterPressurePeak => "kernel step with the most simultaneously live values",
+            Code::DeepestChain => "deepest zero-delay chain under the current retiming",
+            Code::BindingConstraint => "which lower bound limits the schedule length",
         }
     }
 
     /// Every code, in code order. The reference table the documentation
     /// and the JSON schema tests iterate.
-    pub const ALL: [Code; 26] = [
+    pub const ALL: [Code; 31] = [
         Code::ZeroDelayCycle,
         Code::ZeroTimeNode,
         Code::OverflowHazard,
@@ -203,6 +235,11 @@ impl Code {
         Code::UnrolledResourceOverflow,
         Code::LengthClaimMismatch,
         Code::ForgedOptimality,
+        Code::CriticalCycle,
+        Code::SaturatedClass,
+        Code::RegisterPressurePeak,
+        Code::DeepestChain,
+        Code::BindingConstraint,
     ];
 }
 
@@ -219,6 +256,8 @@ pub enum Severity {
     Error,
     /// Suspicious but not fatal; the scheduler will still run.
     Warning,
+    /// An extracted fact, not a problem (analysis findings).
+    Info,
 }
 
 impl Severity {
@@ -228,6 +267,7 @@ impl Severity {
         match self {
             Severity::Error => "error",
             Severity::Warning => "warning",
+            Severity::Info => "info",
         }
     }
 }
@@ -407,9 +447,20 @@ pub fn render_json_array(diags: &[Diagnostic], dfg: &Dfg) -> String {
 }
 
 /// Sorts diagnostics into the canonical report order: errors before
-/// warnings, then by code, then by locus.
+/// warnings before info, then by code, then by locus, then by message
+/// and hint. The full key makes the order a function of the finding
+/// *set* alone — independent of pass registration order — so rendered
+/// reports are byte-stable however the findings were produced.
 pub fn sort_canonical(diags: &mut [Diagnostic]) {
-    diags.sort_by(|a, b| (a.severity(), a.code, &a.locus).cmp(&(b.severity(), b.code, &b.locus)));
+    diags.sort_by(|a, b| {
+        (a.severity(), a.code, &a.locus, &a.message, &a.hint).cmp(&(
+            b.severity(),
+            b.code,
+            &b.locus,
+            &b.message,
+            &b.hint,
+        ))
+    });
 }
 
 #[cfg(test)]
@@ -431,7 +482,7 @@ mod tests {
             let s = code.as_str();
             assert!(seen.insert(s), "duplicate code {s}");
             assert_eq!(s.len(), 4);
-            assert!(s.starts_with('E') || s.starts_with('W'));
+            assert!(s.starts_with('E') || s.starts_with('W') || s.starts_with('A'));
             assert!(s[1..].chars().all(|c| c.is_ascii_digit()));
             assert!(!code.summary().is_empty());
         }
@@ -441,6 +492,20 @@ mod tests {
     fn severity_follows_the_code_letter() {
         assert_eq!(Code::ZeroDelayCycle.severity(), Severity::Error);
         assert_eq!(Code::IsolatedNode.severity(), Severity::Warning);
+        assert_eq!(Code::CriticalCycle.severity(), Severity::Info);
+    }
+
+    #[test]
+    fn canonical_sort_is_total_on_equal_loci() {
+        // Two findings with the same (severity, code, locus) still have
+        // a deterministic order: the message tie-breaks.
+        let mk = |msg: &str| Diagnostic::new(Code::CriticalCycle, Locus::Graph, msg);
+        let mut a = vec![mk("beta"), mk("alpha")];
+        let mut b = vec![mk("alpha"), mk("beta")];
+        sort_canonical(&mut a);
+        sort_canonical(&mut b);
+        assert_eq!(a, b);
+        assert_eq!(a[0].message, "alpha");
     }
 
     #[test]

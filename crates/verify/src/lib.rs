@@ -16,7 +16,11 @@
 //!   wrapped kernel, or returns every violation (`E1xx`);
 //! * [`certify_pipeline`] — checks
 //!   the prologue/kernel/epilogue expansion against the plain unrolled
-//!   loop over a bounded iteration window.
+//!   loop over a bounded iteration window;
+//! * [`analyze`] — the static-analysis
+//!   framework: critical-cycle extraction, resource saturation,
+//!   register pressure, and chain depths over a shared traversal
+//!   cache, rendered as a byte-stable `A0xx` bottleneck report.
 //!
 //! # Example
 //!
@@ -41,6 +45,7 @@
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
+pub mod analysis;
 pub mod bound;
 pub mod certify;
 pub mod diag;
@@ -48,9 +53,13 @@ pub mod lint;
 pub mod pipeline;
 pub mod spec;
 
+pub use analysis::{
+    analyze, analyze_in_order, AnalysisContext, AnalysisPass, AnalysisReport, ScheduleView,
+    TraversalCache, ANALYSIS_PASSES,
+};
 pub use bound::{recurrence_bound, recurrence_forces};
 pub use certify::{certify, certify_claim, Certificate, Claim, StartTimes};
 pub use diag::{render_json_array, sort_canonical, Code, Diagnostic, Locus, Severity};
-pub use lint::{has_errors, lint, LintContext, LintOptions, LintPass, PASSES};
+pub use lint::{has_errors, lint, lint_in_order, LintContext, LintOptions, LintPass, PASSES};
 pub use pipeline::{certify_pipeline, expand, ExecEvent, PipelineCertificate};
 pub use spec::{ResourceSpec, UnitClass};

@@ -43,6 +43,12 @@ pub struct LintContext<'a> {
     pub retiming: Option<&'a Retiming>,
     /// Warning thresholds.
     pub options: &'a LintOptions,
+    /// A precomputed recurrence bound, when the caller already ran the
+    /// computation (the analysis framework shares one across passes).
+    /// `None` means "compute it here"; the inner `Option` carries
+    /// [`recurrence_bound`]'s own verdict. A hint must equal what
+    /// [`recurrence_bound`] would return — it is a cache, not a knob.
+    pub recurrence_hint: Option<Option<u32>>,
 }
 
 impl<'a> LintContext<'a> {
@@ -53,6 +59,7 @@ impl<'a> LintContext<'a> {
             spec: None,
             retiming: None,
             options,
+            recurrence_hint: None,
         }
     }
 }
@@ -114,9 +121,21 @@ pub const PASSES: &[LintPass] = &[
 /// order. Total: never panics, whatever the input.
 #[must_use]
 pub fn lint(dfg: &Dfg, ctx: &LintContext<'_>) -> Vec<Diagnostic> {
+    let order: Vec<usize> = (0..PASSES.len()).collect();
+    lint_in_order(dfg, ctx, &order)
+}
+
+/// [`lint`] with an explicit pass execution order (a permutation of
+/// `0..PASSES.len()`; out-of-range entries are skipped). The canonical
+/// sort makes the result identical for every permutation — the hook
+/// exists so the determinism suite can prove that.
+#[must_use]
+pub fn lint_in_order(dfg: &Dfg, ctx: &LintContext<'_>, order: &[usize]) -> Vec<Diagnostic> {
     let mut diags = Vec::new();
-    for pass in PASSES {
-        (pass.run)(dfg, ctx, &mut diags);
+    for &i in order {
+        if let Some(pass) = PASSES.get(i) {
+            (pass.run)(dfg, ctx, &mut diags);
+        }
     }
     sort_canonical(&mut diags);
     diags
@@ -406,13 +425,13 @@ fn pass_chain_depth(dfg: &Dfg, ctx: &LintContext<'_>, out: &mut Vec<Diagnostic>)
     }
 }
 
-fn pass_iteration_boundary(dfg: &Dfg, _ctx: &LintContext<'_>, out: &mut Vec<Diagnostic>) {
+fn pass_iteration_boundary(dfg: &Dfg, ctx: &LintContext<'_>, out: &mut Vec<Diagnostic>) {
     // Only meaningful on cyclic graphs: on a DAG the recurrence bound is
     // 1 and "crossing the boundary" is the common case, not a hazard.
     if !has_cycle(dfg) {
         return;
     }
-    let Some(bound) = recurrence_bound(dfg) else {
+    let Some(bound) = ctx.recurrence_hint.unwrap_or_else(|| recurrence_bound(dfg)) else {
         return; // zero-delay cycle: covered by E001
     };
     debug_assert!(recurrence_forces(dfg, bound));
@@ -479,6 +498,7 @@ mod tests {
                 spec: Some(&spec),
                 retiming: None,
                 options: &options,
+                recurrence_hint: None,
             },
         );
         assert!(diags.is_empty(), "unexpected findings: {diags:?}");
@@ -562,6 +582,7 @@ mod tests {
                 spec: Some(&spec),
                 retiming: None,
                 options: &options,
+                recurrence_hint: None,
             },
         );
         assert!(codes(&diags).contains(&Code::UnboundOp));
@@ -573,6 +594,7 @@ mod tests {
                 spec: Some(&spec0),
                 retiming: None,
                 options: &options,
+                recurrence_hint: None,
             },
         );
         let cs = codes(&diags);
@@ -604,6 +626,7 @@ mod tests {
                 spec: None,
                 retiming: Some(&r),
                 options: &options,
+                recurrence_hint: None,
             },
         );
         assert!(codes(&diags).contains(&Code::IllegalRetiming));
@@ -617,6 +640,7 @@ mod tests {
                 spec: None,
                 retiming: Some(&r2),
                 options: &options,
+                recurrence_hint: None,
             },
         );
         assert_eq!(codes(&diags), vec![Code::UnnormalizedRetiming]);

@@ -1,13 +1,15 @@
 //! `rotsched` — command-line rotation scheduling.
 //!
 //! ```text
-//! rotsched analyze  <file.dfg>
-//! rotsched lint     <file.dfg> [--adders N] [--mults N] [--pipelined]
-//!                              [--format text|json]
+//! rotsched analyze  <file.dfg>... [--adders N] [--mults N] [--pipelined]
+//!                                 [--format text|json]
+//! rotsched lint     <file.dfg>... [--adders N] [--mults N] [--pipelined]
+//!                                 [--format text|json]
 //! rotsched solve    <file.dfg> [--adders N] [--mults N] [--pipelined]
 //!                              [--verify ITERS] [--dot] [--expand ITERS]
 //!                              [--jobs N] [--deadline-ms N] [--max-rotations N]
-//!                              [--certify] [--trace[=json]] [--format text|json]
+//!                              [--certify] [--analyze] [--trace[=json]]
+//!                              [--format text|json]
 //! rotsched compare  <file.dfg> [--adders N] [--mults N] [--pipelined]
 //! rotsched serve    [--port N] [--cache-bytes N] [--shards N]
 //!                   [--read-timeout-ms N] [--idle-timeout-ms N]
@@ -19,6 +21,20 @@
 //! `lint` runs the independent static-analysis passes of
 //! `rotsched-verify` over the graph and resource spec, reporting
 //! structured diagnostics with stable `E0xx`/`W0xx` codes.
+//!
+//! `analyze` runs the full static-analysis framework of
+//! `rotsched-verify`: critical-cycle extraction (the recurrence
+//! bottleneck and the exact iteration-bound ratio), resource
+//! saturation and the binding class, register pressure, and the
+//! zero-delay chain histogram, as a bottleneck report with stable
+//! `A0xx` findings. `--format json` emits the byte-stable
+//! `rotsched-analysis-v1` document. `solve --analyze` prints the same
+//! report for the *solved* kernel (per-step utilization, live-value
+//! pressure, rotation candidates) after the schedule; it never
+//! changes the solve.
+//!
+//! `lint` and `analyze` accept multiple input files; every file is
+//! processed and the exit code is the worst across files.
 //!
 //! `--jobs N` with `N > 1` searches with the parallel portfolio
 //! (Heuristic 1's phases plus one Heuristic-2 sweep per priority
@@ -84,10 +100,9 @@ use std::time::Duration;
 use rotsched::baselines::{
     dag_only, lower_bound, modulo_schedule, retime_then_schedule, unfold_and_schedule, ModuloConfig,
 };
-use rotsched::dfg::analysis;
 use rotsched::dfg::rng::{Fnv64, SplitMix64};
 use rotsched::dfg::text;
-use rotsched::sched::{verify_spec, verify_starts};
+use rotsched::sched::{analyze_loop_schedule, verify_spec, verify_starts};
 use rotsched::serve::{
     faulted_response, seeded_corpus, Connection, FaultPlan, Faults, InjectedFaults, RetryClient,
     RetryPolicy, ServeConfig, Server,
@@ -106,6 +121,8 @@ enum Format {
     Json,
 }
 
+// A CLI flag set: each bool mirrors one independent command-line flag.
+#[allow(clippy::struct_excessive_bools)]
 struct Options {
     adders: u32,
     mults: u32,
@@ -117,6 +134,7 @@ struct Options {
     deadline_ms: Option<u64>,
     max_rotations: Option<u64>,
     certify: bool,
+    analyze: bool,
     trace: Option<Format>,
     format: Format,
 }
@@ -136,10 +154,11 @@ impl Options {
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: rotsched <analyze|lint|solve|compare> <file.dfg> \
+        "usage: rotsched <analyze|lint|solve|compare> <file.dfg>... \
          [--adders N] [--mults N] [--pipelined] [--verify N] [--expand N] [--dot] [--jobs N] \
-         [--deadline-ms N] [--max-rotations N] [--certify] [--trace[=json]] \
+         [--deadline-ms N] [--max-rotations N] [--certify] [--analyze] [--trace[=json]] \
          [--format text|json]\n\
+         \x20      (lint and analyze accept several files; the exit code is the worst)\n\
          \x20      rotsched serve [--port N] [--cache-bytes N] [--shards N] \
          [--read-timeout-ms N] [--idle-timeout-ms N] [--chaos-seed N]\n\
          \x20      rotsched bench-serve --addr HOST:PORT [--clients N] [--requests N] \
@@ -174,9 +193,12 @@ fn main() -> ExitCode {
         Some("bench-serve") => return bench_serve_command(&args[1..]),
         _ => {}
     }
-    let (Some(command), Some(path)) = (args.first(), args.get(1)) else {
+    let Some(command) = args.first().map(String::as_str) else {
         return usage();
     };
+    if !matches!(command, "analyze" | "lint" | "solve" | "compare") {
+        return usage();
+    }
 
     let mut opts = Options {
         adders: 2,
@@ -189,11 +211,19 @@ fn main() -> ExitCode {
         deadline_ms: None,
         max_rotations: None,
         certify: false,
+        analyze: false,
         trace: None,
         format: Format::Text,
     };
-    let mut it = args[2..].iter();
+    // Positional arguments (input files) and flags may interleave;
+    // `lint` and `analyze` take any number of files.
+    let mut paths: Vec<&String> = Vec::new();
+    let mut it = args[1..].iter();
     while let Some(flag) = it.next() {
+        if !flag.starts_with("--") {
+            paths.push(flag);
+            continue;
+        }
         match flag.as_str() {
             "--adders" => match parse_arg(&mut it, "--adders") {
                 Some(v) => opts.adders = v,
@@ -228,6 +258,7 @@ fn main() -> ExitCode {
             "--pipelined" => opts.pipelined = true,
             "--dot" => opts.dot = true,
             "--certify" => opts.certify = true,
+            "--analyze" => opts.analyze = true,
             "--format" => match it.next().map(String::as_str) {
                 Some("text") => opts.format = Format::Text,
                 Some("json") => opts.format = Format::Json,
@@ -249,68 +280,82 @@ fn main() -> ExitCode {
         eprintln!("error: invalid resource spec: need at least one adder or multiplier");
         return ExitCode::FAILURE;
     }
+    if paths.is_empty() {
+        return usage();
+    }
+    if paths.len() > 1 && !matches!(command, "analyze" | "lint") {
+        eprintln!("error: {command} takes exactly one input file");
+        return usage();
+    }
 
+    // Every file is processed; the exit code is the worst across files
+    // (the codes are ordered by severity: 0 ok < 3 budget < 4 degraded
+    // < 5 lint/cert failure, with 1 = error and 2 = usage dominating).
+    let mut worst = 0_u8;
+    for path in paths {
+        worst = worst.max(run_file(command, path, &opts));
+    }
+    ExitCode::from(worst)
+}
+
+/// Parses one input file and dispatches `command` on it, mapping every
+/// failure onto the documented exit codes.
+fn run_file(command: &str, path: &str, opts: &Options) -> u8 {
     let content = match std::fs::read_to_string(path) {
         Ok(c) => c,
         Err(e) => {
             eprintln!("error: cannot read {path}: {e}");
-            return ExitCode::FAILURE;
+            return 1;
         }
     };
     let graph = match text::parse(&content) {
         Ok(g) => g,
         Err(e) => {
             eprintln!("error: {path}: {e}");
-            return ExitCode::FAILURE;
+            return 1;
         }
     };
-
-    let result = match command.as_str() {
-        "analyze" => analyze(&graph).map(|()| ExitCode::SUCCESS),
-        "lint" => Ok(lint_command(&graph, &opts)),
-        "solve" => solve(&graph, &opts),
-        "compare" => compare(&graph, &opts).map(|()| ExitCode::SUCCESS),
-        _ => return usage(),
+    let result = match command {
+        "analyze" => Ok(analyze_command(&graph, opts)),
+        "lint" => Ok(lint_command(&graph, opts)),
+        "solve" => solve(&graph, opts),
+        "compare" => compare(&graph, opts).map(|()| 0),
+        _ => unreachable!("main validated the command"),
     };
     match result {
         Ok(code) => code,
         Err(e) => {
             eprintln!("error: {e}");
-            ExitCode::FAILURE
+            1
         }
     }
 }
 
-fn analyze(graph: &Dfg) -> Result<(), Box<dyn std::error::Error>> {
-    println!("graph: {}", graph.name());
-    println!("  nodes: {}", graph.node_count());
-    println!("  edges: {}", graph.edge_count());
-    println!("  delays: {}", graph.total_delays());
-    println!(
-        "  critical path: {} control steps",
-        analysis::critical_path_length(graph, None)?
-    );
-    match analysis::max_cycle_ratio(graph)? {
-        Some(ratio) => println!(
-            "  iteration bound: {} (max cycle ratio {ratio})",
-            ratio.ceil()
-        ),
-        None => println!("  iteration bound: none (acyclic)"),
+/// `rotsched analyze`: run the static-analysis framework (critical
+/// cycle, saturation, register pressure, chain depths) over the graph
+/// and the resource spec. Exit code 5 when the underlying lint finds
+/// errors (the report still prints — the sections that survive a
+/// hostile input are often exactly the diagnosis wanted).
+fn analyze_command(graph: &Dfg, opts: &Options) -> u8 {
+    let resources = ResourceSet::adders_multipliers(opts.adders, opts.mults, opts.pipelined);
+    let spec = verify_spec(&resources);
+    let report = rotsched::verify::analyze(graph, &spec, None);
+    match opts.format {
+        Format::Json => println!("{}", report.render_json(graph)),
+        Format::Text => print!("{}", report.render_text(graph)),
     }
-    let scc = analysis::strongly_connected_components(graph);
-    println!(
-        "  strongly connected components: {} ({} cyclic)",
-        scc.components().len(),
-        scc.cyclic_components(graph).count()
-    );
-    Ok(())
+    if report.has_errors() {
+        5
+    } else {
+        0
+    }
 }
 
 /// `rotsched lint`: run every static-analysis pass over the graph and
 /// the resource spec implied by `--adders`/`--mults`/`--pipelined`.
 /// Exit code 5 when any error-severity diagnostic fires; warnings alone
 /// exit 0.
-fn lint_command(graph: &Dfg, opts: &Options) -> ExitCode {
+fn lint_command(graph: &Dfg, opts: &Options) -> u8 {
     let resources = ResourceSet::adders_multipliers(opts.adders, opts.mults, opts.pipelined);
     let spec = verify_spec(&resources);
     let lint_options = LintOptions::default();
@@ -318,6 +363,7 @@ fn lint_command(graph: &Dfg, opts: &Options) -> ExitCode {
         spec: Some(&spec),
         retiming: None,
         options: &lint_options,
+        recurrence_hint: None,
     };
     let diags = lint(graph, &ctx);
     match opts.format {
@@ -339,15 +385,16 @@ fn lint_command(graph: &Dfg, opts: &Options) -> ExitCode {
         }
     }
     if has_errors(&diags) {
-        ExitCode::from(5)
+        5
     } else {
-        ExitCode::SUCCESS
+        0
     }
 }
 
-fn solve(graph: &Dfg, opts: &Options) -> Result<ExitCode, Box<dyn std::error::Error>> {
+fn solve(graph: &Dfg, opts: &Options) -> Result<u8, Box<dyn std::error::Error>> {
     let resources = ResourceSet::adders_multipliers(opts.adders, opts.mults, opts.pipelined);
     let spec = verify_spec(&resources);
+    let analysis_resources = opts.analyze.then(|| resources.clone());
     println!(
         "scheduling under {} (lower bound {})",
         resources.label(),
@@ -436,7 +483,7 @@ fn solve(graph: &Dfg, opts: &Options) -> Result<ExitCode, Box<dyn std::error::Er
                     }
                 }
                 eprintln!("certification FAILED: the reported kernel is not a legal schedule");
-                return Ok(ExitCode::from(5));
+                return Ok(5);
             }
         }
     }
@@ -447,11 +494,22 @@ fn solve(graph: &Dfg, opts: &Options) -> Result<ExitCode, Box<dyn std::error::Er
             _ => print!("\n{}", trace.render_text()),
         }
     }
+    // `--analyze`: profile the solved kernel with the verifier's
+    // analysis framework. Printed last so a plain solve's output is a
+    // byte-for-byte prefix of the analyzed one; when the flag is off,
+    // no analysis work happens at all.
+    if let Some(resources) = &analysis_resources {
+        let report = analyze_loop_schedule(graph, resources, &kernel);
+        match opts.format {
+            Format::Json => println!("{}", report.render_json(graph)),
+            Format::Text => print!("\n{}", report.render_text(graph)),
+        }
+    }
     Ok(match solved.quality {
-        SolveQuality::BudgetExhausted => ExitCode::from(3),
-        SolveQuality::Degraded => ExitCode::from(4),
+        SolveQuality::BudgetExhausted => 3,
+        SolveQuality::Degraded => 4,
         // Optimal, Complete, and any future non-failure verdicts.
-        _ => ExitCode::SUCCESS,
+        _ => 0,
     })
 }
 

@@ -1,0 +1,283 @@
+//! Golden analysis reports over the full Table 3 sweep.
+//!
+//! Every cell of the paper's Table 3 is solved, expanded into its
+//! loop schedule, and analyzed; the rendered JSON is compared
+//! byte-for-byte against a checked-in golden file, and a property
+//! suite ties the analyzer back to the independent `dfg`-side
+//! algorithms:
+//!
+//! * the critical-cycle pass's `⌈ratio⌉` equals
+//!   [`iteration_bound`] on the *original* (unretimed) graph — cycle
+//!   ratios are retiming-invariant, so the two independently coded
+//!   algorithms must agree on every cell;
+//! * the register-pressure peak upper-bounds a brute-force lifetime
+//!   replay on the absolute (unfolded) timeline;
+//! * re-analyzing the same schedule, in any pass order, reproduces
+//!   the bytes exactly.
+//!
+//! Regenerate the goldens after an intentional schema or solver
+//! change with `ROTSCHED_UPDATE_GOLDEN=1 cargo test --test
+//! analysis_report`.
+
+use std::fs;
+use std::path::PathBuf;
+use std::sync::OnceLock;
+
+use rotsched::baselines::{PublishedRow, TABLE_3};
+use rotsched::dfg::analysis::iteration_bound;
+use rotsched::sched::{analyze_loop_schedule, verify_spec, verify_starts, LoopSchedule};
+use rotsched::verify::{analyze_in_order, ScheduleView};
+use rotsched::{all_benchmarks, Dfg, ResourceSet, RotationScheduler, TimingModel};
+
+/// One analyzed Table-3 cell, with everything the property tests need.
+struct Cell {
+    slug: String,
+    json: String,
+    /// JSON from an independent second solve + analyze of the same cell.
+    json_rerun: String,
+    /// JSON from re-analyzing the first schedule with the pass
+    /// registry run back-to-front.
+    json_reversed: String,
+    /// `⌈max cycle ratio⌉` as the critical-cycle pass computed it.
+    report_bound: u64,
+    /// `iteration_bound` from the `dfg` crate on the original graph.
+    dfg_bound: u64,
+    /// The pass's peak live-value count.
+    max_live: u64,
+    /// A brute-force steady-state replay of the same lifetimes.
+    replayed_peak: u64,
+}
+
+fn short_name(benchmark: &str) -> &'static str {
+    match benchmark {
+        "Differential Equation" => "diffeq",
+        "4-stage Lattice Filter" => "lattice4",
+        "All-pole Lattice Filter" => "allpole",
+        "2-cascaded Biquad Filter" => "biquad",
+        other => panic!("Table 3 names an unknown benchmark: {other}"),
+    }
+}
+
+fn cell_slug(row: &PublishedRow) -> String {
+    format!(
+        "{}-{}a{}m{}",
+        short_name(row.benchmark),
+        row.adders,
+        row.multipliers,
+        if row.pipelined { "p" } else { "" },
+    )
+}
+
+fn golden_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests")
+        .join("golden")
+        .join("analysis")
+}
+
+/// Solve one cell and expand the winning state into its loop schedule.
+fn solve_cell(g: &Dfg, row: &PublishedRow) -> (LoopSchedule, ResourceSet) {
+    let resources = ResourceSet::adders_multipliers(row.adders, row.multipliers, row.pipelined);
+    let scheduler = RotationScheduler::new(g, resources.clone());
+    let solved = scheduler
+        .solve()
+        .unwrap_or_else(|e| panic!("{} fails to solve: {e}", cell_slug(row)));
+    let kernel = scheduler
+        .loop_schedule(&solved.state)
+        .unwrap_or_else(|e| panic!("{} fails to expand: {e}", cell_slug(row)));
+    (kernel, resources)
+}
+
+/// Counts live values at every absolute control step of one
+/// steady-state period, far past the prologue, directly from the
+/// per-edge production/consumption times — no folding, no sharing
+/// with the analyzer's modular arithmetic.
+fn replay_peak_pressure(g: &Dfg, kernel: &LoopSchedule) -> u64 {
+    let l = i64::from(kernel.kernel_length());
+    assert!(l >= 1, "a solved kernel has at least one step");
+    let starts = verify_starts(g, kernel.schedule());
+    let r = kernel.retiming();
+    // The value on edge (u, v) from iteration i is produced at
+    // s(u) + t(u) + i·L and consumed at s(v) + d_r·L + i·L.
+    let lifetimes: Vec<(i64, i64)> = g
+        .edges()
+        .map(|(_, edge)| {
+            let su = i64::from(starts.get(edge.from()).expect("scheduled"));
+            let sv = i64::from(starts.get(edge.to()).expect("scheduled"));
+            let d_r = i64::from(edge.delays()) + r.of(edge.from()) - r.of(edge.to());
+            let produced = su + i64::from(g.node(edge.from()).time());
+            let consumed = sv + d_r * l;
+            (produced, consumed)
+        })
+        .collect();
+    // Two periods past the last first-iteration consumption, every
+    // lifetime pattern repeats with period L.
+    let t0 = lifetimes.iter().map(|&(_, c)| c).max().unwrap_or(0) + 2 * l;
+    let mut peak = 0_u64;
+    for t in t0..t0 + l {
+        let mut live = 0_u64;
+        for &(produced, consumed) in &lifetimes {
+            if consumed <= produced {
+                continue;
+            }
+            let mut i = 0_i64;
+            while produced + i * l <= t {
+                if t < consumed + i * l {
+                    live += 1;
+                }
+                i += 1;
+            }
+        }
+        peak = peak.max(live);
+    }
+    peak
+}
+
+fn build_cells() -> Vec<Cell> {
+    let timing = TimingModel::paper();
+    let graphs = all_benchmarks(&timing);
+    TABLE_3
+        .iter()
+        .map(|row| {
+            let (_, g) = graphs
+                .iter()
+                .find(|(n, _)| *n == row.benchmark)
+                .expect("benchmark exists");
+            let (kernel, resources) = solve_cell(g, row);
+            let report = analyze_loop_schedule(g, &resources, &kernel);
+            let json = report.render_json(g);
+
+            // A full second solve-and-analyze, as a fresh process
+            // would run it.
+            let (kernel2, resources2) = solve_cell(g, row);
+            let json_rerun = analyze_loop_schedule(g, &resources2, &kernel2).render_json(g);
+
+            // The same schedule with the pass registry run
+            // back-to-front.
+            let spec = verify_spec(&resources);
+            let starts = verify_starts(g, kernel.schedule());
+            let view = ScheduleView {
+                starts: &starts,
+                retiming: kernel.retiming(),
+                kernel_length: kernel.kernel_length(),
+            };
+            let json_reversed =
+                analyze_in_order(g, &spec, Some(&view), &[3, 2, 1, 0]).render_json(g);
+
+            let section = report
+                .critical_cycle
+                .as_ref()
+                .unwrap_or_else(|| panic!("{} has no critical cycle", cell_slug(row)));
+            let dfg_bound = iteration_bound(g)
+                .expect("well-formed graph")
+                .expect("cyclic graph");
+            let pressure = report
+                .pressure
+                .as_ref()
+                .unwrap_or_else(|| panic!("{} has no pressure section", cell_slug(row)));
+            Cell {
+                slug: cell_slug(row),
+                json,
+                json_rerun,
+                json_reversed,
+                report_bound: section.iteration_bound,
+                dfg_bound,
+                max_live: pressure.max_live.expect("schedule was given"),
+                replayed_peak: replay_peak_pressure(g, &kernel),
+            }
+        })
+        .collect()
+}
+
+/// The sweep runs once; every test below reads the shared results.
+fn cells() -> &'static [Cell] {
+    static CELLS: OnceLock<Vec<Cell>> = OnceLock::new();
+    CELLS.get_or_init(build_cells)
+}
+
+#[test]
+fn golden_reports_cover_every_table3_cell() {
+    let update = std::env::var_os("ROTSCHED_UPDATE_GOLDEN").is_some();
+    let dir = golden_dir();
+    if update {
+        fs::create_dir_all(&dir).expect("golden dir");
+    }
+    let all = cells();
+    assert_eq!(all.len(), 31, "Table 3 has 31 cells");
+    let mut slugs: Vec<&str> = all.iter().map(|c| c.slug.as_str()).collect();
+    slugs.sort_unstable();
+    slugs.dedup();
+    assert_eq!(slugs.len(), 31, "cell slugs collide");
+
+    for cell in all {
+        let path = dir.join(format!("{}.json", cell.slug));
+        if update {
+            fs::write(&path, &cell.json).expect("write golden");
+            continue;
+        }
+        let want = fs::read_to_string(&path).unwrap_or_else(|e| {
+            panic!(
+                "missing golden {} ({e}); regenerate with ROTSCHED_UPDATE_GOLDEN=1",
+                path.display()
+            )
+        });
+        assert_eq!(
+            cell.json,
+            want,
+            "analysis bytes drifted from {}",
+            path.display()
+        );
+    }
+}
+
+#[test]
+fn critical_cycle_agrees_with_iteration_bound_on_every_cell() {
+    for cell in cells() {
+        assert_eq!(
+            cell.report_bound, cell.dfg_bound,
+            "{}: analyzer ⌈ratio⌉ disagrees with dfg::iteration_bound",
+            cell.slug
+        );
+    }
+}
+
+#[test]
+fn register_pressure_peak_bounds_the_lifetime_replay() {
+    for cell in cells() {
+        assert!(
+            cell.replayed_peak <= cell.max_live,
+            "{}: replayed steady-state peak {} exceeds reported max_live {}",
+            cell.slug,
+            cell.replayed_peak,
+            cell.max_live
+        );
+        // The analyzer folds the same lifetimes, so the bound is tight.
+        assert_eq!(
+            cell.replayed_peak, cell.max_live,
+            "{}: folded and replayed peaks disagree",
+            cell.slug
+        );
+    }
+}
+
+#[test]
+fn independent_reruns_reproduce_the_bytes() {
+    for cell in cells() {
+        assert_eq!(
+            cell.json, cell.json_rerun,
+            "{}: a second solve+analyze changed the report bytes",
+            cell.slug
+        );
+    }
+}
+
+#[test]
+fn pass_order_never_reaches_the_bytes() {
+    for cell in cells() {
+        assert_eq!(
+            cell.json, cell.json_reversed,
+            "{}: reversing the pass order changed the report bytes",
+            cell.slug
+        );
+    }
+}

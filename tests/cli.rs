@@ -339,3 +339,96 @@ fn bad_format_value_is_a_usage_error() {
         "{stderr}"
     );
 }
+
+#[test]
+fn analyze_json_is_byte_stable_across_runs() {
+    let file = fixture("differential-equation");
+    let args = ["analyze", &file, "--format", "json"];
+    let (first, _, code) = run_code(&args);
+    let (second, _, _) = run_code(&args);
+    assert_eq!(code, 0);
+    assert_eq!(first, second, "analysis JSON must be byte-stable");
+    // `--jobs` is a solver knob; the analysis must not see it.
+    let (jobs8, _, _) = run_code(&["analyze", &file, "--format", "json", "--jobs", "8"]);
+    assert_eq!(first, jobs8, "--jobs must not reach the analysis bytes");
+    assert!(
+        first.starts_with("{\"schema\":\"rotsched-analysis-v1\""),
+        "{first}"
+    );
+    assert!(first.contains("\"code\":\"A001\""), "{first}");
+}
+
+/// A multiplier-only recurrence: clean even under `--adders 0`, while
+/// the adder-bearing fixtures raise `E005` there — the mix that shows
+/// worst-of exit aggregation.
+fn muls_only_file() -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join("rotsched-cli-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("muls-only.dfg");
+    std::fs::write(
+        &path,
+        "dfg muls-only\nnode a mul 2\nnode b mul 2\nedge a b 1\nedge b a 1\n",
+    )
+    .unwrap();
+    path
+}
+
+#[test]
+fn analyze_takes_several_files_and_exits_with_the_worst() {
+    let clean = muls_only_file();
+    let failing = fixture("differential-equation");
+    // Alone, the mult-only graph is clean under these flags.
+    let (_, _, code) = run_code(&["analyze", clean.to_str().unwrap(), "--adders", "0"]);
+    assert_eq!(code, 0);
+    // Both reports print; the failing file's exit code wins either way.
+    let (stdout, _, code) = run_code(&[
+        "analyze",
+        clean.to_str().unwrap(),
+        &failing,
+        "--adders",
+        "0",
+    ]);
+    assert_eq!(code, 5, "worst exit code wins: {stdout}");
+    assert!(stdout.contains("muls-only"), "{stdout}");
+    assert!(stdout.contains("differential-equation"), "{stdout}");
+    let (_, _, code) = run_code(&[
+        "analyze",
+        &failing,
+        clean.to_str().unwrap(),
+        "--adders",
+        "0",
+    ]);
+    assert_eq!(code, 5, "order must not matter");
+}
+
+#[test]
+fn lint_takes_several_files_and_exits_with_the_worst() {
+    let clean = muls_only_file();
+    let failing = fixture("differential-equation");
+    let (stdout, _, code) = run_code(&["lint", clean.to_str().unwrap(), &failing, "--adders", "0"]);
+    assert_eq!(code, 5, "worst exit code wins: {stdout}");
+    assert!(stdout.contains("E005"), "{stdout}");
+    let (_, _, code) = run_code(&["lint", &failing, clean.to_str().unwrap(), "--adders", "0"]);
+    assert_eq!(code, 5, "order must not matter");
+    // An unreadable path escalates a clean run to exit 1.
+    let (_, _, code) = run_code(&["lint", clean.to_str().unwrap(), "/nonexistent.dfg"]);
+    assert_eq!(code, 1, "read failures still aggregate");
+}
+
+#[test]
+fn solve_analyze_extends_plain_solve_byte_for_byte() {
+    let file = fixture("differential-equation");
+    let base = ["solve", &file, "--adders", "1", "--mults", "2"];
+    let (plain, _, ok) = run(&base);
+    assert!(ok);
+    let mut with_analysis = base.to_vec();
+    with_analysis.push("--analyze");
+    let (analyzed, _, ok) = run(&with_analysis);
+    assert!(ok);
+    assert!(
+        analyzed.starts_with(&plain),
+        "plain solve output must be a byte prefix of --analyze output:\n{plain}\nvs\n{analyzed}"
+    );
+    assert!(analyzed.len() > plain.len());
+    assert!(analyzed.contains("iteration bound"), "{analyzed}");
+}

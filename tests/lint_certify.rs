@@ -36,6 +36,7 @@ fn lint_clean(graph: &Dfg, what: &str) -> String {
         spec: Some(&spec),
         retiming: None,
         options: &options,
+        recurrence_hint: None,
     };
     let diags = lint(graph, &ctx);
     let errors: Vec<String> = diags
