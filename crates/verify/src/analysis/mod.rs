@@ -345,3 +345,21 @@ mod tests {
         let _ = report.render_text(&g);
     }
 }
+
+#[cfg(test)]
+mod review_probe {
+    use super::*;
+    use rotsched_dfg::OpKind;
+    #[test]
+    fn zero_time_cycle_seed() {
+        let mut g = Dfg::new("zt");
+        let a = g.add_node("a", OpKind::Add, 0);
+        let b = g.add_node("b", OpKind::Add, 0);
+        g.add_edge(a, b, 1).unwrap();
+        g.add_edge(b, a, 1).unwrap();
+        let report = analyze(&g, &ResourceSpec::unlimited(), None);
+        let cc = report.critical_cycle.as_ref().unwrap();
+        assert_eq!(cc.iteration_bound, 0);
+        assert_eq!(crate::bound::recurrence_bound(&g), Some(1));
+    }
+}
