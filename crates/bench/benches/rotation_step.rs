@@ -6,7 +6,7 @@ use core::time::Duration;
 use rotsched_bench::harness::Harness;
 use rotsched_benchmarks::{all_benchmarks, random_dfg, RandomDfgConfig, TimingModel};
 use rotsched_core::{
-    down_rotate, initial_state, BestSet, RotationContext, RotationState, SearchDriver,
+    down_rotate, initial_state, BestSet, RotationContext, RotationState, Score, SearchDriver,
 };
 use rotsched_dfg::Dfg;
 use rotsched_sched::{ListScheduler, ResourceSet, WrapScratch};
@@ -110,7 +110,7 @@ fn legacy_phase(g: &Dfg, sched: &ListScheduler, res: &ResourceSet, init: &Rotati
             min_seen = wrapped;
             first_optimum_at = Some(j + 1);
         }
-        let _ = best.offer(wrapped, &state);
+        let _ = best.offer(Score::from_length(wrapped), &state);
     }
     std::hint::black_box((rotations, lengths, first_optimum_at));
 }

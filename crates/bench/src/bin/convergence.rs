@@ -57,7 +57,7 @@ fn main() {
                 .run_phase(&mut state, &mut best, size, alpha)
                 .expect("phases run");
             let trace = driver.observer.finish();
-            let reached = best.length;
+            let reached = best.length();
             let when = trace
                 .events
                 .iter()

@@ -72,7 +72,7 @@ use rotsched_benchmarks::{
 };
 use rotsched_core::{
     down_rotate, effective_jobs, initial_state, parallel_indexed, BestSet, HeuristicConfig,
-    ProblemSpec, RotationContext, RotationScheduler, SearchDriver, TraceRecorder,
+    Objective, ProblemSpec, RotationContext, RotationScheduler, Score, SearchDriver, TraceRecorder,
 };
 use rotsched_dfg::rng::{Fnv64, SplitMix64};
 use rotsched_dfg::Dfg;
@@ -131,6 +131,16 @@ const SERVE_WARM_SPEEDUP_FLOOR: u64 = 50;
 const FAULT_OVERHEAD_LIMIT_PCT: f64 = 2.0;
 /// Interleaved warm-hit samples per arm in the fault-overhead study.
 const FAULT_OVERHEAD_SAMPLES: usize = 1200;
+/// Smoke gate: the default length-only objective must cost at most
+/// this much more than a scalar-`u32` replica of the pre-objective
+/// best set over identical rotation sequences. `Objective::score`
+/// dispatch plus `Score::from_length` packing is a match and a shift;
+/// if the default path ever pays more than noise, the zero-cost
+/// objective claim broke.
+const OBJECTIVE_OVERHEAD_LIMIT_PCT: f64 = 2.0;
+/// Interleaved sequence samples per arm in the objective-overhead
+/// study.
+const OBJECTIVE_OVERHEAD_SAMPLES: usize = 400;
 /// Graphs in the analyze-arm latency suite.
 const ANALYZE_SUITE_GRAPHS: u64 = 8;
 /// Nodes per suite graph.
@@ -301,6 +311,13 @@ fn main() {
         fault.noop_p50, fault.armed_p50, fault.overhead_pct
     );
 
+    let objective = objective_overhead(&graphs);
+    println!(
+        "objective-core overhead: scalar best-set p50 {} ns vs packed p50 {} ns \
+         ({:+.2}%, limit {OBJECTIVE_OVERHEAD_LIMIT_PCT}%)",
+        objective.scalar_p50, objective.packed_p50, objective.overhead_pct
+    );
+
     let analyze = analyze_arm();
     println!(
         "\nfull analysis ({ANALYZE_SUITE_NODES}-node suite): p50 {:>8} ns, \
@@ -334,6 +351,7 @@ fn main() {
         &legacy,
         &serve,
         &fault,
+        &objective,
         &analyze,
     );
     match std::fs::write(&opts.out, json) {
@@ -636,7 +654,7 @@ fn run_legacy_sequence(
             min_seen = wrapped;
             first_optimum_at = Some(j + 1);
         }
-        let _ = best.offer(wrapped, &state);
+        let _ = best.offer(Score::from_length(wrapped), &state);
     }
     // Keep the bookkeeping observable so the optimizer cannot discard
     // the replica's stats work that the real loop also performed.
@@ -863,6 +881,189 @@ fn fault_overhead() -> FaultOverheadReport {
         armed_p50,
         overhead_pct: (noop_p50 as f64 - armed_p50 as f64) / armed_p50.max(1) as f64 * 100.0,
         samples: FAULT_OVERHEAD_SAMPLES,
+    }
+}
+
+/// What the objective-overhead arm measures.
+struct ObjectiveOverheadReport {
+    /// p50 of one rotation sequence against the scalar-`u32` replica.
+    scalar_p50: u64,
+    /// p50 of the same sequence against the packed-score best set,
+    /// scored through the `Objective::Length` dispatch the engine uses.
+    packed_p50: u64,
+    /// `(packed - scalar) / scalar`, in percent.
+    overhead_pct: f64,
+    samples: usize,
+}
+
+/// A `u32`-keyed replica of the pre-objective best set, for the
+/// overhead comparison only: same admission rule, same fingerprint,
+/// same cloning discipline — scalar length compare instead of the
+/// packed score.
+struct ScalarBestSet {
+    length: u32,
+    schedules: Vec<rotsched_core::RotationState>,
+    fingerprints: Vec<u64>,
+    capacity: usize,
+}
+
+impl ScalarBestSet {
+    fn new(capacity: usize) -> Self {
+        ScalarBestSet {
+            length: u32::MAX,
+            schedules: Vec::new(),
+            fingerprints: Vec::new(),
+            capacity,
+        }
+    }
+
+    fn fingerprint(state: &rotsched_core::RotationState) -> u64 {
+        let mut h = Fnv64::new();
+        for (v, cs) in state.schedule.iter() {
+            h.write_u32(u32::try_from(v.index()).unwrap_or(u32::MAX));
+            h.write_u32(cs);
+        }
+        h.finish()
+    }
+
+    fn offer(&mut self, length: u32, state: &rotsched_core::RotationState) -> bool {
+        if length > self.length {
+            return false;
+        }
+        if length < self.length {
+            let fp = Self::fingerprint(state);
+            self.length = length;
+            self.schedules.clear();
+            self.fingerprints.clear();
+            self.schedules.push(state.clone());
+            self.fingerprints.push(fp);
+            return true;
+        }
+        if self.schedules.len() >= self.capacity {
+            return false;
+        }
+        let fp = Self::fingerprint(state);
+        let duplicate = self
+            .fingerprints
+            .iter()
+            .zip(&self.schedules)
+            .any(|(&f, s)| f == fp && s.schedule == state.schedule);
+        if !duplicate {
+            self.schedules.push(state.clone());
+            self.fingerprints.push(fp);
+        }
+        false
+    }
+}
+
+/// The scalar arm: the legacy loop tracking its best with plain `u32`
+/// lengths, exactly as the engine did before the objective core.
+fn run_scalar_sequence(
+    g: &Dfg,
+    sched: &ListScheduler,
+    res: &ResourceSet,
+    init: &rotsched_core::RotationState,
+) {
+    let mut state = init.clone();
+    let mut best = ScalarBestSet::new(4);
+    let mut ctx = RotationContext::new(g, sched, res, &state).expect("schedulable");
+    let mut wrap = WrapScratch::new(g, res).expect("ops bind");
+    for _ in 0..STEP_SEQ {
+        let length = state.length(g);
+        if length <= 1 {
+            break;
+        }
+        let mut effective = 1_u32;
+        while effective >= length {
+            effective = effective.div_ceil(2);
+        }
+        if effective == 0 {
+            break;
+        }
+        ctx.down_rotate_in_place(g, sched, res, &mut state, effective)
+            .expect("legal");
+        let wrapped = wrap
+            .wrapped_length(g, Some(&state.retiming), &state.schedule, res)
+            .expect("wraps");
+        let _ = best.offer(wrapped, &state);
+    }
+    std::hint::black_box((best.length, best.schedules.len()));
+}
+
+/// The packed arm: the identical loop, but scoring through the
+/// `Objective::Length` dispatch and the packed best set — the exact
+/// representation the engine's default path runs today.
+fn run_packed_sequence(
+    g: &Dfg,
+    sched: &ListScheduler,
+    res: &ResourceSet,
+    init: &rotsched_core::RotationState,
+) {
+    let mut state = init.clone();
+    let mut best = BestSet::new(4);
+    let mut ctx = RotationContext::new(g, sched, res, &state).expect("schedulable");
+    let mut wrap = WrapScratch::new(g, res).expect("ops bind");
+    for _ in 0..STEP_SEQ {
+        let length = state.length(g);
+        if length <= 1 {
+            break;
+        }
+        let mut effective = 1_u32;
+        while effective >= length {
+            effective = effective.div_ceil(2);
+        }
+        if effective == 0 {
+            break;
+        }
+        ctx.down_rotate_in_place(g, sched, res, &mut state, effective)
+            .expect("legal");
+        let wrapped = wrap
+            .wrapped_length(g, Some(&state.retiming), &state.schedule, res)
+            .expect("wraps");
+        let score = Objective::Length.score(g, &state.retiming, wrapped);
+        let _ = best.offer(score, &state);
+    }
+    std::hint::black_box((best.length(), best.count()));
+}
+
+/// Measures what the pluggable objective core costs the default
+/// length-only path: interleaved timing of identical rotation
+/// sequences against the scalar-`u32` replica of the pre-objective
+/// best set vs the packed-score best set behind the `Objective`
+/// dispatch. Interleaving cancels clock and cache drift between arms.
+fn objective_overhead(graphs: &[(&str, Dfg)]) -> ObjectiveOverheadReport {
+    let res = ResourceSet::adders_multipliers(2, 2, false);
+    let sched = ListScheduler::default();
+    let subjects: Vec<(&Dfg, rotsched_core::RotationState)> = graphs
+        .iter()
+        .map(|(_, g)| (g, initial_state(g, &sched, &res).expect("schedulable")))
+        .collect();
+    // Warm-up: one untimed sequence per arm per subject.
+    for (g, init) in &subjects {
+        run_scalar_sequence(g, &sched, &res, init);
+        run_packed_sequence(g, &sched, &res, init);
+    }
+    let mut scalar_ns = Vec::with_capacity(OBJECTIVE_OVERHEAD_SAMPLES);
+    let mut packed_ns = Vec::with_capacity(OBJECTIVE_OVERHEAD_SAMPLES);
+    for k in 0..OBJECTIVE_OVERHEAD_SAMPLES {
+        let (g, init) = &subjects[k % subjects.len()];
+        // Alternate which arm goes first so neither always runs with
+        // the warmer caches the first arm leaves behind.
+        if k % 2 == 0 {
+            scalar_ns.push(time_one(|| run_scalar_sequence(g, &sched, &res, init)));
+            packed_ns.push(time_one(|| run_packed_sequence(g, &sched, &res, init)));
+        } else {
+            packed_ns.push(time_one(|| run_packed_sequence(g, &sched, &res, init)));
+            scalar_ns.push(time_one(|| run_scalar_sequence(g, &sched, &res, init)));
+        }
+    }
+    let scalar_p50 = percentiles(&mut scalar_ns).p50;
+    let packed_p50 = percentiles(&mut packed_ns).p50;
+    ObjectiveOverheadReport {
+        scalar_p50,
+        packed_p50,
+        overhead_pct: (packed_p50 as f64 - scalar_p50 as f64) / scalar_p50.max(1) as f64 * 100.0,
+        samples: OBJECTIVE_OVERHEAD_SAMPLES,
     }
 }
 
@@ -1225,6 +1426,45 @@ fn check_against_baseline(graphs: &[(&str, Dfg)], baseline_path: &str) -> i32 {
         }
     }
 
+    // Objective-core gate, one-sided like the fault plane's: the
+    // packed-score default path may not cost more than the limit over
+    // the scalar-`u32` replica of the pre-objective best set. Applied
+    // to the fresh measurement AND the baseline's recorded number.
+    let objective = objective_overhead(graphs);
+    if objective.overhead_pct <= OBJECTIVE_OVERHEAD_LIMIT_PCT {
+        println!(
+            "objective-core overhead: {:+.2}% within {OBJECTIVE_OVERHEAD_LIMIT_PCT}% \
+             (scalar p50 {} ns, packed p50 {} ns)",
+            objective.overhead_pct, objective.scalar_p50, objective.packed_p50
+        );
+    } else {
+        eprintln!(
+            "FAIL: the packed-score default path is {:+.2}% slower than the scalar \
+             replica (limit {OBJECTIVE_OVERHEAD_LIMIT_PCT}%) — the zero-cost objective broke",
+            objective.overhead_pct
+        );
+        failures += 1;
+    }
+    match extract_f64_field(&baseline, "objective_overhead_pct") {
+        Some(recorded) if recorded <= OBJECTIVE_OVERHEAD_LIMIT_PCT => {
+            println!(
+                "baseline objective-core overhead: {recorded:+.2}% within \
+                 {OBJECTIVE_OVERHEAD_LIMIT_PCT}%"
+            );
+        }
+        Some(recorded) => {
+            eprintln!(
+                "FAIL: baseline records objective-core overhead {recorded:+.2}% past \
+                 {OBJECTIVE_OVERHEAD_LIMIT_PCT}% — stale baseline, regenerate it"
+            );
+            failures += 1;
+        }
+        None => {
+            eprintln!("FAIL: baseline has no objective_overhead_pct field");
+            failures += 1;
+        }
+    }
+
     // Analysis gates: one full schedule-mode analysis of the 256-node
     // graph must stay under its latency budget, and every repetition
     // must render byte-identical JSON. The solve path itself is gated
@@ -1294,6 +1534,11 @@ fn certify_sweep(graphs: &[(&str, Dfg)]) -> i32 {
             kernel_length: kernel.kernel_length(),
             depth: Some(kernel.retiming().depth()),
             optimal: matches!(solved.quality, SolveQuality::Optimal),
+            registers: Some(rotsched_core::objective::static_registers(
+                g,
+                kernel.retiming(),
+            )),
+            code_size: Some(rotsched_core::objective::code_size(g, kernel.retiming())),
         };
         match certify_claim(g, &spec, Some(kernel.retiming()), &starts, &claim) {
             Ok(cert) => println!(
@@ -1375,6 +1620,7 @@ fn render_json(
     legacy: &StepPercentiles,
     serve: &ServeReport,
     fault: &FaultOverheadReport,
+    objective: &ObjectiveOverheadReport,
     analyze: &AnalyzeArmReport,
 ) -> String {
     let mut s = String::new();
@@ -1479,6 +1725,16 @@ fn render_json(
     s.push_str(&format!(
         "    \"fault_overhead_pct\": {:.2}, \"limit_pct\": {FAULT_OVERHEAD_LIMIT_PCT}\n",
         fault.overhead_pct
+    ));
+    s.push_str("  },\n");
+    s.push_str("  \"objective_overhead\": {\n");
+    s.push_str(&format!(
+        "    \"scalar_seq_ns_p50\": {}, \"packed_seq_ns_p50\": {}, \"samples\": {},\n",
+        objective.scalar_p50, objective.packed_p50, objective.samples
+    ));
+    s.push_str(&format!(
+        "    \"objective_overhead_pct\": {:.2}, \"limit_pct\": {OBJECTIVE_OVERHEAD_LIMIT_PCT}\n",
+        objective.overhead_pct
     ));
     s.push_str("  },\n");
     s.push_str("  \"analyze\": {\n");

@@ -14,7 +14,7 @@ use rotsched_benchmarks::{random_dfg, RandomDfgConfig};
 use rotsched_core::{
     heuristic1, heuristic1_budgeted, heuristic2, heuristic2_pruned, heuristic2_reference,
     initial_state, rotation_phase, rotation_phase_reference, BestSet, Budget, HeuristicConfig,
-    HeuristicOutcome, RotationScheduler,
+    HeuristicOutcome, RotationScheduler, Score,
 };
 use rotsched_dfg::Dfg;
 use rotsched_sched::{ListScheduler, PriorityPolicy, ResourceSet};
@@ -86,7 +86,7 @@ fn phases_match_the_reference_under_every_policy() {
                 let what = format!("seed {seed}, {policy:?}, size {size}");
                 assert_eq!(stats_inc, stats_ref, "{what}: phase stats diverged");
                 assert_eq!(incremental, reference, "{what}: final state diverged");
-                assert_eq!(best_inc.length, best_ref.length, "{what}: best length");
+                assert_eq!(best_inc.score, best_ref.score, "{what}: best score");
                 assert_eq!(
                     best_inc.schedules, best_ref.schedules,
                     "{what}: best set diverged"
@@ -126,7 +126,10 @@ fn heuristic1_matches_a_reference_driven_sweep() {
 
         let init = initial_state(&g, &sched, &res).expect("schedulable");
         let mut best = BestSet::new(cfg.keep_best);
-        let _ = best.offer(init.wrapped_length(&g, &res).expect("wrappable"), &init);
+        let _ = best.offer(
+            Score::from_length(init.wrapped_length(&g, &res).expect("wrappable")),
+            &init,
+        );
         let beta = cfg.max_size.unwrap_or_else(|| init.length(&g)).max(1);
         let mut phases = Vec::new();
         for size in 1..=beta {
@@ -147,7 +150,11 @@ fn heuristic1_matches_a_reference_driven_sweep() {
         }
 
         let what = format!("seed {seed}, heuristic1");
-        assert_eq!(incremental.best_length, best.length, "{what}: best length");
+        assert_eq!(
+            incremental.best_length,
+            best.length(),
+            "{what}: best length"
+        );
         assert_eq!(incremental.best, best.schedules, "{what}: best set");
         assert_eq!(incremental.phases, phases, "{what}: phase statistics");
     }

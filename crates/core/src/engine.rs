@@ -35,6 +35,7 @@ use crate::budget::{BudgetMeter, StopReason};
 use crate::context::RotationContext;
 use crate::error::RotationError;
 use crate::heuristics::{HeuristicConfig, HeuristicOutcome};
+use crate::objective::{Objective, Score};
 use crate::phase::{BestSet, PhaseStats};
 use crate::portfolio::PruneSignal;
 use crate::rotate::{down_rotate, initial_state, RotationState};
@@ -60,10 +61,14 @@ pub enum SearchEvent<'a> {
         /// paper's length metric, the one the search optimizes.
         length: u32,
     },
-    /// The incumbent best length strictly improved.
+    /// The incumbent best score strictly improved.
     IncumbentImproved {
-        /// The new best (wrapped) length.
+        /// The new best (wrapped) length — the length component of the
+        /// new best score.
         length: u32,
+        /// The new best packed score. Under the default length-only
+        /// objective this is exactly `Score::from_length(length)`.
+        score: Score,
     },
     /// Heuristic 2 rescheduled the retimed graph between phases
     /// (`FullSchedule(G_R)`).
@@ -285,6 +290,9 @@ pub struct SearchDriver<'a, S, O = NoopObserver> {
     prune: Option<&'a PruneSignal<'a>>,
     budget: Option<&'a BudgetMeter>,
     step: S,
+    /// What the search minimizes; [`Objective::Length`] reproduces the
+    /// paper's scalar search bit for bit.
+    objective: Objective,
     /// Reusable buffers for the per-step wrapped-length probe, built on
     /// the first phase and recycled for the driver's lifetime.
     wrap: Option<WrapScratch>,
@@ -323,6 +331,7 @@ impl<'a> SearchDriver<'a, IncrementalStep, NoopObserver> {
             prune: None,
             budget: None,
             step,
+            objective: Objective::Length,
             wrap: None,
             observer: NoopObserver,
         }
@@ -344,6 +353,7 @@ impl<'a> SearchDriver<'a, ScratchStep, NoopObserver> {
             prune: None,
             budget: None,
             step: ScratchStep::default(),
+            objective: Objective::Length,
             wrap: None,
             observer: NoopObserver,
         }
@@ -365,6 +375,14 @@ impl<'a, S: StepMode, O: SearchObserver> SearchDriver<'a, S, O> {
         self
     }
 
+    /// Sets the objective the search minimizes (default:
+    /// [`Objective::Length`], the paper's scalar).
+    #[must_use]
+    pub fn with_objective(mut self, objective: Objective) -> Self {
+        self.objective = objective;
+        self
+    }
+
     /// Replaces the observer, keeping every other concern.
     #[must_use]
     pub fn with_observer<P: SearchObserver>(self, observer: P) -> SearchDriver<'a, S, P> {
@@ -375,6 +393,7 @@ impl<'a, S: StepMode, O: SearchObserver> SearchDriver<'a, S, O> {
             prune: self.prune,
             budget: self.budget,
             step: self.step,
+            objective: self.objective,
             wrap: self.wrap,
             observer,
         }
@@ -427,7 +446,7 @@ impl<'a, S: StepMode, O: SearchObserver> SearchDriver<'a, S, O> {
                 self.observer.on_event(SearchEvent::Stopped(reason));
                 break;
             }
-            if self.prune.is_some_and(|p| p.should_stop(best.length)) {
+            if self.prune.is_some_and(|p| p.should_stop(best.score)) {
                 self.observer.on_event(SearchEvent::Pruned);
                 break;
             }
@@ -468,18 +487,20 @@ impl<'a, S: StepMode, O: SearchObserver> SearchDriver<'a, S, O> {
                 min_seen = wrapped;
                 stats.first_optimum_at = Some(j + 1);
             }
-            if best.offer(wrapped, state) {
+            let score = self.objective.score(self.dfg, &state.retiming, wrapped);
+            if best.offer(score, state) {
                 self.observer.on_event(SearchEvent::IncumbentImproved {
-                    length: best.length,
+                    length: best.length(),
+                    score: best.score,
                 });
             }
             if let Some(p) = self.prune {
-                p.record(best.length);
+                p.record(best.score);
             }
         }
         self.observer.on_event(SearchEvent::PhaseEnd {
             rotations: stats.rotations,
-            best_length: best.length,
+            best_length: best.length(),
             cache: self.step.cache_stats().since(&cache_before),
         });
         Ok(stats)
@@ -491,13 +512,15 @@ impl<'a, S: StepMode, O: SearchObserver> SearchDriver<'a, S, O> {
     /// out-of-phase candidates (the initial schedule, an inter-phase
     /// reschedule) enter an instrumented search.
     pub fn offer(&mut self, best: &mut BestSet, length: u32, state: &RotationState) {
-        if best.offer(length, state) {
+        let score = self.objective.score(self.dfg, &state.retiming, length);
+        if best.offer(score, state) {
             self.observer.on_event(SearchEvent::IncumbentImproved {
-                length: best.length,
+                length: best.length(),
+                score: best.score,
             });
         }
         if let Some(p) = self.prune {
-            p.record(best.length);
+            p.record(best.score);
         }
     }
 
@@ -567,7 +590,7 @@ impl<'a, S: StepMode, O: SearchObserver> SearchDriver<'a, S, O> {
         let mut state = init;
         'sweep: for _round in 0..config.rounds.max(1) {
             for size in (1..=beta).rev() {
-                if self.prune.is_some_and(|p| p.should_stop(best.length)) {
+                if self.prune.is_some_and(|p| p.should_stop(best.score)) {
                     self.observer.on_event(SearchEvent::Pruned);
                     break 'sweep;
                 }

@@ -17,6 +17,7 @@ use rotsched_sched::{ListScheduler, ResourceSet};
 use crate::budget::{BudgetMeter, StopReason};
 use crate::engine::SearchDriver;
 use crate::error::RotationError;
+use crate::objective::Score;
 use crate::phase::{BestSet, PhaseStats};
 use crate::portfolio::PruneSignal;
 use crate::rotate::RotationState;
@@ -56,6 +57,10 @@ impl Default for HeuristicConfig {
 pub struct HeuristicOutcome {
     /// Best (wrapped) schedule length found.
     pub best_length: u32,
+    /// Best packed score found; its length component is `best_length`,
+    /// and under the default objective it is exactly
+    /// `Score::from_length(best_length)`.
+    pub best_score: Score,
     /// The distinct best schedules (`Q`), each with its rotation
     /// function.
     pub best: Vec<RotationState>,
@@ -77,7 +82,8 @@ impl HeuristicOutcome {
     #[must_use]
     pub fn from_parts(best: BestSet, phases: Vec<PhaseStats>) -> Self {
         HeuristicOutcome {
-            best_length: best.length,
+            best_length: best.length(),
+            best_score: best.score,
             best: best.schedules,
             total_rotations: phases.iter().map(|p| p.rotations).sum(),
             stopped: phases.iter().find_map(|p| p.stopped),

@@ -72,6 +72,7 @@ pub mod engine;
 mod error;
 pub mod heuristics;
 pub mod nested;
+pub mod objective;
 pub mod phase;
 pub mod portfolio;
 pub mod rate;
@@ -92,6 +93,7 @@ pub use heuristics::{
     heuristic1, heuristic1_budgeted, heuristic2, heuristic2_pruned, heuristic2_reference,
     HeuristicConfig, HeuristicOutcome,
 };
+pub use objective::{Objective, Score};
 pub use phase::{
     rotation_phase, rotation_phase_pruned, rotation_phase_reference, BestSet, PhaseStats,
 };

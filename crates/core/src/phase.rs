@@ -14,6 +14,7 @@ use rotsched_sched::{ListScheduler, ResourceSet, Schedule};
 use crate::budget::{BudgetMeter, StopReason};
 use crate::engine::SearchDriver;
 use crate::error::RotationError;
+use crate::objective::Score;
 use crate::portfolio::PruneSignal;
 use crate::rotate::RotationState;
 
@@ -47,11 +48,12 @@ enum Admission {
 }
 
 /// The set of best schedules found so far (`Q` in the paper), with the
-/// shortest length (`L_opt`).
+/// best packed [`Score`] (length-only scores carry `L_opt` exactly).
 #[derive(Clone, Debug)]
 pub struct BestSet {
-    /// Shortest (wrapped) schedule length seen.
-    pub length: u32,
+    /// Best (smallest) packed score seen; its high 32 bits are the
+    /// shortest wrapped schedule length under the default objective.
+    pub score: Score,
     /// Distinct states achieving it, capped at a configurable size.
     pub schedules: Vec<BestSchedule>,
     /// Maximum number of schedules retained.
@@ -67,20 +69,27 @@ impl BestSet {
     #[must_use]
     pub fn new(capacity: usize) -> Self {
         BestSet {
-            length: u32::MAX,
+            score: Score::NONE,
             schedules: Vec::new(),
             capacity: capacity.max(1),
             fingerprints: Vec::new(),
         }
     }
 
+    /// The shortest wrapped schedule length seen — the length component
+    /// of the best score ([`u32::MAX`] while the set is empty).
+    #[must_use]
+    pub fn length(&self) -> u32 {
+        self.score.length()
+    }
+
     /// Classifies an offer without cloning anything. Fingerprints are
     /// computed only when the offer can actually be admitted.
-    fn admission(&self, length: u32, schedule: &Schedule) -> Admission {
-        if length > self.length {
+    fn admission(&self, score: Score, schedule: &Schedule) -> Admission {
+        if score > self.score {
             return Admission::Reject;
         }
-        if length < self.length {
+        if score < self.score {
             return Admission::Improve(schedule_fingerprint(schedule));
         }
         if self.schedules.len() >= self.capacity {
@@ -99,15 +108,25 @@ impl BestSet {
         }
     }
 
-    /// Offers a state with the given (wrapped) length; keeps it when it
-    /// ties or improves the best, dropping longer ones. Returns `true`
-    /// when the offer strictly improved the best length.
+    /// Offers a state with the given packed score; keeps it when it
+    /// ties or improves the best, dropping worse ones. Returns `true`
+    /// when the offer strictly improved the best score.
+    ///
+    /// The exact tie-break, which the packed score preserves from the
+    /// scalar-length days: a *strictly smaller* score clears the set
+    /// and installs the state alone; an *equal* score appends the state
+    /// in **insertion order** (first offered, first kept) provided it
+    /// is not a duplicate and the set is below capacity; a larger score
+    /// is rejected. Insertion order is load-bearing — the portfolio's
+    /// canonical merge re-offers each worker's states in this order, so
+    /// the merged set (and everything derived from it, down to response
+    /// bytes) is identical at every `--jobs` value.
     ///
     /// The state is cloned only on admission — rejected offers (the
     /// common case inside a rotation phase) cost a fingerprint at most.
-    #[must_use = "the return value reports whether the best length strictly improved"]
-    pub fn offer(&mut self, length: u32, state: &RotationState) -> bool {
-        match self.admission(length, &state.schedule) {
+    #[must_use = "the return value reports whether the best score strictly improved"]
+    pub fn offer(&mut self, score: Score, state: &RotationState) -> bool {
+        match self.admission(score, &state.schedule) {
             Admission::Reject => false,
             Admission::Tie(fp) => {
                 self.schedules.push(state.clone());
@@ -115,7 +134,7 @@ impl BestSet {
                 false
             }
             Admission::Improve(fp) => {
-                self.length = length;
+                self.score = score;
                 self.schedules.clear();
                 self.fingerprints.clear();
                 self.schedules.push(state.clone());
@@ -127,9 +146,11 @@ impl BestSet {
 
     /// Like [`BestSet::offer`] but takes ownership of the state, so
     /// admission moves instead of cloning. Rejected states are dropped.
-    #[must_use = "the return value reports whether the best length strictly improved"]
-    pub fn offer_owned(&mut self, length: u32, state: RotationState) -> bool {
-        match self.admission(length, &state.schedule) {
+    /// The admission rule and tie-break are identical to
+    /// [`BestSet::offer`].
+    #[must_use = "the return value reports whether the best score strictly improved"]
+    pub fn offer_owned(&mut self, score: Score, state: RotationState) -> bool {
+        match self.admission(score, &state.schedule) {
             Admission::Reject => false,
             Admission::Tie(fp) => {
                 self.schedules.push(state);
@@ -137,7 +158,7 @@ impl BestSet {
                 false
             }
             Admission::Improve(fp) => {
-                self.length = length;
+                self.score = score;
                 self.schedules.clear();
                 self.fingerprints.clear();
                 self.schedules.push(state);
@@ -148,13 +169,16 @@ impl BestSet {
     }
 
     /// Merges another best set into this one (used when joining portfolio
-    /// workers), moving its states rather than cloning them.
+    /// workers), moving its states rather than cloning them. The donor's
+    /// states are re-offered in their own insertion order, so the merge
+    /// preserves the canonical tie-break documented on
+    /// [`BestSet::offer`].
     pub fn merge(&mut self, other: BestSet) {
-        if other.length > self.length {
+        if other.score > self.score {
             return;
         }
         for state in other.schedules {
-            let _ = self.offer_owned(other.length, state);
+            let _ = self.offer_owned(other.score, state);
         }
     }
 
@@ -315,11 +339,14 @@ mod tests {
         let (g, sched, res) = setup();
         let mut st = initial_state(&g, &sched, &res).unwrap();
         let mut best = BestSet::new(8);
-        assert!(best.offer(st.wrapped_length(&g, &res).unwrap(), &st));
-        assert_eq!(best.length, 4);
+        assert!(best.offer(
+            Score::from_length(st.wrapped_length(&g, &res).unwrap()),
+            &st
+        ));
+        assert_eq!(best.length(), 4);
         let stats = rotation_phase(&g, &sched, &res, &mut st, &mut best, 1, 8).unwrap();
         assert_eq!(stats.rotations, 8);
-        assert!(best.length <= 3, "size-1 rotation improves 4 -> 3");
+        assert!(best.length() <= 3, "size-1 rotation improves 4 -> 3");
     }
 
     #[test]
@@ -329,9 +356,12 @@ mod tests {
         let (g, sched, res) = setup();
         let mut st = initial_state(&g, &sched, &res).unwrap();
         let mut best = BestSet::new(8);
-        assert!(best.offer(st.wrapped_length(&g, &res).unwrap(), &st));
+        assert!(best.offer(
+            Score::from_length(st.wrapped_length(&g, &res).unwrap()),
+            &st
+        ));
         rotation_phase(&g, &sched, &res, &mut st, &mut best, 2, 8).unwrap();
-        assert_eq!(best.length, 2, "iteration bound 4/2 = 2");
+        assert_eq!(best.length(), 2, "iteration bound 4/2 = 2");
     }
 
     #[test]
@@ -343,7 +373,7 @@ mod tests {
         // perform rotations.
         let stats = rotation_phase(&g, &sched, &res, &mut st, &mut best, 100, 4).unwrap();
         assert_eq!(stats.rotations, 4);
-        assert!(best.length <= 4);
+        assert!(best.length() <= 4);
     }
 
     #[test]
@@ -351,21 +381,24 @@ mod tests {
         let (g, sched, res) = setup();
         let st = initial_state(&g, &sched, &res).unwrap();
         let mut best = BestSet::new(2);
-        assert!(best.offer(4, &st));
-        assert!(!best.offer(4, &st), "same schedule is not re-added");
+        assert!(best.offer(Score::from_length(4), &st));
+        assert!(
+            !best.offer(Score::from_length(4), &st),
+            "same schedule is not re-added"
+        );
         assert_eq!(best.count(), 1);
         let mut st2 = st.clone();
         st2.schedule.shift(1); // a (trivially) different schedule object
-        assert!(!best.offer(4, &st2));
+        assert!(!best.offer(Score::from_length(4), &st2));
         assert_eq!(best.count(), 2);
         let mut st3 = st.clone();
         st3.schedule.shift(2);
-        assert!(!best.offer(4, &st3));
+        assert!(!best.offer(Score::from_length(4), &st3));
         assert_eq!(best.count(), 2, "capacity caps the set");
         // An improvement clears the set.
-        assert!(best.offer(3, &st));
+        assert!(best.offer(Score::from_length(3), &st));
         assert_eq!(best.count(), 1);
-        assert_eq!(best.length, 3);
+        assert_eq!(best.length(), 3);
     }
 
     #[test]
@@ -377,9 +410,12 @@ mod tests {
         for shift in 0..3_i64 {
             let mut s = st.clone();
             s.schedule.shift(shift);
-            assert_eq!(by_ref.offer(4, &s), by_move.offer_owned(4, s.clone()));
+            assert_eq!(
+                by_ref.offer(Score::from_length(4), &s),
+                by_move.offer_owned(Score::from_length(4), s.clone())
+            );
         }
-        assert_eq!(by_ref.length, by_move.length);
+        assert_eq!(by_ref.score, by_move.score);
         assert_eq!(by_ref.schedules, by_move.schedules);
     }
 
@@ -388,25 +424,25 @@ mod tests {
         let (g, sched, res) = setup();
         let st = initial_state(&g, &sched, &res).unwrap();
         let mut a = BestSet::new(4);
-        assert!(a.offer(4, &st));
+        assert!(a.offer(Score::from_length(4), &st));
         // A worse set is ignored entirely.
         let mut worse = BestSet::new(4);
         let mut shifted = st.clone();
         shifted.schedule.shift(1);
-        assert!(worse.offer(5, &shifted));
+        assert!(worse.offer(Score::from_length(5), &shifted));
         a.merge(worse);
-        assert_eq!(a.length, 4);
+        assert_eq!(a.length(), 4);
         assert_eq!(a.count(), 1);
         // A tying set unions (with dedupe), a better one replaces.
         let mut tie = BestSet::new(4);
-        assert!(tie.offer(4, &st));
-        assert!(!tie.offer(4, &shifted));
+        assert!(tie.offer(Score::from_length(4), &st));
+        assert!(!tie.offer(Score::from_length(4), &shifted));
         a.merge(tie);
         assert_eq!(a.count(), 2, "duplicate dropped, new tie kept");
         let mut better = BestSet::new(4);
-        assert!(better.offer(3, &st));
+        assert!(better.offer(Score::from_length(3), &st));
         a.merge(better);
-        assert_eq!(a.length, 3);
+        assert_eq!(a.length(), 3);
         assert_eq!(a.count(), 1);
     }
 
@@ -434,7 +470,7 @@ mod tests {
             .unwrap();
             assert_eq!(stats_ctx, stats_ref);
             assert_eq!(st_ctx, st_ref);
-            assert_eq!(best_ctx.length, best_ref.length);
+            assert_eq!(best_ctx.score, best_ref.score);
             assert_eq!(best_ctx.schedules, best_ref.schedules);
         }
     }
@@ -481,7 +517,10 @@ mod tests {
         let meter = Budget::default().with_cancel(token).arm();
         let mut st = initial_state(&g, &sched, &res).unwrap();
         let mut best = BestSet::new(8);
-        assert!(best.offer(st.wrapped_length(&g, &res).unwrap(), &st));
+        assert!(best.offer(
+            Score::from_length(st.wrapped_length(&g, &res).unwrap()),
+            &st
+        ));
         let stats = rotation_phase_pruned(
             &g,
             &sched,
@@ -496,7 +535,7 @@ mod tests {
         .unwrap();
         assert_eq!(stats.rotations, 0);
         assert_eq!(stats.stopped, Some(StopReason::Cancelled));
-        assert_eq!(best.length, 4, "pre-cancel incumbent survives");
+        assert_eq!(best.length(), 4, "pre-cancel incumbent survives");
     }
 
     #[test]
@@ -507,6 +546,6 @@ mod tests {
         let stats = rotation_phase(&g, &sched, &res, &mut st, &mut best, 1, 5).unwrap();
         assert_eq!(stats.lengths.len(), stats.rotations);
         assert!(stats.first_optimum_at.is_some());
-        assert!(stats.lengths.iter().min().copied().unwrap() == best.length);
+        assert!(stats.lengths.iter().min().copied().unwrap() == best.length());
     }
 }

@@ -13,9 +13,10 @@
 //!
 //! Tasks are indexed `0..n`. Two shared atomics coordinate pruning:
 //!
-//! * `incumbent` — the best (wrapped) length published by any task.
-//!   Monotone via `fetch_min`; **advisory only** (its value depends on
-//!   thread timing, so it never drives control flow).
+//! * `incumbent` — the best packed [`Score`] published by any task
+//!   (under the default objective: the best wrapped length). Monotone
+//!   via `fetch_min` on the packed word; **advisory only** (its value
+//!   depends on thread timing, so it never drives control flow).
 //! * `achiever` — the lowest task index whose own best reached the
 //!   combined recurrence + resource lower bound
 //!   ([`rotsched_baselines::lower_bound`]). Also `fetch_min`.
@@ -41,7 +42,7 @@
 
 use std::any::Any;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicU32, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU32, AtomicU64, AtomicUsize, Ordering};
 use std::thread;
 
 use rotsched_baselines::lower_bound;
@@ -52,18 +53,21 @@ use crate::budget::{Budget, BudgetMeter, StopReason};
 use crate::engine::{NoopObserver, SearchDriver, SearchObserver};
 use crate::error::RotationError;
 use crate::heuristics::HeuristicConfig;
+use crate::objective::{Objective, Score};
 use crate::phase::{BestSet, PhaseStats};
 use crate::rotate::{initial_state, RotationState};
 use crate::trace::{SearchTrace, TaskTrace, TraceRecorder};
 
-/// Sentinel for "no schedule yet" — a [`BestSet`] that never admitted.
-const NO_LENGTH: u32 = u32::MAX;
-
 /// The shared pruning state of one portfolio run.
+///
+/// The incumbent is a packed [`Score`] in a single `AtomicU64`: because
+/// scores are totally ordered as integers, the lock-free `fetch_min`
+/// protocol (and its determinism argument) carries over from the scalar
+/// days unchanged, whatever the objective.
 #[derive(Debug)]
 pub struct SharedBound {
     bound: u32,
-    incumbent: AtomicU32,
+    incumbent: AtomicU64,
     achiever: AtomicU32,
 }
 
@@ -73,22 +77,25 @@ impl SharedBound {
     pub fn new(bound: u32) -> Self {
         SharedBound {
             bound,
-            incumbent: AtomicU32::new(NO_LENGTH),
+            incumbent: AtomicU64::new(Score::NONE.to_bits()),
             achiever: AtomicU32::new(u32::MAX),
         }
     }
 
-    /// The combined recurrence + resource lower bound in effect.
+    /// The combined recurrence + resource lower bound in effect. The
+    /// bound constrains only the length component: a task achieves it
+    /// exactly when its score is at most [`Score::from_length`] of the
+    /// bound (for the default objective: its length reached the bound).
     #[must_use]
     pub fn bound(&self) -> u32 {
         self.bound
     }
 
-    /// The best length any task has published so far (advisory —
+    /// The best score any task has published so far (advisory —
     /// timing-dependent while workers are running).
     #[must_use]
-    pub fn incumbent(&self) -> u32 {
-        self.incumbent.load(Ordering::Relaxed)
+    pub fn incumbent(&self) -> Score {
+        Score::from_bits(self.incumbent.load(Ordering::Relaxed))
     }
 
     /// A pruning handle for the task with the given index.
@@ -109,13 +116,26 @@ pub struct PruneSignal<'a> {
 }
 
 impl PruneSignal<'_> {
-    /// Publishes the task's current best length. Marks this task as a
-    /// bound achiever when the length reaches the lower bound — never
-    /// for lengths above it, and lengths *below* the bound cannot occur
-    /// (the bound is proven; see the pruning test).
-    pub fn record(&self, own_best: u32) {
-        self.shared.incumbent.fetch_min(own_best, Ordering::Relaxed);
-        if own_best != NO_LENGTH && own_best <= self.shared.bound {
+    /// True when `own_best` proves the task can stop on its own: its
+    /// score is at or below the length-only packed bound. For the
+    /// default objective this is exactly "length reached the bound";
+    /// for multi-criteria objectives it additionally requires zero
+    /// secondary components — a conservative rule (pruning less can
+    /// only explore more), and deterministic either way because it
+    /// reads only task-local state.
+    fn achieves_bound(&self, own_best: Score) -> bool {
+        !own_best.is_none() && own_best <= Score::from_length(self.shared.bound)
+    }
+
+    /// Publishes the task's current best score. Marks this task as a
+    /// bound achiever when the score reaches the packed lower bound —
+    /// never for scores above it, and lengths *below* the bound cannot
+    /// occur (the bound is proven; see the pruning test).
+    pub fn record(&self, own_best: Score) {
+        self.shared
+            .incumbent
+            .fetch_min(own_best.to_bits(), Ordering::Relaxed);
+        if self.achieves_bound(own_best) {
             self.shared
                 .achiever
                 .fetch_min(self.task_index, Ordering::Relaxed);
@@ -127,8 +147,8 @@ impl PruneSignal<'_> {
     /// strictly lower-indexed task reached it — result discarded by the
     /// canonical merge, so stopping is unobservable).
     #[must_use]
-    pub fn should_stop(&self, own_best: u32) -> bool {
-        (own_best != NO_LENGTH && own_best <= self.shared.bound) || self.lost_to_lower_task()
+    pub fn should_stop(&self, own_best: Score) -> bool {
+        self.achieves_bound(own_best) || self.lost_to_lower_task()
     }
 
     /// True when a strictly lower-indexed task has achieved the bound.
@@ -238,6 +258,8 @@ pub struct TaskReport {
 pub struct PortfolioOutcome {
     /// Best (wrapped) schedule length found.
     pub best_length: u32,
+    /// Best packed score found; its length component is `best_length`.
+    pub best_score: Score,
     /// The canonical best set: the lowest-indexed bound achiever's `Q`
     /// when the bound was reached, else the capacity-capped union of
     /// all tasks' sets in index order. `best[0]` is the canonical
@@ -279,6 +301,10 @@ pub struct Portfolio {
     /// every worker (a rotation budget is global across tasks). Defaults
     /// to unlimited.
     pub budget: Budget,
+    /// The objective every task minimizes. Defaults to
+    /// [`Objective::Length`], under which the run is bit-identical to
+    /// the scalar-length portfolio.
+    pub objective: Objective,
 }
 
 impl Portfolio {
@@ -322,6 +348,7 @@ impl Portfolio {
             jobs: 1,
             keep_best: config.keep_best,
             budget: Budget::unlimited(),
+            objective: Objective::Length,
         })
     }
 
@@ -338,6 +365,13 @@ impl Portfolio {
     #[must_use]
     pub fn with_budget(mut self, budget: Budget) -> Self {
         self.budget = budget;
+        self
+    }
+
+    /// Sets the objective every task minimizes (see [`Objective`]).
+    #[must_use]
+    pub fn with_objective(mut self, objective: Objective) -> Self {
+        self.objective = objective;
         self
     }
 
@@ -429,6 +463,7 @@ impl Portfolio {
                 resources,
                 &self.tasks[i],
                 self.keep_best,
+                self.objective,
                 &shared.signal(index),
                 meter.as_ref(),
                 make_observer(i),
@@ -478,7 +513,7 @@ impl Portfolio {
             .zip(&completed)
             .map(|(task, (run, panicked))| TaskReport {
                 label: task.label(),
-                best_length: (run.best.length != NO_LENGTH).then_some(run.best.length),
+                best_length: (!run.best.score.is_none()).then(|| run.best.length()),
                 rotations: run.phases.iter().map(|p| p.rotations).sum(),
                 cross_pruned: run.cross_pruned,
                 outcome: if *panicked {
@@ -498,9 +533,9 @@ impl Portfolio {
             .find_map(|p| p.stopped);
         let completed: Vec<TaskRun> = completed.into_iter().map(|(run, _)| run).collect();
 
-        let canonical_task = completed
-            .iter()
-            .position(|run| run.best.length != NO_LENGTH && run.best.length <= bound);
+        let canonical_task = completed.iter().position(|run| {
+            !run.best.score.is_none() && run.best.score <= Score::from_length(bound)
+        });
         let mut best = BestSet::new(self.keep_best);
         let mut phases = Vec::new();
         match canonical_task {
@@ -528,7 +563,8 @@ impl Portfolio {
         }
         Ok((
             PortfolioOutcome {
-                best_length: best.length,
+                best_length: best.length(),
+                best_score: best.score,
                 lower_bound: bound,
                 bound_achieved: canonical_task.is_some(),
                 canonical_task,
@@ -565,11 +601,13 @@ struct TaskRun {
 /// Runs one task through a [`SearchDriver`] monomorphized over the
 /// worker's observer, returning the observer alongside the result so
 /// traced runs can reclaim their recorders.
+#[allow(clippy::too_many_arguments)]
 fn run_task_with<O: SearchObserver>(
     dfg: &Dfg,
     resources: &ResourceSet,
     task: &SearchTask,
     keep_best: usize,
+    objective: Objective,
     signal: &PruneSignal<'_>,
     budget: Option<&BudgetMeter>,
     observer: O,
@@ -596,6 +634,7 @@ fn run_task_with<O: SearchObserver>(
             let mut driver = SearchDriver::incremental(dfg, &scheduler, resources)
                 .with_prune(Some(signal))
                 .with_budget(budget)
+                .with_objective(objective)
                 .with_observer(observer);
             let mut state = initial_state(dfg, &scheduler, resources)?;
             let mut best = BestSet::new(keep_best);
@@ -616,11 +655,12 @@ fn run_task_with<O: SearchObserver>(
             let mut driver = SearchDriver::incremental(dfg, &scheduler, resources)
                 .with_prune(Some(signal))
                 .with_budget(budget)
+                .with_objective(objective)
                 .with_observer(observer);
             let out = driver.heuristic2(config)?;
             let mut best = BestSet::new(config.keep_best);
             for state in out.best {
-                let _ = best.offer_owned(out.best_length, state);
+                let _ = best.offer_owned(out.best_score, state);
             }
             Ok((
                 TaskRun {
@@ -796,28 +836,46 @@ mod tests {
         let shared = SharedBound::new(3);
         let sig = shared.signal(5);
         // Above the bound: no stop, no achiever.
-        sig.record(4);
-        assert!(!sig.should_stop(4));
+        sig.record(Score::from_length(4));
+        assert!(!sig.should_stop(Score::from_length(4)));
         assert!(!sig.lost_to_lower_task());
-        assert_eq!(shared.incumbent(), 4);
+        assert_eq!(shared.incumbent(), Score::from_length(4));
         // Unachieved sentinel never registers.
-        assert!(!sig.should_stop(NO_LENGTH));
+        assert!(!sig.should_stop(Score::NONE));
         // At the bound: self-prune fires and the achiever is recorded.
-        sig.record(3);
-        assert!(sig.should_stop(3));
+        sig.record(Score::from_length(3));
+        assert!(sig.should_stop(Score::from_length(3)));
         // Higher-indexed tasks cross-prune; lower-indexed ones do not.
         assert!(shared.signal(6).lost_to_lower_task());
         assert!(!shared.signal(5).lost_to_lower_task());
         assert!(!shared.signal(2).lost_to_lower_task());
-        assert!(shared.signal(2).should_stop(3), "self-prune still applies");
+        assert!(
+            shared.signal(2).should_stop(Score::from_length(3)),
+            "self-prune still applies"
+        );
+    }
+
+    #[test]
+    fn multi_criteria_scores_only_achieve_the_bound_with_zero_secondaries() {
+        let shared = SharedBound::new(3);
+        let sig = shared.signal(0);
+        // Bound-length kernel with a nonzero secondary: no self-prune
+        // (conservative — the search keeps hunting for fewer registers).
+        sig.record(Score::new(3, 2, 0));
+        assert!(!sig.should_stop(Score::new(3, 2, 0)));
+        assert!(!shared.signal(1).lost_to_lower_task());
+        // Zero secondaries at the bound: the scalar rule again.
+        sig.record(Score::new(3, 0, 0));
+        assert!(sig.should_stop(Score::new(3, 0, 0)));
+        assert!(shared.signal(1).lost_to_lower_task());
     }
 
     #[test]
     fn achiever_takes_the_minimum_task_index() {
         let shared = SharedBound::new(2);
-        shared.signal(9).record(2);
-        shared.signal(4).record(2);
-        shared.signal(7).record(2);
+        shared.signal(9).record(Score::from_length(2));
+        shared.signal(4).record(Score::from_length(2));
+        shared.signal(7).record(Score::from_length(2));
         assert!(shared.signal(5).lost_to_lower_task());
         assert!(!shared.signal(4).lost_to_lower_task());
     }
@@ -938,6 +996,7 @@ mod tests {
             jobs: 2,
             keep_best: 4,
             budget: Budget::unlimited(),
+            objective: Objective::Length,
         };
         match p.run(&g, &res) {
             Err(RotationError::WorkerPanicked { task, message }) => {

@@ -18,9 +18,8 @@ use crate::budget::{Budget, StopReason};
 use crate::depth::{into_loop_schedule, minimized_depth};
 use crate::engine::{IncrementalStep, SearchDriver};
 use crate::error::RotationError;
-use crate::heuristics::{
-    heuristic1_budgeted, heuristic2_pruned, HeuristicConfig, HeuristicOutcome,
-};
+use crate::heuristics::{HeuristicConfig, HeuristicOutcome};
+use crate::objective::{Objective, Score};
 use crate::portfolio::{Portfolio, PortfolioOutcome};
 use crate::rotate::{down_rotate, initial_state, up_rotate, DownRotateOutcome, RotationState};
 use crate::trace::{SearchTrace, TraceRecorder};
@@ -74,6 +73,10 @@ pub struct SolveStats {
 pub struct SolveOutcome {
     /// The wrapped schedule length (initiation interval).
     pub length: u32,
+    /// The best packed score under the solve's [`Objective`]. Under the
+    /// default length-only objective this is exactly
+    /// `Score::from_length(length)`.
+    pub score: Score,
     /// The minimized pipeline depth (the parenthesized numbers in the
     /// paper's tables).
     pub depth: u32,
@@ -146,6 +149,8 @@ pub struct ProblemSpec {
     pub policy: PriorityPolicy,
     /// The heuristic configuration.
     pub config: HeuristicConfig,
+    /// The solve objective (length-only by default).
+    pub objective: Objective,
     /// The solve budget (unlimited by default).
     pub budget: Budget,
 }
@@ -159,8 +164,16 @@ impl ProblemSpec {
             resources,
             policy: PriorityPolicy::default(),
             config: HeuristicConfig::default(),
+            objective: Objective::default(),
             budget: Budget::unlimited(),
         }
+    }
+
+    /// Replaces the solve objective.
+    #[must_use]
+    pub fn with_objective(mut self, objective: Objective) -> Self {
+        self.objective = objective;
+        self
     }
 
     /// Replaces the priority policy.
@@ -198,6 +211,7 @@ impl ProblemSpec {
             && other.budget.is_unlimited()
             && self.policy == other.policy
             && self.config == other.config
+            && self.objective == other.objective
             && self.resources == other.resources
             && self.dfg == other.dfg
     }
@@ -231,6 +245,7 @@ pub struct RotationScheduler<'a> {
     resources: ResourceSet,
     scheduler: ListScheduler,
     config: HeuristicConfig,
+    objective: Objective,
     jobs: usize,
     budget: Budget,
 }
@@ -246,9 +261,20 @@ impl<'a> RotationScheduler<'a> {
             resources,
             scheduler: ListScheduler::default(),
             config: HeuristicConfig::default(),
+            objective: Objective::default(),
             jobs: 1,
             budget: Budget::unlimited(),
         }
+    }
+
+    /// Replaces the solve objective. The default length-only objective
+    /// reproduces the paper's scalar search bit for bit; the
+    /// lexicographic objectives break length ties by static register
+    /// count (and code size).
+    #[must_use]
+    pub fn with_objective(mut self, objective: Objective) -> Self {
+        self.objective = objective;
+        self
     }
 
     /// Sets the solve budget (deadline, rotation budget, and/or cancel
@@ -334,13 +360,10 @@ impl<'a> RotationScheduler<'a> {
     /// Propagates graph and scheduling failures.
     pub fn heuristic1(&self) -> Result<HeuristicOutcome, RotationError> {
         let meter = (!self.budget.is_unlimited()).then(|| self.budget.arm());
-        heuristic1_budgeted(
-            self.dfg,
-            &self.scheduler,
-            &self.resources,
-            &self.config,
-            meter.as_ref(),
-        )
+        SearchDriver::incremental(self.dfg, &self.scheduler, &self.resources)
+            .with_objective(self.objective)
+            .with_budget(meter.as_ref())
+            .heuristic1(&self.config)
     }
 
     /// Runs Heuristic 2 (chained phases of decreasing size) — the
@@ -351,14 +374,10 @@ impl<'a> RotationScheduler<'a> {
     /// Propagates graph and scheduling failures.
     pub fn heuristic2(&self) -> Result<HeuristicOutcome, RotationError> {
         let meter = (!self.budget.is_unlimited()).then(|| self.budget.arm());
-        heuristic2_pruned(
-            self.dfg,
-            &self.scheduler,
-            &self.resources,
-            &self.config,
-            None,
-            meter.as_ref(),
-        )
+        SearchDriver::incremental(self.dfg, &self.scheduler, &self.resources)
+            .with_objective(self.objective)
+            .with_budget(meter.as_ref())
+            .heuristic2(&self.config)
     }
 
     /// Runs Heuristic 2 and packages the best schedule with its
@@ -390,6 +409,7 @@ impl<'a> RotationScheduler<'a> {
     ) -> Result<(SolveOutcome, SearchTrace), RotationError> {
         let meter = (!self.budget.is_unlimited()).then(|| self.budget.arm());
         let mut driver = SearchDriver::incremental(self.dfg, &self.scheduler, &self.resources)
+            .with_objective(self.objective)
             .with_budget(meter.as_ref())
             .with_observer(TraceRecorder::new(capacity));
         let outcome = driver.heuristic2(&self.config)?;
@@ -421,6 +441,7 @@ impl<'a> RotationScheduler<'a> {
         self.debug_certify(&outcome.best, quality);
         Ok(SolveOutcome {
             length: outcome.best_length,
+            score: outcome.best_score,
             depth,
             state,
             outcome,
@@ -479,6 +500,7 @@ impl<'a> RotationScheduler<'a> {
             let meter = (!spec.budget.is_unlimited()).then(|| spec.budget.arm());
             let mut driver =
                 SearchDriver::incremental_with_step(&spec.dfg, scheduler, &spec.resources, step)
+                    .with_objective(spec.objective)
                     .with_budget(meter.as_ref());
             let outcome = driver.heuristic2(&spec.config)?;
             step = driver.into_step();
@@ -487,6 +509,7 @@ impl<'a> RotationScheduler<'a> {
                 resources: spec.resources.clone(),
                 scheduler: scheduler.clone(),
                 config: spec.config,
+                objective: spec.objective,
                 jobs: 1,
                 budget: spec.budget.clone(),
             };
@@ -506,6 +529,7 @@ impl<'a> RotationScheduler<'a> {
     /// Propagates graph and scheduling failures.
     pub fn portfolio(&self) -> Result<PortfolioOutcome, RotationError> {
         Portfolio::standard(self.dfg, &self.resources, &self.config)?
+            .with_objective(self.objective)
             .with_jobs(self.jobs)
             .with_budget(self.budget.clone())
             .run(self.dfg, &self.resources)
@@ -539,6 +563,7 @@ impl<'a> RotationScheduler<'a> {
         capacity: usize,
     ) -> Result<(SolveOutcome, SearchTrace), RotationError> {
         let (outcome, trace) = Portfolio::standard(self.dfg, &self.resources, &self.config)?
+            .with_objective(self.objective)
             .with_jobs(self.jobs)
             .with_budget(self.budget.clone())
             .run_traced(self.dfg, &self.resources, capacity)?;
@@ -588,10 +613,12 @@ impl<'a> RotationScheduler<'a> {
         self.debug_certify(&outcome.best, quality);
         Ok(SolveOutcome {
             length: outcome.best_length,
+            score: outcome.best_score,
             depth,
             state,
             outcome: HeuristicOutcome {
                 best_length: outcome.best_length,
+                best_score: outcome.best_score,
                 best: outcome.best,
                 total_rotations: outcome.total_rotations,
                 phases: outcome.phases,
@@ -622,6 +649,8 @@ impl<'a> RotationScheduler<'a> {
                 kernel_length: ls.kernel_length(),
                 depth: Some(ls.retiming().depth()),
                 optimal: matches!(quality, SolveQuality::Optimal),
+                registers: Some(crate::objective::static_registers(self.dfg, ls.retiming())),
+                code_size: Some(crate::objective::code_size(self.dfg, ls.retiming())),
             };
             if let Err(bad) = rotsched_verify::certify_claim(
                 self.dfg,

@@ -25,6 +25,7 @@ use std::fmt::Write as _;
 
 use crate::budget::StopReason;
 use crate::engine::{SearchEvent, SearchObserver};
+use crate::objective::Score;
 
 /// Default event-ring capacity used by the traced solve entry points.
 pub const DEFAULT_TRACE_EVENTS: usize = 256;
@@ -48,10 +49,15 @@ pub enum TraceEvent {
         /// The wrapped schedule length after the rotation.
         length: u32,
     },
-    /// The incumbent best length strictly improved.
+    /// The incumbent best score strictly improved.
     Improved {
-        /// The new best length.
+        /// The new best length (the score's primary component).
         length: u32,
+        /// The full packed score. Under the default length-only
+        /// objective this is exactly `Score::from_length(length)` and
+        /// the rendered encoding omits it, keeping trace bytes
+        /// identical to pre-objective releases.
+        score: Score,
     },
     /// An inter-phase `FullSchedule(G_R)` reschedule (Heuristic 2).
     Rescheduled {
@@ -256,12 +262,12 @@ impl SearchObserver for TraceRecorder {
                     length,
                 });
             }
-            SearchEvent::IncumbentImproved { length } => {
+            SearchEvent::IncumbentImproved { length, score } => {
                 self.trajectory.push((self.rotation_counter, length));
                 if let Some(c) = self.current.as_mut() {
                     c.improvements += 1;
                 }
-                self.push(TraceEvent::Improved { length });
+                self.push(TraceEvent::Improved { length, score });
             }
             SearchEvent::Rescheduled { length } => {
                 self.push(TraceEvent::Rescheduled { length });
@@ -334,7 +340,13 @@ impl TraceEvent {
             TraceEvent::Rotated { nodes, length } => {
                 format!("rotated nodes={nodes} length={length}")
             }
-            TraceEvent::Improved { length } => format!("improved length={length}"),
+            TraceEvent::Improved { length, score } => {
+                if *score == Score::from_length(*length) {
+                    format!("improved length={length}")
+                } else {
+                    format!("improved length={length} score={}", score.to_bits())
+                }
+            }
             TraceEvent::Rescheduled { length } => format!("rescheduled length={length}"),
             TraceEvent::Pruned => "pruned".to_string(),
             TraceEvent::Stopped(reason) => format!("stopped reason={}", stop_reason_str(*reason)),
@@ -390,9 +402,16 @@ impl TraceEvent {
                 nodes: num_u64("nodes")?,
                 length: num_u32("length")?,
             }),
-            "improved" => Ok(TraceEvent::Improved {
-                length: num_u32("length")?,
-            }),
+            "improved" => {
+                let length = num_u32("length")?;
+                let score = match field("score") {
+                    Ok(bits) => Score::from_bits(bits.parse::<u64>().map_err(|_| {
+                        "event `improved` field `score` is not a number".to_string()
+                    })?),
+                    Err(_) => Score::from_length(length),
+                };
+                Ok(TraceEvent::Improved { length, score })
+            }
             "rescheduled" => Ok(TraceEvent::Rescheduled {
                 length: num_u32("length")?,
             }),
@@ -967,7 +986,14 @@ mod tests {
                 nodes: 2,
                 length: 5,
             },
-            TraceEvent::Improved { length: 4 },
+            TraceEvent::Improved {
+                length: 4,
+                score: Score::from_length(4),
+            },
+            TraceEvent::Improved {
+                length: 4,
+                score: Score::new(4, 2, 7),
+            },
             TraceEvent::Rescheduled { length: 4 },
             TraceEvent::Pruned,
             TraceEvent::Stopped(StopReason::RotationBudget),
@@ -983,6 +1009,15 @@ mod tests {
         for event in events {
             assert_eq!(TraceEvent::parse(&event.render()), Ok(event));
         }
+        assert_eq!(
+            TraceEvent::Improved {
+                length: 4,
+                score: Score::from_length(4),
+            }
+            .render(),
+            "improved length=4",
+            "default-objective improvements keep the pre-objective encoding"
+        );
         assert!(TraceEvent::parse("nonsense").is_err());
         assert!(TraceEvent::parse("rotated nodes=x length=1").is_err());
         assert!(TraceEvent::parse("stopped reason=whatever").is_err());

@@ -4,7 +4,9 @@
 //! A problem travels as a small line-oriented text document: the graph
 //! in the [`rotsched_dfg::text`] format, followed by directives for the
 //! resource allocation, the list-scheduling policy, the heuristic
-//! configuration, and the solve budget:
+//! configuration, the solve objective (omitted for the default
+//! length-only objective, keeping pre-objective payloads and cache
+//! keys byte-identical), and the solve budget:
 //!
 //! ```text
 //! dfg my-loop
@@ -58,6 +60,7 @@ use rotsched_sched::{PriorityPolicy, ResourceClass, ResourceSet};
 
 use crate::budget::Budget;
 use crate::heuristics::HeuristicConfig;
+use crate::objective::Objective;
 use crate::scheduler::ProblemSpec;
 
 /// Error produced when parsing the wire form of a problem.
@@ -162,6 +165,11 @@ fn render_directives(out: &mut String, spec: &ProblemSpec, include_budget: bool)
     }
     let _ = writeln!(out, "config keep-best {}", spec.config.keep_best);
     let _ = writeln!(out, "config rounds {}", spec.config.rounds);
+    // The default length-only objective is rendered implicitly: payloads
+    // and cache keys from pre-objective clients stay byte-identical.
+    if spec.objective != Objective::Length {
+        let _ = writeln!(out, "objective {}", spec.objective.mnemonic());
+    }
     if include_budget {
         if let Some(deadline) = spec.budget.deadline() {
             // Whole milliseconds render as the human-friendly unit; any
@@ -239,6 +247,7 @@ pub fn parse_problem(input: &str) -> Result<ProblemSpec, WireError> {
     let mut classes: Vec<ResourceClass> = Vec::new();
     let mut policy = PriorityPolicy::default();
     let mut config = HeuristicConfig::default();
+    let mut objective = Objective::default();
     let mut budget = Budget::unlimited();
 
     for (idx, raw) in input.lines().enumerate() {
@@ -311,6 +320,16 @@ pub fn parse_problem(input: &str) -> Result<ProblemSpec, WireError> {
                     other => return Err(syntax(line_no, format!("unknown config knob `{other}`"))),
                 }
             }
+            "objective" => {
+                if fields.len() != 2 {
+                    return Err(syntax(
+                        line_no,
+                        "expected `objective <mnemonic>`".to_owned(),
+                    ));
+                }
+                objective = Objective::parse(fields[1])
+                    .ok_or_else(|| syntax(line_no, format!("unknown objective `{}`", fields[1])))?;
+            }
             "budget" => {
                 if fields.len() != 3 {
                     return Err(syntax(
@@ -351,6 +370,7 @@ pub fn parse_problem(input: &str) -> Result<ProblemSpec, WireError> {
         resources,
         policy,
         config,
+        objective,
         budget,
     })
 }
@@ -410,6 +430,28 @@ mod tests {
         let noisy = format!("# a comment\n\n{}", render_problem(&spec));
         let reparsed = parse_problem(&noisy).unwrap();
         assert_eq!(cache_key_text(&reparsed), cache_key_text(&spec));
+    }
+
+    #[test]
+    fn objective_directive_roundtrips_and_defaults_render_nothing() {
+        let spec = sample_spec();
+        assert!(
+            !render_problem(&spec).contains("objective"),
+            "the default objective must keep pre-objective payload bytes"
+        );
+        for objective in Objective::ALL {
+            let multi = spec.clone().with_objective(objective);
+            let back = parse_problem(&render_problem(&multi)).unwrap();
+            assert_eq!(back, multi);
+        }
+    }
+
+    #[test]
+    fn cache_key_distinguishes_objectives() {
+        let spec = sample_spec();
+        let regs = spec.clone().with_objective(Objective::LengthRegs);
+        assert_ne!(cache_key_text(&spec), cache_key_text(&regs));
+        assert_ne!(cache_fingerprint(&spec), cache_fingerprint(&regs));
     }
 
     #[test]

@@ -57,7 +57,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use rotsched_core::wire::{cache_key_text, fingerprint_text, parse_problem};
-use rotsched_core::{ProblemSpec, RotationScheduler, SolveOutcome, SolveQuality};
+use rotsched_core::{Objective, ProblemSpec, RotationScheduler, SolveOutcome, SolveQuality};
 
 use crate::admission::AdmissionGauge;
 use crate::cache::{CacheReport, SolveCache};
@@ -390,6 +390,7 @@ impl<F: Faults> SolveService<F> {
             let scheduler = RotationScheduler::new(&spec.dfg, spec.resources.clone())
                 .with_policy(spec.policy)
                 .with_config(spec.config)
+                .with_objective(spec.objective)
                 .with_budget(budget);
             scheduler.solve().and_then(|solved| {
                 let kernel = scheduler.loop_schedule(&solved.state)?;
@@ -563,6 +564,21 @@ fn render_solved(
     out.push_str(&solved.stats.lower_bound.to_string());
     out.push_str(", \"rotations\": ");
     out.push_str(&solved.stats.total_rotations.to_string());
+    // Non-default objectives report their secondary metrics; the
+    // default emits nothing extra, so pre-objective responses stay
+    // byte-identical (and so do their cache entries).
+    if spec.objective != Objective::Length {
+        out.push_str(", \"objective\": \"");
+        out.push_str(spec.objective.mnemonic());
+        out.push_str("\", \"registers\": ");
+        out.push_str(
+            &rotsched_core::objective::static_registers(&spec.dfg, kernel.retiming()).to_string(),
+        );
+        out.push_str(", \"code_size\": ");
+        out.push_str(
+            &rotsched_core::objective::code_size(&spec.dfg, kernel.retiming()).to_string(),
+        );
+    }
     out.push_str(", \"kernel\": {");
     let mut first = true;
     for (id, node) in spec.dfg.nodes() {

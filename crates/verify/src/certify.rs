@@ -164,6 +164,13 @@ pub struct Claim {
     pub depth: Option<u32>,
     /// Whether the solver declared the length optimal.
     pub optimal: bool,
+    /// The static register count the solver reported (the sum of
+    /// retimed delays, one register per value crossing an iteration
+    /// boundary), if it reported one.
+    pub registers: Option<u64>,
+    /// The prologue + epilogue operation count the solver reported
+    /// (`node_count × (depth − 1)`), if it reported one.
+    pub code_size: Option<u64>,
 }
 
 /// Certifies that `starts` is a legal wrapped schedule of `dfg` retimed
@@ -321,9 +328,12 @@ pub fn certify(
 /// Certifies a schedule **and** the solver's claim about it.
 ///
 /// On top of [`certify`], checks that a reported depth matches the
-/// retiming (`E113`) and that a reported optimality verdict is backed
+/// retiming (`E113`), that a reported optimality verdict is backed
 /// by one of the verifier's own lower bounds (`E114`) — a forged
-/// verdict cannot smuggle itself through an honest schedule.
+/// verdict cannot smuggle itself through an honest schedule — and that
+/// every reported secondary score component (static registers, code
+/// size) matches the value re-derived from the certified retiming
+/// (`E115`).
 ///
 /// # Errors
 ///
@@ -338,7 +348,7 @@ pub fn certify_claim(
     let mut bad = match certify(dfg, spec, retiming, starts, claim.kernel_length) {
         Ok(cert) => {
             let mut bad = Vec::new();
-            check_claim_consistency(dfg, claim, &cert, &mut bad);
+            check_claim_consistency(dfg, retiming, claim, &cert, &mut bad);
             if bad.is_empty() {
                 return Ok(cert);
             }
@@ -352,10 +362,45 @@ pub fn certify_claim(
 
 fn check_claim_consistency(
     dfg: &Dfg,
+    retiming: Option<&Retiming>,
     claim: &Claim,
     cert: &Certificate,
     bad: &mut Vec<Diagnostic>,
 ) {
+    if let Some(claimed) = claim.registers {
+        // Re-derive from first principles: one register per retimed
+        // delay, Σ_e max(d_r(e), 0) — the verifier's own pressure rule.
+        let derived: u64 = dfg
+            .edges()
+            .map(|(id, edge)| match retiming {
+                Some(r) => u64::try_from(r.retimed_delay(dfg, id).max(0)).unwrap_or(0),
+                None => u64::from(edge.delays()),
+            })
+            .sum();
+        if derived != claimed {
+            bad.push(Diagnostic::new(
+                Code::ScoreClaimMismatch,
+                Locus::Graph,
+                format!(
+                    "claimed {claimed} static register(s) but the certified retiming holds {derived}"
+                ),
+            ));
+        }
+    }
+    if let Some(claimed) = claim.code_size {
+        // Prologue + epilogue ops: every node appears once per pipeline
+        // stage beyond the kernel itself.
+        let derived = dfg.node_count() as u64 * u64::from(cert.depth.saturating_sub(1));
+        if derived != claimed {
+            bad.push(Diagnostic::new(
+                Code::ScoreClaimMismatch,
+                Locus::Graph,
+                format!(
+                    "claimed a prologue/epilogue of {claimed} op(s) but the certified depth implies {derived}"
+                ),
+            ));
+        }
+    }
     if let Some(depth) = claim.depth {
         if depth != cert.depth {
             bad.push(Diagnostic::new(
@@ -668,6 +713,8 @@ mod tests {
             kernel_length: 4,
             depth: Some(1),
             optimal: true,
+            registers: None,
+            code_size: None,
         };
         let bad = certify_claim(&g, &spec(), None, &st4, &claim).unwrap_err();
         assert_eq!(bad.len(), 1);
@@ -677,6 +724,8 @@ mod tests {
             kernel_length: 4,
             depth: Some(1),
             optimal: false,
+            registers: None,
+            code_size: None,
         };
         certify_claim(&g, &spec(), None, &st4, &honest).expect("honest");
         // And a true optimality claim at L = 3 is confirmed.
@@ -684,6 +733,8 @@ mod tests {
             kernel_length: 3,
             depth: Some(1),
             optimal: true,
+            registers: None,
+            code_size: None,
         };
         certify_claim(&g, &spec(), None, &s, &tight).expect("confirmed optimal");
     }
@@ -698,9 +749,68 @@ mod tests {
             kernel_length: 3,
             depth: Some(7),
             optimal: false,
+            registers: None,
+            code_size: None,
         };
         let bad = certify_claim(&g, &spec(), None, &s, &claim).unwrap_err();
         assert_eq!(bad[0].code, Code::LengthClaimMismatch);
+    }
+
+    #[test]
+    fn score_claim_mismatch_is_e115() {
+        // Rotated iir kernel: m -> a gains a delay, a -> m loses its
+        // one. Registers = Σ d_r = 1, depth 2 ⇒ code size = 2 × 1 = 2.
+        let (g, m, a) = iir();
+        let r = Retiming::from_set(&g, [m]);
+        let mut s = StartTimes::empty(&g);
+        s.set(m, 2);
+        s.set(a, 1);
+        let honest = Claim {
+            kernel_length: 3,
+            depth: Some(2),
+            optimal: false,
+            registers: Some(1),
+            code_size: Some(2),
+        };
+        certify_claim(&g, &spec(), Some(&r), &s, &honest).expect("honest score components");
+        // Forged register count.
+        let forged_regs = Claim {
+            registers: Some(0),
+            ..honest
+        };
+        let bad = certify_claim(&g, &spec(), Some(&r), &s, &forged_regs).unwrap_err();
+        assert_eq!(bad.len(), 1);
+        assert_eq!(bad[0].code, Code::ScoreClaimMismatch);
+        assert!(bad[0].message.contains("register"));
+        // Forged code size.
+        let forged_code = Claim {
+            code_size: Some(99),
+            ..honest
+        };
+        let bad = certify_claim(&g, &spec(), Some(&r), &s, &forged_code).unwrap_err();
+        assert_eq!(bad.len(), 1);
+        assert_eq!(bad[0].code, Code::ScoreClaimMismatch);
+        assert!(bad[0].message.contains("prologue"));
+        // Unclaimed components are not audited: the pre-objective claim
+        // shape keeps certifying.
+        let silent = Claim {
+            registers: None,
+            code_size: None,
+            ..honest
+        };
+        certify_claim(&g, &spec(), Some(&r), &s, &silent).expect("silent components pass");
+        // With no retiming, registers re-derive from the raw delays.
+        let mut flat = StartTimes::empty(&g);
+        flat.set(m, 1);
+        flat.set(a, 3);
+        let zero_ret = Claim {
+            kernel_length: 3,
+            depth: Some(1),
+            optimal: false,
+            registers: Some(1),
+            code_size: Some(0),
+        };
+        certify_claim(&g, &spec(), None, &flat, &zero_ret).expect("raw-delay registers");
     }
 
     #[test]

@@ -98,6 +98,10 @@ pub enum Code {
     /// `E114` — a claimed optimality verdict that neither the recurrence
     /// bound nor the resource bound supports.
     ForgedOptimality,
+    /// `E115` — a claimed secondary score component (static register
+    /// count or prologue/epilogue code size) that does not match the
+    /// value re-derived from the certified retiming.
+    ScoreClaimMismatch,
     /// `A001` — a critical cycle: a cycle achieving the maximum
     /// time-to-delay ratio, i.e. the recurrence bottleneck every further
     /// rotation is limited by.
@@ -148,6 +152,7 @@ impl Code {
             Code::UnrolledResourceOverflow => "E112",
             Code::LengthClaimMismatch => "E113",
             Code::ForgedOptimality => "E114",
+            Code::ScoreClaimMismatch => "E115",
             Code::CriticalCycle => "A001",
             Code::SaturatedClass => "A002",
             Code::RegisterPressurePeak => "A003",
@@ -198,6 +203,7 @@ impl Code {
             Code::UnrolledResourceOverflow => "unrolled-loop step over-subscribes a class",
             Code::LengthClaimMismatch => "claimed length differs from the certified kernel",
             Code::ForgedOptimality => "optimality claim unsupported by any bound",
+            Code::ScoreClaimMismatch => "claimed score component differs from the re-derived value",
             Code::CriticalCycle => "cycle achieving the maximum time-to-delay ratio",
             Code::SaturatedClass => "resource class whose utilization binds the kernel",
             Code::RegisterPressurePeak => "kernel step with the most simultaneously live values",
@@ -208,7 +214,7 @@ impl Code {
 
     /// Every code, in code order. The reference table the documentation
     /// and the JSON schema tests iterate.
-    pub const ALL: [Code; 31] = [
+    pub const ALL: [Code; 32] = [
         Code::ZeroDelayCycle,
         Code::ZeroTimeNode,
         Code::OverflowHazard,
@@ -235,6 +241,7 @@ impl Code {
         Code::UnrolledResourceOverflow,
         Code::LengthClaimMismatch,
         Code::ForgedOptimality,
+        Code::ScoreClaimMismatch,
         Code::CriticalCycle,
         Code::SaturatedClass,
         Code::RegisterPressurePeak,

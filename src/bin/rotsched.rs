@@ -8,7 +8,8 @@
 //! rotsched solve    <file.dfg> [--adders N] [--mults N] [--pipelined]
 //!                              [--verify ITERS] [--dot] [--expand ITERS]
 //!                              [--jobs N] [--deadline-ms N] [--max-rotations N]
-//!                              [--certify] [--analyze] [--trace[=json]]
+//!                              [--objective=length|length,regs|length,regs,code]
+//!                              [--pareto] [--certify] [--analyze] [--trace[=json]]
 //!                              [--format text|json]
 //! rotsched compare  <file.dfg> [--adders N] [--mults N] [--pipelined]
 //! rotsched serve    [--port N] [--cache-bytes N] [--shards N]
@@ -39,6 +40,14 @@
 //! `--jobs N` with `N > 1` searches with the parallel portfolio
 //! (Heuristic 1's phases plus one Heuristic-2 sweep per priority
 //! policy) on `N` worker threads; the result is deterministic in `N`.
+//!
+//! `--objective` selects the solve objective: `length` (the paper's
+//! scalar search, the default), `length,regs` (break length ties by
+//! static register count), or `length,regs,code` (then by prologue +
+//! epilogue op count). The default is bit-identical to a build without
+//! the flag. `--pareto` solves once per objective and prints the
+//! deterministic Pareto front over (length, registers, code size) —
+//! byte-stable across `--jobs` values.
 //!
 //! `--deadline-ms N` bounds the solve to `N` milliseconds of wall-clock
 //! time and `--max-rotations N` to `N` down-rotations; either way the
@@ -111,7 +120,8 @@ use rotsched::verify::{
     certify_claim, has_errors, lint, render_json_array, Claim, LintContext, LintOptions,
 };
 use rotsched::{
-    Budget, Dfg, PriorityPolicy, ResourceSet, RotationScheduler, SolveQuality, DEFAULT_TRACE_EVENTS,
+    Budget, Dfg, Objective, PriorityPolicy, ResourceSet, RotationScheduler, SolveQuality,
+    DEFAULT_TRACE_EVENTS,
 };
 
 /// Output format for diagnostics and certificates.
@@ -135,6 +145,8 @@ struct Options {
     max_rotations: Option<u64>,
     certify: bool,
     analyze: bool,
+    objective: Objective,
+    pareto: bool,
     trace: Option<Format>,
     format: Format,
 }
@@ -156,8 +168,9 @@ fn usage() -> ExitCode {
     eprintln!(
         "usage: rotsched <analyze|lint|solve|compare> <file.dfg>... \
          [--adders N] [--mults N] [--pipelined] [--verify N] [--expand N] [--dot] [--jobs N] \
-         [--deadline-ms N] [--max-rotations N] [--certify] [--analyze] [--trace[=json]] \
-         [--format text|json]\n\
+         [--deadline-ms N] [--max-rotations N] [--objective OBJ] [--pareto] [--certify] \
+         [--analyze] [--trace[=json]] [--format text|json]\n\
+         \x20      (OBJ: length | length,regs | length,regs,code)\n\
          \x20      (lint and analyze accept several files; the exit code is the worst)\n\
          \x20      rotsched serve [--port N] [--cache-bytes N] [--shards N] \
          [--read-timeout-ms N] [--idle-timeout-ms N] [--chaos-seed N]\n\
@@ -212,6 +225,8 @@ fn main() -> ExitCode {
         max_rotations: None,
         certify: false,
         analyze: false,
+        objective: Objective::Length,
+        pareto: false,
         trace: None,
         format: Format::Text,
     };
@@ -259,6 +274,14 @@ fn main() -> ExitCode {
             "--dot" => opts.dot = true,
             "--certify" => opts.certify = true,
             "--analyze" => opts.analyze = true,
+            "--pareto" => opts.pareto = true,
+            "--objective" => match it.next().map(String::as_str).and_then(Objective::parse) {
+                Some(o) => opts.objective = o,
+                None => {
+                    eprintln!("error: --objective needs length, length,regs, or length,regs,code");
+                    return usage();
+                }
+            },
             "--format" => match it.next().map(String::as_str) {
                 Some("text") => opts.format = Format::Text,
                 Some("json") => opts.format = Format::Json,
@@ -271,6 +294,21 @@ fn main() -> ExitCode {
                 }
             },
             other => {
+                // `--objective=length,regs` form: the value rides in the flag.
+                if let Some(value) = other.strip_prefix("--objective=") {
+                    match Objective::parse(value) {
+                        Some(o) => {
+                            opts.objective = o;
+                            continue;
+                        }
+                        None => {
+                            eprintln!(
+                                "error: --objective needs length, length,regs, or length,regs,code"
+                            );
+                            return usage();
+                        }
+                    }
+                }
                 eprintln!("error: unknown flag {other}");
                 return usage();
             }
@@ -392,6 +430,9 @@ fn lint_command(graph: &Dfg, opts: &Options) -> u8 {
 }
 
 fn solve(graph: &Dfg, opts: &Options) -> Result<u8, Box<dyn std::error::Error>> {
+    if opts.pareto {
+        return pareto(graph, opts);
+    }
     let resources = ResourceSet::adders_multipliers(opts.adders, opts.mults, opts.pipelined);
     let spec = verify_spec(&resources);
     let analysis_resources = opts.analyze.then(|| resources.clone());
@@ -402,6 +443,7 @@ fn solve(graph: &Dfg, opts: &Options) -> Result<u8, Box<dyn std::error::Error>> 
     );
     let scheduler = RotationScheduler::new(graph, resources)
         .with_jobs(opts.jobs as usize)
+        .with_objective(opts.objective)
         .with_budget(opts.budget());
     let (solved, trace) = if opts.trace.is_some() {
         let (solved, trace) = if opts.jobs > 1 {
@@ -435,6 +477,18 @@ fn solve(graph: &Dfg, opts: &Options) -> Result<u8, Box<dyn std::error::Error>> 
         ),
     }
     let kernel = scheduler.loop_schedule(&solved.state)?;
+    // Non-default objectives report their lexicographic winner; the
+    // default prints nothing extra, keeping the output byte-identical
+    // to builds that predate `--objective`.
+    if opts.objective != Objective::Length {
+        println!(
+            "objective {}: {} control steps, {} static register(s), {} prologue+epilogue op(s)",
+            opts.objective.mnemonic(),
+            solved.length,
+            rotsched::core::objective::static_registers(graph, kernel.retiming()),
+            rotsched::core::objective::code_size(graph, kernel.retiming()),
+        );
+    }
     println!(
         "\n{}",
         kernel
@@ -467,6 +521,14 @@ fn solve(graph: &Dfg, opts: &Options) -> Result<u8, Box<dyn std::error::Error>> 
             kernel_length: kernel.kernel_length(),
             depth: Some(kernel.retiming().depth()),
             optimal: matches!(solved.quality, SolveQuality::Optimal),
+            registers: Some(rotsched::core::objective::static_registers(
+                graph,
+                kernel.retiming(),
+            )),
+            code_size: Some(rotsched::core::objective::code_size(
+                graph,
+                kernel.retiming(),
+            )),
         };
         match certify_claim(graph, &spec, Some(kernel.retiming()), &starts, &claim) {
             Ok(cert) => match opts.format {
@@ -511,6 +573,73 @@ fn solve(graph: &Dfg, opts: &Options) -> Result<u8, Box<dyn std::error::Error>> 
         // Optimal, Complete, and any future non-failure verdicts.
         _ => 0,
     })
+}
+
+/// `rotsched solve --pareto`: solve once per objective and print the
+/// non-dominated front over (length, registers, code size). Each
+/// constituent solve is deterministic in `--jobs`, so the front is
+/// byte-stable across job counts. Exit code is the worst across the
+/// constituent solves.
+fn pareto(graph: &Dfg, opts: &Options) -> Result<u8, Box<dyn std::error::Error>> {
+    let resources = ResourceSet::adders_multipliers(opts.adders, opts.mults, opts.pipelined);
+    println!(
+        "scheduling under {} (lower bound {})",
+        resources.label(),
+        lower_bound(graph, &resources)?
+    );
+    // One candidate point per objective: its metric triple plus the
+    // mnemonics of every objective whose winner landed on it.
+    let mut points: Vec<(u32, u64, u64, Vec<&'static str>)> = Vec::new();
+    let mut worst = 0_u8;
+    for objective in Objective::ALL {
+        let scheduler = RotationScheduler::new(graph, resources.clone())
+            .with_jobs(opts.jobs as usize)
+            .with_objective(objective)
+            .with_budget(opts.budget());
+        // Always the portfolio, even at `--jobs 1`: its canonical merge
+        // is deterministic in the job count, whereas the solo heuristic
+        // path may pick a different same-length winner — whose register
+        // count would change the front's bytes between job counts.
+        let solved = scheduler.solve_portfolio()?;
+        let kernel = scheduler.loop_schedule(&solved.state)?;
+        let triple = (
+            solved.length,
+            rotsched::core::objective::static_registers(graph, kernel.retiming()),
+            rotsched::core::objective::code_size(graph, kernel.retiming()),
+        );
+        worst = worst.max(match solved.quality {
+            SolveQuality::BudgetExhausted => 3,
+            SolveQuality::Degraded => 4,
+            _ => 0,
+        });
+        match points
+            .iter_mut()
+            .find(|(l, r, c, _)| (*l, *r, *c) == triple)
+        {
+            Some((_, _, _, objectives)) => objectives.push(objective.mnemonic()),
+            None => points.push((triple.0, triple.1, triple.2, vec![objective.mnemonic()])),
+        }
+    }
+    // Drop dominated points: another point at least as good on every
+    // axis and strictly better on one. Ties were already merged above,
+    // so survivors are exactly the distinct non-dominated triples, in
+    // the deterministic `Objective::ALL` discovery order.
+    let front: Vec<&(u32, u64, u64, Vec<&'static str>)> = points
+        .iter()
+        .filter(|(l, r, c, _)| {
+            !points
+                .iter()
+                .any(|(ol, or, oc, _)| ol <= l && or <= r && oc <= c && (ol, or, oc) != (l, r, c))
+        })
+        .collect();
+    println!("pareto front over (length, registers, code size):");
+    for (length, registers, code, objectives) in front {
+        println!(
+            "  length={length} registers={registers} code={code}  [{}]",
+            objectives.join("; ")
+        );
+    }
+    Ok(worst)
 }
 
 fn compare(graph: &Dfg, opts: &Options) -> Result<(), Box<dyn std::error::Error>> {

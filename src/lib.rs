@@ -82,8 +82,8 @@ pub use rotsched_benchmarks::{
     all_benchmarks, allpole, biquad, diffeq, elliptic, lattice4, TimingModel,
 };
 pub use rotsched_core::{
-    Budget, CancelToken, HeuristicConfig, ProblemSpec, RotationError, RotationScheduler,
-    RotationState, SearchDriver, SearchEvent, SearchObserver, SearchTrace, SolveOutcome,
+    Budget, CancelToken, HeuristicConfig, Objective, ProblemSpec, RotationError, RotationScheduler,
+    RotationState, Score, SearchDriver, SearchEvent, SearchObserver, SearchTrace, SolveOutcome,
     SolveQuality, SolveStats, SolvedPipeline, StopReason, TraceRecorder, DEFAULT_TRACE_EVENTS,
 };
 pub use rotsched_dfg::{Dfg, DfgBuilder, DfgError, NodeId, OpKind, Retiming};

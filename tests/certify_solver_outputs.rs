@@ -34,6 +34,11 @@ fn assert_certifies(
         kernel_length: kernel.kernel_length(),
         depth: Some(kernel.retiming().depth()),
         optimal: matches!(solved.quality, SolveQuality::Optimal),
+        registers: Some(rotsched::core::objective::static_registers(
+            dfg,
+            kernel.retiming(),
+        )),
+        code_size: Some(rotsched::core::objective::code_size(dfg, kernel.retiming())),
     };
     let cert =
         certify_claim(dfg, &spec, Some(kernel.retiming()), &starts, &claim).unwrap_or_else(|bad| {

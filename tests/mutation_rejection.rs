@@ -214,6 +214,8 @@ fn forged_depth_claim_is_rejected_e113() {
         kernel_length: good.length,
         depth: Some(good.retiming.depth() + 1),
         optimal: false,
+        registers: None,
+        code_size: None,
     };
     let bad = certify_claim(
         &good.graph,
@@ -242,6 +244,8 @@ fn forged_optimality_verdict_is_rejected_e114() {
         kernel_length: 2,
         depth: None,
         optimal: true,
+        registers: None,
+        code_size: None,
     };
     let bad = certify_claim(&g, &spec, None, &starts, &claim).expect_err("forged verdict");
     assert!(codes(&bad).contains(&Code::ForgedOptimality));
